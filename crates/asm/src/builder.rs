@@ -1,0 +1,801 @@
+//! The programmatic two-pass assembler.
+//!
+//! Guest workloads are written directly against this builder (there is no
+//! offline RISC-V toolchain in this environment — see DESIGN.md). The
+//! builder emits instructions and data into a flat image at a fixed base
+//! address, records label fixups, and resolves them in [`Asm::assemble`].
+//!
+//! Pseudo-instructions expand to a *fixed* number of words (`li`/`la` are
+//! always `lui`+`addi`), so label addresses are stable across passes.
+
+use core::fmt;
+use std::collections::HashMap;
+
+use crate::insn::{AluOp, BranchCond, CsrOp, CsrSrc, Insn, LoadWidth, MulOp, StoreWidth};
+use crate::reg::Reg;
+
+/// Errors reported by [`Asm::assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A referenced label was never defined.
+    UnknownLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A branch/jump target is out of encodable range.
+    OutOfRange {
+        /// The label that could not be reached.
+        label: String,
+        /// Distance in bytes from the instruction to the label.
+        distance: i64,
+        /// Human-readable instruction kind (`"branch"` / `"jal"`).
+        kind: &'static str,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnknownLabel(l) => write!(f, "unknown label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::OutOfRange { label, distance, kind } => {
+                write!(f, "{kind} to `{label}` out of range ({distance} bytes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FixupKind {
+    /// Patch the B-type offset of the branch at the fixup site.
+    Branch,
+    /// Patch the J-type offset of the `jal` at the fixup site.
+    Jal,
+    /// Patch a `lui`+`addi` pair with the absolute address of the label.
+    AbsHiLo,
+    /// Patch a data word with the absolute address of the label.
+    AbsWord,
+}
+
+#[derive(Debug, Clone)]
+struct Fixup {
+    offset: usize,
+    label: String,
+    kind: FixupKind,
+}
+
+/// An assembled program image.
+#[derive(Debug, Clone)]
+pub struct Program {
+    base: u32,
+    entry: u32,
+    image: Vec<u8>,
+    symbols: HashMap<String, u32>,
+    insn_count: usize,
+}
+
+impl Program {
+    /// Load address of the first image byte.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Entry point (defaults to `base`, see [`Asm::entry`]).
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// The raw image bytes.
+    pub fn image(&self) -> &[u8] {
+        &self.image
+    }
+
+    /// Image size in bytes.
+    pub fn len(&self) -> usize {
+        self.image.len()
+    }
+
+    /// `true` for an empty program.
+    pub fn is_empty(&self) -> bool {
+        self.image.is_empty()
+    }
+
+    /// Address of a label.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All symbols, unordered.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.symbols.iter().map(|(n, &a)| (n.as_str(), a))
+    }
+
+    /// Number of instruction words in the image (the "LoC ASM" metric of
+    /// the paper's Table II).
+    pub fn insn_count(&self) -> usize {
+        self.insn_count
+    }
+
+    /// Best-effort linear disassembly of the whole image (data bytes render
+    /// as `.word`).
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        let by_addr: HashMap<u32, &str> = self
+            .symbols
+            .iter()
+            .map(|(n, &a)| (a, n.as_str()))
+            .collect();
+        for (i, chunk) in self.image.chunks(4).enumerate() {
+            let addr = self.base + (i * 4) as u32;
+            if let Some(label) = by_addr.get(&addr) {
+                out.push_str(&format!("{label}:\n"));
+            }
+            if chunk.len() == 4 {
+                let word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                match Insn::decode(word) {
+                    Ok(insn) => out.push_str(&format!("  {addr:#010x}: {insn}\n")),
+                    Err(_) => out.push_str(&format!("  {addr:#010x}: .word {word:#010x}\n")),
+                }
+            } else {
+                out.push_str(&format!("  {addr:#010x}: .bytes {chunk:02x?}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// The assembler builder. See the crate docs for a full example.
+///
+/// ```
+/// use vpdift_asm::{Asm, Reg};
+/// let mut a = Asm::new(0x0);
+/// a.li(Reg::T0, 5);
+/// a.label("loop");
+/// a.addi(Reg::T1, Reg::T1, 1);
+/// a.addi(Reg::T0, Reg::T0, -1);
+/// a.bnez(Reg::T0, "loop");
+/// a.ebreak();
+/// let prog = a.assemble()?;
+/// assert_eq!(prog.symbol("loop"), Some(8));
+/// assert_eq!(prog.insn_count(), 6); // li expands to two instructions
+/// # Ok::<(), vpdift_asm::AsmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Asm {
+    base: u32,
+    entry: Option<u32>,
+    image: Vec<u8>,
+    symbols: HashMap<String, u32>,
+    fixups: Vec<Fixup>,
+    duplicate: Option<String>,
+    insn_count: usize,
+}
+
+impl Asm {
+    /// Starts a program at load address `base`.
+    pub fn new(base: u32) -> Self {
+        Asm {
+            base,
+            entry: None,
+            image: Vec::new(),
+            symbols: HashMap::new(),
+            fixups: Vec::new(),
+            duplicate: None,
+            insn_count: 0,
+        }
+    }
+
+    /// Address of the next emitted byte.
+    pub fn here(&self) -> u32 {
+        self.base + self.image.len() as u32
+    }
+
+    /// Defines a label at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        let addr = self.here();
+        if self.symbols.insert(name.to_owned(), addr).is_some() && self.duplicate.is_none() {
+            self.duplicate = Some(name.to_owned());
+        }
+        self
+    }
+
+    /// Marks the current position as the program entry point.
+    pub fn entry(&mut self) -> &mut Self {
+        self.entry = Some(self.here());
+        self
+    }
+
+    /// Emits a raw instruction.
+    ///
+    /// # Panics
+    /// Panics if the emission point is not 4-byte aligned (use
+    /// [`Asm::align`] after data).
+    pub fn emit(&mut self, insn: Insn) -> &mut Self {
+        assert!(self.image.len().is_multiple_of(4), "instructions must be 4-byte aligned; call align(4)");
+        let word = insn.encode();
+        self.image.extend_from_slice(&word.to_le_bytes());
+        self.insn_count += 1;
+        self
+    }
+
+    fn fixup(&mut self, label: &str, kind: FixupKind) {
+        self.fixups.push(Fixup { offset: self.image.len(), label: label.to_owned(), kind });
+    }
+
+    // ----- data directives ---------------------------------------------
+
+    /// Emits raw bytes.
+    pub fn bytes(&mut self, data: &[u8]) -> &mut Self {
+        self.image.extend_from_slice(data);
+        self
+    }
+
+    /// Emits one byte.
+    pub fn byte(&mut self, b: u8) -> &mut Self {
+        self.image.push(b);
+        self
+    }
+
+    /// Emits a little-endian 16-bit value.
+    pub fn half(&mut self, h: u16) -> &mut Self {
+        self.image.extend_from_slice(&h.to_le_bytes());
+        self
+    }
+
+    /// Emits a little-endian 32-bit value.
+    pub fn word(&mut self, w: u32) -> &mut Self {
+        self.image.extend_from_slice(&w.to_le_bytes());
+        self
+    }
+
+    /// Emits a little-endian 32-bit word holding the address of `label`
+    /// (resolved at assembly time).
+    pub fn word_of(&mut self, label: &str) -> &mut Self {
+        self.fixup(label, FixupKind::AbsWord);
+        self.word(0)
+    }
+
+    /// Emits the string bytes (no terminator).
+    pub fn ascii(&mut self, s: &str) -> &mut Self {
+        self.bytes(s.as_bytes())
+    }
+
+    /// Emits the string bytes plus a NUL terminator.
+    pub fn asciiz(&mut self, s: &str) -> &mut Self {
+        self.bytes(s.as_bytes()).byte(0)
+    }
+
+    /// Emits `n` zero bytes.
+    pub fn zero(&mut self, n: usize) -> &mut Self {
+        self.image.resize(self.image.len() + n, 0);
+        self
+    }
+
+    /// Pads with zero bytes to an `n`-byte boundary.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two.
+    pub fn align(&mut self, n: usize) -> &mut Self {
+        assert!(n.is_power_of_two(), "alignment must be a power of two");
+        while !(self.base as usize + self.image.len()).is_multiple_of(n) {
+            self.image.push(0);
+        }
+        self
+    }
+
+    // ----- finalisation --------------------------------------------------
+
+    /// Resolves all fixups and produces the [`Program`].
+    ///
+    /// # Errors
+    /// See [`AsmError`].
+    pub fn assemble(mut self) -> Result<Program, AsmError> {
+        if let Some(l) = self.duplicate.take() {
+            return Err(AsmError::DuplicateLabel(l));
+        }
+        let fixups = std::mem::take(&mut self.fixups);
+        for fx in fixups {
+            let &target = self
+                .symbols
+                .get(&fx.label)
+                .ok_or_else(|| AsmError::UnknownLabel(fx.label.clone()))?;
+            let site = self.base + fx.offset as u32;
+            match fx.kind {
+                FixupKind::Branch => {
+                    let distance = target as i64 - site as i64;
+                    if !(-4096..=4094).contains(&distance) {
+                        return Err(AsmError::OutOfRange {
+                            label: fx.label,
+                            distance,
+                            kind: "branch",
+                        });
+                    }
+                    let word = self.read_word(fx.offset);
+                    let Ok(Insn::Branch { cond, rs1, rs2, .. }) = Insn::decode(word) else {
+                        unreachable!("branch fixup site holds a branch");
+                    };
+                    let patched =
+                        Insn::Branch { cond, rs1, rs2, offset: distance as i32 }.encode();
+                    self.write_word(fx.offset, patched);
+                }
+                FixupKind::Jal => {
+                    let distance = target as i64 - site as i64;
+                    if !(-(1 << 20)..(1 << 20)).contains(&distance) {
+                        return Err(AsmError::OutOfRange { label: fx.label, distance, kind: "jal" });
+                    }
+                    let word = self.read_word(fx.offset);
+                    let Ok(Insn::Jal { rd, .. }) = Insn::decode(word) else {
+                        unreachable!("jal fixup site holds a jal");
+                    };
+                    self.write_word(fx.offset, Insn::Jal { rd, offset: distance as i32 }.encode());
+                }
+                FixupKind::AbsHiLo => {
+                    let (hi, lo) = split_hi_lo(target);
+                    let lui = self.read_word(fx.offset);
+                    let Ok(Insn::Lui { rd, .. }) = Insn::decode(lui) else {
+                        unreachable!("abs fixup site holds lui");
+                    };
+                    self.write_word(fx.offset, Insn::Lui { rd, imm20: hi }.encode());
+                    let addi = self.read_word(fx.offset + 4);
+                    let Ok(Insn::AluImm { op: AluOp::Add, rd, rs1, .. }) = Insn::decode(addi)
+                    else {
+                        unreachable!("abs fixup site holds addi");
+                    };
+                    self.write_word(
+                        fx.offset + 4,
+                        Insn::AluImm { op: AluOp::Add, rd, rs1, imm: lo }.encode(),
+                    );
+                }
+                FixupKind::AbsWord => {
+                    self.write_word(fx.offset, target);
+                }
+            }
+        }
+        Ok(Program {
+            base: self.base,
+            entry: self.entry.unwrap_or(self.base),
+            image: self.image,
+            symbols: self.symbols,
+            insn_count: self.insn_count,
+        })
+    }
+
+    fn read_word(&self, offset: usize) -> u32 {
+        u32::from_le_bytes([
+            self.image[offset],
+            self.image[offset + 1],
+            self.image[offset + 2],
+            self.image[offset + 3],
+        ])
+    }
+
+    fn write_word(&mut self, offset: usize, word: u32) {
+        self.image[offset..offset + 4].copy_from_slice(&word.to_le_bytes());
+    }
+}
+
+/// Splits an absolute value into `lui`/`addi` halves, compensating for the
+/// sign extension of the low 12 bits.
+pub fn split_hi_lo(value: u32) -> (u32, i32) {
+    let hi = value.wrapping_add(0x800) >> 12;
+    let lo = (value as i32).wrapping_sub((hi << 12) as i32);
+    debug_assert!((-2048..=2047).contains(&lo));
+    (hi & 0xF_FFFF, lo)
+}
+
+// One-liner instruction helpers. Grouped with a macro to stay readable.
+macro_rules! alu_rr {
+    ($($name:ident => $op:expr),* $(,)?) => {$(
+        #[doc = concat!("Emits `", stringify!($name), " rd, rs1, rs2`.")]
+        pub fn $name(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+            self.emit(Insn::Alu { op: $op, rd, rs1, rs2 })
+        }
+    )*};
+}
+
+macro_rules! alu_ri {
+    ($($name:ident => $op:expr),* $(,)?) => {$(
+        #[doc = concat!("Emits `", stringify!($name), " rd, rs1, imm`.")]
+        pub fn $name(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+            self.emit(Insn::AluImm { op: $op, rd, rs1, imm })
+        }
+    )*};
+}
+
+macro_rules! muldiv_rr {
+    ($($name:ident => $op:expr),* $(,)?) => {$(
+        #[doc = concat!("Emits `", stringify!($name), " rd, rs1, rs2`.")]
+        pub fn $name(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+            self.emit(Insn::MulDiv { op: $op, rd, rs1, rs2 })
+        }
+    )*};
+}
+
+macro_rules! loads {
+    ($($name:ident => $w:expr),* $(,)?) => {$(
+        #[doc = concat!("Emits `", stringify!($name), " rd, offset(rs1)`.")]
+        pub fn $name(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
+            self.emit(Insn::Load { width: $w, rd, rs1, offset })
+        }
+    )*};
+}
+
+macro_rules! stores {
+    ($($name:ident => $w:expr),* $(,)?) => {$(
+        #[doc = concat!("Emits `", stringify!($name), " rs2, offset(rs1)`.")]
+        pub fn $name(&mut self, rs2: Reg, offset: i32, rs1: Reg) -> &mut Self {
+            self.emit(Insn::Store { width: $w, rs2, rs1, offset })
+        }
+    )*};
+}
+
+macro_rules! branches {
+    ($($name:ident => $c:expr),* $(,)?) => {$(
+        #[doc = concat!("Emits `", stringify!($name), " rs1, rs2, label` (label resolved at assembly).")]
+        pub fn $name(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+            self.fixup(label, FixupKind::Branch);
+            self.emit(Insn::Branch { cond: $c, rs1, rs2, offset: 0 })
+        }
+    )*};
+}
+
+impl Asm {
+    alu_rr! {
+        add => AluOp::Add, sub => AluOp::Sub, sll => AluOp::Sll, slt => AluOp::Slt,
+        sltu => AluOp::Sltu, xor => AluOp::Xor, srl => AluOp::Srl, sra => AluOp::Sra,
+        or => AluOp::Or, and => AluOp::And,
+    }
+    alu_ri! {
+        addi => AluOp::Add, slti => AluOp::Slt, sltiu => AluOp::Sltu, xori => AluOp::Xor,
+        ori => AluOp::Or, andi => AluOp::And, slli => AluOp::Sll, srli => AluOp::Srl,
+        srai => AluOp::Sra,
+    }
+    muldiv_rr! {
+        mul => MulOp::Mul, mulh => MulOp::Mulh, mulhsu => MulOp::Mulhsu, mulhu => MulOp::Mulhu,
+        div => MulOp::Div, divu => MulOp::Divu, rem => MulOp::Rem, remu => MulOp::Remu,
+    }
+    loads! {
+        lb => LoadWidth::B, lh => LoadWidth::H, lw => LoadWidth::W,
+        lbu => LoadWidth::Bu, lhu => LoadWidth::Hu,
+    }
+    stores! { sb => StoreWidth::B, sh => StoreWidth::H, sw => StoreWidth::W }
+    branches! {
+        beq => BranchCond::Eq, bne => BranchCond::Ne, blt => BranchCond::Lt,
+        bge => BranchCond::Ge, bltu => BranchCond::Ltu, bgeu => BranchCond::Geu,
+    }
+
+    /// Emits `lui rd, imm20`.
+    pub fn lui(&mut self, rd: Reg, imm20: u32) -> &mut Self {
+        self.emit(Insn::Lui { rd, imm20 })
+    }
+
+    /// Emits `auipc rd, imm20`.
+    pub fn auipc(&mut self, rd: Reg, imm20: u32) -> &mut Self {
+        self.emit(Insn::Auipc { rd, imm20 })
+    }
+
+    /// Emits `jal rd, label`.
+    pub fn jal(&mut self, rd: Reg, label: &str) -> &mut Self {
+        self.fixup(label, FixupKind::Jal);
+        self.emit(Insn::Jal { rd, offset: 0 })
+    }
+
+    /// Emits `jalr rd, offset(rs1)`.
+    pub fn jalr(&mut self, rd: Reg, rs1: Reg, offset: i32) -> &mut Self {
+        self.emit(Insn::Jalr { rd, rs1, offset })
+    }
+
+    /// Emits a CSR register op.
+    pub fn csr(&mut self, op: CsrOp, rd: Reg, csr: u16, rs1: Reg) -> &mut Self {
+        self.emit(Insn::Csr { op, rd, csr, src: CsrSrc::Reg(rs1) })
+    }
+
+    /// Emits a CSR immediate op.
+    pub fn csri(&mut self, op: CsrOp, rd: Reg, csr: u16, imm: u8) -> &mut Self {
+        self.emit(Insn::Csr { op, rd, csr, src: CsrSrc::Imm(imm) })
+    }
+
+    /// Emits `ecall`.
+    pub fn ecall(&mut self) -> &mut Self {
+        self.emit(Insn::Ecall)
+    }
+
+    /// Emits `ebreak`.
+    pub fn ebreak(&mut self) -> &mut Self {
+        self.emit(Insn::Ebreak)
+    }
+
+    /// Emits `mret`.
+    pub fn mret(&mut self) -> &mut Self {
+        self.emit(Insn::Mret)
+    }
+
+    /// Emits `wfi`.
+    pub fn wfi(&mut self) -> &mut Self {
+        self.emit(Insn::Wfi)
+    }
+
+    /// Emits `fence`.
+    pub fn fence(&mut self) -> &mut Self {
+        self.emit(Insn::Fence)
+    }
+
+    // ----- pseudo-instructions ------------------------------------------
+
+    /// `nop` (= `addi zero, zero, 0`).
+    pub fn nop(&mut self) -> &mut Self {
+        self.addi(Reg::Zero, Reg::Zero, 0)
+    }
+
+    /// `mv rd, rs` (= `addi rd, rs, 0`).
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.addi(rd, rs, 0)
+    }
+
+    /// `not rd, rs` (= `xori rd, rs, -1`).
+    pub fn not(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.xori(rd, rs, -1)
+    }
+
+    /// `neg rd, rs` (= `sub rd, zero, rs`).
+    pub fn neg(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.sub(rd, Reg::Zero, rs)
+    }
+
+    /// `seqz rd, rs` (= `sltiu rd, rs, 1`).
+    pub fn seqz(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.sltiu(rd, rs, 1)
+    }
+
+    /// `snez rd, rs` (= `sltu rd, zero, rs`).
+    pub fn snez(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.sltu(rd, Reg::Zero, rs)
+    }
+
+    /// Loads a 32-bit constant; always expands to `lui`+`addi` (2 words).
+    pub fn li(&mut self, rd: Reg, value: i32) -> &mut Self {
+        let (hi, lo) = split_hi_lo(value as u32);
+        self.lui(rd, hi);
+        self.addi(rd, rd, lo)
+    }
+
+    /// Loads the absolute address of `label`; always `lui`+`addi` (2 words).
+    pub fn la(&mut self, rd: Reg, label: &str) -> &mut Self {
+        self.fixup(label, FixupKind::AbsHiLo);
+        self.lui(rd, 0);
+        self.addi(rd, rd, 0)
+    }
+
+    /// Unconditional jump to `label` (= `jal zero, label`).
+    pub fn j(&mut self, label: &str) -> &mut Self {
+        self.jal(Reg::Zero, label)
+    }
+
+    /// Call `label` (= `jal ra, label`).
+    pub fn call(&mut self, label: &str) -> &mut Self {
+        self.jal(Reg::Ra, label)
+    }
+
+    /// Return (= `jalr zero, 0(ra)`).
+    pub fn ret(&mut self) -> &mut Self {
+        self.jalr(Reg::Zero, Reg::Ra, 0)
+    }
+
+    /// Indirect jump through `rs` (= `jalr zero, 0(rs)`).
+    pub fn jr(&mut self, rs: Reg) -> &mut Self {
+        self.jalr(Reg::Zero, rs, 0)
+    }
+
+    /// `beqz rs, label`.
+    pub fn beqz(&mut self, rs: Reg, label: &str) -> &mut Self {
+        self.beq(rs, Reg::Zero, label)
+    }
+
+    /// `bnez rs, label`.
+    pub fn bnez(&mut self, rs: Reg, label: &str) -> &mut Self {
+        self.bne(rs, Reg::Zero, label)
+    }
+
+    /// `bgt rs1, rs2, label` (= `blt rs2, rs1, label`).
+    pub fn bgt(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.blt(rs2, rs1, label)
+    }
+
+    /// `ble rs1, rs2, label` (= `bge rs2, rs1, label`).
+    pub fn ble(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.bge(rs2, rs1, label)
+    }
+
+    /// `bgtu rs1, rs2, label` (= `bltu rs2, rs1, label`).
+    pub fn bgtu(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.bltu(rs2, rs1, label)
+    }
+
+    /// `bleu rs1, rs2, label` (= `bgeu rs2, rs1, label`).
+    pub fn bleu(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.bgeu(rs2, rs1, label)
+    }
+
+    /// `csrr rd, csr` (= `csrrs rd, csr, zero`).
+    pub fn csrr(&mut self, rd: Reg, csr: u16) -> &mut Self {
+        self.csr(CsrOp::Rs, rd, csr, Reg::Zero)
+    }
+
+    /// `csrw csr, rs` (= `csrrw zero, csr, rs`).
+    pub fn csrw(&mut self, csr: u16, rs: Reg) -> &mut Self {
+        self.csr(CsrOp::Rw, Reg::Zero, csr, rs)
+    }
+
+    /// `csrs csr, rs` (= `csrrs zero, csr, rs`).
+    pub fn csrs(&mut self, csr: u16, rs: Reg) -> &mut Self {
+        self.csr(CsrOp::Rs, Reg::Zero, csr, rs)
+    }
+
+    /// `csrc csr, rs` (= `csrrc zero, csr, rs`).
+    pub fn csrc(&mut self, csr: u16, rs: Reg) -> &mut Self {
+        self.csr(CsrOp::Rc, Reg::Zero, csr, rs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut a = Asm::new(0x100);
+        a.label("start");
+        a.addi(Reg::T0, Reg::Zero, 3); // 0x100
+        a.label("loop");
+        a.addi(Reg::T0, Reg::T0, -1); // 0x104
+        a.bnez(Reg::T0, "loop"); // 0x108 -> -4
+        a.beqz(Reg::T0, "end"); // 0x10c -> +8
+        a.j("start"); // 0x110 -> -16
+        a.label("end");
+        a.ebreak(); // 0x114
+        let p = a.assemble().unwrap();
+        let words: Vec<u32> = p
+            .image()
+            .chunks(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        assert_eq!(
+            Insn::decode(words[2]).unwrap(),
+            Insn::Branch { cond: BranchCond::Ne, rs1: Reg::T0, rs2: Reg::Zero, offset: -4 }
+        );
+        assert_eq!(
+            Insn::decode(words[3]).unwrap(),
+            Insn::Branch { cond: BranchCond::Eq, rs1: Reg::T0, rs2: Reg::Zero, offset: 8 }
+        );
+        assert_eq!(Insn::decode(words[4]).unwrap(), Insn::Jal { rd: Reg::Zero, offset: -16 });
+    }
+
+    #[test]
+    fn li_handles_sign_boundary() {
+        for value in [0i32, 1, -1, 0x7FF, 0x800, 0x801, -2048, 0x1234_5678, i32::MIN, i32::MAX] {
+            let (hi, lo) = split_hi_lo(value as u32);
+            let reconstructed = ((hi << 12) as i32).wrapping_add(lo);
+            assert_eq!(reconstructed, value, "value {value:#x}");
+        }
+    }
+
+    #[test]
+    fn la_patches_absolute_address() {
+        let mut a = Asm::new(0x2000);
+        a.la(Reg::A0, "data");
+        a.ebreak();
+        a.align(4);
+        a.label("data");
+        a.word(0xDEAD_BEEF);
+        let p = a.assemble().unwrap();
+        assert_eq!(p.symbol("data"), Some(0x200C));
+        let words: Vec<u32> = p
+            .image()
+            .chunks(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let Insn::Lui { imm20, .. } = Insn::decode(words[0]).unwrap() else { panic!() };
+        let Insn::AluImm { imm, .. } = Insn::decode(words[1]).unwrap() else { panic!() };
+        assert_eq!(((imm20 << 12) as i32).wrapping_add(imm) as u32, 0x200C);
+    }
+
+    #[test]
+    fn word_of_emits_label_address() {
+        let mut a = Asm::new(0);
+        a.j("code");
+        a.label("table");
+        a.word_of("code");
+        a.label("code");
+        a.ebreak();
+        let p = a.assemble().unwrap();
+        let w = u32::from_le_bytes(p.image()[4..8].try_into().unwrap());
+        assert_eq!(w, p.symbol("code").unwrap());
+    }
+
+    #[test]
+    fn unknown_label_reported() {
+        let mut a = Asm::new(0);
+        a.j("nowhere");
+        assert_eq!(a.assemble().unwrap_err(), AsmError::UnknownLabel("nowhere".into()));
+    }
+
+    #[test]
+    fn duplicate_label_reported() {
+        let mut a = Asm::new(0);
+        a.label("x");
+        a.nop();
+        a.label("x");
+        assert_eq!(a.assemble().unwrap_err(), AsmError::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn out_of_range_branch_reported() {
+        let mut a = Asm::new(0);
+        a.beqz(Reg::Zero, "far");
+        for _ in 0..2000 {
+            a.nop();
+        }
+        a.label("far");
+        a.ebreak();
+        match a.assemble().unwrap_err() {
+            AsmError::OutOfRange { label, kind, .. } => {
+                assert_eq!(label, "far");
+                assert_eq!(kind, "branch");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_directives_lay_out_bytes() {
+        let mut a = Asm::new(0x10);
+        a.byte(1).half(0x0302).word(0x0706_0504);
+        a.ascii("ab").asciiz("c");
+        a.zero(2);
+        a.align(4);
+        assert_eq!(a.here() % 4, 0);
+        let p = a.assemble().unwrap();
+        assert_eq!(
+            p.image()[..13],
+            [1, 2, 3, 4, 5, 6, 7, b'a', b'b', b'c', 0, 0, 0]
+        );
+    }
+
+    #[test]
+    fn entry_defaults_to_base() {
+        let mut a = Asm::new(0x400);
+        a.nop();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.entry(), 0x400);
+
+        let mut a = Asm::new(0x400);
+        a.word(0); // vector table
+        a.entry();
+        a.nop();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.entry(), 0x404);
+    }
+
+    #[test]
+    fn disassemble_round_trip_text() {
+        let mut a = Asm::new(0);
+        a.label("main");
+        a.li(Reg::A0, 42);
+        a.ret();
+        let p = a.assemble().unwrap();
+        let text = p.disassemble();
+        assert!(text.contains("main:"));
+        assert!(text.contains("lui"));
+        assert!(text.contains("jalr"));
+        assert_eq!(p.insn_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_code_panics() {
+        let mut a = Asm::new(0);
+        a.byte(1);
+        a.nop();
+    }
+}

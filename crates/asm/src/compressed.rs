@@ -1,0 +1,410 @@
+//! RV32C — the compressed instruction extension.
+//!
+//! The original RISC-V VP the paper instruments is RV32IMC. Our own
+//! assembler emits only 32-bit encodings, but the ISS accepts compressed
+//! code too (e.g. images produced by an external toolchain): every 16-bit
+//! instruction *decompresses* to its 32-bit [`Insn`] equivalent here, so
+//! the execution core and the taint semantics stay single-source.
+
+use crate::insn::{AluOp, BranchCond, DecodeError, Insn, LoadWidth, StoreWidth};
+use crate::reg::Reg;
+
+/// `true` iff the 16-bit parcel starts a *compressed* instruction
+/// (lowest two bits ≠ 0b11).
+pub const fn is_compressed(parcel: u16) -> bool {
+    parcel & 0b11 != 0b11
+}
+
+/// The three-bit register fields of compressed formats map to x8–x15.
+fn c_reg(field: u16) -> Reg {
+    Reg::from_num(8 + (field as u32 & 0x7)).expect("x8..x15")
+}
+
+fn full_reg(field: u16) -> Reg {
+    Reg::from_num(field as u32 & 0x1F).expect("5-bit register field")
+}
+
+fn bit(v: u16, i: u32) -> u32 {
+    ((v >> i) & 1) as u32
+}
+
+/// Decompresses one RV32C instruction to its 32-bit equivalent.
+///
+/// # Errors
+/// [`DecodeError::Illegal`] for reserved or non-RV32 encodings (including
+/// the all-zero parcel, which the spec defines as illegal).
+pub fn decompress(parcel: u16) -> Result<Insn, DecodeError> {
+    let ill = Err(DecodeError::Illegal(parcel as u32));
+    let op = parcel & 0b11;
+    let funct3 = (parcel >> 13) & 0b111;
+    match (op, funct3) {
+        // --- quadrant 0 --------------------------------------------------
+        (0b00, 0b000) => {
+            // C.ADDI4SPN: addi rd', sp, nzuimm
+            let imm = (bit(parcel, 5) << 3)
+                | (bit(parcel, 6) << 2)
+                | (((parcel >> 7) & 0xF) as u32) << 6
+                | (((parcel >> 11) & 0x3) as u32) << 4;
+            if imm == 0 {
+                return ill; // includes the canonical illegal all-zeros
+            }
+            Ok(Insn::AluImm {
+                op: AluOp::Add,
+                rd: c_reg(parcel >> 2),
+                rs1: Reg::Sp,
+                imm: imm as i32,
+            })
+        }
+        (0b00, 0b010) => {
+            // C.LW: lw rd', offset(rs1')
+            let imm = (bit(parcel, 6) << 2) | ((((parcel >> 10) & 0x7) as u32) << 3) | (bit(parcel, 5) << 6);
+            Ok(Insn::Load {
+                width: LoadWidth::W,
+                rd: c_reg(parcel >> 2),
+                rs1: c_reg(parcel >> 7),
+                offset: imm as i32,
+            })
+        }
+        (0b00, 0b110) => {
+            // C.SW: sw rs2', offset(rs1')
+            let imm = (bit(parcel, 6) << 2) | ((((parcel >> 10) & 0x7) as u32) << 3) | (bit(parcel, 5) << 6);
+            Ok(Insn::Store {
+                width: StoreWidth::W,
+                rs2: c_reg(parcel >> 2),
+                rs1: c_reg(parcel >> 7),
+                offset: imm as i32,
+            })
+        }
+        // --- quadrant 1 --------------------------------------------------
+        (0b01, 0b000) => {
+            // C.ADDI (C.NOP when rd = x0)
+            let rd = full_reg(parcel >> 7);
+            let imm = sext6(parcel);
+            Ok(Insn::AluImm { op: AluOp::Add, rd, rs1: rd, imm })
+        }
+        (0b01, 0b001) => {
+            // C.JAL (RV32 only)
+            Ok(Insn::Jal { rd: Reg::Ra, offset: cj_offset(parcel) })
+        }
+        (0b01, 0b010) => {
+            // C.LI: addi rd, x0, imm
+            Ok(Insn::AluImm {
+                op: AluOp::Add,
+                rd: full_reg(parcel >> 7),
+                rs1: Reg::Zero,
+                imm: sext6(parcel),
+            })
+        }
+        (0b01, 0b011) => {
+            let rd = full_reg(parcel >> 7);
+            if rd == Reg::Sp {
+                // C.ADDI16SP
+                let imm = (bit(parcel, 6) << 4)
+                    | (bit(parcel, 2) << 5)
+                    | (bit(parcel, 5) << 6)
+                    | (((parcel >> 3) & 0x3) as u32) << 7
+                    | (bit(parcel, 12) << 9);
+                let imm = ((imm as i32) << 22) >> 22; // sign-extend 10 bits
+                if imm == 0 {
+                    return ill;
+                }
+                Ok(Insn::AluImm { op: AluOp::Add, rd: Reg::Sp, rs1: Reg::Sp, imm })
+            } else {
+                // C.LUI
+                let imm = (((parcel >> 2) & 0x1F) as u32) | (bit(parcel, 12) << 5);
+                let imm = ((imm as i32) << 26) >> 26; // sign-extend 6 bits
+                if imm == 0 {
+                    return ill;
+                }
+                Ok(Insn::Lui { rd, imm20: (imm as u32) & 0xF_FFFF })
+            }
+        }
+        (0b01, 0b100) => {
+            let sub = (parcel >> 10) & 0b11;
+            let rd = c_reg(parcel >> 7);
+            match sub {
+                0b00 => {
+                    // C.SRLI
+                    let sh = shamt6(parcel)?;
+                    Ok(Insn::AluImm { op: AluOp::Srl, rd, rs1: rd, imm: sh })
+                }
+                0b01 => {
+                    // C.SRAI
+                    let sh = shamt6(parcel)?;
+                    Ok(Insn::AluImm { op: AluOp::Sra, rd, rs1: rd, imm: sh })
+                }
+                0b10 => {
+                    // C.ANDI
+                    Ok(Insn::AluImm { op: AluOp::And, rd, rs1: rd, imm: sext6(parcel) })
+                }
+                _ => {
+                    if bit(parcel, 12) != 0 {
+                        return ill; // RV64 C.SUBW/C.ADDW
+                    }
+                    let rs2 = c_reg(parcel >> 2);
+                    let op = match (parcel >> 5) & 0b11 {
+                        0b00 => AluOp::Sub,
+                        0b01 => AluOp::Xor,
+                        0b10 => AluOp::Or,
+                        _ => AluOp::And,
+                    };
+                    Ok(Insn::Alu { op, rd, rs1: rd, rs2 })
+                }
+            }
+        }
+        (0b01, 0b101) => Ok(Insn::Jal { rd: Reg::Zero, offset: cj_offset(parcel) }),
+        (0b01, 0b110) | (0b01, 0b111) => {
+            // C.BEQZ / C.BNEZ
+            let imm = (bit(parcel, 3) << 1)
+                | (bit(parcel, 4) << 2)
+                | (bit(parcel, 10) << 3)
+                | (bit(parcel, 11) << 4)
+                | (bit(parcel, 2) << 5)
+                | (bit(parcel, 5) << 6)
+                | (bit(parcel, 6) << 7)
+                | (bit(parcel, 12) << 8);
+            let offset = ((imm as i32) << 23) >> 23;
+            let cond = if funct3 == 0b110 { BranchCond::Eq } else { BranchCond::Ne };
+            Ok(Insn::Branch { cond, rs1: c_reg(parcel >> 7), rs2: Reg::Zero, offset })
+        }
+        // --- quadrant 2 --------------------------------------------------
+        (0b10, 0b000) => {
+            // C.SLLI
+            let rd = full_reg(parcel >> 7);
+            let sh = shamt6(parcel)?;
+            Ok(Insn::AluImm { op: AluOp::Sll, rd, rs1: rd, imm: sh })
+        }
+        (0b10, 0b010) => {
+            // C.LWSP
+            let rd = full_reg(parcel >> 7);
+            if rd == Reg::Zero {
+                return ill;
+            }
+            let imm =
+                ((((parcel >> 4) & 0x7) as u32) << 2) | (bit(parcel, 12) << 5) | ((((parcel >> 2) & 0x3) as u32) << 6);
+            Ok(Insn::Load { width: LoadWidth::W, rd, rs1: Reg::Sp, offset: imm as i32 })
+        }
+        (0b10, 0b100) => {
+            let rs2 = full_reg(parcel >> 2);
+            let rd = full_reg(parcel >> 7);
+            match (bit(parcel, 12) != 0, rd, rs2) {
+                (false, Reg::Zero, _) => ill,
+                (false, rs1, Reg::Zero) => {
+                    Ok(Insn::Jalr { rd: Reg::Zero, rs1, offset: 0 }) // C.JR
+                }
+                (false, rd, rs2) => {
+                    Ok(Insn::Alu { op: AluOp::Add, rd, rs1: Reg::Zero, rs2 }) // C.MV
+                }
+                (true, Reg::Zero, Reg::Zero) => Ok(Insn::Ebreak),
+                (true, rs1, Reg::Zero) => {
+                    Ok(Insn::Jalr { rd: Reg::Ra, rs1, offset: 0 }) // C.JALR
+                }
+                (true, rd, rs2) => Ok(Insn::Alu { op: AluOp::Add, rd, rs1: rd, rs2 }), // C.ADD
+            }
+        }
+        (0b10, 0b110) => {
+            // C.SWSP
+            let imm = ((((parcel >> 9) & 0xF) as u32) << 2) | ((((parcel >> 7) & 0x3) as u32) << 6);
+            Ok(Insn::Store {
+                width: StoreWidth::W,
+                rs2: full_reg(parcel >> 2),
+                rs1: Reg::Sp,
+                offset: imm as i32,
+            })
+        }
+        _ => ill,
+    }
+}
+
+/// Sign-extended 6-bit immediate of CI-format instructions.
+fn sext6(parcel: u16) -> i32 {
+    let imm = (((parcel >> 2) & 0x1F) as i32) | ((bit(parcel, 12) as i32) << 5);
+    (imm << 26) >> 26
+}
+
+/// 6-bit shift amount; RV32 requires bit 5 (the `12` bit) clear.
+fn shamt6(parcel: u16) -> Result<i32, DecodeError> {
+    if bit(parcel, 12) != 0 {
+        return Err(DecodeError::Illegal(parcel as u32));
+    }
+    Ok(((parcel >> 2) & 0x1F) as i32)
+}
+
+/// The CJ-format jump offset.
+fn cj_offset(parcel: u16) -> i32 {
+    let imm = (bit(parcel, 3) << 1)
+        | (bit(parcel, 4) << 2)
+        | (bit(parcel, 5) << 3)
+        | (bit(parcel, 11) << 4)
+        | (bit(parcel, 2) << 5)
+        | (bit(parcel, 7) << 6)
+        | (bit(parcel, 6) << 7)
+        | (bit(parcel, 9) << 8)
+        | (bit(parcel, 10) << 9)
+        | (bit(parcel, 8) << 10)
+        | (bit(parcel, 12) << 11);
+    ((imm as i32) << 20) >> 20
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Golden encodings cross-checked against the RISC-V spec / GNU as.
+    #[test]
+    fn quadrant0() {
+        // c.addi4spn a0, sp, 16  => 0x0808
+        assert_eq!(
+            decompress(0x0808).unwrap(),
+            Insn::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Sp, imm: 16 }
+        );
+        // c.lw a2, 8(a0) => 0x4510
+        assert_eq!(
+            decompress(0x4510).unwrap(),
+            Insn::Load { width: LoadWidth::W, rd: Reg::A2, rs1: Reg::A0, offset: 8 }
+        );
+        // c.sw a2, 8(a0) => 0xC510
+        assert_eq!(
+            decompress(0xC510).unwrap(),
+            Insn::Store { width: StoreWidth::W, rs2: Reg::A2, rs1: Reg::A0, offset: 8 }
+        );
+        // All zeros is the canonical illegal instruction.
+        assert!(decompress(0x0000).is_err());
+    }
+
+    #[test]
+    fn quadrant1_immediates() {
+        // c.addi a0, -1 => 0x157D
+        assert_eq!(
+            decompress(0x157D).unwrap(),
+            Insn::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: -1 }
+        );
+        // c.nop => 0x0001
+        assert_eq!(
+            decompress(0x0001).unwrap(),
+            Insn::AluImm { op: AluOp::Add, rd: Reg::Zero, rs1: Reg::Zero, imm: 0 }
+        );
+        // c.li a0, 5 => 0x4515
+        assert_eq!(
+            decompress(0x4515).unwrap(),
+            Insn::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Zero, imm: 5 }
+        );
+        // c.lui a1, 1 => 0x6585
+        assert_eq!(decompress(0x6585).unwrap(), Insn::Lui { rd: Reg::A1, imm20: 1 });
+        // c.lui a1, -1 (imm6 = 0b111111) => 0x75FD
+        match decompress(0x75FD).unwrap() {
+            Insn::Lui { rd: Reg::A1, imm20 } => assert_eq!(imm20, 0xF_FFFF),
+            other => panic!("{other}"),
+        }
+        // c.addi16sp 32 => 0x6105
+        assert_eq!(
+            decompress(0x6105).unwrap(),
+            Insn::AluImm { op: AluOp::Add, rd: Reg::Sp, rs1: Reg::Sp, imm: 32 }
+        );
+        // c.addi16sp -64 => 0x7139
+        assert_eq!(
+            decompress(0x7139).unwrap(),
+            Insn::AluImm { op: AluOp::Add, rd: Reg::Sp, rs1: Reg::Sp, imm: -64 }
+        );
+    }
+
+    #[test]
+    fn quadrant1_alu_and_branches() {
+        // c.srli a0, 3 => 0x810D
+        assert_eq!(
+            decompress(0x810D).unwrap(),
+            Insn::AluImm { op: AluOp::Srl, rd: Reg::A0, rs1: Reg::A0, imm: 3 }
+        );
+        // c.srai a0, 3 => 0x850D
+        assert_eq!(
+            decompress(0x850D).unwrap(),
+            Insn::AluImm { op: AluOp::Sra, rd: Reg::A0, rs1: Reg::A0, imm: 3 }
+        );
+        // c.andi a0, 15 => 0x893D
+        assert_eq!(
+            decompress(0x893D).unwrap(),
+            Insn::AluImm { op: AluOp::And, rd: Reg::A0, rs1: Reg::A0, imm: 15 }
+        );
+        // c.sub a0, a1 => 0x8D0D
+        assert_eq!(
+            decompress(0x8D0D).unwrap(),
+            Insn::Alu { op: AluOp::Sub, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 }
+        );
+        // c.xor a0, a1 => 0x8D2D
+        assert_eq!(
+            decompress(0x8D2D).unwrap(),
+            Insn::Alu { op: AluOp::Xor, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 }
+        );
+        // c.beqz a0, +8 => 0xC501
+        assert_eq!(
+            decompress(0xC501).unwrap(),
+            Insn::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::Zero, offset: 8 }
+        );
+        // c.bnez a0, -4 => 0xFD75
+        assert_eq!(
+            decompress(0xFD75).unwrap(),
+            Insn::Branch { cond: BranchCond::Ne, rs1: Reg::A0, rs2: Reg::Zero, offset: -4 }
+        );
+        // c.j +16 => 0xA801
+        assert_eq!(decompress(0xA801).unwrap(), Insn::Jal { rd: Reg::Zero, offset: 16 });
+        // c.jal -2 => 0x3FFD
+        assert_eq!(decompress(0x3FFD).unwrap(), Insn::Jal { rd: Reg::Ra, offset: -2 });
+    }
+
+    #[test]
+    fn quadrant2() {
+        // c.slli a0, 4 => 0x0512
+        assert_eq!(
+            decompress(0x0512).unwrap(),
+            Insn::AluImm { op: AluOp::Sll, rd: Reg::A0, rs1: Reg::A0, imm: 4 }
+        );
+        // c.lwsp a0, 12(sp) => 0x4532
+        assert_eq!(
+            decompress(0x4532).unwrap(),
+            Insn::Load { width: LoadWidth::W, rd: Reg::A0, rs1: Reg::Sp, offset: 12 }
+        );
+        // c.swsp a0, 12(sp) => 0xC62A
+        assert_eq!(
+            decompress(0xC62A).unwrap(),
+            Insn::Store { width: StoreWidth::W, rs2: Reg::A0, rs1: Reg::Sp, offset: 12 }
+        );
+        // c.jr a0 => 0x8502
+        assert_eq!(
+            decompress(0x8502).unwrap(),
+            Insn::Jalr { rd: Reg::Zero, rs1: Reg::A0, offset: 0 }
+        );
+        // c.jalr a0 => 0x9502
+        assert_eq!(
+            decompress(0x9502).unwrap(),
+            Insn::Jalr { rd: Reg::Ra, rs1: Reg::A0, offset: 0 }
+        );
+        // c.mv a0, a1 => 0x852E
+        assert_eq!(
+            decompress(0x852E).unwrap(),
+            Insn::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Zero, rs2: Reg::A1 }
+        );
+        // c.add a0, a1 => 0x952E
+        assert_eq!(
+            decompress(0x952E).unwrap(),
+            Insn::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 }
+        );
+        // c.ebreak => 0x9002
+        assert_eq!(decompress(0x9002).unwrap(), Insn::Ebreak);
+    }
+
+    #[test]
+    fn compressed_predicate() {
+        assert!(is_compressed(0x0001));
+        assert!(is_compressed(0x8502));
+        assert!(!is_compressed(0x0003)); // 32-bit parcels end in 0b11
+        assert!(!is_compressed(0xFFFF & 0x0073 | 3));
+    }
+
+    #[test]
+    fn rv64_only_forms_rejected() {
+        // c.subw (bit 12 set in the 100-11 group) is RV64.
+        assert!(decompress(0x9D0D).is_err());
+        // shamt with bit 5 set is reserved on RV32: c.slli a0, 32.
+        assert!(decompress(0x1502).is_err());
+    }
+}

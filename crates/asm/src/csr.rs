@@ -1,0 +1,70 @@
+//! Machine-mode CSR numbers used by the VP (RISC-V privileged spec).
+
+/// Machine status register.
+pub const MSTATUS: u16 = 0x300;
+/// Machine ISA register.
+pub const MISA: u16 = 0x301;
+/// Machine interrupt-enable register.
+pub const MIE: u16 = 0x304;
+/// Machine trap-vector base address.
+pub const MTVEC: u16 = 0x305;
+/// Machine scratch register.
+pub const MSCRATCH: u16 = 0x340;
+/// Machine exception program counter.
+pub const MEPC: u16 = 0x341;
+/// Machine trap cause.
+pub const MCAUSE: u16 = 0x342;
+/// Machine bad address or instruction.
+pub const MTVAL: u16 = 0x343;
+/// Machine interrupt-pending register.
+pub const MIP: u16 = 0x344;
+/// Cycle counter, low 32 bits (read-only shadow).
+pub const CYCLE: u16 = 0xC00;
+/// Instructions-retired counter, low 32 bits.
+pub const INSTRET: u16 = 0xC02;
+/// Cycle counter, high 32 bits.
+pub const CYCLEH: u16 = 0xC80;
+/// Instructions-retired counter, high 32 bits.
+pub const INSTRETH: u16 = 0xC82;
+/// Hart ID (read-only).
+pub const MHARTID: u16 = 0xF14;
+
+/// `mstatus.MIE` bit: globally enable machine interrupts.
+pub const MSTATUS_MIE: u32 = 1 << 3;
+/// `mstatus.MPIE` bit: previous MIE, restored by `mret`.
+pub const MSTATUS_MPIE: u32 = 1 << 7;
+/// `mie.MTIE` / `mip.MTIP`: machine timer interrupt.
+pub const MIE_MTIE: u32 = 1 << 7;
+/// `mie.MSIE` / `mip.MSIP`: machine software interrupt.
+pub const MIE_MSIE: u32 = 1 << 3;
+/// `mie.MEIE` / `mip.MEIP`: machine external interrupt.
+pub const MIE_MEIE: u32 = 1 << 11;
+
+/// Interrupt-cause values (with the high bit set in `mcause`).
+pub mod cause {
+    /// Machine software interrupt.
+    pub const M_SOFT_IRQ: u32 = 3;
+    /// Machine timer interrupt.
+    pub const M_TIMER_IRQ: u32 = 7;
+    /// Machine external interrupt.
+    pub const M_EXT_IRQ: u32 = 11;
+    /// Instruction address misaligned exception.
+    pub const MISALIGNED_FETCH: u32 = 0;
+    /// Illegal instruction exception.
+    pub const ILLEGAL_INSN: u32 = 2;
+    /// Breakpoint exception.
+    pub const BREAKPOINT: u32 = 3;
+    /// Load address misaligned.
+    pub const MISALIGNED_LOAD: u32 = 4;
+    /// Load access fault.
+    pub const LOAD_FAULT: u32 = 5;
+    /// Store address misaligned.
+    pub const MISALIGNED_STORE: u32 = 6;
+    /// Store access fault.
+    pub const STORE_FAULT: u32 = 7;
+    /// Environment call from M-mode.
+    pub const ECALL_M: u32 = 11;
+    /// DIFT security-policy violation (custom cause, as the paper's engine
+    /// "triggers a runtime error upon violation").
+    pub const DIFT_VIOLATION: u32 = 24;
+}

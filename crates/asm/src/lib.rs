@@ -1,0 +1,43 @@
+//! # vpdift-asm — RV32IM assembler, disassembler and ISA definitions
+//!
+//! The single source of truth for the RV32IM + Zicsr instruction set used
+//! across the workspace: the [`Insn`] type with exact binary
+//! encode/decode (consumed by the `vpdift-rv32` ISS), plus the two-pass
+//! programmatic assembler [`Asm`] in which all guest workloads and attack
+//! programs are written (no offline RISC-V toolchain is available — see
+//! DESIGN.md).
+//!
+//! ```
+//! use vpdift_asm::{Asm, Reg};
+//!
+//! // Sum the numbers 1..=10, leave the result in a0, stop at ebreak.
+//! let mut a = Asm::new(0);
+//! a.li(Reg::T0, 10);
+//! a.li(Reg::A0, 0);
+//! a.label("loop");
+//! a.add(Reg::A0, Reg::A0, Reg::T0);
+//! a.addi(Reg::T0, Reg::T0, -1);
+//! a.bnez(Reg::T0, "loop");
+//! a.ebreak();
+//! let program = a.assemble()?;
+//! assert_eq!(program.insn_count(), 8);
+//! # Ok::<(), vpdift_asm::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod builder;
+pub mod compressed;
+pub mod csr;
+mod insn;
+mod parse;
+mod reg;
+
+pub use builder::{split_hi_lo, Asm, AsmError, Program};
+pub use compressed::{decompress, is_compressed};
+pub use parse::{parse_asm, ParseError};
+pub use insn::{
+    AluOp, BranchCond, CsrOp, CsrSrc, DecodeError, Insn, LoadWidth, MulOp, StoreWidth,
+};
+pub use reg::Reg;

@@ -1,0 +1,738 @@
+//! A textual RISC-V assembler frontend.
+//!
+//! Parses GNU-as-flavoured RV32IM assembly source into a [`Program`] via
+//! the [`Asm`] builder, so guest code can live in `.s` files (or strings)
+//! instead of Rust:
+//!
+//! ```
+//! use vpdift_asm::parse_asm;
+//! let program = parse_asm(r#"
+//!     ; sum 1..=10
+//!         li   t0, 10
+//!         li   a0, 0
+//!     loop:
+//!         add  a0, a0, t0
+//!         addi t0, t0, -1
+//!         bnez t0, loop
+//!         ebreak
+//! "#, 0)?;
+//! assert!(program.insn_count() > 0);
+//! # Ok::<(), vpdift_asm::ParseError>(())
+//! ```
+//!
+//! Supported: all RV32IM + Zicsr instructions and the pseudo-instructions
+//! of [`Asm`]; labels; `.word`/`.half`/`.byte`/`.ascii`/`.asciiz`/
+//! `.zero`/`.align`/`.entry` directives; decimal, hex (`0x`), binary
+//! (`0b`), negative and character (`'c'`) immediates; `#`, `;` and `//`
+//! comments; named CSRs (`mstatus`, `mtvec`, …).
+
+use core::fmt;
+
+use crate::builder::{Asm, AsmError, Program};
+use crate::csr;
+use crate::insn::CsrOp;
+use crate::reg::Reg;
+
+/// Errors from [`parse_asm`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A syntax problem at a source line (1-based).
+    Syntax {
+        /// Line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Label resolution failed during final assembly.
+    Assemble(AsmError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::Assemble(e) => write!(f, "assembly failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<AsmError> for ParseError {
+    fn from(e: AsmError) -> Self {
+        ParseError::Assemble(e)
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError::Syntax { line, message: message.into() }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    let t = tok.trim();
+    if let Some(num) = t.strip_prefix('x') {
+        if let Ok(n) = num.parse::<u32>() {
+            return Reg::from_num(n).ok_or_else(|| err(line, format!("register {t} out of range")));
+        }
+    }
+    let by_name = match t {
+        "zero" => Some(Reg::Zero),
+        "ra" => Some(Reg::Ra),
+        "sp" => Some(Reg::Sp),
+        "gp" => Some(Reg::Gp),
+        "tp" => Some(Reg::Tp),
+        "fp" => Some(Reg::FP),
+        _ => Reg::ALL.iter().copied().find(|r| r.to_string() == t),
+    };
+    by_name.ok_or_else(|| err(line, format!("unknown register `{t}`")))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseError> {
+    let t = tok.trim();
+    // Character literal.
+    if let Some(rest) = t.strip_prefix('\'') {
+        let inner = rest.strip_suffix('\'').ok_or_else(|| err(line, "unterminated char literal"))?;
+        let c = match inner {
+            "\\n" => b'\n',
+            "\\t" => b'\t',
+            "\\0" => 0,
+            "\\\\" => b'\\',
+            "\\'" => b'\'',
+            s if s.len() == 1 => s.as_bytes()[0],
+            _ => return Err(err(line, format!("bad char literal `{t}`"))),
+        };
+        return Ok(c as i64);
+    }
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let value = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(bin) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        i64::from_str_radix(bin, 2)
+    } else {
+        t.parse::<i64>()
+    }
+    .map_err(|_| err(line, format!("bad immediate `{tok}`")))?;
+    Ok(if neg { -value } else { value })
+}
+
+fn parse_csr(tok: &str, line: usize) -> Result<u16, ParseError> {
+    let named = match tok.trim() {
+        "mstatus" => Some(csr::MSTATUS),
+        "misa" => Some(csr::MISA),
+        "mie" => Some(csr::MIE),
+        "mtvec" => Some(csr::MTVEC),
+        "mscratch" => Some(csr::MSCRATCH),
+        "mepc" => Some(csr::MEPC),
+        "mcause" => Some(csr::MCAUSE),
+        "mtval" => Some(csr::MTVAL),
+        "mip" => Some(csr::MIP),
+        "cycle" => Some(csr::CYCLE),
+        "instret" => Some(csr::INSTRET),
+        "cycleh" => Some(csr::CYCLEH),
+        "instreth" => Some(csr::INSTRETH),
+        "mhartid" => Some(csr::MHARTID),
+        _ => None,
+    };
+    if let Some(n) = named {
+        return Ok(n);
+    }
+    let v = parse_imm(tok, line)?;
+    if (0..4096).contains(&v) {
+        Ok(v as u16)
+    } else {
+        Err(err(line, format!("CSR number `{tok}` out of range")))
+    }
+}
+
+/// `offset(reg)` operands.
+fn parse_mem(tok: &str, line: usize) -> Result<(i32, Reg), ParseError> {
+    let t = tok.trim();
+    let open = t.find('(').ok_or_else(|| err(line, format!("expected `offset(reg)`, got `{t}`")))?;
+    let close =
+        t.rfind(')').ok_or_else(|| err(line, format!("missing `)` in `{t}`")))?;
+    let off_str = &t[..open];
+    let off = if off_str.trim().is_empty() { 0 } else { parse_imm(off_str, line)? };
+    let reg = parse_reg(&t[open + 1..close], line)?;
+    Ok((off as i32, reg))
+}
+
+fn imm32(v: i64, line: usize) -> Result<i32, ParseError> {
+    i32::try_from(v)
+        .or_else(|_| u32::try_from(v).map(|u| u as i32))
+        .map_err(|_| err(line, format!("immediate {v} exceeds 32 bits")))
+}
+
+fn imm12(v: i64, line: usize) -> Result<i32, ParseError> {
+    if (-2048..=2047).contains(&v) {
+        Ok(v as i32)
+    } else {
+        Err(err(line, format!("immediate {v} does not fit 12 bits")))
+    }
+}
+
+/// Strips a comment.
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    for marker in ["#", "//", ";"] {
+        if let Some(i) = line.find(marker) {
+            end = end.min(i);
+        }
+    }
+    &line[..end]
+}
+
+/// Splits an operand list on commas that are not inside parentheses or
+/// quotes.
+fn split_operands(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            '(' if !in_str => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' if !in_str => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            ',' if depth == 0 && !in_str => {
+                out.push(cur.trim().to_owned());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_owned());
+    }
+    out
+}
+
+fn unquote(tok: &str, line: usize) -> Result<String, ParseError> {
+    let t = tok.trim();
+    let inner = t
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| err(line, format!("expected quoted string, got `{t}`")))?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('0') => out.push('\0'),
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                other => return Err(err(line, format!("bad escape `\\{other:?}`"))),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+/// Parses assembly `source` into a program based at `base`.
+///
+/// # Errors
+/// [`ParseError`] with the offending line number, or a label-resolution
+/// failure from final assembly.
+pub fn parse_asm(source: &str, base: u32) -> Result<Program, ParseError> {
+    let mut a = Asm::new(base);
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut text = strip_comment(raw).trim();
+        // Leading labels (possibly several).
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty()
+                || !label.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+            {
+                return Err(err(line_no, format!("bad label `{label}`")));
+            }
+            a.label(label);
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = match text.find(char::is_whitespace) {
+            Some(i) => (&text[..i], text[i..].trim()),
+            None => (text, ""),
+        };
+        let ops = split_operands(rest);
+        emit_line(&mut a, mnemonic, &ops, line_no)?;
+    }
+    Ok(a.assemble()?)
+}
+
+fn expect_n(ops: &[String], n: usize, mnemonic: &str, line: usize) -> Result<(), ParseError> {
+    if ops.len() == n {
+        Ok(())
+    } else {
+        Err(err(line, format!("`{mnemonic}` expects {n} operand(s), got {}", ops.len())))
+    }
+}
+
+#[allow(clippy::too_many_lines)] // one flat dispatch table is the clearest shape
+fn emit_line(a: &mut Asm, mnemonic: &str, ops: &[String], line: usize) -> Result<(), ParseError> {
+    let m = mnemonic.to_ascii_lowercase();
+    let reg = |i: usize| parse_reg(&ops[i], line);
+    let immv = |i: usize| parse_imm(&ops[i], line);
+    let lab = |i: usize| -> &str { &ops[i] };
+
+    macro_rules! rrr {
+        ($f:ident) => {{
+            expect_n(ops, 3, &m, line)?;
+            a.$f(reg(0)?, reg(1)?, reg(2)?);
+        }};
+    }
+    macro_rules! rri {
+        ($f:ident) => {{
+            expect_n(ops, 3, &m, line)?;
+            a.$f(reg(0)?, reg(1)?, imm12(immv(2)?, line)?);
+        }};
+    }
+    macro_rules! shift {
+        ($f:ident) => {{
+            expect_n(ops, 3, &m, line)?;
+            let sh = immv(2)?;
+            if !(0..32).contains(&sh) {
+                return Err(err(line, format!("shift amount {sh} out of range")));
+            }
+            a.$f(reg(0)?, reg(1)?, sh as i32);
+        }};
+    }
+    macro_rules! mem {
+        ($f:ident) => {{
+            expect_n(ops, 2, &m, line)?;
+            let (off, base) = parse_mem(&ops[1], line)?;
+            a.$f(reg(0)?, off, base);
+        }};
+    }
+    macro_rules! branch {
+        ($f:ident) => {{
+            expect_n(ops, 3, &m, line)?;
+            a.$f(reg(0)?, reg(1)?, lab(2));
+        }};
+    }
+    macro_rules! branch_z {
+        ($f:ident) => {{
+            expect_n(ops, 2, &m, line)?;
+            a.$f(reg(0)?, lab(1));
+        }};
+    }
+
+    match m.as_str() {
+        // R-type
+        "add" => rrr!(add),
+        "sub" => rrr!(sub),
+        "sll" => rrr!(sll),
+        "slt" => rrr!(slt),
+        "sltu" => rrr!(sltu),
+        "xor" => rrr!(xor),
+        "srl" => rrr!(srl),
+        "sra" => rrr!(sra),
+        "or" => rrr!(or),
+        "and" => rrr!(and),
+        "mul" => rrr!(mul),
+        "mulh" => rrr!(mulh),
+        "mulhsu" => rrr!(mulhsu),
+        "mulhu" => rrr!(mulhu),
+        "div" => rrr!(div),
+        "divu" => rrr!(divu),
+        "rem" => rrr!(rem),
+        "remu" => rrr!(remu),
+        // I-type
+        "addi" => rri!(addi),
+        "slti" => rri!(slti),
+        "sltiu" => rri!(sltiu),
+        "xori" => rri!(xori),
+        "ori" => rri!(ori),
+        "andi" => rri!(andi),
+        "slli" => shift!(slli),
+        "srli" => shift!(srli),
+        "srai" => shift!(srai),
+        // loads/stores
+        "lb" => mem!(lb),
+        "lh" => mem!(lh),
+        "lw" => mem!(lw),
+        "lbu" => mem!(lbu),
+        "lhu" => mem!(lhu),
+        "sb" => mem!(sb),
+        "sh" => mem!(sh),
+        "sw" => mem!(sw),
+        // branches
+        "beq" => branch!(beq),
+        "bne" => branch!(bne),
+        "blt" => branch!(blt),
+        "bge" => branch!(bge),
+        "bltu" => branch!(bltu),
+        "bgeu" => branch!(bgeu),
+        "bgt" => branch!(bgt),
+        "ble" => branch!(ble),
+        "bgtu" => branch!(bgtu),
+        "bleu" => branch!(bleu),
+        "beqz" => branch_z!(beqz),
+        "bnez" => branch_z!(bnez),
+        // jumps
+        "jal" => match ops.len() {
+            1 => {
+                a.jal(Reg::Ra, lab(0));
+            }
+            2 => {
+                a.jal(reg(0)?, lab(1));
+            }
+            n => return Err(err(line, format!("`jal` expects 1 or 2 operands, got {n}"))),
+        },
+        "jalr" => match ops.len() {
+            1 => {
+                a.jalr(Reg::Ra, reg(0)?, 0);
+            }
+            2 => {
+                let (off, base) = parse_mem(&ops[1], line)?;
+                a.jalr(reg(0)?, base, off);
+            }
+            n => return Err(err(line, format!("`jalr` expects 1 or 2 operands, got {n}"))),
+        },
+        "j" => {
+            expect_n(ops, 1, &m, line)?;
+            a.j(lab(0));
+        }
+        "jr" => {
+            expect_n(ops, 1, &m, line)?;
+            a.jr(reg(0)?);
+        }
+        "call" => {
+            expect_n(ops, 1, &m, line)?;
+            a.call(lab(0));
+        }
+        "ret" => {
+            expect_n(ops, 0, &m, line)?;
+            a.ret();
+        }
+        // upper immediates & constants
+        "lui" => {
+            expect_n(ops, 2, &m, line)?;
+            let v = immv(1)?;
+            if !(0..(1 << 20)).contains(&v) {
+                return Err(err(line, format!("lui immediate {v} exceeds 20 bits")));
+            }
+            a.lui(reg(0)?, v as u32);
+        }
+        "auipc" => {
+            expect_n(ops, 2, &m, line)?;
+            let v = immv(1)?;
+            if !(0..(1 << 20)).contains(&v) {
+                return Err(err(line, format!("auipc immediate {v} exceeds 20 bits")));
+            }
+            a.auipc(reg(0)?, v as u32);
+        }
+        "li" => {
+            expect_n(ops, 2, &m, line)?;
+            a.li(reg(0)?, imm32(immv(1)?, line)?);
+        }
+        "la" => {
+            expect_n(ops, 2, &m, line)?;
+            a.la(reg(0)?, lab(1));
+        }
+        // other pseudo
+        "nop" => {
+            expect_n(ops, 0, &m, line)?;
+            a.nop();
+        }
+        "mv" => {
+            expect_n(ops, 2, &m, line)?;
+            a.mv(reg(0)?, reg(1)?);
+        }
+        "not" => {
+            expect_n(ops, 2, &m, line)?;
+            a.not(reg(0)?, reg(1)?);
+        }
+        "neg" => {
+            expect_n(ops, 2, &m, line)?;
+            a.neg(reg(0)?, reg(1)?);
+        }
+        "seqz" => {
+            expect_n(ops, 2, &m, line)?;
+            a.seqz(reg(0)?, reg(1)?);
+        }
+        "snez" => {
+            expect_n(ops, 2, &m, line)?;
+            a.snez(reg(0)?, reg(1)?);
+        }
+        // CSRs
+        "csrr" => {
+            expect_n(ops, 2, &m, line)?;
+            a.csrr(reg(0)?, parse_csr(&ops[1], line)?);
+        }
+        "csrw" => {
+            expect_n(ops, 2, &m, line)?;
+            a.csrw(parse_csr(&ops[0], line)?, reg(1)?);
+        }
+        "csrs" => {
+            expect_n(ops, 2, &m, line)?;
+            a.csrs(parse_csr(&ops[0], line)?, reg(1)?);
+        }
+        "csrc" => {
+            expect_n(ops, 2, &m, line)?;
+            a.csrc(parse_csr(&ops[0], line)?, reg(1)?);
+        }
+        "csrrw" | "csrrs" | "csrrc" => {
+            expect_n(ops, 3, &m, line)?;
+            let op = match m.as_str() {
+                "csrrw" => CsrOp::Rw,
+                "csrrs" => CsrOp::Rs,
+                _ => CsrOp::Rc,
+            };
+            a.csr(op, reg(0)?, parse_csr(&ops[1], line)?, reg(2)?);
+        }
+        "csrrwi" | "csrrsi" | "csrrci" => {
+            expect_n(ops, 3, &m, line)?;
+            let op = match m.as_str() {
+                "csrrwi" => CsrOp::Rw,
+                "csrrsi" => CsrOp::Rs,
+                _ => CsrOp::Rc,
+            };
+            let v = immv(2)?;
+            if !(0..32).contains(&v) {
+                return Err(err(line, format!("CSR immediate {v} out of range")));
+            }
+            a.csri(op, reg(0)?, parse_csr(&ops[1], line)?, v as u8);
+        }
+        // system
+        "ecall" => {
+            expect_n(ops, 0, &m, line)?;
+            a.ecall();
+        }
+        "ebreak" => {
+            expect_n(ops, 0, &m, line)?;
+            a.ebreak();
+        }
+        "mret" => {
+            expect_n(ops, 0, &m, line)?;
+            a.mret();
+        }
+        "wfi" => {
+            expect_n(ops, 0, &m, line)?;
+            a.wfi();
+        }
+        "fence" => {
+            a.fence();
+        }
+        // directives
+        ".word" => {
+            for op in ops {
+                a.word(imm32(parse_imm(op, line)?, line)? as u32);
+            }
+        }
+        ".half" => {
+            for op in ops {
+                let v = parse_imm(op, line)?;
+                if !(-(1 << 15)..(1 << 16)).contains(&v) {
+                    return Err(err(line, format!("half value {v} out of range")));
+                }
+                a.half(v as u16);
+            }
+        }
+        ".byte" => {
+            for op in ops {
+                let v = parse_imm(op, line)?;
+                if !(-128..256).contains(&v) {
+                    return Err(err(line, format!("byte value {v} out of range")));
+                }
+                a.byte(v as u8);
+            }
+        }
+        ".ascii" => {
+            expect_n(ops, 1, &m, line)?;
+            a.ascii(&unquote(&ops[0], line)?);
+        }
+        ".asciiz" | ".string" => {
+            expect_n(ops, 1, &m, line)?;
+            a.asciiz(&unquote(&ops[0], line)?);
+        }
+        ".zero" | ".space" => {
+            expect_n(ops, 1, &m, line)?;
+            let n = parse_imm(&ops[0], line)?;
+            if !(0..=(64 << 20)).contains(&n) {
+                return Err(err(line, format!("bad .zero size {n}")));
+            }
+            a.zero(n as usize);
+        }
+        ".align" => {
+            expect_n(ops, 1, &m, line)?;
+            let n = parse_imm(&ops[0], line)?;
+            if !(0..=16).contains(&n) {
+                return Err(err(line, format!("bad .align exponent {n}")));
+            }
+            // GNU as semantics: .align N aligns to 2^N bytes.
+            a.align(1usize << n);
+        }
+        ".entry" => {
+            expect_n(ops, 0, &m, line)?;
+            a.entry();
+        }
+        ".globl" | ".global" | ".text" | ".data" | ".section" => {
+            // Accepted and ignored: the flat image has one section.
+        }
+        other => return Err(err(line, format!("unknown mnemonic or directive `{other}`"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::Insn;
+
+    fn words(p: &Program) -> Vec<u32> {
+        p.image().chunks(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
+    }
+
+    #[test]
+    fn parses_a_loop() {
+        let p = parse_asm(
+            r#"
+                li t0, 3
+            loop:
+                addi t0, t0, -1
+                bnez t0, loop
+                ebreak
+            "#,
+            0,
+        )
+        .unwrap();
+        assert_eq!(p.insn_count(), 5); // li = 2
+        assert_eq!(p.symbol("loop"), Some(8));
+    }
+
+    #[test]
+    fn matches_builder_output() {
+        let text = parse_asm(
+            "start:\n  lw a0, 8(sp)\n  sw a0, -4(sp)\n  jalr ra, 0(t0)\n  ret\n",
+            0x100,
+        )
+        .unwrap();
+        let mut b = Asm::new(0x100);
+        b.label("start");
+        b.lw(Reg::A0, 8, Reg::Sp);
+        b.sw(Reg::A0, -4, Reg::Sp);
+        b.jalr(Reg::Ra, Reg::T0, 0);
+        b.ret();
+        assert_eq!(text.image(), b.assemble().unwrap().image());
+    }
+
+    #[test]
+    fn immediates_in_all_bases() {
+        let p = parse_asm("li a0, 0x10\nli a1, 0b101\nli a2, -7\nli a3, 'A'\nebreak\n", 0)
+            .unwrap();
+        let ws = words(&p);
+        // Each li is lui+addi; check the addi immediates.
+        let addi_imm = |i: usize| match Insn::decode(ws[i]).unwrap() {
+            Insn::AluImm { imm, .. } => imm,
+            other => panic!("expected addi, got {other}"),
+        };
+        assert_eq!(addi_imm(1), 0x10);
+        assert_eq!(addi_imm(3), 0b101);
+        assert_eq!(addi_imm(5), -7);
+        assert_eq!(addi_imm(7), 65);
+    }
+
+    #[test]
+    fn directives_and_strings() {
+        let p = parse_asm(
+            ".word 0xDEADBEEF, 1\n.half 0x1234\n.byte 1, 2\n.ascii \"ab\"\n.asciiz \"c\\n\"\n.zero 3\n.align 2\nmsg: .string \"hi\"\n",
+            0,
+        )
+        .unwrap();
+        assert_eq!(&p.image()[..4], &0xDEAD_BEEFu32.to_le_bytes());
+        assert_eq!(p.image()[8], 0x34);
+        assert_eq!(p.image()[12], b'a');
+        let msg = p.symbol("msg").unwrap() as usize;
+        assert_eq!(&p.image()[msg..msg + 3], b"hi\0");
+        assert_eq!(msg % 4, 0, ".align 2 => 4-byte alignment");
+    }
+
+    #[test]
+    fn csr_names_resolve() {
+        let p = parse_asm("csrw mtvec, t0\ncsrr a0, mepc\ncsrrsi a1, mip, 8\n", 0).unwrap();
+        let ws = words(&p);
+        match Insn::decode(ws[0]).unwrap() {
+            Insn::Csr { csr, .. } => assert_eq!(csr, csr::MTVEC),
+            other => panic!("{other}"),
+        }
+        match Insn::decode(ws[2]).unwrap() {
+            Insn::Csr { csr, .. } => assert_eq!(csr, csr::MIP),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let p = parse_asm(
+            "# full line\n  nop # trailing\n  nop // c++ style\n  nop ; asm style\n\n",
+            0,
+        )
+        .unwrap();
+        assert_eq!(p.insn_count(), 3);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_asm("nop\nbogus t0, t1\n", 0).unwrap_err();
+        assert_eq!(e, ParseError::Syntax { line: 2, message: "unknown mnemonic or directive `bogus`".into() });
+        let e = parse_asm("addi t0, t9, 1\n", 0).unwrap_err();
+        assert!(matches!(e, ParseError::Syntax { line: 1, .. }));
+        let e = parse_asm("addi t0, t1, 5000\n", 0).unwrap_err();
+        assert!(e.to_string().contains("12 bits"));
+        let e = parse_asm("j nowhere\n", 0).unwrap_err();
+        assert!(matches!(e, ParseError::Assemble(AsmError::UnknownLabel(_))));
+    }
+
+    #[test]
+    fn labels_inline_and_multiple() {
+        let p = parse_asm("a: b: nop\nc: .word 7\n", 0).unwrap();
+        assert_eq!(p.symbol("a"), Some(0));
+        assert_eq!(p.symbol("b"), Some(0));
+        assert_eq!(p.symbol("c"), Some(4));
+    }
+
+    #[test]
+    fn runs_on_the_iss() {
+        // End-to-end: text -> program -> execution.
+        let p = parse_asm(
+            r#"
+                .globl main
+            main:
+                li   a0, 6
+                li   a1, 7
+                mul  a0, a0, a1
+                ebreak
+            "#,
+            0,
+        )
+        .unwrap();
+        assert_eq!(p.insn_count(), 6);
+    }
+
+    #[test]
+    fn jal_forms() {
+        let p = parse_asm("jal f\njal t0, f\nf: ret\n", 0).unwrap();
+        let ws = words(&p);
+        assert_eq!(Insn::decode(ws[0]).unwrap(), Insn::Jal { rd: Reg::Ra, offset: 8 });
+        assert_eq!(Insn::decode(ws[1]).unwrap(), Insn::Jal { rd: Reg::T0, offset: 4 });
+    }
+}

@@ -1,0 +1,137 @@
+//! RV32 integer registers with ABI names.
+
+use core::fmt;
+
+/// One of the 32 RV32I integer registers.
+///
+/// Variants are named after the ABI mnemonics; `Reg::X0` aliases are
+/// available through [`Reg::from_num`].
+///
+/// ```
+/// use vpdift_asm::Reg;
+/// assert_eq!(Reg::Sp.num(), 2);
+/// assert_eq!(Reg::from_num(10), Some(Reg::A0));
+/// assert_eq!(Reg::A0.to_string(), "a0");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+#[repr(u8)]
+#[allow(missing_docs)] // the ABI mnemonics are their own documentation
+pub enum Reg {
+    Zero = 0,
+    Ra = 1,
+    Sp = 2,
+    Gp = 3,
+    Tp = 4,
+    T0 = 5,
+    T1 = 6,
+    T2 = 7,
+    S0 = 8,
+    S1 = 9,
+    A0 = 10,
+    A1 = 11,
+    A2 = 12,
+    A3 = 13,
+    A4 = 14,
+    A5 = 15,
+    A6 = 16,
+    A7 = 17,
+    S2 = 18,
+    S3 = 19,
+    S4 = 20,
+    S5 = 21,
+    S6 = 22,
+    S7 = 23,
+    S8 = 24,
+    S9 = 25,
+    S10 = 26,
+    S11 = 27,
+    T3 = 28,
+    T4 = 29,
+    T5 = 30,
+    T6 = 31,
+}
+
+impl Reg {
+    /// All registers in numeric order.
+    pub const ALL: [Reg; 32] = [
+        Reg::Zero,
+        Reg::Ra,
+        Reg::Sp,
+        Reg::Gp,
+        Reg::Tp,
+        Reg::T0,
+        Reg::T1,
+        Reg::T2,
+        Reg::S0,
+        Reg::S1,
+        Reg::A0,
+        Reg::A1,
+        Reg::A2,
+        Reg::A3,
+        Reg::A4,
+        Reg::A5,
+        Reg::A6,
+        Reg::A7,
+        Reg::S2,
+        Reg::S3,
+        Reg::S4,
+        Reg::S5,
+        Reg::S6,
+        Reg::S7,
+        Reg::S8,
+        Reg::S9,
+        Reg::S10,
+        Reg::S11,
+        Reg::T3,
+        Reg::T4,
+        Reg::T5,
+        Reg::T6,
+    ];
+
+    /// The hardware register number (0–31).
+    pub const fn num(self) -> u32 {
+        self as u32
+    }
+
+    /// Register for a hardware number, if in range.
+    pub fn from_num(n: u32) -> Option<Reg> {
+        Reg::ALL.get(n as usize).copied()
+    }
+
+    /// The frame-pointer alias of `s0`.
+    pub const FP: Reg = Reg::S0;
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        f.write_str(NAMES[self.num() as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbering_round_trips() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.num() as usize, i);
+            assert_eq!(Reg::from_num(i as u32), Some(*r));
+        }
+        assert_eq!(Reg::from_num(32), None);
+    }
+
+    #[test]
+    fn abi_names() {
+        assert_eq!(Reg::Zero.to_string(), "zero");
+        assert_eq!(Reg::S0.to_string(), "s0");
+        assert_eq!(Reg::FP, Reg::S0);
+        assert_eq!(Reg::T6.to_string(), "t6");
+        assert_eq!(Reg::A7.num(), 17);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests: every constructible instruction encodes to a word that
+//! decodes back to itself, and decode never panics on arbitrary words.
+
+use proptest::prelude::*;
+use vpdift_asm::{AluOp, BranchCond, CsrOp, CsrSrc, Insn, LoadWidth, MulOp, Reg, StoreWidth};
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u32..32).prop_map(|n| Reg::from_num(n).unwrap())
+}
+
+fn imm12() -> impl Strategy<Value = i32> {
+    -2048i32..=2047
+}
+
+fn branch_offset() -> impl Strategy<Value = i32> {
+    (-2048i32..=2047).prop_map(|o| o * 2)
+}
+
+fn jal_offset() -> impl Strategy<Value = i32> {
+    (-(1i32 << 19)..(1 << 19)).prop_map(|o| o * 2)
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+    ]
+}
+
+fn insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (reg(), 0u32..(1 << 20)).prop_map(|(rd, imm20)| Insn::Lui { rd, imm20 }),
+        (reg(), 0u32..(1 << 20)).prop_map(|(rd, imm20)| Insn::Auipc { rd, imm20 }),
+        (reg(), jal_offset()).prop_map(|(rd, offset)| Insn::Jal { rd, offset }),
+        (reg(), reg(), imm12()).prop_map(|(rd, rs1, offset)| Insn::Jalr { rd, rs1, offset }),
+        (
+            prop_oneof![
+                Just(BranchCond::Eq),
+                Just(BranchCond::Ne),
+                Just(BranchCond::Lt),
+                Just(BranchCond::Ge),
+                Just(BranchCond::Ltu),
+                Just(BranchCond::Geu)
+            ],
+            reg(),
+            reg(),
+            branch_offset()
+        )
+            .prop_map(|(cond, rs1, rs2, offset)| Insn::Branch { cond, rs1, rs2, offset }),
+        (
+            prop_oneof![
+                Just(LoadWidth::B),
+                Just(LoadWidth::H),
+                Just(LoadWidth::W),
+                Just(LoadWidth::Bu),
+                Just(LoadWidth::Hu)
+            ],
+            reg(),
+            reg(),
+            imm12()
+        )
+            .prop_map(|(width, rd, rs1, offset)| Insn::Load { width, rd, rs1, offset }),
+        (
+            prop_oneof![Just(StoreWidth::B), Just(StoreWidth::H), Just(StoreWidth::W)],
+            reg(),
+            reg(),
+            imm12()
+        )
+            .prop_map(|(width, rs2, rs1, offset)| Insn::Store { width, rs2, rs1, offset }),
+        (alu_op(), reg(), reg(), imm12()).prop_filter_map("no subi", |(op, rd, rs1, imm)| {
+            if op == AluOp::Sub {
+                return None;
+            }
+            let imm = if op.is_shift() { imm.rem_euclid(32) } else { imm };
+            Some(Insn::AluImm { op, rd, rs1, imm })
+        }),
+        (alu_op(), reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Insn::Alu {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
+        (
+            prop_oneof![
+                Just(MulOp::Mul),
+                Just(MulOp::Mulh),
+                Just(MulOp::Mulhsu),
+                Just(MulOp::Mulhu),
+                Just(MulOp::Div),
+                Just(MulOp::Divu),
+                Just(MulOp::Rem),
+                Just(MulOp::Remu)
+            ],
+            reg(),
+            reg(),
+            reg()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Insn::MulDiv { op, rd, rs1, rs2 }),
+        (
+            prop_oneof![Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc)],
+            reg(),
+            0u16..4096,
+            prop_oneof![reg().prop_map(CsrSrc::Reg), (0u8..32).prop_map(CsrSrc::Imm)]
+        )
+            .prop_map(|(op, rd, csr, src)| Insn::Csr { op, rd, csr, src }),
+        Just(Insn::Fence),
+        Just(Insn::FenceI),
+        Just(Insn::Ecall),
+        Just(Insn::Ebreak),
+        Just(Insn::Mret),
+        Just(Insn::Wfi),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn encode_decode_round_trip(i in insn()) {
+        let word = i.encode();
+        let back = Insn::decode(word).expect("encoded instructions decode");
+        prop_assert_eq!(back, i);
+        // And encoding is stable.
+        prop_assert_eq!(back.encode(), word);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        if let Ok(insn) = Insn::decode(word) {
+            // Whatever decodes must re-encode to an equivalent instruction
+            // (not necessarily bit-identical: unused fields are canonical).
+            let re = Insn::decode(insn.encode()).unwrap();
+            prop_assert_eq!(re, insn);
+        }
+    }
+
+    #[test]
+    fn disassembly_never_empty(i in insn()) {
+        prop_assert!(!i.to_string().is_empty());
+    }
+}

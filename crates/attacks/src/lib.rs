@@ -1,0 +1,16 @@
+//! # vpdift-attacks — the Wilander-Kamkar code-injection suite (Table I)
+//!
+//! All 18 buffer-overflow attack forms of the Wilander-Kamkar NDSS'03
+//! suite in their RISC-V port, plus the harness that runs them against the
+//! DIFT-enabled VP under the paper's §VI-B code-injection policy and
+//! regenerates Table I. Non-applicable forms (register-passed parameters,
+//! no frame pointer on RISC-V) are reproduced as N/A with their reasons.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod harness;
+mod suite;
+
+pub use harness::{code_injection_policy, render_table1, run_attack, table1, Outcome, TableRow, LI};
+pub use suite::{all_attacks, layout, Attack, AttackForm, Location, Target, Technique};

@@ -1,0 +1,576 @@
+//! The Wilander-Kamkar buffer-overflow test-suite (NDSS'03), as ported to
+//! RISC-V by Palmiero et al. and used in the paper's Table I.
+//!
+//! Every attack injects attacker bytes through the console (classified
+//! low-integrity by the policy) and exploits a missing bounds check to
+//! redirect control flow to a pre-defined "malicious" payload function.
+//! Following the paper's §VI-B setup, the payload function is classified
+//! `LI` before the test, and the instruction-fetch clearance is `HI` — so
+//! a successful redirect is caught at the first fetched payload
+//! instruction. Attacks the RISC-V port marks N/A (register-passed
+//! parameters, no frame pointer, …) are reproduced as N/A with their
+//! reasons.
+
+use vpdift_asm::{Asm, Program, Reg};
+use vpdift_firmware::rt::emit_runtime;
+
+use Reg::*;
+
+/// Where the overflowed buffer lives.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Location {
+    /// A stack-allocated buffer in the victim's frame.
+    Stack,
+    /// A buffer in static storage (the WK suite's Heap/BSS/Data class).
+    HeapBssData,
+}
+
+impl core::fmt::Display for Location {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Location::Stack => write!(f, "Stack"),
+            Location::HeapBssData => write!(f, "Heap/BSS/Data"),
+        }
+    }
+}
+
+/// What the overflow corrupts.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Target {
+    /// The saved return address.
+    ReturnAddress,
+    /// The saved frame/base pointer.
+    BasePointer,
+    /// A function pointer passed as a parameter.
+    FuncPtrParam,
+    /// A function pointer in a local/static variable.
+    FuncPtrLocal,
+    /// A `longjmp` buffer passed as a parameter.
+    LongjmpBufParam,
+    /// A local/static `longjmp` buffer.
+    LongjmpBuf,
+}
+
+impl core::fmt::Display for Target {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Target::ReturnAddress => write!(f, "Return Address"),
+            Target::BasePointer => write!(f, "Base Pointer"),
+            Target::FuncPtrParam => write!(f, "Function Pointer (param)"),
+            Target::FuncPtrLocal => write!(f, "Function Pointer (local)"),
+            Target::LongjmpBufParam => write!(f, "Longjmp Buffer (param)"),
+            Target::LongjmpBuf => write!(f, "Longjmp Buffer"),
+        }
+    }
+}
+
+/// How the target is reached.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Technique {
+    /// The overflow itself runs into the target.
+    Direct,
+    /// The overflow corrupts a pointer; a later write through that
+    /// pointer hits the target.
+    Indirect,
+}
+
+impl core::fmt::Display for Technique {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Technique::Direct => write!(f, "Direct"),
+            Technique::Indirect => write!(f, "Indirect"),
+        }
+    }
+}
+
+/// SoC constants the attacker "knows" (the platform is deterministic).
+pub mod layout {
+    /// Default RAM size of the VP (`vpdift_soc::map::DEFAULT_RAM_SIZE`).
+    pub const RAM_SIZE: u32 = 8 * 1024 * 1024;
+    /// Initial stack pointer set by the loader.
+    pub const SP0: u32 = RAM_SIZE - 16;
+    /// `main`'s frame (holds the parameter `jmp_buf` for attack 10).
+    pub const MAIN_FRAME: u32 = SP0 - 64;
+    /// The victim function's frame base.
+    pub const VICTIM_FRAME: u32 = MAIN_FRAME - 96;
+    /// Victim frame offsets.
+    pub const OFF_BUFFER: u32 = 0;
+    /// Offset of the corruptible pointer (indirect technique).
+    pub const OFF_PTR: u32 = 16;
+    /// Offset of the spilled parameter / local function pointer.
+    pub const OFF_SLOT: u32 = 20;
+    /// Offset of the local `jmp_buf`.
+    pub const OFF_JMPBUF: u32 = 24;
+    /// Offset of the saved return address.
+    pub const OFF_RA: u32 = 92;
+}
+
+/// One row of Table I.
+pub struct Attack {
+    /// Attack number (1-based, matching the paper's table).
+    pub id: u8,
+    /// Buffer location.
+    pub location: Location,
+    /// Corruption target.
+    pub target: Target,
+    /// Attack technique.
+    pub technique: Technique,
+    /// The guest program and input builder; `None` for N/A rows.
+    pub form: Option<AttackForm>,
+    /// Why the attack is not applicable, for N/A rows.
+    pub na_reason: Option<&'static str>,
+}
+
+/// An applicable attack: program plus malicious/benign input builders.
+pub struct AttackForm {
+    /// The vulnerable guest program.
+    pub program: Program,
+    /// Builds the attacker's console bytes (needs the program for the
+    /// payload address).
+    pub malicious_input: Box<dyn Fn(&Program) -> Vec<u8>>,
+    /// A benign input exercising the same code path without overflow.
+    pub benign_input: Vec<u8>,
+}
+
+impl core::fmt::Debug for Attack {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "Attack #{} {} / {} / {}{}",
+            self.id,
+            self.location,
+            self.target,
+            self.technique,
+            if self.form.is_none() { " (N/A)" } else { "" }
+        )
+    }
+}
+
+/// The trigger mechanism appended after the overflow in the victim.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Trigger {
+    Return,
+    CallLocalPtr,
+    CallSpilledParam,
+    LongjmpLocal,
+    LongjmpParam,
+    CallStaticPtr,
+}
+
+/// Emits the shared program skeleton. The victim reads a length-prefixed
+/// overflow from the console into its buffer (no bounds check — the bug),
+/// optionally performs the indirect write, then fires `trigger`.
+fn build_program(technique: Technique, trigger: Trigger, static_buffer: bool) -> Program {
+    let mut a = Asm::new(0);
+    a.entry();
+    a.j("main");
+
+    // ---- static data (Heap/BSS/Data attack surface) --------------------
+    // Layout matters: the corruptible pointer sits right after the buffer
+    // (reachable by overflow), the function pointer after that.
+    a.align(4);
+    a.label("static_buf");
+    a.zero(16);
+    a.label("static_ptr");
+    a.word_of("static_buf"); // harmless initial pointee
+    a.label("static_fptr");
+    a.word_of("benign");
+    a.align(4);
+
+    // ---- main -----------------------------------------------------------
+    a.label("main");
+    a.addi(Sp, Sp, -64); // main frame: jmp_buf for the param variants
+    if trigger == Trigger::LongjmpParam {
+        a.mv(A0, Sp);
+        a.call("rt_setjmp");
+        a.bnez(A0, "back_ok"); // longjmp with intact buffer lands here
+    }
+    // Parameter for the param variants: a1 = &benign or &jmp_buf.
+    match trigger {
+        Trigger::CallSpilledParam => {
+            a.la(A1, "benign");
+        }
+        Trigger::LongjmpParam => {
+            a.mv(A1, Sp);
+        }
+        _ => {}
+    }
+    a.call("victim");
+    a.label("back_ok");
+    a.j("rt_ok");
+
+    // ---- victim ----------------------------------------------------------
+    a.label("victim");
+    a.addi(Sp, Sp, -96);
+    a.sw(Ra, 92, Sp);
+    // Initialize the corruptible pointer with a harmless address.
+    a.la(T0, "static_buf");
+    a.sw(T0, 16, Sp);
+    // Local slot: spilled parameter or local function pointer.
+    match trigger {
+        Trigger::CallSpilledParam | Trigger::LongjmpParam => {
+            a.sw(A1, 20, Sp); // spill the register parameter
+        }
+        Trigger::CallLocalPtr => {
+            a.la(T0, "benign");
+            a.sw(T0, 20, Sp);
+        }
+        _ => {}
+    }
+    if trigger == Trigger::LongjmpLocal {
+        a.addi(A0, Sp, 24);
+        a.call("rt_setjmp");
+        a.bnez(A0, "victim_back"); // intact longjmp returns here
+    }
+
+    // The bug: unbounded copy of console input.
+    if static_buffer {
+        a.la(A0, "static_buf");
+    } else {
+        a.mv(A0, Sp);
+    }
+    a.call("gets");
+
+    if technique == Technique::Indirect {
+        // Read the attacker's word and write it through the (corrupted)
+        // pointer — stack-local or static, matching the buffer location.
+        a.call("getw");
+        if static_buffer {
+            a.la(T0, "static_ptr");
+            a.lw(T0, 0, T0);
+        } else {
+            a.lw(T0, 16, Sp);
+        }
+        a.sw(A0, 0, T0);
+    }
+
+    // Fire the trigger.
+    match trigger {
+        Trigger::Return => {}
+        Trigger::CallLocalPtr | Trigger::CallSpilledParam => {
+            a.lw(T0, 20, Sp);
+            a.jalr(Ra, T0, 0);
+        }
+        Trigger::CallStaticPtr => {
+            a.la(T0, "static_fptr");
+            a.lw(T0, 0, T0);
+            a.jalr(Ra, T0, 0);
+        }
+        Trigger::LongjmpLocal => {
+            a.addi(A0, Sp, 24);
+            a.li(A1, 1);
+            a.call("rt_longjmp");
+        }
+        Trigger::LongjmpParam => {
+            a.lw(A0, 20, Sp);
+            a.li(A1, 1);
+            a.call("rt_longjmp");
+        }
+    }
+    a.label("victim_back");
+    a.lw(Ra, 92, Sp);
+    a.addi(Sp, Sp, 96);
+    a.ret();
+
+    // ---- helpers ----------------------------------------------------------
+    // gets(a0 = dst): length-prefixed read from the console.
+    a.label("gets");
+    a.addi(Sp, Sp, -16);
+    a.sw(Ra, 12, Sp);
+    a.mv(S10, A0);
+    a.call("rt_getc");
+    a.mv(S11, A0); // count
+    a.label("gets_loop");
+    a.beqz(S11, "gets_done");
+    a.call("rt_getc");
+    a.sb(A0, 0, S10);
+    a.addi(S10, S10, 1);
+    a.addi(S11, S11, -1);
+    a.j("gets_loop");
+    a.label("gets_done");
+    a.lw(Ra, 12, Sp);
+    a.addi(Sp, Sp, 16);
+    a.ret();
+
+    // getw() -> a0: four console bytes, little endian.
+    a.label("getw");
+    a.addi(Sp, Sp, -16);
+    a.sw(Ra, 12, Sp);
+    a.li(S10, 0);
+    a.li(S11, 0); // shift
+    a.label("getw_loop");
+    a.call("rt_getc");
+    a.sll(A0, A0, S11);
+    a.or(S10, S10, A0);
+    a.addi(S11, S11, 8);
+    a.li(T2, 32);
+    a.blt(S11, T2, "getw_loop");
+    a.mv(A0, S10);
+    a.lw(Ra, 12, Sp);
+    a.addi(Sp, Sp, 16);
+    a.ret();
+
+    // The benign callee.
+    a.label("benign");
+    a.ret();
+
+    // The "malicious code" payload (classified LI by the harness). If the
+    // DIFT engine misses the redirect, it announces itself and stops.
+    a.align(4);
+    a.label("payload");
+    a.la(A0, "msg_pwned");
+    a.call("rt_puts");
+    a.ebreak();
+    a.label("payload_end");
+
+    emit_runtime(&mut a);
+
+    a.label("msg_pwned");
+    a.asciiz("PWNED\n");
+    a.align(4);
+
+    a.assemble().expect("attack program assembles")
+}
+
+fn le(v: u32) -> [u8; 4] {
+    v.to_le_bytes()
+}
+
+/// `count` filler bytes then `addr` — the classic contiguous overflow.
+fn direct_input(fill: u32, addr: u32) -> Vec<u8> {
+    let mut input = vec![(fill + 4) as u8];
+    input.extend(std::iter::repeat_n(b'A', fill as usize));
+    input.extend_from_slice(&le(addr));
+    input
+}
+
+/// Overflow to the pointer slot with `ptr_target`, then the word `value`
+/// written through it.
+fn indirect_input(ptr_target: u32, value: u32) -> Vec<u8> {
+    let mut input = vec![20u8];
+    input.extend(std::iter::repeat_n(b'A', 16));
+    input.extend_from_slice(&le(ptr_target));
+    input.extend_from_slice(&le(value));
+    input
+}
+
+fn payload_addr(p: &Program) -> u32 {
+    p.symbol("payload").expect("payload symbol")
+}
+
+/// A benign input for the direct forms: four in-bounds bytes (and, for
+/// indirect forms, a harmless pointer write into the static buffer).
+fn benign_direct() -> Vec<u8> {
+    vec![4, b'o', b'k', b'!', 0]
+}
+
+fn benign_indirect() -> Vec<u8> {
+    // In-bounds overflow; pointer still points at static_buf; the write
+    // lands harmlessly there.
+    let mut input = vec![4, b'o', b'k', b'!', 0];
+    input.extend_from_slice(&le(0xDEAD_BEEF));
+    input
+}
+
+/// Builds all 18 attack forms of Table I.
+pub fn all_attacks() -> Vec<Attack> {
+    use layout::*;
+    let na = |id, location, target, technique, reason: &'static str| Attack {
+        id,
+        location,
+        target,
+        technique,
+        form: None,
+        na_reason: Some(reason),
+    };
+    let mk = |id,
+              location,
+              target,
+              technique,
+              trigger,
+              static_buffer: bool,
+              malicious: Box<dyn Fn(&Program) -> Vec<u8>>,
+              benign: Vec<u8>| {
+        Attack {
+            id,
+            location,
+            target,
+            technique,
+            form: Some(AttackForm {
+                program: build_program(technique, trigger, static_buffer),
+                malicious_input: malicious,
+                benign_input: benign,
+            }),
+            na_reason: None,
+        }
+    };
+
+    vec![
+        na(
+            1,
+            Location::Stack,
+            Target::FuncPtrParam,
+            Technique::Direct,
+            "function-pointer parameters are passed in registers by the RISC-V \
+             calling convention; there is no stack copy to overflow into",
+        ),
+        na(
+            2,
+            Location::Stack,
+            Target::LongjmpBufParam,
+            Technique::Direct,
+            "the longjmp-buffer parameter is a register-held pointer; the buffer \
+             itself is not adjacent to the overflowed parameter area",
+        ),
+        mk(
+            3,
+            Location::Stack,
+            Target::ReturnAddress,
+            Technique::Direct,
+            Trigger::Return,
+            false,
+            Box::new(|p| direct_input(layout::OFF_RA, payload_addr(p))),
+            benign_direct(),
+        ),
+        na(
+            4,
+            Location::Stack,
+            Target::BasePointer,
+            Technique::Direct,
+            "the standard RISC-V ABI does not maintain a frame/base pointer",
+        ),
+        mk(
+            5,
+            Location::Stack,
+            Target::FuncPtrLocal,
+            Technique::Direct,
+            Trigger::CallLocalPtr,
+            false,
+            Box::new(|p| direct_input(layout::OFF_SLOT, payload_addr(p))),
+            benign_direct(),
+        ),
+        mk(
+            6,
+            Location::Stack,
+            Target::LongjmpBuf,
+            Technique::Direct,
+            Trigger::LongjmpLocal,
+            false,
+            Box::new(|p| direct_input(layout::OFF_JMPBUF, payload_addr(p))),
+            benign_direct(),
+        ),
+        mk(
+            7,
+            Location::HeapBssData,
+            Target::FuncPtrLocal,
+            Technique::Direct,
+            Trigger::CallStaticPtr,
+            true,
+            // The overflow crosses static_buf (16) and static_ptr (4)
+            // before reaching static_fptr.
+            Box::new(|p| direct_input(20, payload_addr(p))),
+            benign_direct(),
+        ),
+        na(
+            8,
+            Location::HeapBssData,
+            Target::LongjmpBuf,
+            Technique::Direct,
+            "the RISC-V port keeps no longjmp buffer adjacent to overflowable \
+             static data (calling-convention differences, Palmiero et al.)",
+        ),
+        mk(
+            9,
+            Location::Stack,
+            Target::FuncPtrParam,
+            Technique::Indirect,
+            Trigger::CallSpilledParam,
+            false,
+            Box::new(|p| indirect_input(VICTIM_FRAME + OFF_SLOT, payload_addr(p))),
+            benign_indirect(),
+        ),
+        mk(
+            10,
+            Location::Stack,
+            Target::LongjmpBufParam,
+            Technique::Indirect,
+            Trigger::LongjmpParam,
+            false,
+            // The jmp_buf lives in main's frame; its ra field is word 0.
+            Box::new(|p| indirect_input(MAIN_FRAME, payload_addr(p))),
+            benign_indirect(),
+        ),
+        mk(
+            11,
+            Location::Stack,
+            Target::ReturnAddress,
+            Technique::Indirect,
+            Trigger::Return,
+            false,
+            Box::new(|p| indirect_input(VICTIM_FRAME + OFF_RA, payload_addr(p))),
+            benign_indirect(),
+        ),
+        na(
+            12,
+            Location::Stack,
+            Target::BasePointer,
+            Technique::Indirect,
+            "no frame/base pointer in the standard RISC-V ABI",
+        ),
+        mk(
+            13,
+            Location::Stack,
+            Target::FuncPtrLocal,
+            Technique::Indirect,
+            Trigger::CallLocalPtr,
+            false,
+            Box::new(|p| indirect_input(VICTIM_FRAME + OFF_SLOT, payload_addr(p))),
+            benign_indirect(),
+        ),
+        mk(
+            14,
+            Location::Stack,
+            Target::LongjmpBuf,
+            Technique::Indirect,
+            Trigger::LongjmpLocal,
+            false,
+            Box::new(|p| indirect_input(VICTIM_FRAME + OFF_JMPBUF, payload_addr(p))),
+            benign_indirect(),
+        ),
+        na(
+            15,
+            Location::HeapBssData,
+            Target::ReturnAddress,
+            Technique::Indirect,
+            "return addresses never reside in static memory on RISC-V",
+        ),
+        na(
+            16,
+            Location::HeapBssData,
+            Target::BasePointer,
+            Technique::Indirect,
+            "no frame/base pointer in the standard RISC-V ABI",
+        ),
+        mk(
+            17,
+            Location::HeapBssData,
+            Target::FuncPtrLocal,
+            Technique::Indirect,
+            Trigger::CallStaticPtr,
+            true,
+            Box::new(|p| {
+                let fptr = p.symbol("static_fptr").expect("static_fptr symbol");
+                indirect_input(fptr, payload_addr(p))
+            }),
+            benign_indirect(),
+        ),
+        na(
+            18,
+            Location::HeapBssData,
+            Target::LongjmpBuf,
+            Technique::Indirect,
+            "the RISC-V port keeps no longjmp buffer in overflow-reachable \
+             static data",
+        ),
+    ]
+}

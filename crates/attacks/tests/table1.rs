@@ -1,0 +1,53 @@
+//! Table I as executable assertions: every applicable attack is detected
+//! at instruction fetch; every benign twin runs clean; N/A rows match the
+//! paper exactly.
+
+use vpdift_attacks::{all_attacks, table1, Outcome};
+
+/// The paper's Table I "Result" column, by attack number (`true` =
+/// Detected, `false` = N/A).
+const PAPER_RESULTS: [(u8, bool); 18] = [
+    (1, false),
+    (2, false),
+    (3, true),
+    (4, false),
+    (5, true),
+    (6, true),
+    (7, true),
+    (8, false),
+    (9, true),
+    (10, true),
+    (11, true),
+    (12, false),
+    (13, true),
+    (14, true),
+    (15, false),
+    (16, false),
+    (17, true),
+    (18, false),
+];
+
+#[test]
+fn suite_has_all_18_forms() {
+    let attacks = all_attacks();
+    assert_eq!(attacks.len(), 18);
+    for (i, a) in attacks.iter().enumerate() {
+        assert_eq!(a.id as usize, i + 1);
+        assert_eq!(a.form.is_some(), PAPER_RESULTS[i].1, "{a:?} applicability");
+        if a.form.is_none() {
+            assert!(a.na_reason.is_some(), "{a:?} needs an N/A reason");
+        }
+    }
+}
+
+#[test]
+fn table1_matches_the_paper() {
+    let rows = table1();
+    assert_eq!(rows.len(), 18);
+    for (row, (id, detected)) in rows.iter().zip(PAPER_RESULTS) {
+        assert_eq!(row.attack.id, id);
+        let expected = if detected { Outcome::Detected } else { Outcome::NotApplicable };
+        assert_eq!(row.outcome, expected, "{:?}", row.attack);
+        assert!(row.benign_clean, "{:?} benign twin false-positive", row.attack);
+    }
+}

@@ -1,0 +1,51 @@
+//! ISS throughput: the same guest kernel on the plain VP core vs the
+//! DIFT-enabled VP+ core (the per-instruction cost behind Table II).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use vpdift_asm::{Asm, Reg};
+use vpdift_rv32::{Cpu, FlatMemory, Plain, RunExit, TaintMode, Tainted};
+
+/// A tight ALU/memory kernel of ~100k retired instructions.
+fn kernel_program() -> vpdift_asm::Program {
+    use Reg::*;
+    let mut a = Asm::new(0);
+    a.li(T0, 10_000); // outer counter
+    a.li(T1, 0); // accumulator
+    a.li(T2, 0x4000); // scratch pointer
+    a.label("loop");
+    a.add(T1, T1, T0);
+    a.xori(T1, T1, 0x55);
+    a.slli(T3, T1, 3);
+    a.srli(T3, T3, 2);
+    a.sw(T3, 0, T2);
+    a.lw(T4, 0, T2);
+    a.mul(T1, T1, T4);
+    a.addi(T0, T0, -1);
+    a.bnez(T0, "loop");
+    a.ebreak();
+    a.assemble().unwrap()
+}
+
+fn run_kernel<M: TaintMode>(image: &[u8]) -> u64 {
+    let mut mem = FlatMemory::<M>::new(0, 64 * 1024);
+    mem.load_image(0, image);
+    let mut cpu = Cpu::<M>::new();
+    assert_eq!(cpu.run(&mut mem, 10_000_000), RunExit::Break);
+    cpu.instret()
+}
+
+fn bench_iss(c: &mut Criterion) {
+    let prog = kernel_program();
+    let image = prog.image().to_vec();
+    let insns = run_kernel::<Plain>(&image);
+
+    let mut g = c.benchmark_group("iss_step_rate");
+    g.throughput(Throughput::Elements(insns));
+    g.sample_size(20);
+    g.bench_function("vp_plain", |b| b.iter(|| run_kernel::<Plain>(&image)));
+    g.bench_function("vp_plus_tainted", |b| b.iter(|| run_kernel::<Tainted>(&image)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_iss);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Microbenchmarks of the DIFT engine's hot primitives: the `Taint<T>`
+//! operators, tag LUB/flow checks, byte-lane conversion, and lattice
+//! construction/compilation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vpdift_core::{ifp, Tag, Taint};
+
+fn bench_taint_arith(c: &mut Criterion) {
+    let mut g = c.benchmark_group("taint_arith");
+    let a = Taint::new(0xDEAD_BEEFu32, Tag::from_bits(0b01));
+    let b = Taint::new(0x1234_5678u32, Tag::from_bits(0b10));
+    g.bench_function("plain_u32_add", |bench| {
+        let (x, y) = (0xDEAD_BEEFu32, 0x1234_5678u32);
+        bench.iter(|| black_box(black_box(x).wrapping_add(black_box(y))))
+    });
+    g.bench_function("tainted_add", |bench| {
+        bench.iter(|| black_box(black_box(a).wrapping_add(black_box(b))))
+    });
+    g.bench_function("tainted_xor", |bench| bench.iter(|| black_box(black_box(a) ^ black_box(b))));
+    g.bench_function("tainted_compare", |bench| {
+        bench.iter(|| black_box(black_box(a).tv_lt(black_box(b))))
+    });
+    g.finish();
+}
+
+fn bench_tag_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tag_ops");
+    let x = Tag::from_bits(0b1010);
+    let y = Tag::from_bits(0b0110);
+    g.bench_function("lub", |bench| bench.iter(|| black_box(black_box(x).lub(black_box(y)))));
+    g.bench_function("flows_to", |bench| {
+        bench.iter(|| black_box(black_box(x).flows_to(black_box(y))))
+    });
+    g.bench_function("declassify", |bench| {
+        bench.iter(|| black_box(black_box(x).without(black_box(y))))
+    });
+    g.finish();
+}
+
+fn bench_byte_lanes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("byte_lanes");
+    let w = Taint::new(0xCAFE_F00D_1234_5678u64, Tag::from_bits(0b11));
+    g.bench_function("to_bytes_u64", |bench| {
+        let mut lanes = [Taint::untainted(0u8); 8];
+        bench.iter(|| {
+            w.to_bytes(&mut lanes);
+            black_box(&lanes);
+        })
+    });
+    g.bench_function("from_bytes_u64", |bench| {
+        let mut lanes = [Taint::untainted(0u8); 8];
+        w.to_bytes(&mut lanes);
+        bench.iter(|| black_box(Taint::<u64>::from_bytes(black_box(&lanes))))
+    });
+    g.finish();
+}
+
+fn bench_lattice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lattice");
+    g.bench_function("build_ifp3", |bench| bench.iter(|| black_box(ifp::conf_integrity())));
+    let l = ifp::conf_integrity();
+    g.bench_function("compile_ifp3", |bench| bench.iter(|| black_box(l.compile().unwrap())));
+    let (a, b) = {
+        let mut it = l.classes();
+        (it.next().unwrap(), it.last().unwrap())
+    };
+    g.bench_function("table_lub", |bench| bench.iter(|| black_box(l.lub(black_box(a), black_box(b)))));
+    g.bench_function("table_allowed_flow", |bench| {
+        bench.iter(|| black_box(l.allowed_flow(black_box(a), black_box(b))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_taint_arith, bench_tag_ops, bench_byte_lanes, bench_lattice);
+criterion_main!(benches);

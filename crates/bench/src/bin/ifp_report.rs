@@ -1,0 +1,52 @@
+//! Prints the Fig. 1 information-flow policies: lattices, LUB tables,
+//! allowed-flow matrices and Graphviz renderings.
+
+use vpdift_core::{ifp, Lattice};
+
+fn describe(name: &str, l: &Lattice) {
+    println!("=== {name} ===");
+    print!("{l}");
+    println!("allowedFlow matrix (row -> column):");
+    print!("{:>10}", "");
+    for c in l.classes() {
+        print!("{:>10}", l.name(c));
+    }
+    println!();
+    for a in l.classes() {
+        print!("{:>10}", l.name(a));
+        for b in l.classes() {
+            print!("{:>10}", if l.allowed_flow(a, b) { "yes" } else { "-" });
+        }
+        println!();
+    }
+    println!("LUB table:");
+    for a in l.classes() {
+        for b in l.classes() {
+            if a < b {
+                println!(
+                    "  LUB({}, {}) = {}",
+                    l.name(a),
+                    l.name(b),
+                    l.name(l.lub(a, b))
+                );
+            }
+        }
+    }
+    let compiled = l.compile().expect("Fig. 1 lattices compile");
+    println!("compiled tags ({} atoms):", compiled.atoms().len());
+    for c in l.classes() {
+        println!("  {:>10} -> {}", l.name(c), compiled.tag(c));
+    }
+    println!("graphviz:\n{}", l.to_dot(name));
+}
+
+fn main() {
+    describe("IFP-1 (confidentiality)", &ifp::confidentiality());
+    describe("IFP-2 (integrity)", &ifp::integrity());
+    describe("IFP-3 (confidentiality x integrity)", &ifp::conf_integrity());
+    println!("Example 1: LUB((LC,LI),(HC,HI)) in IFP-3:");
+    let l = ifp::conf_integrity();
+    let a = l.class("(LC,LI)").unwrap();
+    let b = l.class("(HC,HI)").unwrap();
+    println!("  = {}", l.name(l.lub(a, b)));
+}

@@ -1,0 +1,69 @@
+//! Regenerates the §VI-A case-study narrative: policy development and
+//! validation for the car-engine immobilizer.
+
+use vpdift_immo::scenarios::{run_scenario, Scenario};
+use vpdift_immo::{run_session, PolicyKind, Variant};
+use vpdift_rv32::Tainted;
+use vpdift_soc::SocExit;
+
+fn main() {
+    println!("=== Car-engine immobilizer case study (paper §VI-A) ===\n");
+
+    println!("[1] Challenge-response protocol under the coarse IFP-3 policy:");
+    let out = run_session::<Tainted>(Variant::Fixed, PolicyKind::Coarse, 3, b"q");
+    println!(
+        "    3 rounds -> {} authentications, exit {:?}\n",
+        out.authentications, out.exit
+    );
+
+    println!("[2] Manually written test-suite finding: UART debug memory dump");
+    let out = run_session::<Tainted>(Variant::Vulnerable, PolicyKind::Coarse, 0, b"dq");
+    match out.exit {
+        SocExit::Violation(v) => println!("    vulnerable firmware: VIOLATION — {v}"),
+        other => println!("    vulnerable firmware: {other:?} (unexpected)"),
+    }
+    let out = run_session::<Tainted>(Variant::Fixed, PolicyKind::Coarse, 0, b"dq");
+    println!(
+        "    fixed firmware:      {:?}, dump of {} bytes, PIN excluded\n",
+        out.exit,
+        out.uart.len()
+    );
+
+    println!("[3] Attack scenarios vs the coarse policy:");
+    for s in Scenario::ALL {
+        let r = run_scenario(s, false);
+        println!(
+            "    {:<45} {}",
+            s.name(),
+            if r.detected { "DETECTED" } else { "not detected" }
+        );
+    }
+    println!();
+    println!("[4] The entropy-reduction attack slips through; refined per-byte policy:");
+    for s in Scenario::ALL {
+        let r = run_scenario(s, true);
+        println!(
+            "    {:<45} {}",
+            s.name(),
+            if r.detected { "DETECTED" } else { "not detected" }
+        );
+    }
+    println!();
+    println!("[5] The brute-force attack the entropy reduction enables (16 x 256 trials):");
+    match vpdift_immo::crack_pin(PolicyKind::Coarse) {
+        vpdift_immo::CrackOutcome::Recovered { pin, trials } => {
+            println!("    coarse policy:   PIN recovered in {trials} AES trials: {pin:02x?}");
+        }
+        other => println!("    coarse policy:   unexpectedly blocked: {other:?}"),
+    }
+    match vpdift_immo::crack_pin(PolicyKind::PerByte) {
+        vpdift_immo::CrackOutcome::Blocked { step } => {
+            println!("    per-byte policy: blocked at attack step {step}");
+        }
+        other => println!("    per-byte policy: FAILED to block: {other:?}"),
+    }
+
+    println!();
+    println!("Conclusion: per-byte PIN classes close the entropy-reduction hole,");
+    println!("reproducing the paper's policy-development narrative.");
+}

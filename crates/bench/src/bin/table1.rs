@@ -1,0 +1,21 @@
+//! Regenerates the paper's Table I: the Wilander-Kamkar buffer-overflow
+//! suite against the §VI-B code-injection policy.
+
+fn main() {
+    println!("Table I — buffer-overflow test-suite results (code-injection policy)");
+    println!();
+    let rows = vpdift_attacks::table1();
+    print!("{}", vpdift_attacks::render_table1(&rows));
+    println!();
+    println!("N/A reasons (RISC-V port, cf. Palmiero et al.):");
+    for row in &rows {
+        if let Some(reason) = row.attack.na_reason {
+            println!("  #{:<2} {}", row.attack.id, reason);
+        }
+    }
+    let detected = rows.iter().filter(|r| r.outcome == vpdift_attacks::Outcome::Detected).count();
+    let na = rows.iter().filter(|r| r.outcome == vpdift_attacks::Outcome::NotApplicable).count();
+    let clean = rows.iter().filter(|r| r.benign_clean).count();
+    println!();
+    println!("{detected} detected, {na} N/A, 0 undetected; {clean}/18 benign twins clean.");
+}

@@ -1,0 +1,27 @@
+//! Regenerates the paper's Table II: simulation performance of the plain
+//! VP vs the DIFT-enabled VP+ over the seven benchmark workloads.
+//!
+//! Usage: `table2 [scale]` — scale 1 (default) runs in seconds; larger
+//! scales approach the paper's multi-billion-instruction runs.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let extended = args.iter().any(|a| a == "--extended");
+    let scale: u32 =
+        args.iter().find_map(|a| a.parse().ok()).unwrap_or(1);
+    eprintln!("running Table II at scale {scale} (build with --release for meaningful MIPS)…");
+    let mut rows = vpdift_bench::table2(scale);
+    if extended {
+        rows.extend(
+            vpdift_firmware::extended_workloads(scale)
+                .iter()
+                .map(vpdift_bench::measure_workload),
+        );
+    }
+    println!(
+        "Table II — performance overhead of VP-based DIFT (scale {scale}{})",
+        if extended { ", extended" } else { "" }
+    );
+    println!();
+    print!("{}", vpdift_bench::render_table2(&rows));
+}

@@ -1,0 +1,240 @@
+//! # vpdift-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation
+//! (see `DESIGN.md` §5 and `EXPERIMENTS.md`):
+//!
+//! * `cargo run --release -p vpdift-bench --bin table1` — Table I
+//!   (Wilander-Kamkar code-injection results),
+//! * `cargo run --release -p vpdift-bench --bin table2 [scale]` — Table II
+//!   (VP vs VP+ simulation performance),
+//! * `cargo run -p vpdift-bench --bin immo_report` — the §VI-A
+//!   case-study narrative,
+//! * `cargo run -p vpdift-bench --bin ifp_report` — the Fig. 1 IFPs,
+//! * `cargo bench -p vpdift-bench` — Criterion microbenchmarks and
+//!   ablations.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::time::{Duration, Instant};
+
+use vpdift_core::{ExecClearance, SecurityPolicy, Tag};
+use vpdift_firmware::Workload;
+use vpdift_immo::{firmware, protocol, Variant};
+use vpdift_rv32::{Plain, TaintMode, Tainted};
+use vpdift_soc::{Soc, SocConfig, SocExit};
+
+/// A single timed simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Retired guest instructions.
+    pub instret: u64,
+    /// Host wall-clock time of the simulation.
+    pub wall: Duration,
+}
+
+impl Measurement {
+    /// Million simulated instructions per host second.
+    pub fn mips(&self) -> f64 {
+        self.instret as f64 / self.wall.as_secs_f64().max(1e-9) / 1e6
+    }
+}
+
+/// One Table II row.
+#[derive(Debug)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Retired instructions (identical for VP and VP+ by construction).
+    pub instret: u64,
+    /// Instruction words in the final binary ("LoC ASM").
+    pub loc_asm: usize,
+    /// The plain-VP measurement.
+    pub vp: Measurement,
+    /// The DIFT VP+ measurement.
+    pub vp_plus: Measurement,
+}
+
+impl Table2Row {
+    /// The overhead factor `VP+ time / VP time`.
+    pub fn overhead(&self) -> f64 {
+        self.vp_plus.wall.as_secs_f64() / self.vp.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The policy VP+ benchmark runs use: full execution-clearance checking
+/// (with an all-permissive clearance so nothing fires) and classified
+/// peripheral inputs — the DIFT engine does all its work, as in the
+/// paper's VP+ column, without aborting the benchmark.
+pub fn bench_policy() -> SecurityPolicy {
+    let all = Tag::from_bits(u32::MAX);
+    SecurityPolicy::builder("bench")
+        .source("terminal.rx", Tag::atom(0))
+        .source("sensor.data", Tag::atom(1))
+        .sink("uart.tx", all)
+        .sink("can.tx", all)
+        .exec_clearance(ExecClearance::uniform(all))
+        .build()
+}
+
+/// Runs `workload` on mode `M`, verifying its output, and returns the
+/// measurement.
+///
+/// # Panics
+/// Panics if the workload does not finish with `ebreak` or its output
+/// fails host verification — a benchmark that computes wrong results is
+/// not a benchmark.
+pub fn run_workload<M: TaintMode>(workload: &Workload) -> Measurement {
+    let mut cfg = if M::TRACKING {
+        SocConfig::with_policy(bench_policy())
+    } else {
+        SocConfig::default()
+    };
+    cfg.sensor_thread = workload.needs_sensor;
+    let mut soc = Soc::<M>::new(cfg);
+    soc.load_program(&workload.program);
+    let start = Instant::now();
+    let exit = soc.run(workload.max_insns);
+    let wall = start.elapsed();
+    assert_eq!(exit, SocExit::Break, "workload {} did not finish", workload.name);
+    let out = soc.uart().borrow().output().to_vec();
+    assert!(workload.verify(&out), "workload {} failed verification", workload.name);
+    Measurement { instret: soc.instret(), wall }
+}
+
+/// Measures one workload on both VPs.
+pub fn measure_workload(workload: &Workload) -> Table2Row {
+    let vp = run_workload::<Plain>(workload);
+    let vp_plus = run_workload::<Tainted>(workload);
+    assert_eq!(vp.instret, vp_plus.instret, "{}: modes must retire equally", workload.name);
+    Table2Row {
+        name: workload.name,
+        instret: vp.instret,
+        loc_asm: workload.loc_asm(),
+        vp,
+        vp_plus,
+    }
+}
+
+/// Runs the `immo-fixed` benchmark (the seventh Table II row): the fixed
+/// immobilizer firmware answering `rounds` challenge-response
+/// authentications plus a debug-dump session.
+pub fn run_immo_bench<M: TaintMode>(rounds: u32) -> (Measurement, usize) {
+    let fw = firmware::build(Variant::Fixed);
+    let kind = if M::TRACKING {
+        protocol::PolicyKind::Coarse
+    } else {
+        protocol::PolicyKind::Permissive
+    };
+    let mut cfg = SocConfig::with_policy(protocol::policy_for(kind, &fw));
+    cfg.sensor_thread = false;
+    let mut soc = Soc::<M>::new(cfg);
+    let (mut ecu, challenges) = protocol::prepare_session(&mut soc, &fw, rounds, b"dq", 0xBE);
+    let start = Instant::now();
+    let exit = soc.run(u64::MAX / 2);
+    let wall = start.elapsed();
+    assert_eq!(exit, SocExit::Break, "immo-fixed did not finish");
+    for ch in &challenges {
+        assert!(ecu.verify_response(soc.can_host(), ch), "authentication failed");
+    }
+    (Measurement { instret: soc.instret(), wall }, fw.program.insn_count())
+}
+
+/// Measures the `immo-fixed` row.
+pub fn measure_immo(rounds: u32) -> Table2Row {
+    let (vp, loc) = run_immo_bench::<Plain>(rounds);
+    let (vp_plus, _) = run_immo_bench::<Tainted>(rounds);
+    Table2Row { name: "immo-fixed", instret: vp.instret, loc_asm: loc, vp, vp_plus }
+}
+
+/// Builds all seven Table II rows at `scale`.
+pub fn table2(scale: u32) -> Vec<Table2Row> {
+    let mut rows: Vec<Table2Row> =
+        vpdift_firmware::table2_workloads(scale).iter().map(measure_workload).collect();
+    rows.push(measure_immo(300 * scale));
+    rows
+}
+
+/// Renders Table II in the paper's format.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Benchmark      |  #instr. exec. | LoC ASM |  Sim. Time [s]    |     MIPS     |  Ov\n",
+    );
+    out.push_str(
+        "               |                |         |    VP      VP+    |   VP    VP+  |\n",
+    );
+    out.push_str(
+        "---------------+----------------+---------+-------------------+--------------+------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} | {:>14} | {:>7} | {:>8.3} {:>8.3}  | {:>6.1} {:>5.1} | {:>4.1}x\n",
+            r.name,
+            r.instret,
+            r.loc_asm,
+            r.vp.wall.as_secs_f64(),
+            r.vp_plus.wall.as_secs_f64(),
+            r.vp.mips(),
+            r.vp_plus.mips(),
+            r.overhead()
+        ));
+    }
+    let n = rows.len().max(1) as f64;
+    let sum_instr: u128 = rows.iter().map(|r| r.instret as u128).sum();
+    let sum_loc: usize = rows.iter().map(|r| r.loc_asm).sum();
+    let sum_vp: f64 = rows.iter().map(|r| r.vp.wall.as_secs_f64()).sum();
+    let sum_vpp: f64 = rows.iter().map(|r| r.vp_plus.wall.as_secs_f64()).sum();
+    out.push_str(
+        "---------------+----------------+---------+-------------------+--------------+------\n",
+    );
+    out.push_str(&format!(
+        "{:<14} | {:>14} | {:>7} | {:>8.3} {:>8.3}  | {:>6.1} {:>5.1} | {:>4.1}x\n",
+        "- average -",
+        sum_instr / rows.len().max(1) as u128,
+        sum_loc / rows.len().max(1),
+        sum_vp / n,
+        sum_vpp / n,
+        rows.iter().map(|r| r.vp.mips()).sum::<f64>() / n,
+        rows.iter().map(|r| r.vp_plus.mips()).sum::<f64>() / n,
+        sum_vpp / sum_vp.max(1e-9),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_mips() {
+        let m = Measurement { instret: 2_000_000, wall: Duration::from_secs(1) };
+        assert!((m.mips() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_workload_measures_on_both_modes() {
+        let w = vpdift_firmware::primes::build(500);
+        let row = measure_workload(&w);
+        assert!(row.instret > 10_000);
+        assert!(row.overhead() > 0.0);
+        assert_eq!(row.name, "primes");
+    }
+
+    #[test]
+    fn immo_bench_row() {
+        let row = measure_immo(2);
+        assert_eq!(row.name, "immo-fixed");
+        assert!(row.instret > 1_000);
+        assert!(row.loc_asm > 100);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let w = vpdift_firmware::primes::build(300);
+        let rows = vec![measure_workload(&w)];
+        let s = render_table2(&rows);
+        assert!(s.contains("primes"));
+        assert!(s.contains("- average -"));
+    }
+}

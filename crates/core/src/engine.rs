@@ -1,0 +1,298 @@
+//! The run-time DIFT engine: evaluates policy checks, records violations,
+//! and counts checks for the performance reports.
+//!
+//! The engine is deliberately thin — tag *propagation* happens inside
+//! [`Taint`](crate::Taint) operators and the ISS, with no engine
+//! involvement; the engine is consulted only at *check sites* (outputs,
+//! protected stores, execution clearance) and when a violation must be
+//! recorded.
+
+use core::fmt;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::error::{Violation, ViolationKind};
+use crate::policy::SecurityPolicy;
+use crate::tag::Tag;
+
+/// What the engine does when a check fails.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum EnforceMode {
+    /// Fail the offending operation: checks return `Err`, the CPU raises a
+    /// DIFT trap. This is the paper's behaviour ("triggering a runtime
+    /// error upon violation").
+    #[default]
+    Enforce,
+    /// Record violations but let execution continue — useful when auditing
+    /// a policy against a test-suite without stopping at the first finding.
+    Record,
+}
+
+/// Run-time statistics, reported alongside Table II.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Clearance checks evaluated.
+    pub checks: u64,
+    /// Checks that failed (== recorded violations).
+    pub failed: u64,
+}
+
+/// The DIFT engine. Usually shared as a [`SharedEngine`] between the CPU
+/// and all peripherals of a VP.
+///
+/// ```
+/// use vpdift_core::{DiftEngine, SecurityPolicy, Tag, ViolationKind};
+/// let secret = Tag::atom(0);
+/// let policy = SecurityPolicy::builder("demo").sink("uart.tx", Tag::EMPTY).build();
+/// let mut engine = DiftEngine::new(policy);
+/// // Public data may leave ...
+/// assert!(engine.check_output("uart.tx", Tag::EMPTY, None).is_ok());
+/// // ... secret data may not.
+/// let err = engine.check_output("uart.tx", secret, Some(0x80)).unwrap_err();
+/// assert_eq!(err.kind, ViolationKind::Output { sink: "uart.tx".into() });
+/// assert_eq!(engine.violations().len(), 1);
+/// ```
+#[derive(Clone)]
+pub struct DiftEngine {
+    policy: SecurityPolicy,
+    mode: EnforceMode,
+    violations: Vec<Violation>,
+    stats: EngineStats,
+}
+
+impl fmt::Debug for DiftEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DiftEngine")
+            .field("policy", &self.policy.name())
+            .field("mode", &self.mode)
+            .field("violations", &self.violations.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl DiftEngine {
+    /// Creates an enforcing engine for `policy`.
+    pub fn new(policy: SecurityPolicy) -> Self {
+        DiftEngine {
+            policy,
+            mode: EnforceMode::Enforce,
+            violations: Vec::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Creates an engine with an explicit mode.
+    pub fn with_mode(policy: SecurityPolicy, mode: EnforceMode) -> Self {
+        DiftEngine { mode, ..DiftEngine::new(policy) }
+    }
+
+    /// Wraps the engine for sharing between VP components.
+    pub fn into_shared(self) -> SharedEngine {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// The policy under evaluation.
+    pub fn policy(&self) -> &SecurityPolicy {
+        &self.policy
+    }
+
+    /// Current enforcement mode.
+    pub fn mode(&self) -> EnforceMode {
+        self.mode
+    }
+
+    /// Switches enforcement mode at run time.
+    pub fn set_mode(&mut self, mode: EnforceMode) {
+        self.mode = mode;
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// All recorded violations, oldest first.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Removes and returns all recorded violations.
+    pub fn take_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
+    }
+
+    /// `true` iff at least one violation has been recorded.
+    pub fn violated(&self) -> bool {
+        !self.violations.is_empty()
+    }
+
+    /// The core check: is `allowedFlow(tag, required)`? On failure a
+    /// violation of `kind` is recorded.
+    ///
+    /// # Errors
+    /// In [`EnforceMode::Enforce`], returns the recorded [`Violation`]; in
+    /// [`EnforceMode::Record`] the failure is logged and `Ok` is returned.
+    pub fn check_flow(
+        &mut self,
+        kind: ViolationKind,
+        tag: Tag,
+        required: Tag,
+        pc: Option<u32>,
+    ) -> Result<(), Violation> {
+        self.stats.checks += 1;
+        if tag.flows_to(required) {
+            return Ok(());
+        }
+        let mut v = Violation::new(kind, tag, required);
+        v.pc = pc;
+        self.record(v)
+    }
+
+    /// Checks data leaving through `sink` against the sink's clearance.
+    /// Sinks without a configured clearance are unchecked.
+    ///
+    /// # Errors
+    /// See [`DiftEngine::check_flow`].
+    pub fn check_output(
+        &mut self,
+        sink: &str,
+        tag: Tag,
+        pc: Option<u32>,
+    ) -> Result<(), Violation> {
+        match self.policy.sink_clearance(sink) {
+            Some(clearance) => {
+                self.check_flow(ViolationKind::Output { sink: sink.to_owned() }, tag, clearance, pc)
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Checks a store of data tagged `tag` to address `addr` against any
+    /// protected-region rule covering it.
+    ///
+    /// # Errors
+    /// See [`DiftEngine::check_flow`].
+    pub fn check_store(&mut self, addr: u32, tag: Tag, pc: Option<u32>) -> Result<(), Violation> {
+        if let Some((rule, clearance)) = self.policy.write_clearance_at(addr) {
+            let region = rule.name.clone();
+            self.stats.checks += 1;
+            if tag.flows_to(clearance) {
+                return Ok(());
+            }
+            let mut v = Violation::new(ViolationKind::Store { region }, tag, clearance)
+                .with_context(format!("store to {addr:#010x}"));
+            v.pc = pc;
+            return self.record(v);
+        }
+        Ok(())
+    }
+
+    /// Records an externally constructed violation (used by the CPU for
+    /// execution-clearance failures detected inline).
+    ///
+    /// # Errors
+    /// In [`EnforceMode::Enforce`], echoes the violation back as `Err`.
+    pub fn record(&mut self, violation: Violation) -> Result<(), Violation> {
+        self.stats.failed += 1;
+        self.violations.push(violation.clone());
+        match self.mode {
+            EnforceMode::Enforce => Err(violation),
+            EnforceMode::Record => Ok(()),
+        }
+    }
+
+    /// Clears violations and statistics (fresh run on the same policy).
+    pub fn reset(&mut self) {
+        self.violations.clear();
+        self.stats = EngineStats::default();
+    }
+}
+
+/// The engine as shared between the CPU and peripherals of one VP.
+pub type SharedEngine = Rc<RefCell<DiftEngine>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::AddrRange;
+
+    const SECRET: Tag = Tag::from_bits(0b01);
+    const UNTRUSTED: Tag = Tag::from_bits(0b10);
+
+    fn engine() -> DiftEngine {
+        let policy = SecurityPolicy::builder("t")
+            .sink("uart.tx", UNTRUSTED)
+            .protect_region("pin", AddrRange::new(0x1000, 4), SECRET)
+            .build();
+        DiftEngine::new(policy)
+    }
+
+    #[test]
+    fn output_check_enforces_clearance() {
+        let mut e = engine();
+        assert!(e.check_output("uart.tx", Tag::EMPTY, None).is_ok());
+        assert!(e.check_output("uart.tx", UNTRUSTED, None).is_ok());
+        let v = e.check_output("uart.tx", SECRET, Some(4)).unwrap_err();
+        assert_eq!(v.pc, Some(4));
+        assert_eq!(v.required, UNTRUSTED);
+        assert_eq!(e.stats(), EngineStats { checks: 3, failed: 1 });
+    }
+
+    #[test]
+    fn unknown_sink_is_unchecked() {
+        let mut e = engine();
+        assert!(e.check_output("debug.port", SECRET, None).is_ok());
+        assert_eq!(e.stats().checks, 0);
+    }
+
+    #[test]
+    fn store_check_consults_region_rules() {
+        let mut e = engine();
+        // Secret (the PIN itself) may be stored into the PIN region.
+        assert!(e.check_store(0x1002, SECRET, None).is_ok());
+        // Untrusted data may not.
+        let v = e.check_store(0x1002, UNTRUSTED, None).unwrap_err();
+        assert!(matches!(v.kind, ViolationKind::Store { ref region } if region == "pin"));
+        assert!(v.context.contains("0x00001002"));
+        // Outside the region: unchecked.
+        assert!(e.check_store(0x2000, UNTRUSTED, None).is_ok());
+    }
+
+    #[test]
+    fn record_mode_logs_without_failing() {
+        let policy = SecurityPolicy::builder("t").sink("uart.tx", Tag::EMPTY).build();
+        let mut e = DiftEngine::with_mode(policy, EnforceMode::Record);
+        assert!(e.check_output("uart.tx", SECRET, None).is_ok());
+        assert_eq!(e.violations().len(), 1);
+        assert!(e.violated());
+        let taken = e.take_violations();
+        assert_eq!(taken.len(), 1);
+        assert!(!e.violated());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut e = engine();
+        let _ = e.check_output("uart.tx", SECRET, None);
+        e.reset();
+        assert!(!e.violated());
+        assert_eq!(e.stats(), EngineStats::default());
+    }
+
+    #[test]
+    fn mode_switching() {
+        let mut e = engine();
+        assert_eq!(e.mode(), EnforceMode::Enforce);
+        e.set_mode(EnforceMode::Record);
+        assert_eq!(e.mode(), EnforceMode::Record);
+        assert!(e.check_output("uart.tx", SECRET, None).is_ok());
+    }
+
+    #[test]
+    fn shared_engine_is_usable_through_refcell() {
+        let shared = engine().into_shared();
+        assert!(shared.borrow_mut().check_output("uart.tx", SECRET, None).is_err());
+        assert_eq!(shared.borrow().violations().len(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Security-policy violations raised by the DIFT engine.
+
+use core::fmt;
+
+use crate::tag::Tag;
+
+/// Which check failed. The first three execution-clearance variants
+/// correspond exactly to §V-B2 of the paper (branch execution, instruction
+/// fetch, memory access); the rest cover data-flow clearance at outputs and
+/// storage, plus misuse of declassification.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// A branch/jump condition (or indirect target) carried insufficient
+    /// clearance — implicit information flow through control flow.
+    Branch,
+    /// A fetched instruction word carried insufficient clearance — implicit
+    /// leak through decode behaviour, or code-injection attempt.
+    Fetch,
+    /// A load/store effective address carried insufficient clearance —
+    /// implicit leak through the access pattern.
+    MemAddr,
+    /// A trap/interrupt handler address carried insufficient clearance
+    /// (checked with the branch clearance, as in the paper).
+    TrapVector,
+    /// Data reached an output interface whose clearance does not admit it
+    /// (confidentiality: secret data leaving the system).
+    Output {
+        /// Name of the output interface (e.g. `"uart.tx"`).
+        sink: String,
+    },
+    /// Data was stored into a protected location whose clearance does not
+    /// admit it (integrity: untrusted or differently-classified data
+    /// overwriting a sensitive region).
+    Store {
+        /// Name of the protected region (e.g. `"immo.pin[2]"`).
+        region: String,
+    },
+    /// A component attempted declassification without holding a grant.
+    Declassify {
+        /// Name of the offending component.
+        component: String,
+    },
+    /// A model-specific check (peripherals may define their own).
+    Custom {
+        /// Free-form description of the check.
+        what: String,
+    },
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::Branch => write!(f, "branch execution clearance"),
+            ViolationKind::Fetch => write!(f, "instruction fetch clearance"),
+            ViolationKind::MemAddr => write!(f, "memory address clearance"),
+            ViolationKind::TrapVector => write!(f, "trap vector clearance"),
+            ViolationKind::Output { sink } => write!(f, "output clearance at `{sink}`"),
+            ViolationKind::Store { region } => write!(f, "store clearance at `{region}`"),
+            ViolationKind::Declassify { component } => {
+                write!(f, "unauthorized declassification by `{component}`")
+            }
+            ViolationKind::Custom { what } => write!(f, "{what}"),
+        }
+    }
+}
+
+/// A recorded security-policy violation.
+///
+/// Produced whenever `allowedFlow(tag, required)` is false at a check site.
+/// Depending on the engine mode this either aborts the simulated operation
+/// (enforce) or is merely logged (record).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The kind of check that failed.
+    pub kind: ViolationKind,
+    /// Tag of the offending data.
+    pub tag: Tag,
+    /// Clearance tag the check site required.
+    pub required: Tag,
+    /// Program counter of the instruction responsible, when known.
+    pub pc: Option<u32>,
+    /// Free-form context (sink address, register name, …).
+    pub context: String,
+}
+
+impl Violation {
+    /// Convenience constructor without PC/context.
+    pub fn new(kind: ViolationKind, tag: Tag, required: Tag) -> Self {
+        Violation { kind, tag, required, pc: None, context: String::new() }
+    }
+
+    /// Attaches the program counter.
+    #[must_use]
+    pub fn at_pc(mut self, pc: u32) -> Self {
+        self.pc = Some(pc);
+        self
+    }
+
+    /// Attaches free-form context.
+    #[must_use]
+    pub fn with_context(mut self, context: impl Into<String>) -> Self {
+        self.context = context.into();
+        self
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} violated: data tag {} exceeds clearance {}", self.kind, self.tag, self.required)?;
+        if let Some(pc) = self.pc {
+            write!(f, " at pc={pc:#010x}")?;
+        }
+        if !self.context.is_empty() {
+            write!(f, " ({})", self.context)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Violation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_tags_pc_context() {
+        let v = Violation::new(
+            ViolationKind::Output { sink: "uart.tx".into() },
+            Tag::from_bits(0b1),
+            Tag::EMPTY,
+        )
+        .at_pc(0x8000_0010)
+        .with_context("debug dump");
+        let s = v.to_string();
+        assert!(s.contains("uart.tx"));
+        assert!(s.contains("0x80000010"));
+        assert!(s.contains("debug dump"));
+        assert!(s.contains("{0}"));
+    }
+
+    #[test]
+    fn kinds_render_distinctly() {
+        let kinds = [
+            ViolationKind::Branch,
+            ViolationKind::Fetch,
+            ViolationKind::MemAddr,
+            ViolationKind::TrapVector,
+            ViolationKind::Output { sink: "s".into() },
+            ViolationKind::Store { region: "r".into() },
+            ViolationKind::Declassify { component: "c".into() },
+            ViolationKind::Custom { what: "w".into() },
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for k in kinds {
+            assert!(seen.insert(k.to_string()), "duplicate rendering");
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Ready-made Information Flow Policies — the lattices of the paper's
+//! Fig. 1 plus helpers for the refined policies of §VI-A.
+//!
+//! Naming follows the paper: `HC`/`LC` = High/Low Confidentiality,
+//! `HI`/`LI` = High/Low Integrity. IFP-3 is the product of IFP-1 and IFP-2.
+
+use crate::lattice::{CompiledLattice, Lattice, LatticeBuilder};
+use crate::tag::Tag;
+
+/// IFP-1: confidentiality only. `LC → HC` allowed, never back.
+///
+/// ```
+/// let l = vpdift_core::ifp::confidentiality();
+/// let lc = l.class("LC").unwrap();
+/// let hc = l.class("HC").unwrap();
+/// assert!(l.allowed_flow(lc, hc) && !l.allowed_flow(hc, lc));
+/// ```
+pub fn confidentiality() -> Lattice {
+    LatticeBuilder::new()
+        .class("LC")
+        .class("HC")
+        .flow("LC", "HC")
+        .build()
+        .expect("IFP-1 is a valid lattice")
+}
+
+/// IFP-2: integrity only. `HI → LI` allowed (trusted data may reach
+/// untrusted places), never back.
+pub fn integrity() -> Lattice {
+    LatticeBuilder::new()
+        .class("HI")
+        .class("LI")
+        .flow("HI", "LI")
+        .build()
+        .expect("IFP-2 is a valid lattice")
+}
+
+/// IFP-3: confidentiality × integrity, the "natural combination" of
+/// Example 1. Classes are `(LC,HI)`, `(HC,HI)`, `(LC,LI)`, `(HC,LI)`.
+pub fn conf_integrity() -> Lattice {
+    confidentiality().product(&integrity())
+}
+
+/// A linear chain `names[0] ⊑ names[1] ⊑ …` — handy for multi-level
+/// confidentiality policies.
+///
+/// # Panics
+/// Panics if `names` is empty or contains duplicates.
+pub fn chain(names: &[&str]) -> Lattice {
+    assert!(!names.is_empty(), "a chain needs at least one class");
+    let mut b = LatticeBuilder::new();
+    for n in names {
+        b = b.class(n);
+    }
+    for w in names.windows(2) {
+        b = b.flow(w[0], w[1]);
+    }
+    b.build().expect("chains are valid lattices")
+}
+
+/// The compiled tags for the classic IFP-3 policy, pre-bound to readable
+/// fields. This is the workhorse policy for the immobilizer case study.
+#[derive(Debug, Clone)]
+pub struct Ifp3Tags {
+    /// The compiled lattice (for reports and diagnostics).
+    pub compiled: CompiledLattice,
+    /// `(LC,HI)` — public and trusted: the bottom.
+    pub public_trusted: Tag,
+    /// `(HC,HI)` — secret but trusted (e.g. the PIN).
+    pub secret: Tag,
+    /// `(LC,LI)` — public but untrusted (external input).
+    pub untrusted: Tag,
+    /// `(HC,LI)` — secret and untrusted: the top.
+    pub top: Tag,
+}
+
+/// Compiles IFP-3 and binds its four classes to named tags.
+pub fn ifp3_tags() -> Ifp3Tags {
+    let compiled = conf_integrity().compile().expect("IFP-3 is distributive");
+    let t = |n: &str| compiled.tag_of(n).expect("IFP-3 class exists");
+    Ifp3Tags {
+        public_trusted: t("(LC,HI)"),
+        secret: t("(HC,HI)"),
+        untrusted: t("(LC,LI)"),
+        top: t("(HC,LI)"),
+        compiled,
+    }
+}
+
+/// Atoms for the §VI-A *refined* immobilizer policy: one confidentiality
+/// atom per PIN byte (plus the shared untrusted atom), so that overwriting
+/// PIN byte *k* with PIN byte *j≠k* is a store-clearance violation even
+/// though both bytes are trusted. Returns `(per_byte_secret_tags,
+/// untrusted_tag)`.
+///
+/// This is the free (powerset) lattice over `n + 1` atoms; no explicit
+/// [`Lattice`] object is needed because powersets are always distributive.
+///
+/// # Panics
+/// Panics if `n + 1` exceeds [`Tag::CAPACITY`].
+pub fn per_byte_pin_tags(n: usize) -> (Vec<Tag>, Tag) {
+    assert!(
+        (n as u32) < Tag::CAPACITY,
+        "per-byte policy needs n+1 atoms, at most {}",
+        Tag::CAPACITY
+    );
+    let untrusted = Tag::atom(n as u32);
+    let per_byte = (0..n as u32).map(Tag::atom).collect();
+    (per_byte, untrusted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ifp3_has_four_classes_and_expected_extremes() {
+        let l = conf_integrity();
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.name(l.bottom()), "(LC,HI)");
+        assert_eq!(l.name(l.top()), "(HC,LI)");
+    }
+
+    #[test]
+    fn ifp3_tags_follow_example_1() {
+        let t = ifp3_tags();
+        // LUB((LC,LI),(HC,HI)) = (HC,LI): untrusted AND secret.
+        assert_eq!(t.untrusted.lub(t.secret), t.top);
+        // Secret data may not reach an untrusted-cleared output.
+        assert!(!t.secret.flows_to(t.untrusted));
+        // Public trusted data may go anywhere.
+        for dst in [t.public_trusted, t.secret, t.untrusted, t.top] {
+            assert!(t.public_trusted.flows_to(dst));
+        }
+        // Untrusted data must not reach a trusted (HI) sink.
+        assert!(!t.untrusted.flows_to(t.secret));
+        assert!(!t.untrusted.flows_to(t.public_trusted));
+    }
+
+    #[test]
+    fn chain_orders_linearly() {
+        let l = chain(&["public", "confidential", "secret", "top-secret"]);
+        let ids: Vec<_> =
+            ["public", "confidential", "secret", "top-secret"].iter().map(|n| l.class(n).unwrap()).collect();
+        for i in 0..ids.len() {
+            for j in 0..ids.len() {
+                assert_eq!(l.allowed_flow(ids[i], ids[j]), i <= j);
+            }
+        }
+    }
+
+    #[test]
+    fn per_byte_tags_are_mutually_incomparable() {
+        let (bytes, untrusted) = per_byte_pin_tags(16);
+        assert_eq!(bytes.len(), 16);
+        for (i, a) in bytes.iter().enumerate() {
+            assert!(!a.flows_to(untrusted));
+            assert!(!untrusted.flows_to(*a));
+            for (j, b) in bytes.iter().enumerate() {
+                assert_eq!(a.flows_to(*b), i == j, "bytes {i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "atoms")]
+    fn per_byte_capacity_enforced() {
+        let _ = per_byte_pin_tags(32);
+    }
+
+    #[test]
+    fn all_fig1_lattices_compile() {
+        for l in [confidentiality(), integrity(), conf_integrity()] {
+            let c = l.compile().expect("Fig. 1 lattices are distributive");
+            assert_eq!(c.tag(l.bottom()), Tag::EMPTY);
+        }
+    }
+}

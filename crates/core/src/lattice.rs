@@ -1,0 +1,794 @@
+//! General Information-Flow-Policy lattices.
+//!
+//! A security policy's IFP is "a lattice of security classes that describes
+//! the allowed information flow in the system" (paper, §IV-A). This module
+//! provides:
+//!
+//! * [`LatticeBuilder`] / [`Lattice`] — arbitrary finite lattices built from
+//!   named classes and allowed-flow edges, with full validation (acyclicity,
+//!   existence and uniqueness of `LUB`/`GLB` for every pair),
+//! * [`Lattice::compile`] — the Birkhoff-style encoding of each class as a
+//!   [`Tag`] atom bitset, so the simulator's hot path can use `OR` for `LUB`
+//!   and subset tests for `allowedFlow`. Compilation *verifies* that the
+//!   encoding is exact and rejects non-distributive lattices,
+//! * [`Lattice::product`] — the natural combination used by the paper to
+//!   form IFP-3 from IFP-1 × IFP-2.
+
+use core::fmt;
+use std::collections::HashMap;
+
+use crate::tag::Tag;
+use crate::Violation;
+
+/// Index of a security class within its [`Lattice`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ClassId(pub usize);
+
+/// Errors detected while building or compiling a lattice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LatticeError {
+    /// A class name was declared twice.
+    DuplicateClass(String),
+    /// An edge referenced an unknown class name.
+    UnknownClass(String),
+    /// Two distinct classes allow flow into each other, so the "order" has a
+    /// cycle and is not a partial order.
+    FlowCycle(String, String),
+    /// Some pair of classes has no common upper bound at all.
+    NoUpperBound(String, String),
+    /// Some pair of classes has minimal upper bounds that are incomparable,
+    /// i.e. no *least* upper bound exists.
+    NoLeastUpperBound(String, String),
+    /// Some pair of classes has no greatest lower bound.
+    NoGreatestLowerBound(String, String),
+    /// The lattice has more join-irreducible elements than [`Tag`] atoms.
+    TooManyAtoms(usize),
+    /// The OR-encoding does not reproduce the lattice exactly; the lattice
+    /// is not distributive and cannot be compiled to atom bitsets.
+    NotDistributive(String, String),
+}
+
+impl fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatticeError::DuplicateClass(n) => write!(f, "duplicate security class `{n}`"),
+            LatticeError::UnknownClass(n) => write!(f, "unknown security class `{n}`"),
+            LatticeError::FlowCycle(a, b) => {
+                write!(f, "flow cycle between distinct classes `{a}` and `{b}`")
+            }
+            LatticeError::NoUpperBound(a, b) => {
+                write!(f, "classes `{a}` and `{b}` have no common upper bound")
+            }
+            LatticeError::NoLeastUpperBound(a, b) => {
+                write!(f, "classes `{a}` and `{b}` have no least upper bound")
+            }
+            LatticeError::NoGreatestLowerBound(a, b) => {
+                write!(f, "classes `{a}` and `{b}` have no greatest lower bound")
+            }
+            LatticeError::TooManyAtoms(n) => write!(
+                f,
+                "lattice has {n} join-irreducible classes, more than the {} tag atoms",
+                Tag::CAPACITY
+            ),
+            LatticeError::NotDistributive(a, b) => write!(
+                f,
+                "lattice is not distributive (atom encoding breaks at `{a}`, `{b}`); \
+                 tag compilation is unsound"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LatticeError {}
+
+/// Incrementally declares classes and allowed-flow edges, then validates
+/// into a [`Lattice`].
+///
+/// ```
+/// use vpdift_core::lattice::LatticeBuilder;
+/// // IFP-1 of the paper: Low-Confidentiality flows into High-Confidentiality.
+/// let ifp1 = LatticeBuilder::new()
+///     .class("LC")
+///     .class("HC")
+///     .flow("LC", "HC")
+///     .build()?;
+/// assert!(ifp1.allowed_flow(ifp1.class("LC").unwrap(), ifp1.class("HC").unwrap()));
+/// # Ok::<(), vpdift_core::lattice::LatticeError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatticeBuilder {
+    names: Vec<String>,
+    edges: Vec<(String, String)>,
+}
+
+impl LatticeBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a security class.
+    #[must_use]
+    pub fn class(mut self, name: &str) -> Self {
+        self.names.push(name.to_owned());
+        self
+    }
+
+    /// Declares that information may flow from `src` to `dst`.
+    #[must_use]
+    pub fn flow(mut self, src: &str, dst: &str) -> Self {
+        self.edges.push((src.to_owned(), dst.to_owned()));
+        self
+    }
+
+    /// Validates the declarations into a [`Lattice`].
+    ///
+    /// # Errors
+    /// Returns a [`LatticeError`] if the declared order is not a lattice
+    /// (duplicate/unknown classes, cycles, missing unique LUB or GLB).
+    pub fn build(self) -> Result<Lattice, LatticeError> {
+        Lattice::from_parts(self.names, self.edges)
+    }
+}
+
+/// A validated finite lattice of security classes.
+#[derive(Clone)]
+pub struct Lattice {
+    names: Vec<String>,
+    index: HashMap<String, ClassId>,
+    /// `leq[a * n + b]` ⇔ `allowedFlow(a, b)` ⇔ a ⊑ b.
+    leq: Vec<bool>,
+    lub: Vec<ClassId>,
+    glb: Vec<ClassId>,
+    bottom: ClassId,
+    top: ClassId,
+}
+
+impl fmt::Debug for Lattice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Lattice")
+            .field("classes", &self.names)
+            .field("bottom", &self.name(self.bottom))
+            .field("top", &self.name(self.top))
+            .finish()
+    }
+}
+
+impl Lattice {
+    fn from_parts(names: Vec<String>, edges: Vec<(String, String)>) -> Result<Self, LatticeError> {
+        let n = names.len();
+        let mut index = HashMap::new();
+        for (i, name) in names.iter().enumerate() {
+            if index.insert(name.clone(), ClassId(i)).is_some() {
+                return Err(LatticeError::DuplicateClass(name.clone()));
+            }
+        }
+
+        let mut leq = vec![false; n * n];
+        for (i, _) in names.iter().enumerate() {
+            leq[i * n + i] = true;
+        }
+        for (src, dst) in &edges {
+            let s = *index.get(src).ok_or_else(|| LatticeError::UnknownClass(src.clone()))?;
+            let d = *index.get(dst).ok_or_else(|| LatticeError::UnknownClass(dst.clone()))?;
+            leq[s.0 * n + d.0] = true;
+        }
+        // Reflexive-transitive closure (Warshall).
+        for k in 0..n {
+            for i in 0..n {
+                if leq[i * n + k] {
+                    for j in 0..n {
+                        if leq[k * n + j] {
+                            leq[i * n + j] = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Antisymmetry.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if leq[i * n + j] && leq[j * n + i] {
+                    return Err(LatticeError::FlowCycle(names[i].clone(), names[j].clone()));
+                }
+            }
+        }
+
+        // LUB table: for each pair, the unique minimal common upper bound.
+        let mut lub = vec![ClassId(0); n * n];
+        let mut glb = vec![ClassId(0); n * n];
+        for a in 0..n {
+            for b in 0..n {
+                let uppers: Vec<usize> =
+                    (0..n).filter(|&u| leq[a * n + u] && leq[b * n + u]).collect();
+                if uppers.is_empty() {
+                    return Err(LatticeError::NoUpperBound(names[a].clone(), names[b].clone()));
+                }
+                let least = uppers.iter().copied().find(|&u| {
+                    uppers.iter().all(|&v| leq[u * n + v])
+                });
+                match least {
+                    Some(u) => lub[a * n + b] = ClassId(u),
+                    None => {
+                        return Err(LatticeError::NoLeastUpperBound(
+                            names[a].clone(),
+                            names[b].clone(),
+                        ))
+                    }
+                }
+
+                let lowers: Vec<usize> =
+                    (0..n).filter(|&l| leq[l * n + a] && leq[l * n + b]).collect();
+                let greatest = lowers.iter().copied().find(|&l| {
+                    lowers.iter().all(|&m| leq[m * n + l])
+                });
+                match greatest {
+                    Some(l) => glb[a * n + b] = ClassId(l),
+                    None => {
+                        return Err(LatticeError::NoGreatestLowerBound(
+                            names[a].clone(),
+                            names[b].clone(),
+                        ))
+                    }
+                }
+            }
+        }
+
+        // Bottom and top exist in every finite lattice.
+        let bottom = ClassId(
+            (0..n)
+                .find(|&b| (0..n).all(|x| leq[b * n + x]))
+                .expect("finite lattice with validated GLBs has a bottom"),
+        );
+        let top = ClassId(
+            (0..n)
+                .find(|&t| (0..n).all(|x| leq[x * n + t]))
+                .expect("finite lattice with validated LUBs has a top"),
+        );
+
+        Ok(Lattice { names, index, leq, lub, glb, bottom, top })
+    }
+
+    /// Number of security classes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` iff the lattice has no classes (never constructible via
+    /// [`LatticeBuilder::build`], which requires a bottom).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Looks a class up by name.
+    pub fn class(&self, name: &str) -> Option<ClassId> {
+        self.index.get(name).copied()
+    }
+
+    /// Name of a class.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range for this lattice.
+    pub fn name(&self, id: ClassId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterates over all classes.
+    pub fn classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        (0..self.names.len()).map(ClassId)
+    }
+
+    /// The most permissive class (public & trusted).
+    pub fn bottom(&self) -> ClassId {
+        self.bottom
+    }
+
+    /// The most restrictive class.
+    pub fn top(&self) -> ClassId {
+        self.top
+    }
+
+    /// `allowedFlow(src, dst)` from the paper: is there a (transitive)
+    /// connection from `src` to `dst`?
+    pub fn allowed_flow(&self, src: ClassId, dst: ClassId) -> bool {
+        self.leq[src.0 * self.names.len() + dst.0]
+    }
+
+    /// Least upper bound of two classes.
+    pub fn lub(&self, a: ClassId, b: ClassId) -> ClassId {
+        self.lub[a.0 * self.names.len() + b.0]
+    }
+
+    /// Greatest lower bound of two classes.
+    pub fn glb(&self, a: ClassId, b: ClassId) -> ClassId {
+        self.glb[a.0 * self.names.len() + b.0]
+    }
+
+    /// The covering relation (Hasse diagram edges): pairs `(a, b)` with
+    /// `a ⊏ b` and nothing strictly between.
+    pub fn covers(&self) -> Vec<(ClassId, ClassId)> {
+        let n = self.names.len();
+        let mut out = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && self.leq[a * n + b] {
+                    let direct = !(0..n).any(|c| {
+                        c != a && c != b && self.leq[a * n + c] && self.leq[c * n + b]
+                    });
+                    if direct {
+                        out.push((ClassId(a), ClassId(b)));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Classes that are *join-irreducible*: not the bottom, and not the LUB
+    /// of two strictly smaller classes. These become the taint atoms.
+    pub fn join_irreducibles(&self) -> Vec<ClassId> {
+        let n = self.names.len();
+        self.classes()
+            .filter(|&x| {
+                if x == self.bottom {
+                    return false;
+                }
+                // x is join-reducible iff two strictly smaller classes join to x.
+                !(0..n).any(|a| {
+                    (0..n).any(|b| {
+                        let (a, b) = (ClassId(a), ClassId(b));
+                        a != x && b != x
+                            && self.allowed_flow(a, x)
+                            && self.allowed_flow(b, x)
+                            && self.lub(a, b) == x
+                    })
+                })
+            })
+            .collect()
+    }
+
+    /// `true` iff the lattice is distributive (`a ∧ (b ∨ c) = (a ∧ b) ∨
+    /// (a ∧ c)` for all triples) — the precondition for an exact atom
+    /// encoding.
+    pub fn is_distributive(&self) -> bool {
+        for a in self.classes() {
+            for b in self.classes() {
+                for c in self.classes() {
+                    let lhs = self.glb(a, self.lub(b, c));
+                    let rhs = self.lub(self.glb(a, b), self.glb(a, c));
+                    if lhs != rhs {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Classes that are *meet-irreducible*: not the top, and not the GLB
+    /// of two strictly larger classes — the dual of
+    /// [`Lattice::join_irreducibles`].
+    pub fn meet_irreducibles(&self) -> Vec<ClassId> {
+        let n = self.names.len();
+        self.classes()
+            .filter(|&x| {
+                if x == self.top {
+                    return false;
+                }
+                !(0..n).any(|a| {
+                    (0..n).any(|b| {
+                        let (a, b) = (ClassId(a), ClassId(b));
+                        a != x && b != x
+                            && self.allowed_flow(x, a)
+                            && self.allowed_flow(x, b)
+                            && self.glb(a, b) == x
+                    })
+                })
+            })
+            .collect()
+    }
+
+    /// Height of the lattice: the number of covers on the longest chain
+    /// from bottom to top (0 for the one-class lattice).
+    pub fn height(&self) -> usize {
+        // Longest path in the cover DAG, by memoized DFS from bottom.
+        let covers = self.covers();
+        let n = self.names.len();
+        let mut memo = vec![None::<usize>; n];
+        fn depth(
+            node: usize,
+            covers: &[(ClassId, ClassId)],
+            memo: &mut Vec<Option<usize>>,
+        ) -> usize {
+            if let Some(d) = memo[node] {
+                return d;
+            }
+            let d = covers
+                .iter()
+                .filter(|(a, _)| a.0 == node)
+                .map(|(_, b)| 1 + depth(b.0, covers, memo))
+                .max()
+                .unwrap_or(0);
+            memo[node] = Some(d);
+            d
+        }
+        depth(self.bottom.0, &covers, &mut memo)
+    }
+
+    /// Compiles the lattice into per-class [`Tag`] atom bitsets and verifies
+    /// the encoding is exact (`LUB` = OR, `allowedFlow` = ⊆).
+    ///
+    /// # Errors
+    /// [`LatticeError::TooManyAtoms`] if more than 32 join-irreducibles;
+    /// [`LatticeError::NotDistributive`] if OR-encoding cannot represent
+    /// this lattice exactly.
+    pub fn compile(&self) -> Result<CompiledLattice, LatticeError> {
+        let irr = self.join_irreducibles();
+        if irr.len() > Tag::CAPACITY as usize {
+            return Err(LatticeError::TooManyAtoms(irr.len()));
+        }
+        let mut tags = vec![Tag::EMPTY; self.names.len()];
+        for c in self.classes() {
+            let mut t = Tag::EMPTY;
+            for (bit, &j) in irr.iter().enumerate() {
+                if self.allowed_flow(j, c) {
+                    t |= Tag::atom(bit as u32);
+                }
+            }
+            tags[c.0] = t;
+        }
+        // Exactness check over every pair.
+        for a in self.classes() {
+            for b in self.classes() {
+                let ok_flow = self.allowed_flow(a, b) == tags[a.0].flows_to(tags[b.0]);
+                let ok_lub = tags[self.lub(a, b).0] == tags[a.0].lub(tags[b.0]);
+                if !ok_flow || !ok_lub {
+                    return Err(LatticeError::NotDistributive(
+                        self.name(a).to_owned(),
+                        self.name(b).to_owned(),
+                    ));
+                }
+            }
+        }
+        Ok(CompiledLattice { lattice: self.clone(), tags, atoms: irr })
+    }
+
+    /// Product lattice: classes are pairs `(a, b)` ordered component-wise.
+    /// This is the paper's "natural combination" forming IFP-3 from
+    /// IFP-1 × IFP-2; pair names are rendered `"(A,B)"`.
+    pub fn product(&self, other: &Lattice) -> Lattice {
+        let mut builder = LatticeBuilder::new();
+        let pair_name =
+            |a: ClassId, b: ClassId| format!("({},{})", self.name(a), other.name(b));
+        for a in self.classes() {
+            for b in other.classes() {
+                builder = builder.class(&pair_name(a, b));
+            }
+        }
+        for a1 in self.classes() {
+            for b1 in other.classes() {
+                for a2 in self.classes() {
+                    for b2 in other.classes() {
+                        if (a1, b1) != (a2, b2)
+                            && self.allowed_flow(a1, a2)
+                            && other.allowed_flow(b1, b2)
+                        {
+                            builder = builder.flow(&pair_name(a1, b1), &pair_name(a2, b2));
+                        }
+                    }
+                }
+            }
+        }
+        builder.build().expect("product of two lattices is a lattice")
+    }
+
+    /// Graphviz `dot` rendering of the Hasse diagram (Fig. 1 style).
+    pub fn to_dot(&self, title: &str) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("digraph \"{title}\" {{\n  rankdir=BT;\n"));
+        for c in self.classes() {
+            s.push_str(&format!("  n{} [label=\"{}\"];\n", c.0, self.name(c)));
+        }
+        for (a, b) in self.covers() {
+            s.push_str(&format!("  n{} -> n{};\n", a.0, b.0));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+impl fmt::Display for Lattice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "lattice: {} classes, bottom={}, top={}",
+            self.len(),
+            self.name(self.bottom),
+            self.name(self.top)
+        )?;
+        for (a, b) in self.covers() {
+            writeln!(f, "  {} -> {}", self.name(a), self.name(b))?;
+        }
+        Ok(())
+    }
+}
+
+/// A lattice compiled to [`Tag`] atom bitsets (see [`Lattice::compile`]).
+#[derive(Debug, Clone)]
+pub struct CompiledLattice {
+    lattice: Lattice,
+    tags: Vec<Tag>,
+    atoms: Vec<ClassId>,
+}
+
+impl CompiledLattice {
+    /// The source lattice.
+    pub fn lattice(&self) -> &Lattice {
+        &self.lattice
+    }
+
+    /// The compiled tag of a class.
+    pub fn tag(&self, class: ClassId) -> Tag {
+        self.tags[class.0]
+    }
+
+    /// The compiled tag of a class, looked up by name.
+    pub fn tag_of(&self, name: &str) -> Option<Tag> {
+        self.lattice.class(name).map(|c| self.tag(c))
+    }
+
+    /// Join-irreducible classes, in atom-bit order.
+    pub fn atoms(&self) -> &[ClassId] {
+        &self.atoms
+    }
+
+    /// Maps a tag back to the smallest class whose tag contains it, if any.
+    /// (Exact for tags produced from this lattice's classes.)
+    pub fn class_of(&self, tag: Tag) -> Option<ClassId> {
+        self.lattice
+            .classes()
+            .filter(|&c| tag.flows_to(self.tags[c.0]))
+            .min_by_key(|&c| self.tags[c.0].atom_count())
+    }
+
+    /// Builds an explanation of a violation in terms of this lattice's class
+    /// names, for diagnostics.
+    pub fn explain(&self, violation: &Violation) -> String {
+        let nm = |t: Tag| {
+            self.class_of(t)
+                .map(|c| self.lattice.name(c).to_owned())
+                .unwrap_or_else(|| t.to_string())
+        };
+        format!(
+            "{}: data class {} may not flow to clearance {}",
+            violation.kind,
+            nm(violation.tag),
+            nm(violation.required)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ifp1() -> Lattice {
+        LatticeBuilder::new().class("LC").class("HC").flow("LC", "HC").build().unwrap()
+    }
+
+    fn ifp2() -> Lattice {
+        LatticeBuilder::new().class("HI").class("LI").flow("HI", "LI").build().unwrap()
+    }
+
+    #[test]
+    fn ifp1_orders_confidentiality() {
+        let l = ifp1();
+        let lc = l.class("LC").unwrap();
+        let hc = l.class("HC").unwrap();
+        assert!(l.allowed_flow(lc, hc));
+        assert!(!l.allowed_flow(hc, lc));
+        assert_eq!(l.bottom(), lc);
+        assert_eq!(l.top(), hc);
+        assert_eq!(l.lub(lc, hc), hc);
+        assert_eq!(l.glb(lc, hc), lc);
+    }
+
+    #[test]
+    fn product_reproduces_ifp3_example() {
+        // Example 1 of the paper: in IFP-3, LUB((LC,LI),(HC,HI)) = (HC,LI).
+        let ifp3 = ifp1().product(&ifp2());
+        assert_eq!(ifp3.len(), 4);
+        let a = ifp3.class("(LC,LI)").unwrap();
+        let b = ifp3.class("(HC,HI)").unwrap();
+        let c = ifp3.class("(HC,LI)").unwrap();
+        assert_eq!(ifp3.lub(a, b), c);
+        assert_eq!(ifp3.name(ifp3.bottom()), "(LC,HI)");
+        assert_eq!(ifp3.name(ifp3.top()), "(HC,LI)");
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let err = LatticeBuilder::new()
+            .class("A")
+            .class("B")
+            .flow("A", "B")
+            .flow("B", "A")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, LatticeError::FlowCycle(..)));
+    }
+
+    #[test]
+    fn missing_lub_detected() {
+        // Two incomparable maximal classes: no common upper bound.
+        let err = LatticeBuilder::new()
+            .class("bot")
+            .class("A")
+            .class("B")
+            .flow("bot", "A")
+            .flow("bot", "B")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, LatticeError::NoUpperBound("A".into(), "B".into()));
+    }
+
+    #[test]
+    fn ambiguous_lub_detected() {
+        // Diamond with two incomparable upper bounds of {A,B}: M4-ish shape.
+        //      top
+        //     /   \
+        //    U     V
+        //    |\   /|
+        //    | \ / |
+        //    A  X  B   (A,B ⊑ U and A,B ⊑ V)
+        let err = LatticeBuilder::new()
+            .class("bot")
+            .class("A")
+            .class("B")
+            .class("U")
+            .class("V")
+            .class("top")
+            .flow("bot", "A")
+            .flow("bot", "B")
+            .flow("A", "U")
+            .flow("B", "U")
+            .flow("A", "V")
+            .flow("B", "V")
+            .flow("U", "top")
+            .flow("V", "top")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, LatticeError::NoLeastUpperBound(..)));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_classes() {
+        let err = LatticeBuilder::new().class("A").class("A").build().unwrap_err();
+        assert_eq!(err, LatticeError::DuplicateClass("A".into()));
+        let err =
+            LatticeBuilder::new().class("A").flow("A", "Z").build().unwrap_err();
+        assert_eq!(err, LatticeError::UnknownClass("Z".into()));
+    }
+
+    #[test]
+    fn compile_ifp3_uses_two_atoms() {
+        let ifp3 = ifp1().product(&ifp2());
+        let c = ifp3.compile().unwrap();
+        assert_eq!(c.atoms().len(), 2);
+        let bot = c.tag_of("(LC,HI)").unwrap();
+        let top = c.tag_of("(HC,LI)").unwrap();
+        assert_eq!(bot, Tag::EMPTY);
+        assert_eq!(top.atom_count(), 2);
+        let secret = c.tag_of("(HC,HI)").unwrap();
+        let untrusted = c.tag_of("(LC,LI)").unwrap();
+        assert_eq!(secret.lub(untrusted), top);
+        assert!(!secret.flows_to(untrusted));
+        assert!(!untrusted.flows_to(secret));
+        assert!(bot.flows_to(secret));
+    }
+
+    #[test]
+    fn compile_round_trips_class_of() {
+        let ifp3 = ifp1().product(&ifp2());
+        let c = ifp3.compile().unwrap();
+        for cls in ifp3.classes() {
+            assert_eq!(c.class_of(c.tag(cls)), Some(cls), "class {}", ifp3.name(cls));
+        }
+    }
+
+    #[test]
+    fn chain_compiles_to_nested_tags() {
+        let l = LatticeBuilder::new()
+            .class("public")
+            .class("internal")
+            .class("secret")
+            .flow("public", "internal")
+            .flow("internal", "secret")
+            .build()
+            .unwrap();
+        let c = l.compile().unwrap();
+        let p = c.tag_of("public").unwrap();
+        let i = c.tag_of("internal").unwrap();
+        let s = c.tag_of("secret").unwrap();
+        assert!(p.flows_to(i) && i.flows_to(s));
+        assert!(!s.flows_to(i) && !i.flows_to(p));
+        assert_eq!(p, Tag::EMPTY);
+        assert_eq!(i.atom_count(), 1);
+        assert_eq!(s.atom_count(), 2);
+    }
+
+    #[test]
+    fn covers_are_hasse_edges_only() {
+        let l = LatticeBuilder::new()
+            .class("a")
+            .class("b")
+            .class("c")
+            .flow("a", "b")
+            .flow("b", "c")
+            .flow("a", "c") // transitive edge must not appear as a cover
+            .build()
+            .unwrap();
+        let covers: Vec<_> = l
+            .covers()
+            .into_iter()
+            .map(|(x, y)| (l.name(x).to_owned(), l.name(y).to_owned()))
+            .collect();
+        assert_eq!(covers, vec![("a".into(), "b".into()), ("b".into(), "c".into())]);
+    }
+
+    #[test]
+    fn dot_output_contains_nodes_and_edges() {
+        let dot = ifp1().to_dot("IFP-1");
+        assert!(dot.contains("digraph \"IFP-1\""));
+        assert!(dot.contains("label=\"LC\""));
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn distributivity_analysis() {
+        assert!(ifp1().is_distributive());
+        assert!(ifp1().product(&ifp2()).is_distributive());
+        // The diamond M3 (three incomparable middles) is not distributive.
+        let m3 = LatticeBuilder::new()
+            .class("bot")
+            .class("x")
+            .class("y")
+            .class("z")
+            .class("top")
+            .flow("bot", "x")
+            .flow("bot", "y")
+            .flow("bot", "z")
+            .flow("x", "top")
+            .flow("y", "top")
+            .flow("z", "top")
+            .build()
+            .unwrap();
+        assert!(!m3.is_distributive());
+        assert!(m3.compile().is_err(), "compile agrees with the analysis");
+    }
+
+    #[test]
+    fn meet_irreducibles_and_height() {
+        let ifp3 = ifp1().product(&ifp2());
+        // In the 2x2 diamond, the two middles are both meet-irreducible.
+        let mi = ifp3.meet_irreducibles();
+        assert_eq!(mi.len(), 2);
+        assert!(!mi.contains(&ifp3.top()));
+        assert_eq!(ifp3.height(), 2);
+        assert_eq!(ifp1().height(), 1);
+        let chain = crate::ifp::chain(&["a", "b", "c", "d"]);
+        assert_eq!(chain.height(), 3);
+        assert_eq!(chain.meet_irreducibles().len(), 3);
+        assert_eq!(chain.join_irreducibles().len(), 3);
+    }
+
+    #[test]
+    fn join_irreducibles_of_diamond() {
+        let ifp3 = ifp1().product(&ifp2());
+        let irr = ifp3.join_irreducibles();
+        let names: Vec<_> = irr.iter().map(|&c| ifp3.name(c)).collect();
+        assert_eq!(names.len(), 2);
+        assert!(names.contains(&"(HC,HI)"));
+        assert!(names.contains(&"(LC,LI)"));
+    }
+}

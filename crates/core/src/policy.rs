@@ -1,0 +1,419 @@
+//! Security policies: classification, clearance, execution clearance and
+//! declassification grants (paper §IV-A and §V-B2).
+//!
+//! A [`SecurityPolicy`] is pure configuration — it owns no simulation state.
+//! The [`crate::engine::DiftEngine`] evaluates checks against it at
+//! run-time, and the SoC applies its classification rules when loading
+//! programs and wiring peripherals.
+
+use core::fmt;
+use std::collections::{HashMap, HashSet};
+
+use crate::tag::Tag;
+use crate::taint::Taint;
+
+/// A half-open address range `[start, end)` in the SoC physical address
+/// space.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct AddrRange {
+    /// First address covered.
+    pub start: u32,
+    /// One past the last address covered.
+    pub end: u32,
+}
+
+impl AddrRange {
+    /// Builds a range from start and length.
+    ///
+    /// # Panics
+    /// Panics if the range would overflow the 32-bit address space or is empty.
+    pub fn new(start: u32, len: u32) -> Self {
+        assert!(len > 0, "empty address range");
+        let end = start.checked_add(len).expect("address range overflows u32");
+        AddrRange { start, end }
+    }
+
+    /// `true` iff `addr` lies inside the range.
+    pub const fn contains(&self, addr: u32) -> bool {
+        addr >= self.start && addr < self.end
+    }
+
+    /// Number of bytes covered.
+    pub const fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Ranges are never empty by construction.
+    pub const fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl fmt::Display for AddrRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#010x},{:#010x})", self.start, self.end)
+    }
+}
+
+/// A rule attached to a memory region.
+#[derive(Clone, Debug)]
+pub struct RegionRule {
+    /// Diagnostic name (e.g. `"immo.pin"`).
+    pub name: String,
+    /// Addresses the rule covers.
+    pub range: AddrRange,
+    /// Tag stamped onto the region's bytes at classification time (program
+    /// load / reset), if any.
+    pub classify: Option<Tag>,
+    /// Clearance required of *data written into* the region (integrity
+    /// protection), if any. A write of data whose tag does not flow to this
+    /// clearance is a [`crate::ViolationKind::Store`] violation.
+    pub write_clearance: Option<Tag>,
+}
+
+/// Execution clearances for the three implicit-flow-relevant CPU operations
+/// identified in §V-B2. `None` disables the corresponding check.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecClearance {
+    /// Required clearance of every fetched instruction word.
+    pub fetch: Option<Tag>,
+    /// Required clearance of branch/jump conditions and indirect targets
+    /// (also applied to trap-vector addresses).
+    pub branch: Option<Tag>,
+    /// Required clearance of load/store effective addresses.
+    pub mem_addr: Option<Tag>,
+}
+
+impl ExecClearance {
+    /// No execution-clearance checking at all (the plain-VP behaviour).
+    pub const UNCHECKED: ExecClearance = ExecClearance { fetch: None, branch: None, mem_addr: None };
+
+    /// The paper's "safe approximation": require `clearance` on all three
+    /// operations.
+    pub const fn uniform(clearance: Tag) -> Self {
+        ExecClearance { fetch: Some(clearance), branch: Some(clearance), mem_addr: Some(clearance) }
+    }
+}
+
+/// A complete security policy.
+///
+/// Build one with [`SecurityPolicy::builder`]:
+///
+/// ```
+/// use vpdift_core::{policy::SecurityPolicy, Tag};
+/// let untrusted = Tag::atom(0);
+/// let policy = SecurityPolicy::builder("code-injection")
+///     .source("terminal.rx", untrusted)
+///     .sink("uart.tx", untrusted)          // untrusted data may leave
+///     .fetch_clearance(Tag::EMPTY)         // but never execute
+///     .build();
+/// assert_eq!(policy.source_tag("terminal.rx"), untrusted);
+/// assert_eq!(policy.exec().fetch, Some(Tag::EMPTY));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SecurityPolicy {
+    name: String,
+    exec: ExecClearance,
+    regions: Vec<RegionRule>,
+    sinks: HashMap<String, Tag>,
+    sources: HashMap<String, Tag>,
+    declass_grants: HashSet<String>,
+}
+
+impl SecurityPolicy {
+    /// Starts building a policy.
+    pub fn builder(name: &str) -> SecurityPolicyBuilder {
+        SecurityPolicyBuilder {
+            policy: SecurityPolicy {
+                name: name.to_owned(),
+                exec: ExecClearance::UNCHECKED,
+                regions: Vec::new(),
+                sinks: HashMap::new(),
+                sources: HashMap::new(),
+                declass_grants: HashSet::new(),
+            },
+        }
+    }
+
+    /// A permissive policy that classifies nothing and checks nothing —
+    /// the behaviour of the original (non-DIFT) VP.
+    pub fn permissive() -> SecurityPolicy {
+        SecurityPolicy::builder("permissive").build()
+    }
+
+    /// Policy name, for reports.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The execution clearances.
+    pub fn exec(&self) -> ExecClearance {
+        self.exec
+    }
+
+    /// Classification tag of an input source; untagged sources produce
+    /// bottom (public, trusted) data.
+    pub fn source_tag(&self, source: &str) -> Tag {
+        self.sources.get(source).copied().unwrap_or(Tag::EMPTY)
+    }
+
+    /// Clearance of an output sink; unlisted sinks are unchecked (`None`).
+    pub fn sink_clearance(&self, sink: &str) -> Option<Tag> {
+        self.sinks.get(sink).copied()
+    }
+
+    /// All region rules, in declaration order.
+    pub fn regions(&self) -> &[RegionRule] {
+        &self.regions
+    }
+
+    /// The first region rule covering `addr` that declares a write
+    /// clearance.
+    pub fn write_clearance_at(&self, addr: u32) -> Option<(&RegionRule, Tag)> {
+        self.regions
+            .iter()
+            .find_map(|r| r.write_clearance.filter(|_| r.range.contains(addr)).map(|t| (r, t)))
+    }
+
+    /// The classification tag for `addr` at load time, if any rule covers it.
+    pub fn classify_at(&self, addr: u32) -> Option<Tag> {
+        self.regions.iter().find_map(|r| r.classify.filter(|_| r.range.contains(addr)))
+    }
+
+    /// Issues a declassification capability to `component`, if the policy
+    /// trusts it. Only trusted HW peripherals should ever be granted one
+    /// (paper §IV-A).
+    pub fn grant_declassify(&self, component: &str) -> Option<DeclassifyCap> {
+        self.declass_grants
+            .contains(component)
+            .then(|| DeclassifyCap { holder: component.to_owned() })
+    }
+
+    /// `true` iff `component` holds a declassification grant.
+    pub fn may_declassify(&self, component: &str) -> bool {
+        self.declass_grants.contains(component)
+    }
+}
+
+/// Builder for [`SecurityPolicy`]; see there for an example.
+#[derive(Clone, Debug)]
+pub struct SecurityPolicyBuilder {
+    policy: SecurityPolicy,
+}
+
+impl SecurityPolicyBuilder {
+    /// Assigns a classification tag to data entering from `source`.
+    #[must_use]
+    pub fn source(mut self, source: &str, tag: Tag) -> Self {
+        self.policy.sources.insert(source.to_owned(), tag);
+        self
+    }
+
+    /// Assigns an output clearance to `sink`.
+    #[must_use]
+    pub fn sink(mut self, sink: &str, clearance: Tag) -> Self {
+        self.policy.sinks.insert(sink.to_owned(), clearance);
+        self
+    }
+
+    /// Adds a region rule that classifies bytes at load time.
+    #[must_use]
+    pub fn classify_region(mut self, name: &str, range: AddrRange, tag: Tag) -> Self {
+        self.policy.regions.push(RegionRule {
+            name: name.to_owned(),
+            range,
+            classify: Some(tag),
+            write_clearance: None,
+        });
+        self
+    }
+
+    /// Adds a region rule that requires `clearance` of all data stored into
+    /// `range` (integrity protection).
+    #[must_use]
+    pub fn protect_region(mut self, name: &str, range: AddrRange, clearance: Tag) -> Self {
+        self.policy.regions.push(RegionRule {
+            name: name.to_owned(),
+            range,
+            classify: None,
+            write_clearance: Some(clearance),
+        });
+        self
+    }
+
+    /// Adds a region rule with both classification and write clearance.
+    #[must_use]
+    pub fn classify_and_protect(
+        mut self,
+        name: &str,
+        range: AddrRange,
+        classify: Tag,
+        write_clearance: Tag,
+    ) -> Self {
+        self.policy.regions.push(RegionRule {
+            name: name.to_owned(),
+            range,
+            classify: Some(classify),
+            write_clearance: Some(write_clearance),
+        });
+        self
+    }
+
+    /// Sets the instruction-fetch execution clearance.
+    #[must_use]
+    pub fn fetch_clearance(mut self, clearance: Tag) -> Self {
+        self.policy.exec.fetch = Some(clearance);
+        self
+    }
+
+    /// Sets the branch-condition execution clearance.
+    #[must_use]
+    pub fn branch_clearance(mut self, clearance: Tag) -> Self {
+        self.policy.exec.branch = Some(clearance);
+        self
+    }
+
+    /// Sets the memory-address execution clearance.
+    #[must_use]
+    pub fn mem_addr_clearance(mut self, clearance: Tag) -> Self {
+        self.policy.exec.mem_addr = Some(clearance);
+        self
+    }
+
+    /// Sets all three execution clearances at once.
+    #[must_use]
+    pub fn exec_clearance(mut self, exec: ExecClearance) -> Self {
+        self.policy.exec = exec;
+        self
+    }
+
+    /// Grants `component` the right to declassify data.
+    #[must_use]
+    pub fn allow_declassify(mut self, component: &str) -> Self {
+        self.policy.declass_grants.insert(component.to_owned());
+        self
+    }
+
+    /// Finishes the policy.
+    pub fn build(self) -> SecurityPolicy {
+        self.policy
+    }
+}
+
+/// A capability to declassify data, issued by
+/// [`SecurityPolicy::grant_declassify`] only to components the policy
+/// trusts. Possession of the capability *is* the authorization, so
+/// peripherals holding one (e.g. the AES engine) can lower tags without
+/// consulting the engine on every datum.
+#[derive(Clone, Debug)]
+pub struct DeclassifyCap {
+    holder: String,
+}
+
+impl DeclassifyCap {
+    /// Name of the component the capability was issued to.
+    pub fn holder(&self) -> &str {
+        &self.holder
+    }
+
+    /// Removes `atoms` from the tag of `value`.
+    #[must_use]
+    pub fn declassify<T>(&self, value: Taint<T>, atoms: Tag) -> Taint<T> {
+        let tag = value.tag().without(atoms);
+        value.retagged(tag)
+    }
+
+    /// Re-tags `value` to exactly `tag` (full reclassification).
+    #[must_use]
+    pub fn reclassify<T>(&self, value: Taint<T>, tag: Tag) -> Taint<T> {
+        value.retagged(tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SECRET: Tag = Tag::from_bits(0b01);
+    const UNTRUSTED: Tag = Tag::from_bits(0b10);
+
+    #[test]
+    fn addr_range_semantics() {
+        let r = AddrRange::new(0x100, 0x10);
+        assert!(r.contains(0x100) && r.contains(0x10F));
+        assert!(!r.contains(0x110) && !r.contains(0xFF));
+        assert_eq!(r.len(), 0x10);
+        assert_eq!(r.to_string(), "[0x00000100,0x00000110)");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn addr_range_rejects_empty() {
+        let _ = AddrRange::new(0, 0);
+    }
+
+    #[test]
+    fn region_lookup_first_match_wins() {
+        let p = SecurityPolicy::builder("t")
+            .classify_and_protect("pin", AddrRange::new(0x1000, 16), SECRET, SECRET)
+            .protect_region("all-ram", AddrRange::new(0, 0x10000), UNTRUSTED)
+            .build();
+        let (rule, clearance) = p.write_clearance_at(0x1005).unwrap();
+        assert_eq!(rule.name, "pin");
+        assert_eq!(clearance, SECRET);
+        assert_eq!(p.classify_at(0x1005), Some(SECRET));
+        assert_eq!(p.classify_at(0x2000), None);
+        let (rule, _) = p.write_clearance_at(0x2000).unwrap();
+        assert_eq!(rule.name, "all-ram");
+        assert!(p.write_clearance_at(0x2000_0000).is_none());
+    }
+
+    #[test]
+    fn sources_and_sinks_default_open() {
+        let p = SecurityPolicy::builder("t")
+            .source("can.rx", UNTRUSTED)
+            .sink("can.tx", UNTRUSTED)
+            .build();
+        assert_eq!(p.source_tag("can.rx"), UNTRUSTED);
+        assert_eq!(p.source_tag("unknown"), Tag::EMPTY);
+        assert_eq!(p.sink_clearance("can.tx"), Some(UNTRUSTED));
+        assert_eq!(p.sink_clearance("unknown"), None);
+    }
+
+    #[test]
+    fn declassify_requires_grant() {
+        let p = SecurityPolicy::builder("t").allow_declassify("aes").build();
+        assert!(p.may_declassify("aes"));
+        assert!(!p.may_declassify("uart"));
+        assert!(p.grant_declassify("uart").is_none());
+        let cap = p.grant_declassify("aes").unwrap();
+        assert_eq!(cap.holder(), "aes");
+        let ct = Taint::new(0xAAu8, SECRET.lub(UNTRUSTED));
+        assert_eq!(cap.declassify(ct, SECRET).tag(), UNTRUSTED);
+        assert_eq!(cap.reclassify(ct, Tag::EMPTY).tag(), Tag::EMPTY);
+    }
+
+    #[test]
+    fn exec_clearance_uniform_and_unchecked() {
+        assert_eq!(ExecClearance::UNCHECKED.fetch, None);
+        let u = ExecClearance::uniform(Tag::EMPTY);
+        assert_eq!(u.fetch, Some(Tag::EMPTY));
+        assert_eq!(u.branch, Some(Tag::EMPTY));
+        assert_eq!(u.mem_addr, Some(Tag::EMPTY));
+        let p = SecurityPolicy::builder("t")
+            .branch_clearance(SECRET)
+            .mem_addr_clearance(UNTRUSTED)
+            .build();
+        assert_eq!(p.exec().branch, Some(SECRET));
+        assert_eq!(p.exec().mem_addr, Some(UNTRUSTED));
+        assert_eq!(p.exec().fetch, None);
+    }
+
+    #[test]
+    fn permissive_checks_nothing() {
+        let p = SecurityPolicy::permissive();
+        assert_eq!(p.exec(), ExecClearance::UNCHECKED);
+        assert!(p.regions().is_empty());
+        assert_eq!(p.sink_clearance("uart.tx"), None);
+    }
+}

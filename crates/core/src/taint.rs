@@ -1,0 +1,454 @@
+//! The `Taint<T>` data type — Rust rendition of the paper's Fig. 3.
+//!
+//! A [`Taint<T>`] couples a value with a security [`Tag`]. Arithmetic and
+//! logic operators are overloaded so that existing computations propagate
+//! tags transparently: the result value is computed as usual and the result
+//! tag is the `LUB` of the operand tags. Conversion to and from tagged byte
+//! arrays ([`Taint::to_bytes`] / [`Taint::from_bytes`]) lets any word travel
+//! through TLM transactions as `Taint<u8>` lanes, exactly as the paper
+//! embeds `Taint<uint8_t>` arrays in generic payloads.
+//!
+//! Unlike the paper's C++ (which consults global `LUB`/`allowedFlow`
+//! functions), tags here are atom bitsets, so `LUB` is context-free bitwise
+//! OR — no global policy state is needed in the hot path.
+
+use core::fmt;
+use core::ops::{Add, BitAnd, BitOr, BitXor, Div, Mul, Neg, Not, Rem, Shl, Shr, Sub};
+
+use crate::error::{Violation, ViolationKind};
+use crate::tag::Tag;
+
+/// A tainted value: data of type `T` plus its security class.
+///
+/// ```
+/// use vpdift_core::{Taint, Tag};
+/// let secret = Taint::new(0x2au32, Tag::atom(0));
+/// let public = Taint::untainted(1u32);
+/// let sum = secret + public;
+/// assert_eq!(sum.value(), 0x2b);
+/// assert_eq!(sum.tag(), Tag::atom(0)); // secrecy sticks
+/// assert!(sum.check_clearance(Tag::EMPTY).is_err()); // may not leave
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Taint<T> {
+    value: T,
+    tag: Tag,
+}
+
+impl<T> Taint<T> {
+    /// Creates a tainted value with an explicit security tag.
+    pub const fn new(value: T, tag: Tag) -> Self {
+        Taint { value, tag }
+    }
+
+    /// Creates a fully public, trusted value (bottom tag).
+    pub const fn untainted(value: T) -> Self {
+        Taint { value, tag: Tag::EMPTY }
+    }
+
+    /// The stored tag.
+    pub const fn tag(&self) -> Tag {
+        self.tag
+    }
+
+    /// Replaces the tag in place (paper: `setTag`).
+    pub fn set_tag(&mut self, tag: Tag) {
+        self.tag = tag;
+    }
+
+    /// Returns the same value with `tag` LUB-ed in.
+    #[must_use]
+    pub fn with_tag_lub(mut self, tag: Tag) -> Self {
+        self.tag = self.tag.lub(tag);
+        self
+    }
+
+    /// Returns the same value re-tagged to exactly `tag` (declassification
+    /// and classification sites; guard with policy checks).
+    #[must_use]
+    pub fn retagged(mut self, tag: Tag) -> Self {
+        self.tag = tag;
+        self
+    }
+
+    /// Applies `f` to the value, keeping the tag (unary data flow).
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Taint<U> {
+        Taint { value: f(self.value), tag: self.tag }
+    }
+
+    /// Combines two tainted values: `f` on the data, `LUB` on the tags.
+    /// This is the single propagation rule behind every overloaded operator.
+    pub fn zip_with<U, V>(self, other: Taint<U>, f: impl FnOnce(T, U) -> V) -> Taint<V> {
+        Taint { value: f(self.value, other.value), tag: self.tag.lub(other.tag) }
+    }
+
+    /// Checks `allowedFlow(tag, required)` and surrenders the raw value on
+    /// success — the safe analogue of the paper's implicit conversion that
+    /// "requires by default a low confidentiality tag".
+    ///
+    /// # Errors
+    /// Returns a [`Violation`] (kind [`ViolationKind::Custom`]) when the tag
+    /// does not flow to `required`.
+    pub fn check_clearance(self, required: Tag) -> Result<T, Violation> {
+        if self.tag.flows_to(required) {
+            Ok(self.value)
+        } else {
+            Err(Violation::new(
+                ViolationKind::Custom { what: "clearance check".into() },
+                self.tag,
+                required,
+            ))
+        }
+    }
+}
+
+impl<T: Copy> Taint<T> {
+    /// The stored value (taint is *not* checked; use
+    /// [`Taint::check_clearance`] at trust boundaries).
+    pub const fn value(&self) -> T {
+        self.value
+    }
+}
+
+impl<T> From<T> for Taint<T> {
+    fn from(value: T) -> Self {
+        Taint::untainted(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Taint<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}@{}", self.value, self.tag)
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Taint<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.value, self.tag)
+    }
+}
+
+/// Fixed-width integer words that can cross the TLM boundary as tagged
+/// byte lanes. Sealed: implemented for the primitive integers only.
+pub trait TaintWord: Copy + private::Sealed {
+    /// Width in bytes.
+    const SIZE: usize;
+    /// Writes the little-endian bytes of `self` into `out`.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != Self::SIZE`.
+    fn write_le(self, out: &mut [u8]);
+    /// Reads a value from little-endian bytes.
+    ///
+    /// # Panics
+    /// Panics if `bytes.len() != Self::SIZE`.
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+mod private {
+    pub trait Sealed {}
+}
+
+macro_rules! impl_taint_word {
+    ($($t:ty),*) => {$(
+        impl private::Sealed for $t {}
+        impl TaintWord for $t {
+            const SIZE: usize = core::mem::size_of::<$t>();
+            fn write_le(self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+            fn read_le(bytes: &[u8]) -> Self {
+                let mut buf = [0u8; core::mem::size_of::<$t>()];
+                buf.copy_from_slice(bytes);
+                <$t>::from_le_bytes(buf)
+            }
+        }
+    )*};
+}
+
+impl_taint_word!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl<T: TaintWord> Taint<T> {
+    /// Converts to a little-endian array of tainted bytes; every byte
+    /// carries this word's tag (paper Fig. 3, `to_bytes`).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != T::SIZE`.
+    pub fn to_bytes(self, out: &mut [Taint<u8>]) {
+        assert_eq!(out.len(), T::SIZE, "destination length must equal word size");
+        let mut raw = [0u8; 8];
+        self.value.write_le(&mut raw[..T::SIZE]);
+        for (dst, &b) in out.iter_mut().zip(&raw[..T::SIZE]) {
+            *dst = Taint::new(b, self.tag);
+        }
+    }
+
+    /// Reassembles a word from tainted bytes; the word tag is the `LUB` of
+    /// all byte tags (paper Fig. 3, `from_bytes`).
+    ///
+    /// # Panics
+    /// Panics if `bytes.len() != T::SIZE`.
+    pub fn from_bytes(bytes: &[Taint<u8>]) -> Self {
+        assert_eq!(bytes.len(), T::SIZE, "source length must equal word size");
+        let mut raw = [0u8; 8];
+        let mut tag = Tag::EMPTY;
+        for (dst, b) in raw[..T::SIZE].iter_mut().zip(bytes) {
+            *dst = b.value;
+            tag |= b.tag;
+        }
+        Taint::new(T::read_le(&raw[..T::SIZE]), tag)
+    }
+}
+
+macro_rules! impl_bin_op {
+    ($trait:ident, $method:ident, $($t:ty),*) => {$(
+        impl $trait for Taint<$t> {
+            type Output = Taint<$t>;
+            fn $method(self, rhs: Taint<$t>) -> Taint<$t> {
+                self.zip_with(rhs, <$t as $trait>::$method)
+            }
+        }
+        impl $trait<$t> for Taint<$t> {
+            type Output = Taint<$t>;
+            fn $method(self, rhs: $t) -> Taint<$t> {
+                self.map(|v| <$t as $trait>::$method(v, rhs))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_all_ops {
+    ($($t:ty),*) => {
+        impl_bin_op!(Add, add, $($t),*);
+        impl_bin_op!(Sub, sub, $($t),*);
+        impl_bin_op!(Mul, mul, $($t),*);
+        impl_bin_op!(Div, div, $($t),*);
+        impl_bin_op!(Rem, rem, $($t),*);
+        impl_bin_op!(BitAnd, bitand, $($t),*);
+        impl_bin_op!(BitOr, bitor, $($t),*);
+        impl_bin_op!(BitXor, bitxor, $($t),*);
+        impl_bin_op!(Shl, shl, $($t),*);
+        impl_bin_op!(Shr, shr, $($t),*);
+        $(
+            impl Not for Taint<$t> {
+                type Output = Taint<$t>;
+                fn not(self) -> Taint<$t> {
+                    self.map(|v| !v)
+                }
+            }
+            impl Taint<$t> {
+                /// Wrapping addition with tag propagation (ISS semantics).
+                #[must_use]
+                pub fn wrapping_add(self, rhs: Taint<$t>) -> Taint<$t> {
+                    self.zip_with(rhs, <$t>::wrapping_add)
+                }
+                /// Wrapping subtraction with tag propagation.
+                #[must_use]
+                pub fn wrapping_sub(self, rhs: Taint<$t>) -> Taint<$t> {
+                    self.zip_with(rhs, <$t>::wrapping_sub)
+                }
+                /// Wrapping multiplication with tag propagation.
+                #[must_use]
+                pub fn wrapping_mul(self, rhs: Taint<$t>) -> Taint<$t> {
+                    self.zip_with(rhs, <$t>::wrapping_mul)
+                }
+                /// Tainted equality: the *comparison result* depends on both
+                /// operands, so it carries their LUB.
+                #[must_use]
+                pub fn tv_eq(self, rhs: Taint<$t>) -> Taint<bool> {
+                    self.zip_with(rhs, |a, b| a == b)
+                }
+                /// Tainted less-than.
+                #[must_use]
+                pub fn tv_lt(self, rhs: Taint<$t>) -> Taint<bool> {
+                    self.zip_with(rhs, |a, b| a < b)
+                }
+            }
+        )*
+    };
+}
+
+impl_all_ops!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+macro_rules! impl_neg {
+    ($($t:ty),*) => {$(
+        impl Neg for Taint<$t> {
+            type Output = Taint<$t>;
+            fn neg(self) -> Taint<$t> {
+                self.map(|v| -v)
+            }
+        }
+    )*};
+}
+
+impl_neg!(i8, i16, i32, i64);
+
+impl Taint<bool> {
+    /// Logical AND with tag propagation.
+    #[must_use]
+    pub fn and(self, rhs: Taint<bool>) -> Taint<bool> {
+        self.zip_with(rhs, |a, b| a && b)
+    }
+    /// Logical OR with tag propagation.
+    #[must_use]
+    pub fn or(self, rhs: Taint<bool>) -> Taint<bool> {
+        self.zip_with(rhs, |a, b| a || b)
+    }
+}
+
+impl Not for Taint<bool> {
+    type Output = Taint<bool>;
+    fn not(self) -> Taint<bool> {
+        self.map(|v| !v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: Tag = Tag::from_bits(0b01); // "secret"
+    const U: Tag = Tag::from_bits(0b10); // "untrusted"
+
+    #[test]
+    fn operators_propagate_lub() {
+        let a = Taint::new(6u32, S);
+        let b = Taint::new(7u32, U);
+        assert_eq!((a + b).value(), 13);
+        assert_eq!((a + b).tag(), S.lub(U));
+        assert_eq!((a * b).value(), 42);
+        assert_eq!((a ^ b).value(), 1);
+        assert_eq!((a & b).tag(), S.lub(U));
+        assert_eq!((a | b).tag(), S.lub(U));
+        assert_eq!((a << Taint::new(1u32, U)).value(), 12);
+        assert_eq!((a >> 1u32).tag(), S); // plain rhs adds no taint
+        assert_eq!((!a).tag(), S);
+        assert_eq!((-Taint::new(5i32, S)).value(), -5);
+    }
+
+    #[test]
+    fn untainted_operand_does_not_dilute() {
+        let a = Taint::new(1u32, S);
+        let b = Taint::untainted(2u32);
+        assert_eq!((a + b).tag(), S);
+        assert_eq!((b + a).tag(), S);
+    }
+
+    #[test]
+    fn wrapping_ops_wrap_and_propagate() {
+        let a = Taint::new(u32::MAX, S);
+        let b = Taint::new(2u32, U);
+        let c = a.wrapping_add(b);
+        assert_eq!(c.value(), 1);
+        assert_eq!(c.tag(), S.lub(U));
+        assert_eq!(Taint::new(0u32, S).wrapping_sub(b).value(), u32::MAX - 1);
+        assert_eq!(Taint::new(1u32 << 31, S).wrapping_mul(b).value(), 0);
+    }
+
+    #[test]
+    fn comparisons_taint_their_result() {
+        let secret = Taint::new(42u32, S);
+        let probe = Taint::untainted(42u32);
+        let eq = secret.tv_eq(probe);
+        assert!(eq.value());
+        assert_eq!(eq.tag(), S); // branch on this ⇒ implicit flow
+        assert!(!secret.tv_lt(probe).value());
+    }
+
+    #[test]
+    fn clearance_check_follows_subset_rule() {
+        let secret = Taint::new(5u32, S);
+        assert!(secret.check_clearance(Tag::EMPTY).is_err());
+        assert_eq!(secret.check_clearance(S).unwrap(), 5);
+        assert_eq!(secret.check_clearance(S.lub(U)).unwrap(), 5);
+        assert_eq!(Taint::untainted(7u32).check_clearance(Tag::EMPTY).unwrap(), 7);
+    }
+
+    #[test]
+    fn to_bytes_spreads_tag_over_every_byte() {
+        let w = Taint::new(0xDEAD_BEEFu32, S);
+        let mut bytes = [Taint::untainted(0u8); 4];
+        w.to_bytes(&mut bytes);
+        assert_eq!(bytes.iter().map(|b| b.value()).collect::<Vec<_>>(), vec![0xEF, 0xBE, 0xAD, 0xDE]);
+        assert!(bytes.iter().all(|b| b.tag() == S));
+    }
+
+    #[test]
+    fn from_bytes_lubs_byte_tags() {
+        let bytes = [
+            Taint::new(0x01u8, Tag::EMPTY),
+            Taint::new(0x02u8, S),
+            Taint::new(0x03u8, U),
+            Taint::new(0x04u8, Tag::EMPTY),
+        ];
+        let w: Taint<u32> = Taint::from_bytes(&bytes);
+        assert_eq!(w.value(), 0x0403_0201);
+        assert_eq!(w.tag(), S.lub(U));
+    }
+
+    #[test]
+    fn byte_round_trip_all_widths() {
+        fn rt<T: TaintWord + PartialEq + core::fmt::Debug>(v: T) {
+            let w = Taint::new(v, S);
+            let mut buf = vec![Taint::untainted(0u8); T::SIZE];
+            w.to_bytes(&mut buf);
+            let back: Taint<T> = Taint::from_bytes(&buf);
+            assert_eq!(back.value, v);
+            assert_eq!(back.tag(), S);
+        }
+        rt(0xABu8);
+        rt(0xBEEFu16);
+        rt(0xDEAD_BEEFu32);
+        rt(0x0123_4567_89AB_CDEFu64);
+        rt(-7i8);
+        rt(-700i16);
+        rt(-70_000i32);
+        rt(-7_000_000_000i64);
+    }
+
+    #[test]
+    #[should_panic(expected = "word size")]
+    fn to_bytes_length_checked() {
+        let mut buf = [Taint::untainted(0u8); 3];
+        Taint::new(1u32, S).to_bytes(&mut buf);
+    }
+
+    #[test]
+    fn map_zip_retag() {
+        let a = Taint::new(10u32, S);
+        assert_eq!(a.map(|v| v * 2).value(), 20);
+        assert_eq!(a.map(|v| v * 2).tag(), S);
+        let b = a.zip_with(Taint::new(1u32, U), |x, y| x - y);
+        assert_eq!((b.value(), b.tag()), (9, S.lub(U)));
+        assert_eq!(a.retagged(Tag::EMPTY).tag(), Tag::EMPTY);
+        assert_eq!(a.with_tag_lub(U).tag(), S.lub(U));
+        let mut c = a;
+        c.set_tag(U);
+        assert_eq!(c.tag(), U);
+    }
+
+    #[test]
+    fn bool_logic_propagates() {
+        let t = Taint::new(true, S);
+        let f = Taint::new(false, U);
+        assert!(!t.and(f).value());
+        assert!(t.or(f).value());
+        assert_eq!(t.and(f).tag(), S.lub(U));
+        assert!(!(!t).value());
+        assert_eq!((!t).tag(), S);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let v = Taint::new(5u32, S);
+        assert_eq!(v.to_string(), "5@{0}");
+        assert_eq!(format!("{v:?}"), "5@{0}");
+        assert_eq!(Taint::untainted(1u8).to_string(), "1@∅");
+    }
+
+    #[test]
+    fn from_plain_value_is_untainted() {
+        let v: Taint<u32> = 9u32.into();
+        assert_eq!(v.tag(), Tag::EMPTY);
+    }
+}

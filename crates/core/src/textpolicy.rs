@@ -1,0 +1,332 @@
+//! A small textual format for security policies, so policies can live in
+//! files next to the firmware they govern (used by the `taintvp-run` CLI).
+//!
+//! ```text
+//! # immobilizer policy (comments with '#')
+//! policy immo-coarse
+//!
+//! atom secret                      # declare taint atoms (≤ 32)
+//! atom untrusted
+//!
+//! source terminal.rx untrusted     # classification of inputs
+//! source can.rx      untrusted
+//! sink   uart.tx     untrusted     # clearance of outputs
+//! sink   can.tx      untrusted
+//!
+//! classify 0x2000 +16 secret       # classify a memory region at load
+//! protect  0x2000 +16 pin secret   # write clearance for a named region
+//!
+//! fetch-clearance   untrusted      # execution clearance (§V-B2)
+//! branch-clearance  untrusted
+//! memaddr-clearance untrusted
+//!
+//! declassify aes                   # trusted declassifier components
+//! ```
+//!
+//! Tag expressions are atom names joined with `|`, or the keyword
+//! `public` (the empty/bottom tag).
+
+use core::fmt;
+use std::collections::HashMap;
+
+use crate::policy::{AddrRange, SecurityPolicy, SecurityPolicyBuilder};
+use crate::tag::Tag;
+
+/// Errors from [`parse_policy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for PolicyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PolicyParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> PolicyParseError {
+    PolicyParseError { line, message: message.into() }
+}
+
+/// The atom names declared by a parsed policy, for mapping tags back to
+/// human-readable form.
+#[derive(Debug, Clone, Default)]
+pub struct AtomTable {
+    names: Vec<String>,
+}
+
+impl AtomTable {
+    /// Resolves a declared atom by name.
+    pub fn tag(&self, name: &str) -> Option<Tag> {
+        self.names.iter().position(|n| n == name).map(|i| Tag::atom(i as u32))
+    }
+
+    /// Renders a tag as a `|`-joined list of atom names.
+    pub fn describe(&self, tag: Tag) -> String {
+        if tag.is_empty() {
+            return "public".into();
+        }
+        let parts: Vec<&str> = tag
+            .atoms()
+            .map(|i| self.names.get(i as usize).map(String::as_str).unwrap_or("?"))
+            .collect();
+        parts.join("|")
+    }
+
+    /// Declared atom names, in bit order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+fn parse_u32(tok: &str, line: usize) -> Result<u32, PolicyParseError> {
+    let t = tok.trim();
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16)
+    } else {
+        t.parse()
+    }
+    .map_err(|_| err(line, format!("bad number `{tok}`")))
+}
+
+fn parse_range(a: &str, b: &str, line: usize) -> Result<AddrRange, PolicyParseError> {
+    let start = parse_u32(a, line)?;
+    if let Some(len) = b.strip_prefix('+') {
+        let len = parse_u32(len, line)?;
+        if len == 0 {
+            return Err(err(line, "region length must be non-zero"));
+        }
+        Ok(AddrRange::new(start, len))
+    } else {
+        let end = parse_u32(b, line)?;
+        if end <= start {
+            return Err(err(line, format!("empty region {a}..{b}")));
+        }
+        Ok(AddrRange::new(start, end - start))
+    }
+}
+
+fn parse_tag(expr: &str, atoms: &HashMap<String, u32>, line: usize) -> Result<Tag, PolicyParseError> {
+    let e = expr.trim();
+    if e == "public" || e == "bottom" {
+        return Ok(Tag::EMPTY);
+    }
+    let mut tag = Tag::EMPTY;
+    for part in e.split('|') {
+        let name = part.trim();
+        let &bit = atoms
+            .get(name)
+            .ok_or_else(|| err(line, format!("unknown atom `{name}` (declare with `atom`)")))?;
+        tag |= Tag::atom(bit);
+    }
+    Ok(tag)
+}
+
+/// Parses the textual policy format.
+///
+/// # Errors
+/// [`PolicyParseError`] with the offending line.
+pub fn parse_policy(source: &str) -> Result<(SecurityPolicy, AtomTable), PolicyParseError> {
+    let mut name = "text-policy".to_owned();
+    let mut atoms: HashMap<String, u32> = HashMap::new();
+    let mut table = AtomTable::default();
+    // First pass: name + atoms (so tags can be referenced anywhere).
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        let mut toks = line.split_whitespace();
+        match toks.next() {
+            Some("policy") => {
+                name = toks
+                    .next()
+                    .ok_or_else(|| err(line_no, "`policy` needs a name"))?
+                    .to_owned();
+            }
+            Some("atom") => {
+                let atom =
+                    toks.next().ok_or_else(|| err(line_no, "`atom` needs a name"))?.to_owned();
+                if atoms.contains_key(&atom) {
+                    return Err(err(line_no, format!("duplicate atom `{atom}`")));
+                }
+                let bit = atoms.len() as u32;
+                if bit >= Tag::CAPACITY {
+                    return Err(err(line_no, "too many atoms (max 32)"));
+                }
+                atoms.insert(atom.clone(), bit);
+                table.names.push(atom);
+            }
+            _ => {}
+        }
+    }
+
+    let mut builder: SecurityPolicyBuilder = SecurityPolicy::builder(&name);
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match toks[0] {
+            "policy" | "atom" => {} // handled in the first pass
+            "source" => {
+                if toks.len() != 3 {
+                    return Err(err(line_no, "usage: source <name> <tag>"));
+                }
+                builder = builder.source(toks[1], parse_tag(toks[2], &atoms, line_no)?);
+            }
+            "sink" => {
+                if toks.len() != 3 {
+                    return Err(err(line_no, "usage: sink <name> <tag>"));
+                }
+                builder = builder.sink(toks[1], parse_tag(toks[2], &atoms, line_no)?);
+            }
+            "classify" => {
+                if toks.len() != 4 {
+                    return Err(err(line_no, "usage: classify <start> <end|+len> <tag>"));
+                }
+                let range = parse_range(toks[1], toks[2], line_no)?;
+                let tag = parse_tag(toks[3], &atoms, line_no)?;
+                builder = builder.classify_region(&format!("classify@{:#x}", range.start), range, tag);
+            }
+            "protect" => {
+                if toks.len() != 5 {
+                    return Err(err(line_no, "usage: protect <start> <end|+len> <name> <tag>"));
+                }
+                let range = parse_range(toks[1], toks[2], line_no)?;
+                let tag = parse_tag(toks[4], &atoms, line_no)?;
+                builder = builder.protect_region(toks[3], range, tag);
+            }
+            "classify-protect" => {
+                if toks.len() != 5 {
+                    return Err(err(
+                        line_no,
+                        "usage: classify-protect <start> <end|+len> <name> <tag>",
+                    ));
+                }
+                let range = parse_range(toks[1], toks[2], line_no)?;
+                let tag = parse_tag(toks[4], &atoms, line_no)?;
+                builder = builder.classify_and_protect(toks[3], range, tag, tag);
+            }
+            "fetch-clearance" => {
+                if toks.len() != 2 {
+                    return Err(err(line_no, "usage: fetch-clearance <tag>"));
+                }
+                builder = builder.fetch_clearance(parse_tag(toks[1], &atoms, line_no)?);
+            }
+            "branch-clearance" => {
+                if toks.len() != 2 {
+                    return Err(err(line_no, "usage: branch-clearance <tag>"));
+                }
+                builder = builder.branch_clearance(parse_tag(toks[1], &atoms, line_no)?);
+            }
+            "memaddr-clearance" => {
+                if toks.len() != 2 {
+                    return Err(err(line_no, "usage: memaddr-clearance <tag>"));
+                }
+                builder = builder.mem_addr_clearance(parse_tag(toks[1], &atoms, line_no)?);
+            }
+            "declassify" => {
+                if toks.len() != 2 {
+                    return Err(err(line_no, "usage: declassify <component>"));
+                }
+                builder = builder.allow_declassify(toks[1]);
+            }
+            other => return Err(err(line_no, format!("unknown directive `{other}`"))),
+        }
+    }
+    Ok((builder.build(), table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IMMO: &str = r#"
+# the immobilizer coarse policy
+policy immo-coarse
+atom secret
+atom untrusted
+
+source terminal.rx untrusted
+source can.rx untrusted
+sink uart.tx untrusted
+sink can.tx untrusted
+classify-protect 0x2000 +16 pin secret
+fetch-clearance untrusted
+branch-clearance untrusted
+memaddr-clearance untrusted
+declassify aes
+"#;
+
+    #[test]
+    fn parses_the_immobilizer_policy() {
+        let (p, atoms) = parse_policy(IMMO).unwrap();
+        assert_eq!(p.name(), "immo-coarse");
+        let secret = atoms.tag("secret").unwrap();
+        let untrusted = atoms.tag("untrusted").unwrap();
+        assert_ne!(secret, untrusted);
+        assert_eq!(p.source_tag("terminal.rx"), untrusted);
+        assert_eq!(p.sink_clearance("uart.tx"), Some(untrusted));
+        assert_eq!(p.classify_at(0x2005), Some(secret));
+        assert_eq!(p.write_clearance_at(0x200F).unwrap().1, secret);
+        assert_eq!(p.classify_at(0x2010), None);
+        assert_eq!(p.exec().fetch, Some(untrusted));
+        assert!(p.may_declassify("aes"));
+        assert_eq!(atoms.describe(secret | untrusted), "secret|untrusted");
+        assert_eq!(atoms.describe(Tag::EMPTY), "public");
+    }
+
+    #[test]
+    fn tag_unions_and_keywords() {
+        let src = "atom a\natom b\nsink s a|b\nsink t public\n";
+        let (p, atoms) = parse_policy(src).unwrap();
+        assert_eq!(p.sink_clearance("s"), Some(atoms.tag("a").unwrap() | atoms.tag("b").unwrap()));
+        assert_eq!(p.sink_clearance("t"), Some(Tag::EMPTY));
+    }
+
+    #[test]
+    fn range_forms() {
+        let src = "atom a\nclassify 0x100 0x104 a\nclassify 0x200 +8 a\n";
+        let (p, _) = parse_policy(src).unwrap();
+        assert!(p.classify_at(0x103).is_some());
+        assert!(p.classify_at(0x104).is_none());
+        assert!(p.classify_at(0x207).is_some());
+    }
+
+    #[test]
+    fn errors_have_line_numbers() {
+        let e = parse_policy("atom a\nsink s nosuch\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("nosuch"));
+        let e = parse_policy("bogus x\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse_policy("atom a\natom a\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+        let e = parse_policy("atom a\nclassify 0x10 0x10 a\n").unwrap_err();
+        assert!(e.message.contains("empty"));
+    }
+
+    #[test]
+    fn atom_capacity_enforced() {
+        let mut src = String::new();
+        for i in 0..33 {
+            src.push_str(&format!("atom a{i}\n"));
+        }
+        let e = parse_policy(&src).unwrap_err();
+        assert!(e.message.contains("too many"));
+    }
+
+    #[test]
+    fn forward_atom_references_work() {
+        // Atoms are gathered in a first pass, so order doesn't matter.
+        let src = "sink s late\natom late\n";
+        let (p, atoms) = parse_policy(src).unwrap();
+        assert_eq!(p.sink_clearance("s"), Some(atoms.tag("late").unwrap()));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the DIFT core invariants.
+
+use proptest::prelude::*;
+use vpdift_core::lattice::LatticeBuilder;
+use vpdift_core::{Tag, Taint};
+
+fn tag_strategy() -> impl Strategy<Value = Tag> {
+    any::<u32>().prop_map(Tag::from_bits)
+}
+
+proptest! {
+    /// LUB on tags is a join-semilattice: commutative, associative,
+    /// idempotent, with EMPTY as identity.
+    #[test]
+    fn tag_lub_laws(a in tag_strategy(), b in tag_strategy(), c in tag_strategy()) {
+        prop_assert_eq!(a.lub(b), b.lub(a));
+        prop_assert_eq!(a.lub(a), a);
+        prop_assert_eq!(a.lub(b.lub(c)), a.lub(b).lub(c));
+        prop_assert_eq!(a.lub(Tag::EMPTY), a);
+    }
+
+    /// `flows_to` is the partial order induced by LUB: a ⊑ b ⇔ a∨b = b.
+    #[test]
+    fn flow_consistent_with_lub(a in tag_strategy(), b in tag_strategy()) {
+        prop_assert_eq!(a.flows_to(b), a.lub(b) == b);
+        // Reflexivity and monotonicity of LUB.
+        prop_assert!(a.flows_to(a));
+        prop_assert!(a.flows_to(a.lub(b)));
+        prop_assert!(b.flows_to(a.lub(b)));
+    }
+
+    /// Declassification removes exactly the requested atoms and is the only
+    /// tag-lowering operation: `without` then `lub` never exceeds original∪removed.
+    #[test]
+    fn declassify_algebra(a in tag_strategy(), r in tag_strategy()) {
+        let d = a.without(r);
+        prop_assert!(d.flows_to(a));
+        prop_assert_eq!(d.glb(r), Tag::EMPTY);
+        prop_assert_eq!(d.lub(a.glb(r)), a);
+    }
+
+    /// Taint propagation through arithmetic never *drops* taint: the result
+    /// tag always contains both operand tags ("no silent declassification").
+    #[test]
+    fn arithmetic_is_taint_monotone(
+        x in any::<u32>(), y in any::<u32>(),
+        ta in tag_strategy(), tb in tag_strategy(),
+    ) {
+        let a = Taint::new(x, ta);
+        let b = Taint::new(y, tb);
+        for r in [
+            a.wrapping_add(b), a.wrapping_sub(b), a.wrapping_mul(b),
+            a & b, a | b, a ^ b,
+        ] {
+            prop_assert!(ta.flows_to(r.tag()));
+            prop_assert!(tb.flows_to(r.tag()));
+            prop_assert_eq!(r.tag(), ta.lub(tb));
+        }
+        prop_assert_eq!((!a).tag(), ta);
+        prop_assert_eq!(a.tv_eq(b).tag(), ta.lub(tb));
+    }
+
+    /// Byte-lane round trip: `from_bytes(to_bytes(w)) == w` for all values
+    /// and tags, and per-byte tags LUB into the word tag.
+    #[test]
+    fn byte_lane_round_trip(v in any::<u64>(), t in tag_strategy()) {
+        let w = Taint::new(v, t);
+        let mut lanes = [Taint::untainted(0u8); 8];
+        w.to_bytes(&mut lanes);
+        let back: Taint<u64> = Taint::from_bytes(&lanes);
+        prop_assert_eq!(back.value(), v);
+        prop_assert_eq!(back.tag(), t);
+    }
+
+    /// Mixed-tag byte lanes reassemble with the exact LUB of lane tags.
+    #[test]
+    fn byte_lane_lub(vals in prop::array::uniform4(any::<u8>()),
+                     tags in prop::array::uniform4(tag_strategy())) {
+        let lanes: Vec<Taint<u8>> =
+            vals.iter().zip(&tags).map(|(&v, &t)| Taint::new(v, t)).collect();
+        let w: Taint<u32> = Taint::from_bytes(&lanes);
+        let expect = tags.iter().fold(Tag::EMPTY, |acc, &t| acc.lub(t));
+        prop_assert_eq!(w.tag(), expect);
+        prop_assert_eq!(w.value(), u32::from_le_bytes(vals));
+    }
+}
+
+/// Strategy producing random *valid* lattices: layered DAGs with a shared
+/// bottom and top, which always form a lattice when every middle class is
+/// connected to both.
+fn fence_lattice(middles: usize) -> vpdift_core::Lattice {
+    let mut b = LatticeBuilder::new().class("bot").class("top");
+    for i in 0..middles {
+        let name = format!("m{i}");
+        b = b.class(&name).flow("bot", &name).flow(&name, "top");
+    }
+    b = b.flow("bot", "top");
+    b.build().expect("fence lattices are valid")
+}
+
+proptest! {
+    /// For every compilable lattice, the atom encoding agrees with the
+    /// table semantics on all pairs (soundness of `compile`), here checked
+    /// on the "fence" family M(k) — which is non-distributive for k ≥ 3 and
+    /// must be *rejected*, and distributive for k ≤ 2 and must round-trip.
+    #[test]
+    fn compile_soundness_fence_family(k in 0usize..6) {
+        let l = fence_lattice(k);
+        match l.compile() {
+            Ok(c) => {
+                prop_assert!(k <= 2, "M({k}) with k >= 3 is not distributive");
+                for a in l.classes() {
+                    for b in l.classes() {
+                        prop_assert_eq!(
+                            l.allowed_flow(a, b),
+                            c.tag(a).flows_to(c.tag(b))
+                        );
+                        prop_assert_eq!(c.tag(l.lub(a, b)), c.tag(a).lub(c.tag(b)));
+                    }
+                }
+            }
+            Err(e) => {
+                prop_assert!(k >= 3, "M({k}) should compile but got {e}");
+            }
+        }
+    }
+
+    /// Product lattices preserve component-wise flow and LUB.
+    #[test]
+    fn product_componentwise(seed in 0usize..4) {
+        let a = vpdift_core::ifp::confidentiality();
+        let b = vpdift_core::ifp::integrity();
+        let p = a.product(&b);
+        let classes: Vec<_> = p.classes().collect();
+        let x = classes[seed % classes.len()];
+        let y = classes[(seed * 7 + 1) % classes.len()];
+        // Flow in the product implies the LUB equals the target when x ⊑ y.
+        if p.allowed_flow(x, y) {
+            prop_assert_eq!(p.lub(x, y), y);
+        }
+        prop_assert_eq!(p.lub(x, x), x);
+        prop_assert!(p.allowed_flow(p.bottom(), x));
+        prop_assert!(p.allowed_flow(x, p.top()));
+    }
+}

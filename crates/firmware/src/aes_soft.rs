@@ -1,0 +1,352 @@
+//! Software AES-128 as *guest code* — the counterpoint to the AES
+//! peripheral.
+//!
+//! The paper's policy architecture grants declassification only to trusted
+//! hardware (§IV-A). This module makes the consequence tangible: a guest
+//! that encrypts *in software* produces ciphertext that still carries the
+//! key's `(HC,HI)` tag — taint tracking correctly sees through the cipher
+//! (every output byte depends on the key) — so the "encrypted" data can
+//! never leave on a `(LC,LI)` interface. Only the hardware engine's
+//! capability can lower the tag. The encryption itself is verified against
+//! the host-side FIPS-197 implementation.
+
+use vpdift_asm::{Asm, Reg};
+
+use crate::rt::emit_runtime;
+use crate::workload::{Check, Workload};
+
+use Reg::*;
+
+/// The AES S-box (emitted into the guest image).
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// Emits `aes_encrypt` — a callable guest routine:
+/// `a0` = key ptr (16B), `a1` = plaintext ptr (16B), `a2` = output ptr
+/// (16B). Clobbers `t0..t6`, `s6..s11` (saved/restored), uses the static
+/// scratch areas emitted alongside.
+///
+/// The implementation is the byte-oriented FIPS-197 algorithm: key
+/// expansion into a 176-byte schedule, then 10 rounds of
+/// SubBytes/ShiftRows/MixColumns/AddRoundKey with `xtime` computed
+/// branchlessly (mask = `-(b >> 7)`).
+pub fn emit_aes_encrypt(a: &mut Asm) {
+    a.label("aes_encrypt");
+    a.addi(Sp, Sp, -32);
+    a.sw(Ra, 28, Sp);
+    a.sw(S6, 24, Sp);
+    a.sw(S7, 20, Sp);
+    a.sw(S8, 16, Sp);
+    a.sw(S9, 12, Sp);
+    a.sw(S10, 8, Sp);
+    a.sw(S11, 4, Sp);
+    a.mv(S6, A0); // key
+    a.mv(S7, A1); // plaintext
+    a.mv(S8, A2); // out
+
+    // ---- key expansion into aes_rk[176] --------------------------------
+    a.la(S9, "aes_rk");
+    // first 16 bytes = key
+    a.mv(A0, S9);
+    a.mv(A1, S6);
+    a.li(A2, 16);
+    a.call("rt_memcpy");
+    // words 4..44
+    a.li(T0, 4); // i
+    a.label("aes_ks");
+    // temp = rk[4*(i-1) .. +4]
+    a.slli(T1, T0, 2);
+    a.add(T1, S9, T1);
+    a.lbu(T2, -4, T1);
+    a.lbu(T3, -3, T1);
+    a.lbu(T4, -2, T1);
+    a.lbu(T5, -1, T1);
+    // if i % 4 == 0: rotword + subword + rcon
+    a.andi(T6, T0, 3);
+    a.bnez(T6, "aes_ks_plain");
+    // rot: (t2,t3,t4,t5) <- (t3,t4,t5,t2), then sbox each
+    a.mv(T6, T2);
+    a.mv(T2, T3);
+    a.mv(T3, T4);
+    a.mv(T4, T5);
+    a.mv(T5, T6);
+    a.la(T6, "aes_sbox");
+    a.add(T2, T6, T2);
+    a.lbu(T2, 0, T2);
+    a.add(T3, T6, T3);
+    a.lbu(T3, 0, T3);
+    a.add(T4, T6, T4);
+    a.lbu(T4, 0, T4);
+    a.add(T5, T6, T5);
+    a.lbu(T5, 0, T5);
+    // rcon[i/4 - 1] ^= into T2
+    a.srli(T6, T0, 2);
+    a.la(S10, "aes_rcon");
+    a.add(T6, S10, T6);
+    a.lbu(T6, -1, T6);
+    a.xor(T2, T2, T6);
+    a.label("aes_ks_plain");
+    // rk[4i..] = rk[4(i-4)..] ^ temp
+    a.slli(T1, T0, 2);
+    a.add(T1, S9, T1);
+    a.lbu(T6, -16, T1);
+    a.xor(T2, T2, T6);
+    a.sb(T2, 0, T1);
+    a.lbu(T6, -15, T1);
+    a.xor(T3, T3, T6);
+    a.sb(T3, 1, T1);
+    a.lbu(T6, -14, T1);
+    a.xor(T4, T4, T6);
+    a.sb(T4, 2, T1);
+    a.lbu(T6, -13, T1);
+    a.xor(T5, T5, T6);
+    a.sb(T5, 3, T1);
+    a.addi(T0, T0, 1);
+    a.li(T6, 44);
+    a.blt(T0, T6, "aes_ks");
+
+    // ---- state = plaintext ^ rk[0..16] ----------------------------------
+    a.la(S10, "aes_state");
+    a.li(T0, 0);
+    a.label("aes_ark0");
+    a.add(T1, S7, T0);
+    a.lbu(T2, 0, T1);
+    a.add(T1, S9, T0);
+    a.lbu(T3, 0, T1);
+    a.xor(T2, T2, T3);
+    a.add(T1, S10, T0);
+    a.sb(T2, 0, T1);
+    a.addi(T0, T0, 1);
+    a.li(T6, 16);
+    a.blt(T0, T6, "aes_ark0");
+
+    // ---- 10 rounds -------------------------------------------------------
+    a.li(S11, 1); // round
+    a.label("aes_round");
+    // SubBytes + ShiftRows into aes_tmp: tmp[i] = sbox[state[shift_map[i]]]
+    a.la(T5, "aes_shiftmap");
+    a.la(T6, "aes_sbox");
+    a.li(T0, 0);
+    a.label("aes_sbsr");
+    a.add(T1, T5, T0);
+    a.lbu(T1, 0, T1); // src index
+    a.add(T1, S10, T1);
+    a.lbu(T2, 0, T1); // state byte
+    a.add(T2, T6, T2);
+    a.lbu(T2, 0, T2); // sbox
+    a.la(T3, "aes_tmp");
+    a.add(T3, T3, T0);
+    a.sb(T2, 0, T3);
+    a.addi(T0, T0, 1);
+    a.li(T1, 16);
+    a.blt(T0, T1, "aes_sbsr");
+
+    // MixColumns (skipped in round 10), result back into state, then
+    // AddRoundKey with rk[16*round ..].
+    a.li(T0, 10);
+    a.beq(S11, T0, "aes_last_round");
+    // for each column c: standard xtime dance.
+    a.li(S7, 0); // column byte base (reusing S7; plaintext no longer needed)
+    a.label("aes_mix");
+    a.la(T5, "aes_tmp");
+    a.add(T5, T5, S7);
+    a.lbu(T0, 0, T5); // a0
+    a.lbu(T1, 1, T5); // a1
+    a.lbu(T2, 2, T5); // a2
+    a.lbu(T3, 3, T5); // a3
+    // t = a0^a1^a2^a3
+    a.xor(T4, T0, T1);
+    a.xor(T4, T4, T2);
+    a.xor(T4, T4, T3);
+    // helper: xtime(x) = (x<<1) ^ (0x1b & -(x>>7)), all mod 256
+    // b0 = a0 ^ t ^ xtime(a0^a1)
+    a.xor(T6, T0, T1);
+    emit_xtime(a, T6, S6); // careful: S6 (key ptr) is dead after key schedule
+    a.xor(T6, T6, T4);
+    a.xor(T6, T6, T0);
+    a.la(T5, "aes_state");
+    a.add(T5, T5, S7);
+    a.sb(T6, 0, T5);
+    // b1 = a1 ^ t ^ xtime(a1^a2)
+    a.xor(T6, T1, T2);
+    emit_xtime(a, T6, S6);
+    a.xor(T6, T6, T4);
+    a.xor(T6, T6, T1);
+    a.sb(T6, 1, T5);
+    // b2 = a2 ^ t ^ xtime(a2^a3)
+    a.xor(T6, T2, T3);
+    emit_xtime(a, T6, S6);
+    a.xor(T6, T6, T4);
+    a.xor(T6, T6, T2);
+    a.sb(T6, 2, T5);
+    // b3 = a3 ^ t ^ xtime(a3^a0)
+    a.xor(T6, T3, T0);
+    emit_xtime(a, T6, S6);
+    a.xor(T6, T6, T4);
+    a.xor(T6, T6, T3);
+    a.sb(T6, 3, T5);
+    a.addi(S7, S7, 4);
+    a.li(T6, 16);
+    a.blt(S7, T6, "aes_mix");
+    a.j("aes_ark");
+
+    a.label("aes_last_round");
+    // state = tmp (no MixColumns)
+    a.la(A0, "aes_state");
+    a.la(A1, "aes_tmp");
+    a.li(A2, 16);
+    a.call("rt_memcpy");
+
+    a.label("aes_ark");
+    // state ^= rk[16*round ..]
+    a.slli(T0, S11, 4);
+    a.add(T0, S9, T0); // round key base
+    a.la(T5, "aes_state");
+    a.li(T1, 0);
+    a.label("aes_ark_loop");
+    a.add(T2, T5, T1);
+    a.lbu(T3, 0, T2);
+    a.add(T4, T0, T1);
+    a.lbu(T6, 0, T4);
+    a.xor(T3, T3, T6);
+    a.sb(T3, 0, T2);
+    a.addi(T1, T1, 1);
+    a.li(T6, 16);
+    a.blt(T1, T6, "aes_ark_loop");
+
+    a.addi(S11, S11, 1);
+    a.li(T0, 11);
+    a.blt(S11, T0, "aes_round");
+
+    // ---- out = state ------------------------------------------------------
+    a.mv(A0, S8);
+    a.la(A1, "aes_state");
+    a.li(A2, 16);
+    a.call("rt_memcpy");
+
+    a.lw(Ra, 28, Sp);
+    a.lw(S6, 24, Sp);
+    a.lw(S7, 20, Sp);
+    a.lw(S8, 16, Sp);
+    a.lw(S9, 12, Sp);
+    a.lw(S10, 8, Sp);
+    a.lw(S11, 4, Sp);
+    a.addi(Sp, Sp, 32);
+    a.ret();
+}
+
+/// Branchless GF(2^8) doubling of the byte in `reg` (modifies it in
+/// place; clobbers `scratch`).
+fn emit_xtime(a: &mut Asm, reg: Reg, scratch: Reg) {
+    a.srli(scratch, reg, 7);
+    a.neg(scratch, scratch);
+    a.andi(scratch, scratch, 0x1B);
+    a.slli(reg, reg, 1);
+    a.andi(reg, reg, 0xFF);
+    a.xor(reg, reg, scratch);
+}
+
+/// Emits the constant tables and scratch areas `aes_encrypt` needs.
+pub fn emit_aes_data(a: &mut Asm) {
+    a.align(4);
+    a.label("aes_sbox");
+    a.bytes(&SBOX);
+    a.label("aes_rcon");
+    a.bytes(&RCON);
+    // ShiftRows source map: out[i] = in[map[i]] for the column-major
+    // FIPS-197 state layout.
+    a.label("aes_shiftmap");
+    a.bytes(&[0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11]);
+    a.align(4);
+    a.label("aes_rk");
+    a.zero(176);
+    a.label("aes_state");
+    a.zero(16);
+    a.label("aes_tmp");
+    a.zero(16);
+    a.align(4);
+}
+
+/// Builds a self-checking workload: encrypt the FIPS-197 appendix-C block
+/// in software and print the ciphertext as hex.
+pub fn build() -> Workload {
+    let mut a = Asm::new(0);
+    a.entry();
+    a.la(A0, "key");
+    a.la(A1, "pt");
+    a.la(A2, "ct");
+    a.call("aes_encrypt");
+    a.la(S0, "ct");
+    a.li(S1, 16);
+    a.label("print");
+    a.lbu(T0, 0, S0);
+    // two hex digits per byte via rt_put_hex of a shifted word is clumsy;
+    // print with a small nibble loop instead.
+    a.srli(A0, T0, 4);
+    a.call("hexdigit");
+    a.lbu(T0, 0, S0);
+    a.andi(A0, T0, 0xF);
+    a.call("hexdigit");
+    a.addi(S0, S0, 1);
+    a.addi(S1, S1, -1);
+    a.bnez(S1, "print");
+    a.li(A0, b'\n' as i32);
+    a.call("rt_putc");
+    a.ebreak();
+
+    a.label("hexdigit");
+    a.addi(Sp, Sp, -16);
+    a.sw(Ra, 12, Sp);
+    a.li(T1, 10);
+    a.blt(A0, T1, "hexdigit_num");
+    a.addi(A0, A0, b'a' as i32 - 10 - b'0' as i32);
+    a.label("hexdigit_num");
+    a.addi(A0, A0, b'0' as i32);
+    a.call("rt_putc");
+    a.lw(Ra, 12, Sp);
+    a.addi(Sp, Sp, 16);
+    a.ret();
+
+    emit_aes_encrypt(&mut a);
+    emit_runtime(&mut a);
+    emit_aes_data(&mut a);
+
+    a.align(4);
+    a.label("key");
+    a.bytes(&(0..16u8).collect::<Vec<_>>());
+    a.label("pt");
+    a.bytes(
+        &[0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xAA, 0xBB, 0xCC, 0xDD,
+          0xEE, 0xFF],
+    );
+    a.label("ct");
+    a.zero(16);
+
+    Workload {
+        name: "aes-soft",
+        program: a.assemble().expect("aes-soft assembles"),
+        check: Check::UartEquals(b"69c4e0d86a7b0430d8cdb78070b4c55a\n".to_vec()),
+        max_insns: 2_000_000,
+        needs_sensor: false,
+    }
+}

@@ -1,0 +1,153 @@
+//! The `crc32` extended benchmark: table-driven CRC-32 (IEEE 802.3) over a
+//! PRNG buffer — byte loads, table lookups and XOR chains, a classic
+//! embedded checksum kernel.
+
+use vpdift_asm::{Asm, Reg};
+
+use crate::rt::{emit_runtime, HostLcg};
+use crate::workload::{Check, Workload};
+
+use Reg::*;
+
+/// Host-side CRC-32 (reflected, polynomial 0xEDB88320).
+pub fn crc32_host(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// The same table the guest builds, for cross-checking.
+#[cfg(test)]
+fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    for (i, slot) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            let mask = (c & 1).wrapping_neg();
+            c = (c >> 1) ^ (0xEDB8_8320 & mask);
+        }
+        *slot = c;
+    }
+    table
+}
+
+/// Builds the workload: CRC-32 of `len` PRNG bytes, `rounds` times, with
+/// the guest building its own lookup table first.
+pub fn build(len: u32, rounds: u32) -> Workload {
+    assert!(len > 0 && rounds > 0);
+    let mut a = Asm::new(0);
+    a.entry();
+
+    // Generate the input buffer.
+    a.li(A0, 0x32C3);
+    a.call("rt_srand");
+    a.la(S0, "buf");
+    a.li(S1, len as i32);
+    a.label("gen");
+    a.call("rt_rand");
+    a.sb(A0, 0, S0);
+    a.addi(S0, S0, 1);
+    a.addi(S1, S1, -1);
+    a.bnez(S1, "gen");
+
+    // Build the 256-entry table (like the classic crc32 init).
+    a.la(S0, "table");
+    a.li(S1, 0); // i
+    a.label("tbl_outer");
+    a.mv(T0, S1); // c = i
+    a.li(T1, 8);
+    a.label("tbl_inner");
+    a.andi(T2, T0, 1);
+    a.neg(T2, T2); // mask = -(c & 1)
+    a.srli(T0, T0, 1);
+    a.li(T3, 0xEDB8_8320u32 as i32);
+    a.and(T3, T3, T2);
+    a.xor(T0, T0, T3);
+    a.addi(T1, T1, -1);
+    a.bnez(T1, "tbl_inner");
+    a.slli(T2, S1, 2);
+    a.add(T2, S0, T2);
+    a.sw(T0, 0, T2);
+    a.addi(S1, S1, 1);
+    a.li(T1, 256);
+    a.blt(S1, T1, "tbl_outer");
+
+    // rounds × table-driven CRC over the buffer.
+    a.li(S5, rounds as i32);
+    a.label("round");
+    a.li(S2, -1); // crc = 0xFFFFFFFF
+    a.la(S3, "buf");
+    a.li(S4, len as i32);
+    a.label("crc_loop");
+    a.lbu(T0, 0, S3);
+    a.xor(T1, S2, T0);
+    a.andi(T1, T1, 0xFF);
+    a.slli(T1, T1, 2);
+    a.la(T2, "table");
+    a.add(T1, T2, T1);
+    a.lw(T1, 0, T1);
+    a.srli(S2, S2, 8);
+    a.xor(S2, S2, T1);
+    a.addi(S3, S3, 1);
+    a.addi(S4, S4, -1);
+    a.bnez(S4, "crc_loop");
+    a.addi(S5, S5, -1);
+    a.bnez(S5, "round");
+
+    a.not(A0, S2); // final ~crc
+    a.call("rt_put_hex");
+    a.li(A0, b'\n' as i32);
+    a.call("rt_putc");
+    a.ebreak();
+
+    emit_runtime(&mut a);
+
+    a.align(4);
+    a.label("table");
+    a.zero(256 * 4);
+    a.label("buf");
+    a.zero(len as usize);
+
+    // Host expected value over the identical PRNG bytes.
+    let mut lcg = HostLcg::new(0x32C3);
+    let data: Vec<u8> = (0..len).map(|_| lcg.next_value() as u8).collect();
+    let expected = format!("{:08x}\n", crc32_host(&data));
+
+    Workload {
+        name: "crc32",
+        program: a.assemble().expect("crc32 assembles"),
+        check: Check::UartEquals(expected.into_bytes()),
+        max_insns: (len as u64 * rounds as u64) * 25 + (len as u64) * 25 + 500_000,
+        needs_sensor: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_crc32_known_vectors() {
+        assert_eq!(crc32_host(b""), 0);
+        assert_eq!(crc32_host(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32_host(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn table_based_equals_bitwise() {
+        let table = crc_table();
+        let data = b"taintvp";
+        let mut crc = 0xFFFF_FFFFu32;
+        for &b in data {
+            let idx = ((crc ^ b as u32) & 0xFF) as usize;
+            crc = (crc >> 8) ^ table[idx];
+        }
+        assert_eq!(!crc, crc32_host(data));
+    }
+}

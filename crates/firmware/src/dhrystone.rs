@@ -1,0 +1,147 @@
+//! The `dhrystone` benchmark: a faithful-in-spirit re-creation of the
+//! classic synthetic integer workload — record assignment/copy, string
+//! comparison, nested function calls, and branchy integer arithmetic in a
+//! fixed iteration loop — with an in-guest checksum verified against the
+//! host-computed value.
+
+use vpdift_asm::{Asm, Reg};
+
+use crate::rt::emit_runtime;
+use crate::workload::{Check, Workload};
+
+use Reg::*;
+
+/// Host-side model of the guest loop, producing the expected checksum.
+pub fn expected_checksum(iterations: u32) -> u32 {
+    let mut int_1: u32 = 1;
+    let mut int_2: u32 = 3;
+    let mut int_3: u32;
+    let mut checksum: u32 = 0;
+    for run in 1..=iterations {
+        // Proc_7 analogue: int_3 = int_1 + int_2 + run
+        int_3 = int_1.wrapping_add(int_2).wrapping_add(run);
+        // Func_2 analogue: branch on comparison
+        if int_3 > int_2 {
+            int_1 = int_3.wrapping_sub(int_2);
+        } else {
+            int_1 = int_3.wrapping_mul(2);
+        }
+        // Proc_8 analogue: array-ish arithmetic
+        int_2 = int_2.wrapping_mul(3).wrapping_rem(101).wrapping_add(int_1 & 7);
+        checksum = checksum
+            .wrapping_mul(31)
+            .wrapping_add(int_1)
+            .wrapping_add(int_2)
+            .wrapping_add(int_3);
+    }
+    checksum
+}
+
+/// Builds the workload: `iterations` dhrystone-style loop passes, then the
+/// checksum printed as hex.
+pub fn build(iterations: u32) -> Workload {
+    let mut a = Asm::new(0);
+    a.entry();
+
+    // s0 = run counter (1..=iterations), s1 = int_1, s2 = int_2,
+    // s3 = int_3, s4 = checksum, s5 = iterations.
+    a.li(S0, 1);
+    a.li(S1, 1);
+    a.li(S2, 3);
+    a.li(S4, 0);
+    a.li(S5, iterations as i32);
+
+    a.label("loop");
+    a.bgtu(S0, S5, "done");
+
+    // Record copy (Proc_1 analogue): memcpy 32 bytes B <- A.
+    a.la(A0, "rec_b");
+    a.la(A1, "rec_a");
+    a.li(A2, 32);
+    a.call("rt_memcpy");
+
+    // String comparison (Func_2's Str_Comp analogue): equal strings.
+    a.la(A0, "str_1");
+    a.la(A1, "str_2");
+    a.call("rt_strcmp");
+    a.bnez(A0, "rt_fail");
+
+    // Proc_7: int_3 = int_1 + int_2 + run (via a call, like dhrystone).
+    a.mv(A0, S1);
+    a.mv(A1, S2);
+    a.mv(A2, S0);
+    a.call("proc_7");
+    a.mv(S3, A0);
+
+    // Func_2 analogue.
+    a.bleu(S3, S2, "else_branch");
+    a.sub(S1, S3, S2);
+    a.j("after_branch");
+    a.label("else_branch");
+    a.slli(S1, S3, 1);
+    a.label("after_branch");
+
+    // Proc_8 analogue.
+    a.li(T0, 3);
+    a.mul(S2, S2, T0);
+    a.li(T0, 101);
+    a.remu(S2, S2, T0);
+    a.andi(T1, S1, 7);
+    a.add(S2, S2, T1);
+
+    // checksum = checksum*31 + int_1 + int_2 + int_3
+    a.li(T0, 31);
+    a.mul(S4, S4, T0);
+    a.add(S4, S4, S1);
+    a.add(S4, S4, S2);
+    a.add(S4, S4, S3);
+
+    a.addi(S0, S0, 1);
+    a.j("loop");
+
+    a.label("done");
+    a.mv(A0, S4);
+    a.call("rt_put_hex");
+    a.li(A0, b'\n' as i32);
+    a.call("rt_putc");
+    a.ebreak();
+
+    // fn proc_7(a0, a1, a2) -> a0 = a0 + a1 + a2, through a second call
+    // level (Proc_7 calls Proc_6 in the original).
+    a.label("proc_7");
+    a.addi(Sp, Sp, -16);
+    a.sw(Ra, 12, Sp);
+    a.add(A0, A0, A1);
+    a.mv(A1, A2);
+    a.call("proc_6");
+    a.lw(Ra, 12, Sp);
+    a.addi(Sp, Sp, 16);
+    a.ret();
+    a.label("proc_6");
+    a.add(A0, A0, A1);
+    a.ret();
+
+    emit_runtime(&mut a);
+
+    a.align(4);
+    a.label("rec_a");
+    for i in 0..8u32 {
+        a.word(0x1111_1111u32.wrapping_mul(i));
+    }
+    a.label("rec_b");
+    a.zero(32);
+    a.label("str_1");
+    a.asciiz("DHRYSTONE PROGRAM, 1'ST STRING");
+    a.label("str_2");
+    a.asciiz("DHRYSTONE PROGRAM, 1'ST STRING");
+    a.align(4);
+
+    let expected = format!("{:08x}\n", expected_checksum(iterations));
+    Workload {
+        name: "dhrystone",
+        program: a.assemble().expect("dhrystone assembles"),
+        check: Check::UartEquals(expected.into_bytes()),
+        max_insns: iterations as u64 * 1_200 + 1_000_000,
+        needs_sensor: false,
+    }
+}

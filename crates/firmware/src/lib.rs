@@ -1,0 +1,54 @@
+//! # vpdift-firmware — guest workloads for the virtual prototype
+//!
+//! The Table II benchmark programs, hand-written in the `vpdift-asm`
+//! builder DSL (no offline RISC-V toolchain exists in this environment):
+//!
+//! * [`qsort`] — recursive quicksort with in-guest verification,
+//! * [`dhrystone`] — the classic synthetic integer workload re-created,
+//! * [`primes`] — trial-division prime counting (M-extension heavy),
+//! * [`sha512`] — full FIPS-180-4 SHA-512 built from 32-bit register pairs,
+//! * [`sensor_app`] — interrupt-driven sensor→UART streaming,
+//! * [`rtos`] — a preemptive two-task RTOS on the machine timer,
+//!
+//! plus [`rt`], the miniature bare-metal runtime they share, and the
+//! [`Workload`] abstraction the Table II harness consumes. The seventh
+//! Table II row (`immo-fixed`) lives in `vpdift-immo`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aes_soft;
+pub mod crc32;
+pub mod dhrystone;
+pub mod matmul;
+pub mod primes;
+pub mod qsort;
+pub mod rt;
+pub mod rtos;
+pub mod sensor_app;
+pub mod sha512;
+mod workload;
+
+pub use workload::{Check, Workload};
+
+/// Builds the six in-crate Table II workloads at a given scale factor
+/// (`1` ≈ a quick CI run, larger values approach the paper's instruction
+/// counts).
+pub fn table2_workloads(scale: u32) -> Vec<Workload> {
+    let s = scale.max(1);
+    vec![
+        qsort::build(4_000 * s, 2),
+        dhrystone::build(6_000 * s),
+        primes::build(20_000 * s),
+        sha512::build(40 * s),
+        sensor_app::build(100 * s),
+        rtos::build(400 * s, 250, 100),
+    ]
+}
+
+/// Two further workloads beyond the paper's set, for the extended
+/// overhead study (`table2 --extended`): CRC-32 and integer matmul.
+pub fn extended_workloads(scale: u32) -> Vec<Workload> {
+    let s = scale.max(1);
+    vec![crc32::build(8_192 * s, 2), matmul::build(24 * s.min(8))]
+}

@@ -1,0 +1,130 @@
+//! The `matmul` extended benchmark: dense `n×n` integer matrix
+//! multiplication with a FNV-style checksum — the load/mul/accumulate
+//! pattern of DSP-ish embedded code.
+
+use vpdift_asm::{Asm, Reg};
+
+use crate::rt::{emit_runtime, HostLcg};
+use crate::workload::{Check, Workload};
+
+use Reg::*;
+
+/// Host-side model producing the expected checksum.
+pub fn expected_checksum(n: u32, seed: u32) -> u32 {
+    let n = n as usize;
+    let mut lcg = HostLcg::new(seed);
+    let a: Vec<u32> = (0..n * n).map(|_| lcg.next_value() & 0xFF).collect();
+    let b: Vec<u32> = (0..n * n).map(|_| lcg.next_value() & 0xFF).collect();
+    let mut checksum = 0x811C_9DC5u32;
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0u32;
+            for (k, _) in (0..n).enumerate() {
+                acc = acc.wrapping_add(a[i * n + k].wrapping_mul(b[k * n + j]));
+            }
+            checksum = (checksum ^ acc).wrapping_mul(0x0100_0193);
+        }
+    }
+    checksum
+}
+
+/// Builds the workload: multiply two PRNG `n×n` matrices and print the
+/// checksum.
+pub fn build(n: u32) -> Workload {
+    assert!(n >= 2);
+    const SEED: u32 = 0xA11C;
+    let cells = (n * n) as usize;
+
+    let mut a = Asm::new(0);
+    a.entry();
+
+    // Fill A then B with PRNG bytes (values masked to 8 bits).
+    a.li(A0, SEED as i32);
+    a.call("rt_srand");
+    for mat in ["mat_a", "mat_b"] {
+        a.la(S0, mat);
+        a.li(S1, cells as i32);
+        a.label(&format!("gen_{mat}"));
+        a.call("rt_rand");
+        a.andi(A0, A0, 0xFF);
+        a.sw(A0, 0, S0);
+        a.addi(S0, S0, 4);
+        a.addi(S1, S1, -1);
+        a.bnez(S1, &format!("gen_{mat}"));
+    }
+
+    // checksum in s4; i in s1, j in s2, k in s3.
+    a.li(S4, 0x811C_9DC5u32 as i32);
+    a.li(S1, 0);
+    a.label("loop_i");
+    a.li(S2, 0);
+    a.label("loop_j");
+    a.li(S3, 0);
+    a.li(S5, 0); // acc
+    a.label("loop_k");
+    // a[i*n + k]
+    a.li(T0, n as i32);
+    a.mul(T1, S1, T0);
+    a.add(T1, T1, S3);
+    a.slli(T1, T1, 2);
+    a.la(T2, "mat_a");
+    a.add(T1, T2, T1);
+    a.lw(T3, 0, T1);
+    // b[k*n + j]
+    a.mul(T1, S3, T0);
+    a.add(T1, T1, S2);
+    a.slli(T1, T1, 2);
+    a.la(T2, "mat_b");
+    a.add(T1, T2, T1);
+    a.lw(T4, 0, T1);
+    a.mul(T3, T3, T4);
+    a.add(S5, S5, T3);
+    a.addi(S3, S3, 1);
+    a.li(T0, n as i32);
+    a.blt(S3, T0, "loop_k");
+    // checksum = (checksum ^ acc) * FNV_PRIME
+    a.xor(S4, S4, S5);
+    a.li(T0, 0x0100_0193);
+    a.mul(S4, S4, T0);
+    a.addi(S2, S2, 1);
+    a.li(T0, n as i32);
+    a.blt(S2, T0, "loop_j");
+    a.addi(S1, S1, 1);
+    a.li(T0, n as i32);
+    a.blt(S1, T0, "loop_i");
+
+    a.mv(A0, S4);
+    a.call("rt_put_hex");
+    a.li(A0, b'\n' as i32);
+    a.call("rt_putc");
+    a.ebreak();
+
+    emit_runtime(&mut a);
+
+    a.align(4);
+    a.label("mat_a");
+    a.zero(cells * 4);
+    a.label("mat_b");
+    a.zero(cells * 4);
+
+    let expected = format!("{:08x}\n", expected_checksum(n, SEED));
+    Workload {
+        name: "matmul",
+        program: a.assemble().expect("matmul assembles"),
+        check: Check::UartEquals(expected.into_bytes()),
+        max_insns: (n as u64).pow(3) * 30 + 1_000_000,
+        needs_sensor: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_is_deterministic_and_size_sensitive() {
+        assert_eq!(expected_checksum(8, 1), expected_checksum(8, 1));
+        assert_ne!(expected_checksum(8, 1), expected_checksum(8, 2));
+        assert_ne!(expected_checksum(8, 1), expected_checksum(9, 1));
+    }
+}

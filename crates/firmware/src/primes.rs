@@ -1,0 +1,72 @@
+//! The `primes` benchmark: count primes below a limit by trial division
+//! (exercising the M extension's `mul`/`remu` heavily).
+
+use vpdift_asm::{Asm, Reg};
+
+use crate::rt::emit_runtime;
+use crate::workload::{Check, Workload};
+
+use Reg::*;
+
+/// Host-side ground truth.
+pub fn count_primes_below(limit: u32) -> u32 {
+    let mut count = 0;
+    for n in 2..limit {
+        let mut d = 2u32;
+        let mut prime = true;
+        while d * d <= n {
+            if n % d == 0 {
+                prime = false;
+                break;
+            }
+            d += 1;
+        }
+        if prime {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Builds the workload: count primes `< limit`, print the count as hex.
+pub fn build(limit: u32) -> Workload {
+    let mut a = Asm::new(0);
+    a.entry();
+    a.li(S0, 2); // candidate
+    a.li(S1, 0); // count
+    a.li(S2, limit as i32);
+
+    a.label("outer");
+    a.bgeu(S0, S2, "done");
+    a.li(T0, 2); // divisor
+    a.label("inner");
+    a.mul(T1, T0, T0);
+    a.bgtu(T1, S0, "prime"); // d*d > n  ⇒ prime
+    a.remu(T2, S0, T0);
+    a.beqz(T2, "composite");
+    a.addi(T0, T0, 1);
+    a.j("inner");
+    a.label("prime");
+    a.addi(S1, S1, 1);
+    a.label("composite");
+    a.addi(S0, S0, 1);
+    a.j("outer");
+
+    a.label("done");
+    a.mv(A0, S1);
+    a.call("rt_put_hex");
+    a.li(A0, b'\n' as i32);
+    a.call("rt_putc");
+    a.ebreak();
+
+    emit_runtime(&mut a);
+
+    let expected = format!("{:08x}\n", count_primes_below(limit));
+    Workload {
+        name: "primes",
+        program: a.assemble().expect("primes assembles"),
+        check: Check::UartEquals(expected.into_bytes()),
+        max_insns: (limit as u64) * (limit as u64).isqrt().max(1) * 12 + 1_000_000,
+        needs_sensor: false,
+    }
+}

@@ -1,0 +1,118 @@
+//! The `qsort` benchmark: recursive quicksort (Lomuto partition) over a
+//! PRNG-filled word array, with an in-guest sortedness check.
+
+use vpdift_asm::{Asm, Reg};
+
+use crate::rt::emit_runtime;
+use crate::workload::{Check, Workload};
+
+use Reg::*;
+
+/// Builds the workload: sort `n` pseudo-random words, `rounds` times
+/// (re-shuffling between rounds), then print `OK`.
+pub fn build(n: u32, rounds: u32) -> Workload {
+    assert!(n >= 2, "qsort needs at least two elements");
+    let mut a = Asm::new(0);
+    a.entry();
+
+    // s4 = remaining rounds
+    a.li(S4, rounds as i32);
+    a.li(A0, 0xC0FFEE);
+    a.call("rt_srand");
+
+    a.label("round");
+    // Fill the array with PRNG words.
+    a.la(S0, "arr");
+    a.li(S1, n as i32);
+    a.mv(S2, S0);
+    a.label("fill");
+    a.call("rt_rand");
+    a.sw(A0, 0, S2);
+    a.addi(S2, S2, 4);
+    a.addi(S1, S1, -1);
+    a.bnez(S1, "fill");
+
+    // qsort(arr, arr + 4*(n-1))
+    a.la(A0, "arr");
+    a.la(A1, "arr");
+    a.li(T0, (4 * (n - 1)) as i32);
+    a.add(A1, A1, T0);
+    a.call("qsort");
+
+    // Verify ascending order.
+    a.la(T0, "arr");
+    a.li(T1, (n - 1) as i32);
+    a.label("verify");
+    a.lw(T2, 0, T0);
+    a.lw(T3, 4, T0);
+    a.bltu(T3, T2, "rt_fail");
+    a.addi(T0, T0, 4);
+    a.addi(T1, T1, -1);
+    a.bnez(T1, "verify");
+
+    a.addi(S4, S4, -1);
+    a.bnez(S4, "round");
+    a.j("rt_ok");
+
+    // ---- fn qsort(a0 = lo ptr, a1 = hi ptr), Lomuto partition ----------
+    a.label("qsort");
+    a.bgeu(A0, A1, "qsort_ret");
+    a.addi(Sp, Sp, -16);
+    a.sw(Ra, 12, Sp);
+    a.sw(S0, 8, Sp);
+    a.sw(S1, 4, Sp);
+    a.sw(S2, 0, Sp);
+    a.mv(S0, A0); // lo
+    a.mv(S1, A1); // hi
+    a.lw(T0, 0, S1); // pivot = *hi
+    a.mv(T1, S0); // i = lo (store slot)
+    a.mv(T2, S0); // j
+    a.label("part");
+    a.bgeu(T2, S1, "part_done");
+    a.lw(T3, 0, T2);
+    a.bgeu(T3, T0, "part_next"); // if *j < pivot: swap *i, *j; i += 4
+    a.lw(T4, 0, T1);
+    a.sw(T3, 0, T1);
+    a.sw(T4, 0, T2);
+    a.addi(T1, T1, 4);
+    a.label("part_next");
+    a.addi(T2, T2, 4);
+    a.j("part");
+    a.label("part_done");
+    // swap *i, *hi
+    a.lw(T3, 0, T1);
+    a.lw(T4, 0, S1);
+    a.sw(T4, 0, T1);
+    a.sw(T3, 0, S1);
+    a.mv(S2, T1); // pivot slot
+    // left: qsort(lo, pivot-4)
+    a.mv(A0, S0);
+    a.addi(A1, S2, -4);
+    a.call("qsort");
+    // right: qsort(pivot+4, hi)
+    a.addi(A0, S2, 4);
+    a.mv(A1, S1);
+    a.call("qsort");
+    a.lw(Ra, 12, Sp);
+    a.lw(S0, 8, Sp);
+    a.lw(S1, 4, Sp);
+    a.lw(S2, 0, Sp);
+    a.addi(Sp, Sp, 16);
+    a.label("qsort_ret");
+    a.ret();
+
+    emit_runtime(&mut a);
+
+    a.align(4);
+    a.label("arr");
+    a.zero(4 * n as usize);
+
+    let program = a.assemble().expect("qsort assembles");
+    Workload {
+        name: "qsort",
+        program,
+        check: Check::UartEquals(b"OK\n".to_vec()),
+        max_insns: 2_000u64 * (n as u64) * (rounds as u64).max(1) + 1_000_000,
+        needs_sensor: false,
+    }
+}

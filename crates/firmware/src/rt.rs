@@ -1,0 +1,219 @@
+//! The guest runtime: a miniature bare-metal "libc" emitted into every
+//! workload image (UART console I/O, memory/string routines, a PRNG, and
+//! `setjmp`/`longjmp` for the attack suite).
+//!
+//! All routines follow the RISC-V calling convention (arguments/results in
+//! `a0`–`a2`, `t`-registers caller-saved) and are addressed by the labels
+//! below.
+
+use vpdift_asm::{Asm, Reg};
+
+use Reg::*;
+
+/// UART base address baked into `rt_putc` (matches `vpdift_soc::map`).
+pub const UART_BASE: i32 = 0x1000_0000;
+/// Terminal (console input) base address for `rt_getc`.
+pub const TERMINAL_BASE: i32 = 0x1001_0000;
+
+/// Emits the whole runtime at the current position. Programs `call` the
+/// routines by label:
+///
+/// | label         | signature (RISC-V ABI)                             |
+/// |---------------|----------------------------------------------------|
+/// | `rt_putc`     | `a0` = byte → UART                                 |
+/// | `rt_puts`     | `a0` = NUL-terminated string pointer               |
+/// | `rt_put_hex`  | `a0` = word, printed as 8 lowercase hex digits     |
+/// | `rt_getc`     | → `a0` = next console byte, or -1 if none          |
+/// | `rt_memcpy`   | `a0` = dst, `a1` = src, `a2` = len                 |
+/// | `rt_memset`   | `a0` = dst, `a1` = byte, `a2` = len                |
+/// | `rt_strcmp`   | `a0`,`a1` = strings → `a0` = 0 iff equal           |
+/// | `rt_rand`     | → `a0` = next PRNG word (LCG, seeded `rt_srand`)   |
+/// | `rt_srand`    | `a0` = seed                                        |
+/// | `rt_setjmp`   | `a0` = 16-word buffer → `a0` = 0 (or longjmp val)  |
+/// | `rt_longjmp`  | `a0` = buffer, `a1` = value (0 mapped to 1)        |
+/// | `rt_ok`       | prints `OK\n`, then `ebreak`                       |
+/// | `rt_fail`     | prints `FAIL\n`, then `ebreak`                     |
+pub fn emit_runtime(a: &mut Asm) {
+    // --- console ---------------------------------------------------------
+    a.label("rt_putc");
+    a.li(T0, UART_BASE);
+    a.sw(A0, 0, T0);
+    a.ret();
+
+    a.label("rt_puts");
+    a.li(T0, UART_BASE);
+    a.label("rt_puts_loop");
+    a.lbu(T1, 0, A0);
+    a.beqz(T1, "rt_puts_done");
+    a.sw(T1, 0, T0);
+    a.addi(A0, A0, 1);
+    a.j("rt_puts_loop");
+    a.label("rt_puts_done");
+    a.ret();
+
+    a.label("rt_put_hex");
+    a.li(T0, UART_BASE);
+    a.li(T1, 8); // digit count
+    a.label("rt_put_hex_loop");
+    a.srli(T2, A0, 28);
+    a.slli(A0, A0, 4);
+    a.li(T3, 10);
+    a.blt(T2, T3, "rt_put_hex_digit");
+    a.addi(T2, T2, b'a' as i32 - 10 - b'0' as i32);
+    a.label("rt_put_hex_digit");
+    a.addi(T2, T2, b'0' as i32);
+    a.sw(T2, 0, T0);
+    a.addi(T1, T1, -1);
+    a.bnez(T1, "rt_put_hex_loop");
+    a.ret();
+
+    a.label("rt_getc");
+    a.li(T0, TERMINAL_BASE);
+    a.lw(T1, 4, T0); // RXAVAIL
+    a.beqz(T1, "rt_getc_empty");
+    a.lw(A0, 0, T0); // RXDATA
+    a.ret();
+    a.label("rt_getc_empty");
+    a.li(A0, -1);
+    a.ret();
+
+    // --- memory / strings -----------------------------------------------
+    a.label("rt_memcpy");
+    a.beqz(A2, "rt_memcpy_done");
+    a.lbu(T0, 0, A1);
+    a.sb(T0, 0, A0);
+    a.addi(A0, A0, 1);
+    a.addi(A1, A1, 1);
+    a.addi(A2, A2, -1);
+    a.j("rt_memcpy");
+    a.label("rt_memcpy_done");
+    a.ret();
+
+    a.label("rt_memset");
+    a.beqz(A2, "rt_memset_done");
+    a.sb(A1, 0, A0);
+    a.addi(A0, A0, 1);
+    a.addi(A2, A2, -1);
+    a.j("rt_memset");
+    a.label("rt_memset_done");
+    a.ret();
+
+    a.label("rt_strcmp");
+    a.label("rt_strcmp_loop");
+    a.lbu(T0, 0, A0);
+    a.lbu(T1, 0, A1);
+    a.bne(T0, T1, "rt_strcmp_ne");
+    a.beqz(T0, "rt_strcmp_eq");
+    a.addi(A0, A0, 1);
+    a.addi(A1, A1, 1);
+    a.j("rt_strcmp_loop");
+    a.label("rt_strcmp_eq");
+    a.li(A0, 0);
+    a.ret();
+    a.label("rt_strcmp_ne");
+    a.sub(A0, T0, T1);
+    a.ret();
+
+    // --- PRNG (glibc-style LCG) -------------------------------------------
+    a.label("rt_srand");
+    a.la(T0, "rt_lcg_state");
+    a.sw(A0, 0, T0);
+    a.ret();
+
+    a.label("rt_rand");
+    a.la(T0, "rt_lcg_state");
+    a.lw(A0, 0, T0);
+    a.li(T1, 1103515245);
+    a.mul(A0, A0, T1);
+    a.li(T1, 12345);
+    a.add(A0, A0, T1);
+    a.sw(A0, 0, T0);
+    a.srli(A0, A0, 1); // non-negative
+    a.ret();
+
+    // --- setjmp / longjmp -------------------------------------------------
+    // Buffer layout: [ra, sp, s0..s11, gp, tp] = 16 words.
+    a.label("rt_setjmp");
+    a.sw(Ra, 0, A0);
+    a.sw(Sp, 4, A0);
+    let s_regs = [S0, S1, S2, S3, S4, S5, S6, S7, S8, S9, S10, S11];
+    for (i, r) in s_regs.iter().enumerate() {
+        a.sw(*r, 8 + 4 * i as i32, A0);
+    }
+    a.sw(Gp, 56, A0);
+    a.sw(Tp, 60, A0);
+    a.li(A0, 0);
+    a.ret();
+
+    a.label("rt_longjmp");
+    a.lw(Ra, 0, A0);
+    a.lw(Sp, 4, A0);
+    for (i, r) in s_regs.iter().enumerate() {
+        a.lw(*r, 8 + 4 * i as i32, A0);
+    }
+    a.lw(Gp, 56, A0);
+    a.lw(Tp, 60, A0);
+    // Return value: longjmp(_, 0) must deliver 1, per C semantics.
+    a.mv(A0, A1);
+    a.bnez(A0, "rt_longjmp_ret");
+    a.li(A0, 1);
+    a.label("rt_longjmp_ret");
+    a.ret();
+
+    // --- verdicts ----------------------------------------------------------
+    a.label("rt_ok");
+    a.la(A0, "rt_ok_msg");
+    a.call("rt_puts");
+    a.ebreak();
+    a.label("rt_fail");
+    a.la(A0, "rt_fail_msg");
+    a.call("rt_puts");
+    a.ebreak();
+
+    // --- runtime data -------------------------------------------------------
+    a.align(4);
+    a.label("rt_lcg_state");
+    a.word(1);
+    a.label("rt_ok_msg");
+    a.asciiz("OK\n");
+    a.label("rt_fail_msg");
+    a.asciiz("FAIL\n");
+    a.align(4);
+}
+
+/// The host-side twin of `rt_rand`, for computing expected results.
+#[derive(Debug, Clone)]
+pub struct HostLcg {
+    state: u32,
+}
+
+impl HostLcg {
+    /// Seeds the generator (matches `rt_srand`).
+    pub fn new(seed: u32) -> Self {
+        HostLcg { state: seed }
+    }
+
+    /// Next value (matches `rt_rand`).
+    pub fn next_value(&mut self) -> u32 {
+        self.state = self.state.wrapping_mul(1103515245).wrapping_add(12345);
+        self.state >> 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_lcg_matches_formula() {
+        let mut l = HostLcg::new(1);
+        let first = 1u32.wrapping_mul(1103515245).wrapping_add(12345) >> 1;
+        assert_eq!(l.next_value(), first);
+        // Deterministic sequence.
+        let mut a = HostLcg::new(7);
+        let mut b = HostLcg::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_value(), b.next_value());
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! The `rtos-tasks` benchmark (the paper's `freertos-tasks` analogue): a
+//! miniature preemptive RTOS — two tasks with private stacks, round-robin
+//! scheduled by the CLINT machine-timer interrupt, with full 30-register
+//! context save/restore in the ISR.
+
+use vpdift_asm::{csr, Asm, Reg};
+
+use crate::rt::emit_runtime;
+use crate::workload::{Check, Workload};
+
+use Reg::*;
+
+const CLINT_BASE: i32 = 0x0200_0000;
+
+/// The registers saved in a context frame (everything except `sp`, which
+/// is the frame pointer itself, and `zero`).
+const FRAME_REGS: [Reg; 30] = [
+    Ra, Gp, Tp, T0, T1, T2, S0, S1, A0, A1, A2, A3, A4, A5, A6, A7, S2, S3, S4, S5, S6, S7, S8,
+    S9, S10, S11, T3, T4, T5, T6,
+];
+
+/// Context frame size: 30 registers + saved `mepc`, rounded to 128.
+const FRAME: i32 = 128;
+const FRAME_MEPC: i32 = 120;
+
+fn emit_task(a: &mut Asm, id: usize, increments: u32, work: u32) {
+    let me = format!("task{id}");
+    let my_counter = format!("counter{id}");
+    let other_counter = format!("counter{}", 1 - id);
+    a.label(&me);
+    a.la(S0, &my_counter);
+    a.la(S1, &other_counter);
+    a.li(S2, increments as i32);
+
+    a.label(&format!("{me}_loop"));
+    // Busy work: a small arithmetic kernel.
+    a.li(T0, work as i32);
+    a.li(T1, 0);
+    a.label(&format!("{me}_work"));
+    a.add(T1, T1, T0);
+    a.xori(T1, T1, 0x2A);
+    a.addi(T0, T0, -1);
+    a.bnez(T0, &format!("{me}_work"));
+    // counter++ (volatile).
+    a.lw(T2, 0, S0);
+    a.addi(T2, T2, 1);
+    a.sw(T2, 0, S0);
+    a.blt(T2, S2, &format!("{me}_loop"));
+
+    // Finished: spin until the other task is done too.
+    a.label(&format!("{me}_wait"));
+    a.lw(T3, 0, S1);
+    a.blt(T3, S2, &format!("{me}_wait"));
+    a.j("finish");
+}
+
+/// Builds the workload: two tasks × `increments` counter increments with
+/// `work` busy-iterations each, preempted every `slice_us` microseconds.
+pub fn build(increments: u32, work: u32, slice_us: u32) -> Workload {
+    assert!(increments > 0 && work > 0 && slice_us > 0);
+    let mut a = Asm::new(0);
+    a.entry();
+
+    // Trap vector.
+    a.la(T0, "isr");
+    a.csrw(csr::MTVEC, T0);
+
+    // Build task 1's initial context frame on its own stack.
+    a.la(T0, "stack1_top");
+    a.addi(T0, T0, -FRAME);
+    a.la(T1, "task1");
+    a.sw(T1, FRAME_MEPC, T0);
+    a.la(T2, "task_sp");
+    a.sw(T0, 4, T2); // task_sp[1]
+    a.sw(Zero, 0, T2); // task_sp[0] (filled on first switch)
+    a.la(T2, "cur_task");
+    a.sw(Zero, 0, T2);
+
+    // Arm the timer: mtimecmp = mtime + slice.
+    a.li(T0, CLINT_BASE + 0xBFF8);
+    a.lw(T1, 0, T0);
+    a.li(T2, slice_us as i32);
+    a.add(T1, T1, T2);
+    a.li(T0, CLINT_BASE + 0x4000);
+    a.sw(T1, 0, T0);
+    a.sw(Zero, 4, T0);
+
+    // Enable the machine timer interrupt.
+    a.li(T1, csr::MIE_MTIE as i32);
+    a.csrw(csr::MIE, T1);
+    a.li(T1, csr::MSTATUS_MIE as i32);
+    a.csrw(csr::MSTATUS, T1);
+
+    // Become task 0 on its own stack.
+    a.la(Sp, "stack0_top");
+    a.j("task0");
+
+    emit_task(&mut a, 0, increments, work);
+    emit_task(&mut a, 1, increments, work);
+
+    // Common finish: require that preemption actually happened.
+    a.label("finish");
+    a.la(T0, "switches");
+    a.lw(T1, 0, T0);
+    a.li(T2, 2);
+    a.blt(T1, T2, "rt_fail");
+    a.la(A0, "msg_done");
+    a.call("rt_puts");
+    a.ebreak();
+
+    // ===== timer ISR: save context, switch task, re-arm, restore ========
+    a.label("isr");
+    a.addi(Sp, Sp, -FRAME);
+    for (i, r) in FRAME_REGS.iter().enumerate() {
+        a.sw(*r, 4 * i as i32, Sp);
+    }
+    a.csrr(T0, csr::MEPC);
+    a.sw(T0, FRAME_MEPC, Sp);
+
+    // switches++
+    a.la(T0, "switches");
+    a.lw(T1, 0, T0);
+    a.addi(T1, T1, 1);
+    a.sw(T1, 0, T0);
+
+    // task_sp[cur] = sp; cur ^= 1; sp = task_sp[cur]
+    a.la(T1, "cur_task");
+    a.lw(T2, 0, T1);
+    a.la(T3, "task_sp");
+    a.slli(T4, T2, 2);
+    a.add(T4, T3, T4);
+    a.sw(Sp, 0, T4);
+    a.xori(T2, T2, 1);
+    a.sw(T2, 0, T1);
+    a.slli(T4, T2, 2);
+    a.add(T4, T3, T4);
+    a.lw(Sp, 0, T4);
+
+    // Re-arm: mtimecmp = mtime + slice (clears the pending level).
+    a.li(T0, CLINT_BASE + 0xBFF8);
+    a.lw(T1, 0, T0);
+    a.li(T2, slice_us as i32);
+    a.add(T1, T1, T2);
+    a.li(T0, CLINT_BASE + 0x4000);
+    a.sw(T1, 0, T0);
+    a.sw(Zero, 4, T0);
+
+    // Restore the next task's context.
+    a.lw(T0, FRAME_MEPC, Sp);
+    a.csrw(csr::MEPC, T0);
+    for (i, r) in FRAME_REGS.iter().enumerate() {
+        a.lw(*r, 4 * i as i32, Sp);
+    }
+    a.addi(Sp, Sp, FRAME);
+    a.mret();
+
+    emit_runtime(&mut a);
+
+    // ----- data ----------------------------------------------------------
+    a.align(16);
+    a.label("cur_task");
+    a.word(0);
+    a.label("task_sp");
+    a.word(0);
+    a.word(0);
+    a.label("switches");
+    a.word(0);
+    a.label("counter0");
+    a.word(0);
+    a.label("counter1");
+    a.word(0);
+    a.label("msg_done");
+    a.asciiz("RTOS OK\n");
+    a.align(16);
+    a.zero(4096);
+    a.label("stack0_top");
+    a.zero(4096);
+    a.label("stack1_top");
+
+    let program = a.assemble().expect("rtos assembles");
+    let per_task = increments as u64 * (work as u64 * 4 + 10);
+    Workload {
+        name: "rtos-tasks",
+        program,
+        check: Check::UartEquals(b"RTOS OK\n".to_vec()),
+        max_insns: per_task * 2 * 4 + 10_000_000,
+        needs_sensor: false,
+    }
+}

@@ -1,0 +1,80 @@
+//! The `simple-sensor` benchmark of Table II: interrupt-driven firmware
+//! that copies each freshly generated 64-byte sensor frame to the UART —
+//! the paper's canonical fine-grained HW/SW interaction (sensor thread →
+//! interrupt → ISR → MMIO reads → UART writes).
+
+use vpdift_asm::{csr, Asm, Reg};
+
+use crate::rt::emit_runtime;
+use crate::workload::{Check, Workload};
+
+use Reg::*;
+
+/// Matches `vpdift_soc::map` (the firmware crate is SoC-agnostic, so the
+/// addresses are re-declared here; the integration tests assert they
+/// agree).
+const PLIC_BASE: i32 = 0x0C00_0000;
+const SENSOR_BASE: i32 = 0x1002_0000;
+const UART_BASE: i32 = 0x1000_0000;
+const IRQ_SENSOR: i32 = 2;
+
+/// Builds the workload: copy `frames` sensor frames to the UART, then stop.
+pub fn build(frames: u32) -> Workload {
+    assert!(frames > 0);
+    let mut a = Asm::new(0);
+    a.entry();
+
+    // Install the trap handler and unmask the sensor interrupt.
+    a.la(T0, "isr");
+    a.csrw(csr::MTVEC, T0);
+    a.li(T0, PLIC_BASE);
+    a.li(T1, 1 << IRQ_SENSOR);
+    a.sw(T1, 4, T0); // PLIC ENABLE
+    a.li(T1, csr::MIE_MEIE as i32);
+    a.csrw(csr::MIE, T1);
+    a.li(T1, csr::MSTATUS_MIE as i32);
+    a.csrw(csr::MSTATUS, T1);
+
+    a.li(S0, frames as i32); // frames remaining
+    a.label("idle");
+    a.wfi();
+    a.j("idle");
+
+    // --- interrupt service routine --------------------------------------
+    a.label("isr");
+    // Claim (clears the pending bit).
+    a.li(T0, PLIC_BASE);
+    a.lw(T1, 8, T0);
+    // Copy the 64-byte frame to the UART.
+    a.li(T2, SENSOR_BASE);
+    a.li(T3, UART_BASE);
+    a.li(T4, 64);
+    a.label("copy");
+    a.lbu(T5, 0, T2);
+    a.sw(T5, 0, T3);
+    a.addi(T2, T2, 1);
+    a.addi(T4, T4, -1);
+    a.bnez(T4, "copy");
+    // Completion write.
+    a.li(T0, PLIC_BASE);
+    a.sw(T1, 8, T0);
+    a.addi(S0, S0, -1);
+    a.beqz(S0, "finished");
+    a.mret();
+    a.label("finished");
+    a.ebreak();
+
+    emit_runtime(&mut a);
+
+    fn sensor_output_ok(uart: &[u8]) -> bool {
+        !uart.is_empty() && uart.len().is_multiple_of(64) && uart.iter().all(|&b| b >= 128)
+    }
+
+    Workload {
+        name: "simple-sensor",
+        program: a.assemble().expect("simple-sensor assembles"),
+        check: Check::UartPredicate(sensor_output_ok),
+        max_insns: frames as u64 * 50_000 + 1_000_000,
+        needs_sensor: true,
+    }
+}

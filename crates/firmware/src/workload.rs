@@ -1,0 +1,47 @@
+//! The workload abstraction consumed by the benchmark harness (Table II)
+//! and the integration tests.
+
+use vpdift_asm::Program;
+
+/// How to validate a finished run from its UART output.
+#[derive(Debug, Clone)]
+pub enum Check {
+    /// The UART output must equal these bytes exactly.
+    UartEquals(Vec<u8>),
+    /// The UART output must end with these bytes (prefix may be progress
+    /// chatter).
+    UartEndsWith(Vec<u8>),
+    /// Custom predicate identified by name, checked by the caller.
+    UartPredicate(fn(&[u8]) -> bool),
+}
+
+/// A guest benchmark program plus its host-side ground truth.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Display name (Table II row).
+    pub name: &'static str,
+    /// The assembled guest image.
+    pub program: Program,
+    /// Output validation.
+    pub check: Check,
+    /// Safety bound on retired instructions for one run.
+    pub max_insns: u64,
+    /// Whether the sensor's 40 Hz thread must run.
+    pub needs_sensor: bool,
+}
+
+impl Workload {
+    /// Validates the UART output of a finished run.
+    pub fn verify(&self, uart: &[u8]) -> bool {
+        match &self.check {
+            Check::UartEquals(expect) => uart == &expect[..],
+            Check::UartEndsWith(suffix) => uart.ends_with(suffix),
+            Check::UartPredicate(f) => f(uart),
+        }
+    }
+
+    /// The paper's "LoC ASM" metric: instruction words in the image.
+    pub fn loc_asm(&self) -> usize {
+        self.program.insn_count()
+    }
+}

@@ -1,0 +1,112 @@
+//! End-to-end workload tests: every Table II guest program must run to
+//! completion on both the plain VP and the DIFT VP+ and produce its
+//! host-verified output.
+
+use vpdift_firmware::{table2_workloads, Workload};
+use vpdift_rv32::{Plain, TaintMode, Tainted};
+use vpdift_soc::{Soc, SocConfig, SocExit};
+
+fn run_on<M: TaintMode>(w: &Workload) -> (SocExit, Vec<u8>, u64) {
+    let mut cfg = SocConfig::default();
+    cfg.sensor_thread = w.needs_sensor;
+    let mut soc = Soc::<M>::new(cfg);
+    soc.load_program(&w.program);
+    let exit = soc.run(w.max_insns);
+    let out = soc.uart().borrow().output().to_vec();
+    (exit, out, soc.instret())
+}
+
+fn check_workload(w: &Workload) {
+    let (exit, out, instret) = run_on::<Plain>(w);
+    assert_eq!(exit, SocExit::Break, "{}: plain VP run failed", w.name);
+    assert!(
+        w.verify(&out),
+        "{}: plain VP output mismatch: {:?}",
+        w.name,
+        String::from_utf8_lossy(&out)
+    );
+    assert!(instret > 0);
+
+    let (exit, out_t, instret_t) = run_on::<Tainted>(w);
+    assert_eq!(exit, SocExit::Break, "{}: VP+ run failed", w.name);
+    assert!(w.verify(&out_t), "{}: VP+ output mismatch", w.name);
+    assert_eq!(out, out_t, "{}: VP and VP+ must behave identically", w.name);
+    assert_eq!(instret, instret_t, "{}: instruction counts must agree", w.name);
+}
+
+#[test]
+fn qsort_sorts_and_verifies() {
+    check_workload(&vpdift_firmware::qsort::build(300, 1));
+}
+
+#[test]
+fn qsort_multiple_rounds() {
+    check_workload(&vpdift_firmware::qsort::build(100, 3));
+}
+
+#[test]
+fn dhrystone_checksum_matches_host_model() {
+    check_workload(&vpdift_firmware::dhrystone::build(500));
+}
+
+#[test]
+fn primes_count_matches_host() {
+    check_workload(&vpdift_firmware::primes::build(2_000));
+    assert_eq!(vpdift_firmware::primes::count_primes_below(10), 4);
+    assert_eq!(vpdift_firmware::primes::count_primes_below(100), 25);
+}
+
+#[test]
+fn sha512_digest_matches_host() {
+    check_workload(&vpdift_firmware::sha512::build(1));
+}
+
+#[test]
+fn sha512_multi_block() {
+    check_workload(&vpdift_firmware::sha512::build(3));
+}
+
+#[test]
+fn sensor_app_streams_frames() {
+    let w = vpdift_firmware::sensor_app::build(3);
+    let (exit, out, _) = run_on::<Tainted>(&w);
+    assert_eq!(exit, SocExit::Break);
+    assert_eq!(out.len(), 3 * 64, "three full frames copied");
+    assert!(w.verify(&out));
+}
+
+#[test]
+fn rtos_preempts_two_tasks() {
+    check_workload(&vpdift_firmware::rtos::build(20, 200, 20));
+}
+
+#[test]
+fn table2_suite_builds_at_scale_1() {
+    let suite = table2_workloads(1);
+    assert_eq!(suite.len(), 6);
+    for w in &suite {
+        assert!(w.loc_asm() > 50, "{} suspiciously small", w.name);
+        assert!(!w.program.image().is_empty());
+    }
+}
+
+#[test]
+fn crc32_matches_host() {
+    check_workload(&vpdift_firmware::crc32::build(512, 1));
+}
+
+#[test]
+fn matmul_matches_host() {
+    check_workload(&vpdift_firmware::matmul::build(8));
+}
+
+#[test]
+fn extended_suite_builds() {
+    let suite = vpdift_firmware::extended_workloads(1);
+    assert_eq!(suite.len(), 2);
+}
+
+#[test]
+fn aes_soft_matches_fips197() {
+    check_workload(&vpdift_firmware::aes_soft::build());
+}

@@ -1,0 +1,144 @@
+//! The end of the §VI-A story, made concrete: the *actual* brute-force
+//! attack the entropy reduction enables.
+//!
+//! The firmware carries a latent bug (the `e` maintenance command,
+//! standing in for the overflow of the paper) that overwrites PIN bytes
+//! `[k..16)` with PIN byte 0 — *trusted* data, so the coarse policy allows
+//! it. An attacker with CAN and console access can then recover the whole
+//! PIN with at most `16 × 256` encryptions:
+//!
+//! * step `k`: trigger the bug with parameter `k`, so the AES key becomes
+//!   `pin[0..k] ‖ pin[0] × (16-k)`; the only byte the attacker does not
+//!   already know is `pin[k-1]`; one challenge-response reveals it in at
+//!   most 256 host-side trials.
+//!
+//! Under the per-byte policy, step 1 already dies with a store violation —
+//! closing exactly this attack.
+
+use vpdift_periph::Aes128;
+use vpdift_rv32::Tainted;
+use vpdift_soc::{Soc, SocConfig, SocExit};
+
+use crate::ecu::EngineEcu;
+use crate::firmware::{self, Variant, PIN};
+use crate::protocol::{policy_for, PolicyKind};
+
+/// Outcome of the full brute-force attack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrackOutcome {
+    /// The attacker recovered this PIN (policy too weak).
+    Recovered {
+        /// The recovered PIN.
+        pin: [u8; 16],
+        /// Total AES trials spent.
+        trials: u32,
+    },
+    /// A DIFT violation stopped the attack at step `step`.
+    Blocked {
+        /// 1-based attack step that was stopped.
+        step: u8,
+    },
+}
+
+/// Runs the attack against a sequence of fresh devices (each step
+/// power-cycles the immobilizer, restoring the PIN from "flash") under
+/// `kind`.
+pub fn crack_pin(kind: PolicyKind) -> CrackOutcome {
+    let fw = firmware::build(Variant::Fixed);
+    let mut known: Vec<u8> = Vec::new();
+    let mut trials = 0u32;
+
+    for k in 1..=16u8 {
+        // Fresh device for this step.
+        let mut cfg = SocConfig::with_policy(policy_for(kind, &fw));
+        cfg.sensor_thread = false;
+        let mut soc = Soc::<Tainted>::new(cfg);
+        soc.load_program(&fw.program);
+
+        // Phase 1: trigger the bug — overwrite pin[k..16) with pin[0].
+        soc.terminal().borrow_mut().feed(&[b'e', k]);
+        match soc.run(50_000) {
+            SocExit::Violation(_) => return CrackOutcome::Blocked { step: k },
+            SocExit::InstrLimit => {} // firmware is idle-polling again
+            other => panic!("unexpected exit during overwrite: {other:?}"),
+        }
+
+        // Phase 2: one challenge-response against the mangled key. Let the
+        // firmware answer before feeding the quit command (it polls CAN
+        // with priority, but may be mid-iteration when the budget expires).
+        let mut ecu = EngineEcu::new(PIN, 0xF00 + k as u64);
+        let challenge = ecu.next_challenge();
+        ecu.send_challenge(soc.can_host(), &challenge);
+        match soc.run(50_000) {
+            SocExit::Violation(_) => return CrackOutcome::Blocked { step: k },
+            SocExit::InstrLimit => {}
+            other => panic!("unexpected exit during challenge: {other:?}"),
+        }
+        soc.terminal().borrow_mut().feed(b"q");
+        match soc.run(10_000_000) {
+            SocExit::Break => {}
+            SocExit::Violation(_) => return CrackOutcome::Blocked { step: k },
+            other => panic!("unexpected exit during quit: {other:?}"),
+        }
+        let lo = soc.can_host().recv().expect("response half 1");
+        let hi = soc.can_host().recv().expect("response half 2");
+        let mut response = [0u8; 16];
+        response[..8].copy_from_slice(&lo.bytes());
+        response[8..].copy_from_slice(&hi.bytes());
+
+        // Host-side search for the one unknown byte.
+        let mut block = [0u8; 16];
+        block[..8].copy_from_slice(&challenge);
+        block[8..].copy_from_slice(&challenge);
+        let mut found = None;
+        for guess in 0..=255u8 {
+            trials += 1;
+            let mut key = [0u8; 16];
+            // pin[0..k-1] already known; pin[k-1] = guess; rest = pin[0].
+            for (i, slot) in key.iter_mut().enumerate() {
+                *slot = if i < known.len() {
+                    known[i]
+                } else if i == k as usize - 1 {
+                    guess
+                } else {
+                    // Suffix bytes were overwritten with pin[0]; at k == 1
+                    // pin[0] *is* the guess.
+                    if known.is_empty() { guess } else { known[0] }
+                };
+            }
+            if Aes128::new(&key).encrypt_block(&block) == response {
+                found = Some(guess);
+                break;
+            }
+        }
+        let byte = found.expect("some guess must match — the key space per step is one byte");
+        known.push(byte);
+    }
+
+    let mut pin = [0u8; 16];
+    pin.copy_from_slice(&known);
+    CrackOutcome::Recovered { pin, trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coarse_policy_lets_the_pin_be_recovered() {
+        // The paper's point, demonstrated end-to-end: the coarse policy
+        // permits the trusted-data overwrite, and 16×256 trials suffice.
+        match crack_pin(PolicyKind::Coarse) {
+            CrackOutcome::Recovered { pin, trials } => {
+                assert_eq!(pin, PIN, "attacker recovered the exact PIN");
+                assert!(trials <= 16 * 256, "at most 4096 trials, used {trials}");
+            }
+            other => panic!("attack unexpectedly blocked: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_byte_policy_blocks_step_one() {
+        assert_eq!(crack_pin(PolicyKind::PerByte), CrackOutcome::Blocked { step: 1 });
+    }
+}

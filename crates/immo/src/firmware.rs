@@ -1,0 +1,256 @@
+//! The immobilizer ECU firmware (paper §VI-A).
+//!
+//! The immobilizer holds a secret 16-byte PIN and answers challenge frames
+//! from the engine ECU over CAN with `AES-128(PIN, challenge‖challenge)`.
+//! A UART debug console ("for debugging purposes") accepts:
+//!
+//! * `p` — ping, prints `pong\n`,
+//! * `d` — dump the data segment to the UART; the [`Variant::Vulnerable`]
+//!   build dumps *everything including the PIN* (the security hole the
+//!   paper's test-suite uncovered), the [`Variant::Fixed`] build excludes
+//!   the PIN region,
+//! * `q` — quit (ends the simulation).
+
+use vpdift_asm::{Asm, Program, Reg};
+use vpdift_firmware::rt::emit_runtime;
+
+use Reg::*;
+
+/// CAN frame id of an incoming challenge.
+pub const CHALLENGE_ID: u32 = 0x10;
+/// CAN frame id of the two response halves.
+pub const RESPONSE_ID: u32 = 0x11;
+
+/// The secret PIN baked into the firmware image (known to the engine ECU).
+pub const PIN: [u8; 16] = [
+    0x42, 0x13, 0x37, 0x5A, 0xC0, 0xDE, 0x99, 0x01, 0x7E, 0x5F, 0x10, 0x2B, 0xAD, 0xF0, 0x0D,
+    0x66,
+];
+
+const CAN_BASE: i32 = 0x1003_0000;
+const AES_BASE: i32 = 0x1004_0000;
+
+/// Which firmware build to produce.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// The original firmware whose debug dump includes the PIN.
+    Vulnerable,
+    /// The corrected firmware excluding the PIN region from the dump.
+    Fixed,
+}
+
+/// An assembled immobilizer image plus the addresses policies need.
+#[derive(Debug, Clone)]
+pub struct ImmoFirmware {
+    /// The guest image.
+    pub program: Program,
+    /// Address of the 16-byte PIN in memory.
+    pub pin_addr: u32,
+    /// The built variant.
+    pub variant: Variant,
+}
+
+/// Builds the immobilizer firmware.
+pub fn build(variant: Variant) -> ImmoFirmware {
+    let mut a = Asm::new(0);
+    a.entry();
+    a.j("main");
+
+    // ---- data (placed early so `la` offsets stay small and the dump
+    // window is well-defined) ------------------------------------------
+    a.align(4);
+    a.label("data_begin");
+    a.label("pin");
+    a.bytes(&PIN);
+    a.label("challenge");
+    a.zero(8);
+    a.label("response");
+    a.zero(16);
+    a.label("msg_pong");
+    a.asciiz("pong\n");
+    a.align(4);
+    a.label("data_end");
+
+    // ---- main loop -------------------------------------------------------
+    a.align(4);
+    a.label("main");
+    a.label("loop");
+    // CAN: any challenge frame waiting?
+    a.li(S0, CAN_BASE);
+    a.lw(T0, 0x20, S0); // RX_AVAIL
+    a.beqz(T0, "console");
+    a.lw(T1, 0x24, S0); // RX_ID
+    a.li(T2, CHALLENGE_ID as i32);
+    a.bne(T1, T2, "pop_frame"); // ignore unknown ids
+
+    // Copy the 8 challenge bytes out of the mailbox.
+    a.la(S1, "challenge");
+    a.li(T3, 0);
+    a.label("rd_ch");
+    a.add(T4, S0, T3);
+    a.lbu(T5, 0x2C, T4);
+    a.add(T6, S1, T3);
+    a.sb(T5, 0, T6);
+    a.addi(T3, T3, 1);
+    a.li(T4, 8);
+    a.blt(T3, T4, "rd_ch");
+
+    // AES: key <- PIN, input <- challenge ‖ challenge.
+    a.li(S2, AES_BASE);
+    a.la(S1, "pin");
+    a.li(T3, 0);
+    a.label("wr_key");
+    a.add(T4, S1, T3);
+    a.lbu(T5, 0, T4);
+    a.add(T6, S2, T3);
+    a.sb(T5, 0x00, T6); // KEY window
+    a.addi(T3, T3, 1);
+    a.li(T4, 16);
+    a.blt(T3, T4, "wr_key");
+
+    a.la(S1, "challenge");
+    a.li(T3, 0);
+    a.label("wr_in");
+    a.andi(T5, T3, 7); // challenge repeats after 8 bytes
+    a.add(T4, S1, T5);
+    a.lbu(T5, 0, T4);
+    a.add(T6, S2, T3);
+    a.sb(T5, 0x10, T6); // DATA_IN window
+    a.addi(T3, T3, 1);
+    a.li(T4, 16);
+    a.blt(T3, T4, "wr_in");
+
+    a.li(T3, 1);
+    a.sw(T3, 0x30, S2); // CTRL = encrypt
+
+    // Read the (declassified) ciphertext.
+    a.la(S1, "response");
+    a.li(T3, 0);
+    a.label("rd_out");
+    a.add(T4, S2, T3);
+    a.lbu(T5, 0x20, T4);
+    a.add(T6, S1, T3);
+    a.sb(T5, 0, T6);
+    a.addi(T3, T3, 1);
+    a.li(T4, 16);
+    a.blt(T3, T4, "rd_out");
+
+    // Send the response as two 8-byte frames.
+    for half in 0..2 {
+        a.li(T1, RESPONSE_ID as i32);
+        a.sw(T1, 0x00, S0); // TX_ID
+        a.li(T1, 8);
+        a.sw(T1, 0x04, S0); // TX_DLC
+        a.la(S1, "response");
+        a.li(T3, 0);
+        a.label(&format!("wr_tx{half}"));
+        a.add(T4, S1, T3);
+        a.lbu(T5, 8 * half, T4);
+        a.add(T6, S0, T3);
+        a.sb(T5, 0x08, T6); // TX_DATA window
+        a.addi(T3, T3, 1);
+        a.li(T4, 8);
+        a.blt(T3, T4, &format!("wr_tx{half}"));
+        a.li(T1, 1);
+        a.sw(T1, 0x10, S0); // TX_GO
+    }
+
+    a.label("pop_frame");
+    a.li(T1, 1);
+    a.sw(T1, 0x34, S0); // RX_POP
+    a.j("loop");
+
+    // Console commands.
+    a.label("console");
+    a.call("rt_getc");
+    a.li(T0, -1);
+    a.beq(A0, T0, "loop");
+    a.li(T0, b'p' as i32);
+    a.beq(A0, T0, "cmd_ping");
+    a.li(T0, b'd' as i32);
+    a.beq(A0, T0, "cmd_dump");
+    a.li(T0, b'e' as i32);
+    a.beq(A0, T0, "cmd_echo_pin0");
+    a.li(T0, b'q' as i32);
+    a.beq(A0, T0, "cmd_quit");
+    a.j("loop");
+
+    // The latent bug behind the paper's entropy-reduction attack: a
+    // maintenance command (standing in for a buffer overflow reached with
+    // *trusted* data) that duplicates PIN byte 0 over bytes [k..16).
+    a.label("cmd_echo_pin0");
+    a.call("rt_getc"); // k
+    a.li(T0, -1);
+    a.beq(A0, T0, "loop");
+    a.li(T0, 16);
+    a.bgtu(A0, T0, "loop"); // k in 0..=16 (16 = no-op)
+    a.la(T1, "pin");
+    a.lbu(T2, 0, T1); // PIN byte 0 — trusted, secret data
+    a.add(T3, T1, A0); // &pin[k]
+    a.addi(T4, T1, 16); // &pin[16]
+    a.label("echo_loop");
+    a.bgeu(T3, T4, "loop");
+    a.sb(T2, 0, T3);
+    a.addi(T3, T3, 1);
+    a.j("echo_loop");
+
+    a.label("cmd_ping");
+    a.la(A0, "msg_pong");
+    a.call("rt_puts");
+    a.j("loop");
+
+    // The debug dump: every byte of the data segment to the UART.
+    a.label("cmd_dump");
+    a.la(S1, "data_begin");
+    a.la(S2, "data_end");
+    a.label("dump_loop");
+    a.bgeu(S1, S2, "dump_done");
+    if variant == Variant::Fixed {
+        // The fix: skip the PIN region.
+        a.la(T0, "pin");
+        a.bltu(S1, T0, "dump_byte");
+        a.addi(T0, T0, 16);
+        a.bgeu(S1, T0, "dump_byte");
+        a.addi(S1, S1, 1);
+        a.j("dump_loop");
+        a.label("dump_byte");
+    }
+    a.lbu(A0, 0, S1);
+    a.call("rt_putc");
+    a.addi(S1, S1, 1);
+    a.j("dump_loop");
+    a.label("dump_done");
+    a.j("loop");
+
+    a.label("cmd_quit");
+    a.ebreak();
+
+    emit_runtime(&mut a);
+
+    let program = a.assemble().expect("immobilizer firmware assembles");
+    let pin_addr = program.symbol("pin").expect("pin label exists");
+    ImmoFirmware { program, pin_addr, variant }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_assemble_with_pin_symbol() {
+        for v in [Variant::Vulnerable, Variant::Fixed] {
+            let fw = build(v);
+            assert_eq!(fw.variant, v);
+            let off = (fw.pin_addr - fw.program.base()) as usize;
+            assert_eq!(&fw.program.image()[off..off + 16], &PIN);
+        }
+    }
+
+    #[test]
+    fn fixed_variant_is_larger() {
+        // The fix adds the skip logic.
+        let vuln = build(Variant::Vulnerable);
+        let fixed = build(Variant::Fixed);
+        assert!(fixed.program.insn_count() > vuln.program.insn_count());
+    }
+}

@@ -1,0 +1,32 @@
+//! # vpdift-immo — the car-engine immobilizer case study (paper §VI-A)
+//!
+//! Everything needed to reproduce the security-policy development
+//! narrative:
+//!
+//! * [`firmware`] — the immobilizer ECU firmware ([`firmware::Variant::Vulnerable`]
+//!   with the PIN-leaking debug dump, and the corrected
+//!   [`firmware::Variant::Fixed`]),
+//! * [`ecu`] — the host-side engine ECU running the challenge-response
+//!   protocol over CAN,
+//! * [`policy`] — the coarse (whole-PIN) and refined (per-byte) IFP-3
+//!   policies,
+//! * [`scenarios`] — the attack scenarios 1–3 plus the entropy-reduction
+//!   attack that only the per-byte policy catches,
+//! * [`protocol`] — session drivers used by the tests, the case-study
+//!   report and the `immo-fixed` row of Table II.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bruteforce;
+pub mod ecu;
+pub mod firmware;
+pub mod policy;
+pub mod protocol;
+pub mod scenarios;
+
+pub use bruteforce::{crack_pin, CrackOutcome};
+pub use ecu::EngineEcu;
+pub use firmware::{ImmoFirmware, Variant, PIN};
+pub use protocol::{run_session, PolicyKind, SessionOutcome};
+pub use scenarios::{run_scenario, Scenario, ScenarioResult};

@@ -1,0 +1,121 @@
+//! The immobilizer security policies of §VI-A.
+//!
+//! Both policies instantiate IFP-3 (confidentiality × integrity): the PIN
+//! is `(HC,HI)`, all input/output devices have `(LC,LI)` clearance, and
+//! the AES peripheral declassifies ciphertext to `(LC,LI)`.
+//!
+//! * [`coarse`] — the paper's *first* policy: one security class for the
+//!   whole PIN. It stops leaks and untrusted overwrites but **not** the
+//!   entropy-reduction attack (overwriting PIN byte *k* with PIN byte *j*,
+//!   which is trusted data).
+//! * [`per_byte`] — the paper's *refined* policy: a separate
+//!   confidentiality class per PIN byte, which also catches the
+//!   entropy-reduction attack.
+
+use vpdift_core::{AddrRange, ExecClearance, SecurityPolicy, Tag};
+
+/// Tags shared by both policy flavours.
+#[derive(Debug, Clone)]
+pub struct ImmoTags {
+    /// The whole-PIN secret tag: LUB of all per-byte atoms (coarse policy
+    /// uses a single atom).
+    pub secret: Tag,
+    /// Per-byte secret tags (all equal to `secret` in the coarse policy).
+    pub pin_bytes: Vec<Tag>,
+    /// The `(LC,LI)` "came from outside" tag.
+    pub untrusted: Tag,
+}
+
+fn exec_clearance(untrusted: Tag) -> ExecClearance {
+    // LC clearance on branches/fetch/addresses (safe approximation of
+    // §V-B2): untrusted data may steer control flow, secret data may not.
+    ExecClearance {
+        fetch: Some(untrusted),
+        branch: Some(untrusted),
+        mem_addr: Some(untrusted),
+    }
+}
+
+fn base_policy(name: &str, untrusted: Tag) -> vpdift_core::SecurityPolicyBuilder {
+    SecurityPolicy::builder(name)
+        .source("terminal.rx", untrusted)
+        .source("can.rx", untrusted)
+        .source("aes.out", untrusted) // declassified ciphertext is (LC,LI)
+        .sink("uart.tx", untrusted)
+        .sink("can.tx", untrusted)
+        .allow_declassify("aes")
+        .exec_clearance(exec_clearance(untrusted))
+}
+
+/// The coarse policy: PIN = one `(HC,HI)` class.
+pub fn coarse(pin_addr: u32, pin_len: u32) -> (SecurityPolicy, ImmoTags) {
+    let secret = Tag::atom(0);
+    let untrusted = Tag::atom(1);
+    let policy = base_policy("immo-coarse", untrusted)
+        .classify_and_protect("immo.pin", AddrRange::new(pin_addr, pin_len), secret, secret)
+        .build();
+    let tags = ImmoTags {
+        secret,
+        pin_bytes: vec![secret; pin_len as usize],
+        untrusted,
+    };
+    (policy, tags)
+}
+
+/// The refined policy: one confidentiality class per PIN byte.
+///
+/// # Panics
+/// Panics if `pin_len + 1` exceeds the tag atom capacity.
+pub fn per_byte(pin_addr: u32, pin_len: u32) -> (SecurityPolicy, ImmoTags) {
+    let (pin_bytes, untrusted) = vpdift_core::ifp::per_byte_pin_tags(pin_len as usize);
+    let mut builder = base_policy("immo-per-byte", untrusted);
+    for (i, &tag) in pin_bytes.iter().enumerate() {
+        builder = builder.classify_and_protect(
+            &format!("immo.pin[{i}]"),
+            AddrRange::new(pin_addr + i as u32, 1),
+            tag,
+            tag,
+        );
+    }
+    let secret = pin_bytes.iter().fold(Tag::EMPTY, |acc, &t| acc.lub(t));
+    (builder.build(), ImmoTags { secret, pin_bytes, untrusted })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coarse_policy_shape() {
+        let (p, t) = coarse(0x100, 16);
+        assert_eq!(p.classify_at(0x100), Some(t.secret));
+        assert_eq!(p.classify_at(0x10F), Some(t.secret));
+        assert_eq!(p.classify_at(0x110), None);
+        assert_eq!(p.write_clearance_at(0x105).unwrap().1, t.secret);
+        assert_eq!(p.source_tag("terminal.rx"), t.untrusted);
+        assert_eq!(p.sink_clearance("can.tx"), Some(t.untrusted));
+        assert!(p.may_declassify("aes"));
+        assert!(!p.may_declassify("uart"));
+        assert_eq!(p.exec().branch, Some(t.untrusted));
+        // Secret data cannot steer a branch; untrusted can.
+        assert!(!t.secret.flows_to(t.untrusted));
+        assert!(t.untrusted.flows_to(t.untrusted));
+    }
+
+    #[test]
+    fn per_byte_policy_distinguishes_bytes() {
+        let (p, t) = per_byte(0x200, 16);
+        let b0 = p.classify_at(0x200).unwrap();
+        let b1 = p.classify_at(0x201).unwrap();
+        assert_ne!(b0, b1);
+        // Byte 0's data may be stored over byte 0 but not over byte 1 —
+        // the entropy-reduction attack becomes a store violation.
+        let (_, c1) = p.write_clearance_at(0x201).unwrap();
+        assert!(!b0.flows_to(c1));
+        assert!(b1.flows_to(c1));
+        // And every byte is still secret w.r.t. outputs.
+        for b in &t.pin_bytes {
+            assert!(!b.flows_to(t.untrusted));
+        }
+    }
+}

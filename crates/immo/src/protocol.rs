@@ -1,0 +1,156 @@
+//! Drives the full immobilizer ⇄ engine-ECU protocol on the VP, plus the
+//! debug-console sessions used in the case study and the `immo-fixed`
+//! benchmark row of Table II.
+
+use vpdift_core::SecurityPolicy;
+use vpdift_rv32::TaintMode;
+use vpdift_soc::{Soc, SocConfig, SocExit};
+
+use crate::ecu::EngineEcu;
+use crate::firmware::{self, Variant, PIN};
+use crate::policy;
+
+/// Outcome of a protocol session.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// How the simulation ended.
+    pub exit: SocExit,
+    /// Successful authentications verified by the engine ECU.
+    pub authentications: u32,
+    /// Bytes the immobilizer printed on the UART.
+    pub uart: Vec<u8>,
+    /// Retired instructions.
+    pub instret: u64,
+}
+
+/// Which policy to run the immobilizer under.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PolicyKind {
+    /// No DIFT checking (the plain VP, or a permissive VP+).
+    Permissive,
+    /// §VI-A first policy: whole-PIN class.
+    Coarse,
+    /// §VI-A refined policy: per-byte PIN classes.
+    PerByte,
+}
+
+/// Builds the policy for a firmware image.
+pub fn policy_for(kind: PolicyKind, fw: &firmware::ImmoFirmware) -> SecurityPolicy {
+    match kind {
+        PolicyKind::Permissive => SecurityPolicy::permissive(),
+        PolicyKind::Coarse => policy::coarse(fw.pin_addr, 16).0,
+        PolicyKind::PerByte => policy::per_byte(fw.pin_addr, 16).0,
+    }
+}
+
+/// Prepares a SoC for an immobilizer session: loads the firmware,
+/// pre-queues `rounds` CAN challenges and the console script, and returns
+/// the engine-ECU model plus the challenge list.
+///
+/// `console` is fed to the terminal *after* the challenges are queued; it
+/// should normally end with `q` so the firmware exits cleanly.
+pub fn prepare_session<M: TaintMode>(
+    soc: &mut Soc<M>,
+    fw: &firmware::ImmoFirmware,
+    rounds: u32,
+    console: &[u8],
+    seed: u64,
+) -> (EngineEcu, Vec<[u8; 8]>) {
+    soc.load_program(&fw.program);
+    let mut ecu = EngineEcu::new(PIN, seed);
+    let mut challenges = Vec::new();
+    for _ in 0..rounds {
+        let ch = ecu.next_challenge();
+        ecu.send_challenge(soc.can_host(), &ch);
+        challenges.push(ch);
+    }
+    soc.terminal().borrow_mut().feed(console);
+    (ecu, challenges)
+}
+
+/// Runs a complete session: `rounds` authentications followed by the
+/// console script (default just `q`).
+pub fn run_session<M: TaintMode>(
+    variant: Variant,
+    kind: PolicyKind,
+    rounds: u32,
+    console: &[u8],
+) -> SessionOutcome {
+    let fw = firmware::build(variant);
+    let mut cfg = SocConfig::with_policy(policy_for(kind, &fw));
+    cfg.sensor_thread = false;
+    let mut soc = Soc::<M>::new(cfg);
+    let (mut ecu, challenges) = prepare_session(&mut soc, &fw, rounds, console, 0xEC0);
+    let exit = soc.run(200_000_000);
+    let mut authentications = 0;
+    for ch in &challenges {
+        if ecu.verify_response(soc.can_host(), ch) {
+            authentications += 1;
+        }
+    }
+    let uart = soc.uart().borrow().output().to_vec();
+    SessionOutcome { exit, authentications, uart, instret: soc.instret() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdift_core::ViolationKind;
+    use vpdift_rv32::{Plain, Tainted};
+
+    #[test]
+    fn challenge_response_authenticates_under_coarse_policy() {
+        let out = run_session::<Tainted>(Variant::Fixed, PolicyKind::Coarse, 3, b"q");
+        assert_eq!(out.exit, SocExit::Break, "clean quit");
+        assert_eq!(out.authentications, 3, "all rounds authenticated");
+    }
+
+    #[test]
+    fn protocol_works_on_plain_vp_too() {
+        let out = run_session::<Plain>(Variant::Fixed, PolicyKind::Permissive, 2, b"q");
+        assert_eq!(out.exit, SocExit::Break);
+        assert_eq!(out.authentications, 2);
+    }
+
+    #[test]
+    fn vulnerable_dump_is_detected_as_leak() {
+        // The test-suite run that uncovered the vulnerability: a debug
+        // dump under the coarse policy trips the UART output clearance.
+        let out = run_session::<Tainted>(Variant::Vulnerable, PolicyKind::Coarse, 0, b"dq");
+        match out.exit {
+            SocExit::Violation(v) => {
+                assert_eq!(v.kind, ViolationKind::Output { sink: "uart.tx".into() });
+            }
+            other => panic!("dump leak not detected: {other:?}"),
+        }
+        // Only the bytes before the PIN made it out.
+        assert!(out.uart.len() < 64);
+    }
+
+    #[test]
+    fn fixed_dump_passes_and_hides_pin() {
+        let out = run_session::<Tainted>(Variant::Fixed, PolicyKind::Coarse, 0, b"dq");
+        assert_eq!(out.exit, SocExit::Break, "fixed dump must not violate");
+        assert!(!out.uart.is_empty());
+        // The PIN byte-string must not appear in the dump.
+        let pin = &PIN[..];
+        assert!(
+            !out.uart.windows(pin.len()).any(|w| w == pin),
+            "PIN leaked in fixed dump"
+        );
+    }
+
+    #[test]
+    fn ping_works_under_enforcement() {
+        let out = run_session::<Tainted>(Variant::Fixed, PolicyKind::Coarse, 0, b"pq");
+        assert_eq!(out.exit, SocExit::Break);
+        assert_eq!(out.uart, b"pong\n");
+    }
+
+    #[test]
+    fn per_byte_policy_still_authenticates() {
+        let out = run_session::<Tainted>(Variant::Fixed, PolicyKind::PerByte, 2, b"q");
+        assert_eq!(out.exit, SocExit::Break);
+        assert_eq!(out.authentications, 2);
+    }
+}

@@ -1,0 +1,213 @@
+//! The §VI-A attack scenarios against the immobilizer policy.
+//!
+//! Each scenario is a small guest program embedding the PIN at a known
+//! label, run under the coarse or per-byte policy. The paper's narrative:
+//! scenarios 1–3 are caught by the coarse policy; the entropy-reduction
+//! attack (overwrite PIN byte *k* with PIN byte *j*) is caught **only** by
+//! the per-byte policy.
+
+use vpdift_asm::{Asm, Program, Reg};
+use vpdift_core::{Violation, ViolationKind};
+use vpdift_firmware::rt::emit_runtime;
+use vpdift_rv32::Tainted;
+use vpdift_soc::{Soc, SocConfig, SocExit};
+
+use crate::firmware::PIN;
+use crate::policy;
+
+use Reg::*;
+
+const CAN_BASE: i32 = 0x1003_0000;
+
+/// The attack scenarios of §VI-A.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Scenario {
+    /// 1a: write the PIN directly to the UART.
+    DirectLeakUart,
+    /// 1b: copy the PIN through an intermediate buffer, then leak it.
+    IndirectLeakUart,
+    /// 1c: a buffer overflow walks past the end of a transmit buffer into
+    /// the adjacent PIN, leaking it on the CAN bus.
+    OverflowLeakCan,
+    /// 2: branch on a PIN byte (control-flow leak).
+    PinDependentBranch,
+    /// 3: overwrite the PIN with external (untrusted) data.
+    OverwritePinExternal,
+    /// The follow-up attack: overwrite PIN byte 2 with PIN byte 0 —
+    /// *trusted* data, so the coarse policy misses it.
+    EntropyReduction,
+}
+
+impl Scenario {
+    /// All scenarios, in the paper's order.
+    pub const ALL: [Scenario; 6] = [
+        Scenario::DirectLeakUart,
+        Scenario::IndirectLeakUart,
+        Scenario::OverflowLeakCan,
+        Scenario::PinDependentBranch,
+        Scenario::OverwritePinExternal,
+        Scenario::EntropyReduction,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::DirectLeakUart => "direct PIN write to UART",
+            Scenario::IndirectLeakUart => "indirect PIN write (via buffer) to UART",
+            Scenario::OverflowLeakCan => "buffer overflow leaks PIN on CAN",
+            Scenario::PinDependentBranch => "control flow depends on PIN",
+            Scenario::OverwritePinExternal => "overwrite PIN with external data",
+            Scenario::EntropyReduction => "overwrite PIN byte with another PIN byte",
+        }
+    }
+
+    /// Should the *coarse* policy detect it? (The paper: all but the
+    /// entropy-reduction attack.)
+    pub fn coarse_detects(self) -> bool {
+        self != Scenario::EntropyReduction
+    }
+}
+
+/// Builds the guest program for a scenario. The image always lays out a
+/// `txbuf` (8 bytes) directly followed by `pin` (16 bytes), so the
+/// overflow scenario has something to overflow into.
+pub fn build_program(s: Scenario) -> Program {
+    let mut a = Asm::new(0);
+    a.entry();
+    a.j("main");
+
+    a.align(4);
+    a.label("txbuf");
+    a.bytes(b"ABCDEFGH");
+    a.label("pin");
+    a.bytes(&PIN);
+    a.label("scratch");
+    a.zero(16);
+    a.align(4);
+
+    a.label("main");
+    match s {
+        Scenario::DirectLeakUart => {
+            a.la(S0, "pin");
+            a.li(S1, 16);
+            a.label("leak");
+            a.lbu(A0, 0, S0);
+            a.call("rt_putc");
+            a.addi(S0, S0, 1);
+            a.addi(S1, S1, -1);
+            a.bnez(S1, "leak");
+        }
+        Scenario::IndirectLeakUart => {
+            a.la(A0, "scratch");
+            a.la(A1, "pin");
+            a.li(A2, 16);
+            a.call("rt_memcpy");
+            a.la(S0, "scratch");
+            a.li(S1, 16);
+            a.label("leak");
+            a.lbu(A0, 0, S0);
+            a.call("rt_putc");
+            a.addi(S0, S0, 1);
+            a.addi(S1, S1, -1);
+            a.bnez(S1, "leak");
+        }
+        Scenario::OverflowLeakCan => {
+            // "Send txbuf" with a length bug: 24 bytes instead of 8, in
+            // three 8-byte CAN frames — frame 2 carries PIN bytes.
+            a.li(S0, CAN_BASE);
+            a.la(S1, "txbuf");
+            a.li(S2, 0); // byte index, runs to 24
+            a.label("frames");
+            a.li(T0, 0x77);
+            a.sw(T0, 0x00, S0); // TX_ID
+            a.li(T0, 8);
+            a.sw(T0, 0x04, S0); // TX_DLC
+            a.li(T1, 0);
+            a.label("fill");
+            a.add(T2, S1, S2);
+            a.lbu(T3, 0, T2);
+            a.add(T4, S0, T1);
+            a.sb(T3, 0x08, T4);
+            a.addi(S2, S2, 1);
+            a.addi(T1, T1, 1);
+            a.li(T0, 8);
+            a.blt(T1, T0, "fill");
+            a.li(T0, 1);
+            a.sw(T0, 0x10, S0); // TX_GO
+            a.li(T0, 24);
+            a.blt(S2, T0, "frames");
+        }
+        Scenario::PinDependentBranch => {
+            a.la(T0, "pin");
+            a.lbu(T1, 0, T0);
+            a.li(T2, 0x42);
+            a.beq(T1, T2, "is_42"); // branch condition carries the PIN tag
+            a.li(A0, b'N' as i32);
+            a.call("rt_putc");
+            a.j("done");
+            a.label("is_42");
+            a.li(A0, b'Y' as i32);
+            a.call("rt_putc");
+            a.label("done");
+        }
+        Scenario::OverwritePinExternal => {
+            a.call("rt_getc"); // untrusted console byte
+            a.la(T0, "pin");
+            a.sb(A0, 0, T0);
+        }
+        Scenario::EntropyReduction => {
+            a.la(T0, "pin");
+            a.lbu(T1, 0, T0); // PIN byte 0 (trusted, secret)
+            a.sb(T1, 2, T0); // over PIN byte 2
+        }
+    }
+    a.ebreak();
+    emit_runtime(&mut a);
+    a.assemble().expect("scenario program assembles")
+}
+
+/// Outcome of running one scenario under one policy.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Which scenario ran.
+    pub scenario: Scenario,
+    /// `true` iff the DIFT engine stopped the attack.
+    pub detected: bool,
+    /// The violation, when detected.
+    pub violation: Option<Violation>,
+}
+
+/// Runs a scenario under the coarse or per-byte policy and reports whether
+/// the DIFT engine detected it.
+pub fn run_scenario(s: Scenario, per_byte_policy: bool) -> ScenarioResult {
+    let program = build_program(s);
+    let pin_addr = program.symbol("pin").expect("pin label");
+    let (policy, _tags) = if per_byte_policy {
+        policy::per_byte(pin_addr, 16)
+    } else {
+        policy::coarse(pin_addr, 16)
+    };
+    let mut cfg = SocConfig::with_policy(policy);
+    cfg.sensor_thread = false;
+    let mut soc = Soc::<Tainted>::new(cfg);
+    soc.load_program(&program);
+    soc.terminal().borrow_mut().feed(b"Z");
+    let exit = soc.run(10_000_000);
+    match exit {
+        SocExit::Violation(v) => ScenarioResult { scenario: s, detected: true, violation: Some(v) },
+        _ => ScenarioResult { scenario: s, detected: false, violation: None },
+    }
+}
+
+/// The violation kind each scenario is expected to trigger.
+pub fn expected_kind(s: Scenario) -> ViolationKind {
+    match s {
+        Scenario::DirectLeakUart | Scenario::IndirectLeakUart => {
+            ViolationKind::Output { sink: "uart.tx".into() }
+        }
+        Scenario::OverflowLeakCan => ViolationKind::Output { sink: "can.tx".into() },
+        Scenario::PinDependentBranch => ViolationKind::Branch,
+        Scenario::OverwritePinExternal => ViolationKind::Store { region: "immo.pin".into() },
+        Scenario::EntropyReduction => ViolationKind::Store { region: "immo.pin[2]".into() },
+    }
+}

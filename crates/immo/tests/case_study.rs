@@ -1,0 +1,68 @@
+//! The §VI-A case-study narrative as executable assertions.
+
+use vpdift_core::ViolationKind;
+use vpdift_immo::scenarios::{build_program, expected_kind, run_scenario, Scenario};
+
+#[test]
+fn coarse_policy_detects_scenarios_1_to_3() {
+    for s in Scenario::ALL {
+        let result = run_scenario(s, false);
+        assert_eq!(
+            result.detected,
+            s.coarse_detects(),
+            "coarse policy vs `{}`",
+            s.name()
+        );
+        if result.detected && s != Scenario::OverwritePinExternal {
+            let v = result.violation.expect("violation recorded");
+            assert_eq!(v.kind, expected_kind(s), "wrong violation kind for `{}`", s.name());
+        }
+    }
+}
+
+#[test]
+fn entropy_reduction_slips_past_coarse_policy() {
+    // The paper's key observation: overwriting PIN byte 2 with PIN byte 0
+    // is *trusted* data, so the (HC,HI)-for-the-whole-PIN policy allows it
+    // — reducing encryption entropy and enabling byte-wise brute force.
+    let result = run_scenario(Scenario::EntropyReduction, false);
+    assert!(!result.detected, "coarse policy must NOT catch the entropy attack");
+}
+
+#[test]
+fn per_byte_policy_catches_everything() {
+    for s in Scenario::ALL {
+        let result = run_scenario(s, true);
+        assert!(result.detected, "per-byte policy vs `{}`", s.name());
+    }
+}
+
+#[test]
+fn entropy_reduction_violation_names_the_byte() {
+    let result = run_scenario(Scenario::EntropyReduction, true);
+    let v = result.violation.expect("detected");
+    assert_eq!(v.kind, ViolationKind::Store { region: "immo.pin[2]".into() });
+}
+
+#[test]
+fn overwrite_external_reports_store_violation_under_both() {
+    for per_byte in [false, true] {
+        let result = run_scenario(Scenario::OverwritePinExternal, per_byte);
+        let v = result.violation.expect("detected");
+        assert!(
+            matches!(v.kind, ViolationKind::Store { ref region } if region.starts_with("immo.pin")),
+            "unexpected kind {:?}",
+            v.kind
+        );
+    }
+}
+
+#[test]
+fn scenario_programs_share_the_pin_layout() {
+    for s in Scenario::ALL {
+        let p = build_program(s);
+        let pin = p.symbol("pin").expect("pin symbol");
+        let txbuf = p.symbol("txbuf").expect("txbuf symbol");
+        assert_eq!(pin - txbuf, 8, "overflow scenario relies on adjacency");
+    }
+}

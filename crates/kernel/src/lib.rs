@@ -1,0 +1,40 @@
+//! # vpdift-kernel — discrete-event simulation kernel
+//!
+//! A compact, single-threaded discrete-event kernel standing in for the
+//! IEEE-1666 SystemC simulation kernel used by the paper's virtual
+//! prototype. It provides the subset of SystemC semantics the VP model
+//! relies on:
+//!
+//! * a simulated clock ([`SimTime`], picosecond resolution),
+//! * timed notifications and one-shot scheduled closures,
+//! * *delta cycles* — zero-delay notifications execute at the same
+//!   timestamp but in a later evaluation round,
+//! * cooperative [`Process`]es (`SC_THREAD` substitutes) that wait for
+//!   durations or events, including the [`Periodic`] helper used by
+//!   peripheral models such as the paper's Fig. 4 sensor.
+//!
+//! ```
+//! use vpdift_kernel::{Kernel, Periodic, SimTime};
+//! use std::{cell::Cell, rc::Rc};
+//!
+//! let mut kernel = Kernel::new();
+//! let frames = Rc::new(Cell::new(0u32));
+//! let f = frames.clone();
+//! // A 40 Hz sensor thread, like the paper's SimpleSensor::run().
+//! kernel.spawn("sensor", Periodic::new(SimTime::from_ms(25), move |_k| {
+//!     f.set(f.get() + 1);
+//! }));
+//! kernel.run_until(SimTime::from_s(1));
+//! assert_eq!(frames.get(), 40);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod process;
+mod scheduler;
+mod time;
+
+pub use process::{FnProcess, Next, Periodic, Process};
+pub use scheduler::{EventId, Kernel, KernelStats, ProcessId};
+pub use time::SimTime;

@@ -1,0 +1,155 @@
+//! Cooperative simulation processes — the `SC_THREAD` substitute.
+//!
+//! SystemC threads block inside `wait(...)`; Rust has no built-in stackful
+//! coroutines, so a process here is a state machine: the kernel calls
+//! [`Process::resume`], the process performs one activation and *returns*
+//! what it wants to wait for next. Periodic peripheral threads (such as the
+//! paper's Fig. 4 sensor) map naturally onto this shape; helpers below cover
+//! the common cases.
+
+use crate::scheduler::{EventId, Kernel, ProcessId};
+use crate::time::SimTime;
+
+/// What a process wants to happen after an activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Next {
+    /// Resume again after this duration (a `wait(time)`).
+    WaitFor(SimTime),
+    /// Resume on the next notification of this event (a `wait(event)`).
+    WaitEvent(EventId),
+    /// Never resume again.
+    Stop,
+}
+
+/// A cooperative simulation process.
+///
+/// Implementors receive mutable access to the [`Kernel`] so they can notify
+/// events or schedule follow-up work during an activation.
+pub trait Process {
+    /// Performs one activation and reports what to wait for next.
+    fn resume(&mut self, kernel: &mut Kernel, id: ProcessId) -> Next;
+}
+
+/// A process built from a closure; each call is one activation.
+///
+/// ```
+/// use vpdift_kernel::{Kernel, SimTime, FnProcess, Next};
+/// let mut k = Kernel::new();
+/// let mut n = 0;
+/// k.spawn("three-times", FnProcess::new(move |_k, _id| {
+///     n += 1;
+///     if n < 3 { Next::WaitFor(SimTime::from_ns(10)) } else { Next::Stop }
+/// }));
+/// k.run_to_completion();
+/// assert_eq!(k.now(), SimTime::from_ns(20));
+/// ```
+pub struct FnProcess<F> {
+    f: F,
+}
+
+impl<F> FnProcess<F>
+where
+    F: FnMut(&mut Kernel, ProcessId) -> Next,
+{
+    /// Wraps a closure as a [`Process`].
+    pub fn new(f: F) -> Self {
+        FnProcess { f }
+    }
+}
+
+impl<F> Process for FnProcess<F>
+where
+    F: FnMut(&mut Kernel, ProcessId) -> Next,
+{
+    fn resume(&mut self, kernel: &mut Kernel, id: ProcessId) -> Next {
+        (self.f)(kernel, id)
+    }
+}
+
+/// A strictly periodic process: the body runs every `period`, starting one
+/// period after elaboration (the initial delta-cycle activation only arms
+/// the timer, it does not run the body — matching a SystemC thread whose
+/// loop begins with `wait(period)`).
+pub struct Periodic<F> {
+    period: SimTime,
+    armed: bool,
+    body: F,
+}
+
+impl<F> Periodic<F>
+where
+    F: FnMut(&mut Kernel),
+{
+    /// Creates a periodic process with the given period.
+    ///
+    /// # Panics
+    /// Panics if `period` is zero (that would be a delta-cycle livelock).
+    pub fn new(period: SimTime, body: F) -> Self {
+        assert!(!period.is_zero(), "periodic process period must be non-zero");
+        Periodic { period, armed: false, body }
+    }
+}
+
+impl<F> Process for Periodic<F>
+where
+    F: FnMut(&mut Kernel),
+{
+    fn resume(&mut self, kernel: &mut Kernel, _id: ProcessId) -> Next {
+        if self.armed {
+            (self.body)(kernel);
+        }
+        self.armed = true;
+        Next::WaitFor(self.period)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn fn_process_runs_and_stops() {
+        let mut k = Kernel::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        let mut count = 0;
+        k.spawn(
+            "counter",
+            FnProcess::new(move |k, _| {
+                count += 1;
+                l.borrow_mut().push((count, k.now()));
+                if count < 2 {
+                    Next::WaitFor(SimTime::from_ns(3))
+                } else {
+                    Next::Stop
+                }
+            }),
+        );
+        k.run_to_completion();
+        assert_eq!(*log.borrow(), vec![(1, SimTime::ZERO), (2, SimTime::from_ns(3))]);
+    }
+
+    #[test]
+    fn periodic_skips_body_at_elaboration() {
+        let mut k = Kernel::new();
+        let times = Rc::new(RefCell::new(Vec::new()));
+        let t = times.clone();
+        k.spawn(
+            "tick",
+            Periodic::new(SimTime::from_ns(10), move |k| t.borrow_mut().push(k.now())),
+        );
+        k.run_until(SimTime::from_ns(35));
+        assert_eq!(
+            *times.borrow(),
+            vec![SimTime::from_ns(10), SimTime::from_ns(20), SimTime::from_ns(30)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn periodic_rejects_zero_period() {
+        let _ = Periodic::new(SimTime::ZERO, |_| {});
+    }
+}

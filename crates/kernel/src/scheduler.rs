@@ -1,0 +1,496 @@
+//! The discrete-event scheduler at the heart of the kernel.
+//!
+//! Semantics follow the SystemC evaluation model: the kernel maintains a
+//! timed event queue plus a *delta* queue. All actions scheduled for the
+//! current time are executed in *delta cycles*: actions may schedule further
+//! zero-delay actions, which run in the next delta cycle at the same
+//! simulated time. Only when no delta work remains does time advance.
+
+use core::cmp::Ordering;
+use core::fmt;
+use std::cell::RefCell;
+use std::collections::{BinaryHeap, VecDeque};
+use std::rc::Rc;
+
+use crate::process::{Next, Process};
+use crate::time::SimTime;
+
+/// Identifier of a kernel [`Event`](crate::Event-like) notification channel.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct EventId(usize);
+
+/// Identifier of a registered [`Process`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ProcessId(usize);
+
+type OnceAction = Box<dyn FnOnce(&mut Kernel)>;
+
+enum Action {
+    Resume(ProcessId),
+    Notify(EventId),
+    Once(OnceAction),
+}
+
+impl fmt::Debug for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Resume(p) => write!(f, "Resume({p:?})"),
+            Action::Notify(e) => write!(f, "Notify({e:?})"),
+            Action::Once(_) => write!(f, "Once(..)"),
+        }
+    }
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+// BinaryHeap is a max-heap; invert ordering for earliest-first, with the
+// sequence number breaking ties so same-time actions run in schedule order.
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[derive(Default)]
+struct EventRecord {
+    /// Processes parked on this event (one-shot, re-armed by waiting again).
+    waiters: Vec<ProcessId>,
+}
+
+struct ProcessSlot {
+    body: Rc<RefCell<dyn Process>>,
+    /// A process that returned [`Next::Stop`] is never resumed again.
+    stopped: bool,
+    name: &'static str,
+}
+
+/// Aggregate counters the kernel keeps while running; useful in tests and
+/// performance reports.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Number of distinct simulated timestamps at which activity occurred.
+    pub timestamps: u64,
+    /// Total delta cycles executed.
+    pub delta_cycles: u64,
+    /// Total actions (process resumes, notifications, one-shots) executed.
+    pub actions: u64,
+}
+
+/// The discrete-event simulation kernel.
+///
+/// This is the SystemC-kernel substitute described in `DESIGN.md`: an
+/// event-driven scheduler with timed notifications, delta cycles and
+/// cooperative processes.
+///
+/// ```
+/// use vpdift_kernel::{Kernel, SimTime};
+/// let mut k = Kernel::new();
+/// let hits = std::rc::Rc::new(std::cell::Cell::new(0));
+/// let h = hits.clone();
+/// k.schedule_in(SimTime::from_ns(5), move |_| h.set(h.get() + 1));
+/// k.run_until(SimTime::from_ns(10));
+/// assert_eq!(hits.get(), 1);
+/// ```
+pub struct Kernel {
+    now: SimTime,
+    seq: u64,
+    timed: BinaryHeap<Scheduled>,
+    delta: VecDeque<Action>,
+    next_delta: VecDeque<Action>,
+    events: Vec<EventRecord>,
+    processes: Vec<ProcessSlot>,
+    stats: KernelStats,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kernel")
+            .field("now", &self.now)
+            .field("pending_timed", &self.timed.len())
+            .field("pending_delta", &(self.delta.len() + self.next_delta.len()))
+            .field("events", &self.events.len())
+            .field("processes", &self.processes.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Kernel {
+    /// Creates an empty kernel at time zero.
+    pub fn new() -> Self {
+        Kernel {
+            now: SimTime::ZERO,
+            seq: 0,
+            timed: BinaryHeap::new(),
+            delta: VecDeque::new(),
+            next_delta: VecDeque::new(),
+            events: Vec::new(),
+            processes: Vec::new(),
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Allocates a new notification channel.
+    pub fn create_event(&mut self) -> EventId {
+        self.events.push(EventRecord::default());
+        EventId(self.events.len() - 1)
+    }
+
+    /// Registers a process and schedules its first resume at the current
+    /// time (next delta cycle), mirroring `SC_THREAD` start-up semantics.
+    pub fn spawn<P: Process + 'static>(&mut self, name: &'static str, process: P) -> ProcessId {
+        self.spawn_shared(name, Rc::new(RefCell::new(process)))
+    }
+
+    /// Registers an externally owned process (shared via `Rc<RefCell<_>>`),
+    /// so models can keep a handle to their own state.
+    pub fn spawn_shared(
+        &mut self,
+        name: &'static str,
+        process: Rc<RefCell<dyn Process>>,
+    ) -> ProcessId {
+        let id = ProcessId(self.processes.len());
+        self.processes.push(ProcessSlot { body: process, stopped: false, name });
+        self.push_delta(Action::Resume(id));
+        id
+    }
+
+    /// Name a process was registered under.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this kernel.
+    pub fn process_name(&self, id: ProcessId) -> &'static str {
+        self.processes[id.0].name
+    }
+
+    /// Schedules a one-shot closure after `delay` (zero = next delta cycle).
+    pub fn schedule_in<F: FnOnce(&mut Kernel) + 'static>(&mut self, delay: SimTime, f: F) {
+        self.schedule_action(delay, Action::Once(Box::new(f)));
+    }
+
+    /// Notifies `event` after `delay`. A zero delay is a *delta
+    /// notification*: waiters resume in the next delta cycle at the current
+    /// time, never in the same one (matching `sc_event::notify(SC_ZERO_TIME)`).
+    pub fn notify(&mut self, event: EventId, delay: SimTime) {
+        self.schedule_action(delay, Action::Notify(event));
+    }
+
+    /// Parks `process` on `event` until the next notification (one-shot).
+    pub fn wait_event(&mut self, process: ProcessId, event: EventId) {
+        let rec = &mut self.events[event.0];
+        if !rec.waiters.contains(&process) {
+            rec.waiters.push(process);
+        }
+    }
+
+    /// Schedules `process` to resume after `delay`.
+    pub fn wait_for(&mut self, process: ProcessId, delay: SimTime) {
+        self.schedule_action(delay, Action::Resume(process));
+    }
+
+    fn schedule_action(&mut self, delay: SimTime, action: Action) {
+        if delay.is_zero() {
+            self.push_delta(action);
+        } else {
+            let seq = self.seq;
+            self.seq += 1;
+            self.timed.push(Scheduled { at: self.now.saturating_add(delay), seq, action });
+        }
+    }
+
+    fn push_delta(&mut self, action: Action) {
+        self.next_delta.push_back(action);
+    }
+
+    /// `true` while any timed or delta activity is pending.
+    pub fn has_pending(&self) -> bool {
+        !self.timed.is_empty() || !self.delta.is_empty() || !self.next_delta.is_empty()
+    }
+
+    /// Time of the next pending timed action, if any.
+    pub fn next_activity(&self) -> Option<SimTime> {
+        if !self.delta.is_empty() || !self.next_delta.is_empty() {
+            Some(self.now)
+        } else {
+            self.timed.peek().map(|s| s.at)
+        }
+    }
+
+    /// Runs until the simulated clock would pass `deadline` or no activity
+    /// remains. Actions scheduled exactly at `deadline` are executed. On
+    /// return, `now` equals `deadline` if it was reached, else the time of
+    /// the last executed action.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            // Drain all delta cycles at the current time first.
+            self.run_delta_cycles();
+            match self.timed.peek() {
+                Some(head) if head.at <= deadline => {
+                    let at = head.at;
+                    self.now = at;
+                    self.stats.timestamps += 1;
+                    // Move every action at this timestamp into the delta queue.
+                    while let Some(head) = self.timed.peek() {
+                        if head.at != at {
+                            break;
+                        }
+                        let entry = self.timed.pop().expect("peeked entry exists");
+                        self.next_delta.push_back(entry.action);
+                    }
+                }
+                _ => {
+                    if deadline != SimTime::MAX && deadline > self.now {
+                        self.now = deadline;
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Runs for `duration` from the current time. See [`Kernel::run_until`].
+    pub fn run_for(&mut self, duration: SimTime) {
+        let deadline = self.now.saturating_add(duration);
+        self.run_until(deadline);
+    }
+
+    /// Runs until no activity remains at all.
+    ///
+    /// Beware: periodic processes never stop; prefer [`Kernel::run_until`]
+    /// for models containing free-running threads.
+    pub fn run_to_completion(&mut self) {
+        self.run_until(SimTime::MAX);
+    }
+
+    fn run_delta_cycles(&mut self) {
+        while !self.next_delta.is_empty() {
+            core::mem::swap(&mut self.delta, &mut self.next_delta);
+            self.stats.delta_cycles += 1;
+            while let Some(action) = self.delta.pop_front() {
+                self.stats.actions += 1;
+                self.execute(action);
+            }
+        }
+    }
+
+    fn execute(&mut self, action: Action) {
+        match action {
+            Action::Once(f) => f(self),
+            Action::Notify(event) => {
+                let waiters = core::mem::take(&mut self.events[event.0].waiters);
+                for pid in waiters {
+                    self.resume(pid);
+                }
+            }
+            Action::Resume(pid) => self.resume(pid),
+        }
+    }
+
+    fn resume(&mut self, pid: ProcessId) {
+        if self.processes[pid.0].stopped {
+            return;
+        }
+        let body = Rc::clone(&self.processes[pid.0].body);
+        let next = body.borrow_mut().resume(self, pid);
+        match next {
+            Next::WaitFor(d) => self.wait_for(pid, d),
+            Next::WaitEvent(e) => self.wait_event(pid, e),
+            Next::Stop => self.processes[pid.0].stopped = true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn one_shot_runs_at_scheduled_time() {
+        let mut k = Kernel::new();
+        let fired = Rc::new(Cell::new(SimTime::ZERO));
+        let f = fired.clone();
+        k.schedule_in(SimTime::from_ns(7), move |k| f.set(k.now()));
+        k.run_until(SimTime::from_ns(100));
+        assert_eq!(fired.get(), SimTime::from_ns(7));
+        assert_eq!(k.now(), SimTime::from_ns(100));
+    }
+
+    #[test]
+    fn same_time_actions_run_in_schedule_order() {
+        let mut k = Kernel::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..4 {
+            let l = log.clone();
+            k.schedule_in(SimTime::from_ns(5), move |_| l.borrow_mut().push(i));
+        }
+        k.run_until(SimTime::from_ns(5));
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn delta_notification_runs_in_next_delta_cycle_same_time() {
+        let mut k = Kernel::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l1 = log.clone();
+        let l2 = log.clone();
+        k.schedule_in(SimTime::from_ns(1), move |k| {
+            l1.borrow_mut().push(("a", k.now()));
+            let l3 = l1.clone();
+            k.schedule_in(SimTime::ZERO, move |k| l3.borrow_mut().push(("b", k.now())));
+        });
+        k.schedule_in(SimTime::from_ns(1), move |k| l2.borrow_mut().push(("c", k.now())));
+        k.run_until(SimTime::from_ns(1));
+        let t = SimTime::from_ns(1);
+        // "b" is delayed by one delta cycle, after "c" at the same timestamp.
+        assert_eq!(*log.borrow(), vec![("a", t), ("c", t), ("b", t)]);
+        assert!(k.stats().delta_cycles >= 2);
+    }
+
+    #[test]
+    fn event_notification_wakes_waiters_once() {
+        struct Waiter {
+            event: EventId,
+            wakeups: Rc<Cell<u32>>,
+            armed: bool,
+        }
+        impl Process for Waiter {
+            fn resume(&mut self, _k: &mut Kernel, _id: ProcessId) -> Next {
+                if self.armed {
+                    self.wakeups.set(self.wakeups.get() + 1);
+                }
+                self.armed = true;
+                Next::WaitEvent(self.event)
+            }
+        }
+        let mut k = Kernel::new();
+        let ev = k.create_event();
+        let wakeups = Rc::new(Cell::new(0));
+        k.spawn("waiter", Waiter { event: ev, wakeups: wakeups.clone(), armed: false });
+        k.notify(ev, SimTime::from_ns(3));
+        k.run_until(SimTime::from_ns(10));
+        assert_eq!(wakeups.get(), 1);
+        // Second notification wakes it again (it re-armed itself).
+        k.notify(ev, SimTime::from_ns(1));
+        k.run_until(SimTime::from_ns(20));
+        assert_eq!(wakeups.get(), 2);
+    }
+
+    #[test]
+    fn periodic_process_ticks_until_deadline() {
+        struct Ticker {
+            period: SimTime,
+            ticks: Rc<Cell<u32>>,
+            first: bool,
+        }
+        impl Process for Ticker {
+            fn resume(&mut self, _k: &mut Kernel, _id: ProcessId) -> Next {
+                if !self.first {
+                    self.ticks.set(self.ticks.get() + 1);
+                }
+                self.first = false;
+                Next::WaitFor(self.period)
+            }
+        }
+        let mut k = Kernel::new();
+        let ticks = Rc::new(Cell::new(0));
+        k.spawn(
+            "ticker",
+            Ticker { period: SimTime::from_ms(25), ticks: ticks.clone(), first: true },
+        );
+        k.run_until(SimTime::from_s(1));
+        // 40 Hz sensor cadence from Fig. 4 of the paper.
+        assert_eq!(ticks.get(), 40);
+    }
+
+    #[test]
+    fn stopped_process_is_never_resumed_again() {
+        struct Once {
+            runs: Rc<Cell<u32>>,
+        }
+        impl Process for Once {
+            fn resume(&mut self, _k: &mut Kernel, _id: ProcessId) -> Next {
+                self.runs.set(self.runs.get() + 1);
+                Next::Stop
+            }
+        }
+        let mut k = Kernel::new();
+        let runs = Rc::new(Cell::new(0));
+        let pid = k.spawn("once", Once { runs: runs.clone() });
+        k.run_until(SimTime::from_ns(1));
+        // Manual resume attempts are ignored after Stop.
+        k.wait_for(pid, SimTime::from_ns(1));
+        k.run_until(SimTime::from_ns(5));
+        assert_eq!(runs.get(), 1);
+        assert_eq!(k.process_name(pid), "once");
+    }
+
+    #[test]
+    fn run_to_completion_drains_everything() {
+        let mut k = Kernel::new();
+        let hits = Rc::new(Cell::new(0));
+        for i in 1..=5u64 {
+            let h = hits.clone();
+            k.schedule_in(SimTime::from_ns(i), move |_| h.set(h.get() + 1));
+        }
+        k.run_to_completion();
+        assert_eq!(hits.get(), 5);
+        assert!(!k.has_pending());
+        assert_eq!(k.now(), SimTime::from_ns(5));
+    }
+
+    #[test]
+    fn next_activity_reports_earliest_pending() {
+        let mut k = Kernel::new();
+        assert_eq!(k.next_activity(), None);
+        k.schedule_in(SimTime::from_ns(9), |_| {});
+        k.schedule_in(SimTime::from_ns(4), |_| {});
+        assert_eq!(k.next_activity(), Some(SimTime::from_ns(4)));
+    }
+
+    #[test]
+    fn nested_scheduling_from_actions() {
+        let mut k = Kernel::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        k.schedule_in(SimTime::from_ns(1), move |k| {
+            l.borrow_mut().push(1);
+            let l2 = l.clone();
+            k.schedule_in(SimTime::from_ns(2), move |_| l2.borrow_mut().push(2));
+        });
+        k.run_until(SimTime::from_ns(10));
+        assert_eq!(*log.borrow(), vec![1, 2]);
+        assert_eq!(k.stats().actions, 2);
+    }
+}

@@ -1,0 +1,145 @@
+//! Additional kernel scheduling tests: ordering guarantees, interleaved
+//! processes and events, and stats accounting.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vpdift_kernel::{FnProcess, Kernel, Next, Periodic, SimTime};
+
+#[test]
+fn two_periodic_processes_interleave_deterministically() {
+    let mut k = Kernel::new();
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let l1 = log.clone();
+    let l2 = log.clone();
+    k.spawn("a", Periodic::new(SimTime::from_ns(30), move |k| {
+        l1.borrow_mut().push(('a', k.now().as_ns()));
+    }));
+    k.spawn("b", Periodic::new(SimTime::from_ns(20), move |k| {
+        l2.borrow_mut().push(('b', k.now().as_ns()));
+    }));
+    k.run_until(SimTime::from_ns(60));
+    assert_eq!(
+        *log.borrow(),
+        vec![('b', 20), ('a', 30), ('b', 40), ('a', 60), ('b', 60)],
+        "scheduling order (a re-armed at t=30, b at t=40) breaks the tie at t=60"
+    );
+}
+
+#[test]
+fn event_multicast_wakes_all_waiters_in_subscription_order() {
+    let mut k = Kernel::new();
+    let ev = k.create_event();
+    let log = Rc::new(RefCell::new(Vec::new()));
+    for i in 0..3 {
+        let l = log.clone();
+        let mut first = true;
+        k.spawn(
+            "waiter",
+            FnProcess::new(move |_k, _id| {
+                if !first {
+                    l.borrow_mut().push(i);
+                    return Next::Stop;
+                }
+                first = false;
+                Next::WaitEvent(ev)
+            }),
+        );
+    }
+    k.notify(ev, SimTime::from_ns(5));
+    k.run_until(SimTime::from_ns(10));
+    assert_eq!(*log.borrow(), vec![0, 1, 2]);
+}
+
+#[test]
+fn notify_without_waiters_is_lost() {
+    // SystemC semantics: events are not queues; un-awaited notifications
+    // vanish.
+    let mut k = Kernel::new();
+    let ev = k.create_event();
+    k.notify(ev, SimTime::from_ns(1));
+    k.run_until(SimTime::from_ns(2));
+    let woke = Rc::new(std::cell::Cell::new(false));
+    let w = woke.clone();
+    let mut first = true;
+    k.spawn(
+        "late",
+        FnProcess::new(move |_k, _id| {
+            if !first {
+                w.set(true);
+                return Next::Stop;
+            }
+            first = false;
+            Next::WaitEvent(ev)
+        }),
+    );
+    k.run_until(SimTime::from_ns(10));
+    assert!(!woke.get(), "missed notification must not be replayed");
+}
+
+#[test]
+fn run_for_is_relative() {
+    let mut k = Kernel::new();
+    k.run_for(SimTime::from_ns(10));
+    assert_eq!(k.now(), SimTime::from_ns(10));
+    k.run_for(SimTime::from_ns(5));
+    assert_eq!(k.now(), SimTime::from_ns(15));
+}
+
+#[test]
+fn stats_count_work() {
+    let mut k = Kernel::new();
+    for i in 1..=3u64 {
+        k.schedule_in(SimTime::from_ns(i), |_| {});
+    }
+    // Two actions at the same timestamp.
+    k.schedule_in(SimTime::from_ns(2), |_| {});
+    k.run_to_completion();
+    let stats = k.stats();
+    assert_eq!(stats.actions, 4);
+    assert_eq!(stats.timestamps, 3);
+    assert!(stats.delta_cycles >= 3);
+}
+
+#[test]
+fn process_chain_via_events() {
+    // A ping-pong of two processes through two events, bounded by a turn
+    // counter — exercises re-arming and cross-wakeups.
+    let mut k = Kernel::new();
+    let ping = k.create_event();
+    let pong = k.create_event();
+    let turns = Rc::new(std::cell::Cell::new(0));
+
+    let t1 = turns.clone();
+    let mut first1 = true;
+    k.spawn(
+        "ping",
+        FnProcess::new(move |k, _id| {
+            if !first1 {
+                t1.set(t1.get() + 1);
+                if t1.get() >= 6 {
+                    return Next::Stop;
+                }
+                k.notify(pong, SimTime::from_ns(1));
+            } else {
+                first1 = false;
+                k.notify(pong, SimTime::from_ns(1));
+            }
+            Next::WaitEvent(ping)
+        }),
+    );
+    let mut first2 = true;
+    k.spawn(
+        "pong",
+        FnProcess::new(move |k, _id| {
+            if first2 {
+                first2 = false;
+            } else {
+                k.notify(ping, SimTime::from_ns(1));
+            }
+            Next::WaitEvent(pong)
+        }),
+    );
+    k.run_until(SimTime::from_us(1));
+    assert!(turns.get() >= 6, "ping-pong progressed: {}", turns.get());
+}

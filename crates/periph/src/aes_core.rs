@@ -1,0 +1,251 @@
+//! A from-scratch FIPS-197 AES-128 block cipher.
+//!
+//! This is the functional model inside the [`crate::aes::AesEngine`]
+//! peripheral (the immobilizer's challenge-response crypto). It is a plain
+//! software implementation — correct, not constant-time; the VP threat
+//! model (paper §IV-B) trusts the hardware, so side channels of the *model*
+//! are out of scope.
+
+/// The AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// The inverse S-box, derived from [`SBOX`] at first use.
+fn inv_sbox() -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    for (i, &s) in SBOX.iter().enumerate() {
+        inv[s as usize] = i as u8;
+    }
+    inv
+}
+
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ if b & 0x80 != 0 { 0x1b } else { 0 }
+}
+
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// An expanded AES-128 key schedule.
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl core::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print key material.
+        f.write_str("Aes128 { round_keys: [redacted] }")
+    }
+}
+
+impl Aes128 {
+    /// Expands a 128-bit key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i].copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for t in &mut temp {
+                    *t = SBOX[*t as usize];
+                }
+                temp[0] ^= RCON[i / 4 - 1];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk) {
+            *s ^= k;
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16], sbox: &[u8; 256]) {
+        for s in state.iter_mut() {
+            *s = sbox[*s as usize];
+        }
+    }
+
+    /// State layout: column-major as in FIPS-197 (byte `i` is row `i % 4`,
+    /// column `i / 4`).
+    fn shift_rows(state: &mut [u8; 16]) {
+        for row in 1..4 {
+            let mut tmp = [0u8; 4];
+            for col in 0..4 {
+                tmp[col] = state[((col + row) % 4) * 4 + row];
+            }
+            for col in 0..4 {
+                state[col * 4 + row] = tmp[col];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        for row in 1..4 {
+            let mut tmp = [0u8; 4];
+            for col in 0..4 {
+                tmp[(col + row) % 4] = state[col * 4 + row];
+            }
+            for col in 0..4 {
+                state[col * 4 + row] = tmp[col];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for col in 0..4 {
+            let c = &mut state[col * 4..col * 4 + 4];
+            let (a0, a1, a2, a3) = (c[0], c[1], c[2], c[3]);
+            c[0] = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3;
+            c[1] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3;
+            c[2] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3);
+            c[3] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for col in 0..4 {
+            let c = &mut state[col * 4..col * 4 + 4];
+            let (a0, a1, a2, a3) = (c[0], c[1], c[2], c[3]);
+            c[0] = gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9);
+            c[1] = gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13);
+            c[2] = gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11);
+            c[3] = gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14);
+        }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        Self::add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..10 {
+            Self::sub_bytes(&mut state, &SBOX);
+            Self::shift_rows(&mut state);
+            Self::mix_columns(&mut state);
+            Self::add_round_key(&mut state, &self.round_keys[round]);
+        }
+        Self::sub_bytes(&mut state, &SBOX);
+        Self::shift_rows(&mut state);
+        Self::add_round_key(&mut state, &self.round_keys[10]);
+        state
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let inv = inv_sbox();
+        let mut state = *block;
+        Self::add_round_key(&mut state, &self.round_keys[10]);
+        for round in (1..10).rev() {
+            Self::inv_shift_rows(&mut state);
+            Self::sub_bytes(&mut state, &inv);
+            Self::add_round_key(&mut state, &self.round_keys[round]);
+            Self::inv_mix_columns(&mut state);
+        }
+        Self::inv_shift_rows(&mut state);
+        Self::sub_bytes(&mut state, &inv);
+        Self::add_round_key(&mut state, &self.round_keys[0]);
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for i in 0..16 {
+            out[i] = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn fips197_appendix_b() {
+        let aes = Aes128::new(&hex("2b7e151628aed2a6abf7158809cf4f3c"));
+        let ct = aes.encrypt_block(&hex("3243f6a8885a308d313198a2e0370734"));
+        assert_eq!(ct, hex("3925841d02dc09fbdc118597196a0b32"));
+    }
+
+    #[test]
+    fn fips197_appendix_c() {
+        let aes = Aes128::new(&hex("000102030405060708090a0b0c0d0e0f"));
+        let ct = aes.encrypt_block(&hex("00112233445566778899aabbccddeeff"));
+        assert_eq!(ct, hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    }
+
+    #[test]
+    fn nist_sp800_38a_ecb_vectors() {
+        let aes = Aes128::new(&hex("2b7e151628aed2a6abf7158809cf4f3c"));
+        let cases = [
+            ("6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"),
+            ("ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"),
+            ("30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"),
+            ("f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"),
+        ];
+        for (pt, ct) in cases {
+            assert_eq!(aes.encrypt_block(&hex(pt)), hex(ct));
+        }
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt() {
+        let aes = Aes128::new(&hex("000102030405060708090a0b0c0d0e0f"));
+        for seed in 0u8..16 {
+            let mut pt = [0u8; 16];
+            for (i, b) in pt.iter_mut().enumerate() {
+                *b = seed.wrapping_mul(31).wrapping_add(i as u8 * 7);
+            }
+            assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
+        }
+    }
+
+    #[test]
+    fn debug_redacts_keys() {
+        let aes = Aes128::new(&[0u8; 16]);
+        assert_eq!(format!("{aes:?}"), "Aes128 { round_keys: [redacted] }");
+    }
+}

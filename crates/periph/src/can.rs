@@ -1,0 +1,391 @@
+//! CAN controller and bus channel — the immobilizer's link to the engine
+//! ECU.
+//!
+//! The model is frame-based: a [`CanChannel`] couples the SoC-side
+//! [`CanController`] with a host-side [`CanHostEndpoint`] (the scripted
+//! engine ECU of the case study). Transmission is clearance-checked at the
+//! `"<name>.tx"` sink — secret data cannot leave on the CAN bus — and every
+//! received byte is classified with the controller's input tag.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use vpdift_core::{SharedEngine, Tag, Taint};
+use vpdift_kernel::SimTime;
+use vpdift_tlm::{GenericPayload, TlmCommand, TlmResponse, TlmTarget};
+
+use crate::mmio::{get_word, put_word};
+use crate::plic::IrqLine;
+
+/// A CAN frame: identifier plus up to 8 tagged data bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanFrame {
+    /// Frame identifier.
+    pub id: u32,
+    /// Number of valid data bytes (0..=8).
+    pub dlc: u8,
+    /// Tagged payload.
+    pub data: [Taint<u8>; 8],
+}
+
+impl CanFrame {
+    /// Builds a frame from untagged bytes.
+    ///
+    /// # Panics
+    /// Panics if `bytes.len() > 8`.
+    pub fn new(id: u32, bytes: &[u8]) -> Self {
+        assert!(bytes.len() <= 8, "CAN frames carry at most 8 bytes");
+        let mut data = [Taint::untainted(0); 8];
+        for (d, &b) in data.iter_mut().zip(bytes) {
+            *d = Taint::untainted(b);
+        }
+        CanFrame { id, dlc: bytes.len() as u8, data }
+    }
+
+    /// The valid payload bytes (values only).
+    pub fn bytes(&self) -> Vec<u8> {
+        self.data[..self.dlc as usize].iter().map(|b| b.value()).collect()
+    }
+}
+
+/// The two directions of a point-to-point CAN link.
+#[derive(Debug, Default)]
+struct ChannelState {
+    to_host: VecDeque<CanFrame>,
+    to_device: VecDeque<CanFrame>,
+}
+
+/// A shared CAN link between the VP's controller and a host endpoint.
+#[derive(Debug, Clone, Default)]
+pub struct CanChannel {
+    state: Rc<RefCell<ChannelState>>,
+}
+
+impl CanChannel {
+    /// Creates an empty link.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The host side of the link.
+    pub fn host_endpoint(&self) -> CanHostEndpoint {
+        CanHostEndpoint { state: Rc::clone(&self.state) }
+    }
+}
+
+/// Host-side access to the CAN link (the scripted remote ECU).
+#[derive(Debug, Clone)]
+pub struct CanHostEndpoint {
+    state: Rc<RefCell<ChannelState>>,
+}
+
+impl CanHostEndpoint {
+    /// Sends a frame towards the VP.
+    pub fn send(&self, frame: CanFrame) {
+        self.state.borrow_mut().to_device.push_back(frame);
+    }
+
+    /// Receives the next frame transmitted by the VP, if any.
+    pub fn recv(&self) -> Option<CanFrame> {
+        self.state.borrow_mut().to_host.pop_front()
+    }
+
+    /// Frames waiting for the host.
+    pub fn pending(&self) -> usize {
+        self.state.borrow().to_host.len()
+    }
+}
+
+/// Register map (word-aligned offsets).
+pub mod regs {
+    /// Write: transmit frame identifier.
+    pub const TX_ID: u32 = 0x00;
+    /// Write: transmit DLC (payload length 0..=8).
+    pub const TX_DLC: u32 = 0x04;
+    /// Write window: transmit payload bytes `TX_DATA .. TX_DATA+8`.
+    pub const TX_DATA: u32 = 0x08;
+    /// Write 1: send the staged frame (clearance-checked).
+    pub const TX_GO: u32 = 0x10;
+    /// Read: number of received frames waiting.
+    pub const RX_AVAIL: u32 = 0x20;
+    /// Read: identifier of the head frame.
+    pub const RX_ID: u32 = 0x24;
+    /// Read: DLC of the head frame.
+    pub const RX_DLC: u32 = 0x28;
+    /// Read window: payload of the head frame `RX_DATA .. RX_DATA+8`.
+    pub const RX_DATA: u32 = 0x2C;
+    /// Write 1: pop the head frame.
+    pub const RX_POP: u32 = 0x34;
+}
+
+/// The SoC-side CAN controller.
+#[derive(Debug)]
+pub struct CanController {
+    name: String,
+    sink: String,
+    engine: SharedEngine,
+    input_tag: Tag,
+    channel: CanChannel,
+    irq: Option<IrqLine>,
+    tx_id: u32,
+    tx_dlc: u8,
+    tx_data: [Taint<u8>; 8],
+    frames_sent: u64,
+}
+
+impl CanController {
+    /// Creates a controller named `name`: TX clearance is checked against
+    /// the sink `"<name>.tx"`, and bytes received from the link are
+    /// classified `input_tag`.
+    pub fn new(
+        name: &str,
+        engine: SharedEngine,
+        input_tag: Tag,
+        channel: CanChannel,
+        irq: Option<IrqLine>,
+    ) -> Self {
+        CanController {
+            name: name.to_owned(),
+            sink: format!("{name}.tx"),
+            engine,
+            input_tag,
+            channel,
+            irq,
+            tx_id: 0,
+            tx_dlc: 0,
+            tx_data: [Taint::untainted(0); 8],
+            frames_sent: 0,
+        }
+    }
+
+    /// Wraps into the shared handle used by the SoC.
+    pub fn into_shared(self) -> Rc<RefCell<CanController>> {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// Instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Frames transmitted successfully.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent
+    }
+
+    /// Delivers any host-sent frames' interrupt (poll from the SoC loop).
+    pub fn poll_rx_irq(&self) {
+        if let Some(irq) = &self.irq {
+            if !self.channel.state.borrow().to_device.is_empty() {
+                irq.raise();
+            }
+        }
+    }
+
+    fn head<R>(&self, f: impl FnOnce(Option<&CanFrame>) -> R) -> R {
+        let st = self.channel.state.borrow();
+        f(st.to_device.front())
+    }
+}
+
+impl TlmTarget for CanController {
+    fn transport(&mut self, p: &mut GenericPayload, _delay: &mut SimTime) {
+        let addr = p.address();
+        match p.command() {
+            TlmCommand::Write => match addr {
+                regs::TX_ID => {
+                    self.tx_id = get_word(p).value();
+                    p.set_response(TlmResponse::Ok);
+                }
+                regs::TX_DLC => {
+                    self.tx_dlc = (get_word(p).value() & 0xF).min(8) as u8;
+                    p.set_response(TlmResponse::Ok);
+                }
+                a if (regs::TX_DATA..regs::TX_DATA + 8).contains(&a) => {
+                    let idx = (a - regs::TX_DATA) as usize;
+                    let end = idx + p.len();
+                    if end > 8 {
+                        p.set_response(TlmResponse::BurstError);
+                        return;
+                    }
+                    for (i, b) in p.data().iter().enumerate() {
+                        self.tx_data[idx + i] = *b;
+                    }
+                    p.set_response(TlmResponse::Ok);
+                }
+                regs::TX_GO => {
+                    // Clearance check on every payload byte (output).
+                    let tag = self.tx_data[..self.tx_dlc as usize]
+                        .iter()
+                        .fold(Tag::EMPTY, |acc, b| acc.lub(b.tag()));
+                    match self.engine.borrow_mut().check_output(&self.sink, tag, None) {
+                        Ok(()) => {
+                            let frame = CanFrame {
+                                id: self.tx_id,
+                                dlc: self.tx_dlc,
+                                data: self.tx_data,
+                            };
+                            self.channel.state.borrow_mut().to_host.push_back(frame);
+                            self.frames_sent += 1;
+                            p.set_response(TlmResponse::Ok);
+                        }
+                        Err(v) => p.set_violation(v),
+                    }
+                }
+                regs::RX_POP => {
+                    self.channel.state.borrow_mut().to_device.pop_front();
+                    p.set_response(TlmResponse::Ok);
+                }
+                _ => p.set_response(TlmResponse::CommandError),
+            },
+            TlmCommand::Read => match addr {
+                regs::RX_AVAIL => {
+                    let n = self.channel.state.borrow().to_device.len() as u32;
+                    put_word(p, Taint::untainted(n));
+                    p.set_response(TlmResponse::Ok);
+                }
+                regs::RX_ID => {
+                    let id = self.head(|f| f.map_or(0, |f| f.id));
+                    put_word(p, Taint::new(id, self.input_tag));
+                    p.set_response(TlmResponse::Ok);
+                }
+                regs::RX_DLC => {
+                    let dlc = self.head(|f| f.map_or(0, |f| f.dlc as u32));
+                    put_word(p, Taint::new(dlc, self.input_tag));
+                    p.set_response(TlmResponse::Ok);
+                }
+                a if (regs::RX_DATA..regs::RX_DATA + 8).contains(&a) => {
+                    let idx = (a - regs::RX_DATA) as usize;
+                    if idx + p.len() > 8 {
+                        p.set_response(TlmResponse::BurstError);
+                        return;
+                    }
+                    let input_tag = self.input_tag;
+                    let bytes: Vec<Taint<u8>> = self.head(|f| {
+                        (0..p.len())
+                            .map(|i| match f {
+                                // Incoming frames are re-classified at the
+                                // input boundary: data from the bus is only
+                                // as trustworthy as the policy says.
+                                Some(f) => Taint::new(
+                                    f.data[idx + i].value(),
+                                    f.data[idx + i].tag().lub(input_tag),
+                                ),
+                                None => Taint::untainted(0),
+                            })
+                            .collect()
+                    });
+                    p.data_mut().copy_from_slice(&bytes);
+                    p.set_response(TlmResponse::Ok);
+                }
+                _ => p.set_response(TlmResponse::CommandError),
+            },
+            TlmCommand::Ignore => p.set_response(TlmResponse::Ok),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdift_core::{DiftEngine, SecurityPolicy, ViolationKind};
+
+    const SECRET: Tag = Tag::from_bits(0b01);
+    const UNTRUSTED: Tag = Tag::from_bits(0b10);
+
+    fn controller() -> (CanController, CanHostEndpoint) {
+        let policy = SecurityPolicy::builder("t").sink("can0.tx", UNTRUSTED).build();
+        let engine = DiftEngine::new(policy).into_shared();
+        let channel = CanChannel::new();
+        let host = channel.host_endpoint();
+        (CanController::new("can0", engine, UNTRUSTED, channel, None), host)
+    }
+
+    fn wr(c: &mut CanController, reg: u32, v: Taint<u32>) -> GenericPayload {
+        let mut p = GenericPayload::write_word(reg, v);
+        c.transport(&mut p, &mut SimTime::ZERO.clone());
+        p
+    }
+
+    fn rd(c: &mut CanController, reg: u32) -> Taint<u32> {
+        let mut p = GenericPayload::read(reg, 4);
+        c.transport(&mut p, &mut SimTime::ZERO.clone());
+        assert!(p.is_ok(), "read of {reg:#x}");
+        p.data_word()
+    }
+
+    #[test]
+    fn transmit_reaches_host() {
+        let (mut c, host) = controller();
+        wr(&mut c, regs::TX_ID, Taint::untainted(0x123));
+        wr(&mut c, regs::TX_DLC, Taint::untainted(2));
+        let mut p = GenericPayload::write(
+            regs::TX_DATA,
+            &[Taint::untainted(0xAA), Taint::untainted(0xBB)],
+        );
+        c.transport(&mut p, &mut SimTime::ZERO.clone());
+        assert!(wr(&mut c, regs::TX_GO, Taint::untainted(1)).is_ok());
+        let f = host.recv().expect("frame delivered");
+        assert_eq!(f.id, 0x123);
+        assert_eq!(f.bytes(), vec![0xAA, 0xBB]);
+        assert_eq!(c.frames_sent(), 1);
+        assert_eq!(host.pending(), 0);
+    }
+
+    #[test]
+    fn secret_payload_blocked_at_tx() {
+        let (mut c, host) = controller();
+        wr(&mut c, regs::TX_DLC, Taint::untainted(1));
+        let mut p =
+            GenericPayload::write(regs::TX_DATA, &[Taint::new(0x42, SECRET)]);
+        c.transport(&mut p, &mut SimTime::ZERO.clone());
+        let mut go = wr(&mut c, regs::TX_GO, Taint::untainted(1));
+        let v = go.take_violation().expect("violation");
+        assert_eq!(v.kind, ViolationKind::Output { sink: "can0.tx".into() });
+        assert!(host.recv().is_none(), "secret frame never left");
+    }
+
+    #[test]
+    fn receive_classifies_input() {
+        let (mut c, host) = controller();
+        host.send(CanFrame::new(0x7FF, &[1, 2, 3, 4]));
+        assert_eq!(rd(&mut c, regs::RX_AVAIL).value(), 1);
+        assert_eq!(rd(&mut c, regs::RX_ID).value(), 0x7FF);
+        assert_eq!(rd(&mut c, regs::RX_DLC).value(), 4);
+        let mut p = GenericPayload::read(regs::RX_DATA, 4);
+        c.transport(&mut p, &mut SimTime::ZERO.clone());
+        assert_eq!(p.data_values(), vec![1, 2, 3, 4]);
+        assert!(p.data().iter().all(|b| b.tag() == UNTRUSTED));
+        wr(&mut c, regs::RX_POP, Taint::untainted(1));
+        assert_eq!(rd(&mut c, regs::RX_AVAIL).value(), 0);
+    }
+
+    #[test]
+    fn rx_irq_polling() {
+        let plic = crate::plic::Plic::new().into_shared();
+        let policy = SecurityPolicy::builder("t").build();
+        let channel = CanChannel::new();
+        let host = channel.host_endpoint();
+        let c = CanController::new(
+            "can0",
+            DiftEngine::new(policy).into_shared(),
+            Tag::EMPTY,
+            channel,
+            Some(IrqLine::new(plic.clone(), 3)),
+        );
+        c.poll_rx_irq();
+        assert_eq!(plic.borrow().pending(), 0);
+        host.send(CanFrame::new(1, &[0]));
+        c.poll_rx_irq();
+        assert_eq!(plic.borrow().pending(), 1 << 3);
+    }
+
+    #[test]
+    fn empty_rx_reads_zero() {
+        let (mut c, _host) = controller();
+        assert_eq!(rd(&mut c, regs::RX_ID).value(), 0);
+        assert_eq!(rd(&mut c, regs::RX_DLC).value(), 0);
+        assert_eq!(c.name(), "can0");
+    }
+}

@@ -1,0 +1,315 @@
+//! DMA controller with tag-preserving transfers.
+//!
+//! DMA is one of the "complex HW/SW interactions" the paper's introduction
+//! calls out: data can move *around* the CPU, so a DIFT engine that only
+//! instruments the core misses these flows. Our controller copies through
+//! TLM payloads whose data lanes carry tags, so classification travels with
+//! the bytes — and transfers into protected regions are still subject to
+//! the policy's store-clearance rules.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vpdift_core::{SharedEngine, Taint, Violation};
+use vpdift_kernel::SimTime;
+use vpdift_tlm::{GenericPayload, Router, TlmCommand, TlmResponse, TlmTarget};
+
+use crate::mmio::{get_word, put_word};
+use crate::plic::IrqLine;
+
+/// Hardware limit on a single transfer; `CTRL` writes with a larger
+/// staged `LEN` fail with the error bit (real DMA engines bound their
+/// descriptor length field the same way).
+pub const MAX_TRANSFER: u32 = 1 << 20;
+
+/// Register map (word-aligned offsets).
+pub mod regs {
+    /// Read/write: source bus address.
+    pub const SRC: u32 = 0x0;
+    /// Read/write: destination bus address.
+    pub const DST: u32 = 0x4;
+    /// Read/write: transfer length in bytes.
+    pub const LEN: u32 = 0x8;
+    /// Write 1: start the transfer (runs to completion in this LT model).
+    pub const CTRL: u32 = 0xC;
+    /// Read: bit 0 = done, bit 1 = error.
+    pub const STATUS: u32 = 0x10;
+}
+
+/// The DMA controller. It owns a *private* [`Router`] (configured by the
+/// SoC with the same shared targets as the system bus, minus the DMA
+/// itself), which keeps transfers re-entrant-safe.
+pub struct Dma {
+    ports: Router,
+    engine: Option<SharedEngine>,
+    irq: Option<IrqLine>,
+    src: u32,
+    dst: u32,
+    len: u32,
+    done: bool,
+    error: bool,
+    bytes_moved: u64,
+}
+
+impl core::fmt::Debug for Dma {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Dma")
+            .field("src", &self.src)
+            .field("dst", &self.dst)
+            .field("len", &self.len)
+            .field("done", &self.done)
+            .field("error", &self.error)
+            .field("bytes_moved", &self.bytes_moved)
+            .finish()
+    }
+}
+
+impl Dma {
+    /// Creates a controller whose transfers go through `ports`. When an
+    /// `engine` is attached, destination bytes are checked against the
+    /// policy's protected-region rules (store clearance).
+    pub fn new(ports: Router, engine: Option<SharedEngine>, irq: Option<IrqLine>) -> Self {
+        Dma {
+            ports,
+            engine,
+            irq,
+            src: 0,
+            dst: 0,
+            len: 0,
+            done: false,
+            error: false,
+            bytes_moved: 0,
+        }
+    }
+
+    /// Wraps into the shared handle used by the SoC.
+    pub fn into_shared(self) -> Rc<RefCell<Dma>> {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// Total bytes copied over the controller's lifetime.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Performs the staged transfer. Chunked in 16-byte bursts.
+    fn run_transfer(&mut self, delay: &mut SimTime) -> Result<(), Option<Violation>> {
+        if self.len > MAX_TRANSFER {
+            return Err(None);
+        }
+        let mut remaining = self.len;
+        let mut src = self.src;
+        let mut dst = self.dst;
+        while remaining > 0 {
+            let chunk = remaining.min(16) as usize;
+            let mut rd = GenericPayload::read(src, chunk);
+            self.ports.route(&mut rd, delay);
+            if !rd.is_ok() {
+                return Err(rd.take_violation());
+            }
+            // Store clearance for protected destination regions.
+            if let Some(engine) = &self.engine {
+                let mut eng = engine.borrow_mut();
+                for (i, b) in rd.data().iter().enumerate() {
+                    eng.check_store(dst + i as u32, b.tag(), None)
+                        .map_err(|v| Some(v.with_context("dma transfer")))?;
+                }
+            }
+            let mut wr = GenericPayload::write(dst, rd.data());
+            self.ports.route(&mut wr, delay);
+            if !wr.is_ok() {
+                return Err(wr.take_violation());
+            }
+            self.bytes_moved += chunk as u64;
+            src += chunk as u32;
+            dst += chunk as u32;
+            remaining -= chunk as u32;
+        }
+        Ok(())
+    }
+}
+
+impl TlmTarget for Dma {
+    fn transport(&mut self, p: &mut GenericPayload, delay: &mut SimTime) {
+        let addr = p.address();
+        match p.command() {
+            TlmCommand::Write => match addr {
+                regs::SRC => {
+                    self.src = get_word(p).value();
+                    p.set_response(TlmResponse::Ok);
+                }
+                regs::DST => {
+                    self.dst = get_word(p).value();
+                    p.set_response(TlmResponse::Ok);
+                }
+                regs::LEN => {
+                    self.len = get_word(p).value();
+                    p.set_response(TlmResponse::Ok);
+                }
+                regs::CTRL => {
+                    self.done = false;
+                    self.error = false;
+                    match self.run_transfer(delay) {
+                        Ok(()) => {
+                            self.done = true;
+                            if let Some(irq) = &self.irq {
+                                irq.raise();
+                            }
+                            p.set_response(TlmResponse::Ok);
+                        }
+                        Err(Some(v)) => {
+                            self.error = true;
+                            p.set_violation(v);
+                        }
+                        Err(None) => {
+                            self.error = true;
+                            p.set_response(TlmResponse::GenericError);
+                        }
+                    }
+                }
+                _ => p.set_response(TlmResponse::CommandError),
+            },
+            TlmCommand::Read => match addr {
+                regs::SRC => {
+                    put_word(p, Taint::untainted(self.src));
+                    p.set_response(TlmResponse::Ok);
+                }
+                regs::DST => {
+                    put_word(p, Taint::untainted(self.dst));
+                    p.set_response(TlmResponse::Ok);
+                }
+                regs::LEN => {
+                    put_word(p, Taint::untainted(self.len));
+                    p.set_response(TlmResponse::Ok);
+                }
+                regs::STATUS => {
+                    let s = self.done as u32 | ((self.error as u32) << 1);
+                    put_word(p, Taint::untainted(s));
+                    p.set_response(TlmResponse::Ok);
+                }
+                _ => p.set_response(TlmResponse::CommandError),
+            },
+            TlmCommand::Ignore => p.set_response(TlmResponse::Ok),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ram::Ram;
+    use vpdift_core::Tag;
+    use vpdift_core::{AddrRange, DiftEngine, SecurityPolicy, ViolationKind};
+
+    const SECRET: Tag = Tag::from_bits(1);
+
+    fn dma_with_ram() -> (Dma, Rc<RefCell<Ram>>) {
+        let ram = Ram::new(4096, true).into_shared();
+        let mut ports = Router::new("dma-ports");
+        ports.map("ram", AddrRange::new(0, 4096), ram.clone()).unwrap();
+        (Dma::new(ports, None, None), ram)
+    }
+
+    fn wr(d: &mut Dma, reg: u32, v: u32) -> GenericPayload {
+        let mut p = GenericPayload::write_word(reg, Taint::untainted(v));
+        d.transport(&mut p, &mut SimTime::ZERO.clone());
+        p
+    }
+
+    fn rd(d: &mut Dma, reg: u32) -> u32 {
+        let mut p = GenericPayload::read(reg, 4);
+        d.transport(&mut p, &mut SimTime::ZERO.clone());
+        p.data_word::<u32>().value()
+    }
+
+    #[test]
+    fn copy_preserves_values_and_tags() {
+        let (mut d, ram) = dma_with_ram();
+        {
+            let mut ram = ram.borrow_mut();
+            ram.load_image(0x100, &[1, 2, 3, 4, 5, 6, 7]);
+            ram.classify(0x102, 3, SECRET);
+        }
+        wr(&mut d, regs::SRC, 0x100);
+        wr(&mut d, regs::DST, 0x200);
+        wr(&mut d, regs::LEN, 7);
+        assert!(wr(&mut d, regs::CTRL, 1).is_ok());
+        assert_eq!(rd(&mut d, regs::STATUS), 1);
+        assert_eq!(d.bytes_moved(), 7);
+        let ram = ram.borrow();
+        assert_eq!(ram.bytes(0x200, 7), &[1, 2, 3, 4, 5, 6, 7]);
+        // Taint travelled with the bytes — the flow the CPU never saw.
+        assert_eq!(ram.byte_at(0x201).unwrap().1, Tag::EMPTY);
+        assert_eq!(ram.byte_at(0x202).unwrap().1, SECRET);
+        assert_eq!(ram.byte_at(0x204).unwrap().1, SECRET);
+        assert_eq!(ram.byte_at(0x205).unwrap().1, Tag::EMPTY);
+    }
+
+    #[test]
+    fn long_transfer_chunks() {
+        let (mut d, ram) = dma_with_ram();
+        let data: Vec<u8> = (0..100).collect();
+        ram.borrow_mut().load_image(0, &data);
+        wr(&mut d, regs::SRC, 0);
+        wr(&mut d, regs::DST, 0x800);
+        wr(&mut d, regs::LEN, 100);
+        assert!(wr(&mut d, regs::CTRL, 1).is_ok());
+        assert_eq!(ram.borrow().bytes(0x800, 100), &data[..]);
+    }
+
+    #[test]
+    fn dma_into_protected_region_violates() {
+        let ram = Ram::new(4096, true).into_shared();
+        let mut ports = Router::new("dma-ports");
+        ports.map("ram", AddrRange::new(0, 4096), ram.clone()).unwrap();
+        let policy = SecurityPolicy::builder("t")
+            .protect_region("pin", AddrRange::new(0x300, 16), Tag::EMPTY)
+            .build();
+        let engine = DiftEngine::new(policy).into_shared();
+        let mut d = Dma::new(ports, Some(engine.clone()), None);
+        ram.borrow_mut().classify(0x100, 4, SECRET);
+        wr(&mut d, regs::SRC, 0x100);
+        wr(&mut d, regs::DST, 0x300);
+        wr(&mut d, regs::LEN, 4);
+        let mut go = wr(&mut d, regs::CTRL, 1);
+        let v = go.take_violation().expect("violation");
+        assert!(matches!(v.kind, ViolationKind::Store { ref region } if region == "pin"));
+        assert_eq!(rd(&mut d, regs::STATUS), 0b10, "error bit set");
+    }
+
+    #[test]
+    fn out_of_range_transfer_errors() {
+        let (mut d, _ram) = dma_with_ram();
+        wr(&mut d, regs::SRC, 0x10_0000);
+        wr(&mut d, regs::DST, 0);
+        wr(&mut d, regs::LEN, 4);
+        let p = wr(&mut d, regs::CTRL, 1);
+        assert_eq!(p.response(), TlmResponse::GenericError);
+        assert_eq!(rd(&mut d, regs::STATUS), 0b10);
+    }
+
+    #[test]
+    fn irq_raised_on_completion() {
+        let plic = crate::plic::Plic::new().into_shared();
+        let ram = Ram::new(64, false).into_shared();
+        let mut ports = Router::new("dma-ports");
+        ports.map("ram", AddrRange::new(0, 64), ram).unwrap();
+        let mut d = Dma::new(ports, None, Some(IrqLine::new(plic.clone(), 4)));
+        wr(&mut d, regs::SRC, 0);
+        wr(&mut d, regs::DST, 32);
+        wr(&mut d, regs::LEN, 8);
+        wr(&mut d, regs::CTRL, 1);
+        assert_eq!(plic.borrow().pending(), 1 << 4);
+    }
+
+    #[test]
+    fn register_readback() {
+        let (mut d, _) = dma_with_ram();
+        wr(&mut d, regs::SRC, 0xAA);
+        wr(&mut d, regs::DST, 0xBB);
+        wr(&mut d, regs::LEN, 0xCC);
+        assert_eq!(rd(&mut d, regs::SRC), 0xAA);
+        assert_eq!(rd(&mut d, regs::DST), 0xBB);
+        assert_eq!(rd(&mut d, regs::LEN), 0xCC);
+    }
+}

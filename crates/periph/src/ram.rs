@@ -1,0 +1,222 @@
+//! Main memory with per-byte security tags.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vpdift_core::{Tag, Taint};
+use vpdift_kernel::SimTime;
+use vpdift_tlm::{GenericPayload, TlmCommand, TlmResponse, TlmTarget};
+
+/// Byte-addressable RAM. Tag storage is only materialised when the VP runs
+/// in tainted mode (`tracking = true`), so the plain VP pays neither memory
+/// nor bookkeeping cost — mirroring the paper's VP/VP+ split.
+///
+/// The CPU reaches RAM through the fast accessors below (a DMI-style
+/// shortcut, as the real RISC-V VP does); DMA and other initiators go
+/// through the [`TlmTarget`] implementation.
+#[derive(Debug, Clone)]
+pub struct Ram {
+    data: Vec<u8>,
+    tags: Vec<Tag>,
+    tracking: bool,
+}
+
+impl Ram {
+    /// Creates zeroed RAM of `size` bytes; `tracking` selects tag storage.
+    pub fn new(size: usize, tracking: bool) -> Self {
+        Ram {
+            data: vec![0; size],
+            tags: if tracking { vec![Tag::EMPTY; size] } else { Vec::new() },
+            tracking,
+        }
+    }
+
+    /// Wraps into the shared handle used by the SoC.
+    pub fn into_shared(self) -> Rc<RefCell<Ram>> {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` for zero-sized RAM.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// `true` when per-byte tags are stored.
+    pub fn tracking(&self) -> bool {
+        self.tracking
+    }
+
+    /// `true` iff the access `[offset, offset+size)` fits.
+    pub fn fits(&self, offset: u32, size: u32) -> bool {
+        (offset as usize) + (size as usize) <= self.data.len()
+    }
+
+    /// Fast path: loads `size` ∈ {1,2,4} little-endian bytes, returning the
+    /// zero-extended value and the LUB of the byte tags.
+    ///
+    /// # Panics
+    /// Panics if out of range — callers bounds-check with [`Ram::fits`].
+    pub fn load(&self, offset: u32, size: u32) -> (u32, Tag) {
+        let off = offset as usize;
+        let mut value = 0u32;
+        let mut tag = Tag::EMPTY;
+        for i in 0..size as usize {
+            value |= (self.data[off + i] as u32) << (8 * i);
+            if self.tracking {
+                tag = tag.lub(self.tags[off + i]);
+            }
+        }
+        (value, tag)
+    }
+
+    /// Fast path: stores the low `size` bytes of `value` with `tag` stamped
+    /// on every byte.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn store(&mut self, offset: u32, size: u32, value: u32, tag: Tag) {
+        let off = offset as usize;
+        for i in 0..size as usize {
+            self.data[off + i] = (value >> (8 * i)) as u8;
+            if self.tracking {
+                self.tags[off + i] = tag;
+            }
+        }
+    }
+
+    /// Copies a program image (untagged) to `offset`.
+    ///
+    /// # Panics
+    /// Panics if the image does not fit.
+    pub fn load_image(&mut self, offset: u32, image: &[u8]) {
+        let off = offset as usize;
+        self.data[off..off + image.len()].copy_from_slice(image);
+        if self.tracking {
+            for t in &mut self.tags[off..off + image.len()] {
+                *t = Tag::EMPTY;
+            }
+        }
+    }
+
+    /// Stamps `tag` onto `[offset, offset+len)` (classification at load
+    /// time, per the policy's region rules).
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn classify(&mut self, offset: u32, len: usize, tag: Tag) {
+        if !self.tracking {
+            return;
+        }
+        let off = offset as usize;
+        for t in &mut self.tags[off..off + len] {
+            *t = tag;
+        }
+    }
+
+    /// Reads a byte with its tag (diagnostics, test assertions).
+    pub fn byte_at(&self, offset: u32) -> Option<(u8, Tag)> {
+        let v = *self.data.get(offset as usize)?;
+        let t = if self.tracking { self.tags[offset as usize] } else { Tag::EMPTY };
+        Some((v, t))
+    }
+
+    /// Reads `len` raw bytes (values only).
+    pub fn bytes(&self, offset: u32, len: usize) -> &[u8] {
+        &self.data[offset as usize..offset as usize + len]
+    }
+}
+
+impl TlmTarget for Ram {
+    fn transport(&mut self, p: &mut GenericPayload, _delay: &mut SimTime) {
+        let base = p.address() as usize;
+        if base + p.len() > self.data.len() {
+            p.set_response(TlmResponse::AddressError);
+            return;
+        }
+        match p.command() {
+            TlmCommand::Read => {
+                let tracking = self.tracking;
+                for (i, b) in p.data_mut().iter_mut().enumerate() {
+                    let tag = if tracking { self.tags[base + i] } else { Tag::EMPTY };
+                    *b = Taint::new(self.data[base + i], tag);
+                }
+            }
+            TlmCommand::Write => {
+                for (i, b) in p.data().iter().enumerate() {
+                    self.data[base + i] = b.value();
+                    if self.tracking {
+                        self.tags[base + i] = b.tag();
+                    }
+                }
+            }
+            TlmCommand::Ignore => {}
+        }
+        p.set_response(TlmResponse::Ok);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_path_round_trip_with_tags() {
+        let mut ram = Ram::new(64, true);
+        ram.store(8, 4, 0xAABB_CCDD, Tag::atom(1));
+        assert_eq!(ram.load(8, 4), (0xAABB_CCDD, Tag::atom(1)));
+        assert_eq!(ram.load(9, 2), (0xBBCC, Tag::atom(1)));
+        assert_eq!(ram.load(0, 4), (0, Tag::EMPTY));
+    }
+
+    #[test]
+    fn untracked_ram_has_no_tags() {
+        let mut ram = Ram::new(64, false);
+        ram.store(0, 4, 5, Tag::atom(3));
+        assert_eq!(ram.load(0, 4), (5, Tag::EMPTY));
+        assert!(!ram.tracking());
+        ram.classify(0, 8, Tag::atom(1)); // no-op
+        assert_eq!(ram.byte_at(0).unwrap().1, Tag::EMPTY);
+    }
+
+    #[test]
+    fn image_load_clears_tags_then_classify_stamps() {
+        let mut ram = Ram::new(32, true);
+        ram.classify(0, 8, Tag::atom(0));
+        ram.load_image(0, &[1, 2, 3, 4]);
+        assert_eq!(ram.byte_at(0).unwrap(), (1, Tag::EMPTY));
+        ram.classify(2, 2, Tag::atom(5));
+        assert_eq!(ram.byte_at(2).unwrap(), (3, Tag::atom(5)));
+        assert_eq!(ram.bytes(0, 4), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tlm_target_reads_and_writes_tagged() {
+        let mut ram = Ram::new(32, true);
+        let mut w = GenericPayload::write(
+            4,
+            &[Taint::new(9, Tag::atom(2)), Taint::new(8, Tag::EMPTY)],
+        );
+        ram.transport(&mut w, &mut SimTime::ZERO.clone());
+        assert!(w.is_ok());
+        let mut r = GenericPayload::read(4, 2);
+        ram.transport(&mut r, &mut SimTime::ZERO.clone());
+        assert_eq!(r.data()[0].value(), 9);
+        assert_eq!(r.data()[0].tag(), Tag::atom(2));
+        assert_eq!(r.data()[1].tag(), Tag::EMPTY);
+    }
+
+    #[test]
+    fn tlm_target_bounds_checked() {
+        let mut ram = Ram::new(8, false);
+        let mut p = GenericPayload::read(6, 4);
+        ram.transport(&mut p, &mut SimTime::ZERO.clone());
+        assert_eq!(p.response(), TlmResponse::AddressError);
+        assert!(ram.fits(4, 4));
+        assert!(!ram.fits(5, 4));
+    }
+}

@@ -1,0 +1,222 @@
+//! The sensor peripheral of the paper's Fig. 4, transliterated from
+//! SystemC.
+//!
+//! A 64-byte memory-mapped data frame is refilled 40 times per simulated
+//! second by a kernel thread with random printable data, classified by the
+//! run-time-configurable `data_tag` register; each refill raises the
+//! sensor's interrupt. Reads return the tagged frame bytes through the TLM
+//! data lane, exactly like the paper's `Taint<uint8_t>` pointer cast.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vpdift_core::{Tag, Taint};
+use vpdift_kernel::{Kernel, Periodic, SimTime};
+use vpdift_tlm::{GenericPayload, TlmCommand, TlmResponse, TlmTarget};
+
+use crate::mmio::{get_word, put_word};
+use crate::plic::IrqLine;
+
+/// Size of the memory-mapped data frame.
+pub const FRAME_SIZE: usize = 64;
+
+/// Offset of the `data_tag` configuration register (right after the
+/// frame).
+pub const DATA_TAG_REG: u32 = FRAME_SIZE as u32;
+
+/// Refill period: 25 ms → 40 frames per second (Fig. 4, line 16).
+pub const PERIOD: SimTime = SimTime::from_ms(25);
+
+/// The sensor model.
+#[derive(Debug)]
+pub struct Sensor {
+    data_frame: [Taint<u8>; FRAME_SIZE],
+    data_tag: Tag,
+    irq: Option<IrqLine>,
+    rng: StdRng,
+    frames_generated: u64,
+}
+
+impl Sensor {
+    /// Creates a sensor generating data classified `data_tag`, raising
+    /// `irq` (if any) on every refill. `seed` makes runs reproducible.
+    pub fn new(data_tag: Tag, irq: Option<IrqLine>, seed: u64) -> Self {
+        Sensor {
+            data_frame: [Taint::untainted(0); FRAME_SIZE],
+            data_tag,
+            irq,
+            rng: StdRng::seed_from_u64(seed),
+            frames_generated: 0,
+        }
+    }
+
+    /// Wraps into the shared handle used by the SoC.
+    pub fn into_shared(self) -> Rc<RefCell<Sensor>> {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// Registers the periodic generation thread (Fig. 4's `run`) with the
+    /// simulation kernel.
+    pub fn spawn(this: &Rc<RefCell<Sensor>>, kernel: &mut Kernel) {
+        let me = Rc::clone(this);
+        kernel.spawn(
+            "sensor.run",
+            Periodic::new(PERIOD, move |_k| {
+                me.borrow_mut().generate_frame();
+            }),
+        );
+    }
+
+    /// Fills the frame with fresh random printable data of the configured
+    /// security class and raises the interrupt (Fig. 4, lines 17-24).
+    pub fn generate_frame(&mut self) {
+        let tag = self.data_tag;
+        for n in self.data_frame.iter_mut() {
+            *n = Taint::new(self.rng.gen_range(0..96) + 128, tag);
+        }
+        self.frames_generated += 1;
+        if let Some(irq) = &self.irq {
+            irq.raise();
+        }
+    }
+
+    /// The currently configured generation tag.
+    pub fn data_tag(&self) -> Tag {
+        self.data_tag
+    }
+
+    /// Reconfigures the generation tag (host/test use; software uses the
+    /// MMIO register).
+    pub fn set_data_tag(&mut self, tag: Tag) {
+        self.data_tag = tag;
+    }
+
+    /// Number of frames generated so far.
+    pub fn frames_generated(&self) -> u64 {
+        self.frames_generated
+    }
+
+    /// Direct frame access (diagnostics).
+    pub fn frame(&self) -> &[Taint<u8>; FRAME_SIZE] {
+        &self.data_frame
+    }
+}
+
+impl TlmTarget for Sensor {
+    fn transport(&mut self, p: &mut GenericPayload, _delay: &mut SimTime) {
+        let addr = p.address();
+        if (addr as usize) < FRAME_SIZE {
+            // Frame window (reads only; the frame is sensor-driven).
+            let end = addr as usize + p.len();
+            if end > FRAME_SIZE {
+                p.set_response(TlmResponse::BurstError);
+                return;
+            }
+            match p.command() {
+                TlmCommand::Read => {
+                    let base = addr as usize;
+                    for (i, b) in p.data_mut().iter_mut().enumerate() {
+                        *b = self.data_frame[base + i];
+                    }
+                    p.set_response(TlmResponse::Ok);
+                }
+                _ => p.set_response(TlmResponse::CommandError),
+            }
+        } else if addr == DATA_TAG_REG {
+            match p.command() {
+                TlmCommand::Read => {
+                    // The tag register itself is public configuration.
+                    put_word(p, Taint::untainted(self.data_tag.bits()));
+                    p.set_response(TlmResponse::Ok);
+                }
+                TlmCommand::Write => {
+                    self.data_tag = Tag::from_bits(get_word(p).value());
+                    p.set_response(TlmResponse::Ok);
+                }
+                TlmCommand::Ignore => p.set_response(TlmResponse::Ok),
+            }
+        } else {
+            p.set_response(TlmResponse::AddressError);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdift_kernel::Kernel;
+
+    const LC: Tag = Tag::EMPTY;
+    const HC: Tag = Tag::from_bits(1);
+
+    #[test]
+    fn generated_data_carries_configured_tag() {
+        let mut s = Sensor::new(HC, None, 42);
+        s.generate_frame();
+        assert_eq!(s.frames_generated(), 1);
+        assert!(s.frame().iter().all(|b| b.tag() == HC));
+        assert!(s.frame().iter().all(|b| b.value() >= 128), "printable range per Fig. 4");
+    }
+
+    #[test]
+    fn frame_reads_are_tagged_through_tlm() {
+        let mut s = Sensor::new(HC, None, 1);
+        s.generate_frame();
+        let mut p = GenericPayload::read(0, 8);
+        s.transport(&mut p, &mut SimTime::ZERO.clone());
+        assert!(p.is_ok());
+        assert!(p.data().iter().all(|b| b.tag() == HC));
+    }
+
+    #[test]
+    fn data_tag_register_reconfigures_classification() {
+        let mut s = Sensor::new(HC, None, 1);
+        let mut w = GenericPayload::write_word(DATA_TAG_REG, Taint::untainted(LC.bits()));
+        s.transport(&mut w, &mut SimTime::ZERO.clone());
+        assert!(w.is_ok());
+        assert_eq!(s.data_tag(), LC);
+        s.generate_frame();
+        assert!(s.frame().iter().all(|b| b.tag() == LC));
+        let mut r = GenericPayload::read(DATA_TAG_REG, 4);
+        s.transport(&mut r, &mut SimTime::ZERO.clone());
+        assert_eq!(r.data_word::<u32>().value(), LC.bits());
+    }
+
+    #[test]
+    fn kernel_thread_runs_at_40_hz_and_raises_irq() {
+        let mut kernel = Kernel::new();
+        let plic = crate::plic::Plic::new().into_shared();
+        let sensor =
+            Sensor::new(HC, Some(IrqLine::new(plic.clone(), 2)), 7).into_shared();
+        Sensor::spawn(&sensor, &mut kernel);
+        kernel.run_until(SimTime::from_s(1));
+        assert_eq!(sensor.borrow().frames_generated(), 40);
+        assert_eq!(plic.borrow().pending(), 1 << 2);
+    }
+
+    #[test]
+    fn writes_to_frame_rejected() {
+        let mut s = Sensor::new(HC, None, 1);
+        let mut p = GenericPayload::write(0, &[Taint::untainted(1)]);
+        s.transport(&mut p, &mut SimTime::ZERO.clone());
+        assert_eq!(p.response(), TlmResponse::CommandError);
+        // Straddling the frame boundary is a burst error.
+        let mut p = GenericPayload::read(60, 8);
+        s.transport(&mut p, &mut SimTime::ZERO.clone());
+        assert_eq!(p.response(), TlmResponse::BurstError);
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let mut a = Sensor::new(LC, None, 99);
+        let mut b = Sensor::new(LC, None, 99);
+        a.generate_frame();
+        b.generate_frame();
+        assert_eq!(
+            a.frame().iter().map(|x| x.value()).collect::<Vec<_>>(),
+            b.frame().iter().map(|x| x.value()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! The CPU-side memory interface.
+//!
+//! The ISS is generic over a [`Bus`], so unit tests can run against the
+//! in-crate [`FlatMemory`] while the full VP (in `vpdift-soc`) provides a
+//! bus with a fast RAM path, TLM-routed MMIO, and DIFT store-clearance
+//! checks.
+
+use vpdift_core::{Tag, Violation};
+
+use crate::mode::{TaintMode, Word};
+
+/// Why a memory access could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// No device claims the address (→ load/store access fault).
+    Fault {
+        /// The offending address.
+        addr: u32,
+    },
+    /// The access straddles an alignment boundary the platform rejects.
+    Misaligned {
+        /// The offending address.
+        addr: u32,
+    },
+    /// A DIFT check failed inside the memory system (e.g. store clearance
+    /// into a protected region, or an output-clearance violation in a
+    /// peripheral reached via MMIO).
+    Dift(Violation),
+}
+
+impl core::fmt::Display for MemError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MemError::Fault { addr } => write!(f, "access fault at {addr:#010x}"),
+            MemError::Misaligned { addr } => write!(f, "misaligned access at {addr:#010x}"),
+            MemError::Dift(v) => write!(f, "DIFT violation: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// The ISS's view of the memory system.
+pub trait Bus<M: TaintMode> {
+    /// Fetches the 32-bit instruction word at `pc` (already
+    /// alignment-checked by the CPU). The returned word's tag is the LUB of
+    /// the four byte tags.
+    ///
+    /// # Errors
+    /// [`MemError`] on faults.
+    fn fetch(&mut self, pc: u32) -> Result<M::Word, MemError>;
+
+    /// Loads `size` ∈ {1, 2, 4} bytes at `addr`, zero-extended into the
+    /// word value; the tag is the LUB of the byte tags.
+    ///
+    /// # Errors
+    /// [`MemError`] on faults.
+    fn load(&mut self, addr: u32, size: u32) -> Result<M::Word, MemError>;
+
+    /// Stores the low `size` bytes of `value` at `addr`. `pc` is the
+    /// program counter of the storing instruction, attached to any DIFT
+    /// violation raised by protected-region checks.
+    ///
+    /// # Errors
+    /// [`MemError`] on faults.
+    fn store(&mut self, addr: u32, size: u32, value: M::Word, pc: u32) -> Result<(), MemError>;
+}
+
+/// A flat byte-addressable memory with per-byte tags (elided in plain
+/// mode by `M::Word`'s tag handling — the tag array is only materialised
+/// when `M::TRACKING`).
+///
+/// Primarily for tests and small standalone programs; the full SoC memory
+/// lives in `vpdift-periph`.
+#[derive(Debug, Clone)]
+pub struct FlatMemory<M: TaintMode> {
+    base: u32,
+    data: Vec<u8>,
+    tags: Vec<Tag>,
+    _mode: core::marker::PhantomData<M>,
+}
+
+impl<M: TaintMode> FlatMemory<M> {
+    /// Creates `size` bytes of zeroed memory based at `base`.
+    pub fn new(base: u32, size: usize) -> Self {
+        FlatMemory {
+            base,
+            data: vec![0; size],
+            tags: if M::TRACKING { vec![Tag::EMPTY; size] } else { Vec::new() },
+            _mode: core::marker::PhantomData,
+        }
+    }
+
+    /// Base address.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` iff the memory has zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    fn index(&self, addr: u32, size: u32) -> Result<usize, MemError> {
+        let off = addr.wrapping_sub(self.base) as usize;
+        if addr < self.base || off + size as usize > self.data.len() {
+            return Err(MemError::Fault { addr });
+        }
+        Ok(off)
+    }
+
+    /// Copies a program image into memory.
+    ///
+    /// # Panics
+    /// Panics if the image does not fit.
+    pub fn load_image(&mut self, addr: u32, image: &[u8]) {
+        let off = addr.wrapping_sub(self.base) as usize;
+        self.data[off..off + image.len()].copy_from_slice(image);
+    }
+
+    /// Stamps `tag` onto a byte range (classification).
+    ///
+    /// # Panics
+    /// Panics if the range does not fit.
+    pub fn classify(&mut self, addr: u32, len: usize, tag: Tag) {
+        if !M::TRACKING {
+            return;
+        }
+        let off = addr.wrapping_sub(self.base) as usize;
+        for t in &mut self.tags[off..off + len] {
+            *t = tag;
+        }
+    }
+
+    /// Reads one byte with its tag (diagnostics).
+    pub fn byte_at(&self, addr: u32) -> Option<(u8, Tag)> {
+        let off = addr.wrapping_sub(self.base) as usize;
+        let v = *self.data.get(off)?;
+        let t = if M::TRACKING { self.tags[off] } else { Tag::EMPTY };
+        Some((v, t))
+    }
+}
+
+impl<M: TaintMode> Bus<M> for FlatMemory<M> {
+    fn fetch(&mut self, pc: u32) -> Result<M::Word, MemError> {
+        self.load(pc, 4)
+    }
+
+    fn load(&mut self, addr: u32, size: u32) -> Result<M::Word, MemError> {
+        let off = self.index(addr, size)?;
+        let mut value = 0u32;
+        let mut tag = Tag::EMPTY;
+        for i in 0..size as usize {
+            value |= (self.data[off + i] as u32) << (8 * i);
+            if M::TRACKING {
+                tag = tag.lub(self.tags[off + i]);
+            }
+        }
+        Ok(M::Word::with_tag(value, tag))
+    }
+
+    fn store(&mut self, addr: u32, size: u32, value: M::Word, _pc: u32) -> Result<(), MemError> {
+        let off = self.index(addr, size)?;
+        let v = value.val();
+        for i in 0..size as usize {
+            self.data[off + i] = (v >> (8 * i)) as u8;
+            if M::TRACKING {
+                self.tags[off + i] = value.tag();
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::{Plain, Tainted};
+    use vpdift_core::Taint;
+
+    #[test]
+    fn flat_memory_word_round_trip_tainted() {
+        let mut m = FlatMemory::<Tainted>::new(0x1000, 64);
+        let w = Taint::new(0xAABB_CCDD, Tag::from_bits(0b10));
+        m.store(0x1010, 4, w, 0).unwrap();
+        let r = Bus::<Tainted>::load(&mut m, 0x1010, 4).unwrap();
+        assert_eq!(r, w);
+        // Partial reload LUBs only covered bytes.
+        let h = Bus::<Tainted>::load(&mut m, 0x1012, 2).unwrap();
+        assert_eq!(h.value(), 0xAABB);
+        assert_eq!(Word::tag(h), Tag::from_bits(0b10));
+    }
+
+    #[test]
+    fn flat_memory_plain_has_no_tag_storage() {
+        let mut m = FlatMemory::<Plain>::new(0, 16);
+        m.store(4, 4, 0x1234_5678u32, 0).unwrap();
+        assert_eq!(Bus::<Plain>::load(&mut m, 4, 4).unwrap(), 0x1234_5678);
+        assert_eq!(m.tags.len(), 0);
+        m.classify(0, 8, Tag::from_bits(1)); // no-op, must not panic
+    }
+
+    #[test]
+    fn out_of_range_faults() {
+        let mut m = FlatMemory::<Plain>::new(0x100, 16);
+        assert_eq!(
+            Bus::<Plain>::load(&mut m, 0x90, 4).unwrap_err(),
+            MemError::Fault { addr: 0x90 }
+        );
+        assert_eq!(
+            Bus::<Plain>::load(&mut m, 0x10E, 4).unwrap_err(),
+            MemError::Fault { addr: 0x10E }
+        );
+        assert!(m.store(0x200, 1, 0u32, 0).is_err());
+    }
+
+    #[test]
+    fn classify_stamps_tags() {
+        let mut m = FlatMemory::<Tainted>::new(0, 32);
+        m.load_image(0, &[1, 2, 3, 4]);
+        m.classify(1, 2, Tag::from_bits(1));
+        assert_eq!(m.byte_at(0), Some((1, Tag::EMPTY)));
+        assert_eq!(m.byte_at(1), Some((2, Tag::from_bits(1))));
+        assert_eq!(m.byte_at(2), Some((3, Tag::from_bits(1))));
+        assert_eq!(m.byte_at(3), Some((4, Tag::EMPTY)));
+        assert_eq!(m.byte_at(100), None);
+        // A word load spanning classified bytes LUBs their tags in.
+        let w = Bus::<Tainted>::load(&mut m, 0, 4).unwrap();
+        assert_eq!(Word::tag(w), Tag::from_bits(1));
+    }
+
+    #[test]
+    fn mem_error_display() {
+        assert!(MemError::Fault { addr: 0x10 }.to_string().contains("0x00000010"));
+        assert!(MemError::Misaligned { addr: 3 }.to_string().contains("misaligned"));
+    }
+}

@@ -1,0 +1,550 @@
+//! The RV32IM instruction-set simulator with transparent taint propagation
+//! and the paper's three execution-clearance checks (§V-B2).
+//!
+//! The CPU is generic over [`TaintMode`]: `Cpu<Plain>` is the original VP
+//! core, `Cpu<Tainted>` is the DIFT-enabled VP+ core. All tag handling
+//! routes through the [`Word`] abstraction, so the plain instantiation
+//! compiles tag work away entirely.
+
+use vpdift_asm::csr as csrn;
+use vpdift_asm::{AluOp, BranchCond, CsrSrc, Insn, MulOp, Reg};
+use vpdift_core::{ExecClearance, SharedEngine, Tag, Violation, ViolationKind};
+
+use crate::bus::{Bus, MemError};
+use crate::csr::CsrFile;
+use crate::mode::{TaintMode, Word};
+
+/// Outcome of a single [`Cpu::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// One instruction retired.
+    Executed,
+    /// The core is parked in `wfi` with no enabled interrupt pending; no
+    /// instruction retired. The caller should advance simulated time.
+    WaitingForInterrupt,
+    /// An `ebreak` retired — by VP convention this stops the simulation
+    /// (guest programs end with `ebreak`).
+    Break,
+}
+
+/// Why [`Cpu::run`] returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunExit {
+    /// Guest executed `ebreak`.
+    Break,
+    /// The instruction budget was exhausted.
+    MaxInsns,
+    /// The core is waiting for an interrupt.
+    Wfi,
+    /// An enforced DIFT violation stopped execution.
+    Violation(Violation),
+}
+
+/// The RV32IM core.
+///
+/// ```
+/// use vpdift_rv32::{Cpu, FlatMemory, Plain, RunExit};
+/// use vpdift_asm::{Asm, Reg};
+///
+/// let mut a = Asm::new(0);
+/// a.li(Reg::A0, 21);
+/// a.add(Reg::A0, Reg::A0, Reg::A0);
+/// a.ebreak();
+/// let prog = a.assemble().unwrap();
+///
+/// let mut mem = FlatMemory::<Plain>::new(0, 4096);
+/// mem.load_image(0, prog.image());
+/// let mut cpu = Cpu::<Plain>::new();
+/// assert_eq!(cpu.run(&mut mem, 100), RunExit::Break);
+/// assert_eq!(cpu.reg(Reg::A0), 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cpu<M: TaintMode> {
+    pc: u32,
+    regs: [M::Word; 32],
+    csrs: CsrFile<M>,
+    exec_clearance: ExecClearance,
+    engine: Option<SharedEngine>,
+    instret: u64,
+    in_wfi: bool,
+}
+
+impl<M: TaintMode> Default for Cpu<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: TaintMode> Cpu<M> {
+    /// Creates a core reset to PC 0 with unchecked execution clearance.
+    pub fn new() -> Self {
+        Cpu {
+            pc: 0,
+            regs: [M::Word::from_u32(0); 32],
+            csrs: CsrFile::new(),
+            exec_clearance: ExecClearance::UNCHECKED,
+            engine: None,
+            instret: 0,
+            in_wfi: false,
+        }
+    }
+
+    /// Resets the core to start execution at `pc` (registers preserved,
+    /// counters cleared).
+    pub fn reset(&mut self, pc: u32) {
+        self.pc = pc;
+        self.instret = 0;
+        self.in_wfi = false;
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// Reads a register (x0 is always zero).
+    pub fn reg(&self, r: Reg) -> M::Word {
+        self.regs[r.num() as usize]
+    }
+
+    /// Writes a register (writes to x0 are ignored).
+    pub fn set_reg(&mut self, r: Reg, value: M::Word) {
+        if r != Reg::Zero {
+            self.regs[r.num() as usize] = value;
+        }
+    }
+
+    /// The CSR file (e.g. for test setup).
+    pub fn csrs(&self) -> &CsrFile<M> {
+        &self.csrs
+    }
+
+    /// Mutable CSR file access.
+    pub fn csrs_mut(&mut self) -> &mut CsrFile<M> {
+        &mut self.csrs
+    }
+
+    /// Retired instruction count.
+    pub fn instret(&self) -> u64 {
+        self.instret
+    }
+
+    /// `true` while parked in `wfi`.
+    pub fn is_waiting(&self) -> bool {
+        self.in_wfi
+    }
+
+    /// Configures the execution clearances (from the security policy).
+    pub fn set_exec_clearance(&mut self, exec: ExecClearance) {
+        self.exec_clearance = exec;
+    }
+
+    /// Attaches the DIFT engine used to record violations.
+    pub fn set_engine(&mut self, engine: SharedEngine) {
+        self.engine = Some(engine);
+    }
+
+    /// Drives the machine timer interrupt pending bit (from the CLINT).
+    pub fn set_timer_irq(&mut self, level: bool) {
+        self.csrs.set_mip_bit(7, level);
+    }
+
+    /// Drives the machine software interrupt pending bit.
+    pub fn set_soft_irq(&mut self, level: bool) {
+        self.csrs.set_mip_bit(3, level);
+    }
+
+    /// Drives the machine external interrupt pending bit (from the PLIC).
+    pub fn set_external_irq(&mut self, level: bool) {
+        self.csrs.set_mip_bit(11, level);
+    }
+
+    /// Records an execution-clearance violation; in `Enforce` mode the
+    /// violation is returned as `Err` and the instruction is suppressed.
+    fn exec_check(
+        &mut self,
+        kind: ViolationKind,
+        tag: Tag,
+        required: Option<Tag>,
+        pc: u32,
+    ) -> Result<(), Violation> {
+        if !M::TRACKING {
+            return Ok(());
+        }
+        let Some(required) = required else { return Ok(()) };
+        if tag.flows_to(required) {
+            return Ok(());
+        }
+        let v = Violation::new(kind, tag, required).at_pc(pc);
+        match &self.engine {
+            Some(e) => e.borrow_mut().record(v),
+            None => Err(v),
+        }
+    }
+
+    /// Takes a trap: saves state, vectors to `mtvec`. The trap-vector
+    /// address is clearance-checked like a branch target (paper §V-B2a).
+    fn take_trap(&mut self, cause: u32, is_irq: bool, tval: u32, pc: u32) -> Result<(), Violation> {
+        let mtvec = self.csrs.mtvec;
+        self.exec_check(ViolationKind::TrapVector, mtvec.tag(), self.exec_clearance.branch, pc)?;
+        self.csrs.mepc = M::Word::from_u32(pc);
+        self.csrs.mcause = M::Word::from_u32(cause | if is_irq { 0x8000_0000 } else { 0 });
+        self.csrs.mtval = M::Word::from_u32(tval);
+        let mut st = self.csrs.mstatus.val();
+        let mie = (st >> 3) & 1;
+        st = (st & !(csrn::MSTATUS_MIE | csrn::MSTATUS_MPIE)) | (mie << 7);
+        self.csrs.mstatus = self.csrs.mstatus.map_val(|_| st);
+        self.pc = mtvec.val() & !0x3;
+        Ok(())
+    }
+
+    /// Checks for an enabled pending interrupt and takes it. Priority
+    /// follows the privileged spec: external > software > timer.
+    fn poll_interrupts(&mut self) -> Result<bool, Violation> {
+        if !self.csrs.mie_enabled() {
+            return Ok(false);
+        }
+        let pending = self.csrs.pending();
+        if pending == 0 {
+            return Ok(false);
+        }
+        let cause = if pending & csrn::MIE_MEIE != 0 {
+            csrn::cause::M_EXT_IRQ
+        } else if pending & csrn::MIE_MSIE != 0 {
+            csrn::cause::M_SOFT_IRQ
+        } else {
+            csrn::cause::M_TIMER_IRQ
+        };
+        self.in_wfi = false;
+        self.take_trap(cause, true, 0, self.pc)?;
+        Ok(true)
+    }
+
+    /// Executes (at most) one instruction.
+    ///
+    /// # Errors
+    /// Returns the [`Violation`] when an *enforced* DIFT check fails; the
+    /// simulation should stop (the paper's `ClearanceException`).
+    pub fn step(&mut self, bus: &mut impl Bus<M>) -> Result<Step, Violation> {
+        if self.poll_interrupts()? {
+            // Interrupt taken; fall through to execute the first handler
+            // instruction on the next call.
+            return Ok(Step::Executed);
+        }
+        if self.in_wfi {
+            // WFI resumes when an enabled interrupt becomes *pending*,
+            // even with mstatus.MIE clear (privileged spec) — execution
+            // then continues sequentially without trapping.
+            if self.csrs.pending() != 0 {
+                self.in_wfi = false;
+            } else {
+                return Ok(Step::WaitingForInterrupt);
+            }
+        }
+
+        let pc = self.pc;
+        // RV32C allows 2-byte alignment; only odd PCs are misaligned.
+        if !pc.is_multiple_of(2) {
+            self.take_trap(csrn::cause::MISALIGNED_FETCH, false, pc, pc)?;
+            return Ok(Step::Executed);
+        }
+
+        // --- fetch, with instruction-fetch clearance (§V-B2b) -----------
+        let word = match bus.fetch(pc) {
+            Ok(w) => w,
+            Err(e) => return self.mem_trap(e, true, pc).map(|_| Step::Executed),
+        };
+        let compressed = vpdift_asm::is_compressed(word.val() as u16);
+        let (fetched, insn_len) = if compressed {
+            // Narrow to the 16-bit parcel so the clearance check sees only
+            // the bytes actually executed (precise tags in tainted mode).
+            let parcel = if M::TRACKING {
+                match bus.load(pc, 2) {
+                    Ok(p) => p,
+                    Err(e) => return self.mem_trap(e, true, pc).map(|_| Step::Executed),
+                }
+            } else {
+                word.map_val(|v| v & 0xFFFF)
+            };
+            (parcel, 2u32)
+        } else {
+            (word, 4u32)
+        };
+        self.exec_check(ViolationKind::Fetch, fetched.tag(), self.exec_clearance.fetch, pc)?;
+
+        let decoded = if compressed {
+            vpdift_asm::decompress(fetched.val() as u16)
+        } else {
+            Insn::decode(fetched.val())
+        };
+        let insn = match decoded {
+            Ok(i) => i,
+            Err(_) => {
+                self.take_trap(csrn::cause::ILLEGAL_INSN, false, fetched.val(), pc)?;
+                return Ok(Step::Executed);
+            }
+        };
+
+        let mut next_pc = pc.wrapping_add(insn_len);
+        let mut outcome = Step::Executed;
+
+        macro_rules! rs {
+            ($r:expr) => {
+                self.reg($r)
+            };
+        }
+
+        match insn {
+            Insn::Lui { rd, imm20 } => self.set_reg(rd, M::Word::from_u32(imm20 << 12)),
+            Insn::Auipc { rd, imm20 } => {
+                self.set_reg(rd, M::Word::from_u32(pc.wrapping_add(imm20 << 12)))
+            }
+            Insn::Jal { rd, offset } => {
+                self.set_reg(rd, M::Word::from_u32(next_pc));
+                next_pc = pc.wrapping_add(offset as u32);
+            }
+            Insn::Jalr { rd, rs1, offset } => {
+                let base = rs!(rs1);
+                // Indirect targets reveal the pointer: branch clearance.
+                self.exec_check(
+                    ViolationKind::Branch,
+                    base.tag(),
+                    self.exec_clearance.branch,
+                    pc,
+                )?;
+                self.set_reg(rd, M::Word::from_u32(next_pc));
+                next_pc = base.val().wrapping_add(offset as u32) & !1;
+            }
+            Insn::Branch { cond, rs1, rs2, offset } => {
+                let a = rs!(rs1);
+                let b = rs!(rs2);
+                // The branch *condition* carries both operand tags (§V-B2a).
+                self.exec_check(
+                    ViolationKind::Branch,
+                    a.tag().lub(b.tag()),
+                    self.exec_clearance.branch,
+                    pc,
+                )?;
+                let taken = match cond {
+                    BranchCond::Eq => a.val() == b.val(),
+                    BranchCond::Ne => a.val() != b.val(),
+                    BranchCond::Lt => (a.val() as i32) < (b.val() as i32),
+                    BranchCond::Ge => (a.val() as i32) >= (b.val() as i32),
+                    BranchCond::Ltu => a.val() < b.val(),
+                    BranchCond::Geu => a.val() >= b.val(),
+                };
+                if taken {
+                    next_pc = pc.wrapping_add(offset as u32);
+                }
+            }
+            Insn::Load { width, rd, rs1, offset } => {
+                let base = rs!(rs1);
+                let addr = base.val().wrapping_add(offset as u32);
+                // Load addresses leak via access patterns (§V-B2c).
+                self.exec_check(
+                    ViolationKind::MemAddr,
+                    base.tag(),
+                    self.exec_clearance.mem_addr,
+                    pc,
+                )?;
+                let size = width.size();
+                if !addr.is_multiple_of(size) {
+                    self.take_trap(csrn::cause::MISALIGNED_LOAD, false, addr, pc)?;
+                    return Ok(Step::Executed);
+                }
+                let raw = match bus.load(addr, size) {
+                    Ok(w) => w,
+                    Err(e) => return self.mem_trap(e, false, pc).map(|_| Step::Executed),
+                };
+                let value = raw.map_val(|v| match width {
+                    vpdift_asm::LoadWidth::B => v as u8 as i8 as i32 as u32,
+                    vpdift_asm::LoadWidth::H => v as u16 as i16 as i32 as u32,
+                    _ => v,
+                });
+                self.set_reg(rd, value);
+            }
+            Insn::Store { width, rs2, rs1, offset } => {
+                let base = rs!(rs1);
+                let addr = base.val().wrapping_add(offset as u32);
+                self.exec_check(
+                    ViolationKind::MemAddr,
+                    base.tag(),
+                    self.exec_clearance.mem_addr,
+                    pc,
+                )?;
+                let size = width.size();
+                if !addr.is_multiple_of(size) {
+                    self.take_trap(csrn::cause::MISALIGNED_STORE, false, addr, pc)?;
+                    return Ok(Step::Executed);
+                }
+                if let Err(e) = bus.store(addr, size, rs!(rs2), pc) {
+                    return self.mem_trap(e, false, pc).map(|_| Step::Executed);
+                }
+            }
+            Insn::AluImm { op, rd, rs1, imm } => {
+                let a = rs!(rs1);
+                let r = alu_imm::<M>(op, a, imm);
+                self.set_reg(rd, r);
+            }
+            Insn::Alu { op, rd, rs1, rs2 } => {
+                let r = alu::<M>(op, rs!(rs1), rs!(rs2));
+                self.set_reg(rd, r);
+            }
+            Insn::MulDiv { op, rd, rs1, rs2 } => {
+                let r = muldiv::<M>(op, rs!(rs1), rs!(rs2));
+                self.set_reg(rd, r);
+            }
+            Insn::Csr { op, rd, csr, src } => {
+                let old = self.csrs.read(csr, self.instret);
+                let (sval, write_always) = match src {
+                    CsrSrc::Reg(r) => (rs!(r), r != Reg::Zero),
+                    CsrSrc::Imm(i) => (M::Word::from_u32(i as u32), i != 0),
+                };
+                match op {
+                    vpdift_asm::CsrOp::Rw => self.csrs.write(csr, sval),
+                    vpdift_asm::CsrOp::Rs if write_always => {
+                        self.csrs.write(csr, old.binop(sval, |o, s| o | s))
+                    }
+                    vpdift_asm::CsrOp::Rc if write_always => {
+                        self.csrs.write(csr, old.binop(sval, |o, s| o & !s))
+                    }
+                    _ => {}
+                }
+                self.set_reg(rd, old);
+            }
+            Insn::Fence | Insn::FenceI => {}
+            Insn::Ecall => {
+                // mepc points at the ecall itself; the handler returns past
+                // it by adding 4 (standard RISC-V convention).
+                self.take_trap(csrn::cause::ECALL_M, false, 0, pc)?;
+                return Ok(Step::Executed);
+            }
+            Insn::Ebreak => {
+                outcome = Step::Break;
+            }
+            Insn::Mret => {
+                let mepc = self.csrs.mepc;
+                // Returning to a secret/untrusted address is an indirect
+                // control transfer: branch clearance applies.
+                self.exec_check(
+                    ViolationKind::Branch,
+                    mepc.tag(),
+                    self.exec_clearance.branch,
+                    pc,
+                )?;
+                let mut st = self.csrs.mstatus.val();
+                let mpie = (st >> 7) & 1;
+                st = (st & !csrn::MSTATUS_MIE) | (mpie << 3) | csrn::MSTATUS_MPIE;
+                self.csrs.mstatus = self.csrs.mstatus.map_val(|_| st);
+                next_pc = mepc.val() & !0x3;
+            }
+            Insn::Wfi => {
+                self.in_wfi = true;
+            }
+        }
+
+        self.pc = next_pc;
+        self.instret += 1;
+        Ok(outcome)
+    }
+
+    fn mem_trap(&mut self, e: MemError, is_fetch: bool, pc: u32) -> Result<(), Violation> {
+        let _ = is_fetch; // fetch faults reuse the load-fault cause in this VP
+        match e {
+            MemError::Fault { addr } => self.take_trap(csrn::cause::LOAD_FAULT, false, addr, pc),
+            MemError::Misaligned { addr } => {
+                self.take_trap(csrn::cause::MISALIGNED_LOAD, false, addr, pc)
+            }
+            MemError::Dift(v) => Err(v),
+        }
+    }
+
+    /// Runs until `ebreak`, an enforced violation, `wfi` with nothing
+    /// pending, or `max_insns` retirements.
+    pub fn run(&mut self, bus: &mut impl Bus<M>, max_insns: u64) -> RunExit {
+        let limit = self.instret + max_insns;
+        while self.instret < limit {
+            match self.step(bus) {
+                Ok(Step::Executed) => {}
+                Ok(Step::Break) => return RunExit::Break,
+                Ok(Step::WaitingForInterrupt) => return RunExit::Wfi,
+                Err(v) => return RunExit::Violation(v),
+            }
+        }
+        RunExit::MaxInsns
+    }
+}
+
+fn alu_imm<M: TaintMode>(op: AluOp, a: M::Word, imm: i32) -> M::Word {
+    let b = imm as u32;
+    a.map_val(|av| alu_val(op, av, b))
+}
+
+fn alu<M: TaintMode>(op: AluOp, a: M::Word, b: M::Word) -> M::Word {
+    a.binop(b, |av, bv| alu_val(op, av, bv))
+}
+
+fn alu_val(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a.wrapping_shl(b & 0x1F),
+        AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+        AluOp::Sltu => (a < b) as u32,
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a.wrapping_shr(b & 0x1F),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 0x1F)) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+    }
+}
+
+fn muldiv<M: TaintMode>(op: MulOp, a: M::Word, b: M::Word) -> M::Word {
+    a.binop(b, |av, bv| muldiv_val(op, av, bv))
+}
+
+fn muldiv_val(op: MulOp, a: u32, b: u32) -> u32 {
+    match op {
+        MulOp::Mul => a.wrapping_mul(b),
+        MulOp::Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
+        MulOp::Mulhsu => (((a as i32 as i64) * (b as u64 as i64)) >> 32) as u32,
+        MulOp::Mulhu => (((a as u64) * (b as u64)) >> 32) as u32,
+        MulOp::Div => {
+            if b == 0 {
+                u32::MAX
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                a // overflow: MIN / -1 = MIN
+            } else {
+                ((a as i32) / (b as i32)) as u32
+            }
+        }
+        MulOp::Divu => {
+            if b == 0 {
+                u32::MAX
+            } else {
+                a / b
+            }
+        }
+        MulOp::Rem => {
+            if b == 0 {
+                a
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                0
+            } else {
+                ((a as i32) % (b as i32)) as u32
+            }
+        }
+        MulOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}

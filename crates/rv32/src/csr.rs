@@ -1,0 +1,171 @@
+//! Machine-mode control and status registers.
+//!
+//! Only the CSRs the VP's firmware actually uses are modeled; reads of
+//! unimplemented CSRs return 0 and writes are ignored (matching the
+//! permissive behaviour of the original RISC-V VP for benign software).
+//! CSR values are [`Word`]s, so tags flow through CSRs in tainted mode —
+//! e.g. a tainted `mepc` is caught by the trap-return clearance check.
+
+use vpdift_asm::csr;
+
+use crate::mode::{TaintMode, Word};
+
+/// The machine-mode CSR file.
+#[derive(Debug, Clone)]
+pub struct CsrFile<M: TaintMode> {
+    /// Machine status (`MIE`/`MPIE` bits are honoured).
+    pub mstatus: M::Word,
+    /// Machine interrupt enable.
+    pub mie: M::Word,
+    /// Machine interrupt pending (externally driven bits).
+    pub mip: M::Word,
+    /// Trap vector (direct mode; low two bits ignored).
+    pub mtvec: M::Word,
+    /// Exception PC.
+    pub mepc: M::Word,
+    /// Trap cause.
+    pub mcause: M::Word,
+    /// Trap value.
+    pub mtval: M::Word,
+    /// Scratch register.
+    pub mscratch: M::Word,
+}
+
+impl<M: TaintMode> Default for CsrFile<M> {
+    fn default() -> Self {
+        CsrFile {
+            mstatus: M::Word::from_u32(0),
+            mie: M::Word::from_u32(0),
+            mip: M::Word::from_u32(0),
+            mtvec: M::Word::from_u32(0),
+            mepc: M::Word::from_u32(0),
+            mcause: M::Word::from_u32(0),
+            mtval: M::Word::from_u32(0),
+            mscratch: M::Word::from_u32(0),
+        }
+    }
+}
+
+impl<M: TaintMode> CsrFile<M> {
+    /// Creates a zeroed CSR file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads a CSR. `instret` supplies the retired-instruction counter for
+    /// the shadow counters.
+    pub fn read(&self, addr: u16, instret: u64) -> M::Word {
+        match addr {
+            csr::MSTATUS => self.mstatus,
+            csr::MIE => self.mie,
+            csr::MIP => self.mip,
+            csr::MTVEC => self.mtvec,
+            csr::MEPC => self.mepc,
+            csr::MCAUSE => self.mcause,
+            csr::MTVAL => self.mtval,
+            csr::MSCRATCH => self.mscratch,
+            csr::MISA => M::Word::from_u32((1 << 30) | (1 << 8) | (1 << 12)), // RV32IM
+            csr::MHARTID => M::Word::from_u32(0),
+            csr::CYCLE | csr::INSTRET => M::Word::from_u32(instret as u32),
+            csr::CYCLEH | csr::INSTRETH => M::Word::from_u32((instret >> 32) as u32),
+            _ => M::Word::from_u32(0),
+        }
+    }
+
+    /// Writes a CSR; read-only and unimplemented CSRs ignore writes.
+    pub fn write(&mut self, addr: u16, value: M::Word) {
+        match addr {
+            csr::MSTATUS => self.mstatus = value,
+            csr::MIE => self.mie = value,
+            csr::MIP => self.mip = value,
+            csr::MTVEC => self.mtvec = value,
+            csr::MEPC => self.mepc = value,
+            csr::MCAUSE => self.mcause = value,
+            csr::MTVAL => self.mtval = value,
+            csr::MSCRATCH => self.mscratch = value,
+            _ => {}
+        }
+    }
+
+    /// Sets or clears a bit in `mip` from an external interrupt line.
+    pub fn set_mip_bit(&mut self, bit: u32, level: bool) {
+        let mask = 1u32 << bit;
+        self.mip = self.mip.map_val(|v| if level { v | mask } else { v & !mask });
+    }
+
+    /// `true` iff global machine interrupts are enabled.
+    pub fn mie_enabled(&self) -> bool {
+        self.mstatus.val() & csr::MSTATUS_MIE != 0
+    }
+
+    /// Enabled-and-pending interrupt bits.
+    pub fn pending(&self) -> u32 {
+        self.mie.val() & self.mip.val()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::{Plain, Tainted};
+    use vpdift_core::{Tag, Taint};
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut c = CsrFile::<Plain>::new();
+        c.write(csr::MTVEC, 0x100);
+        c.write(csr::MEPC, 0x204);
+        assert_eq!(c.read(csr::MTVEC, 0), 0x100);
+        assert_eq!(c.read(csr::MEPC, 0), 0x204);
+        // Read-only / unimplemented.
+        c.write(csr::MHARTID, 9);
+        assert_eq!(c.read(csr::MHARTID, 0), 0);
+        c.write(0x7C0, 5);
+        assert_eq!(c.read(0x7C0, 0), 0);
+    }
+
+    #[test]
+    fn counters_shadow_instret() {
+        let c = CsrFile::<Plain>::new();
+        let n = 0x1_2345_6789u64;
+        assert_eq!(c.read(csr::CYCLE, n), 0x2345_6789);
+        assert_eq!(c.read(csr::CYCLEH, n), 1);
+        assert_eq!(c.read(csr::INSTRET, n), 0x2345_6789);
+    }
+
+    #[test]
+    fn mip_bit_setting_and_pending() {
+        let mut c = CsrFile::<Plain>::new();
+        c.set_mip_bit(7, true);
+        assert_eq!(c.read(csr::MIP, 0), 1 << 7);
+        assert_eq!(c.pending(), 0, "mie gate closed");
+        c.write(csr::MIE, csr::MIE_MTIE);
+        assert_eq!(c.pending(), csr::MIE_MTIE);
+        assert!(!c.mie_enabled());
+        c.write(csr::MSTATUS, csr::MSTATUS_MIE);
+        assert!(c.mie_enabled());
+        c.set_mip_bit(7, false);
+        assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    fn tainted_csrs_keep_tags() {
+        let mut c = CsrFile::<Tainted>::new();
+        c.write(csr::MEPC, Taint::new(0x80, Tag::from_bits(1)));
+        assert_eq!(Word::tag(c.read(csr::MEPC, 0)), Tag::from_bits(1));
+        // set_mip_bit preserves existing tag on mip.
+        c.write(csr::MIP, Taint::new(0, Tag::from_bits(2)));
+        c.set_mip_bit(3, true);
+        assert_eq!(c.read(csr::MIP, 0).value(), 1 << 3);
+        assert_eq!(Word::tag(c.read(csr::MIP, 0)), Tag::from_bits(2));
+    }
+
+    #[test]
+    fn misa_reports_rv32im() {
+        let c = CsrFile::<Plain>::new();
+        let misa = c.read(csr::MISA, 0);
+        assert_ne!(misa & (1 << 8), 0, "I");
+        assert_ne!(misa & (1 << 12), 0, "M");
+        assert_ne!(misa & (1 << 30), 0, "XLEN=32");
+    }
+}

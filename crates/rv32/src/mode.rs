@@ -1,0 +1,172 @@
+//! Taint-mode abstraction: the same ISS source compiles to the *original*
+//! VP (no tracking, plain `u32` words) and to the DIFT-enabled *VP+*
+//! (`Taint<u32>` words) — this is what makes the paper's Table II
+//! VP-vs-VP+ comparison honest: in [`Plain`] mode tag storage and tag
+//! operations are compiled away entirely.
+
+use core::fmt::Debug;
+
+use vpdift_core::{Tag, Taint};
+
+/// A machine word as the ISS manipulates it: a 32-bit value that may or may
+/// not carry a security tag. Sealed to the two modes below.
+pub trait Word: Copy + Default + Debug + PartialEq + 'static + private::Sealed {
+    /// Builds a word from a raw value with the bottom tag.
+    fn from_u32(value: u32) -> Self;
+    /// Builds a word from a value and a tag (the tag is dropped in plain
+    /// mode).
+    fn with_tag(value: u32, tag: Tag) -> Self;
+    /// The raw 32-bit value.
+    fn val(self) -> u32;
+    /// The tag (always [`Tag::EMPTY`] in plain mode).
+    fn tag(self) -> Tag;
+    /// Replaces the value, keeping the tag.
+    #[must_use]
+    fn map_val(self, f: impl FnOnce(u32) -> u32) -> Self;
+    /// Combines two words: `f` on the values, `LUB` on the tags.
+    #[must_use]
+    fn binop(self, other: Self, f: impl FnOnce(u32, u32) -> u32) -> Self;
+    /// LUBs `tag` into this word (no-op in plain mode).
+    #[must_use]
+    fn lub_tag(self, tag: Tag) -> Self;
+}
+
+mod private {
+    use vpdift_core::Taint;
+    pub trait Sealed {}
+    impl Sealed for u32 {}
+    impl Sealed for Taint<u32> {}
+}
+
+impl Word for u32 {
+    #[inline(always)]
+    fn from_u32(value: u32) -> Self {
+        value
+    }
+    #[inline(always)]
+    fn with_tag(value: u32, _tag: Tag) -> Self {
+        value
+    }
+    #[inline(always)]
+    fn val(self) -> u32 {
+        self
+    }
+    #[inline(always)]
+    fn tag(self) -> Tag {
+        Tag::EMPTY
+    }
+    #[inline(always)]
+    fn map_val(self, f: impl FnOnce(u32) -> u32) -> Self {
+        f(self)
+    }
+    #[inline(always)]
+    fn binop(self, other: Self, f: impl FnOnce(u32, u32) -> u32) -> Self {
+        f(self, other)
+    }
+    #[inline(always)]
+    fn lub_tag(self, _tag: Tag) -> Self {
+        self
+    }
+}
+
+impl Word for Taint<u32> {
+    #[inline(always)]
+    fn from_u32(value: u32) -> Self {
+        Taint::untainted(value)
+    }
+    #[inline(always)]
+    fn with_tag(value: u32, tag: Tag) -> Self {
+        Taint::new(value, tag)
+    }
+    #[inline(always)]
+    fn val(self) -> u32 {
+        self.value()
+    }
+    #[inline(always)]
+    fn tag(self) -> Tag {
+        Taint::tag(&self)
+    }
+    #[inline(always)]
+    fn map_val(self, f: impl FnOnce(u32) -> u32) -> Self {
+        self.map(f)
+    }
+    #[inline(always)]
+    fn binop(self, other: Self, f: impl FnOnce(u32, u32) -> u32) -> Self {
+        self.zip_with(other, f)
+    }
+    #[inline(always)]
+    fn lub_tag(self, tag: Tag) -> Self {
+        self.with_tag_lub(tag)
+    }
+}
+
+/// Selects whether the ISS tracks information flow. Sealed: exactly
+/// [`Plain`] (the original VP) and [`Tainted`] (VP+) exist.
+pub trait TaintMode: 'static + private_mode::SealedMode {
+    /// The machine word representation.
+    type Word: Word;
+    /// `true` when tags exist; lets cold paths be compiled out in plain
+    /// mode.
+    const TRACKING: bool;
+}
+
+mod private_mode {
+    pub trait SealedMode {}
+    impl SealedMode for super::Plain {}
+    impl SealedMode for super::Tainted {}
+}
+
+/// The original VP: no taint storage, no checks, maximum simulation speed.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Plain;
+
+impl TaintMode for Plain {
+    type Word = u32;
+    const TRACKING: bool = false;
+}
+
+/// The DIFT-enabled VP+ of the paper.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Tainted;
+
+impl TaintMode for Tainted {
+    type Word = Taint<u32>;
+    const TRACKING: bool = true;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: Tag = Tag::from_bits(1);
+
+    #[test]
+    fn plain_words_drop_tags() {
+        let w = <u32 as Word>::with_tag(7, S);
+        assert_eq!(w.val(), 7);
+        assert_eq!(w.tag(), Tag::EMPTY);
+        assert_eq!(w.lub_tag(S).tag(), Tag::EMPTY);
+        assert_eq!(w.binop(3, |a, b| a + b), 10);
+        assert!(!Plain::TRACKING);
+    }
+
+    #[test]
+    fn tainted_words_carry_tags() {
+        let w = <Taint<u32> as Word>::with_tag(7, S);
+        assert_eq!(w.val(), 7);
+        assert_eq!(Word::tag(w), S);
+        let x = w.binop(Word::from_u32(3), |a, b| a + b);
+        assert_eq!(x.val(), 10);
+        assert_eq!(Word::tag(x), S);
+        assert_eq!(Word::tag(w.lub_tag(Tag::from_bits(2))), Tag::from_bits(3));
+        assert!(Tainted::TRACKING);
+    }
+
+    #[test]
+    fn map_val_keeps_tag() {
+        let w = <Taint<u32> as Word>::with_tag(0x80, S);
+        let s = w.map_val(|v| v << 1);
+        assert_eq!(s.val(), 0x100);
+        assert_eq!(Word::tag(s), S);
+    }
+}

@@ -1,0 +1,137 @@
+//! Execution of RV32C code on the ISS: 2-byte PC stepping, mixed 16/32-bit
+//! streams, link values, and tag-precise fetch clearance.
+
+use vpdift_asm::{AluOp, Insn, Reg};
+use vpdift_core::{DiftEngine, EnforceMode, ExecClearance, SecurityPolicy, Tag, ViolationKind};
+use vpdift_rv32::{Cpu, FlatMemory, Plain, RunExit, Tainted, Word};
+
+fn image16(parcels: &[u16]) -> Vec<u8> {
+    parcels.iter().flat_map(|p| p.to_le_bytes()).collect()
+}
+
+#[test]
+fn pure_compressed_stream() {
+    // c.li a0, 5; c.addi a0, -1; c.mv a1, a0; c.ebreak
+    let image = image16(&[0x4515, 0x157D, 0x85AA, 0x9002]);
+    let mut mem = FlatMemory::<Plain>::new(0, 4096);
+    mem.load_image(0, &image);
+    let mut cpu = Cpu::<Plain>::new();
+    assert_eq!(cpu.run(&mut mem, 100), RunExit::Break);
+    assert_eq!(cpu.reg(Reg::A0).val(), 4);
+    assert_eq!(cpu.reg(Reg::A1).val(), 4);
+    assert_eq!(cpu.instret(), 4);
+    assert_eq!(cpu.pc(), 8, "pc advanced by 2 per compressed insn (incl. ebreak)");
+}
+
+#[test]
+fn mixed_width_stream() {
+    // c.li a0, 7 (2 bytes), then a 32-bit addi a0, a0, 10 at pc=2,
+    // then c.ebreak at pc=6.
+    let addi = Insn::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 10 }.encode();
+    let mut image = image16(&[0x451D]); // c.li a0, 7
+    image.extend_from_slice(&addi.to_le_bytes());
+    image.extend_from_slice(&0x9002u16.to_le_bytes());
+    let mut mem = FlatMemory::<Plain>::new(0, 4096);
+    mem.load_image(0, &image);
+    let mut cpu = Cpu::<Plain>::new();
+    assert_eq!(cpu.run(&mut mem, 100), RunExit::Break);
+    assert_eq!(cpu.reg(Reg::A0).val(), 17);
+    assert_eq!(cpu.instret(), 3);
+}
+
+#[test]
+fn compressed_jal_links_pc_plus_2() {
+    // c.jal +6 (to the 32-bit ebreak-equivalent landing pad), pad with
+    // c.nops. Layout: 0: c.jal +6; 2: c.nop; 4: c.nop; 6: c.ebreak.
+    // CJ offset 6: offset[2:1] -> inst[4:3]: offset2=1 -> inst4, offset1=1 -> inst3.
+    let cjal = 0x2001u16 | (1 << 4) | (1 << 3); // funct3=001, op=01, offset=6
+    let image = image16(&[cjal, 0x0001, 0x0001, 0x9002]);
+    let mut mem = FlatMemory::<Plain>::new(0, 4096);
+    mem.load_image(0, &image);
+    let mut cpu = Cpu::<Plain>::new();
+    assert_eq!(cpu.run(&mut mem, 100), RunExit::Break);
+    assert_eq!(cpu.reg(Reg::Ra).val(), 2, "C.JAL links pc+2");
+}
+
+#[test]
+fn compressed_branch_loop() {
+    // c.li a0, 3; loop: c.addi a0, -1; c.bnez a0, -2; c.ebreak
+    // CB offset -2: offset1=1 -> inst3; sign bit offset8=1 -> inst12;
+    // offsets 2..7 = 1 -> inst[4], inst[10], inst[11], inst[2], inst[5], inst[6].
+    let bnez_m2: u16 = {
+        // offset = -2 -> 9-bit two's complement 0b111111110
+        let mut p: u16 = 0b111_0_00_000_00_0_00_01; // funct3=111, op=01, rs1'=a0(010)
+        p |= 0b010 << 7; // rs1' = a0
+        // offset bits: [8]=1->12, [7]=1->6, [6]=1->5, [5]=1->2, [4]=1->11,
+        // [3]=1->10, [2]=1->4, [1]=1->3  (offset -2: all set except bit1? )
+        // -2 = ...111111110: bits 1..8 = 1,1,1,1,1,1,1,1 except bit1=1? -2>>1 = -1,
+        // so offset[8:1] = 11111111.
+        p |= 1 << 12;
+        p |= 1 << 6;
+        p |= 1 << 5;
+        p |= 1 << 2;
+        p |= 1 << 11;
+        p |= 1 << 10;
+        p |= 1 << 4;
+        p |= 1 << 3;
+        p
+    };
+    let image = image16(&[0x450D /* c.li a0, 3 */, 0x157D /* c.addi a0, -1 */, bnez_m2, 0x9002]);
+    let mut mem = FlatMemory::<Plain>::new(0, 4096);
+    mem.load_image(0, &image);
+    let mut cpu = Cpu::<Plain>::new();
+    assert_eq!(cpu.run(&mut mem, 100), RunExit::Break);
+    assert_eq!(cpu.reg(Reg::A0).val(), 0);
+    assert_eq!(cpu.instret(), 1 + 3 * 2 + 1);
+}
+
+#[test]
+fn fetch_clearance_is_parcel_precise() {
+    // Two adjacent compressed instructions; only the *second* parcel is
+    // classified low-integrity. The first must execute, the second must
+    // violate — proving the check narrows to 2 bytes.
+    let li = Tag::from_bits(1);
+    let image = image16(&[0x4515 /* c.li a0,5 */, 0x157D /* c.addi a0,-1 */, 0x9002]);
+    let mut mem = FlatMemory::<Tainted>::new(0, 4096);
+    mem.load_image(0, &image);
+    mem.classify(2, 2, li);
+    let mut cpu = Cpu::<Tainted>::new();
+    let exec = ExecClearance { fetch: Some(Tag::EMPTY), branch: None, mem_addr: None };
+    let policy = SecurityPolicy::builder("c-fetch").exec_clearance(exec).build();
+    cpu.set_engine(DiftEngine::with_mode(policy, EnforceMode::Enforce).into_shared());
+    cpu.set_exec_clearance(exec);
+    match cpu.run(&mut mem, 100) {
+        RunExit::Violation(v) => {
+            assert_eq!(v.kind, ViolationKind::Fetch);
+            assert_eq!(v.pc, Some(2), "violation at the tainted parcel, not before");
+        }
+        other => panic!("expected fetch violation, got {other:?}"),
+    }
+    assert_eq!(cpu.reg(Reg::A0).val(), 5, "first parcel executed");
+}
+
+#[test]
+fn odd_pc_traps_misaligned() {
+    let mut mem = FlatMemory::<Plain>::new(0, 4096);
+    let mut cpu = Cpu::<Plain>::new();
+    cpu.set_pc(1);
+    // mtvec = 0 -> handler at 0 (zeros decode as the illegal all-zero
+    // parcel -> illegal-instruction trap loop). Just check the first trap.
+    let _ = cpu.step(&mut mem).unwrap();
+    assert_eq!(cpu.csrs().mcause.val(), 0, "misaligned fetch cause");
+    assert_eq!(cpu.csrs().mtval.val(), 1);
+}
+
+#[test]
+fn compressed_stack_ops() {
+    // c.addi16sp -32; c.swsp a0, 12(sp); c.lwsp a1, 12(sp); c.ebreak
+    let image = image16(&[0x713D, 0xC62A, 0x45B2, 0x9002]);
+    let mut mem = FlatMemory::<Plain>::new(0, 65536);
+    mem.load_image(0, &image);
+    let mut cpu = Cpu::<Plain>::new();
+    cpu.set_reg(Reg::Sp, 0x8000);
+    cpu.set_reg(Reg::A0, 0xDEAD);
+    assert_eq!(cpu.run(&mut mem, 100), RunExit::Break);
+    assert_eq!(cpu.reg(Reg::Sp).val(), 0x8000 - 32);
+    assert_eq!(cpu.reg(Reg::A1).val(), 0xDEAD);
+}

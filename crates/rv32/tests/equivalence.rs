@@ -1,0 +1,131 @@
+//! Property test: the Plain (VP) and Tainted (VP+) cores compute identical
+//! architectural values on random ALU/memory programs — taint tracking must
+//! never change functional behaviour (paper: "works without any further
+//! modification").
+
+use proptest::prelude::*;
+use vpdift_asm::{Asm, Reg};
+use vpdift_rv32::{Cpu, FlatMemory, Plain, RunExit, TaintMode, Tainted, Word};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Li(u8, i32),
+    Add(u8, u8, u8),
+    Sub(u8, u8, u8),
+    Xor(u8, u8, u8),
+    And(u8, u8, u8),
+    Or(u8, u8, u8),
+    Sll(u8, u8, u8),
+    Srl(u8, u8, u8),
+    Sra(u8, u8, u8),
+    Mul(u8, u8, u8),
+    Div(u8, u8, u8),
+    Rem(u8, u8, u8),
+    Slt(u8, u8, u8),
+    StoreLoad(u8, u8), // sw rs, off(base=0x2000); lw rd back
+}
+
+/// Working registers: t0..t2, a0..a5 (avoid sp/ra).
+const REGS: [Reg; 9] =
+    [Reg::T0, Reg::T1, Reg::T2, Reg::A0, Reg::A1, Reg::A2, Reg::A3, Reg::A4, Reg::A5];
+
+fn r(i: u8) -> Reg {
+    REGS[i as usize % REGS.len()]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let idx = 0u8..9;
+    prop_oneof![
+        (idx.clone(), any::<i32>()).prop_map(|(d, v)| Op::Li(d, v)),
+        (idx.clone(), idx.clone(), idx.clone()).prop_map(|(d, a, b)| Op::Add(d, a, b)),
+        (idx.clone(), idx.clone(), idx.clone()).prop_map(|(d, a, b)| Op::Sub(d, a, b)),
+        (idx.clone(), idx.clone(), idx.clone()).prop_map(|(d, a, b)| Op::Xor(d, a, b)),
+        (idx.clone(), idx.clone(), idx.clone()).prop_map(|(d, a, b)| Op::And(d, a, b)),
+        (idx.clone(), idx.clone(), idx.clone()).prop_map(|(d, a, b)| Op::Or(d, a, b)),
+        (idx.clone(), idx.clone(), idx.clone()).prop_map(|(d, a, b)| Op::Sll(d, a, b)),
+        (idx.clone(), idx.clone(), idx.clone()).prop_map(|(d, a, b)| Op::Srl(d, a, b)),
+        (idx.clone(), idx.clone(), idx.clone()).prop_map(|(d, a, b)| Op::Sra(d, a, b)),
+        (idx.clone(), idx.clone(), idx.clone()).prop_map(|(d, a, b)| Op::Mul(d, a, b)),
+        (idx.clone(), idx.clone(), idx.clone()).prop_map(|(d, a, b)| Op::Div(d, a, b)),
+        (idx.clone(), idx.clone(), idx.clone()).prop_map(|(d, a, b)| Op::Rem(d, a, b)),
+        (idx.clone(), idx.clone(), idx.clone()).prop_map(|(d, a, b)| Op::Slt(d, a, b)),
+        (idx.clone(), idx).prop_map(|(d, a)| Op::StoreLoad(d, a)),
+    ]
+}
+
+fn build(ops: &[Op]) -> Vec<u8> {
+    let mut a = Asm::new(0);
+    // Deterministic initial values.
+    for (i, reg) in REGS.iter().enumerate() {
+        a.li(*reg, (i as i32 + 1) * 0x1111);
+    }
+    for (n, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Li(d, v) => {
+                a.li(r(d), v);
+            }
+            Op::Add(d, x, y) => {
+                a.add(r(d), r(x), r(y));
+            }
+            Op::Sub(d, x, y) => {
+                a.sub(r(d), r(x), r(y));
+            }
+            Op::Xor(d, x, y) => {
+                a.xor(r(d), r(x), r(y));
+            }
+            Op::And(d, x, y) => {
+                a.and(r(d), r(x), r(y));
+            }
+            Op::Or(d, x, y) => {
+                a.or(r(d), r(x), r(y));
+            }
+            Op::Sll(d, x, y) => {
+                a.sll(r(d), r(x), r(y));
+            }
+            Op::Srl(d, x, y) => {
+                a.srl(r(d), r(x), r(y));
+            }
+            Op::Sra(d, x, y) => {
+                a.sra(r(d), r(x), r(y));
+            }
+            Op::Mul(d, x, y) => {
+                a.mul(r(d), r(x), r(y));
+            }
+            Op::Div(d, x, y) => {
+                a.div(r(d), r(x), r(y));
+            }
+            Op::Rem(d, x, y) => {
+                a.rem(r(d), r(x), r(y));
+            }
+            Op::Slt(d, x, y) => {
+                a.slt(r(d), r(x), r(y));
+            }
+            Op::StoreLoad(d, s) => {
+                let off = (n % 32) as i32 * 4;
+                a.li(Reg::T6, 0x2000);
+                a.sw(r(s), off, Reg::T6);
+                a.lw(r(d), off, Reg::T6);
+            }
+        }
+    }
+    a.ebreak();
+    a.assemble().unwrap().image().to_vec()
+}
+
+fn exec<M: TaintMode>(image: &[u8]) -> Vec<u32> {
+    let mut mem = FlatMemory::<M>::new(0, 64 * 1024);
+    mem.load_image(0, image);
+    let mut cpu = Cpu::<M>::new();
+    assert_eq!(cpu.run(&mut mem, 100_000), RunExit::Break);
+    REGS.iter().map(|&reg| cpu.reg(reg).val()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn plain_and_tainted_agree(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let image = build(&ops);
+        prop_assert_eq!(exec::<Plain>(&image), exec::<Tainted>(&image));
+    }
+}

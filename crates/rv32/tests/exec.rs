@@ -1,0 +1,341 @@
+//! Per-instruction semantics tests for the ISS, run in both taint modes.
+
+use vpdift_asm::{Asm, Reg};
+use vpdift_core::Tag;
+use vpdift_rv32::{Cpu, FlatMemory, Plain, RunExit, TaintMode, Tainted, Word};
+
+const RAM: usize = 64 * 1024;
+
+/// Assembles `build`, runs it until `ebreak`, and returns the CPU.
+fn run_prog<M: TaintMode>(build: impl FnOnce(&mut Asm)) -> (Cpu<M>, FlatMemory<M>) {
+    let mut a = Asm::new(0);
+    build(&mut a);
+    let prog = a.assemble().expect("test program assembles");
+    let mut mem = FlatMemory::<M>::new(0, RAM);
+    mem.load_image(0, prog.image());
+    let mut cpu = Cpu::<M>::new();
+    // Stack at top of RAM.
+    cpu.set_reg(Reg::Sp, M::Word::from_u32(RAM as u32 - 16));
+    let exit = cpu.run(&mut mem, 2_000_000);
+    assert_eq!(exit, RunExit::Break, "program must end at ebreak");
+    (cpu, mem)
+}
+
+fn check<M: TaintMode>(build: impl FnOnce(&mut Asm), expect: &[(Reg, u32)]) {
+    let (cpu, _) = run_prog::<M>(build);
+    for &(r, v) in expect {
+        assert_eq!(cpu.reg(r).val(), v, "register {r}");
+    }
+}
+
+/// Runs in both modes and checks register values agree with expectations.
+fn check_both(build: impl Fn(&mut Asm) + Copy, expect: &[(Reg, u32)]) {
+    check::<Plain>(build, expect);
+    check::<Tainted>(build, expect);
+}
+
+use Reg::*;
+
+#[test]
+fn arithmetic_basics() {
+    check_both(
+        |a| {
+            a.li(T0, 100);
+            a.li(T1, -7);
+            a.add(A0, T0, T1); // 93
+            a.sub(A1, T0, T1); // 107
+            a.xor(A2, T0, T1);
+            a.or(A3, T0, T1);
+            a.and(A4, T0, T1);
+            a.ebreak();
+        },
+        &[
+            (A0, 93),
+            (A1, 107),
+            (A2, 100 ^ (-7i32 as u32)),
+            (A3, 100 | (-7i32 as u32)),
+            (A4, 100 & (-7i32 as u32)),
+        ],
+    );
+}
+
+#[test]
+fn immediates_and_comparisons() {
+    check_both(
+        |a| {
+            a.li(T0, 5);
+            a.addi(A0, T0, -10); // -5
+            a.slti(A1, T0, 6); // 1
+            a.slti(A2, T0, 5); // 0
+            a.sltiu(A3, T0, 6); // 1
+            a.li(T1, -1);
+            a.sltu(A4, T0, T1); // 5 < 0xFFFFFFFF unsigned -> 1
+            a.slt(A5, T1, T0); // -1 < 5 signed -> 1
+            a.ebreak();
+        },
+        &[(A0, -5i32 as u32), (A1, 1), (A2, 0), (A3, 1), (A4, 1), (A5, 1)],
+    );
+}
+
+#[test]
+fn shifts() {
+    check_both(
+        |a| {
+            a.li(T0, -16); // 0xFFFFFFF0
+            a.slli(A0, T0, 4);
+            a.srli(A1, T0, 4);
+            a.srai(A2, T0, 4);
+            a.li(T1, 36); // shift amount uses low 5 bits -> 4
+            a.sll(A3, T0, T1);
+            a.srl(A4, T0, T1);
+            a.sra(A5, T0, T1);
+            a.ebreak();
+        },
+        &[
+            (A0, 0xFFFF_FF00),
+            (A1, 0x0FFF_FFFF),
+            (A2, 0xFFFF_FFFF),
+            (A3, 0xFFFF_FF00),
+            (A4, 0x0FFF_FFFF),
+            (A5, 0xFFFF_FFFF),
+        ],
+    );
+}
+
+#[test]
+fn lui_auipc() {
+    check_both(
+        |a| {
+            a.lui(A0, 0xDEAD5);
+            a.auipc(A1, 0); // pc of this insn = 4
+            a.ebreak();
+        },
+        &[(A0, 0xDEAD_5000), (A1, 4)],
+    );
+}
+
+#[test]
+fn mul_div_rem_semantics() {
+    check_both(
+        |a| {
+            a.li(T0, -7);
+            a.li(T1, 3);
+            a.mul(A0, T0, T1); // -21
+            a.div(A1, T0, T1); // -2 (toward zero)
+            a.rem(A2, T0, T1); // -1
+            a.divu(A3, T0, T1); // huge
+            a.remu(A4, T0, T1);
+            a.mulh(A5, T0, T1); // high of -21 = -1
+            a.mulhu(A6, T0, T1);
+            a.ebreak();
+        },
+        &[
+            (A0, -21i32 as u32),
+            (A1, -2i32 as u32),
+            (A2, -1i32 as u32),
+            (A3, (u32::MAX - 6) / 3),
+            (A4, (u32::MAX - 6) % 3),
+            (A5, u32::MAX),
+            (A6, ((((u32::MAX - 6) as u64) * 3) >> 32) as u32),
+        ],
+    );
+}
+
+#[test]
+fn div_by_zero_and_overflow() {
+    check_both(
+        |a| {
+            a.li(T0, 42);
+            a.li(T1, 0);
+            a.div(A0, T0, T1); // -1
+            a.divu(A1, T0, T1); // 0xFFFFFFFF
+            a.rem(A2, T0, T1); // 42
+            a.remu(A3, T0, T1); // 42
+            a.li(T2, i32::MIN);
+            a.li(T3, -1);
+            a.div(A4, T2, T3); // MIN
+            a.rem(A5, T2, T3); // 0
+            a.ebreak();
+        },
+        &[
+            (A0, u32::MAX),
+            (A1, u32::MAX),
+            (A2, 42),
+            (A3, 42),
+            (A4, 0x8000_0000),
+            (A5, 0),
+        ],
+    );
+}
+
+#[test]
+fn loads_and_stores_all_widths() {
+    check_both(
+        |a| {
+            a.li(T0, 0x1000);
+            a.li(T1, -2); // 0xFFFFFFFE
+            a.sw(T1, 0, T0);
+            a.lw(A0, 0, T0);
+            a.lh(A1, 0, T0); // 0xFFFE sign-extended -> -2
+            a.lhu(A2, 0, T0); // 0xFFFE
+            a.lb(A3, 0, T0); // -2
+            a.lbu(A4, 0, T0); // 0xFE
+            a.li(T2, 0x1234);
+            a.sh(T2, 4, T0);
+            a.lhu(A5, 4, T0);
+            a.sb(T2, 8, T0);
+            a.lbu(A6, 8, T0);
+            a.ebreak();
+        },
+        &[
+            (A0, 0xFFFF_FFFE),
+            (A1, 0xFFFF_FFFE),
+            (A2, 0xFFFE),
+            (A3, 0xFFFF_FFFE),
+            (A4, 0xFE),
+            (A5, 0x1234),
+            (A6, 0x34),
+        ],
+    );
+}
+
+#[test]
+fn branches_and_loops() {
+    // Sum 1..=10 with a bne loop; gcd(252, 105) with blt/bge logic.
+    check_both(
+        |a| {
+            a.li(T0, 10);
+            a.li(A0, 0);
+            a.label("sum");
+            a.add(A0, A0, T0);
+            a.addi(T0, T0, -1);
+            a.bnez(T0, "sum");
+
+            // gcd by subtraction
+            a.li(T1, 252);
+            a.li(T2, 105);
+            a.label("gcd");
+            a.beq(T1, T2, "done");
+            a.bltu(T1, T2, "swap");
+            a.sub(T1, T1, T2);
+            a.j("gcd");
+            a.label("swap");
+            a.sub(T2, T2, T1);
+            a.j("gcd");
+            a.label("done");
+            a.mv(A1, T1);
+            a.ebreak();
+        },
+        &[(A0, 55), (A1, 21)],
+    );
+}
+
+#[test]
+fn jal_jalr_call_ret() {
+    check_both(
+        |a| {
+            a.li(A0, 5);
+            a.call("double");
+            a.call("double");
+            a.j("end");
+            a.label("double");
+            a.add(A0, A0, A0);
+            a.ret();
+            a.label("end");
+            a.ebreak();
+        },
+        &[(A0, 20)],
+    );
+}
+
+#[test]
+fn function_pointer_via_jalr() {
+    check_both(
+        |a| {
+            a.la(T0, "target");
+            a.jalr(Ra, T0, 0);
+            a.ebreak();
+            a.label("target");
+            a.li(A0, 99);
+            a.ret();
+        },
+        &[(A0, 99)],
+    );
+}
+
+#[test]
+fn x0_is_hardwired_zero() {
+    check_both(
+        |a| {
+            a.li(T0, 7);
+            a.add(Zero, T0, T0); // write ignored
+            a.mv(A0, Zero);
+            a.ebreak();
+        },
+        &[(A0, 0)],
+    );
+}
+
+#[test]
+fn memory_retains_taint_across_store_load() {
+    // Only meaningful in tainted mode.
+    let mut a = Asm::new(0);
+    a.li(T0, 0x2000);
+    a.lw(T1, 0, T0); // load the classified word
+    a.sw(T1, 64, T0); // copy it
+    a.lw(A0, 64, T0); // reload the copy
+    a.ebreak();
+    let prog = a.assemble().unwrap();
+    let mut mem = FlatMemory::<Tainted>::new(0, RAM);
+    mem.load_image(0, prog.image());
+    mem.load_image(0x2000, &0xCAFE_F00Du32.to_le_bytes());
+    let secret = Tag::atom(0);
+    mem.classify(0x2000, 4, secret);
+    let mut cpu = Cpu::<Tainted>::new();
+    assert_eq!(cpu.run(&mut mem, 1000), RunExit::Break);
+    assert_eq!(cpu.reg(A0).val(), 0xCAFE_F00D);
+    assert_eq!(Word::tag(cpu.reg(A0)), secret, "taint survives store/load round trip");
+    // And the copy location in memory is tagged byte-by-byte.
+    for i in 0..4 {
+        assert_eq!(mem.byte_at(0x2040 + i).unwrap().1, secret);
+    }
+}
+
+#[test]
+fn arithmetic_mixes_taint() {
+    let mut a = Asm::new(0);
+    a.li(T0, 0x2000);
+    a.lw(T1, 0, T0); // secret
+    a.li(T2, 1); // public
+    a.add(A0, T1, T2); // secret
+    a.sub(A1, T2, T2); // public
+    a.xor(A2, T1, T1); // still secret (tag-wise)
+    a.ebreak();
+    let prog = a.assemble().unwrap();
+    let mut mem = FlatMemory::<Tainted>::new(0, RAM);
+    mem.load_image(0, prog.image());
+    let secret = Tag::atom(2);
+    mem.classify(0x2000, 4, secret);
+    let mut cpu = Cpu::<Tainted>::new();
+    assert_eq!(cpu.run(&mut mem, 1000), RunExit::Break);
+    assert_eq!(Word::tag(cpu.reg(A0)), secret);
+    assert_eq!(Word::tag(cpu.reg(A1)), Tag::EMPTY);
+    assert_eq!(Word::tag(cpu.reg(A2)), secret);
+}
+
+#[test]
+fn partial_byte_load_picks_up_only_covered_tags() {
+    let mut a = Asm::new(0);
+    a.li(T0, 0x2000);
+    a.lbu(A0, 0, T0); // classified byte
+    a.lbu(A1, 1, T0); // unclassified byte
+    a.ebreak();
+    let prog = a.assemble().unwrap();
+    let mut mem = FlatMemory::<Tainted>::new(0, RAM);
+    mem.load_image(0, prog.image());
+    mem.classify(0x2000, 1, Tag::atom(1));
+    let mut cpu = Cpu::<Tainted>::new();
+    assert_eq!(cpu.run(&mut mem, 100), RunExit::Break);
+    assert_eq!(Word::tag(cpu.reg(A0)), Tag::atom(1));
+    assert_eq!(Word::tag(cpu.reg(A1)), Tag::EMPTY);
+}

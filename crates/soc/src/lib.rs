@@ -1,0 +1,47 @@
+//! # vpdift-soc — the assembled virtual prototype
+//!
+//! Wires the RV32 core, system bus, main memory and every peripheral into
+//! one executable platform model, in two flavours selected by the type
+//! parameter:
+//!
+//! * `Soc<Plain>` — the original VP (no taint storage or checks),
+//! * `Soc<Tainted>` — the paper's VP+ with the DIFT engine enforcing the
+//!   configured [`SecurityPolicy`](vpdift_core::SecurityPolicy).
+//!
+//! ```
+//! use vpdift_soc::{Soc, SocConfig, SocExit, map};
+//! use vpdift_rv32::{Tainted, Word};
+//! use vpdift_asm::{Asm, Reg};
+//!
+//! // A guest that prints "ok" on the UART and exits.
+//! let mut a = Asm::new(0);
+//! a.li(Reg::T0, map::UART_BASE as i32);
+//! a.li(Reg::T1, 'o' as i32);
+//! a.sw(Reg::T1, 0, Reg::T0);
+//! a.li(Reg::T1, 'k' as i32);
+//! a.sw(Reg::T1, 0, Reg::T0);
+//! a.ebreak();
+//! let program = a.assemble().unwrap();
+//!
+//! let mut soc = Soc::<Tainted>::new(SocConfig::default());
+//! soc.load_program(&program);
+//! assert_eq!(soc.run(10_000), SocExit::Break);
+//! assert_eq!(soc.uart().borrow().output_string(), "ok");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod bus;
+pub mod map;
+mod soc;
+pub mod trace;
+
+pub use bus::SocBus;
+pub use soc::{Soc, SocConfig, SocExit};
+pub use trace::TraceRecord;
+
+/// Convenience alias: the original (untracked) virtual prototype.
+pub type PlainSoc = Soc<vpdift_rv32::Plain>;
+/// Convenience alias: the DIFT-enabled virtual prototype (VP+).
+pub type TaintedSoc = Soc<vpdift_rv32::Tainted>;

@@ -1,0 +1,65 @@
+//! The SoC physical memory map (see DESIGN.md §6).
+
+use vpdift_core::AddrRange;
+
+/// RAM base address.
+pub const RAM_BASE: u32 = 0x0000_0000;
+/// Default RAM size (8 MiB).
+pub const DEFAULT_RAM_SIZE: usize = 8 * 1024 * 1024;
+
+/// CLINT base address.
+pub const CLINT_BASE: u32 = 0x0200_0000;
+/// CLINT region size.
+pub const CLINT_SIZE: u32 = 0x1_0000;
+
+/// PLIC base address.
+pub const PLIC_BASE: u32 = 0x0C00_0000;
+/// PLIC region size.
+pub const PLIC_SIZE: u32 = 0x1000;
+
+/// UART base address.
+pub const UART_BASE: u32 = 0x1000_0000;
+/// UART region size.
+pub const UART_SIZE: u32 = 0x100;
+
+/// Terminal (console input) base address.
+pub const TERMINAL_BASE: u32 = 0x1001_0000;
+/// Terminal region size.
+pub const TERMINAL_SIZE: u32 = 0x100;
+
+/// Sensor base address.
+pub const SENSOR_BASE: u32 = 0x1002_0000;
+/// Sensor region size (64-byte frame + tag register).
+pub const SENSOR_SIZE: u32 = 0x100;
+
+/// CAN controller base address.
+pub const CAN_BASE: u32 = 0x1003_0000;
+/// CAN region size.
+pub const CAN_SIZE: u32 = 0x100;
+
+/// AES engine base address.
+pub const AES_BASE: u32 = 0x1004_0000;
+/// AES region size.
+pub const AES_SIZE: u32 = 0x100;
+
+/// DMA controller base address.
+pub const DMA_BASE: u32 = 0x1005_0000;
+/// DMA region size.
+pub const DMA_SIZE: u32 = 0x100;
+
+/// Taint-introspection (debug) peripheral base address.
+pub const TAINTDBG_BASE: u32 = 0x1006_0000;
+/// Taint-introspection region size.
+pub const TAINTDBG_SIZE: u32 = 0x100;
+
+/// PLIC interrupt source of the sensor.
+pub const IRQ_SENSOR: u32 = 2;
+/// PLIC interrupt source of the CAN controller.
+pub const IRQ_CAN: u32 = 3;
+/// PLIC interrupt source of the DMA controller.
+pub const IRQ_DMA: u32 = 4;
+
+/// The RAM range for a given size.
+pub fn ram_range(size: usize) -> AddrRange {
+    AddrRange::new(RAM_BASE, size as u32)
+}

@@ -1,0 +1,448 @@
+//! The assembled virtual prototype.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vpdift_asm::Program;
+use vpdift_core::{
+    AddrRange, DiftEngine, EnforceMode, SecurityPolicy, SharedEngine, Violation,
+};
+use vpdift_kernel::{Kernel, SimTime};
+use vpdift_periph::{
+    AesEngine, CanChannel, CanController, CanHostEndpoint, Clint, Dma, IrqLine, Plic, Ram,
+    Sensor, TaintDebug, Terminal, Uart,
+};
+use vpdift_rv32::{Cpu, Step, TaintMode, Word};
+use vpdift_tlm::Router;
+
+use crate::bus::SocBus;
+use crate::map;
+
+/// Build-time configuration of the VP.
+#[derive(Clone, Debug)]
+pub struct SocConfig {
+    /// RAM size in bytes.
+    pub ram_size: usize,
+    /// The security policy to enforce (ignored by the plain VP except for
+    /// peripheral wiring).
+    pub policy: SecurityPolicy,
+    /// Enforce (stop on violation) or record (log and continue).
+    pub enforce: EnforceMode,
+    /// Seed for the sensor's data generator.
+    pub seed: u64,
+    /// Instructions per scheduling quantum (time-sync granularity).
+    pub quantum: u32,
+    /// Simulated time per instruction (loosely-timed model).
+    pub insn_time: SimTime,
+    /// Whether the sensor's periodic generation thread runs.
+    pub sensor_thread: bool,
+}
+
+impl Default for SocConfig {
+    fn default() -> Self {
+        SocConfig {
+            ram_size: map::DEFAULT_RAM_SIZE,
+            policy: SecurityPolicy::permissive(),
+            enforce: EnforceMode::Enforce,
+            seed: 42,
+            quantum: 1024,
+            insn_time: SimTime::from_ns(10), // 100 MIPS guest clock
+            sensor_thread: true,
+        }
+    }
+}
+
+impl SocConfig {
+    /// Configuration with a specific policy, defaults elsewhere.
+    pub fn with_policy(policy: SecurityPolicy) -> Self {
+        SocConfig { policy, ..Self::default() }
+    }
+}
+
+/// Why [`Soc::run`] stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocExit {
+    /// Guest executed `ebreak` (normal program end).
+    Break,
+    /// An enforced DIFT violation stopped the simulation — the paper's
+    /// run-time error.
+    Violation(Violation),
+    /// The instruction budget was exhausted.
+    InstrLimit,
+    /// The core is in `wfi` and no future event can ever wake it.
+    Idle,
+}
+
+/// The virtual prototype: CPU, bus, memory and all peripherals, coupled to
+/// the simulation kernel. `M` selects the original VP ([`vpdift_rv32::Plain`])
+/// or the DIFT-enabled VP+ ([`vpdift_rv32::Tainted`]).
+pub struct Soc<M: TaintMode> {
+    config: SocConfig,
+    kernel: Kernel,
+    cpu: Cpu<M>,
+    bus: SocBus<M>,
+    engine: SharedEngine,
+    ram: Rc<RefCell<Ram>>,
+    uart: Rc<RefCell<Uart>>,
+    terminal: Rc<RefCell<Terminal>>,
+    sensor: Rc<RefCell<Sensor>>,
+    can: Rc<RefCell<CanController>>,
+    can_host: CanHostEndpoint,
+    aes: Rc<RefCell<AesEngine>>,
+    dma: Rc<RefCell<Dma>>,
+    clint: Rc<RefCell<Clint>>,
+    plic: Rc<RefCell<Plic>>,
+    taintdbg: Rc<RefCell<TaintDebug>>,
+}
+
+impl<M: TaintMode> Soc<M> {
+    /// Builds the VP from `config`.
+    pub fn new(config: SocConfig) -> Self {
+        let policy = config.policy.clone();
+        let engine = DiftEngine::with_mode(policy.clone(), config.enforce).into_shared();
+
+        let ram = Ram::new(config.ram_size, M::TRACKING).into_shared();
+        let plic = Plic::new().into_shared();
+        let clint = Clint::new().into_shared();
+        let uart = Uart::new("uart", engine.clone()).into_shared();
+        let terminal =
+            Terminal::new("terminal", policy.source_tag("terminal.rx")).into_shared();
+        let sensor = Sensor::new(
+            policy.source_tag("sensor.data"),
+            Some(IrqLine::new(plic.clone(), map::IRQ_SENSOR)),
+            config.seed,
+        )
+        .into_shared();
+        let can_channel = CanChannel::new();
+        let can_host = can_channel.host_endpoint();
+        let can = CanController::new(
+            "can",
+            engine.clone(),
+            policy.source_tag("can.rx"),
+            can_channel,
+            Some(IrqLine::new(plic.clone(), map::IRQ_CAN)),
+        )
+        .into_shared();
+        let aes = AesEngine::new(
+            policy.grant_declassify("aes"),
+            policy.source_tag("aes.out"),
+        )
+        .into_shared();
+
+        // The DMA's private port map: everything it may touch, except
+        // itself (re-entrancy) and the interrupt infrastructure.
+        let mut dma_ports = Router::new("dma-ports");
+        dma_ports.map("ram", map::ram_range(config.ram_size), ram.clone()).expect("fresh map");
+        dma_ports
+            .map("sensor", AddrRange::new(map::SENSOR_BASE, map::SENSOR_SIZE), sensor.clone())
+            .expect("fresh map");
+        dma_ports
+            .map("aes", AddrRange::new(map::AES_BASE, map::AES_SIZE), aes.clone())
+            .expect("fresh map");
+        dma_ports
+            .map("uart", AddrRange::new(map::UART_BASE, map::UART_SIZE), uart.clone())
+            .expect("fresh map");
+        let dma = Dma::new(
+            dma_ports,
+            M::TRACKING.then(|| engine.clone()),
+            Some(IrqLine::new(plic.clone(), map::IRQ_DMA)),
+        )
+        .into_shared();
+
+        let taintdbg = TaintDebug::new(ram.clone(), engine.clone()).into_shared();
+
+        let mut router = Router::new("sys-bus");
+        router
+            .map("clint", AddrRange::new(map::CLINT_BASE, map::CLINT_SIZE), clint.clone())
+            .expect("fresh map");
+        router
+            .map("plic", AddrRange::new(map::PLIC_BASE, map::PLIC_SIZE), plic.clone())
+            .expect("fresh map");
+        router
+            .map("uart", AddrRange::new(map::UART_BASE, map::UART_SIZE), uart.clone())
+            .expect("fresh map");
+        router
+            .map(
+                "terminal",
+                AddrRange::new(map::TERMINAL_BASE, map::TERMINAL_SIZE),
+                terminal.clone(),
+            )
+            .expect("fresh map");
+        router
+            .map("sensor", AddrRange::new(map::SENSOR_BASE, map::SENSOR_SIZE), sensor.clone())
+            .expect("fresh map");
+        router
+            .map("can", AddrRange::new(map::CAN_BASE, map::CAN_SIZE), can.clone())
+            .expect("fresh map");
+        router
+            .map("aes", AddrRange::new(map::AES_BASE, map::AES_SIZE), aes.clone())
+            .expect("fresh map");
+        router
+            .map("dma", AddrRange::new(map::DMA_BASE, map::DMA_SIZE), dma.clone())
+            .expect("fresh map");
+        router
+            .map(
+                "taintdbg",
+                AddrRange::new(map::TAINTDBG_BASE, map::TAINTDBG_SIZE),
+                taintdbg.clone(),
+            )
+            .expect("fresh map");
+
+        let bus = SocBus::new(
+            ram.clone(),
+            router,
+            M::TRACKING.then(|| engine.clone()),
+        );
+
+        let mut cpu = Cpu::<M>::new();
+        if M::TRACKING {
+            cpu.set_engine(engine.clone());
+            cpu.set_exec_clearance(policy.exec());
+        }
+
+        let mut kernel = Kernel::new();
+        if config.sensor_thread {
+            Sensor::spawn(&sensor, &mut kernel);
+        }
+
+        Soc {
+            config,
+            kernel,
+            cpu,
+            bus,
+            engine,
+            ram,
+            uart,
+            terminal,
+            sensor,
+            can,
+            can_host,
+            aes,
+            dma,
+            clint,
+            plic,
+            taintdbg,
+        }
+    }
+
+    /// Loads a program image, applies the policy's classification rules to
+    /// RAM, and points the CPU at the entry with a stack at the top of RAM.
+    pub fn load_program(&mut self, program: &Program) {
+        self.ram
+            .borrow_mut()
+            .load_image(program.base() - map::RAM_BASE, program.image());
+        let policy = self.config.policy.clone();
+        for rule in policy.regions() {
+            if let Some(tag) = rule.classify {
+                let ram_len = self.config.ram_size as u32;
+                let start = rule.range.start;
+                let end = rule.range.end.min(map::RAM_BASE + ram_len);
+                if start < end {
+                    self.ram.borrow_mut().classify(
+                        start - map::RAM_BASE,
+                        (end - start) as usize,
+                        tag,
+                    );
+                }
+            }
+        }
+        self.cpu.reset(program.entry());
+        let sp = map::RAM_BASE + self.config.ram_size as u32 - 16;
+        self.cpu.set_reg(vpdift_asm::Reg::Sp, M::Word::from_u32(sp));
+    }
+
+    fn sync_irq_lines(&mut self) {
+        self.can.borrow().poll_rx_irq();
+        let clint = self.clint.borrow();
+        self.cpu.set_timer_irq(clint.timer_pending());
+        self.cpu.set_soft_irq(clint.soft_pending());
+        drop(clint);
+        self.cpu.set_external_irq(self.plic.borrow().eip());
+    }
+
+    /// Runs the VP for at most `max_insns` CPU steps. A *step* is one
+    /// retired instruction or one taken trap — exceptions count toward the
+    /// budget so runaway trap loops still terminate (retired-instruction
+    /// statistics remain exact via [`Soc::instret`]).
+    pub fn run(&mut self, max_insns: u64) -> SocExit {
+        let mut steps_left = max_insns;
+        loop {
+            self.sync_irq_lines();
+            if steps_left == 0 {
+                return SocExit::InstrLimit;
+            }
+            let quantum = (self.config.quantum as u64).min(steps_left);
+            let mut stepped = 0u64;
+            let mut waiting = false;
+            let mut exit = None;
+            for _ in 0..quantum {
+                match self.cpu.step(&mut self.bus) {
+                    Ok(Step::Executed) => stepped += 1,
+                    Ok(Step::Break) => {
+                        stepped += 1;
+                        exit = Some(SocExit::Break);
+                        break;
+                    }
+                    Ok(Step::WaitingForInterrupt) => {
+                        waiting = true;
+                        break;
+                    }
+                    Err(v) => {
+                        exit = Some(SocExit::Violation(v));
+                        break;
+                    }
+                }
+                // MMIO may have changed interrupt levels (PLIC claim,
+                // comparator writes): re-sample before the next step so a
+                // completed handler is not spuriously re-entered.
+                if self.bus.irq_dirty() {
+                    self.bus.clear_irq_dirty();
+                    self.sync_irq_lines();
+                }
+            }
+            steps_left -= stepped.min(steps_left);
+            // Advance simulated time: executed steps + MMIO latency.
+            let executed = stepped;
+            let elapsed = self.config.insn_time * executed + self.bus.take_mmio_delay();
+            let target = self.kernel.now().saturating_add(elapsed);
+            self.kernel.run_until(target);
+
+            if let Some(exit) = exit {
+                self.clint.borrow_mut().set_mtime(self.kernel.now().as_us());
+                return exit;
+            }
+            if waiting {
+                if !self.advance_to_next_event() {
+                    return SocExit::Idle;
+                }
+                // Deadlock guard: a waiting quantum that advanced neither
+                // the instruction count nor simulated time can never make
+                // progress (e.g. a wake condition that is permanently
+                // "now" but never taken).
+                if executed == 0 && self.kernel.now() == target {
+                    return SocExit::Idle;
+                }
+            }
+            let now_us = self.kernel.now().as_us();
+            self.clint.borrow_mut().set_mtime(now_us);
+        }
+    }
+
+    /// While the CPU is parked in `wfi`, jump simulated time to the next
+    /// thing that could wake it: a kernel event or the timer comparator.
+    /// Returns `false` when no such event exists (true deadlock).
+    fn advance_to_next_event(&mut self) -> bool {
+        let kernel_next = self.kernel.next_activity();
+        let clint = self.clint.borrow();
+        let timer_next = if clint.mtimecmp_value() != u64::MAX {
+            Some(SimTime::from_us(clint.mtimecmp_value()))
+        } else {
+            None
+        };
+        drop(clint);
+        let target = match (kernel_next, timer_next) {
+            (Some(k), Some(t)) => k.min(t.max(self.kernel.now())),
+            (Some(k), None) => k,
+            (None, Some(t)) => t.max(self.kernel.now()),
+            (None, None) => return false,
+        };
+        self.kernel.run_until(target);
+        self.clint.borrow_mut().set_mtime(self.kernel.now().as_us());
+        true
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    /// Retired instruction count.
+    pub fn instret(&self) -> u64 {
+        self.cpu.instret()
+    }
+
+    /// The CPU core.
+    pub fn cpu(&self) -> &Cpu<M> {
+        &self.cpu
+    }
+
+    /// Mutable CPU access (test setup).
+    pub fn cpu_mut(&mut self) -> &mut Cpu<M> {
+        &mut self.cpu
+    }
+
+    /// The DIFT engine.
+    pub fn engine(&self) -> &SharedEngine {
+        &self.engine
+    }
+
+    /// Main memory.
+    pub fn ram(&self) -> &Rc<RefCell<Ram>> {
+        &self.ram
+    }
+
+    /// The UART (read its `output()` to observe transmitted bytes).
+    pub fn uart(&self) -> &Rc<RefCell<Uart>> {
+        &self.uart
+    }
+
+    /// The console-input device (feed attacker bytes here).
+    pub fn terminal(&self) -> &Rc<RefCell<Terminal>> {
+        &self.terminal
+    }
+
+    /// The sensor.
+    pub fn sensor(&self) -> &Rc<RefCell<Sensor>> {
+        &self.sensor
+    }
+
+    /// The CAN controller.
+    pub fn can(&self) -> &Rc<RefCell<CanController>> {
+        &self.can
+    }
+
+    /// The host side of the CAN link (the remote ECU).
+    pub fn can_host(&self) -> &CanHostEndpoint {
+        &self.can_host
+    }
+
+    /// The AES engine.
+    pub fn aes(&self) -> &Rc<RefCell<AesEngine>> {
+        &self.aes
+    }
+
+    /// The DMA controller.
+    pub fn dma(&self) -> &Rc<RefCell<Dma>> {
+        &self.dma
+    }
+
+    /// The CLINT.
+    pub fn clint(&self) -> &Rc<RefCell<Clint>> {
+        &self.clint
+    }
+
+    /// The PLIC.
+    pub fn plic(&self) -> &Rc<RefCell<Plic>> {
+        &self.plic
+    }
+
+    /// The taint-introspection peripheral.
+    pub fn taintdbg(&self) -> &Rc<RefCell<TaintDebug>> {
+        &self.taintdbg
+    }
+
+    /// The build configuration.
+    pub fn config(&self) -> &SocConfig {
+        &self.config
+    }
+}
+
+impl<M: TaintMode> core::fmt::Debug for Soc<M> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Soc")
+            .field("tracking", &M::TRACKING)
+            .field("instret", &self.cpu.instret())
+            .field("now", &self.kernel.now())
+            .finish()
+    }
+}

@@ -1,0 +1,166 @@
+//! Execution tracing — observability for policy development.
+//!
+//! The paper positions the VP as the place where security policies are
+//! *developed*; that workflow needs to see what the binary did. The trace
+//! API single-steps the platform and reports each step with its
+//! disassembly and (in tainted mode) the tags entering the instruction, at
+//! the cost of simulation speed.
+
+use vpdift_asm::{decompress, is_compressed, Insn};
+use vpdift_core::Tag;
+use vpdift_rv32::TaintMode;
+
+use crate::map::RAM_BASE;
+use crate::soc::{Soc, SocExit};
+
+/// One traced CPU step.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// PC before the step.
+    pub pc: u32,
+    /// Disassembly of the instruction at `pc` (or `.word`/`.half` for
+    /// undecodable bytes).
+    pub text: String,
+    /// LUB of the fetched instruction bytes' tags (always empty in plain
+    /// mode).
+    pub fetch_tag: Tag,
+    /// Retired-instruction count *after* the step.
+    pub instret: u64,
+    /// Simulated time after the step.
+    pub time: vpdift_kernel::SimTime,
+}
+
+impl core::fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[{:>8}] {:#010x}: {}", self.instret, self.pc, self.text)?;
+        if !self.fetch_tag.is_empty() {
+            write!(f, "   ; fetch tag {}", self.fetch_tag)?;
+        }
+        Ok(())
+    }
+}
+
+impl<M: TaintMode> Soc<M> {
+    /// Disassembles the instruction currently at `pc` (RAM only).
+    pub fn disassemble_at(&self, pc: u32) -> (String, Tag) {
+        let ram = self.ram().borrow();
+        let off = pc.wrapping_sub(RAM_BASE);
+        if !ram.fits(off, 2) {
+            return (format!(".??? @{pc:#010x} (outside RAM)"), Tag::EMPTY);
+        }
+        let (lo, tag_lo) = ram.load(off, 2);
+        if is_compressed(lo as u16) {
+            let text = decompress(lo as u16)
+                .map(|i| format!("(c) {i}"))
+                .unwrap_or_else(|_| format!(".half {lo:#06x}"));
+            return (text, tag_lo);
+        }
+        if !ram.fits(off, 4) {
+            return (format!(".half {lo:#06x}"), tag_lo);
+        }
+        let (word, tag) = ram.load(off, 4);
+        let text = Insn::decode(word)
+            .map(|i| i.to_string())
+            .unwrap_or_else(|_| format!(".word {word:#010x}"));
+        (text, tag)
+    }
+
+    /// Runs up to `max_steps` CPU steps, invoking `sink` before each one.
+    /// Stops on the same conditions as [`Soc::run`].
+    pub fn run_traced(
+        &mut self,
+        max_steps: u64,
+        mut sink: impl FnMut(&TraceRecord),
+    ) -> SocExit {
+        for _ in 0..max_steps {
+            let pc = self.cpu().pc();
+            let (text, fetch_tag) = self.disassemble_at(pc);
+            let exit = self.run(1);
+            let record = TraceRecord {
+                pc,
+                text,
+                fetch_tag,
+                instret: self.instret(),
+                time: self.now(),
+            };
+            sink(&record);
+            if !matches!(exit, SocExit::InstrLimit) {
+                return exit;
+            }
+        }
+        SocExit::InstrLimit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soc::SocConfig;
+    use vpdift_asm::{Asm, Reg};
+    use vpdift_core::{AddrRange, SecurityPolicy};
+    use vpdift_rv32::Tainted;
+
+    #[test]
+    fn trace_reports_disassembly_and_tags() {
+        let secret = Tag::atom(0);
+        let policy = SecurityPolicy::builder("trace")
+            .classify_region("s", AddrRange::new(0x100, 8), secret)
+            .build();
+        let mut a = Asm::new(0);
+        a.li(Reg::T0, 0x100);
+        a.lw(Reg::T1, 0, Reg::T0);
+        a.ebreak();
+        let prog = a.assemble().unwrap();
+
+        let mut cfg = SocConfig::with_policy(policy);
+        cfg.sensor_thread = false;
+        let mut soc = Soc::<Tainted>::new(cfg);
+        soc.load_program(&prog);
+
+        let mut lines = Vec::new();
+        let exit = soc.run_traced(100, |r| lines.push(r.to_string()));
+        assert_eq!(exit, SocExit::Break);
+        assert_eq!(lines.len(), 4, "li expands to two instructions + lw + ebreak");
+        assert!(lines[0].contains("lui t0"));
+        assert!(lines[2].contains("lw t1, 0(t0)"));
+        assert!(lines[3].contains("ebreak"));
+        // Code itself is untainted; no fetch tags reported.
+        assert!(lines.iter().all(|l| !l.contains("fetch tag")));
+    }
+
+    #[test]
+    fn tainted_code_shows_fetch_tag() {
+        let mut a = Asm::new(0);
+        a.nop();
+        a.ebreak();
+        let prog = a.assemble().unwrap();
+        let mut cfg = SocConfig::default();
+        cfg.sensor_thread = false;
+        let mut soc = Soc::<Tainted>::new(cfg);
+        soc.load_program(&prog);
+        soc.ram().borrow_mut().classify(0, 4, Tag::atom(2));
+        let (text, tag) = soc.disassemble_at(0);
+        assert!(text.contains("addi"));
+        assert_eq!(tag, Tag::atom(2));
+        let mut first = None;
+        soc.run_traced(10, |r| {
+            if first.is_none() {
+                first = Some(r.clone());
+            }
+        });
+        assert_eq!(first.unwrap().fetch_tag, Tag::atom(2));
+    }
+
+    #[test]
+    fn disassemble_handles_compressed_and_data() {
+        let mut cfg = SocConfig::default();
+        cfg.sensor_thread = false;
+        let soc = Soc::<Tainted>::new(cfg);
+        // c.li a0, 5 at 0; garbage word at 4.
+        soc.ram().borrow_mut().load_image(0, &0x4515u16.to_le_bytes());
+        soc.ram().borrow_mut().load_image(4, &0xFFFF_FFFFu32.to_le_bytes());
+        assert!(soc.disassemble_at(0).0.starts_with("(c) addi a0"));
+        assert!(soc.disassemble_at(4).0.starts_with(".half 0xffff") || soc.disassemble_at(4).0.starts_with(".word"));
+        assert!(soc.disassemble_at(0xFFFF_FFF0).0.contains("outside RAM"));
+    }
+}

@@ -1,0 +1,19 @@
+//! # vpdift-tlm — transaction-level modeling with tagged payloads
+//!
+//! A minimal TLM-2.0-style transport layer for the virtual prototype:
+//! [`GenericPayload`] carries a *tagged* data lane (`Taint<u8>` per byte),
+//! so security classes flow through the interconnect exactly like the
+//! paper's `Taint<uint8_t>` arrays embedded in `tlm_generic_payload`, and
+//! [`Router`] dispatches transactions to [`TlmTarget`]s by address range
+//! with target-local address rewriting.
+//!
+//! See the crate-level docs of [`vpdift_core`] for the taint model.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod payload;
+mod router;
+
+pub use payload::{GenericPayload, TlmCommand, TlmResponse};
+pub use router::{MapError, Router, SharedTarget, TlmTarget};

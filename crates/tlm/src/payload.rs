@@ -1,0 +1,250 @@
+//! The generic payload — our rendition of the TLM-2.0 `tlm_generic_payload`.
+//!
+//! The paper transports `Taint<uint8_t>` arrays through standard TLM
+//! payloads by casting the `char*` data pointer (Fig. 4, line 34). Rust has
+//! no blessed equivalent of that cast, so the payload's data lane *is* a
+//! slice of [`Taint<u8>`]: every byte travels with its security tag through
+//! the interconnect, which is exactly the property the paper needs for
+//! fine-grained HW/SW flow tracking.
+
+use core::fmt;
+
+use vpdift_core::{Tag, Taint, TaintWord, Violation};
+
+/// Transaction command, mirroring `tlm::tlm_command`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum TlmCommand {
+    /// Read from the target into the payload data lane.
+    Read,
+    /// Write the payload data lane into the target.
+    Write,
+    /// No data transfer (used for probes/debug).
+    #[default]
+    Ignore,
+}
+
+/// Transaction completion status, mirroring `tlm::tlm_response_status`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum TlmResponse {
+    /// Not yet processed by any target.
+    #[default]
+    Incomplete,
+    /// Completed successfully.
+    Ok,
+    /// No target claims the address.
+    AddressError,
+    /// Target rejected the command (e.g. write to a read-only register).
+    CommandError,
+    /// Target rejected the access size or alignment.
+    BurstError,
+    /// Any other target-side failure.
+    GenericError,
+}
+
+/// A bus transaction: command, address, and a tagged data lane.
+///
+/// ```
+/// use vpdift_tlm::{GenericPayload, TlmCommand, TlmResponse};
+/// use vpdift_core::{Tag, Taint};
+///
+/// let mut p = GenericPayload::write(0x1000_0000,
+///     &[Taint::new(b'A', Tag::atom(1))]);
+/// assert_eq!(p.command(), TlmCommand::Write);
+/// assert_eq!(p.address(), 0x1000_0000);
+/// assert_eq!(p.data()[0].value(), b'A');
+/// p.set_response(TlmResponse::Ok);
+/// assert!(p.is_ok());
+/// ```
+#[derive(Clone, Debug)]
+pub struct GenericPayload {
+    command: TlmCommand,
+    address: u32,
+    data: Vec<Taint<u8>>,
+    response: TlmResponse,
+    violation: Option<Box<Violation>>,
+}
+
+impl GenericPayload {
+    /// Creates a read transaction for `len` bytes at `address`.
+    pub fn read(address: u32, len: usize) -> Self {
+        GenericPayload {
+            command: TlmCommand::Read,
+            address,
+            data: vec![Taint::untainted(0); len],
+            response: TlmResponse::Incomplete,
+            violation: None,
+        }
+    }
+
+    /// Creates a write transaction carrying `data`.
+    pub fn write(address: u32, data: &[Taint<u8>]) -> Self {
+        GenericPayload {
+            command: TlmCommand::Write,
+            address,
+            data: data.to_vec(),
+            response: TlmResponse::Incomplete,
+            violation: None,
+        }
+    }
+
+    /// Creates a write transaction from a whole tainted word (little
+    /// endian), the common CPU store path.
+    pub fn write_word<T: TaintWord>(address: u32, word: Taint<T>) -> Self {
+        let mut data = vec![Taint::untainted(0u8); T::SIZE];
+        word.to_bytes(&mut data);
+        GenericPayload {
+            command: TlmCommand::Write,
+            address,
+            data,
+            response: TlmResponse::Incomplete,
+            violation: None,
+        }
+    }
+
+    /// The command.
+    pub fn command(&self) -> TlmCommand {
+        self.command
+    }
+
+    /// The (router-relative) address. Routers rewrite this to the target's
+    /// local offset while routing, as TLM interconnects commonly do.
+    pub fn address(&self) -> u32 {
+        self.address
+    }
+
+    /// Rewrites the address (router use).
+    pub fn set_address(&mut self, address: u32) {
+        self.address = address;
+    }
+
+    /// Transfer size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` for zero-length transfers.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The tagged data lane.
+    pub fn data(&self) -> &[Taint<u8>] {
+        &self.data
+    }
+
+    /// Mutable access to the tagged data lane (targets fill reads here).
+    pub fn data_mut(&mut self) -> &mut [Taint<u8>] {
+        &mut self.data
+    }
+
+    /// Reassembles the data lane into a tainted word (little endian),
+    /// LUB-ing the byte tags — the common CPU load path.
+    ///
+    /// # Panics
+    /// Panics if the data length does not equal the word size.
+    pub fn data_word<T: TaintWord>(&self) -> Taint<T> {
+        Taint::from_bytes(&self.data)
+    }
+
+    /// LUB of all byte tags in the data lane.
+    pub fn data_tag(&self) -> Tag {
+        self.data.iter().fold(Tag::EMPTY, |acc, b| acc.lub(b.tag()))
+    }
+
+    /// Raw (untagged) copy of the data values.
+    pub fn data_values(&self) -> Vec<u8> {
+        self.data.iter().map(|b| b.value()).collect()
+    }
+
+    /// Completion status.
+    pub fn response(&self) -> TlmResponse {
+        self.response
+    }
+
+    /// Sets the completion status (target use).
+    pub fn set_response(&mut self, response: TlmResponse) {
+        self.response = response;
+    }
+
+    /// `true` iff the response is [`TlmResponse::Ok`].
+    pub fn is_ok(&self) -> bool {
+        self.response == TlmResponse::Ok
+    }
+
+    /// Attaches an (enforced) DIFT violation to the transaction; the
+    /// initiator side turns this into a security trap/stop. Also sets the
+    /// response to [`TlmResponse::GenericError`].
+    pub fn set_violation(&mut self, violation: Violation) {
+        self.violation = Some(Box::new(violation));
+        self.response = TlmResponse::GenericError;
+    }
+
+    /// Takes an attached violation, if any.
+    pub fn take_violation(&mut self) -> Option<Violation> {
+        self.violation.take().map(|b| *b)
+    }
+}
+
+impl fmt::Display for GenericPayload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} @{:#010x} len={} [{:?}]",
+            self.command,
+            self.address,
+            self.data.len(),
+            self.response
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_payload_starts_blank() {
+        let p = GenericPayload::read(0x40, 4);
+        assert_eq!(p.command(), TlmCommand::Read);
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        assert_eq!(p.response(), TlmResponse::Incomplete);
+        assert!(!p.is_ok());
+        assert_eq!(p.data_tag(), Tag::EMPTY);
+    }
+
+    #[test]
+    fn write_word_round_trips_tags() {
+        let w = Taint::new(0x1122_3344u32, Tag::atom(3));
+        let p = GenericPayload::write_word(0x80, w);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.data_values(), vec![0x44, 0x33, 0x22, 0x11]);
+        assert_eq!(p.data_tag(), Tag::atom(3));
+        let back: Taint<u32> = p.data_word();
+        assert_eq!(back.value(), 0x1122_3344);
+        assert_eq!(back.tag(), Tag::atom(3));
+    }
+
+    #[test]
+    fn address_rewrite() {
+        let mut p = GenericPayload::read(0x1000_0004, 1);
+        p.set_address(0x4);
+        assert_eq!(p.address(), 0x4);
+    }
+
+    #[test]
+    fn data_mut_fills_reads() {
+        let mut p = GenericPayload::read(0, 2);
+        p.data_mut()[0] = Taint::new(0xAB, Tag::atom(0));
+        p.data_mut()[1] = Taint::new(0xCD, Tag::atom(1));
+        assert_eq!(p.data_values(), vec![0xAB, 0xCD]);
+        assert_eq!(p.data_tag(), Tag::atom(0).lub(Tag::atom(1)));
+    }
+
+    #[test]
+    fn display_format() {
+        let p = GenericPayload::read(0x10, 4);
+        let s = p.to_string();
+        assert!(s.contains("Read") && s.contains("0x00000010") && s.contains("len=4"));
+    }
+}

@@ -1,0 +1,299 @@
+//! Address-based transaction routing — the TLM interconnect.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vpdift_core::AddrRange;
+use vpdift_kernel::SimTime;
+
+use crate::payload::{GenericPayload, TlmResponse};
+
+/// A transaction target (the `simple_target_socket` side).
+///
+/// `transport` is the blocking-transport equivalent: it must process the
+/// payload, fill reads / absorb writes, set a response status, and may add
+/// to `delay` to model access latency (loosely-timed style).
+pub trait TlmTarget {
+    /// Processes one transaction addressed to this target. The payload
+    /// address has already been rewritten to a target-local offset.
+    fn transport(&mut self, payload: &mut GenericPayload, delay: &mut SimTime);
+}
+
+impl<F> TlmTarget for F
+where
+    F: FnMut(&mut GenericPayload, &mut SimTime),
+{
+    fn transport(&mut self, payload: &mut GenericPayload, delay: &mut SimTime) {
+        self(payload, delay)
+    }
+}
+
+/// A shared, interiorly mutable target handle as stored in the router.
+pub type SharedTarget = Rc<RefCell<dyn TlmTarget>>;
+
+struct Mapping {
+    name: String,
+    range: AddrRange,
+    target: SharedTarget,
+}
+
+/// Errors raised while building the memory map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The new range overlaps an existing mapping (named by the `String`).
+    Overlap(String),
+}
+
+impl core::fmt::Display for MapError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MapError::Overlap(name) => write!(f, "address range overlaps mapping `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Routes transactions to targets by address range, rewriting the payload
+/// address to a target-local offset. Implements [`TlmTarget`] itself so
+/// routers can nest.
+///
+/// ```
+/// use vpdift_tlm::{GenericPayload, Router, TlmResponse};
+/// use vpdift_core::{AddrRange, Taint};
+/// use vpdift_kernel::SimTime;
+/// use std::{cell::RefCell, rc::Rc};
+///
+/// let mut router = Router::new("bus");
+/// let reg = Rc::new(RefCell::new(0u8));
+/// let r = reg.clone();
+/// router.map("reg", AddrRange::new(0x1000, 4), Rc::new(RefCell::new(
+///     move |p: &mut GenericPayload, _d: &mut SimTime| {
+///         if p.command() == vpdift_tlm::TlmCommand::Write {
+///             *r.borrow_mut() = p.data()[0].value();
+///         }
+///         p.set_response(TlmResponse::Ok);
+///     })))?;
+/// let mut p = GenericPayload::write(0x1002, &[Taint::untainted(7)]);
+/// router.route(&mut p, &mut SimTime::ZERO);
+/// assert!(p.is_ok());
+/// assert_eq!(*reg.borrow(), 7);
+/// # Ok::<(), vpdift_tlm::MapError>(())
+/// ```
+pub struct Router {
+    name: String,
+    mappings: Vec<Mapping>,
+    transactions: u64,
+}
+
+impl Router {
+    /// Creates an empty router.
+    pub fn new(name: &str) -> Self {
+        Router { name: name.to_owned(), mappings: Vec::new(), transactions: 0 }
+    }
+
+    /// Router name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Maps `range` to `target`.
+    ///
+    /// # Errors
+    /// [`MapError::Overlap`] if the range intersects an existing mapping.
+    pub fn map(
+        &mut self,
+        name: &str,
+        range: AddrRange,
+        target: SharedTarget,
+    ) -> Result<(), MapError> {
+        for m in &self.mappings {
+            let disjoint = range.end <= m.range.start || range.start >= m.range.end;
+            if !disjoint {
+                return Err(MapError::Overlap(m.name.clone()));
+            }
+        }
+        self.mappings.push(Mapping { name: name.to_owned(), range, target });
+        Ok(())
+    }
+
+    /// The mapped ranges, in mapping order, as `(name, range)` pairs.
+    pub fn mappings(&self) -> impl Iterator<Item = (&str, AddrRange)> {
+        self.mappings.iter().map(|m| (m.name.as_str(), m.range))
+    }
+
+    /// Number of transactions routed so far.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Routes one transaction. On unmapped addresses the payload gets
+    /// [`TlmResponse::AddressError`]; transfers straddling a mapping
+    /// boundary get [`TlmResponse::BurstError`].
+    pub fn route(&mut self, payload: &mut GenericPayload, delay: &mut SimTime) {
+        self.transactions += 1;
+        let addr = payload.address();
+        let Some(m) = self.mappings.iter().find(|m| m.range.contains(addr)) else {
+            payload.set_response(TlmResponse::AddressError);
+            return;
+        };
+        let end = addr as u64 + payload.len() as u64;
+        if end > m.range.end as u64 {
+            payload.set_response(TlmResponse::BurstError);
+            return;
+        }
+        let local = addr - m.range.start;
+        payload.set_address(local);
+        m.target.borrow_mut().transport(payload, delay);
+        payload.set_address(addr);
+    }
+
+    /// Looks up which mapping (if any) covers `addr`.
+    pub fn resolve(&self, addr: u32) -> Option<(&str, AddrRange)> {
+        self.mappings
+            .iter()
+            .find(|m| m.range.contains(addr))
+            .map(|m| (m.name.as_str(), m.range))
+    }
+}
+
+impl TlmTarget for Router {
+    fn transport(&mut self, payload: &mut GenericPayload, delay: &mut SimTime) {
+        self.route(payload, delay);
+    }
+}
+
+impl core::fmt::Debug for Router {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let maps: Vec<String> =
+            self.mappings.iter().map(|m| format!("{} {}", m.name, m.range)).collect();
+        f.debug_struct("Router")
+            .field("name", &self.name)
+            .field("mappings", &maps)
+            .field("transactions", &self.transactions)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::TlmCommand;
+    use vpdift_core::{Tag, Taint};
+
+    /// A 16-byte scratch RAM test double.
+    struct Scratch {
+        bytes: [Taint<u8>; 16],
+        latency: SimTime,
+    }
+
+    impl TlmTarget for Scratch {
+        fn transport(&mut self, p: &mut GenericPayload, delay: &mut SimTime) {
+            *delay += self.latency;
+            let base = p.address() as usize;
+            match p.command() {
+                TlmCommand::Read => {
+                    for (i, b) in p.data_mut().iter_mut().enumerate() {
+                        *b = self.bytes[base + i];
+                    }
+                }
+                TlmCommand::Write => {
+                    for (i, b) in p.data().iter().enumerate() {
+                        self.bytes[base + i] = *b;
+                    }
+                }
+                TlmCommand::Ignore => {}
+            }
+            p.set_response(TlmResponse::Ok);
+        }
+    }
+
+    fn scratch() -> Rc<RefCell<Scratch>> {
+        Rc::new(RefCell::new(Scratch {
+            bytes: [Taint::untainted(0); 16],
+            latency: SimTime::from_ns(10),
+        }))
+    }
+
+    #[test]
+    fn routes_by_range_with_local_addressing() {
+        let mut router = Router::new("bus");
+        let ram = scratch();
+        router.map("ram", AddrRange::new(0x100, 16), ram.clone()).unwrap();
+
+        let word = Taint::new(0xCAFEu16, Tag::atom(2));
+        let mut w = GenericPayload::write_word(0x108, word);
+        let mut delay = SimTime::ZERO;
+        router.route(&mut w, &mut delay);
+        assert!(w.is_ok());
+        assert_eq!(w.address(), 0x108, "global address restored after routing");
+        assert_eq!(delay, SimTime::from_ns(10));
+        // The target saw the local offset 8.
+        assert_eq!(ram.borrow().bytes[8].value(), 0xFE);
+        assert_eq!(ram.borrow().bytes[9].value(), 0xCA);
+        assert_eq!(ram.borrow().bytes[8].tag(), Tag::atom(2));
+
+        let mut r = GenericPayload::read(0x108, 2);
+        router.route(&mut r, &mut delay);
+        let back: Taint<u16> = r.data_word();
+        assert_eq!(back.value(), 0xCAFE);
+        assert_eq!(back.tag(), Tag::atom(2));
+    }
+
+    #[test]
+    fn unmapped_address_errors() {
+        let mut router = Router::new("bus");
+        router.map("ram", AddrRange::new(0x100, 16), scratch()).unwrap();
+        let mut p = GenericPayload::read(0x50, 4);
+        router.route(&mut p, &mut SimTime::ZERO.clone());
+        assert_eq!(p.response(), TlmResponse::AddressError);
+    }
+
+    #[test]
+    fn straddling_transfer_is_burst_error() {
+        let mut router = Router::new("bus");
+        router.map("ram", AddrRange::new(0x100, 16), scratch()).unwrap();
+        let mut p = GenericPayload::read(0x10E, 4); // crosses 0x110
+        router.route(&mut p, &mut SimTime::ZERO.clone());
+        assert_eq!(p.response(), TlmResponse::BurstError);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut router = Router::new("bus");
+        router.map("a", AddrRange::new(0x100, 16), scratch()).unwrap();
+        let err = router.map("b", AddrRange::new(0x108, 16), scratch()).unwrap_err();
+        assert_eq!(err, MapError::Overlap("a".into()));
+        // Adjacent is fine.
+        router.map("c", AddrRange::new(0x110, 16), scratch()).unwrap();
+        assert_eq!(router.mappings().count(), 2);
+    }
+
+    #[test]
+    fn nested_routers() {
+        let mut inner = Router::new("periph-bus");
+        let ram = scratch();
+        inner.map("ram", AddrRange::new(0x0, 16), ram.clone()).unwrap();
+        let mut outer = Router::new("sys-bus");
+        outer
+            .map("periph", AddrRange::new(0x1000, 16), Rc::new(RefCell::new(inner)))
+            .unwrap();
+
+        let mut p = GenericPayload::write(0x1004, &[Taint::untainted(9)]);
+        outer.route(&mut p, &mut SimTime::ZERO.clone());
+        assert!(p.is_ok());
+        assert_eq!(ram.borrow().bytes[4].value(), 9);
+    }
+
+    #[test]
+    fn resolve_and_stats() {
+        let mut router = Router::new("bus");
+        router.map("ram", AddrRange::new(0x100, 16), scratch()).unwrap();
+        assert_eq!(router.resolve(0x105).map(|(n, _)| n), Some("ram"));
+        assert!(router.resolve(0x90).is_none());
+        let mut p = GenericPayload::read(0x100, 1);
+        router.route(&mut p, &mut SimTime::ZERO.clone());
+        assert_eq!(router.transactions(), 1);
+        assert_eq!(router.name(), "bus");
+    }
+}

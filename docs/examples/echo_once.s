@@ -1,0 +1,6 @@
+# Echo a single console byte to the UART.
+        li   t0, 0x10010000     # terminal
+        lw   t1, 0(t0)          # RXDATA
+        li   t2, 0x10000000     # UART
+        sw   t1, 0(t2)
+        ebreak

@@ -1,0 +1,6 @@
+# A tiny program that reads a classified key byte and prints it.
+        li   t0, 0x2000         # the (classified) key
+        lbu  t1, 0(t0)
+        li   t2, 0x10000000     # UART
+        sw   t1, 0(t2)
+        ebreak

@@ -1,0 +1,22 @@
+//! Code-injection protection: run one Wilander-Kamkar attack (stack
+//! buffer overflow over the return address) with a malicious and a benign
+//! input, and print the whole Table I.
+//!
+//! Run with: `cargo run --release --example code_injection`
+
+use taintvp::attacks::{all_attacks, render_table1, run_attack, table1, Outcome};
+
+fn main() {
+    let attacks = all_attacks();
+    let atk3 = &attacks[2]; // #3: stack / return address / direct
+    println!("attack under test: {atk3:?}");
+    println!("  malicious input: {:?}", run_attack(atk3, false));
+    println!("  benign input:    {:?} (Undetected = ran clean)", run_attack(atk3, true));
+    println!();
+
+    println!("full Table I:");
+    let rows = table1();
+    print!("{}", render_table1(&rows));
+    let detected = rows.iter().filter(|r| r.outcome == Outcome::Detected).count();
+    println!("\n{detected}/10 applicable attacks detected.");
+}

@@ -1,0 +1,32 @@
+//! The car-engine immobilizer case study in one sitting: run the
+//! challenge-response protocol under the IFP-3 policy, demonstrate the
+//! debug-dump leak in the vulnerable firmware, and show the entropy
+//! attack that only the per-byte policy catches.
+//!
+//! Run with: `cargo run --example immobilizer`
+
+use taintvp::immo::scenarios::{run_scenario, Scenario};
+use taintvp::immo::{run_session, PolicyKind, Variant};
+use taintvp::rv32::Tainted;
+use taintvp::soc::SocExit;
+
+fn main() {
+    println!("--- authentication protocol (fixed firmware, coarse policy) ---");
+    let out = run_session::<Tainted>(Variant::Fixed, PolicyKind::Coarse, 2, b"q");
+    println!("exit: {:?}; authentications: {}\n", out.exit, out.authentications);
+
+    println!("--- debug dump on the vulnerable firmware ---");
+    let out = run_session::<Tainted>(Variant::Vulnerable, PolicyKind::Coarse, 0, b"dq");
+    if let SocExit::Violation(v) = &out.exit {
+        println!("detected: {v}\n");
+    }
+
+    println!("--- entropy-reduction attack ---");
+    let coarse = run_scenario(Scenario::EntropyReduction, false);
+    let per_byte = run_scenario(Scenario::EntropyReduction, true);
+    println!("coarse policy detected:   {}", coarse.detected);
+    println!("per-byte policy detected: {}", per_byte.detected);
+    if let Some(v) = per_byte.violation {
+        println!("per-byte violation: {v}");
+    }
+}

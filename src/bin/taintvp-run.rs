@@ -1,0 +1,255 @@
+//! `taintvp-run` — run an assembly program on the virtual prototype from
+//! the command line.
+//!
+//! ```text
+//! taintvp-run <program.s> [options]
+//!
+//!   --policy <file>     textual security policy (see vpdift_core::textpolicy)
+//!   --plain             run on the original VP (no taint tracking)
+//!   --record            log violations instead of stopping at the first
+//!   --input <string>    bytes fed to the terminal (supports \n, \xNN)
+//!   --max-insns <n>     instruction budget (default 100M)
+//!   --trace <n>         print the first n executed instructions
+//!   --dump-uart-hex     print UART output as hex instead of text
+//! ```
+//!
+//! Exit status: 0 = guest reached `ebreak` cleanly, 2 = DIFT violation,
+//! 3 = other abnormal exit, 1 = usage/tooling error.
+
+use std::process::ExitCode;
+
+use taintvp::asm::{parse_asm, Insn};
+use taintvp::core::{parse_policy, AtomTable, EnforceMode, SecurityPolicy};
+use taintvp::rv32::{Plain, Tainted};
+use taintvp::soc::{Soc, SocConfig, SocExit};
+
+struct Options {
+    program: String,
+    policy: Option<String>,
+    plain: bool,
+    record: bool,
+    input: Vec<u8>,
+    max_insns: u64,
+    trace: u64,
+    uart_hex: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: taintvp-run <program.s> [--policy file] [--plain] [--record] \
+         [--input str] [--max-insns n] [--trace n] [--dump-uart-hex]"
+    );
+    ExitCode::from(1)
+}
+
+fn unescape(s: &str) -> Result<Vec<u8>, String> {
+    let mut out = Vec::new();
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'\\' && i + 1 < bytes.len() {
+            match bytes[i + 1] {
+                b'n' => {
+                    out.push(b'\n');
+                    i += 2;
+                }
+                b't' => {
+                    out.push(b'\t');
+                    i += 2;
+                }
+                b'0' => {
+                    out.push(0);
+                    i += 2;
+                }
+                b'\\' => {
+                    out.push(b'\\');
+                    i += 2;
+                }
+                b'x' => {
+                    let hex = s
+                        .get(i + 2..i + 4)
+                        .ok_or_else(|| "truncated \\x escape".to_owned())?;
+                    let v = u8::from_str_radix(hex, 16)
+                        .map_err(|_| format!("bad \\x escape `{hex}`"))?;
+                    out.push(v);
+                    i += 4;
+                }
+                other => return Err(format!("unknown escape `\\{}`", other as char)),
+            }
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        program: String::new(),
+        policy: None,
+        plain: false,
+        record: false,
+        input: Vec::new(),
+        max_insns: 100_000_000,
+        trace: 0,
+        uart_hex: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--policy" => opts.policy = Some(args.next().ok_or("--policy needs a file")?),
+            "--plain" => opts.plain = true,
+            "--record" => opts.record = true,
+            "--input" => {
+                let s = args.next().ok_or("--input needs a string")?;
+                opts.input = unescape(&s)?;
+            }
+            "--max-insns" => {
+                opts.max_insns = args
+                    .next()
+                    .ok_or("--max-insns needs a number")?
+                    .parse()
+                    .map_err(|_| "bad --max-insns value".to_owned())?;
+            }
+            "--trace" => {
+                opts.trace = args
+                    .next()
+                    .ok_or("--trace needs a count")?
+                    .parse()
+                    .map_err(|_| "bad --trace value".to_owned())?;
+            }
+            "--dump-uart-hex" => opts.uart_hex = true,
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            other if opts.program.is_empty() => opts.program = other.to_owned(),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if opts.program.is_empty() {
+        return Err("missing program file".into());
+    }
+    Ok(opts)
+}
+
+fn describe_exit(exit: &SocExit, atoms: &AtomTable) -> (&'static str, u8) {
+    match exit {
+        SocExit::Break => ("clean exit (ebreak)", 0),
+        SocExit::Violation(v) => {
+            eprintln!(
+                "DIFT violation: {} — data tag [{}], required clearance [{}]{}",
+                v.kind,
+                atoms.describe(v.tag),
+                atoms.describe(v.required),
+                v.pc.map(|pc| format!(", pc={pc:#010x}")).unwrap_or_default()
+            );
+            ("stopped by the DIFT engine", 2)
+        }
+        SocExit::InstrLimit => ("instruction budget exhausted", 3),
+        SocExit::Idle => ("deadlocked in wfi", 3),
+    }
+}
+
+fn run<M: taintvp::rv32::TaintMode>(
+    opts: &Options,
+    policy: SecurityPolicy,
+    atoms: &AtomTable,
+    program: &taintvp::asm::Program,
+) -> ExitCode {
+    let mut cfg = SocConfig::with_policy(policy);
+    if opts.record {
+        cfg.enforce = EnforceMode::Record;
+    }
+    let mut soc = Soc::<M>::new(cfg);
+    soc.load_program(program);
+    soc.terminal().borrow_mut().feed(&opts.input);
+
+    // Optional instruction trace (single-stepped prefix).
+    let mut remaining = opts.max_insns;
+    for _ in 0..opts.trace.min(remaining) {
+        let pc = soc.cpu().pc();
+        let word = soc.ram().borrow().load(pc, 4).0;
+        let text = Insn::decode(word)
+            .map(|i| i.to_string())
+            .unwrap_or_else(|_| format!(".word {word:#010x}"));
+        let exit = soc.run(1);
+        eprintln!("[{:>8}] {pc:#010x}: {text}", soc.instret());
+        remaining = remaining.saturating_sub(1);
+        if !matches!(exit, SocExit::InstrLimit) {
+            return finish(&exit, soc, opts, atoms);
+        }
+    }
+    let exit = soc.run(remaining);
+    finish(&exit, soc, opts, atoms)
+}
+
+fn finish<M: taintvp::rv32::TaintMode>(
+    exit: &SocExit,
+    soc: Soc<M>,
+    opts: &Options,
+    atoms: &AtomTable,
+) -> ExitCode {
+    let uart = soc.uart().borrow().output().to_vec();
+    if opts.uart_hex {
+        let hex: Vec<String> = uart.iter().map(|b| format!("{b:02x}")).collect();
+        println!("uart[{}]: {}", uart.len(), hex.join(" "));
+    } else {
+        print!("{}", String::from_utf8_lossy(&uart));
+    }
+    let engine = soc.engine().borrow();
+    for v in engine.violations() {
+        eprintln!("recorded violation: {v}");
+    }
+    let (what, code) = describe_exit(exit, atoms);
+    eprintln!(
+        "== {what}: {} instructions, {} simulated, {} violations recorded",
+        soc.instret(),
+        soc.now(),
+        engine.violations().len()
+    );
+    ExitCode::from(code)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let source = match std::fs::read_to_string(&opts.program) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.program);
+            return ExitCode::from(1);
+        }
+    };
+    let program = match parse_asm(&source, 0) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {}: {e}", opts.program);
+            return ExitCode::from(1);
+        }
+    };
+    let (policy, atoms) = match &opts.policy {
+        None => (SecurityPolicy::permissive(), AtomTable::default()),
+        Some(path) => match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::from(1);
+            }
+            Ok(text) => match parse_policy(&text) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return ExitCode::from(1);
+                }
+            },
+        },
+    };
+    if opts.plain {
+        run::<Plain>(&opts, policy, &atoms, &program)
+    } else {
+        run::<Tainted>(&opts, policy, &atoms, &program)
+    }
+}

@@ -1,0 +1,29 @@
+//! # taintvp
+//!
+//! Umbrella crate for the `taintvp` workspace — a Rust reproduction of
+//! *"Dynamic Information Flow Tracking for Embedded Binaries using
+//! SystemC-based Virtual Prototypes"* (DAC 2020).
+//!
+//! Re-exports every subsystem crate under a stable module name. See the
+//! workspace `README.md` for architecture and `DESIGN.md` for the system
+//! inventory and experiment index.
+//!
+//! ```
+//! use taintvp::core::{Taint, Tag};
+//! let a = Taint::new(40u32, Tag::from_bits(0b01));
+//! let b = Taint::new(2u32, Tag::from_bits(0b10));
+//! let c = a + b;
+//! assert_eq!(c.value(), 42);
+//! assert_eq!(c.tag(), Tag::from_bits(0b11)); // LUB of both operand tags
+//! ```
+
+pub use vpdift_asm as asm;
+pub use vpdift_attacks as attacks;
+pub use vpdift_core as core;
+pub use vpdift_firmware as firmware;
+pub use vpdift_immo as immo;
+pub use vpdift_kernel as kernel;
+pub use vpdift_periph as periph;
+pub use vpdift_rv32 as rv32;
+pub use vpdift_soc as soc;
+pub use vpdift_tlm as tlm;

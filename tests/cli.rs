@@ -1,0 +1,74 @@
+//! End-to-end tests of the `taintvp-run` CLI binary.
+
+use std::process::Command;
+
+fn run_cli(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_taintvp-run"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("CLI binary runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn enforced_leak_exits_2_with_diagnostics() {
+    let (code, _stdout, stderr) =
+        run_cli(&["docs/examples/leak.s", "--policy", "docs/examples/leak.policy"]);
+    assert_eq!(code, 2, "violation exit code");
+    assert!(stderr.contains("DIFT violation"));
+    assert!(stderr.contains("[secret]"), "atom names resolved: {stderr}");
+    assert!(stderr.contains("[public]"));
+}
+
+#[test]
+fn plain_mode_runs_clean() {
+    let (code, stdout, stderr) =
+        run_cli(&["docs/examples/leak.s", "--plain", "--dump-uart-hex"]);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(stdout.contains("uart[1]"));
+    assert!(stderr.contains("clean exit"));
+}
+
+#[test]
+fn record_mode_logs_and_traces() {
+    let (code, _stdout, stderr) = run_cli(&[
+        "docs/examples/leak.s",
+        "--policy",
+        "docs/examples/leak.policy",
+        "--record",
+        "--trace",
+        "2",
+    ]);
+    assert_eq!(code, 0, "record mode completes");
+    assert!(stderr.contains("recorded violation"));
+    assert!(stderr.contains("0x00000000: lui"), "trace lines present: {stderr}");
+}
+
+#[test]
+fn usage_errors_exit_1() {
+    let (code, _, stderr) = run_cli(&[]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("usage"));
+
+    let (code, _, stderr) = run_cli(&["/nonexistent.s"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("cannot read"));
+
+    let (code, _, stderr) = run_cli(&["docs/examples/leak.s", "--bogus"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("unknown option"));
+}
+
+#[test]
+fn input_escapes_reach_the_terminal() {
+    // docs/examples/echo_once.s echoes one console byte; feed it \x41.
+    let (code, stdout, _) =
+        run_cli(&["docs/examples/echo_once.s", "--plain", "--input", "\\x41"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains('A'));
+}
