@@ -121,11 +121,8 @@ impl Program {
     /// as `.word`).
     pub fn disassemble(&self) -> String {
         let mut out = String::new();
-        let by_addr: HashMap<u32, &str> = self
-            .symbols
-            .iter()
-            .map(|(n, &a)| (a, n.as_str()))
-            .collect();
+        let by_addr: HashMap<u32, &str> =
+            self.symbols.iter().map(|(n, &a)| (a, n.as_str())).collect();
         for (i, chunk) in self.image.chunks(4).enumerate() {
             let addr = self.base + (i * 4) as u32;
             if let Some(label) = by_addr.get(&addr) {
@@ -212,7 +209,10 @@ impl Asm {
     /// Panics if the emission point is not 4-byte aligned (use
     /// [`Asm::align`] after data).
     pub fn emit(&mut self, insn: Insn) -> &mut Self {
-        assert!(self.image.len().is_multiple_of(4), "instructions must be 4-byte aligned; call align(4)");
+        assert!(
+            self.image.len().is_multiple_of(4),
+            "instructions must be 4-byte aligned; call align(4)"
+        );
         let word = insn.encode();
         self.image.extend_from_slice(&word.to_le_bytes());
         self.insn_count += 1;
@@ -315,14 +315,17 @@ impl Asm {
                     let Ok(Insn::Branch { cond, rs1, rs2, .. }) = Insn::decode(word) else {
                         unreachable!("branch fixup site holds a branch");
                     };
-                    let patched =
-                        Insn::Branch { cond, rs1, rs2, offset: distance as i32 }.encode();
+                    let patched = Insn::Branch { cond, rs1, rs2, offset: distance as i32 }.encode();
                     self.write_word(fx.offset, patched);
                 }
                 FixupKind::Jal => {
                     let distance = target as i64 - site as i64;
                     if !(-(1 << 20)..(1 << 20)).contains(&distance) {
-                        return Err(AsmError::OutOfRange { label: fx.label, distance, kind: "jal" });
+                        return Err(AsmError::OutOfRange {
+                            label: fx.label,
+                            distance,
+                            kind: "jal",
+                        });
                     }
                     let word = self.read_word(fx.offset);
                     let Ok(Insn::Jal { rd, .. }) = Insn::decode(word) else {
@@ -655,11 +658,8 @@ mod tests {
         a.label("end");
         a.ebreak(); // 0x114
         let p = a.assemble().unwrap();
-        let words: Vec<u32> = p
-            .image()
-            .chunks(4)
-            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect();
+        let words: Vec<u32> =
+            p.image().chunks(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
         assert_eq!(
             Insn::decode(words[2]).unwrap(),
             Insn::Branch { cond: BranchCond::Ne, rs1: Reg::T0, rs2: Reg::Zero, offset: -4 }
@@ -690,11 +690,8 @@ mod tests {
         a.word(0xDEAD_BEEF);
         let p = a.assemble().unwrap();
         assert_eq!(p.symbol("data"), Some(0x200C));
-        let words: Vec<u32> = p
-            .image()
-            .chunks(4)
-            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect();
+        let words: Vec<u32> =
+            p.image().chunks(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
         let Insn::Lui { imm20, .. } = Insn::decode(words[0]).unwrap() else { panic!() };
         let Insn::AluImm { imm, .. } = Insn::decode(words[1]).unwrap() else { panic!() };
         assert_eq!(((imm20 << 12) as i32).wrapping_add(imm) as u32, 0x200C);
@@ -756,10 +753,7 @@ mod tests {
         a.align(4);
         assert_eq!(a.here() % 4, 0);
         let p = a.assemble().unwrap();
-        assert_eq!(
-            p.image()[..13],
-            [1, 2, 3, 4, 5, 6, 7, b'a', b'b', b'c', 0, 0, 0]
-        );
+        assert_eq!(p.image()[..13], [1, 2, 3, 4, 5, 6, 7, b'a', b'b', b'c', 0, 0, 0]);
     }
 
     #[test]

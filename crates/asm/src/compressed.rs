@@ -57,7 +57,9 @@ pub fn decompress(parcel: u16) -> Result<Insn, DecodeError> {
         }
         (0b00, 0b010) => {
             // C.LW: lw rd', offset(rs1')
-            let imm = (bit(parcel, 6) << 2) | ((((parcel >> 10) & 0x7) as u32) << 3) | (bit(parcel, 5) << 6);
+            let imm = (bit(parcel, 6) << 2)
+                | ((((parcel >> 10) & 0x7) as u32) << 3)
+                | (bit(parcel, 5) << 6);
             Ok(Insn::Load {
                 width: LoadWidth::W,
                 rd: c_reg(parcel >> 2),
@@ -67,7 +69,9 @@ pub fn decompress(parcel: u16) -> Result<Insn, DecodeError> {
         }
         (0b00, 0b110) => {
             // C.SW: sw rs2', offset(rs1')
-            let imm = (bit(parcel, 6) << 2) | ((((parcel >> 10) & 0x7) as u32) << 3) | (bit(parcel, 5) << 6);
+            let imm = (bit(parcel, 6) << 2)
+                | ((((parcel >> 10) & 0x7) as u32) << 3)
+                | (bit(parcel, 5) << 6);
             Ok(Insn::Store {
                 width: StoreWidth::W,
                 rs2: c_reg(parcel >> 2),
@@ -180,8 +184,9 @@ pub fn decompress(parcel: u16) -> Result<Insn, DecodeError> {
             if rd == Reg::Zero {
                 return ill;
             }
-            let imm =
-                ((((parcel >> 4) & 0x7) as u32) << 2) | (bit(parcel, 12) << 5) | ((((parcel >> 2) & 0x3) as u32) << 6);
+            let imm = ((((parcel >> 4) & 0x7) as u32) << 2)
+                | (bit(parcel, 12) << 5)
+                | ((((parcel >> 2) & 0x3) as u32) << 6);
             Ok(Insn::Load { width: LoadWidth::W, rd, rs1: Reg::Sp, offset: imm as i32 })
         }
         (0b10, 0b100) => {
@@ -397,7 +402,7 @@ mod tests {
         assert!(is_compressed(0x0001));
         assert!(is_compressed(0x8502));
         assert!(!is_compressed(0x0003)); // 32-bit parcels end in 0b11
-        assert!(!is_compressed(0xFFFF & 0x0073 | 3));
+        assert!(!is_compressed(0x0073 | 3));
     }
 
     #[test]

@@ -36,8 +36,6 @@ mod reg;
 
 pub use builder::{split_hi_lo, Asm, AsmError, Program};
 pub use compressed::{decompress, is_compressed};
+pub use insn::{AluOp, BranchCond, CsrOp, CsrSrc, DecodeError, Insn, LoadWidth, MulOp, StoreWidth};
 pub use parse::{parse_asm, ParseError};
-pub use insn::{
-    AluOp, BranchCond, CsrOp, CsrSrc, DecodeError, Insn, LoadWidth, MulOp, StoreWidth,
-};
 pub use reg::Reg;

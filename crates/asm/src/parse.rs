@@ -91,7 +91,8 @@ fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseError> {
     let t = tok.trim();
     // Character literal.
     if let Some(rest) = t.strip_prefix('\'') {
-        let inner = rest.strip_suffix('\'').ok_or_else(|| err(line, "unterminated char literal"))?;
+        let inner =
+            rest.strip_suffix('\'').ok_or_else(|| err(line, "unterminated char literal"))?;
         let c = match inner {
             "\\n" => b'\n',
             "\\t" => b'\t',
@@ -150,9 +151,9 @@ fn parse_csr(tok: &str, line: usize) -> Result<u16, ParseError> {
 /// `offset(reg)` operands.
 fn parse_mem(tok: &str, line: usize) -> Result<(i32, Reg), ParseError> {
     let t = tok.trim();
-    let open = t.find('(').ok_or_else(|| err(line, format!("expected `offset(reg)`, got `{t}`")))?;
-    let close =
-        t.rfind(')').ok_or_else(|| err(line, format!("missing `)` in `{t}`")))?;
+    let open =
+        t.find('(').ok_or_else(|| err(line, format!("expected `offset(reg)`, got `{t}`")))?;
+    let close = t.rfind(')').ok_or_else(|| err(line, format!("missing `)` in `{t}`")))?;
     let off_str = &t[..open];
     let off = if off_str.trim().is_empty() { 0 } else { parse_imm(off_str, line)? };
     let reg = parse_reg(&t[open + 1..close], line)?;
@@ -621,11 +622,9 @@ mod tests {
 
     #[test]
     fn matches_builder_output() {
-        let text = parse_asm(
-            "start:\n  lw a0, 8(sp)\n  sw a0, -4(sp)\n  jalr ra, 0(t0)\n  ret\n",
-            0x100,
-        )
-        .unwrap();
+        let text =
+            parse_asm("start:\n  lw a0, 8(sp)\n  sw a0, -4(sp)\n  jalr ra, 0(t0)\n  ret\n", 0x100)
+                .unwrap();
         let mut b = Asm::new(0x100);
         b.label("start");
         b.lw(Reg::A0, 8, Reg::Sp);
@@ -637,8 +636,7 @@ mod tests {
 
     #[test]
     fn immediates_in_all_bases() {
-        let p = parse_asm("li a0, 0x10\nli a1, 0b101\nli a2, -7\nli a3, 'A'\nebreak\n", 0)
-            .unwrap();
+        let p = parse_asm("li a0, 0x10\nli a1, 0b101\nli a2, -7\nli a3, 'A'\nebreak\n", 0).unwrap();
         let ws = words(&p);
         // Each li is lui+addi; check the addi immediates.
         let addi_imm = |i: usize| match Insn::decode(ws[i]).unwrap() {
@@ -693,7 +691,10 @@ mod tests {
     #[test]
     fn errors_carry_line_numbers() {
         let e = parse_asm("nop\nbogus t0, t1\n", 0).unwrap_err();
-        assert_eq!(e, ParseError::Syntax { line: 2, message: "unknown mnemonic or directive `bogus`".into() });
+        assert_eq!(
+            e,
+            ParseError::Syntax { line: 2, message: "unknown mnemonic or directive `bogus`".into() }
+        );
         let e = parse_asm("addi t0, t9, 1\n", 0).unwrap_err();
         assert!(matches!(e, ParseError::Syntax { line: 1, .. }));
         let e = parse_asm("addi t0, t1, 5000\n", 0).unwrap_err();

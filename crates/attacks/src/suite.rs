@@ -121,13 +121,17 @@ pub struct Attack {
     pub na_reason: Option<&'static str>,
 }
 
+/// Builds attacker console bytes from the assembled program (the payload
+/// typically embeds program-dependent addresses).
+pub type InputBuilder = Box<dyn Fn(&Program) -> Vec<u8>>;
+
 /// An applicable attack: program plus malicious/benign input builders.
 pub struct AttackForm {
     /// The vulnerable guest program.
     pub program: Program,
     /// Builds the attacker's console bytes (needs the program for the
     /// payload address).
-    pub malicious_input: Box<dyn Fn(&Program) -> Vec<u8>>,
+    pub malicious_input: InputBuilder,
     /// A benign input exercising the same code path without overflow.
     pub benign_input: Vec<u8>,
 }
@@ -389,7 +393,7 @@ pub fn all_attacks() -> Vec<Attack> {
               technique,
               trigger,
               static_buffer: bool,
-              malicious: Box<dyn Fn(&Program) -> Vec<u8>>,
+              malicious: InputBuilder,
               benign: Vec<u8>| {
         Attack {
             id,

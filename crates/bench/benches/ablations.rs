@@ -36,14 +36,10 @@ fn bench_policy_granularity(c: &mut Criterion) {
     let mut g = c.benchmark_group("immo_policy_granularity");
     g.sample_size(10);
     g.bench_function("coarse", |b| {
-        b.iter(|| {
-            protocol::run_session::<Tainted>(Variant::Fixed, PolicyKind::Coarse, 3, b"q")
-        })
+        b.iter(|| protocol::run_session::<Tainted>(Variant::Fixed, PolicyKind::Coarse, 3, b"q"))
     });
     g.bench_function("per_byte", |b| {
-        b.iter(|| {
-            protocol::run_session::<Tainted>(Variant::Fixed, PolicyKind::PerByte, 3, b"q")
-        })
+        b.iter(|| protocol::run_session::<Tainted>(Variant::Fixed, PolicyKind::PerByte, 3, b"q"))
     });
     g.finish();
 }
@@ -61,10 +57,7 @@ fn bench_dma(c: &mut Criterion) {
                 use vpdift_tlm::TlmTarget;
                 let mut d = vpdift_kernel::SimTime::ZERO;
                 for (reg, v) in [(0x0, 0u32), (0x4, 0x4000), (0x8, 4096), (0xC, 1)] {
-                    let mut p = GenericPayload::write_word(
-                        reg,
-                        vpdift_core::Taint::untainted(v),
-                    );
+                    let mut p = GenericPayload::write_word(reg, vpdift_core::Taint::untainted(v));
                     dma.transport(&mut p, &mut d);
                     assert!(p.is_ok());
                 }
@@ -105,8 +98,7 @@ fn bench_taint_density(c: &mut Criterion) {
     for (name, stride) in [("0pct", 0u32), ("50pct", 2), ("100pct", 1)] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                let mut cfg = SocConfig::default();
-                cfg.sensor_thread = false;
+                let cfg = SocConfig { sensor_thread: false, ..Default::default() };
                 let mut soc = Soc::<Tainted>::new(cfg);
                 soc.load_program(&prog);
                 if stride > 0 {

@@ -1,0 +1,94 @@
+//! Observability overhead guard.
+//!
+//! The zero-cost claim of `vpdift-obs`: with the default `NullSink`, the
+//! `Tainted` ISS runs the same machine code as before the observability
+//! layer existed. This bench puts a number on it by comparing three
+//! configurations of the same ~100k-instruction kernel:
+//!
+//! * `null_sink` — `Cpu<Tainted, NullSink>`: every hook is
+//!   `if S::ENABLED { … }` with `ENABLED = false`, i.e. dead code. This
+//!   must match `iss.rs`'s `vp_plus_tainted` within noise (recorded in
+//!   `CHANGES.md`).
+//! * `counting_sink` — a minimal enabled sink that only bumps a counter:
+//!   the price of event *construction and dispatch* alone.
+//! * `recorder` — the full [`vpdift_obs::Recorder`] (metrics + ring, no
+//!   event log): the price users pay for `--metrics`/`--flight-recorder`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use vpdift_asm::{Asm, Reg};
+use vpdift_obs::{ObsEvent, ObsSink, Recorder};
+use vpdift_rv32::{Cpu, FlatMemory, RunExit, Tainted};
+
+/// The same ALU/memory kernel as `iss.rs` (~100k retired instructions).
+fn kernel_program() -> vpdift_asm::Program {
+    use Reg::*;
+    let mut a = Asm::new(0);
+    a.li(T0, 10_000); // outer counter
+    a.li(T1, 0); // accumulator
+    a.li(T2, 0x4000); // scratch pointer
+    a.label("loop");
+    a.add(T1, T1, T0);
+    a.xori(T1, T1, 0x55);
+    a.slli(T3, T1, 3);
+    a.srli(T3, T3, 2);
+    a.sw(T3, 0, T2);
+    a.lw(T4, 0, T2);
+    a.mul(T1, T1, T4);
+    a.addi(T0, T0, -1);
+    a.bnez(T0, "loop");
+    a.ebreak();
+    a.assemble().unwrap()
+}
+
+/// Cheapest possible enabled sink: isolates dispatch cost from recording
+/// cost.
+#[derive(Default)]
+struct CountingSink {
+    events: u64,
+}
+
+impl ObsSink for CountingSink {
+    fn event(&mut self, _event: &ObsEvent) {
+        self.events += 1;
+    }
+}
+
+fn run_kernel<S: ObsSink>(image: &[u8], obs: Rc<RefCell<S>>) -> u64 {
+    let mut mem = FlatMemory::<Tainted>::new(0, 64 * 1024);
+    mem.load_image(0, image);
+    let mut cpu = Cpu::<Tainted, S>::with_obs(obs);
+    assert_eq!(cpu.run(&mut mem, 10_000_000), RunExit::Break);
+    cpu.instret()
+}
+
+fn bench_obs(c: &mut Criterion) {
+    let prog = kernel_program();
+    let image = prog.image().to_vec();
+    let insns = {
+        let mut mem = FlatMemory::<Tainted>::new(0, 64 * 1024);
+        mem.load_image(0, &image);
+        let mut cpu = Cpu::<Tainted>::new();
+        assert_eq!(cpu.run(&mut mem, 10_000_000), RunExit::Break);
+        cpu.instret()
+    };
+
+    let mut g = c.benchmark_group("obs_overhead_tainted");
+    g.throughput(Throughput::Elements(insns));
+    g.sample_size(20);
+    g.bench_function("null_sink", |b| {
+        b.iter(|| run_kernel(&image, Rc::new(RefCell::new(vpdift_obs::NullSink))))
+    });
+    g.bench_function("counting_sink", |b| {
+        b.iter(|| run_kernel(&image, Rc::new(RefCell::new(CountingSink::default()))))
+    });
+    g.bench_function("recorder", |b| {
+        b.iter(|| run_kernel(&image, Rc::new(RefCell::new(Recorder::new(32)))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

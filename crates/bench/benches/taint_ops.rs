@@ -64,7 +64,9 @@ fn bench_lattice(c: &mut Criterion) {
         let mut it = l.classes();
         (it.next().unwrap(), it.last().unwrap())
     };
-    g.bench_function("table_lub", |bench| bench.iter(|| black_box(l.lub(black_box(a), black_box(b)))));
+    g.bench_function("table_lub", |bench| {
+        bench.iter(|| black_box(l.lub(black_box(a), black_box(b))))
+    });
     g.bench_function("table_allowed_flow", |bench| {
         bench.iter(|| black_box(l.allowed_flow(black_box(a), black_box(b))))
     });

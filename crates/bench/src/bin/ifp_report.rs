@@ -23,12 +23,7 @@ fn describe(name: &str, l: &Lattice) {
     for a in l.classes() {
         for b in l.classes() {
             if a < b {
-                println!(
-                    "  LUB({}, {}) = {}",
-                    l.name(a),
-                    l.name(b),
-                    l.name(l.lub(a, b))
-                );
+                println!("  LUB({}, {}) = {}", l.name(a), l.name(b), l.name(l.lub(a, b)));
             }
         }
     }

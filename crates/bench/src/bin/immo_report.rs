@@ -11,10 +11,7 @@ fn main() {
 
     println!("[1] Challenge-response protocol under the coarse IFP-3 policy:");
     let out = run_session::<Tainted>(Variant::Fixed, PolicyKind::Coarse, 3, b"q");
-    println!(
-        "    3 rounds -> {} authentications, exit {:?}\n",
-        out.authentications, out.exit
-    );
+    println!("    3 rounds -> {} authentications, exit {:?}\n", out.authentications, out.exit);
 
     println!("[2] Manually written test-suite finding: UART debug memory dump");
     let out = run_session::<Tainted>(Variant::Vulnerable, PolicyKind::Coarse, 0, b"dq");
@@ -32,21 +29,13 @@ fn main() {
     println!("[3] Attack scenarios vs the coarse policy:");
     for s in Scenario::ALL {
         let r = run_scenario(s, false);
-        println!(
-            "    {:<45} {}",
-            s.name(),
-            if r.detected { "DETECTED" } else { "not detected" }
-        );
+        println!("    {:<45} {}", s.name(), if r.detected { "DETECTED" } else { "not detected" });
     }
     println!();
     println!("[4] The entropy-reduction attack slips through; refined per-byte policy:");
     for s in Scenario::ALL {
         let r = run_scenario(s, true);
-        println!(
-            "    {:<45} {}",
-            s.name(),
-            if r.detected { "DETECTED" } else { "not detected" }
-        );
+        println!("    {:<45} {}", s.name(), if r.detected { "DETECTED" } else { "not detected" });
     }
     println!();
     println!("[5] The brute-force attack the entropy reduction enables (16 x 256 trials):");

@@ -7,15 +7,12 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let extended = args.iter().any(|a| a == "--extended");
-    let scale: u32 =
-        args.iter().find_map(|a| a.parse().ok()).unwrap_or(1);
+    let scale: u32 = args.iter().find_map(|a| a.parse().ok()).unwrap_or(1);
     eprintln!("running Table II at scale {scale} (build with --release for meaningful MIPS)…");
     let mut rows = vpdift_bench::table2(scale);
     if extended {
         rows.extend(
-            vpdift_firmware::extended_workloads(scale)
-                .iter()
-                .map(vpdift_bench::measure_workload),
+            vpdift_firmware::extended_workloads(scale).iter().map(vpdift_bench::measure_workload),
         );
     }
     println!(

@@ -85,11 +85,8 @@ pub fn bench_policy() -> SecurityPolicy {
 /// fails host verification — a benchmark that computes wrong results is
 /// not a benchmark.
 pub fn run_workload<M: TaintMode>(workload: &Workload) -> Measurement {
-    let mut cfg = if M::TRACKING {
-        SocConfig::with_policy(bench_policy())
-    } else {
-        SocConfig::default()
-    };
+    let mut cfg =
+        if M::TRACKING { SocConfig::with_policy(bench_policy()) } else { SocConfig::default() };
     cfg.sensor_thread = workload.needs_sensor;
     let mut soc = Soc::<M>::new(cfg);
     soc.load_program(&workload.program);
@@ -107,13 +104,7 @@ pub fn measure_workload(workload: &Workload) -> Table2Row {
     let vp = run_workload::<Plain>(workload);
     let vp_plus = run_workload::<Tainted>(workload);
     assert_eq!(vp.instret, vp_plus.instret, "{}: modes must retire equally", workload.name);
-    Table2Row {
-        name: workload.name,
-        instret: vp.instret,
-        loc_asm: workload.loc_asm(),
-        vp,
-        vp_plus,
-    }
+    Table2Row { name: workload.name, instret: vp.instret, loc_asm: workload.loc_asm(), vp, vp_plus }
 }
 
 /// Runs the `immo-fixed` benchmark (the seventh Table II row): the fixed
@@ -121,11 +112,8 @@ pub fn measure_workload(workload: &Workload) -> Table2Row {
 /// authentications plus a debug-dump session.
 pub fn run_immo_bench<M: TaintMode>(rounds: u32) -> (Measurement, usize) {
     let fw = firmware::build(Variant::Fixed);
-    let kind = if M::TRACKING {
-        protocol::PolicyKind::Coarse
-    } else {
-        protocol::PolicyKind::Permissive
-    };
+    let kind =
+        if M::TRACKING { protocol::PolicyKind::Coarse } else { protocol::PolicyKind::Permissive };
     let mut cfg = SocConfig::with_policy(protocol::policy_for(kind, &fw));
     cfg.sensor_thread = false;
     let mut soc = Soc::<M>::new(cfg);

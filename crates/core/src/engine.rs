@@ -28,6 +28,31 @@ pub enum EnforceMode {
     Record,
 }
 
+/// Observer notified at the engine's check sites, so an observability
+/// layer can see checks and violations without core depending on it
+/// (`vpdift-obs` provides the standard implementation). The engine calls
+/// observers synchronously while it is itself borrowed — implementations
+/// must not call back into the engine.
+pub trait FlowObserver {
+    /// A clearance check of `kind` was evaluated: `passed` tells whether
+    /// `allowedFlow(tag, required)` held.
+    fn on_check(
+        &mut self,
+        kind: &ViolationKind,
+        tag: Tag,
+        required: Tag,
+        pc: Option<u32>,
+        passed: bool,
+    );
+
+    /// A violation was recorded (covers engine-side check failures *and*
+    /// externally detected ones handed to [`DiftEngine::record`]).
+    fn on_violation(&mut self, violation: &Violation);
+}
+
+/// A flow observer as shared with the engine.
+pub type SharedFlowObserver = Rc<RefCell<dyn FlowObserver>>;
+
 /// Run-time statistics, reported alongside Table II.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -58,6 +83,7 @@ pub struct DiftEngine {
     mode: EnforceMode,
     violations: Vec<Violation>,
     stats: EngineStats,
+    observer: Option<SharedFlowObserver>,
 }
 
 impl fmt::Debug for DiftEngine {
@@ -67,6 +93,7 @@ impl fmt::Debug for DiftEngine {
             .field("mode", &self.mode)
             .field("violations", &self.violations.len())
             .field("stats", &self.stats)
+            .field("observed", &self.observer.is_some())
             .finish()
     }
 }
@@ -79,6 +106,7 @@ impl DiftEngine {
             mode: EnforceMode::Enforce,
             violations: Vec::new(),
             stats: EngineStats::default(),
+            observer: None,
         }
     }
 
@@ -105,6 +133,17 @@ impl DiftEngine {
     /// Switches enforcement mode at run time.
     pub fn set_mode(&mut self, mode: EnforceMode) {
         self.mode = mode;
+    }
+
+    /// Attaches a flow observer; checks and violations from here on are
+    /// reported to it.
+    pub fn set_observer(&mut self, observer: SharedFlowObserver) {
+        self.observer = Some(observer);
+    }
+
+    /// Detaches the flow observer, if any.
+    pub fn clear_observer(&mut self) {
+        self.observer = None;
     }
 
     /// Statistics so far.
@@ -141,7 +180,11 @@ impl DiftEngine {
         pc: Option<u32>,
     ) -> Result<(), Violation> {
         self.stats.checks += 1;
-        if tag.flows_to(required) {
+        let passed = tag.flows_to(required);
+        if let Some(obs) = &self.observer {
+            obs.borrow_mut().on_check(&kind, tag, required, pc, passed);
+        }
+        if passed {
             return Ok(());
         }
         let mut v = Violation::new(kind, tag, required);
@@ -154,12 +197,7 @@ impl DiftEngine {
     ///
     /// # Errors
     /// See [`DiftEngine::check_flow`].
-    pub fn check_output(
-        &mut self,
-        sink: &str,
-        tag: Tag,
-        pc: Option<u32>,
-    ) -> Result<(), Violation> {
+    pub fn check_output(&mut self, sink: &str, tag: Tag, pc: Option<u32>) -> Result<(), Violation> {
         match self.policy.sink_clearance(sink) {
             Some(clearance) => {
                 self.check_flow(ViolationKind::Output { sink: sink.to_owned() }, tag, clearance, pc)
@@ -177,7 +215,12 @@ impl DiftEngine {
         if let Some((rule, clearance)) = self.policy.write_clearance_at(addr) {
             let region = rule.name.clone();
             self.stats.checks += 1;
-            if tag.flows_to(clearance) {
+            let passed = tag.flows_to(clearance);
+            if let Some(obs) = &self.observer {
+                let kind = ViolationKind::Store { region: region.clone() };
+                obs.borrow_mut().on_check(&kind, tag, clearance, pc, passed);
+            }
+            if passed {
                 return Ok(());
             }
             let mut v = Violation::new(ViolationKind::Store { region }, tag, clearance)
@@ -195,6 +238,9 @@ impl DiftEngine {
     /// In [`EnforceMode::Enforce`], echoes the violation back as `Err`.
     pub fn record(&mut self, violation: Violation) -> Result<(), Violation> {
         self.stats.failed += 1;
+        if let Some(obs) = &self.observer {
+            obs.borrow_mut().on_violation(&violation);
+        }
         self.violations.push(violation.clone());
         match self.mode {
             EnforceMode::Enforce => Err(violation),

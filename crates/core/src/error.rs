@@ -106,7 +106,11 @@ impl Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} violated: data tag {} exceeds clearance {}", self.kind, self.tag, self.required)?;
+        write!(
+            f,
+            "{} violated: data tag {} exceeds clearance {}",
+            self.kind, self.tag, self.required
+        )?;
         if let Some(pc) = self.pc {
             write!(f, " at pc={pc:#010x}")?;
         }

@@ -140,8 +140,10 @@ mod tests {
     #[test]
     fn chain_orders_linearly() {
         let l = chain(&["public", "confidential", "secret", "top-secret"]);
-        let ids: Vec<_> =
-            ["public", "confidential", "secret", "top-secret"].iter().map(|n| l.class(n).unwrap()).collect();
+        let ids: Vec<_> = ["public", "confidential", "secret", "top-secret"]
+            .iter()
+            .map(|n| l.class(n).unwrap())
+            .collect();
         for i in 0..ids.len() {
             for j in 0..ids.len() {
                 assert_eq!(l.allowed_flow(ids[i], ids[j]), i <= j);

@@ -204,9 +204,8 @@ impl Lattice {
                 if uppers.is_empty() {
                     return Err(LatticeError::NoUpperBound(names[a].clone(), names[b].clone()));
                 }
-                let least = uppers.iter().copied().find(|&u| {
-                    uppers.iter().all(|&v| leq[u * n + v])
-                });
+                let least =
+                    uppers.iter().copied().find(|&u| uppers.iter().all(|&v| leq[u * n + v]));
                 match least {
                     Some(u) => lub[a * n + b] = ClassId(u),
                     None => {
@@ -219,9 +218,8 @@ impl Lattice {
 
                 let lowers: Vec<usize> =
                     (0..n).filter(|&l| leq[l * n + a] && leq[l * n + b]).collect();
-                let greatest = lowers.iter().copied().find(|&l| {
-                    lowers.iter().all(|&m| leq[m * n + l])
-                });
+                let greatest =
+                    lowers.iter().copied().find(|&l| lowers.iter().all(|&m| leq[m * n + l]));
                 match greatest {
                     Some(l) => glb[a * n + b] = ClassId(l),
                     None => {
@@ -312,9 +310,8 @@ impl Lattice {
         for a in 0..n {
             for b in 0..n {
                 if a != b && self.leq[a * n + b] {
-                    let direct = !(0..n).any(|c| {
-                        c != a && c != b && self.leq[a * n + c] && self.leq[c * n + b]
-                    });
+                    let direct = !(0..n)
+                        .any(|c| c != a && c != b && self.leq[a * n + c] && self.leq[c * n + b]);
                     if direct {
                         out.push((ClassId(a), ClassId(b)));
                     }
@@ -337,7 +334,8 @@ impl Lattice {
                 !(0..n).any(|a| {
                     (0..n).any(|b| {
                         let (a, b) = (ClassId(a), ClassId(b));
-                        a != x && b != x
+                        a != x
+                            && b != x
                             && self.allowed_flow(a, x)
                             && self.allowed_flow(b, x)
                             && self.lub(a, b) == x
@@ -378,7 +376,8 @@ impl Lattice {
                 !(0..n).any(|a| {
                     (0..n).any(|b| {
                         let (a, b) = (ClassId(a), ClassId(b));
-                        a != x && b != x
+                        a != x
+                            && b != x
                             && self.allowed_flow(x, a)
                             && self.allowed_flow(x, b)
                             && self.glb(a, b) == x
@@ -458,8 +457,7 @@ impl Lattice {
     /// IFP-1 × IFP-2; pair names are rendered `"(A,B)"`.
     pub fn product(&self, other: &Lattice) -> Lattice {
         let mut builder = LatticeBuilder::new();
-        let pair_name =
-            |a: ClassId, b: ClassId| format!("({},{})", self.name(a), other.name(b));
+        let pair_name = |a: ClassId, b: ClassId| format!("({},{})", self.name(a), other.name(b));
         for a in self.classes() {
             for b in other.classes() {
                 builder = builder.class(&pair_name(a, b));
@@ -665,8 +663,7 @@ mod tests {
     fn duplicate_and_unknown_classes() {
         let err = LatticeBuilder::new().class("A").class("A").build().unwrap_err();
         assert_eq!(err, LatticeError::DuplicateClass("A".into()));
-        let err =
-            LatticeBuilder::new().class("A").flow("A", "Z").build().unwrap_err();
+        let err = LatticeBuilder::new().class("A").flow("A", "Z").build().unwrap_err();
         assert_eq!(err, LatticeError::UnknownClass("Z".into()));
     }
 

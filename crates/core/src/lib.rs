@@ -56,10 +56,12 @@ mod tag;
 mod taint;
 pub mod textpolicy;
 
-pub use engine::{DiftEngine, EnforceMode, EngineStats, SharedEngine};
+pub use engine::{
+    DiftEngine, EnforceMode, EngineStats, FlowObserver, SharedEngine, SharedFlowObserver,
+};
 pub use error::{Violation, ViolationKind};
 pub use lattice::{ClassId, CompiledLattice, Lattice, LatticeBuilder, LatticeError};
 pub use policy::{AddrRange, DeclassifyCap, ExecClearance, SecurityPolicy, SecurityPolicyBuilder};
 pub use tag::Tag;
-pub use textpolicy::{parse_policy, AtomTable, PolicyParseError};
 pub use taint::{Taint, TaintWord};
+pub use textpolicy::{parse_policy, AtomTable, PolicyParseError};

@@ -86,7 +86,8 @@ pub struct ExecClearance {
 
 impl ExecClearance {
     /// No execution-clearance checking at all (the plain-VP behaviour).
-    pub const UNCHECKED: ExecClearance = ExecClearance { fetch: None, branch: None, mem_addr: None };
+    pub const UNCHECKED: ExecClearance =
+        ExecClearance { fetch: None, branch: None, mem_addr: None };
 
     /// The paper's "safe approximation": require `clearance` on all three
     /// operations.

@@ -369,7 +369,10 @@ mod tests {
         let w = Taint::new(0xDEAD_BEEFu32, S);
         let mut bytes = [Taint::untainted(0u8); 4];
         w.to_bytes(&mut bytes);
-        assert_eq!(bytes.iter().map(|b| b.value()).collect::<Vec<_>>(), vec![0xEF, 0xBE, 0xAD, 0xDE]);
+        assert_eq!(
+            bytes.iter().map(|b| b.value()).collect::<Vec<_>>(),
+            vec![0xEF, 0xBE, 0xAD, 0xDE]
+        );
         assert!(bytes.iter().all(|b| b.tag() == S));
     }
 

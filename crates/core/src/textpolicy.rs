@@ -111,7 +111,11 @@ fn parse_range(a: &str, b: &str, line: usize) -> Result<AddrRange, PolicyParseEr
     }
 }
 
-fn parse_tag(expr: &str, atoms: &HashMap<String, u32>, line: usize) -> Result<Tag, PolicyParseError> {
+fn parse_tag(
+    expr: &str,
+    atoms: &HashMap<String, u32>,
+    line: usize,
+) -> Result<Tag, PolicyParseError> {
     let e = expr.trim();
     if e == "public" || e == "bottom" {
         return Ok(Tag::EMPTY);
@@ -142,10 +146,7 @@ pub fn parse_policy(source: &str) -> Result<(SecurityPolicy, AtomTable), PolicyP
         let mut toks = line.split_whitespace();
         match toks.next() {
             Some("policy") => {
-                name = toks
-                    .next()
-                    .ok_or_else(|| err(line_no, "`policy` needs a name"))?
-                    .to_owned();
+                name = toks.next().ok_or_else(|| err(line_no, "`policy` needs a name"))?.to_owned();
             }
             Some("atom") => {
                 let atom =
@@ -192,7 +193,8 @@ pub fn parse_policy(source: &str) -> Result<(SecurityPolicy, AtomTable), PolicyP
                 }
                 let range = parse_range(toks[1], toks[2], line_no)?;
                 let tag = parse_tag(toks[3], &atoms, line_no)?;
-                builder = builder.classify_region(&format!("classify@{:#x}", range.start), range, tag);
+                builder =
+                    builder.classify_region(&format!("classify@{:#x}", range.start), range, tag);
             }
             "protect" => {
                 if toks.len() != 5 {

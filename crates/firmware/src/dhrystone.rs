@@ -28,11 +28,8 @@ pub fn expected_checksum(iterations: u32) -> u32 {
         }
         // Proc_8 analogue: array-ish arithmetic
         int_2 = int_2.wrapping_mul(3).wrapping_rem(101).wrapping_add(int_1 & 7);
-        checksum = checksum
-            .wrapping_mul(31)
-            .wrapping_add(int_1)
-            .wrapping_add(int_2)
-            .wrapping_add(int_3);
+        checksum =
+            checksum.wrapping_mul(31).wrapping_add(int_1).wrapping_add(int_2).wrapping_add(int_3);
     }
     checksum
 }

@@ -85,7 +85,7 @@ pub fn build(n: u32, rounds: u32) -> Workload {
     a.sw(T4, 0, T1);
     a.sw(T3, 0, S1);
     a.mv(S2, T1); // pivot slot
-    // left: qsort(lo, pivot-4)
+                  // left: qsort(lo, pivot-4)
     a.mv(A0, S0);
     a.addi(A1, S2, -4);
     a.call("qsort");

@@ -15,8 +15,8 @@ const CLINT_BASE: i32 = 0x0200_0000;
 /// The registers saved in a context frame (everything except `sp`, which
 /// is the frame pointer itself, and `zero`).
 const FRAME_REGS: [Reg; 30] = [
-    Ra, Gp, Tp, T0, T1, T2, S0, S1, A0, A1, A2, A3, A4, A5, A6, A7, S2, S3, S4, S5, S6, S7, S8,
-    S9, S10, S11, T3, T4, T5, T6,
+    Ra, Gp, Tp, T0, T1, T2, S0, S1, A0, A1, A2, A3, A4, A5, A6, A7, S2, S3, S4, S5, S6, S7, S8, S9,
+    S10, S11, T3, T4, T5, T6,
 ];
 
 /// Context frame size: 30 registers + saved `mepc`, rounded to 128.

@@ -7,8 +7,7 @@ use vpdift_rv32::{Plain, TaintMode, Tainted};
 use vpdift_soc::{Soc, SocConfig, SocExit};
 
 fn run_on<M: TaintMode>(w: &Workload) -> (SocExit, Vec<u8>, u64) {
-    let mut cfg = SocConfig::default();
-    cfg.sensor_thread = w.needs_sensor;
+    let cfg = SocConfig { sensor_thread: w.needs_sensor, ..Default::default() };
     let mut soc = Soc::<M>::new(cfg);
     soc.load_program(&w.program);
     let exit = soc.run(w.max_insns);

@@ -103,7 +103,11 @@ pub fn crack_pin(kind: PolicyKind) -> CrackOutcome {
                 } else {
                     // Suffix bytes were overwritten with pin[0]; at k == 1
                     // pin[0] *is* the guess.
-                    if known.is_empty() { guess } else { known[0] }
+                    if known.is_empty() {
+                        guess
+                    } else {
+                        known[0]
+                    }
                 };
             }
             if Aes128::new(&key).encrypt_block(&block) == response {

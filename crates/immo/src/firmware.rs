@@ -23,8 +23,7 @@ pub const RESPONSE_ID: u32 = 0x11;
 
 /// The secret PIN baked into the firmware image (known to the engine ECU).
 pub const PIN: [u8; 16] = [
-    0x42, 0x13, 0x37, 0x5A, 0xC0, 0xDE, 0x99, 0x01, 0x7E, 0x5F, 0x10, 0x2B, 0xAD, 0xF0, 0x0D,
-    0x66,
+    0x42, 0x13, 0x37, 0x5A, 0xC0, 0xDE, 0x99, 0x01, 0x7E, 0x5F, 0x10, 0x2B, 0xAD, 0xF0, 0x0D, 0x66,
 ];
 
 const CAN_BASE: i32 = 0x1003_0000;

@@ -29,11 +29,7 @@ pub struct ImmoTags {
 fn exec_clearance(untrusted: Tag) -> ExecClearance {
     // LC clearance on branches/fetch/addresses (safe approximation of
     // §V-B2): untrusted data may steer control flow, secret data may not.
-    ExecClearance {
-        fetch: Some(untrusted),
-        branch: Some(untrusted),
-        mem_addr: Some(untrusted),
-    }
+    ExecClearance { fetch: Some(untrusted), branch: Some(untrusted), mem_addr: Some(untrusted) }
 }
 
 fn base_policy(name: &str, untrusted: Tag) -> vpdift_core::SecurityPolicyBuilder {
@@ -54,11 +50,7 @@ pub fn coarse(pin_addr: u32, pin_len: u32) -> (SecurityPolicy, ImmoTags) {
     let policy = base_policy("immo-coarse", untrusted)
         .classify_and_protect("immo.pin", AddrRange::new(pin_addr, pin_len), secret, secret)
         .build();
-    let tags = ImmoTags {
-        secret,
-        pin_bytes: vec![secret; pin_len as usize],
-        untrusted,
-    };
+    let tags = ImmoTags { secret, pin_bytes: vec![secret; pin_len as usize], untrusted };
     (policy, tags)
 }
 

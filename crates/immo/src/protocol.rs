@@ -134,10 +134,7 @@ mod tests {
         assert!(!out.uart.is_empty());
         // The PIN byte-string must not appear in the dump.
         let pin = &PIN[..];
-        assert!(
-            !out.uart.windows(pin.len()).any(|w| w == pin),
-            "PIN leaked in fixed dump"
-        );
+        assert!(!out.uart.windows(pin.len()).any(|w| w == pin), "PIN leaked in fixed dump");
     }
 
     #[test]

@@ -182,11 +182,8 @@ pub struct ScenarioResult {
 pub fn run_scenario(s: Scenario, per_byte_policy: bool) -> ScenarioResult {
     let program = build_program(s);
     let pin_addr = program.symbol("pin").expect("pin label");
-    let (policy, _tags) = if per_byte_policy {
-        policy::per_byte(pin_addr, 16)
-    } else {
-        policy::coarse(pin_addr, 16)
-    };
+    let (policy, _tags) =
+        if per_byte_policy { policy::per_byte(pin_addr, 16) } else { policy::coarse(pin_addr, 16) };
     let mut cfg = SocConfig::with_policy(policy);
     cfg.sensor_thread = false;
     let mut soc = Soc::<Tainted>::new(cfg);

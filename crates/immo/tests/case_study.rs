@@ -7,12 +7,7 @@ use vpdift_immo::scenarios::{build_program, expected_kind, run_scenario, Scenari
 fn coarse_policy_detects_scenarios_1_to_3() {
     for s in Scenario::ALL {
         let result = run_scenario(s, false);
-        assert_eq!(
-            result.detected,
-            s.coarse_detects(),
-            "coarse policy vs `{}`",
-            s.name()
-        );
+        assert_eq!(result.detected, s.coarse_detects(), "coarse policy vs `{}`", s.name());
         if result.detected && s != Scenario::OverwritePinExternal {
             let v = result.violation.expect("violation recorded");
             assert_eq!(v.kind, expected_kind(s), "wrong violation kind for `{}`", s.name());

@@ -136,10 +136,7 @@ mod tests {
         let mut k = Kernel::new();
         let times = Rc::new(RefCell::new(Vec::new()));
         let t = times.clone();
-        k.spawn(
-            "tick",
-            Periodic::new(SimTime::from_ns(10), move |k| t.borrow_mut().push(k.now())),
-        );
+        k.spawn("tick", Periodic::new(SimTime::from_ns(10), move |k| t.borrow_mut().push(k.now())));
         k.run_until(SimTime::from_ns(35));
         assert_eq!(
             *times.borrow(),

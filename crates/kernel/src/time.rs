@@ -192,10 +192,7 @@ mod tests {
     fn saturating_and_checked() {
         assert_eq!(SimTime::MAX.saturating_add(SimTime::from_ns(1)), SimTime::MAX);
         assert_eq!(SimTime::from_ns(1).checked_sub(SimTime::from_ns(2)), None);
-        assert_eq!(
-            SimTime::from_ns(2).checked_sub(SimTime::from_ns(1)),
-            Some(SimTime::from_ns(1))
-        );
+        assert_eq!(SimTime::from_ns(2).checked_sub(SimTime::from_ns(1)), Some(SimTime::from_ns(1)));
     }
 
     #[test]

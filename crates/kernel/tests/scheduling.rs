@@ -12,12 +12,18 @@ fn two_periodic_processes_interleave_deterministically() {
     let log = Rc::new(RefCell::new(Vec::new()));
     let l1 = log.clone();
     let l2 = log.clone();
-    k.spawn("a", Periodic::new(SimTime::from_ns(30), move |k| {
-        l1.borrow_mut().push(('a', k.now().as_ns()));
-    }));
-    k.spawn("b", Periodic::new(SimTime::from_ns(20), move |k| {
-        l2.borrow_mut().push(('b', k.now().as_ns()));
-    }));
+    k.spawn(
+        "a",
+        Periodic::new(SimTime::from_ns(30), move |k| {
+            l1.borrow_mut().push(('a', k.now().as_ns()));
+        }),
+    );
+    k.spawn(
+        "b",
+        Periodic::new(SimTime::from_ns(20), move |k| {
+            l2.borrow_mut().push(('b', k.now().as_ns()));
+        }),
+    );
     k.run_until(SimTime::from_ns(60));
     assert_eq!(
         *log.borrow(),

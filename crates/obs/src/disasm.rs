@@ -1,0 +1,69 @@
+//! Lazy disassembly of raw fetched instruction bits.
+//!
+//! Hot paths record only the raw bits; rendering happens when a trace line
+//! or flight report is actually produced. The text forms match the legacy
+//! eager disassembler in `vpdift-soc` exactly.
+
+use vpdift_asm::{decompress, is_compressed, Insn};
+
+/// Raw instruction bits as captured at fetch time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RawInsn {
+    /// A full 32-bit instruction word.
+    Word(u32),
+    /// A lone 16-bit parcel (compressed instruction, or a fetch truncated
+    /// at the end of RAM).
+    Half(u16),
+    /// The fetch address was outside modeled memory; carries the PC.
+    Unavailable(u32),
+}
+
+impl RawInsn {
+    /// Reconstructs the capture from an `InsnRetired` event's fields.
+    pub fn from_retired(word: u32, compressed: bool) -> Self {
+        if compressed {
+            RawInsn::Half(word as u16)
+        } else {
+            RawInsn::Word(word)
+        }
+    }
+
+    /// Renders the instruction as the tracer would: decoded text,
+    /// `(c) …` for compressed forms, or `.half`/`.word`/`.???` fallbacks
+    /// for undecodable bits.
+    pub fn disassemble(self) -> String {
+        match self {
+            RawInsn::Half(h) if is_compressed(h) => decompress(h)
+                .map(|i| format!("(c) {i}"))
+                .unwrap_or_else(|_| format!(".half {h:#06x}")),
+            RawInsn::Half(h) => format!(".half {h:#06x}"),
+            RawInsn::Word(w) => Insn::decode(w)
+                .map(|i| i.to_string())
+                .unwrap_or_else(|_| format!(".word {w:#010x}")),
+            RawInsn::Unavailable(pc) => format!(".??? @{pc:#010x} (outside RAM)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_each_form() {
+        // addi x0, x0, 0 (the canonical nop) must decode, not fall back.
+        let nop = RawInsn::Word(0x0000_0013).disassemble();
+        assert!(nop == "nop" || nop.contains("addi"), "got {nop:?}");
+        // c.li a0, 5.
+        assert!(RawInsn::Half(0x4515).disassemble().starts_with("(c) addi a0"));
+        // All-ones is not a valid encoding in either width.
+        assert_eq!(RawInsn::Word(0xFFFF_FFFF).disassemble(), ".word 0xffffffff");
+        assert_eq!(RawInsn::Unavailable(0x40).disassemble(), ".??? @0x00000040 (outside RAM)");
+    }
+
+    #[test]
+    fn from_retired_selects_width() {
+        assert_eq!(RawInsn::from_retired(0x4515, true), RawInsn::Half(0x4515));
+        assert_eq!(RawInsn::from_retired(0x0000_0013, false), RawInsn::Word(0x13));
+    }
+}

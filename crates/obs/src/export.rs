@@ -1,0 +1,345 @@
+//! Event export: JSON Lines and the Chrome trace event format.
+//!
+//! Hand-rolled serialization — the workspace is offline, so no serde.
+//! [`validate_json`] is a minimal structural JSON checker used by the
+//! exporter tests (and available to downstream tests).
+
+use std::io::{self, Write};
+
+use vpdift_core::Tag;
+
+use crate::event::ObsEvent;
+use crate::ring::TimedEvent;
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a tag as a JSON array of its atom indices.
+fn tag_json(tag: Tag) -> String {
+    let atoms: Vec<String> = tag.atoms().map(|a| a.to_string()).collect();
+    format!("[{}]", atoms.join(","))
+}
+
+fn opt_u32(v: Option<u32>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".into(),
+    }
+}
+
+/// Renders one event's payload fields (no braces, no timestamp).
+fn event_fields(event: &ObsEvent) -> String {
+    match event {
+        ObsEvent::InsnRetired { pc, word, compressed, fetch_tag, instret } => format!(
+            "\"pc\":{pc},\"word\":{word},\"compressed\":{compressed},\"fetch_tag\":{},\"instret\":{instret}",
+            tag_json(*fetch_tag)
+        ),
+        ObsEvent::TagWrite { pc, reg, before, after } => format!(
+            "\"pc\":{pc},\"reg\":{reg},\"before\":{},\"after\":{}",
+            tag_json(*before),
+            tag_json(*after)
+        ),
+        ObsEvent::Load { pc, addr, size, tag } => {
+            format!("\"pc\":{pc},\"addr\":{addr},\"size\":{size},\"tag\":{}", tag_json(*tag))
+        }
+        ObsEvent::Store { pc, addr, size, tag } => {
+            format!("\"pc\":{pc},\"addr\":{addr},\"size\":{size},\"tag\":{}", tag_json(*tag))
+        }
+        ObsEvent::Check { kind, tag, required, pc, passed, site } => format!(
+            "\"check\":\"{}\",\"tag\":{},\"required\":{},\"pc\":{},\"passed\":{passed},\"site\":{}",
+            kind.label(),
+            tag_json(*tag),
+            tag_json(*required),
+            opt_u32(*pc),
+            match site {
+                Some(s) => format!("\"{}\"", escape(s)),
+                None => "null".into(),
+            }
+        ),
+        ObsEvent::Violation(v) => format!(
+            "\"violation\":\"{}\",\"tag\":{},\"required\":{},\"pc\":{}",
+            escape(&v.kind.to_string()),
+            tag_json(v.tag),
+            tag_json(v.required),
+            opt_u32(v.pc)
+        ),
+        ObsEvent::Classify { source, tag, addr } => format!(
+            "\"source\":\"{}\",\"tag\":{},\"addr\":{}",
+            escape(source),
+            tag_json(*tag),
+            opt_u32(*addr)
+        ),
+        ObsEvent::Declassify { component, before, after } => format!(
+            "\"component\":\"{}\",\"before\":{},\"after\":{}",
+            escape(component),
+            tag_json(*before),
+            tag_json(*after)
+        ),
+        ObsEvent::Tlm { bus, target, addr, len, write, tag, ok } => format!(
+            "\"bus\":\"{}\",\"target\":\"{}\",\"addr\":{addr},\"len\":{len},\"write\":{write},\"tag\":{},\"ok\":{ok}",
+            escape(bus),
+            escape(target),
+            tag_json(*tag)
+        ),
+        ObsEvent::Trap { pc, cause, irq } => format!("\"pc\":{pc},\"cause\":{cause},\"irq\":{irq}"),
+    }
+}
+
+/// Writes the events as JSON Lines: one object per line with `t_ps`
+/// (simulated picoseconds), `kind`, and the event's payload fields.
+///
+/// # Errors
+/// Propagates I/O errors from `w`.
+pub fn write_jsonl<W: Write>(mut w: W, events: &[TimedEvent]) -> io::Result<()> {
+    for te in events {
+        writeln!(
+            w,
+            "{{\"t_ps\":{},\"kind\":\"{}\",{}}}",
+            te.time.as_ps(),
+            te.event.label(),
+            event_fields(&te.event)
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes the events in the Chrome trace event format (load the file in
+/// `chrome://tracing` or Perfetto). Each event becomes an instant event
+/// with its simulated time mapped to the trace's microsecond timeline.
+///
+/// # Errors
+/// Propagates I/O errors from `w`.
+pub fn write_chrome_trace<W: Write>(mut w: W, events: &[TimedEvent]) -> io::Result<()> {
+    writeln!(w, "{{\"traceEvents\":[")?;
+    for (i, te) in events.iter().enumerate() {
+        let sep = if i + 1 == events.len() { "" } else { "," };
+        // ts is a double in microseconds; simulated ps / 1e6.
+        let ts = te.time.as_ps() as f64 / 1e6;
+        writeln!(
+            w,
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":1,\"ts\":{ts},\"args\":{{{}}}}}{sep}",
+            te.event.label(),
+            event_fields(&te.event)
+        )?;
+    }
+    writeln!(w, "],\"displayTimeUnit\":\"ns\"}}")?;
+    Ok(())
+}
+
+/// Minimal structural JSON validator: checks the input is one
+/// syntactically well-formed JSON value. Used by the exporter tests;
+/// not a full parser (numbers are checked loosely).
+///
+/// # Errors
+/// A description of the first syntax problem found.
+pub fn validate_json(input: &str) -> Result<(), String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", c as char, *pos))
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, "true"),
+        Some(b'f') => literal(b, pos, "false"),
+        Some(b'n') => literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        _ => Err(format!("expected a value at byte {}", *pos)),
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'{')?;
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'[')?;
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'"')?;
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => *pos += 2,
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    if *pos == start {
+        Err(format!("expected a number at byte {start}"))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdift_kernel::SimTime;
+
+    fn sample_events() -> Vec<TimedEvent> {
+        vec![
+            TimedEvent {
+                time: SimTime::from_ns(10),
+                event: ObsEvent::Classify {
+                    source: "key \"quoted\"".into(),
+                    tag: Tag::from_bits(0b101),
+                    addr: Some(0x2000),
+                },
+            },
+            TimedEvent {
+                time: SimTime::from_ns(20),
+                event: ObsEvent::Tlm {
+                    bus: "sys-bus".into(),
+                    target: "uart".into(),
+                    addr: 0x1000_0000,
+                    len: 1,
+                    write: true,
+                    tag: Tag::atom(0),
+                    ok: false,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_json() {
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &sample_events()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            validate_json(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        }
+        assert!(text.contains("\"kind\":\"classify\""));
+        assert!(text.contains("\\\"quoted\\\""), "string escaping applied");
+        assert!(text.contains("\"tag\":[0,2]"));
+    }
+
+    #[test]
+    fn chrome_trace_is_one_valid_json_document() {
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &sample_events()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        validate_json(&text).unwrap_or_else(|e| panic!("{e}: {text}"));
+        assert!(text.contains("\"traceEvents\""));
+        assert!(text.contains("\"ts\":0.01"), "10ns == 0.01µs: {text}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_input() {
+        assert!(validate_json("{\"a\":1}").is_ok());
+        assert!(validate_json("{\"a\":}").is_err());
+        assert!(validate_json("[1,2,]").is_err());
+        assert!(validate_json("{} trailing").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn empty_event_list_exports_cleanly() {
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &[]).unwrap();
+        validate_json(&String::from_utf8(buf).unwrap()).unwrap();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &[]).unwrap();
+        assert!(buf.is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! # vpdift-obs — cross-layer observability for the DIFT VP
+//!
+//! A zero-cost-when-disabled event layer threaded through every VP
+//! component: the ISS emits instruction/tag/check events, the TLM routers
+//! emit transaction events, peripherals emit classification and
+//! declassification events, and the DIFT engine reports its check sites
+//! through the [`FlowObserver`] hook re-exported from `vpdift-core`.
+//!
+//! The design mirrors the ISS's `TaintMode` pattern: components are
+//! generic over an [`ObsSink`] whose `ENABLED` constant guards every
+//! emission site, so with the default [`NullSink`] the instrumented hot
+//! paths compile to exactly the un-instrumented code (Table II overheads
+//! are unaffected when observability is off).
+//!
+//! The standard sink is the [`Recorder`]: aggregated [`Metrics`], a
+//! fixed-capacity flight-recorder ring ([`EventRing`]), taint provenance
+//! ([`ProvenanceMap`]), and an optional full event log feeding the
+//! [`export`] writers (JSON Lines and Chrome trace format). After a
+//! violation, [`Recorder::flight_report`] renders the last events with
+//! lazy disassembly, the failed check, and the classification site each
+//! offending atom originally came from.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod disasm;
+mod event;
+pub mod export;
+mod metrics;
+mod provenance;
+mod recorder;
+mod ring;
+mod sink;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vpdift_core::{FlowObserver, SharedFlowObserver, Tag, Violation, ViolationKind};
+
+pub use disasm::RawInsn;
+pub use event::{CheckKind, ObsEvent};
+pub use metrics::{CheckCounter, Metrics};
+pub use provenance::{Origin, ProvenanceMap};
+pub use recorder::Recorder;
+pub use ring::{EventRing, TimedEvent};
+pub use sink::{shared_obs, DynObs, NullSink, ObsHandle, ObsSink, SharedObs, ATOM_SLOTS};
+
+/// Adapts an [`ObsSink`] to the engine's [`FlowObserver`] hook: engine
+/// check sites become [`ObsEvent::Check`]s and recorded violations become
+/// [`ObsEvent::Violation`]s.
+pub struct EngineObserverAdapter<S: ObsSink> {
+    sink: Rc<RefCell<S>>,
+}
+
+impl<S: ObsSink> EngineObserverAdapter<S> {
+    /// Wraps `sink` for attachment via `DiftEngine::set_observer`.
+    pub fn new(sink: Rc<RefCell<S>>) -> Self {
+        EngineObserverAdapter { sink }
+    }
+}
+
+impl<S: ObsSink> FlowObserver for EngineObserverAdapter<S> {
+    fn on_check(
+        &mut self,
+        kind: &ViolationKind,
+        tag: Tag,
+        required: Tag,
+        pc: Option<u32>,
+        passed: bool,
+    ) {
+        let (kind, site) = CheckKind::of_violation(kind);
+        self.sink.borrow_mut().event(&ObsEvent::Check {
+            kind,
+            tag,
+            required,
+            pc,
+            passed,
+            site: site.map(str::to_owned),
+        });
+    }
+
+    fn on_violation(&mut self, violation: &Violation) {
+        self.sink.borrow_mut().event(&ObsEvent::Violation(violation.clone()));
+    }
+}
+
+/// Convenience: wraps a shared sink as the engine-side observer handle.
+pub fn engine_observer<S: ObsSink>(sink: &Rc<RefCell<S>>) -> SharedFlowObserver {
+    Rc::new(RefCell::new(EngineObserverAdapter::new(sink.clone())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdift_core::{DiftEngine, SecurityPolicy};
+
+    #[test]
+    fn engine_checks_flow_into_the_sink() {
+        let policy = SecurityPolicy::builder("t").sink("uart.tx", Tag::EMPTY).build();
+        let mut engine = DiftEngine::new(policy);
+        let sink = Rc::new(RefCell::new(Recorder::new(8)));
+        engine.set_observer(engine_observer(&sink));
+
+        assert!(engine.check_output("uart.tx", Tag::EMPTY, None).is_ok());
+        assert!(engine.check_output("uart.tx", Tag::atom(0), Some(0x40)).is_err());
+
+        let r = sink.borrow();
+        let m = r.metrics();
+        assert_eq!(m.checks[CheckKind::Output.index()].performed, 2);
+        assert_eq!(m.checks[CheckKind::Output.index()].failed, 1);
+        assert_eq!(m.violations, 1);
+        assert_eq!(r.violations().len(), 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Taint provenance: which classification site introduced each atom.
+
+use vpdift_core::Tag;
+use vpdift_kernel::SimTime;
+
+use crate::sink::ATOM_SLOTS;
+
+/// Where an atom was first introduced into the system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Origin {
+    /// The classification site: a policy region name or a peripheral
+    /// source name such as `"terminal.rx"`.
+    pub source: String,
+    /// Start address for memory-region classification, `None` for
+    /// peripheral ingress.
+    pub addr: Option<u32>,
+    /// Simulated time of the first sighting.
+    pub time: SimTime,
+}
+
+/// First-classification-wins map from taint atom to its [`Origin`].
+#[derive(Debug, Clone, Default)]
+pub struct ProvenanceMap {
+    origins: [Option<Origin>; ATOM_SLOTS],
+}
+
+impl ProvenanceMap {
+    /// Records a classification event: every atom of `tag` not yet seen
+    /// gets `source`/`addr` as its origin. Later sightings are ignored —
+    /// the *first* ingress is the provenance.
+    pub fn classify(&mut self, tag: Tag, source: &str, addr: Option<u32>, time: SimTime) {
+        for atom in tag.atoms() {
+            let slot = &mut self.origins[atom as usize];
+            if slot.is_none() {
+                *slot = Some(Origin { source: source.to_owned(), addr, time });
+            }
+        }
+    }
+
+    /// The origin of `atom`, if one was recorded.
+    pub fn origin(&self, atom: u32) -> Option<&Origin> {
+        self.origins.get(atom as usize).and_then(|o| o.as_ref())
+    }
+
+    /// Iterates `(atom, origin)` for every atom of `tag` with a known
+    /// origin.
+    pub fn origins_of(&self, tag: Tag) -> impl Iterator<Item = (u32, &Origin)> {
+        tag.atoms().filter_map(move |a| self.origin(a).map(|o| (a, o)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_classification_wins() {
+        let mut p = ProvenanceMap::default();
+        p.classify(Tag::from_bits(0b11), "key-region", Some(0x2000), SimTime::from_ns(5));
+        p.classify(Tag::atom(0), "terminal.rx", None, SimTime::from_ns(9));
+        let o = p.origin(0).unwrap();
+        assert_eq!(o.source, "key-region", "later sighting does not overwrite");
+        assert_eq!(o.addr, Some(0x2000));
+        assert_eq!(p.origin(1).unwrap().source, "key-region");
+        assert!(p.origin(2).is_none());
+    }
+
+    #[test]
+    fn origins_of_filters_to_known_atoms() {
+        let mut p = ProvenanceMap::default();
+        p.classify(Tag::atom(3), "can.rx", None, SimTime::ZERO);
+        let found: Vec<u32> = p.origins_of(Tag::from_bits(0b1100)).map(|(a, _)| a).collect();
+        assert_eq!(found, vec![3], "atom 2 has no origin and is skipped");
+    }
+}

@@ -1,0 +1,292 @@
+//! The standard sink: metrics + flight-recorder ring + provenance map,
+//! with optional full event logging for the exporters.
+
+use vpdift_core::{AtomTable, Tag, Violation};
+use vpdift_kernel::SimTime;
+
+use crate::disasm::RawInsn;
+use crate::event::{CheckKind, ObsEvent};
+use crate::metrics::Metrics;
+use crate::provenance::ProvenanceMap;
+use crate::ring::{EventRing, TimedEvent};
+use crate::sink::{ObsSink, ATOM_SLOTS};
+
+/// An [`ObsSink`] that aggregates metrics, keeps the last events in a
+/// flight-recorder ring, tracks taint provenance, and (optionally) logs
+/// every event for JSONL/Chrome-trace export.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    now: SimTime,
+    metrics: Metrics,
+    ring: EventRing,
+    provenance: ProvenanceMap,
+    log: Option<Vec<TimedEvent>>,
+    violations: Vec<Violation>,
+}
+
+impl Recorder {
+    /// A recorder whose flight ring keeps the last `ring_capacity` events.
+    pub fn new(ring_capacity: usize) -> Self {
+        Recorder {
+            now: SimTime::ZERO,
+            metrics: Metrics::default(),
+            ring: EventRing::new(ring_capacity),
+            provenance: ProvenanceMap::default(),
+            log: None,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Additionally keeps *every* event in memory, for the exporters.
+    /// Unbounded — intended for the short runs where export is wanted.
+    #[must_use]
+    pub fn with_event_log(mut self) -> Self {
+        self.log = Some(Vec::new());
+        self
+    }
+
+    /// Aggregated counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The flight-recorder ring.
+    pub fn ring(&self) -> &EventRing {
+        &self.ring
+    }
+
+    /// Where each taint atom first entered the system.
+    pub fn provenance(&self) -> &ProvenanceMap {
+        &self.provenance
+    }
+
+    /// Violations observed, oldest first.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// The full event log (empty slice unless
+    /// [`Recorder::with_event_log`] was used).
+    pub fn events(&self) -> &[TimedEvent] {
+        self.log.as_deref().unwrap_or(&[])
+    }
+
+    /// Renders the flight-recorder report for the *last* observed
+    /// violation: the failed check, the provenance of every offending
+    /// atom, and the recent event timeline with lazy disassembly.
+    /// Returns `None` when no violation was observed.
+    pub fn flight_report(&self, atoms: &AtomTable) -> Option<String> {
+        use core::fmt::Write as _;
+        let violation = self.violations.last()?;
+        let (kind, site) = CheckKind::of_violation(&violation.kind);
+        let mut out = String::new();
+        let _ = writeln!(out, "== DIFT violation flight report ==");
+        let _ = writeln!(out, "violation : {violation}");
+        match site {
+            Some(site) => {
+                let _ = writeln!(out, "failed check: {kind} (site `{site}`)");
+            }
+            None => {
+                let _ = writeln!(out, "failed check: {kind}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "data tag  : {} = {}   (required clearance: {} = {})",
+            violation.tag,
+            atoms.describe(violation.tag),
+            violation.required,
+            atoms.describe(violation.required),
+        );
+        // The offending atoms are those the data carried beyond its
+        // clearance; fall back to the whole tag if the subtraction is
+        // empty (e.g. an empty-tag custom violation).
+        let offending = {
+            let excess = violation.tag.without(violation.required);
+            if excess.is_empty() {
+                violation.tag
+            } else {
+                excess
+            }
+        };
+        let _ = writeln!(out, "taint provenance:");
+        let mut any = false;
+        for (atom, origin) in self.provenance.origins_of(offending) {
+            any = true;
+            let name = atoms.describe(Tag::atom(atom));
+            let _ = write!(out, "  atom {atom} ({name}): classified by `{}`", origin.source);
+            if let Some(addr) = origin.addr {
+                let _ = write!(out, " at {addr:#010x}");
+            }
+            let _ = writeln!(out, ", t={}ns", origin.time.as_ns());
+        }
+        if !any {
+            let _ = writeln!(out, "  (no classification event observed for the offending atoms)");
+        }
+        let _ = writeln!(
+            out,
+            "last {} of {} events before the violation:",
+            self.ring.len(),
+            self.ring.total_pushed()
+        );
+        for te in self.ring.iter() {
+            let t = te.time.as_ns();
+            match &te.event {
+                ObsEvent::InsnRetired { pc, word, compressed, fetch_tag, instret } => {
+                    let text = RawInsn::from_retired(*word, *compressed).disassemble();
+                    let _ = write!(out, "  [{instret:>8}] {pc:#010x}: {text}");
+                    if !fetch_tag.is_empty() {
+                        let _ = write!(out, "   ; fetch tag {fetch_tag}");
+                    }
+                    let _ = writeln!(out);
+                }
+                ObsEvent::TagWrite { pc, reg, before, after } => {
+                    let _ = writeln!(
+                        out,
+                        "      tag_write  x{reg} {before} -> {after} @ pc={pc:#010x}"
+                    );
+                }
+                ObsEvent::Load { pc, addr, size, tag } => {
+                    let _ = writeln!(
+                        out,
+                        "      load       {size}B @ {addr:#010x} tag {tag} (pc={pc:#010x})"
+                    );
+                }
+                ObsEvent::Store { pc, addr, size, tag } => {
+                    let _ = writeln!(
+                        out,
+                        "      store      {size}B @ {addr:#010x} tag {tag} (pc={pc:#010x})"
+                    );
+                }
+                ObsEvent::Check { kind, tag, required, passed, site, .. } => {
+                    let verdict = if *passed { "pass" } else { "FAIL" };
+                    let site = site.as_deref().unwrap_or("-");
+                    let _ = writeln!(
+                        out,
+                        "      check      {kind} [{site}] tag {tag} vs {required}: {verdict}"
+                    );
+                }
+                ObsEvent::Violation(v) => {
+                    let _ = writeln!(out, "      VIOLATION  {v}");
+                }
+                ObsEvent::Classify { source, tag, addr } => match addr {
+                    Some(a) => {
+                        let _ = writeln!(out, "      classify   `{source}` tag {tag} @ {a:#010x}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "      classify   `{source}` tag {tag}");
+                    }
+                },
+                ObsEvent::Declassify { component, before, after } => {
+                    let _ = writeln!(out, "      declassify `{component}` {before} -> {after}");
+                }
+                ObsEvent::Tlm { bus, target, addr, len, write, tag, ok } => {
+                    let dir = if *write { "W" } else { "R" };
+                    let status = if *ok { "ok" } else { "err" };
+                    let _ = writeln!(
+                        out,
+                        "      tlm        {bus}->{target} {dir} {len}B @ {addr:#010x} tag {tag} {status} t={t}ns"
+                    );
+                }
+                ObsEvent::Trap { pc, cause, irq } => {
+                    let what = if *irq { "irq" } else { "trap" };
+                    let _ = writeln!(out, "      {what}       cause={cause} @ pc={pc:#010x}");
+                }
+            }
+        }
+        Some(out)
+    }
+}
+
+impl ObsSink for Recorder {
+    fn event(&mut self, event: &ObsEvent) {
+        self.metrics.update(event);
+        match event {
+            ObsEvent::Classify { source, tag, addr } => {
+                self.provenance.classify(*tag, source, *addr, self.now);
+            }
+            ObsEvent::Violation(v) => self.violations.push(v.clone()),
+            _ => {}
+        }
+        let timed = TimedEvent { time: self.now, event: event.clone() };
+        if let Some(log) = &mut self.log {
+            log.push(timed.clone());
+        }
+        self.ring.push(timed);
+    }
+
+    fn set_now(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    fn taint_spread(&mut self, counts: &[u32; ATOM_SLOTS]) {
+        self.metrics.update_spread(counts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdift_core::ViolationKind;
+
+    fn recorder_with_violation() -> Recorder {
+        let mut r = Recorder::new(8).with_event_log();
+        r.set_now(SimTime::from_ns(10));
+        r.event(&ObsEvent::Classify {
+            source: "key-region".into(),
+            tag: Tag::atom(0),
+            addr: Some(0x2000),
+        });
+        r.event(&ObsEvent::InsnRetired {
+            pc: 0x40,
+            word: 0x0000_0013,
+            compressed: false,
+            fetch_tag: Tag::EMPTY,
+            instret: 1,
+        });
+        let v = Violation::new(
+            ViolationKind::Output { sink: "uart.tx".into() },
+            Tag::atom(0),
+            Tag::EMPTY,
+        )
+        .at_pc(0x44);
+        r.event(&ObsEvent::Check {
+            kind: CheckKind::Output,
+            tag: Tag::atom(0),
+            required: Tag::EMPTY,
+            pc: Some(0x44),
+            passed: false,
+            site: Some("uart.tx".into()),
+        });
+        r.event(&ObsEvent::Violation(v));
+        r
+    }
+
+    #[test]
+    fn flight_report_names_source_and_check() {
+        let r = recorder_with_violation();
+        let report = r.flight_report(&AtomTable::default()).expect("violation recorded");
+        assert!(report.contains("failed check: output (site `uart.tx`)"), "{report}");
+        assert!(report.contains("classified by `key-region` at 0x00002000"), "{report}");
+        assert!(report.contains("0x00000040"), "retired instruction listed: {report}");
+        assert!(report.contains("VIOLATION"), "{report}");
+    }
+
+    #[test]
+    fn no_violation_no_report() {
+        let mut r = Recorder::new(4);
+        r.event(&ObsEvent::Trap { pc: 0, cause: 3, irq: false });
+        assert!(r.flight_report(&AtomTable::default()).is_none());
+        assert_eq!(r.metrics().traps, 1);
+    }
+
+    #[test]
+    fn event_log_is_opt_in() {
+        let mut r = Recorder::new(4);
+        r.event(&ObsEvent::Trap { pc: 0, cause: 3, irq: false });
+        assert!(r.events().is_empty());
+        let mut r = Recorder::new(4).with_event_log();
+        r.event(&ObsEvent::Trap { pc: 0, cause: 3, irq: false });
+        assert_eq!(r.events().len(), 1);
+    }
+}

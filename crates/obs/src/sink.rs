@@ -1,0 +1,134 @@
+//! The sink abstraction: where observability events go.
+//!
+//! Mirrors the ISS's `TaintMode` pattern: layers are generic over an
+//! [`ObsSink`] whose `ENABLED` constant lets every emission site be written
+//! as `if S::ENABLED { … }`. With the default [`NullSink`] that block is
+//! dead code and the hot paths compile exactly as before the observability
+//! layer existed.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vpdift_core::Tag;
+use vpdift_kernel::SimTime;
+
+use crate::event::ObsEvent;
+
+/// Number of per-atom slots in spread samples (one per [`Tag`] atom).
+pub const ATOM_SLOTS: usize = Tag::CAPACITY as usize;
+
+/// A consumer of observability events.
+///
+/// Implementations should be cheap: emission sites sit on simulation hot
+/// paths and call [`ObsSink::event`] synchronously.
+pub trait ObsSink: 'static {
+    /// `false` compiles all emission sites out (see [`NullSink`]).
+    const ENABLED: bool = true;
+
+    /// Consumes one event.
+    fn event(&mut self, event: &ObsEvent);
+
+    /// Updates the sink's notion of simulated time. Called by the platform
+    /// at quantum boundaries; events between two calls are stamped with
+    /// the earlier time (quantum-granular timestamps).
+    fn set_now(&mut self, _now: SimTime) {}
+
+    /// Receives a sampled per-atom count of classified RAM bytes (the
+    /// platform samples periodically; sinks typically keep the maximum).
+    fn taint_spread(&mut self, _counts: &[u32; ATOM_SLOTS]) {}
+}
+
+/// The default sink: drops everything, `ENABLED = false`, so emission
+/// sites vanish at compile time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl ObsSink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn event(&mut self, _event: &ObsEvent) {}
+}
+
+/// Object-safe mirror of [`ObsSink`] for components that cannot be generic
+/// over the sink type (peripherals behind `dyn TlmTarget`, the TLM
+/// routers, the engine observer). Blanket-implemented for every sink.
+pub trait DynObs {
+    /// See [`ObsSink::event`].
+    fn dyn_event(&mut self, event: &ObsEvent);
+}
+
+impl<S: ObsSink> DynObs for S {
+    fn dyn_event(&mut self, event: &ObsEvent) {
+        self.event(event);
+    }
+}
+
+/// A shared dynamic sink handle, as handed to peripherals and routers.
+pub type SharedObs = Rc<RefCell<dyn DynObs>>;
+
+/// Coerces a shared concrete sink into the dynamic handle peripherals
+/// take.
+pub fn shared_obs<S: ObsSink>(sink: &Rc<RefCell<S>>) -> SharedObs {
+    sink.clone()
+}
+
+/// An optional [`SharedObs`] with a `Debug` impl, for embedding in
+/// components that derive `Debug`. Detached by default; emission through a
+/// detached handle is a no-op.
+#[derive(Clone, Default)]
+pub struct ObsHandle(Option<SharedObs>);
+
+impl ObsHandle {
+    /// Attaches a sink.
+    pub fn attach(&mut self, obs: SharedObs) {
+        self.0 = Some(obs);
+    }
+
+    /// `true` when a sink is attached.
+    pub fn is_attached(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Emits `event` into the attached sink, if any.
+    pub fn emit(&self, event: &ObsEvent) {
+        if let Some(obs) = &self.0 {
+            obs.borrow_mut().dyn_event(event);
+        }
+    }
+}
+
+impl std::fmt::Debug for ObsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() { "ObsHandle(attached)" } else { "ObsHandle(detached)" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counting(usize);
+
+    impl ObsSink for Counting {
+        fn event(&mut self, _event: &ObsEvent) {
+            self.0 += 1;
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        const { assert!(!NullSink::ENABLED) };
+        // Still callable (emission sites may skip the guard in cold code).
+        NullSink.event(&ObsEvent::Trap { pc: 0, cause: 3, irq: false });
+    }
+
+    #[test]
+    fn dynamic_handle_reaches_concrete_sink() {
+        let sink = Rc::new(RefCell::new(Counting::default()));
+        let dynamic = shared_obs(&sink);
+        dynamic.borrow_mut().dyn_event(&ObsEvent::Trap { pc: 0, cause: 3, irq: false });
+        assert_eq!(sink.borrow().0, 1);
+    }
+}

@@ -45,6 +45,7 @@ pub struct AesEngine {
     declassify: Option<DeclassifyCap>,
     output_tag: Tag,
     operations: u64,
+    obs: vpdift_obs::ObsHandle,
 }
 
 impl AesEngine {
@@ -60,7 +61,14 @@ impl AesEngine {
             declassify,
             output_tag,
             operations: 0,
+            obs: vpdift_obs::ObsHandle::default(),
         }
+    }
+
+    /// Attaches an observability sink; declassifications are reported to
+    /// it.
+    pub fn set_obs(&mut self, obs: vpdift_obs::SharedObs) {
+        self.obs.attach(obs);
     }
 
     /// Wraps into the shared handle used by the SoC.
@@ -95,6 +103,13 @@ impl AesEngine {
                 Some(cap) => cap.reclassify(tagged, self.output_tag),
                 None => tagged,
             };
+        }
+        if self.declassify.is_some() && self.obs.is_attached() {
+            self.obs.emit(&vpdift_obs::ObsEvent::Declassify {
+                component: "aes".into(),
+                before: data_tag,
+                after: self.output[0].tag(),
+            });
         }
         self.done = true;
         self.operations += 1;

@@ -132,6 +132,7 @@ pub struct CanController {
     tx_dlc: u8,
     tx_data: [Taint<u8>; 8],
     frames_sent: u64,
+    obs: vpdift_obs::ObsHandle,
 }
 
 impl CanController {
@@ -156,6 +157,24 @@ impl CanController {
             tx_dlc: 0,
             tx_data: [Taint::untainted(0); 8],
             frames_sent: 0,
+            obs: vpdift_obs::ObsHandle::default(),
+        }
+    }
+
+    /// Attaches an observability sink; RX-side classification is reported
+    /// to it.
+    pub fn set_obs(&mut self, obs: vpdift_obs::SharedObs) {
+        self.obs.attach(obs);
+    }
+
+    /// Reports classification of data read from the RX side.
+    fn obs_classify(&self, tag: Tag) {
+        if self.obs.is_attached() && !tag.is_empty() {
+            self.obs.emit(&vpdift_obs::ObsEvent::Classify {
+                source: format!("{}.rx", self.name),
+                tag,
+                addr: None,
+            });
         }
     }
 
@@ -221,11 +240,8 @@ impl TlmTarget for CanController {
                         .fold(Tag::EMPTY, |acc, b| acc.lub(b.tag()));
                     match self.engine.borrow_mut().check_output(&self.sink, tag, None) {
                         Ok(()) => {
-                            let frame = CanFrame {
-                                id: self.tx_id,
-                                dlc: self.tx_dlc,
-                                data: self.tx_data,
-                            };
+                            let frame =
+                                CanFrame { id: self.tx_id, dlc: self.tx_dlc, data: self.tx_data };
                             self.channel.state.borrow_mut().to_host.push_back(frame);
                             self.frames_sent += 1;
                             p.set_response(TlmResponse::Ok);
@@ -247,11 +263,13 @@ impl TlmTarget for CanController {
                 }
                 regs::RX_ID => {
                     let id = self.head(|f| f.map_or(0, |f| f.id));
+                    self.obs_classify(self.input_tag);
                     put_word(p, Taint::new(id, self.input_tag));
                     p.set_response(TlmResponse::Ok);
                 }
                 regs::RX_DLC => {
                     let dlc = self.head(|f| f.map_or(0, |f| f.dlc as u32));
+                    self.obs_classify(self.input_tag);
                     put_word(p, Taint::new(dlc, self.input_tag));
                     p.set_response(TlmResponse::Ok);
                 }
@@ -276,6 +294,8 @@ impl TlmTarget for CanController {
                             })
                             .collect()
                     });
+                    let read_tag = bytes.iter().fold(Tag::EMPTY, |t, b| t.lub(b.tag()));
+                    self.obs_classify(read_tag);
                     p.data_mut().copy_from_slice(&bytes);
                     p.set_response(TlmResponse::Ok);
                 }
@@ -320,10 +340,8 @@ mod tests {
         let (mut c, host) = controller();
         wr(&mut c, regs::TX_ID, Taint::untainted(0x123));
         wr(&mut c, regs::TX_DLC, Taint::untainted(2));
-        let mut p = GenericPayload::write(
-            regs::TX_DATA,
-            &[Taint::untainted(0xAA), Taint::untainted(0xBB)],
-        );
+        let mut p =
+            GenericPayload::write(regs::TX_DATA, &[Taint::untainted(0xAA), Taint::untainted(0xBB)]);
         c.transport(&mut p, &mut SimTime::ZERO.clone());
         assert!(wr(&mut c, regs::TX_GO, Taint::untainted(1)).is_ok());
         let f = host.recv().expect("frame delivered");
@@ -337,8 +355,7 @@ mod tests {
     fn secret_payload_blocked_at_tx() {
         let (mut c, host) = controller();
         wr(&mut c, regs::TX_DLC, Taint::untainted(1));
-        let mut p =
-            GenericPayload::write(regs::TX_DATA, &[Taint::new(0x42, SECRET)]);
+        let mut p = GenericPayload::write(regs::TX_DATA, &[Taint::new(0x42, SECRET)]);
         c.transport(&mut p, &mut SimTime::ZERO.clone());
         let mut go = wr(&mut c, regs::TX_GO, Taint::untainted(1));
         let v = go.take_violation().expect("violation");

@@ -129,6 +129,21 @@ impl Ram {
     pub fn bytes(&self, offset: u32, len: usize) -> &[u8] {
         &self.data[offset as usize..offset as usize + len]
     }
+
+    /// Counts, per taint atom, how many bytes currently carry that atom —
+    /// the taint-spread sample fed to the observability layer. All-zero
+    /// when not tracking. O(len); callers sample sparingly.
+    pub fn atom_spread(&self) -> [u32; Tag::CAPACITY as usize] {
+        let mut counts = [0u32; Tag::CAPACITY as usize];
+        for t in &self.tags {
+            if !t.is_empty() {
+                for atom in t.atoms() {
+                    counts[atom as usize] += 1;
+                }
+            }
+        }
+        counts
+    }
 }
 
 impl TlmTarget for Ram {
@@ -195,12 +210,22 @@ mod tests {
     }
 
     #[test]
+    fn atom_spread_counts_tagged_bytes() {
+        let mut ram = Ram::new(64, true);
+        ram.classify(0, 8, Tag::atom(0));
+        ram.classify(4, 8, Tag::from_bits(0b101)); // overwrites bytes 4..8
+        let spread = ram.atom_spread();
+        assert_eq!(spread[0], 12, "atoms 0: bytes 0..4 plus 4..12");
+        assert_eq!(spread[2], 8);
+        assert_eq!(spread[1], 0);
+        assert_eq!(Ram::new(16, false).atom_spread(), [0; 32]);
+    }
+
+    #[test]
     fn tlm_target_reads_and_writes_tagged() {
         let mut ram = Ram::new(32, true);
-        let mut w = GenericPayload::write(
-            4,
-            &[Taint::new(9, Tag::atom(2)), Taint::new(8, Tag::EMPTY)],
-        );
+        let mut w =
+            GenericPayload::write(4, &[Taint::new(9, Tag::atom(2)), Taint::new(8, Tag::EMPTY)]);
         ram.transport(&mut w, &mut SimTime::ZERO.clone());
         assert!(w.is_ok());
         let mut r = GenericPayload::read(4, 2);

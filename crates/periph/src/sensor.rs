@@ -37,6 +37,7 @@ pub struct Sensor {
     irq: Option<IrqLine>,
     rng: StdRng,
     frames_generated: u64,
+    obs: vpdift_obs::ObsHandle,
 }
 
 impl Sensor {
@@ -49,7 +50,14 @@ impl Sensor {
             irq,
             rng: StdRng::seed_from_u64(seed),
             frames_generated: 0,
+            obs: vpdift_obs::ObsHandle::default(),
         }
+    }
+
+    /// Attaches an observability sink; each generated frame's
+    /// classification is reported to it.
+    pub fn set_obs(&mut self, obs: vpdift_obs::SharedObs) {
+        self.obs.attach(obs);
     }
 
     /// Wraps into the shared handle used by the SoC.
@@ -75,6 +83,13 @@ impl Sensor {
         let tag = self.data_tag;
         for n in self.data_frame.iter_mut() {
             *n = Taint::new(self.rng.gen_range(0..96) + 128, tag);
+        }
+        if self.obs.is_attached() && !tag.is_empty() {
+            self.obs.emit(&vpdift_obs::ObsEvent::Classify {
+                source: "sensor.frame".into(),
+                tag,
+                addr: None,
+            });
         }
         self.frames_generated += 1;
         if let Some(irq) = &self.irq {
@@ -188,8 +203,7 @@ mod tests {
     fn kernel_thread_runs_at_40_hz_and_raises_irq() {
         let mut kernel = Kernel::new();
         let plic = crate::plic::Plic::new().into_shared();
-        let sensor =
-            Sensor::new(HC, Some(IrqLine::new(plic.clone(), 2)), 7).into_shared();
+        let sensor = Sensor::new(HC, Some(IrqLine::new(plic.clone(), 2)), 7).into_shared();
         Sensor::spawn(&sensor, &mut kernel);
         kernel.run_until(SimTime::from_s(1));
         assert_eq!(sensor.borrow().frames_generated(), 40);

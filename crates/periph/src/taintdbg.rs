@@ -88,9 +88,7 @@ impl TlmTarget for TaintDebug {
                     Some(actual) => {
                         self.failed += 1;
                         let v = Violation::new(
-                            ViolationKind::Custom {
-                                what: "guest taint assertion".into(),
-                            },
+                            ViolationKind::Custom { what: "guest taint assertion".into() },
                             actual,
                             expected,
                         )
@@ -119,8 +117,7 @@ mod tests {
 
     fn setup(mode: EnforceMode) -> (TaintDebug, Rc<RefCell<Ram>>) {
         let ram = Ram::new(256, true).into_shared();
-        let engine =
-            DiftEngine::with_mode(SecurityPolicy::permissive(), mode).into_shared();
+        let engine = DiftEngine::with_mode(SecurityPolicy::permissive(), mode).into_shared();
         (TaintDebug::new(ram.clone(), engine), ram)
     }
 

@@ -11,6 +11,7 @@ use std::rc::Rc;
 
 use vpdift_core::{Tag, Taint};
 use vpdift_kernel::SimTime;
+use vpdift_obs::{ObsEvent, SharedObs};
 use vpdift_tlm::{GenericPayload, TlmCommand, TlmResponse, TlmTarget};
 
 /// Register map (word-aligned offsets).
@@ -25,18 +26,34 @@ pub mod regs {
 pub const RX_EMPTY: u32 = 0x8000_0000;
 
 /// The console-input model.
-#[derive(Debug)]
 pub struct Terminal {
     name: String,
     input_tag: Tag,
     fifo: VecDeque<u8>,
+    obs: Option<SharedObs>,
+}
+
+impl std::fmt::Debug for Terminal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Terminal")
+            .field("name", &self.name)
+            .field("input_tag", &self.input_tag)
+            .field("buffered", &self.fifo.len())
+            .finish()
+    }
 }
 
 impl Terminal {
     /// Creates a terminal whose incoming bytes are classified `input_tag`
     /// (wire it from `policy.source_tag("<name>.rx")`).
     pub fn new(name: &str, input_tag: Tag) -> Self {
-        Terminal { name: name.to_owned(), input_tag, fifo: VecDeque::new() }
+        Terminal { name: name.to_owned(), input_tag, fifo: VecDeque::new(), obs: None }
+    }
+
+    /// Attaches an observability sink; classification of incoming bytes is
+    /// reported to it.
+    pub fn set_obs(&mut self, obs: SharedObs) {
+        self.obs = Some(obs);
     }
 
     /// Wraps into the shared handle used by the SoC.
@@ -73,7 +90,16 @@ impl TlmTarget for Terminal {
         match (p.command(), p.address()) {
             (TlmCommand::Read, regs::RXDATA) => {
                 let word = match self.fifo.pop_front() {
-                    Some(b) => Taint::new(b as u32, self.input_tag),
+                    Some(b) => {
+                        if let (Some(obs), false) = (&self.obs, self.input_tag.is_empty()) {
+                            obs.borrow_mut().dyn_event(&ObsEvent::Classify {
+                                source: format!("{}.rx", self.name),
+                                tag: self.input_tag,
+                                addr: None,
+                            });
+                        }
+                        Taint::new(b as u32, self.input_tag)
+                    }
                     None => Taint::untainted(RX_EMPTY),
                 };
                 write_word(p, word);

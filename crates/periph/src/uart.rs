@@ -100,8 +100,7 @@ mod tests {
     const SECRET: Tag = Tag::from_bits(1);
 
     fn uart() -> Uart {
-        let policy =
-            SecurityPolicy::builder("t").sink("uart0.tx", Tag::EMPTY).build();
+        let policy = SecurityPolicy::builder("t").sink("uart0.tx", Tag::EMPTY).build();
         Uart::new("uart0", DiftEngine::new(policy).into_shared())
     }
 

@@ -6,9 +6,13 @@
 //! routes through the [`Word`] abstraction, so the plain instantiation
 //! compiles tag work away entirely.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use vpdift_asm::csr as csrn;
 use vpdift_asm::{AluOp, BranchCond, CsrSrc, Insn, MulOp, Reg};
 use vpdift_core::{ExecClearance, SharedEngine, Tag, Violation, ViolationKind};
+use vpdift_obs::{CheckKind, NullSink, ObsEvent, ObsSink};
 
 use crate::bus::{Bus, MemError};
 use crate::csr::CsrFile;
@@ -59,7 +63,7 @@ pub enum RunExit {
 /// assert_eq!(cpu.reg(Reg::A0), 42);
 /// ```
 #[derive(Debug, Clone)]
-pub struct Cpu<M: TaintMode> {
+pub struct Cpu<M: TaintMode, S: ObsSink = NullSink> {
     pc: u32,
     regs: [M::Word; 32],
     csrs: CsrFile<M>,
@@ -67,17 +71,25 @@ pub struct Cpu<M: TaintMode> {
     engine: Option<SharedEngine>,
     instret: u64,
     in_wfi: bool,
+    obs: Rc<RefCell<S>>,
 }
 
-impl<M: TaintMode> Default for Cpu<M> {
+impl<M: TaintMode, S: ObsSink + Default> Default for Cpu<M, S> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<M: TaintMode> Cpu<M> {
+impl<M: TaintMode, S: ObsSink + Default> Cpu<M, S> {
     /// Creates a core reset to PC 0 with unchecked execution clearance.
     pub fn new() -> Self {
+        Self::with_obs(Rc::new(RefCell::new(S::default())))
+    }
+}
+
+impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
+    /// Creates a core emitting observability events into `obs`.
+    pub fn with_obs(obs: Rc<RefCell<S>>) -> Self {
         Cpu {
             pc: 0,
             regs: [M::Word::from_u32(0); 32],
@@ -86,7 +98,13 @@ impl<M: TaintMode> Cpu<M> {
             engine: None,
             instret: 0,
             in_wfi: false,
+            obs,
         }
+    }
+
+    /// The attached observability sink.
+    pub fn obs(&self) -> &Rc<RefCell<S>> {
+        &self.obs
     }
 
     /// Resets the core to start execution at `pc` (registers preserved,
@@ -164,8 +182,30 @@ impl<M: TaintMode> Cpu<M> {
         self.csrs.set_mip_bit(11, level);
     }
 
+    /// Writes a register, reporting tag propagation to the sink when the
+    /// destination tag changes or the incoming value is tagged.
+    fn obs_set_reg(&mut self, r: Reg, value: M::Word, pc: u32) {
+        if S::ENABLED && r != Reg::Zero {
+            let before = self.regs[r.num() as usize].tag();
+            let after = value.tag();
+            if before != after || !after.is_empty() {
+                self.obs.borrow_mut().event(&ObsEvent::TagWrite {
+                    pc,
+                    reg: r.num() as u8,
+                    before,
+                    after,
+                });
+            }
+        }
+        self.set_reg(r, value);
+    }
+
     /// Records an execution-clearance violation; in `Enforce` mode the
     /// violation is returned as `Err` and the instruction is suppressed.
+    ///
+    /// The check itself (pass or fail) is reported to the sink from here;
+    /// the *violation* event comes from the engine's own observer when the
+    /// failure is recorded, so the two are never double-counted.
     fn exec_check(
         &mut self,
         kind: ViolationKind,
@@ -177,13 +217,30 @@ impl<M: TaintMode> Cpu<M> {
             return Ok(());
         }
         let Some(required) = required else { return Ok(()) };
-        if tag.flows_to(required) {
+        let passed = tag.flows_to(required);
+        if S::ENABLED {
+            let (check, site) = CheckKind::of_violation(&kind);
+            self.obs.borrow_mut().event(&ObsEvent::Check {
+                kind: check,
+                tag,
+                required,
+                pc: Some(pc),
+                passed,
+                site: site.map(str::to_owned),
+            });
+        }
+        if passed {
             return Ok(());
         }
         let v = Violation::new(kind, tag, required).at_pc(pc);
         match &self.engine {
             Some(e) => e.borrow_mut().record(v),
-            None => Err(v),
+            None => {
+                if S::ENABLED {
+                    self.obs.borrow_mut().event(&ObsEvent::Violation(v.clone()));
+                }
+                Err(v)
+            }
         }
     }
 
@@ -192,6 +249,9 @@ impl<M: TaintMode> Cpu<M> {
     fn take_trap(&mut self, cause: u32, is_irq: bool, tval: u32, pc: u32) -> Result<(), Violation> {
         let mtvec = self.csrs.mtvec;
         self.exec_check(ViolationKind::TrapVector, mtvec.tag(), self.exec_clearance.branch, pc)?;
+        if S::ENABLED {
+            self.obs.borrow_mut().event(&ObsEvent::Trap { pc, cause, irq: is_irq });
+        }
         self.csrs.mepc = M::Word::from_u32(pc);
         self.csrs.mcause = M::Word::from_u32(cause | if is_irq { 0x8000_0000 } else { 0 });
         self.csrs.mtval = M::Word::from_u32(tval);
@@ -300,24 +360,19 @@ impl<M: TaintMode> Cpu<M> {
         }
 
         match insn {
-            Insn::Lui { rd, imm20 } => self.set_reg(rd, M::Word::from_u32(imm20 << 12)),
+            Insn::Lui { rd, imm20 } => self.obs_set_reg(rd, M::Word::from_u32(imm20 << 12), pc),
             Insn::Auipc { rd, imm20 } => {
-                self.set_reg(rd, M::Word::from_u32(pc.wrapping_add(imm20 << 12)))
+                self.obs_set_reg(rd, M::Word::from_u32(pc.wrapping_add(imm20 << 12)), pc)
             }
             Insn::Jal { rd, offset } => {
-                self.set_reg(rd, M::Word::from_u32(next_pc));
+                self.obs_set_reg(rd, M::Word::from_u32(next_pc), pc);
                 next_pc = pc.wrapping_add(offset as u32);
             }
             Insn::Jalr { rd, rs1, offset } => {
                 let base = rs!(rs1);
                 // Indirect targets reveal the pointer: branch clearance.
-                self.exec_check(
-                    ViolationKind::Branch,
-                    base.tag(),
-                    self.exec_clearance.branch,
-                    pc,
-                )?;
-                self.set_reg(rd, M::Word::from_u32(next_pc));
+                self.exec_check(ViolationKind::Branch, base.tag(), self.exec_clearance.branch, pc)?;
+                self.obs_set_reg(rd, M::Word::from_u32(next_pc), pc);
                 next_pc = base.val().wrapping_add(offset as u32) & !1;
             }
             Insn::Branch { cond, rs1, rs2, offset } => {
@@ -361,12 +416,15 @@ impl<M: TaintMode> Cpu<M> {
                     Ok(w) => w,
                     Err(e) => return self.mem_trap(e, false, pc).map(|_| Step::Executed),
                 };
+                if S::ENABLED {
+                    self.obs.borrow_mut().event(&ObsEvent::Load { pc, addr, size, tag: raw.tag() });
+                }
                 let value = raw.map_val(|v| match width {
                     vpdift_asm::LoadWidth::B => v as u8 as i8 as i32 as u32,
                     vpdift_asm::LoadWidth::H => v as u16 as i16 as i32 as u32,
                     _ => v,
                 });
-                self.set_reg(rd, value);
+                self.obs_set_reg(rd, value, pc);
             }
             Insn::Store { width, rs2, rs1, offset } => {
                 let base = rs!(rs1);
@@ -382,6 +440,14 @@ impl<M: TaintMode> Cpu<M> {
                     self.take_trap(csrn::cause::MISALIGNED_STORE, false, addr, pc)?;
                     return Ok(Step::Executed);
                 }
+                if S::ENABLED {
+                    self.obs.borrow_mut().event(&ObsEvent::Store {
+                        pc,
+                        addr,
+                        size,
+                        tag: rs!(rs2).tag(),
+                    });
+                }
                 if let Err(e) = bus.store(addr, size, rs!(rs2), pc) {
                     return self.mem_trap(e, false, pc).map(|_| Step::Executed);
                 }
@@ -389,15 +455,15 @@ impl<M: TaintMode> Cpu<M> {
             Insn::AluImm { op, rd, rs1, imm } => {
                 let a = rs!(rs1);
                 let r = alu_imm::<M>(op, a, imm);
-                self.set_reg(rd, r);
+                self.obs_set_reg(rd, r, pc);
             }
             Insn::Alu { op, rd, rs1, rs2 } => {
                 let r = alu::<M>(op, rs!(rs1), rs!(rs2));
-                self.set_reg(rd, r);
+                self.obs_set_reg(rd, r, pc);
             }
             Insn::MulDiv { op, rd, rs1, rs2 } => {
                 let r = muldiv::<M>(op, rs!(rs1), rs!(rs2));
-                self.set_reg(rd, r);
+                self.obs_set_reg(rd, r, pc);
             }
             Insn::Csr { op, rd, csr, src } => {
                 let old = self.csrs.read(csr, self.instret);
@@ -415,7 +481,7 @@ impl<M: TaintMode> Cpu<M> {
                     }
                     _ => {}
                 }
-                self.set_reg(rd, old);
+                self.obs_set_reg(rd, old, pc);
             }
             Insn::Fence | Insn::FenceI => {}
             Insn::Ecall => {
@@ -431,12 +497,7 @@ impl<M: TaintMode> Cpu<M> {
                 let mepc = self.csrs.mepc;
                 // Returning to a secret/untrusted address is an indirect
                 // control transfer: branch clearance applies.
-                self.exec_check(
-                    ViolationKind::Branch,
-                    mepc.tag(),
-                    self.exec_clearance.branch,
-                    pc,
-                )?;
+                self.exec_check(ViolationKind::Branch, mepc.tag(), self.exec_clearance.branch, pc)?;
                 let mut st = self.csrs.mstatus.val();
                 let mpie = (st >> 7) & 1;
                 st = (st & !csrn::MSTATUS_MIE) | (mpie << 3) | csrn::MSTATUS_MPIE;
@@ -450,6 +511,15 @@ impl<M: TaintMode> Cpu<M> {
 
         self.pc = next_pc;
         self.instret += 1;
+        if S::ENABLED {
+            self.obs.borrow_mut().event(&ObsEvent::InsnRetired {
+                pc,
+                word: fetched.val(),
+                compressed,
+                fetch_tag: fetched.tag(),
+                instret: self.instret,
+            });
+        }
         Ok(outcome)
     }
 
@@ -523,13 +593,7 @@ fn muldiv_val(op: MulOp, a: u32, b: u32) -> u32 {
                 ((a as i32) / (b as i32)) as u32
             }
         }
-        MulOp::Divu => {
-            if b == 0 {
-                u32::MAX
-            } else {
-                a / b
-            }
-        }
+        MulOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
         MulOp::Rem => {
             if b == 0 {
                 a
@@ -539,12 +603,6 @@ fn muldiv_val(op: MulOp, a: u32, b: u32) -> u32 {
                 ((a as i32) % (b as i32)) as u32
             }
         }
-        MulOp::Remu => {
-            if b == 0 {
-                a
-            } else {
-                a % b
-            }
-        }
+        MulOp::Remu => a.checked_rem(b).unwrap_or(a),
     }
 }

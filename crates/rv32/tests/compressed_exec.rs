@@ -54,6 +54,7 @@ fn compressed_jal_links_pc_plus_2() {
 }
 
 #[test]
+#[allow(clippy::unusual_byte_groupings)] // groups mirror the CB-format fields
 fn compressed_branch_loop() {
     // c.li a0, 3; loop: c.addi a0, -1; c.bnez a0, -2; c.ebreak
     // CB offset -2: offset1=1 -> inst3; sign bit offset8=1 -> inst12;
@@ -62,10 +63,10 @@ fn compressed_branch_loop() {
         // offset = -2 -> 9-bit two's complement 0b111111110
         let mut p: u16 = 0b111_0_00_000_00_0_00_01; // funct3=111, op=01, rs1'=a0(010)
         p |= 0b010 << 7; // rs1' = a0
-        // offset bits: [8]=1->12, [7]=1->6, [6]=1->5, [5]=1->2, [4]=1->11,
-        // [3]=1->10, [2]=1->4, [1]=1->3  (offset -2: all set except bit1? )
-        // -2 = ...111111110: bits 1..8 = 1,1,1,1,1,1,1,1 except bit1=1? -2>>1 = -1,
-        // so offset[8:1] = 11111111.
+                         // offset bits: [8]=1->12, [7]=1->6, [6]=1->5, [5]=1->2, [4]=1->11,
+                         // [3]=1->10, [2]=1->4, [1]=1->3  (offset -2: all set except bit1? )
+                         // -2 = ...111111110: bits 1..8 = 1,1,1,1,1,1,1,1 except bit1=1? -2>>1 = -1,
+                         // so offset[8:1] = 11111111.
         p |= 1 << 12;
         p |= 1 << 6;
         p |= 1 << 5;
@@ -76,7 +77,8 @@ fn compressed_branch_loop() {
         p |= 1 << 3;
         p
     };
-    let image = image16(&[0x450D /* c.li a0, 3 */, 0x157D /* c.addi a0, -1 */, bnez_m2, 0x9002]);
+    let image =
+        image16(&[0x450D /* c.li a0, 3 */, 0x157D /* c.addi a0, -1 */, bnez_m2, 0x9002]);
     let mut mem = FlatMemory::<Plain>::new(0, 4096);
     mem.load_image(0, &image);
     let mut cpu = Cpu::<Plain>::new();

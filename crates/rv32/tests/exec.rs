@@ -157,14 +157,7 @@ fn div_by_zero_and_overflow() {
             a.rem(A5, T2, T3); // 0
             a.ebreak();
         },
-        &[
-            (A0, u32::MAX),
-            (A1, u32::MAX),
-            (A2, 42),
-            (A3, 42),
-            (A4, 0x8000_0000),
-            (A5, 0),
-        ],
+        &[(A0, u32::MAX), (A1, u32::MAX), (A2, 42), (A3, 42), (A4, 0x8000_0000), (A5, 0)],
     );
 }
 

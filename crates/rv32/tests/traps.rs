@@ -1,9 +1,7 @@
 //! Trap, interrupt and execution-clearance tests for the ISS.
 
 use vpdift_asm::{csr, Asm, Reg};
-use vpdift_core::{
-    DiftEngine, EnforceMode, ExecClearance, SecurityPolicy, Tag, ViolationKind,
-};
+use vpdift_core::{DiftEngine, EnforceMode, ExecClearance, SecurityPolicy, Tag, ViolationKind};
 use vpdift_rv32::{Cpu, FlatMemory, Plain, RunExit, Step, Tainted, Word};
 
 use Reg::*;
@@ -81,7 +79,7 @@ fn load_fault_on_unmapped_address() {
     let (mut cpu, mut mem) = setup(|a| {
         a.la(T0, "handler");
         a.csrw(csr::MTVEC, T0);
-        a.li(T1, 0x4000_0000i32 as i32);
+        a.li(T1, 0x4000_0000u32 as i32);
         a.lw(A0, 0, T1);
         a.label("handler");
         a.csrr(A0, csr::MCAUSE);

@@ -95,10 +95,7 @@ impl<M: TaintMode> SocBus<M> {
         if !M::TRACKING || self.protected.is_empty() {
             return Ok(());
         }
-        let hit = self
-            .protected
-            .iter()
-            .any(|r| (addr..addr + size).any(|a| r.contains(a)));
+        let hit = self.protected.iter().any(|r| (addr..addr + size).any(|a| r.contains(a)));
         if !hit {
             return Ok(());
         }
@@ -144,13 +141,11 @@ impl<M: TaintMode> Bus<M> for SocBus<M> {
         }
         let mut p = GenericPayload::read(addr, size as usize);
         self.mmio(&mut p)?;
-        let w = vpdift_core::Taint::<u32>::from_bytes(
-            &{
-                let mut lanes = [vpdift_core::Taint::untainted(0u8); 4];
-                lanes[..size as usize].copy_from_slice(p.data());
-                lanes
-            },
-        );
+        let w = vpdift_core::Taint::<u32>::from_bytes(&{
+            let mut lanes = [vpdift_core::Taint::untainted(0u8); 4];
+            lanes[..size as usize].copy_from_slice(p.data());
+            lanes
+        });
         Ok(M::Word::with_tag(w.value(), w.tag()))
     }
 

@@ -4,13 +4,12 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use vpdift_asm::Program;
-use vpdift_core::{
-    AddrRange, DiftEngine, EnforceMode, SecurityPolicy, SharedEngine, Violation,
-};
+use vpdift_core::{AddrRange, DiftEngine, EnforceMode, SecurityPolicy, SharedEngine, Violation};
 use vpdift_kernel::{Kernel, SimTime};
+use vpdift_obs::{engine_observer, shared_obs, NullSink, ObsEvent, ObsSink};
 use vpdift_periph::{
-    AesEngine, CanChannel, CanController, CanHostEndpoint, Clint, Dma, IrqLine, Plic, Ram,
-    Sensor, TaintDebug, Terminal, Uart,
+    AesEngine, CanChannel, CanController, CanHostEndpoint, Clint, Dma, IrqLine, Plic, Ram, Sensor,
+    TaintDebug, Terminal, Uart,
 };
 use vpdift_rv32::{Cpu, Step, TaintMode, Word};
 use vpdift_tlm::Router;
@@ -76,12 +75,15 @@ pub enum SocExit {
 /// The virtual prototype: CPU, bus, memory and all peripherals, coupled to
 /// the simulation kernel. `M` selects the original VP ([`vpdift_rv32::Plain`])
 /// or the DIFT-enabled VP+ ([`vpdift_rv32::Tainted`]).
-pub struct Soc<M: TaintMode> {
+pub struct Soc<M: TaintMode, S: ObsSink = NullSink> {
     config: SocConfig,
     kernel: Kernel,
-    cpu: Cpu<M>,
+    cpu: Cpu<M, S>,
     bus: SocBus<M>,
     engine: SharedEngine,
+    obs: Rc<RefCell<S>>,
+    /// Quanta since the last taint-spread sample (see [`SPREAD_PERIOD`]).
+    quanta_since_spread: u32,
     ram: Rc<RefCell<Ram>>,
     uart: Rc<RefCell<Uart>>,
     terminal: Rc<RefCell<Terminal>>,
@@ -95,18 +97,33 @@ pub struct Soc<M: TaintMode> {
     taintdbg: Rc<RefCell<TaintDebug>>,
 }
 
-impl<M: TaintMode> Soc<M> {
+/// Taint-spread is sampled (an O(ram) scan) every this many quanta.
+const SPREAD_PERIOD: u32 = 64;
+
+impl<M: TaintMode, S: ObsSink + Default> Soc<M, S> {
     /// Builds the VP from `config`.
     pub fn new(config: SocConfig) -> Self {
+        Self::with_obs(config, Rc::new(RefCell::new(S::default())))
+    }
+}
+
+impl<M: TaintMode, S: ObsSink> Soc<M, S> {
+    /// Builds the VP from `config` with an observability sink shared by
+    /// every layer (CPU, bus routers, peripherals, DIFT engine). With a
+    /// disabled sink type ([`NullSink`]) nothing is wired and the hot
+    /// paths compile as if the observability layer did not exist.
+    pub fn with_obs(config: SocConfig, obs: Rc<RefCell<S>>) -> Self {
         let policy = config.policy.clone();
         let engine = DiftEngine::with_mode(policy.clone(), config.enforce).into_shared();
+        if S::ENABLED {
+            engine.borrow_mut().set_observer(engine_observer(&obs));
+        }
 
         let ram = Ram::new(config.ram_size, M::TRACKING).into_shared();
         let plic = Plic::new().into_shared();
         let clint = Clint::new().into_shared();
         let uart = Uart::new("uart", engine.clone()).into_shared();
-        let terminal =
-            Terminal::new("terminal", policy.source_tag("terminal.rx")).into_shared();
+        let terminal = Terminal::new("terminal", policy.source_tag("terminal.rx")).into_shared();
         let sensor = Sensor::new(
             policy.source_tag("sensor.data"),
             Some(IrqLine::new(plic.clone(), map::IRQ_SENSOR)),
@@ -123,11 +140,15 @@ impl<M: TaintMode> Soc<M> {
             Some(IrqLine::new(plic.clone(), map::IRQ_CAN)),
         )
         .into_shared();
-        let aes = AesEngine::new(
-            policy.grant_declassify("aes"),
-            policy.source_tag("aes.out"),
-        )
-        .into_shared();
+        let aes = AesEngine::new(policy.grant_declassify("aes"), policy.source_tag("aes.out"))
+            .into_shared();
+
+        if S::ENABLED {
+            terminal.borrow_mut().set_obs(shared_obs(&obs));
+            sensor.borrow_mut().set_obs(shared_obs(&obs));
+            can.borrow_mut().set_obs(shared_obs(&obs));
+            aes.borrow_mut().set_obs(shared_obs(&obs));
+        }
 
         // The DMA's private port map: everything it may touch, except
         // itself (re-entrancy) and the interrupt infrastructure.
@@ -142,6 +163,9 @@ impl<M: TaintMode> Soc<M> {
         dma_ports
             .map("uart", AddrRange::new(map::UART_BASE, map::UART_SIZE), uart.clone())
             .expect("fresh map");
+        if S::ENABLED {
+            dma_ports.set_obs(shared_obs(&obs));
+        }
         let dma = Dma::new(
             dma_ports,
             M::TRACKING.then(|| engine.clone()),
@@ -188,13 +212,12 @@ impl<M: TaintMode> Soc<M> {
             )
             .expect("fresh map");
 
-        let bus = SocBus::new(
-            ram.clone(),
-            router,
-            M::TRACKING.then(|| engine.clone()),
-        );
+        if S::ENABLED {
+            router.set_obs(shared_obs(&obs));
+        }
+        let bus = SocBus::new(ram.clone(), router, M::TRACKING.then(|| engine.clone()));
 
-        let mut cpu = Cpu::<M>::new();
+        let mut cpu = Cpu::<M, S>::with_obs(obs.clone());
         if M::TRACKING {
             cpu.set_engine(engine.clone());
             cpu.set_exec_clearance(policy.exec());
@@ -211,6 +234,8 @@ impl<M: TaintMode> Soc<M> {
             cpu,
             bus,
             engine,
+            obs,
+            quanta_since_spread: 0,
             ram,
             uart,
             terminal,
@@ -228,9 +253,7 @@ impl<M: TaintMode> Soc<M> {
     /// Loads a program image, applies the policy's classification rules to
     /// RAM, and points the CPU at the entry with a stack at the top of RAM.
     pub fn load_program(&mut self, program: &Program) {
-        self.ram
-            .borrow_mut()
-            .load_image(program.base() - map::RAM_BASE, program.image());
+        self.ram.borrow_mut().load_image(program.base() - map::RAM_BASE, program.image());
         let policy = self.config.policy.clone();
         for rule in policy.regions() {
             if let Some(tag) = rule.classify {
@@ -243,6 +266,13 @@ impl<M: TaintMode> Soc<M> {
                         (end - start) as usize,
                         tag,
                     );
+                    if S::ENABLED && M::TRACKING && !tag.is_empty() {
+                        self.obs.borrow_mut().event(&ObsEvent::Classify {
+                            source: rule.name.clone(),
+                            tag,
+                            addr: Some(start),
+                        });
+                    }
                 }
             }
         }
@@ -265,9 +295,26 @@ impl<M: TaintMode> Soc<M> {
     /// budget so runaway trap loops still terminate (retired-instruction
     /// statistics remain exact via [`Soc::instret`]).
     pub fn run(&mut self, max_insns: u64) -> SocExit {
+        let exit = self.run_inner(max_insns);
+        if S::ENABLED {
+            // Final timestamp + taint-spread sample so reports and exports
+            // reflect the state at exit.
+            let mut obs = self.obs.borrow_mut();
+            obs.set_now(self.kernel.now());
+            if M::TRACKING {
+                obs.taint_spread(&self.ram.borrow().atom_spread());
+            }
+        }
+        exit
+    }
+
+    fn run_inner(&mut self, max_insns: u64) -> SocExit {
         let mut steps_left = max_insns;
         loop {
             self.sync_irq_lines();
+            if S::ENABLED {
+                self.obs.borrow_mut().set_now(self.kernel.now());
+            }
             if steps_left == 0 {
                 return SocExit::InstrLimit;
             }
@@ -306,6 +353,15 @@ impl<M: TaintMode> Soc<M> {
             let elapsed = self.config.insn_time * executed + self.bus.take_mmio_delay();
             let target = self.kernel.now().saturating_add(elapsed);
             self.kernel.run_until(target);
+
+            if S::ENABLED && M::TRACKING {
+                self.quanta_since_spread += 1;
+                if self.quanta_since_spread >= SPREAD_PERIOD {
+                    self.quanta_since_spread = 0;
+                    let spread = self.ram.borrow().atom_spread();
+                    self.obs.borrow_mut().taint_spread(&spread);
+                }
+            }
 
             if let Some(exit) = exit {
                 self.clint.borrow_mut().set_mtime(self.kernel.now().as_us());
@@ -362,13 +418,18 @@ impl<M: TaintMode> Soc<M> {
     }
 
     /// The CPU core.
-    pub fn cpu(&self) -> &Cpu<M> {
+    pub fn cpu(&self) -> &Cpu<M, S> {
         &self.cpu
     }
 
     /// Mutable CPU access (test setup).
-    pub fn cpu_mut(&mut self) -> &mut Cpu<M> {
+    pub fn cpu_mut(&mut self) -> &mut Cpu<M, S> {
         &mut self.cpu
+    }
+
+    /// The shared observability sink.
+    pub fn obs(&self) -> &Rc<RefCell<S>> {
+        &self.obs
     }
 
     /// The DIFT engine.
@@ -437,7 +498,7 @@ impl<M: TaintMode> Soc<M> {
     }
 }
 
-impl<M: TaintMode> core::fmt::Debug for Soc<M> {
+impl<M: TaintMode, S: ObsSink> core::fmt::Debug for Soc<M, S> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Soc")
             .field("tracking", &M::TRACKING)

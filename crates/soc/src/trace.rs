@@ -6,21 +6,24 @@
 //! disassembly and (in tainted mode) the tags entering the instruction, at
 //! the cost of simulation speed.
 
-use vpdift_asm::{decompress, is_compressed, Insn};
+use vpdift_asm::is_compressed;
 use vpdift_core::Tag;
+use vpdift_obs::{ObsSink, RawInsn};
 use vpdift_rv32::TaintMode;
 
 use crate::map::RAM_BASE;
 use crate::soc::{Soc, SocExit};
 
-/// One traced CPU step.
+/// One traced CPU step. Disassembly is lazy: the record captures the raw
+/// instruction bytes and only renders text when [`TraceRecord::text`] (or
+/// `Display`) is asked for, so sinks that filter or count records do not
+/// pay for string formatting.
 #[derive(Debug, Clone)]
 pub struct TraceRecord {
     /// PC before the step.
     pub pc: u32,
-    /// Disassembly of the instruction at `pc` (or `.word`/`.half` for
-    /// undecodable bytes).
-    pub text: String,
+    /// The raw instruction bytes at `pc`.
+    raw: RawInsn,
     /// LUB of the fetched instruction bytes' tags (always empty in plain
     /// mode).
     pub fetch_tag: Tag,
@@ -30,9 +33,22 @@ pub struct TraceRecord {
     pub time: vpdift_kernel::SimTime,
 }
 
+impl TraceRecord {
+    /// Disassembles the instruction (or `.word`/`.half` for undecodable
+    /// bytes).
+    pub fn text(&self) -> String {
+        self.raw.disassemble()
+    }
+
+    /// The raw instruction bytes.
+    pub fn raw(&self) -> RawInsn {
+        self.raw
+    }
+}
+
 impl core::fmt::Display for TraceRecord {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "[{:>8}] {:#010x}: {}", self.instret, self.pc, self.text)?;
+        write!(f, "[{:>8}] {:#010x}: {}", self.instret, self.pc, self.text())?;
         if !self.fetch_tag.is_empty() {
             write!(f, "   ; fetch tag {}", self.fetch_tag)?;
         }
@@ -40,49 +56,38 @@ impl core::fmt::Display for TraceRecord {
     }
 }
 
-impl<M: TaintMode> Soc<M> {
-    /// Disassembles the instruction currently at `pc` (RAM only).
-    pub fn disassemble_at(&self, pc: u32) -> (String, Tag) {
+impl<M: TaintMode, S: ObsSink> Soc<M, S> {
+    /// Reads the raw instruction bytes currently at `pc` (RAM only) with
+    /// the LUB of their tags.
+    pub fn raw_insn_at(&self, pc: u32) -> (RawInsn, Tag) {
         let ram = self.ram().borrow();
         let off = pc.wrapping_sub(RAM_BASE);
         if !ram.fits(off, 2) {
-            return (format!(".??? @{pc:#010x} (outside RAM)"), Tag::EMPTY);
+            return (RawInsn::Unavailable(pc), Tag::EMPTY);
         }
         let (lo, tag_lo) = ram.load(off, 2);
-        if is_compressed(lo as u16) {
-            let text = decompress(lo as u16)
-                .map(|i| format!("(c) {i}"))
-                .unwrap_or_else(|_| format!(".half {lo:#06x}"));
-            return (text, tag_lo);
-        }
-        if !ram.fits(off, 4) {
-            return (format!(".half {lo:#06x}"), tag_lo);
+        if is_compressed(lo as u16) || !ram.fits(off, 4) {
+            return (RawInsn::Half(lo as u16), tag_lo);
         }
         let (word, tag) = ram.load(off, 4);
-        let text = Insn::decode(word)
-            .map(|i| i.to_string())
-            .unwrap_or_else(|_| format!(".word {word:#010x}"));
-        (text, tag)
+        (RawInsn::Word(word), tag)
+    }
+
+    /// Disassembles the instruction currently at `pc` (RAM only).
+    pub fn disassemble_at(&self, pc: u32) -> (String, Tag) {
+        let (raw, tag) = self.raw_insn_at(pc);
+        (raw.disassemble(), tag)
     }
 
     /// Runs up to `max_steps` CPU steps, invoking `sink` before each one.
     /// Stops on the same conditions as [`Soc::run`].
-    pub fn run_traced(
-        &mut self,
-        max_steps: u64,
-        mut sink: impl FnMut(&TraceRecord),
-    ) -> SocExit {
+    pub fn run_traced(&mut self, max_steps: u64, mut sink: impl FnMut(&TraceRecord)) -> SocExit {
         for _ in 0..max_steps {
             let pc = self.cpu().pc();
-            let (text, fetch_tag) = self.disassemble_at(pc);
+            let (raw, fetch_tag) = self.raw_insn_at(pc);
             let exit = self.run(1);
-            let record = TraceRecord {
-                pc,
-                text,
-                fetch_tag,
-                instret: self.instret(),
-                time: self.now(),
-            };
+            let record =
+                TraceRecord { pc, raw, fetch_tag, instret: self.instret(), time: self.now() };
             sink(&record);
             if !matches!(exit, SocExit::InstrLimit) {
                 return exit;
@@ -134,8 +139,7 @@ mod tests {
         a.nop();
         a.ebreak();
         let prog = a.assemble().unwrap();
-        let mut cfg = SocConfig::default();
-        cfg.sensor_thread = false;
+        let cfg = SocConfig { sensor_thread: false, ..Default::default() };
         let mut soc = Soc::<Tainted>::new(cfg);
         soc.load_program(&prog);
         soc.ram().borrow_mut().classify(0, 4, Tag::atom(2));
@@ -153,14 +157,16 @@ mod tests {
 
     #[test]
     fn disassemble_handles_compressed_and_data() {
-        let mut cfg = SocConfig::default();
-        cfg.sensor_thread = false;
+        let cfg = SocConfig { sensor_thread: false, ..Default::default() };
         let soc = Soc::<Tainted>::new(cfg);
         // c.li a0, 5 at 0; garbage word at 4.
         soc.ram().borrow_mut().load_image(0, &0x4515u16.to_le_bytes());
         soc.ram().borrow_mut().load_image(4, &0xFFFF_FFFFu32.to_le_bytes());
         assert!(soc.disassemble_at(0).0.starts_with("(c) addi a0"));
-        assert!(soc.disassemble_at(4).0.starts_with(".half 0xffff") || soc.disassemble_at(4).0.starts_with(".word"));
+        assert!(
+            soc.disassemble_at(4).0.starts_with(".half 0xffff")
+                || soc.disassemble_at(4).0.starts_with(".word")
+        );
         assert!(soc.disassemble_at(0xFFFF_FFF0).0.contains("outside RAM"));
     }
 }

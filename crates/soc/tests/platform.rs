@@ -127,7 +127,7 @@ fn sensor_interrupt_drives_handler() {
         a.li(T0, map::PLIC_BASE as i32);
         a.li(T1, 1 << map::IRQ_SENSOR);
         a.sw(T1, 4, T0); // ENABLE
-        // mie.MEIE + mstatus.MIE
+                         // mie.MEIE + mstatus.MIE
         a.li(T1, csr::MIE_MEIE as i32);
         a.csrw(csr::MIE, T1);
         a.li(T1, csr::MSTATUS_MIE as i32);
@@ -139,7 +139,7 @@ fn sensor_interrupt_drives_handler() {
         // Claim.
         a.li(T0, map::PLIC_BASE as i32);
         a.lw(A1, 8, T0); // CLAIM -> source id
-        // Read first sensor byte.
+                         // Read first sensor byte.
         a.li(T0, map::SENSOR_BASE as i32);
         a.lbu(A0, 0, T0);
         a.mret();
@@ -156,9 +156,7 @@ fn sensor_interrupt_drives_handler() {
 fn sensor_data_tag_flows_into_software() {
     // Classify sensor data as secret via the policy source; reading the
     // frame taints the destination register.
-    let policy = SecurityPolicy::builder("sensor-secret")
-        .source("sensor.data", SECRET)
-        .build();
+    let policy = SecurityPolicy::builder("sensor-secret").source("sensor.data", SECRET).build();
     let prog = asm(|a| {
         a.li(T0, map::SENSOR_BASE as i32);
         a.lbu(A0, 0, T0);
@@ -214,7 +212,7 @@ fn can_round_trip_with_host() {
         a.beqz(T1, "wait");
         a.lw(A0, 0x24, T0); // RX_ID
         a.lw(A1, 0x28, T0); // RX_DLC
-        // Copy data bytes +1 into TX.
+                            // Copy data bytes +1 into TX.
         a.li(T2, 0); // index
         a.label("copy");
         a.bge(T2, A1, "send");
@@ -267,7 +265,7 @@ fn aes_encrypt_from_guest_declassifies() {
         // Plaintext: zeros (DATA_IN already zero).
         a.li(T2, 1);
         a.sw(T2, 0x30, T1); // CTRL = encrypt
-        // Send first ciphertext byte to UART.
+                            // Send first ciphertext byte to UART.
         a.lbu(A0, 0x20, T1);
         a.li(T6, map::UART_BASE as i32);
         a.sw(A0, 0, T6);
@@ -315,7 +313,7 @@ fn dma_copy_from_guest_preserves_taint() {
         a.sw(T1, 0x8, T0); // LEN
         a.li(T1, 1);
         a.sw(T1, 0xC, T0); // CTRL
-        // Read back a copied byte -> should be tainted.
+                           // Read back a copied byte -> should be tainted.
         a.li(T2, 0x4000);
         a.lbu(A0, 0, T2);
         a.ebreak();
@@ -386,8 +384,7 @@ fn instr_limit_and_idle_exits() {
         a.wfi();
         a.ebreak();
     });
-    let mut cfg = SocConfig::default();
-    cfg.sensor_thread = false;
+    let cfg = SocConfig { sensor_thread: false, ..Default::default() };
     let mut soc = Soc::<Plain>::new(cfg);
     soc.load_program(&sleep);
     assert_eq!(soc.run(1000), SocExit::Idle);

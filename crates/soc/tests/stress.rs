@@ -91,8 +91,7 @@ fn build_program(ops: &[Op]) -> Vec<u8> {
 }
 
 fn run_soc<M: TaintMode>(image: &[u8]) -> (SocExit, Vec<u32>, u64) {
-    let mut cfg = SocConfig::default();
-    cfg.sensor_thread = false;
+    let cfg = SocConfig { sensor_thread: false, ..Default::default() };
     let mut soc = Soc::<M>::new(cfg);
     soc.ram().borrow_mut().load_image(0, image);
     soc.cpu_mut().reset(0);
@@ -121,8 +120,7 @@ proptest! {
     /// the guest must end in a bounded architectural state.
     #[test]
     fn random_code_never_panics_the_host(bytes in prop::collection::vec(any::<u8>(), 16..256)) {
-        let mut cfg = SocConfig::default();
-        cfg.sensor_thread = false;
+        let cfg = SocConfig { sensor_thread: false, ..Default::default() };
         let mut soc = Soc::<Tainted>::new(cfg);
         soc.ram().borrow_mut().load_image(0, &bytes);
         soc.cpu_mut().reset(0);
@@ -186,8 +184,7 @@ fn taint_survives_copy_chains() {
         }
         a.ebreak();
         let prog = a.assemble().unwrap();
-        let mut cfg = SocConfig::default();
-        cfg.sensor_thread = false;
+        let cfg = SocConfig { sensor_thread: false, ..Default::default() };
         let mut soc = Soc::<Tainted>::new(cfg);
         soc.load_program(&prog);
         let tag = Tag::from_bits(rng.gen_range(1..16));

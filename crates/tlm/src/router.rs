@@ -5,8 +5,9 @@ use std::rc::Rc;
 
 use vpdift_core::AddrRange;
 use vpdift_kernel::SimTime;
+use vpdift_obs::{ObsEvent, SharedObs};
 
-use crate::payload::{GenericPayload, TlmResponse};
+use crate::payload::{GenericPayload, TlmCommand, TlmResponse};
 
 /// A transaction target (the `simple_target_socket` side).
 ///
@@ -84,12 +85,20 @@ pub struct Router {
     name: String,
     mappings: Vec<Mapping>,
     transactions: u64,
+    obs: Option<SharedObs>,
 }
 
 impl Router {
     /// Creates an empty router.
     pub fn new(name: &str) -> Self {
-        Router { name: name.to_owned(), mappings: Vec::new(), transactions: 0 }
+        Router { name: name.to_owned(), mappings: Vec::new(), transactions: 0, obs: None }
+    }
+
+    /// Attaches an observability sink; every routed transaction is
+    /// reported to it (after the target has processed the payload, so
+    /// read data and response status are final).
+    pub fn set_obs(&mut self, obs: SharedObs) {
+        self.obs = Some(obs);
     }
 
     /// Router name (diagnostics).
@@ -135,25 +144,41 @@ impl Router {
         let addr = payload.address();
         let Some(m) = self.mappings.iter().find(|m| m.range.contains(addr)) else {
             payload.set_response(TlmResponse::AddressError);
+            self.emit(payload, addr, "<unmapped>");
             return;
         };
         let end = addr as u64 + payload.len() as u64;
         if end > m.range.end as u64 {
             payload.set_response(TlmResponse::BurstError);
+            self.emit(payload, addr, &m.name);
             return;
         }
         let local = addr - m.range.start;
         payload.set_address(local);
         m.target.borrow_mut().transport(payload, delay);
         payload.set_address(addr);
+        self.emit(payload, addr, &m.name);
+    }
+
+    /// Reports a finished transaction to the sink, if one is attached.
+    /// Called after the target's `transport` has returned so the sink is
+    /// never borrowed while a target is active (re-entrancy safety).
+    fn emit(&self, payload: &GenericPayload, addr: u32, target: &str) {
+        let Some(obs) = &self.obs else { return };
+        obs.borrow_mut().dyn_event(&ObsEvent::Tlm {
+            bus: self.name.clone(),
+            target: target.to_owned(),
+            addr,
+            len: payload.len() as u32,
+            write: payload.command() == TlmCommand::Write,
+            tag: payload.data_tag(),
+            ok: payload.is_ok(),
+        });
     }
 
     /// Looks up which mapping (if any) covers `addr`.
     pub fn resolve(&self, addr: u32) -> Option<(&str, AddrRange)> {
-        self.mappings
-            .iter()
-            .find(|m| m.range.contains(addr))
-            .map(|m| (m.name.as_str(), m.range))
+        self.mappings.iter().find(|m| m.range.contains(addr)).map(|m| (m.name.as_str(), m.range))
     }
 }
 
@@ -275,14 +300,40 @@ mod tests {
         let ram = scratch();
         inner.map("ram", AddrRange::new(0x0, 16), ram.clone()).unwrap();
         let mut outer = Router::new("sys-bus");
-        outer
-            .map("periph", AddrRange::new(0x1000, 16), Rc::new(RefCell::new(inner)))
-            .unwrap();
+        outer.map("periph", AddrRange::new(0x1000, 16), Rc::new(RefCell::new(inner))).unwrap();
 
         let mut p = GenericPayload::write(0x1004, &[Taint::untainted(9)]);
         outer.route(&mut p, &mut SimTime::ZERO.clone());
         assert!(p.is_ok());
         assert_eq!(ram.borrow().bytes[4].value(), 9);
+    }
+
+    #[test]
+    fn routed_transactions_reach_the_obs_sink() {
+        use vpdift_obs::{shared_obs, Recorder};
+        let mut router = Router::new("bus");
+        router.map("ram", AddrRange::new(0x100, 16), scratch()).unwrap();
+        let sink = Rc::new(RefCell::new(Recorder::new(8)));
+        router.set_obs(shared_obs(&sink));
+
+        let mut w = GenericPayload::write(0x104, &[Taint::new(1, Tag::atom(3))]);
+        router.route(&mut w, &mut SimTime::ZERO.clone());
+        let mut bad = GenericPayload::read(0x50, 1);
+        router.route(&mut bad, &mut SimTime::ZERO.clone());
+
+        let r = sink.borrow();
+        assert_eq!(r.metrics().tlm_per_target["ram"], 1);
+        assert_eq!(r.metrics().tlm_per_target["<unmapped>"], 1);
+        let events: Vec<_> = r.ring().iter().collect();
+        match &events[0].event {
+            vpdift_obs::ObsEvent::Tlm { target, addr, write, tag, ok, .. } => {
+                assert_eq!(target, "ram");
+                assert_eq!(*addr, 0x104, "global address reported");
+                assert!(*write && *ok);
+                assert_eq!(*tag, Tag::atom(3));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Offline drop-in replacement for the subset of `proptest` 1.x used by
+//! this workspace.
+//!
+//! The build container cannot reach crates.io, so the workspace patches
+//! `proptest` to this shim. It keeps the same *surface*: `proptest!`,
+//! `prop_oneof!`, `prop_assert!`/`prop_assert_eq!`, `Strategy` with
+//! `prop_map`/`prop_filter_map`, `any`, `Just`, `ProptestConfig`, and the
+//! `prop::collection::vec` / `prop::array::uniform4` constructors.
+//!
+//! Differences from real proptest, deliberately accepted for an offline
+//! test shim: inputs are generated from a deterministic per-test RNG (no
+//! persisted failure corpus) and failing cases are reported but **not
+//! shrunk**.
+
+// Vendored offline shim: keep the surface identical to the real crate
+// rather than chasing lints.
+#![allow(clippy::all)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Generation-side modules, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies (`vec`).
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    /// Fixed-size array strategies (`uniform4`).
+    pub mod array {
+        pub use crate::strategy::uniform4;
+    }
+}
+
+/// The conventional glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Declares property tests. Matches the real macro's grammar for the cases
+/// this workspace uses: an optional `#![proptest_config(..)]` header and
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] items. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        // `#[test]` arrives as one of the $meta attributes and is re-emitted.
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)*
+                let described = format!("{:?}", ($(&$arg,)*));
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}: {}\ninputs: {}",
+                        stringify!($name), case, config.cases, e, described
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice between heterogeneous strategies with a common value
+/// type (unweighted arms only, as this workspace uses).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new() $(.or($arm))+
+    };
+}
+
+/// Fails the enclosing property (returning a [`test_runner::TestCaseError`])
+/// when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality flavour of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), l, r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}

@@ -4,24 +4,40 @@
 //! ```text
 //! taintvp-run <program.s> [options]
 //!
-//!   --policy <file>     textual security policy (see vpdift_core::textpolicy)
-//!   --plain             run on the original VP (no taint tracking)
-//!   --record            log violations instead of stopping at the first
-//!   --input <string>    bytes fed to the terminal (supports \n, \xNN)
-//!   --max-insns <n>     instruction budget (default 100M)
-//!   --trace <n>         print the first n executed instructions
-//!   --dump-uart-hex     print UART output as hex instead of text
+//!   --policy <file>       textual security policy (see vpdift_core::textpolicy)
+//!   --plain               run on the original VP (no taint tracking)
+//!   --record              log violations instead of stopping at the first
+//!   --input <string>      bytes fed to the terminal (supports \n, \xNN)
+//!   --max-insns <n>       instruction budget (default 100M)
+//!   --trace <n>           print the first n executed instructions
+//!   --dump-uart-hex       print UART output as hex instead of text
+//!   --metrics             print the DIFT metrics summary after the run
+//!   --flight-recorder <n> keep the last n events; on violation print a
+//!                         flight report (disassembled tail + provenance)
+//!   --events-out <file>   write every event as JSON lines
+//!   --chrome-trace <file> write a Chrome-trace (about://tracing) file
 //! ```
+//!
+//! The observability flags attach a [`taintvp::obs::Recorder`] to every
+//! layer of the VP; without them the [`NullSink`] build runs and the
+//! instrumentation compiles to nothing.
 //!
 //! Exit status: 0 = guest reached `ebreak` cleanly, 2 = DIFT violation,
 //! 3 = other abnormal exit, 1 = usage/tooling error.
 
+use std::cell::RefCell;
 use std::process::ExitCode;
+use std::rc::Rc;
 
-use taintvp::asm::{parse_asm, Insn};
+use taintvp::asm::{parse_asm, Program};
 use taintvp::core::{parse_policy, AtomTable, EnforceMode, SecurityPolicy};
-use taintvp::rv32::{Plain, Tainted};
+use taintvp::obs::export::{write_chrome_trace, write_jsonl};
+use taintvp::obs::{NullSink, ObsSink, Recorder};
+use taintvp::rv32::{Plain, TaintMode, Tainted};
 use taintvp::soc::{Soc, SocConfig, SocExit};
+
+/// Ring capacity when observability is on but `--flight-recorder` is not.
+const DEFAULT_RING: usize = 32;
 
 struct Options {
     program: String,
@@ -32,12 +48,27 @@ struct Options {
     max_insns: u64,
     trace: u64,
     uart_hex: bool,
+    metrics: bool,
+    flight_recorder: Option<usize>,
+    events_out: Option<String>,
+    chrome_trace: Option<String>,
+}
+
+impl Options {
+    /// Any flag that needs the recording sink?
+    fn observed(&self) -> bool {
+        self.metrics
+            || self.flight_recorder.is_some()
+            || self.events_out.is_some()
+            || self.chrome_trace.is_some()
+    }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: taintvp-run <program.s> [--policy file] [--plain] [--record] \
-         [--input str] [--max-insns n] [--trace n] [--dump-uart-hex]"
+         [--input str] [--max-insns n] [--trace n] [--dump-uart-hex] \
+         [--metrics] [--flight-recorder n] [--events-out file] [--chrome-trace file]"
     );
     ExitCode::from(1)
 }
@@ -66,9 +97,8 @@ fn unescape(s: &str) -> Result<Vec<u8>, String> {
                     i += 2;
                 }
                 b'x' => {
-                    let hex = s
-                        .get(i + 2..i + 4)
-                        .ok_or_else(|| "truncated \\x escape".to_owned())?;
+                    let hex =
+                        s.get(i + 2..i + 4).ok_or_else(|| "truncated \\x escape".to_owned())?;
                     let v = u8::from_str_radix(hex, 16)
                         .map_err(|_| format!("bad \\x escape `{hex}`"))?;
                     out.push(v);
@@ -95,6 +125,10 @@ fn parse_args() -> Result<Options, String> {
         max_insns: 100_000_000,
         trace: 0,
         uart_hex: false,
+        metrics: false,
+        flight_recorder: None,
+        events_out: None,
+        chrome_trace: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -120,6 +154,24 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|_| "bad --trace value".to_owned())?;
             }
             "--dump-uart-hex" => opts.uart_hex = true,
+            "--metrics" => opts.metrics = true,
+            "--flight-recorder" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--flight-recorder needs a capacity")?
+                    .parse()
+                    .map_err(|_| "bad --flight-recorder value".to_owned())?;
+                if n == 0 {
+                    return Err("--flight-recorder capacity must be > 0".into());
+                }
+                opts.flight_recorder = Some(n);
+            }
+            "--events-out" => {
+                opts.events_out = Some(args.next().ok_or("--events-out needs a file")?);
+            }
+            "--chrome-trace" => {
+                opts.chrome_trace = Some(args.next().ok_or("--chrome-trace needs a file")?);
+            }
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             other if opts.program.is_empty() => opts.program = other.to_owned(),
             other => return Err(format!("unexpected argument `{other}`")),
@@ -149,17 +201,17 @@ fn describe_exit(exit: &SocExit, atoms: &AtomTable) -> (&'static str, u8) {
     }
 }
 
-fn run<M: taintvp::rv32::TaintMode>(
+fn run_vp<M: TaintMode, S: ObsSink>(
     opts: &Options,
     policy: SecurityPolicy,
-    atoms: &AtomTable,
-    program: &taintvp::asm::Program,
-) -> ExitCode {
+    program: &Program,
+    obs: Rc<RefCell<S>>,
+) -> (SocExit, Soc<M, S>) {
     let mut cfg = SocConfig::with_policy(policy);
     if opts.record {
         cfg.enforce = EnforceMode::Record;
     }
-    let mut soc = Soc::<M>::new(cfg);
+    let mut soc: Soc<M, S> = Soc::with_obs(cfg, obs);
     soc.load_program(program);
     soc.terminal().borrow_mut().feed(&opts.input);
 
@@ -167,27 +219,24 @@ fn run<M: taintvp::rv32::TaintMode>(
     let mut remaining = opts.max_insns;
     for _ in 0..opts.trace.min(remaining) {
         let pc = soc.cpu().pc();
-        let word = soc.ram().borrow().load(pc, 4).0;
-        let text = Insn::decode(word)
-            .map(|i| i.to_string())
-            .unwrap_or_else(|_| format!(".word {word:#010x}"));
+        let (text, _) = soc.disassemble_at(pc);
         let exit = soc.run(1);
         eprintln!("[{:>8}] {pc:#010x}: {text}", soc.instret());
         remaining = remaining.saturating_sub(1);
         if !matches!(exit, SocExit::InstrLimit) {
-            return finish(&exit, soc, opts, atoms);
+            return (exit, soc);
         }
     }
     let exit = soc.run(remaining);
-    finish(&exit, soc, opts, atoms)
+    (exit, soc)
 }
 
-fn finish<M: taintvp::rv32::TaintMode>(
+fn report<M: TaintMode, S: ObsSink>(
     exit: &SocExit,
-    soc: Soc<M>,
+    soc: &Soc<M, S>,
     opts: &Options,
     atoms: &AtomTable,
-) -> ExitCode {
+) -> u8 {
     let uart = soc.uart().borrow().output().to_vec();
     if opts.uart_hex {
         let hex: Vec<String> = uart.iter().map(|b| format!("{b:02x}")).collect();
@@ -206,6 +255,55 @@ fn finish<M: taintvp::rv32::TaintMode>(
         soc.now(),
         engine.violations().len()
     );
+    code
+}
+
+/// Flight report, metrics and export files from a recorded run. Returns an
+/// error string if an output file cannot be written.
+fn obs_epilogue(rec: &Recorder, opts: &Options, atoms: &AtomTable) -> Result<(), String> {
+    if opts.flight_recorder.is_some() {
+        if let Some(report) = rec.flight_report(atoms) {
+            eprintln!("{report}");
+        }
+    }
+    if opts.metrics {
+        eprintln!("{}", rec.metrics());
+    }
+    if let Some(path) = &opts.events_out {
+        let f = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        write_jsonl(std::io::BufWriter::new(f), rec.events())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(path) = &opts.chrome_trace {
+        let f = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        write_chrome_trace(std::io::BufWriter::new(f), rec.events())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn run<M: TaintMode>(
+    opts: &Options,
+    policy: SecurityPolicy,
+    atoms: &AtomTable,
+    program: &Program,
+) -> ExitCode {
+    if !opts.observed() {
+        let obs = Rc::new(RefCell::new(NullSink));
+        let (exit, soc) = run_vp::<M, NullSink>(opts, policy, program, obs);
+        return ExitCode::from(report(&exit, &soc, opts, atoms));
+    }
+    let mut rec = Recorder::new(opts.flight_recorder.unwrap_or(DEFAULT_RING));
+    if opts.events_out.is_some() || opts.chrome_trace.is_some() {
+        rec = rec.with_event_log();
+    }
+    let obs = Rc::new(RefCell::new(rec));
+    let (exit, soc) = run_vp::<M, Recorder>(opts, policy, program, obs.clone());
+    let code = report(&exit, &soc, opts, atoms);
+    if let Err(e) = obs_epilogue(&obs.borrow(), opts, atoms) {
+        eprintln!("error: {e}");
+        return ExitCode::from(1);
+    }
     ExitCode::from(code)
 }
 

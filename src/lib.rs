@@ -23,6 +23,7 @@ pub use vpdift_core as core;
 pub use vpdift_firmware as firmware;
 pub use vpdift_immo as immo;
 pub use vpdift_kernel as kernel;
+pub use vpdift_obs as obs;
 pub use vpdift_periph as periph;
 pub use vpdift_rv32 as rv32;
 pub use vpdift_soc as soc;

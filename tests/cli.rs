@@ -27,8 +27,7 @@ fn enforced_leak_exits_2_with_diagnostics() {
 
 #[test]
 fn plain_mode_runs_clean() {
-    let (code, stdout, stderr) =
-        run_cli(&["docs/examples/leak.s", "--plain", "--dump-uart-hex"]);
+    let (code, stdout, stderr) = run_cli(&["docs/examples/leak.s", "--plain", "--dump-uart-hex"]);
     assert_eq!(code, 0, "stderr: {stderr}");
     assert!(stdout.contains("uart[1]"));
     assert!(stderr.contains("clean exit"));
@@ -67,8 +66,7 @@ fn usage_errors_exit_1() {
 #[test]
 fn input_escapes_reach_the_terminal() {
     // docs/examples/echo_once.s echoes one console byte; feed it \x41.
-    let (code, stdout, _) =
-        run_cli(&["docs/examples/echo_once.s", "--plain", "--input", "\\x41"]);
+    let (code, stdout, _) = run_cli(&["docs/examples/echo_once.s", "--plain", "--input", "\\x41"]);
     assert_eq!(code, 0);
     assert!(stdout.contains('A'));
 }

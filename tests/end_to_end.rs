@@ -184,9 +184,7 @@ fn declassification_end_to_end() {
 #[test]
 fn tags_survive_interrupt_driven_flows() {
     let secret = Tag::atom(3);
-    let policy = SecurityPolicy::builder("sensor-secret")
-        .source("sensor.data", secret)
-        .build();
+    let policy = SecurityPolicy::builder("sensor-secret").source("sensor.data", secret).build();
     let prog = {
         use taintvp::asm::csr;
         let mut a = Asm::new(0);

@@ -62,11 +62,8 @@ fn textual_program_runs_clean_without_classification() {
 #[test]
 fn text_and_builder_assemblies_are_bit_identical() {
     use taintvp::asm::{Asm, Reg};
-    let text = parse_asm(
-        "start:\n  li a0, 0x12345678\n  add a1, a0, a0\n  ebreak\n",
-        0x80,
-    )
-    .unwrap();
+    let text =
+        parse_asm("start:\n  li a0, 0x12345678\n  add a1, a0, a0\n  ebreak\n", 0x80).unwrap();
     let mut b = Asm::new(0x80);
     b.label("start");
     b.li(Reg::A0, 0x12345678);
