@@ -1,0 +1,97 @@
+//! Seeded fault-injection campaign runner.
+//!
+//! Replays the immobilizer and attack-suite scenarios under `--runs`
+//! deterministic fault schedules derived from `--seed`, classifies every
+//! outcome, and prints (or writes with `--out`) the campaign report as
+//! deterministic JSON: the same seed always produces byte-identical
+//! output.
+//!
+//! Exit status: `0` on a fully classified campaign, `2` when any run of
+//! the immobilizer session ended in silent data corruption (the outcome
+//! the resilience machinery exists to prevent), `1` on bad arguments.
+
+use std::process::ExitCode;
+
+use vpdift_faults::{render_json, run_campaign, CampaignConfig, Outcome};
+
+const USAGE: &str = "usage: faultcamp [--seed N] [--runs N] [--rate R] [--out FILE]";
+
+fn parse_args() -> Result<(CampaignConfig, Option<String>), String> {
+    let mut cfg = CampaignConfig::default();
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--seed" => {
+                let v = value("--seed")?;
+                cfg.seed = parse_u64(&v).ok_or(format!("bad --seed {v}"))?;
+            }
+            "--runs" => {
+                let v = value("--runs")?;
+                cfg.runs = v.parse().map_err(|_| format!("bad --runs {v}"))?;
+            }
+            "--rate" => {
+                let v = value("--rate")?;
+                cfg.rate = v.parse().map_err(|_| format!("bad --rate {v}"))?;
+                if !(cfg.rate > 0.0 && cfg.rate.is_finite()) {
+                    return Err(format!("--rate must be a positive finite number, got {v}"));
+                }
+            }
+            "--out" => out = Some(value("--out")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    Ok((cfg, out))
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() -> ExitCode {
+    let (cfg, out) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(1);
+        }
+    };
+
+    eprintln!(
+        "faultcamp: seed=0x{:x} runs={} rate={} — running campaign...",
+        cfg.seed, cfg.runs, cfg.rate
+    );
+    let report = run_campaign(&cfg);
+    let json = render_json(&report);
+
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("faultcamp: cannot write {path}: {e}");
+                return ExitCode::from(1);
+            }
+            eprintln!("faultcamp: report written to {path}");
+        }
+        None => print!("{json}"),
+    }
+
+    eprintln!("faultcamp: outcome summary:");
+    for o in Outcome::ALL {
+        eprintln!("  {:>16}: {}", o.label(), report.total(o));
+    }
+
+    let immo_sdc = report.scenario_count("immo-session", Outcome::Sdc);
+    if immo_sdc > 0 {
+        eprintln!(
+            "faultcamp: FAIL — {immo_sdc} immobilizer run(s) ended in silent data corruption"
+        );
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}

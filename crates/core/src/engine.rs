@@ -77,6 +77,17 @@ pub struct EngineStats {
 /// assert_eq!(err.kind, ViolationKind::Output { sink: "uart.tx".into() });
 /// assert_eq!(engine.violations().len(), 1);
 /// ```
+/// # Fail-closed rule
+///
+/// A tag carrying atoms outside the policy's
+/// [atom universe](SecurityPolicy::atom_universe) cannot have been produced
+/// by any legitimate classification — it is corrupted tag state (e.g. an
+/// injected tag-bit flip, or a bug upstream). The engine **never panics and
+/// never silently declassifies** on such a tag: it saturates it to the
+/// lattice top (all atoms) before evaluating the check, so the flow is
+/// denied by every clearance below top and the recorded violation carries
+/// the saturated tag, making the corruption visible in reports. In-universe
+/// tags are unaffected.
 #[derive(Clone)]
 pub struct DiftEngine {
     policy: SecurityPolicy,
@@ -84,6 +95,8 @@ pub struct DiftEngine {
     violations: Vec<Violation>,
     stats: EngineStats,
     observer: Option<SharedFlowObserver>,
+    /// Cached [`SecurityPolicy::atom_universe`] for the fail-closed check.
+    universe: Tag,
 }
 
 impl fmt::Debug for DiftEngine {
@@ -101,12 +114,14 @@ impl fmt::Debug for DiftEngine {
 impl DiftEngine {
     /// Creates an enforcing engine for `policy`.
     pub fn new(policy: SecurityPolicy) -> Self {
+        let universe = policy.atom_universe();
         DiftEngine {
             policy,
             mode: EnforceMode::Enforce,
             violations: Vec::new(),
             stats: EngineStats::default(),
             observer: None,
+            universe,
         }
     }
 
@@ -166,8 +181,21 @@ impl DiftEngine {
         !self.violations.is_empty()
     }
 
+    /// The fail-closed rule (see the type-level docs): tags with atoms
+    /// outside the policy's universe are corrupted state and saturate to
+    /// top instead of panicking or silently declassifying.
+    #[inline]
+    fn sanitize(&self, tag: Tag) -> Tag {
+        if tag.flows_to(self.universe) {
+            tag
+        } else {
+            Tag::from_bits(u32::MAX)
+        }
+    }
+
     /// The core check: is `allowedFlow(tag, required)`? On failure a
-    /// violation of `kind` is recorded.
+    /// violation of `kind` is recorded. `tag` is subject to the fail-closed
+    /// rule (see the type-level docs).
     ///
     /// # Errors
     /// In [`EnforceMode::Enforce`], returns the recorded [`Violation`]; in
@@ -179,6 +207,7 @@ impl DiftEngine {
         required: Tag,
         pc: Option<u32>,
     ) -> Result<(), Violation> {
+        let tag = self.sanitize(tag);
         self.stats.checks += 1;
         let passed = tag.flows_to(required);
         if let Some(obs) = &self.observer {
@@ -207,13 +236,15 @@ impl DiftEngine {
     }
 
     /// Checks a store of data tagged `tag` to address `addr` against any
-    /// protected-region rule covering it.
+    /// protected-region rule covering it. `tag` is subject to the
+    /// fail-closed rule (see the type-level docs).
     ///
     /// # Errors
     /// See [`DiftEngine::check_flow`].
     pub fn check_store(&mut self, addr: u32, tag: Tag, pc: Option<u32>) -> Result<(), Violation> {
         if let Some((rule, clearance)) = self.policy.write_clearance_at(addr) {
             let region = rule.name.clone();
+            let tag = self.sanitize(tag);
             self.stats.checks += 1;
             let passed = tag.flows_to(clearance);
             if let Some(obs) = &self.observer {
@@ -303,6 +334,22 @@ mod tests {
         assert!(v.context.contains("0x00001002"));
         // Outside the region: unchecked.
         assert!(e.check_store(0x2000, UNTRUSTED, None).is_ok());
+    }
+
+    #[test]
+    fn corrupted_tags_fail_closed() {
+        let mut e = engine(); // universe = SECRET ∪ UNTRUSTED
+        let corrupt = Tag::atom(7);
+        // An out-of-universe atom is denied and recorded saturated to top —
+        // corruption never panics and never slips through as declassified.
+        let v = e.check_output("uart.tx", corrupt, None).unwrap_err();
+        assert_eq!(v.tag, Tag::from_bits(u32::MAX), "violation shows the saturated tag");
+        // Same for protected stores, even mixed with legitimate atoms.
+        let v = e.check_store(0x1002, SECRET.lub(corrupt), None).unwrap_err();
+        assert_eq!(v.tag, Tag::from_bits(u32::MAX));
+        // In-universe tags are untouched by the rule.
+        assert!(e.check_output("uart.tx", UNTRUSTED, None).is_ok());
+        assert!(e.check_store(0x1002, SECRET, None).is_ok());
     }
 
     #[test]

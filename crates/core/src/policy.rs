@@ -194,6 +194,33 @@ impl SecurityPolicy {
     pub fn may_declassify(&self, component: &str) -> bool {
         self.declass_grants.contains(component)
     }
+
+    /// The union of every atom the policy mentions anywhere — source tags,
+    /// sink clearances, region classification and write clearances, and
+    /// execution clearances.
+    ///
+    /// A tag carrying atoms *outside* this universe cannot have been
+    /// produced by any legitimate classification under this policy; the
+    /// engine treats such tags as corrupted state and fails closed (see
+    /// [`crate::DiftEngine`]'s fail-closed rule).
+    pub fn atom_universe(&self) -> Tag {
+        let mut u = Tag::EMPTY;
+        for t in self.sources.values().chain(self.sinks.values()) {
+            u = u.lub(*t);
+        }
+        for r in &self.regions {
+            if let Some(t) = r.classify {
+                u = u.lub(t);
+            }
+            if let Some(t) = r.write_clearance {
+                u = u.lub(t);
+            }
+        }
+        for t in [self.exec.fetch, self.exec.branch, self.exec.mem_addr].into_iter().flatten() {
+            u = u.lub(t);
+        }
+        u
+    }
 }
 
 /// Builder for [`SecurityPolicy`]; see there for an example.
@@ -408,6 +435,23 @@ mod tests {
         assert_eq!(p.exec().branch, Some(SECRET));
         assert_eq!(p.exec().mem_addr, Some(UNTRUSTED));
         assert_eq!(p.exec().fetch, None);
+    }
+
+    #[test]
+    fn atom_universe_unions_every_mention() {
+        let p = SecurityPolicy::builder("t")
+            .source("can.rx", UNTRUSTED)
+            .sink("uart.tx", Tag::EMPTY)
+            .classify_region("s", AddrRange::new(0, 4), SECRET)
+            .protect_region("p", AddrRange::new(8, 4), Tag::atom(4))
+            .branch_clearance(Tag::atom(5))
+            .build();
+        let u = p.atom_universe();
+        for atom in [0, 1, 4, 5] {
+            assert!(u.contains(Tag::atom(atom)), "atom {atom}");
+        }
+        assert_eq!(u.atom_count(), 4);
+        assert_eq!(SecurityPolicy::permissive().atom_universe(), Tag::EMPTY);
     }
 
     #[test]

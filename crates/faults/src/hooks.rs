@@ -1,0 +1,180 @@
+//! Reusable fault hooks: the TLM bus interposer model and the lossy CAN
+//! line model. Both are *armed* by the injector and disarm themselves
+//! after firing, so a planned fault disturbs exactly one transaction or
+//! frame.
+
+use vpdift_periph::{CanFrame, CanLineFault};
+use vpdift_tlm::{FaultAction, GenericPayload, TlmCommand, TlmFaultHook, TlmResponse};
+
+/// What an armed [`ArmedBusFault`] does to the next MMIO transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusFaultKind {
+    /// XOR bit 0 of the first data lane (write data before routing, read
+    /// data after).
+    Corrupt,
+    /// Drop the transaction; it completes with a generic error.
+    Drop,
+    /// Respond with an address error without routing.
+    Error,
+}
+
+/// A one-shot TLM fault hook: transparent until [`ArmedBusFault::arm`] is
+/// called, then disturbs the next read or write and disarms itself.
+#[derive(Debug, Default)]
+pub struct ArmedBusFault {
+    armed: Option<BusFaultKind>,
+}
+
+impl ArmedBusFault {
+    /// Arms the hook for the next transaction (overwrites a pending arm).
+    pub fn arm(&mut self, kind: BusFaultKind) {
+        self.armed = Some(kind);
+    }
+
+    /// `true` while a fault is pending.
+    pub fn is_armed(&self) -> bool {
+        self.armed.is_some()
+    }
+}
+
+impl TlmFaultHook for ArmedBusFault {
+    fn before(&mut self, p: &mut GenericPayload) -> FaultAction {
+        match self.armed {
+            None => FaultAction::Pass,
+            Some(BusFaultKind::Drop) => {
+                self.armed = None;
+                FaultAction::Drop
+            }
+            Some(BusFaultKind::Error) => {
+                self.armed = None;
+                FaultAction::Respond(TlmResponse::AddressError)
+            }
+            Some(BusFaultKind::Corrupt) => {
+                if p.command() == TlmCommand::Write && !p.data().is_empty() {
+                    self.armed = None;
+                    let lane = p.data()[0];
+                    p.data_mut()[0] = lane.map(|v| v ^ 0x01);
+                }
+                // Reads are corrupted in `after`, once the target filled
+                // the lanes; stay armed until then.
+                FaultAction::Pass
+            }
+        }
+    }
+
+    fn after(&mut self, p: &mut GenericPayload) {
+        if self.armed == Some(BusFaultKind::Corrupt)
+            && p.command() == TlmCommand::Read
+            && p.is_ok()
+            && !p.data().is_empty()
+        {
+            self.armed = None;
+            let lane = p.data()[0];
+            p.data_mut()[0] = lane.map(|v| v ^ 0x01);
+        }
+    }
+}
+
+/// A lossy/corrupting CAN line model. Drops the next `n` frames and/or
+/// flips a bit in the next surviving frame; both arms are consumed as
+/// frames cross the wire (in either direction).
+#[derive(Debug, Default)]
+pub struct LossyCanFault {
+    drop_remaining: u32,
+    corrupt_armed: bool,
+    frames_dropped: u32,
+}
+
+impl LossyCanFault {
+    /// Arms the line to lose the next `n` frames (cumulative).
+    pub fn arm_drop(&mut self, n: u32) {
+        self.drop_remaining += n;
+    }
+
+    /// Arms the line to flip a bit in the next surviving frame.
+    pub fn arm_corrupt(&mut self) {
+        self.corrupt_armed = true;
+    }
+
+    /// Frames eaten by the line so far.
+    pub fn frames_dropped(&self) -> u32 {
+        self.frames_dropped
+    }
+}
+
+impl CanLineFault for LossyCanFault {
+    fn on_frame(&mut self, frame: &mut CanFrame, _to_device: bool) -> bool {
+        if self.drop_remaining > 0 {
+            self.drop_remaining -= 1;
+            self.frames_dropped += 1;
+            return false;
+        }
+        if self.corrupt_armed && frame.dlc > 0 {
+            self.corrupt_armed = false;
+            frame.data[0] = frame.data[0].map(|v| v ^ 0x01);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdift_core::Taint;
+
+    fn write_payload(v: u8) -> GenericPayload {
+        GenericPayload::write(0x100, &[Taint::untainted(v)])
+    }
+
+    #[test]
+    fn bus_fault_is_one_shot() {
+        let mut h = ArmedBusFault::default();
+        let mut p = write_payload(7);
+        assert_eq!(h.before(&mut p), FaultAction::Pass, "unarmed hook is transparent");
+
+        h.arm(BusFaultKind::Drop);
+        assert!(h.is_armed());
+        assert_eq!(h.before(&mut p), FaultAction::Drop);
+        assert_eq!(h.before(&mut p), FaultAction::Pass, "disarmed after firing");
+    }
+
+    #[test]
+    fn bus_corrupt_flips_write_lane() {
+        let mut h = ArmedBusFault::default();
+        h.arm(BusFaultKind::Corrupt);
+        let mut p = write_payload(0x10);
+        assert_eq!(h.before(&mut p), FaultAction::Pass);
+        assert_eq!(p.data()[0].value(), 0x11, "bit 0 flipped in the write lane");
+        assert!(!h.is_armed());
+    }
+
+    #[test]
+    fn bus_corrupt_waits_for_read_data() {
+        let mut h = ArmedBusFault::default();
+        h.arm(BusFaultKind::Corrupt);
+        let mut p = GenericPayload::read(0x100, 1);
+        assert_eq!(h.before(&mut p), FaultAction::Pass);
+        assert!(h.is_armed(), "read corruption happens after routing");
+        p.data_mut()[0] = Taint::untainted(0x20);
+        p.set_response(vpdift_tlm::TlmResponse::Ok);
+        h.after(&mut p);
+        assert_eq!(p.data()[0].value(), 0x21);
+        assert!(!h.is_armed());
+    }
+
+    #[test]
+    fn can_line_drops_then_corrupts() {
+        let mut l = LossyCanFault::default();
+        l.arm_drop(2);
+        l.arm_corrupt();
+        let mut f = CanFrame::new(1, &[0x40]);
+        assert!(!l.on_frame(&mut f, true));
+        assert!(!l.on_frame(&mut f, true));
+        assert_eq!(l.frames_dropped(), 2);
+        assert!(l.on_frame(&mut f, true), "third frame survives");
+        assert_eq!(f.data[0].value(), 0x41, "but is corrupted");
+        let mut g = CanFrame::new(1, &[0x40]);
+        assert!(l.on_frame(&mut g, false));
+        assert_eq!(g.data[0].value(), 0x40, "corrupt arm was one-shot");
+    }
+}

@@ -44,9 +44,13 @@ impl EngineEcu {
         Aes128::new(&self.pin).encrypt_block(&block)
     }
 
-    /// Sends `challenge` to the immobilizer over CAN.
-    pub fn send_challenge(&self, can: &CanHostEndpoint, challenge: &[u8; 8]) {
-        can.send(CanFrame::new(CHALLENGE_ID, challenge));
+    /// Sends `challenge` to the immobilizer over CAN with bounded retry
+    /// (up to 4 attempts), so injected frame loss degrades to retries
+    /// instead of a silently lost round. Returns `false` when every
+    /// attempt was dropped by a line fault; on a fault-free wire this
+    /// never fails.
+    pub fn send_challenge(&self, can: &CanHostEndpoint, challenge: &[u8; 8]) -> bool {
+        can.send_with_retry(CanFrame::new(CHALLENGE_ID, challenge), 4).is_some()
     }
 
     /// Collects the two response halves from CAN and verifies them.

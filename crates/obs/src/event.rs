@@ -217,6 +217,19 @@ pub enum ObsEvent {
         /// `true` for asynchronous interrupts.
         irq: bool,
     },
+    /// A fault was injected into the platform by a fault-injection
+    /// campaign (`vpdift-faults`).
+    FaultInjected {
+        /// Where the fault was injected (e.g. `"ram"`, `"sys-bus"`,
+        /// `"can"`, `"plic"`).
+        site: String,
+        /// Fault kind label (e.g. `"ram_data_flip"`, `"tlm_drop"`).
+        kind: String,
+        /// Faulted address, when the fault targets one.
+        addr: Option<u32>,
+        /// Kind-specific detail (bit index, IRQ line, burst count, …).
+        detail: u32,
+    },
 }
 
 impl ObsEvent {
@@ -233,6 +246,7 @@ impl ObsEvent {
             ObsEvent::Declassify { .. } => "declassify",
             ObsEvent::Tlm { .. } => "tlm",
             ObsEvent::Trap { .. } => "trap",
+            ObsEvent::FaultInjected { .. } => "fault",
         }
     }
 }

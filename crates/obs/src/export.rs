@@ -96,6 +96,12 @@ fn event_fields(event: &ObsEvent) -> String {
             tag_json(*tag)
         ),
         ObsEvent::Trap { pc, cause, irq } => format!("\"pc\":{pc},\"cause\":{cause},\"irq\":{irq}"),
+        ObsEvent::FaultInjected { site, kind, addr, detail } => format!(
+            "\"site\":\"{}\",\"fault\":\"{}\",\"addr\":{},\"detail\":{detail}",
+            escape(site),
+            escape(kind),
+            opt_u32(*addr)
+        ),
     }
 }
 

@@ -43,6 +43,8 @@ pub struct Metrics {
     pub violations: u64,
     /// Traps/interrupts taken.
     pub traps: u64,
+    /// Faults injected by a fault-injection campaign.
+    pub faults_injected: u64,
     /// Per-atom high-water mark of classified RAM bytes (from periodic
     /// spread samples; index = atom).
     pub taint_high_water: [u32; ATOM_SLOTS],
@@ -82,6 +84,7 @@ impl Metrics {
                 *self.tlm_per_target.entry(target.clone()).or_insert(0) += 1;
             }
             ObsEvent::Trap { .. } => self.traps += 1,
+            ObsEvent::FaultInjected { .. } => self.faults_injected += 1,
         }
     }
 
@@ -130,6 +133,9 @@ impl fmt::Display for Metrics {
         writeln!(f, "declassifications:      {}", self.declassifications)?;
         writeln!(f, "traps taken:            {}", self.traps)?;
         writeln!(f, "violations:             {}", self.violations)?;
+        if self.faults_injected > 0 {
+            writeln!(f, "faults injected:        {}", self.faults_injected)?;
+        }
         if !self.tlm_per_target.is_empty() {
             writeln!(f, "TLM transactions per target:")?;
             for (target, n) in &self.tlm_per_target {

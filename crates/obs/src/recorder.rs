@@ -192,6 +192,13 @@ impl Recorder {
                     let what = if *irq { "irq" } else { "trap" };
                     let _ = writeln!(out, "      {what}       cause={cause} @ pc={pc:#010x}");
                 }
+                ObsEvent::FaultInjected { site, kind, addr, detail } => {
+                    let _ = write!(out, "      FAULT      {kind} @ `{site}`");
+                    if let Some(a) = addr {
+                        let _ = write!(out, " addr={a:#010x}");
+                    }
+                    let _ = writeln!(out, " detail={detail}");
+                }
             }
         }
         Some(out)

@@ -49,11 +49,49 @@ impl CanFrame {
     }
 }
 
+/// A line-level fault model for a CAN link: consulted for every frame
+/// entering the wire in either direction. Implementations may mutate the
+/// frame (bit corruption) and return `false` to drop it entirely.
+pub trait CanLineFault {
+    /// `frame` is about to be put on the wire; `to_device` is `true` for
+    /// host→VP traffic. Return `false` to lose the frame.
+    fn on_frame(&mut self, frame: &mut CanFrame, to_device: bool) -> bool;
+}
+
+/// A line-fault model as shared with a [`CanChannel`].
+pub type SharedCanLine = Rc<RefCell<dyn CanLineFault>>;
+
 /// The two directions of a point-to-point CAN link.
-#[derive(Debug, Default)]
+#[derive(Default)]
 struct ChannelState {
     to_host: VecDeque<CanFrame>,
     to_device: VecDeque<CanFrame>,
+    line_fault: Option<SharedCanLine>,
+}
+
+impl core::fmt::Debug for ChannelState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ChannelState")
+            .field("to_host", &self.to_host)
+            .field("to_device", &self.to_device)
+            .field("line_fault", &self.line_fault.is_some())
+            .finish()
+    }
+}
+
+/// Applies the channel's line-fault model to `frame`; `true` = deliver.
+/// The hook handle is cloned out first so the model may inspect the
+/// channel without a double borrow.
+fn apply_line_fault(
+    state: &Rc<RefCell<ChannelState>>,
+    frame: &mut CanFrame,
+    to_device: bool,
+) -> bool {
+    let hook = state.borrow().line_fault.clone();
+    match hook {
+        Some(h) => h.borrow_mut().on_frame(frame, to_device),
+        None => true,
+    }
 }
 
 /// A shared CAN link between the VP's controller and a host endpoint.
@@ -72,6 +110,17 @@ impl CanChannel {
     pub fn host_endpoint(&self) -> CanHostEndpoint {
         CanHostEndpoint { state: Rc::clone(&self.state) }
     }
+
+    /// Installs a line-level fault model (frame corruption/loss) on the
+    /// link; both directions pass through it.
+    pub fn set_line_fault(&self, fault: SharedCanLine) {
+        self.state.borrow_mut().line_fault = Some(fault);
+    }
+
+    /// Removes the line-fault model; the wire is perfect again.
+    pub fn clear_line_fault(&self) {
+        self.state.borrow_mut().line_fault = None;
+    }
 }
 
 /// Host-side access to the CAN link (the scripted remote ECU).
@@ -81,9 +130,41 @@ pub struct CanHostEndpoint {
 }
 
 impl CanHostEndpoint {
-    /// Sends a frame towards the VP.
-    pub fn send(&self, frame: CanFrame) {
+    /// Sends a frame towards the VP. Returns `true` when the frame made it
+    /// onto the wire — an installed line-fault model may corrupt or drop
+    /// it (`false`). On a fault-free link this never fails.
+    pub fn send(&self, frame: CanFrame) -> bool {
+        let mut frame = frame;
+        if !apply_line_fault(&self.state, &mut frame, true) {
+            return false;
+        }
         self.state.borrow_mut().to_device.push_back(frame);
+        true
+    }
+
+    /// Sends a frame with bounded retry: re-attempts a dropped frame up to
+    /// `max_attempts` times in total, backing off by re-entering the
+    /// (fault) line each attempt. Returns the number of attempts used when
+    /// the frame was delivered, or `None` when every attempt was lost.
+    ///
+    /// The channel is untimed on the host side, so "backoff" here is
+    /// attempt-bounded rather than timed — the graceful-degradation
+    /// contract is that injected frame loss costs retries, never a hang.
+    pub fn send_with_retry(&self, frame: CanFrame, max_attempts: u32) -> Option<u32> {
+        (1..=max_attempts).find(|_| self.send(frame.clone()))
+    }
+
+    /// Installs a line-level fault model on the link — the host endpoint
+    /// shares the channel state, so this is the same wire
+    /// [`CanChannel::set_line_fault`] configures. Exists so harnesses that
+    /// only hold the host side of a built SoC can still break the wire.
+    pub fn set_line_fault(&self, fault: SharedCanLine) {
+        self.state.borrow_mut().line_fault = Some(fault);
+    }
+
+    /// Removes the line-fault model; the wire is perfect again.
+    pub fn clear_line_fault(&self) {
+        self.state.borrow_mut().line_fault = None;
     }
 
     /// Receives the next frame transmitted by the VP, if any.
@@ -240,9 +321,13 @@ impl TlmTarget for CanController {
                         .fold(Tag::EMPTY, |acc, b| acc.lub(b.tag()));
                     match self.engine.borrow_mut().check_output(&self.sink, tag, None) {
                         Ok(()) => {
-                            let frame =
+                            let mut frame =
                                 CanFrame { id: self.tx_id, dlc: self.tx_dlc, data: self.tx_data };
-                            self.channel.state.borrow_mut().to_host.push_back(frame);
+                            // The wire may corrupt or lose the frame; the
+                            // controller has done its part either way.
+                            if apply_line_fault(&self.channel.state, &mut frame, false) {
+                                self.channel.state.borrow_mut().to_host.push_back(frame);
+                            }
                             self.frames_sent += 1;
                             p.set_response(TlmResponse::Ok);
                         }
@@ -404,5 +489,94 @@ mod tests {
         assert_eq!(rd(&mut c, regs::RX_ID).value(), 0);
         assert_eq!(rd(&mut c, regs::RX_DLC).value(), 0);
         assert_eq!(c.name(), "can0");
+    }
+
+    /// Drops the first `drop_n` frames in each direction, then corrupts
+    /// bit 0 of byte 0 on everything that passes.
+    struct LossyLine {
+        drop_n: u32,
+        corrupt: bool,
+        seen: u32,
+    }
+
+    impl CanLineFault for LossyLine {
+        fn on_frame(&mut self, frame: &mut CanFrame, _to_device: bool) -> bool {
+            self.seen += 1;
+            if self.seen <= self.drop_n {
+                return false;
+            }
+            if self.corrupt {
+                frame.data[0] = frame.data[0].map(|v| v ^ 1);
+            }
+            true
+        }
+    }
+
+    #[test]
+    fn line_fault_drops_and_send_reports_it() {
+        let channel = CanChannel::new();
+        let host = channel.host_endpoint();
+        channel.set_line_fault(Rc::new(RefCell::new(LossyLine {
+            drop_n: 2,
+            corrupt: false,
+            seen: 0,
+        })));
+        assert!(!host.send(CanFrame::new(1, &[0xAA])), "first frame lost");
+        assert!(!host.send(CanFrame::new(1, &[0xAA])), "second frame lost");
+        assert!(host.send(CanFrame::new(1, &[0xAA])));
+        channel.clear_line_fault();
+        assert!(host.send(CanFrame::new(2, &[0xBB])), "perfect wire again");
+    }
+
+    #[test]
+    fn send_with_retry_survives_bounded_loss() {
+        let channel = CanChannel::new();
+        let host = channel.host_endpoint();
+        channel.set_line_fault(Rc::new(RefCell::new(LossyLine {
+            drop_n: 2,
+            corrupt: false,
+            seen: 0,
+        })));
+        assert_eq!(host.send_with_retry(CanFrame::new(7, &[1]), 5), Some(3), "third attempt lands");
+        // Total loss within the attempt budget is reported, not retried forever.
+        channel.set_line_fault(Rc::new(RefCell::new(LossyLine {
+            drop_n: 100,
+            corrupt: false,
+            seen: 0,
+        })));
+        assert_eq!(host.send_with_retry(CanFrame::new(7, &[1]), 4), None);
+    }
+
+    #[test]
+    fn line_fault_corrupts_device_tx_but_send_still_counts() {
+        let (mut c, host) = controller();
+        c.channel.set_line_fault(Rc::new(RefCell::new(LossyLine {
+            drop_n: 0,
+            corrupt: true,
+            seen: 0,
+        })));
+        wr(&mut c, regs::TX_DLC, Taint::untainted(1));
+        let mut p = GenericPayload::write(regs::TX_DATA, &[Taint::untainted(0xAA)]);
+        c.transport(&mut p, &mut SimTime::ZERO.clone());
+        assert!(wr(&mut c, regs::TX_GO, Taint::untainted(1)).is_ok());
+        assert_eq!(c.frames_sent(), 1);
+        let f = host.recv().expect("corrupted, not lost");
+        assert_eq!(f.bytes(), vec![0xAB], "bit 0 flipped on the wire");
+    }
+
+    #[test]
+    fn line_loss_is_invisible_to_the_device() {
+        let (mut c, host) = controller();
+        c.channel.set_line_fault(Rc::new(RefCell::new(LossyLine {
+            drop_n: 1,
+            corrupt: false,
+            seen: 0,
+        })));
+        wr(&mut c, regs::TX_DLC, Taint::untainted(1));
+        let mut p = GenericPayload::write(regs::TX_DATA, &[Taint::untainted(0x42)]);
+        c.transport(&mut p, &mut SimTime::ZERO.clone());
+        assert!(wr(&mut c, regs::TX_GO, Taint::untainted(1)).is_ok(), "TX_GO still succeeds");
+        assert_eq!(c.frames_sent(), 1, "the controller believes it transmitted");
+        assert!(host.recv().is_none(), "but the wire ate the frame");
     }
 }

@@ -49,6 +49,7 @@ pub struct Dma {
     done: bool,
     error: bool,
     bytes_moved: u64,
+    abort_after: Option<u32>,
 }
 
 impl core::fmt::Debug for Dma {
@@ -79,7 +80,16 @@ impl Dma {
             done: false,
             error: false,
             bytes_moved: 0,
+            abort_after: None,
         }
+    }
+
+    /// Fault injection: arms a one-shot mid-burst abort. The *next*
+    /// transfer fails with the error status bit once it has moved `bytes`
+    /// bytes, leaving the destination partially written — then the arm is
+    /// cleared, so subsequent transfers run normally.
+    pub fn inject_abort_after(&mut self, bytes: u32) {
+        self.abort_after = Some(bytes);
     }
 
     /// Wraps into the shared handle used by the SoC.
@@ -100,7 +110,14 @@ impl Dma {
         let mut remaining = self.len;
         let mut src = self.src;
         let mut dst = self.dst;
+        let mut moved_this_transfer = 0u32;
         while remaining > 0 {
+            if let Some(limit) = self.abort_after {
+                if moved_this_transfer >= limit {
+                    self.abort_after = None;
+                    return Err(None);
+                }
+            }
             let chunk = remaining.min(16) as usize;
             let mut rd = GenericPayload::read(src, chunk);
             self.ports.route(&mut rd, delay);
@@ -121,10 +138,12 @@ impl Dma {
                 return Err(wr.take_violation());
             }
             self.bytes_moved += chunk as u64;
+            moved_this_transfer += chunk as u32;
             src += chunk as u32;
             dst += chunk as u32;
             remaining -= chunk as u32;
         }
+        self.abort_after = None;
         Ok(())
     }
 }
@@ -300,6 +319,27 @@ mod tests {
         wr(&mut d, regs::LEN, 8);
         wr(&mut d, regs::CTRL, 1);
         assert_eq!(plic.borrow().pending(), 1 << 4);
+    }
+
+    #[test]
+    fn injected_abort_is_one_shot_and_leaves_partial_copy() {
+        let (mut d, ram) = dma_with_ram();
+        let data: Vec<u8> = (1..=64).collect();
+        ram.borrow_mut().load_image(0, &data);
+        d.inject_abort_after(32);
+        wr(&mut d, regs::SRC, 0);
+        wr(&mut d, regs::DST, 0x800);
+        wr(&mut d, regs::LEN, 64);
+        let p = wr(&mut d, regs::CTRL, 1);
+        assert_eq!(p.response(), TlmResponse::GenericError);
+        assert_eq!(rd(&mut d, regs::STATUS), 0b10, "error bit set");
+        let copied = ram.borrow().bytes(0x800, 64).to_vec();
+        assert_eq!(&copied[..32], &data[..32], "first two bursts landed");
+        assert!(copied[32..].iter().all(|&b| b == 0), "abort before the third burst");
+        // The arm is one-shot: retrying the same transfer now succeeds.
+        let p = wr(&mut d, regs::CTRL, 1);
+        assert!(p.is_ok());
+        assert_eq!(ram.borrow().bytes(0x800, 64), &data[..]);
     }
 
     #[test]

@@ -29,10 +29,11 @@ pub mod sensor;
 pub mod taintdbg;
 pub mod terminal;
 pub mod uart;
+pub mod watchdog;
 
 pub use aes::AesEngine;
 pub use aes_core::Aes128;
-pub use can::{CanChannel, CanController, CanFrame, CanHostEndpoint};
+pub use can::{CanChannel, CanController, CanFrame, CanHostEndpoint, CanLineFault, SharedCanLine};
 pub use clint::Clint;
 pub use dma::Dma;
 pub use plic::{IrqLine, Plic};
@@ -41,3 +42,4 @@ pub use sensor::Sensor;
 pub use taintdbg::TaintDebug;
 pub use terminal::Terminal;
 pub use uart::Uart;
+pub use watchdog::Watchdog;

@@ -130,6 +130,29 @@ impl Ram {
         &self.data[offset as usize..offset as usize + len]
     }
 
+    /// Flips bit `bit` (0..8) of the data byte at `offset` — the RAM
+    /// data-corruption primitive of the fault-injection campaign. Returns
+    /// the new byte value, or `None` when `offset` is out of range.
+    pub fn flip_data_bit(&mut self, offset: u32, bit: u32) -> Option<u8> {
+        let b = self.data.get_mut(offset as usize)?;
+        *b ^= 1u8 << (bit & 7);
+        Some(*b)
+    }
+
+    /// Flips the presence of `atom` (0..32) in the *tag* of the byte at
+    /// `offset` — the DIFT-specific fault: tag state corrupted
+    /// independently of the data it describes. Returns the new tag, or
+    /// `None` when out of range or when the RAM keeps no tags (plain VP).
+    pub fn flip_tag_bit(&mut self, offset: u32, atom: u32) -> Option<Tag> {
+        if !self.tracking {
+            return None;
+        }
+        let t = self.tags.get_mut(offset as usize)?;
+        let flipped = Tag::from_bits(t.bits() ^ (1u32 << (atom & 31)));
+        *t = flipped;
+        Some(flipped)
+    }
+
     /// Counts, per taint atom, how many bytes currently carry that atom —
     /// the taint-spread sample fed to the observability layer. All-zero
     /// when not tracking. O(len); callers sample sparingly.
@@ -219,6 +242,21 @@ mod tests {
         assert_eq!(spread[2], 8);
         assert_eq!(spread[1], 0);
         assert_eq!(Ram::new(16, false).atom_spread(), [0; 32]);
+    }
+
+    #[test]
+    fn bit_flips_hit_data_and_tags_independently() {
+        let mut ram = Ram::new(16, true);
+        ram.store(0, 1, 0b0000_0001, Tag::atom(1));
+        assert_eq!(ram.flip_data_bit(0, 3), Some(0b0000_1001));
+        assert_eq!(ram.byte_at(0).unwrap().1, Tag::atom(1), "data flip leaves the tag");
+        assert_eq!(ram.flip_tag_bit(0, 5), Some(Tag::atom(1).lub(Tag::atom(5))));
+        assert_eq!(ram.byte_at(0).unwrap().0, 0b0000_1001, "tag flip leaves the data");
+        // Flipping the same atom again removes it.
+        assert_eq!(ram.flip_tag_bit(0, 5), Some(Tag::atom(1)));
+        // Out of range / untracked.
+        assert_eq!(ram.flip_data_bit(99, 0), None);
+        assert_eq!(Ram::new(16, false).flip_tag_bit(0, 0), None);
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub struct Sensor {
     irq: Option<IrqLine>,
     rng: StdRng,
     frames_generated: u64,
+    stuck_at: Option<u8>,
     obs: vpdift_obs::ObsHandle,
 }
 
@@ -50,8 +51,17 @@ impl Sensor {
             irq,
             rng: StdRng::seed_from_u64(seed),
             frames_generated: 0,
+            stuck_at: None,
             obs: vpdift_obs::ObsHandle::default(),
         }
+    }
+
+    /// Fault injection: `Some(v)` pins every subsequently generated frame
+    /// byte to `v` (a stuck-at sensor); `None` restores random data.
+    /// Stuck frames are still classified with the configured `data_tag` —
+    /// a broken transducer does not declassify its channel.
+    pub fn set_stuck(&mut self, value: Option<u8>) {
+        self.stuck_at = value;
     }
 
     /// Attaches an observability sink; each generated frame's
@@ -82,7 +92,11 @@ impl Sensor {
     pub fn generate_frame(&mut self) {
         let tag = self.data_tag;
         for n in self.data_frame.iter_mut() {
-            *n = Taint::new(self.rng.gen_range(0..96) + 128, tag);
+            let v = match self.stuck_at {
+                Some(v) => v,
+                None => self.rng.gen_range(0..96) + 128,
+            };
+            *n = Taint::new(v, tag);
         }
         if self.obs.is_attached() && !tag.is_empty() {
             self.obs.emit(&vpdift_obs::ObsEvent::Classify {
@@ -220,6 +234,18 @@ mod tests {
         let mut p = GenericPayload::read(60, 8);
         s.transport(&mut p, &mut SimTime::ZERO.clone());
         assert_eq!(p.response(), TlmResponse::BurstError);
+    }
+
+    #[test]
+    fn stuck_sensor_pins_values_but_keeps_classification() {
+        let mut s = Sensor::new(HC, None, 3);
+        s.set_stuck(Some(0x55));
+        s.generate_frame();
+        assert!(s.frame().iter().all(|b| b.value() == 0x55));
+        assert!(s.frame().iter().all(|b| b.tag() == HC), "stuck data stays classified");
+        s.set_stuck(None);
+        s.generate_frame();
+        assert!(s.frame().iter().any(|b| b.value() != 0x55));
     }
 
     #[test]

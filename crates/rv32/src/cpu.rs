@@ -29,6 +29,11 @@ pub enum Step {
     /// An `ebreak` retired — by VP convention this stops the simulation
     /// (guest programs end with `ebreak`).
     Break,
+    /// The configured number of consecutive *identical* synchronous traps
+    /// (same pc, same cause, no instruction retired in between) was
+    /// reached — the guest is wedged in a trap loop (e.g. a fetch fault on
+    /// the `mtvec` target) and can make no further progress.
+    TrapLoop,
 }
 
 /// Why [`Cpu::run`] returned.
@@ -42,6 +47,8 @@ pub enum RunExit {
     Wfi,
     /// An enforced DIFT violation stopped execution.
     Violation(Violation),
+    /// The trap-loop detector fired (see [`Step::TrapLoop`]).
+    TrapLoop,
 }
 
 /// The RV32IM core.
@@ -71,8 +78,16 @@ pub struct Cpu<M: TaintMode, S: ObsSink = NullSink> {
     engine: Option<SharedEngine>,
     instret: u64,
     in_wfi: bool,
+    traps_taken: u64,
+    trap_loop_threshold: u32,
+    last_trap: Option<(u32, u32, u64)>,
+    same_trap_count: u32,
     obs: Rc<RefCell<S>>,
 }
+
+/// Default consecutive-identical-trap count after which the trap-loop
+/// detector fires.
+pub const DEFAULT_TRAP_LOOP_THRESHOLD: u32 = 16;
 
 impl<M: TaintMode, S: ObsSink + Default> Default for Cpu<M, S> {
     fn default() -> Self {
@@ -98,6 +113,10 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
             engine: None,
             instret: 0,
             in_wfi: false,
+            traps_taken: 0,
+            trap_loop_threshold: DEFAULT_TRAP_LOOP_THRESHOLD,
+            last_trap: None,
+            same_trap_count: 0,
             obs,
         }
     }
@@ -113,6 +132,9 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
         self.pc = pc;
         self.instret = 0;
         self.in_wfi = false;
+        self.traps_taken = 0;
+        self.last_trap = None;
+        self.same_trap_count = 0;
     }
 
     /// Current program counter.
@@ -150,6 +172,18 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
     /// Retired instruction count.
     pub fn instret(&self) -> u64 {
         self.instret
+    }
+
+    /// Synchronous (non-interrupt) traps taken since reset.
+    pub fn traps_taken(&self) -> u64 {
+        self.traps_taken
+    }
+
+    /// Configures the trap-loop detector: after `threshold` consecutive
+    /// identical synchronous traps with no retirement in between,
+    /// [`Cpu::step`] returns [`Step::TrapLoop`]. `0` disables detection.
+    pub fn set_trap_loop_threshold(&mut self, threshold: u32) {
+        self.trap_loop_threshold = threshold;
     }
 
     /// `true` while parked in `wfi`.
@@ -246,7 +280,21 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
 
     /// Takes a trap: saves state, vectors to `mtvec`. The trap-vector
     /// address is clearance-checked like a branch target (paper §V-B2a).
-    fn take_trap(&mut self, cause: u32, is_irq: bool, tval: u32, pc: u32) -> Result<(), Violation> {
+    ///
+    /// Synchronous traps feed the trap-loop detector: traps never retire
+    /// an instruction (every trap site returns before `instret` is
+    /// bumped), so a repeated `(pc, cause)` at an unchanged `instret`
+    /// proves the guest made no progress between two traps. After the
+    /// configured threshold of consecutive identical traps the returned
+    /// step is [`Step::TrapLoop`]. Interrupts never count: their handlers
+    /// retire at least one instruction before any re-entry.
+    fn take_trap(
+        &mut self,
+        cause: u32,
+        is_irq: bool,
+        tval: u32,
+        pc: u32,
+    ) -> Result<Step, Violation> {
         let mtvec = self.csrs.mtvec;
         self.exec_check(ViolationKind::TrapVector, mtvec.tag(), self.exec_clearance.branch, pc)?;
         if S::ENABLED {
@@ -260,7 +308,22 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
         st = (st & !(csrn::MSTATUS_MIE | csrn::MSTATUS_MPIE)) | (mie << 7);
         self.csrs.mstatus = self.csrs.mstatus.map_val(|_| st);
         self.pc = mtvec.val() & !0x3;
-        Ok(())
+        if !is_irq {
+            self.traps_taken += 1;
+            if self.trap_loop_threshold != 0 {
+                let key = (pc, cause, self.instret);
+                if self.last_trap == Some(key) {
+                    self.same_trap_count += 1;
+                } else {
+                    self.last_trap = Some(key);
+                    self.same_trap_count = 1;
+                }
+                if self.same_trap_count >= self.trap_loop_threshold {
+                    return Ok(Step::TrapLoop);
+                }
+            }
+        }
+        Ok(Step::Executed)
     }
 
     /// Checks for an enabled pending interrupt and takes it. Priority
@@ -281,7 +344,7 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
             csrn::cause::M_TIMER_IRQ
         };
         self.in_wfi = false;
-        self.take_trap(cause, true, 0, self.pc)?;
+        let _ = self.take_trap(cause, true, 0, self.pc)?;
         Ok(true)
     }
 
@@ -310,14 +373,13 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
         let pc = self.pc;
         // RV32C allows 2-byte alignment; only odd PCs are misaligned.
         if !pc.is_multiple_of(2) {
-            self.take_trap(csrn::cause::MISALIGNED_FETCH, false, pc, pc)?;
-            return Ok(Step::Executed);
+            return self.take_trap(csrn::cause::MISALIGNED_FETCH, false, pc, pc);
         }
 
         // --- fetch, with instruction-fetch clearance (§V-B2b) -----------
         let word = match bus.fetch(pc) {
             Ok(w) => w,
-            Err(e) => return self.mem_trap(e, true, pc).map(|_| Step::Executed),
+            Err(e) => return self.mem_trap(e, true, pc),
         };
         let compressed = vpdift_asm::is_compressed(word.val() as u16);
         let (fetched, insn_len) = if compressed {
@@ -326,7 +388,7 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
             let parcel = if M::TRACKING {
                 match bus.load(pc, 2) {
                     Ok(p) => p,
-                    Err(e) => return self.mem_trap(e, true, pc).map(|_| Step::Executed),
+                    Err(e) => return self.mem_trap(e, true, pc),
                 }
             } else {
                 word.map_val(|v| v & 0xFFFF)
@@ -345,8 +407,7 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
         let insn = match decoded {
             Ok(i) => i,
             Err(_) => {
-                self.take_trap(csrn::cause::ILLEGAL_INSN, false, fetched.val(), pc)?;
-                return Ok(Step::Executed);
+                return self.take_trap(csrn::cause::ILLEGAL_INSN, false, fetched.val(), pc);
             }
         };
 
@@ -409,12 +470,11 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
                 )?;
                 let size = width.size();
                 if !addr.is_multiple_of(size) {
-                    self.take_trap(csrn::cause::MISALIGNED_LOAD, false, addr, pc)?;
-                    return Ok(Step::Executed);
+                    return self.take_trap(csrn::cause::MISALIGNED_LOAD, false, addr, pc);
                 }
                 let raw = match bus.load(addr, size) {
                     Ok(w) => w,
-                    Err(e) => return self.mem_trap(e, false, pc).map(|_| Step::Executed),
+                    Err(e) => return self.mem_trap(e, false, pc),
                 };
                 if S::ENABLED {
                     self.obs.borrow_mut().event(&ObsEvent::Load { pc, addr, size, tag: raw.tag() });
@@ -437,8 +497,7 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
                 )?;
                 let size = width.size();
                 if !addr.is_multiple_of(size) {
-                    self.take_trap(csrn::cause::MISALIGNED_STORE, false, addr, pc)?;
-                    return Ok(Step::Executed);
+                    return self.take_trap(csrn::cause::MISALIGNED_STORE, false, addr, pc);
                 }
                 if S::ENABLED {
                     self.obs.borrow_mut().event(&ObsEvent::Store {
@@ -449,7 +508,7 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
                     });
                 }
                 if let Err(e) = bus.store(addr, size, rs!(rs2), pc) {
-                    return self.mem_trap(e, false, pc).map(|_| Step::Executed);
+                    return self.mem_trap(e, false, pc);
                 }
             }
             Insn::AluImm { op, rd, rs1, imm } => {
@@ -487,8 +546,7 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
             Insn::Ecall => {
                 // mepc points at the ecall itself; the handler returns past
                 // it by adding 4 (standard RISC-V convention).
-                self.take_trap(csrn::cause::ECALL_M, false, 0, pc)?;
-                return Ok(Step::Executed);
+                return self.take_trap(csrn::cause::ECALL_M, false, 0, pc);
             }
             Insn::Ebreak => {
                 outcome = Step::Break;
@@ -523,7 +581,7 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
         Ok(outcome)
     }
 
-    fn mem_trap(&mut self, e: MemError, is_fetch: bool, pc: u32) -> Result<(), Violation> {
+    fn mem_trap(&mut self, e: MemError, is_fetch: bool, pc: u32) -> Result<Step, Violation> {
         let _ = is_fetch; // fetch faults reuse the load-fault cause in this VP
         match e {
             MemError::Fault { addr } => self.take_trap(csrn::cause::LOAD_FAULT, false, addr, pc),
@@ -543,6 +601,7 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
                 Ok(Step::Executed) => {}
                 Ok(Step::Break) => return RunExit::Break,
                 Ok(Step::WaitingForInterrupt) => return RunExit::Wfi,
+                Ok(Step::TrapLoop) => return RunExit::TrapLoop,
                 Err(v) => return RunExit::Violation(v),
             }
         }

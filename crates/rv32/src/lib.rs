@@ -23,6 +23,6 @@ mod csr;
 mod mode;
 
 pub use bus::{Bus, FlatMemory, MemError};
-pub use cpu::{Cpu, RunExit, Step};
+pub use cpu::{Cpu, RunExit, Step, DEFAULT_TRAP_LOOP_THRESHOLD};
 pub use csr::CsrFile;
 pub use mode::{Plain, TaintMode, Tainted, Word};

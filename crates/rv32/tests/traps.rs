@@ -339,6 +339,73 @@ fn tainted_mepc_is_checked_on_mret() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Trap-loop detection
+// ---------------------------------------------------------------------
+
+#[test]
+fn misconfigured_trap_vector_exits_as_trap_loop() {
+    // mtvec points at a word that is itself an illegal instruction, so the
+    // illegal-instruction trap re-enters itself forever: same pc, same
+    // cause, no retirement. The detector must stop this as TrapLoop long
+    // before the instruction budget runs out.
+    let (mut cpu, mut mem) = setup(|a| {
+        a.la(T0, "bad_vector");
+        a.csrw(csr::MTVEC, T0);
+        a.word(0xFFFF_FFFF); // illegal: enters the trap loop
+        a.label("bad_vector");
+        a.word(0xFFFF_FFFF); // the "handler" is illegal too
+    });
+    assert_eq!(cpu.run(&mut mem, 1_000_000), RunExit::TrapLoop);
+    assert!(
+        cpu.traps_taken() >= u64::from(vpdift_rv32::DEFAULT_TRAP_LOOP_THRESHOLD),
+        "detector waited for the configured threshold"
+    );
+    assert_eq!(cpu.csrs().mcause.val(), 2, "last trap was the illegal instruction");
+}
+
+#[test]
+fn trap_loop_detection_can_be_disabled() {
+    let (mut cpu, mut mem) = setup(|a| {
+        a.word(0xFFFF_FFFF); // illegal; mtvec = 0 re-enters it forever
+    });
+    // With detection off the CPU spins trap-after-trap indefinitely (and,
+    // because traps never retire, a retirement budget would never expire —
+    // the pre-watchdog hang this PR makes classifiable).
+    cpu.set_trap_loop_threshold(0);
+    for _ in 0..10_000 {
+        assert_eq!(cpu.step(&mut mem).unwrap(), Step::Executed);
+    }
+    assert_eq!(cpu.instret(), 0, "nothing ever retires in the loop");
+    assert_eq!(cpu.traps_taken(), 10_000);
+}
+
+#[test]
+fn recovering_trap_handler_is_not_flagged() {
+    // A handler that fixes up mepc and retires instructions: many traps,
+    // but progress in between — never a loop.
+    let (mut cpu, mut mem) = setup(|a| {
+        a.la(T0, "handler");
+        a.csrw(csr::MTVEC, T0);
+        a.li(S0, 0);
+        a.label("again");
+        a.ecall(); // traps every iteration
+        a.addi(S0, S0, 1);
+        a.li(T1, 64);
+        a.blt(S0, T1, "again");
+        a.ebreak();
+
+        a.label("handler");
+        a.csrr(T2, csr::MEPC);
+        a.addi(T2, T2, 4);
+        a.csrw(csr::MEPC, T2);
+        a.mret();
+    });
+    assert_eq!(cpu.run(&mut mem, 100_000), RunExit::Break);
+    assert_eq!(cpu.traps_taken(), 64, "every ecall trapped");
+    assert_eq!(cpu.reg(S0).val(), 64);
+}
+
 #[test]
 fn instret_counts_retired_instructions() {
     let (mut cpu, mut mem) = setup(|a| {

@@ -9,7 +9,7 @@ use vpdift_core::{AddrRange, SharedEngine, Tag};
 use vpdift_kernel::SimTime;
 use vpdift_periph::Ram;
 use vpdift_rv32::{Bus, MemError, TaintMode, Word};
-use vpdift_tlm::{GenericPayload, Router, TlmResponse};
+use vpdift_tlm::{FaultRouter, GenericPayload, Router, SharedFaultHook, TlmResponse};
 
 use crate::map::RAM_BASE;
 
@@ -17,7 +17,10 @@ use crate::map::RAM_BASE;
 pub struct SocBus<M: TaintMode> {
     ram: Rc<RefCell<Ram>>,
     ram_end: u32,
-    router: Router,
+    /// The system-bus router behind a fault-injection interposer; with no
+    /// hook installed the wrapper is a single `Option` check per MMIO
+    /// transaction (and the RAM fast path bypasses it entirely).
+    router: FaultRouter,
     engine: Option<SharedEngine>,
     /// Regions with write clearance, copied from the policy so the hot
     /// store path can skip the engine borrow when no rule applies.
@@ -46,7 +49,7 @@ impl<M: TaintMode> SocBus<M> {
         SocBus {
             ram,
             ram_end,
-            router,
+            router: FaultRouter::new(router),
             engine,
             protected,
             mmio_delay: SimTime::ZERO,
@@ -75,7 +78,19 @@ impl<M: TaintMode> SocBus<M> {
 
     /// The MMIO router (diagnostics).
     pub fn router(&self) -> &Router {
-        &self.router
+        self.router.inner()
+    }
+
+    /// Installs a TLM fault hook on the system bus: every MMIO transaction
+    /// passes through it and may be corrupted, dropped or answered with a
+    /// forced error response.
+    pub fn set_mmio_fault(&mut self, hook: SharedFaultHook) {
+        self.router.set_hook(hook);
+    }
+
+    /// Removes the TLM fault hook.
+    pub fn clear_mmio_fault(&mut self) {
+        self.router.clear_hook();
     }
 
     #[inline]
@@ -99,6 +114,10 @@ impl<M: TaintMode> SocBus<M> {
         if !hit {
             return Ok(());
         }
+        // Infallible: `protected` is derived from `engine` in `new()` —
+        // it is non-empty only when an engine was supplied, and neither is
+        // reassigned afterwards. The early return above keeps this
+        // unreachable without one.
         let engine = self.engine.as_ref().expect("protected regions imply engine");
         let mut eng = engine.borrow_mut();
         for a in addr..addr + size {

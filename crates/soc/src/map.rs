@@ -52,6 +52,11 @@ pub const TAINTDBG_BASE: u32 = 0x1006_0000;
 /// Taint-introspection region size.
 pub const TAINTDBG_SIZE: u32 = 0x100;
 
+/// Watchdog timer base address.
+pub const WATCHDOG_BASE: u32 = 0x1007_0000;
+/// Watchdog region size.
+pub const WATCHDOG_SIZE: u32 = 0x100;
+
 /// PLIC interrupt source of the sensor.
 pub const IRQ_SENSOR: u32 = 2;
 /// PLIC interrupt source of the CAN controller.
@@ -62,4 +67,34 @@ pub const IRQ_DMA: u32 = 4;
 /// The RAM range for a given size.
 pub fn ram_range(size: usize) -> AddrRange {
     AddrRange::new(RAM_BASE, size as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The invariant behind `map_port`'s infallibility (and the
+    /// `ram_size <= CLINT_BASE` assertion in `Soc::with_obs`): every
+    /// region of the SoC map is pairwise disjoint.
+    #[test]
+    fn memory_map_regions_are_disjoint() {
+        let regions = [
+            ("ram", ram_range(DEFAULT_RAM_SIZE)),
+            ("clint", AddrRange::new(CLINT_BASE, CLINT_SIZE)),
+            ("plic", AddrRange::new(PLIC_BASE, PLIC_SIZE)),
+            ("uart", AddrRange::new(UART_BASE, UART_SIZE)),
+            ("terminal", AddrRange::new(TERMINAL_BASE, TERMINAL_SIZE)),
+            ("sensor", AddrRange::new(SENSOR_BASE, SENSOR_SIZE)),
+            ("can", AddrRange::new(CAN_BASE, CAN_SIZE)),
+            ("aes", AddrRange::new(AES_BASE, AES_SIZE)),
+            ("dma", AddrRange::new(DMA_BASE, DMA_SIZE)),
+            ("taintdbg", AddrRange::new(TAINTDBG_BASE, TAINTDBG_SIZE)),
+            ("watchdog", AddrRange::new(WATCHDOG_BASE, WATCHDOG_SIZE)),
+        ];
+        for (i, (a_name, a)) in regions.iter().enumerate() {
+            for (b_name, b) in &regions[i + 1..] {
+                assert!(a.end <= b.start || b.end <= a.start, "{a_name} overlaps {b_name}");
+            }
+        }
+    }
 }

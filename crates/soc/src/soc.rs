@@ -9,10 +9,10 @@ use vpdift_kernel::{Kernel, SimTime};
 use vpdift_obs::{engine_observer, shared_obs, NullSink, ObsEvent, ObsSink};
 use vpdift_periph::{
     AesEngine, CanChannel, CanController, CanHostEndpoint, Clint, Dma, IrqLine, Plic, Ram, Sensor,
-    TaintDebug, Terminal, Uart,
+    TaintDebug, Terminal, Uart, Watchdog,
 };
 use vpdift_rv32::{Cpu, Step, TaintMode, Word};
-use vpdift_tlm::Router;
+use vpdift_tlm::{Router, SharedFaultHook, SharedTarget};
 
 use crate::bus::SocBus;
 use crate::map;
@@ -70,6 +70,35 @@ pub enum SocExit {
     InstrLimit,
     /// The core is in `wfi` and no future event can ever wake it.
     Idle,
+    /// The watchdog deadline passed without a kick — the platform hung
+    /// (or firmware wedged) long enough for the dog to bite.
+    WatchdogTimeout,
+    /// The CPU took the configured number of consecutive identical
+    /// synchronous traps without retiring an instruction — the guest is
+    /// wedged in its own trap handler (e.g. a corrupted trap vector).
+    TrapLoop,
+}
+
+impl SocExit {
+    /// A stable snake_case label for reports and campaign classification.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SocExit::Break => "break",
+            SocExit::Violation(_) => "violation",
+            SocExit::InstrLimit => "instr_limit",
+            SocExit::Idle => "idle",
+            SocExit::WatchdogTimeout => "watchdog_timeout",
+            SocExit::TrapLoop => "trap_loop",
+        }
+    }
+}
+
+/// Maps one SoC port into `router`. Infallible by construction: the map
+/// regions in [`map`] are pairwise disjoint (checked by the
+/// `memory_map_regions_are_disjoint` test in `map.rs`) and each is mapped
+/// exactly once per router, so the overlap check cannot fire.
+fn map_port(router: &mut Router, name: &str, range: AddrRange, target: SharedTarget) {
+    router.map(name, range, target).expect("SoC map regions are disjoint by construction");
 }
 
 /// The virtual prototype: CPU, bus, memory and all peripherals, coupled to
@@ -95,6 +124,7 @@ pub struct Soc<M: TaintMode, S: ObsSink = NullSink> {
     clint: Rc<RefCell<Clint>>,
     plic: Rc<RefCell<Plic>>,
     taintdbg: Rc<RefCell<TaintDebug>>,
+    watchdog: Rc<RefCell<Watchdog>>,
 }
 
 /// Taint-spread is sampled (an O(ram) scan) every this many quanta.
@@ -112,7 +142,18 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
     /// every layer (CPU, bus routers, peripherals, DIFT engine). With a
     /// disabled sink type ([`NullSink`]) nothing is wired and the hot
     /// paths compile as if the observability layer did not exist.
+    ///
+    /// # Panics
+    /// Panics if `config.ram_size` would make RAM overlap the first MMIO
+    /// region (the CLINT) — the map's disjointness is a build-time
+    /// invariant everything downstream relies on.
     pub fn with_obs(config: SocConfig, obs: Rc<RefCell<S>>) -> Self {
+        assert!(
+            config.ram_size <= map::CLINT_BASE as usize,
+            "RAM ({} bytes) may not reach the CLINT at {:#x}",
+            config.ram_size,
+            map::CLINT_BASE
+        );
         let policy = config.policy.clone();
         let engine = DiftEngine::with_mode(policy.clone(), config.enforce).into_shared();
         if S::ENABLED {
@@ -153,16 +194,20 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
         // The DMA's private port map: everything it may touch, except
         // itself (re-entrancy) and the interrupt infrastructure.
         let mut dma_ports = Router::new("dma-ports");
-        dma_ports.map("ram", map::ram_range(config.ram_size), ram.clone()).expect("fresh map");
-        dma_ports
-            .map("sensor", AddrRange::new(map::SENSOR_BASE, map::SENSOR_SIZE), sensor.clone())
-            .expect("fresh map");
-        dma_ports
-            .map("aes", AddrRange::new(map::AES_BASE, map::AES_SIZE), aes.clone())
-            .expect("fresh map");
-        dma_ports
-            .map("uart", AddrRange::new(map::UART_BASE, map::UART_SIZE), uart.clone())
-            .expect("fresh map");
+        map_port(&mut dma_ports, "ram", map::ram_range(config.ram_size), ram.clone());
+        map_port(
+            &mut dma_ports,
+            "sensor",
+            AddrRange::new(map::SENSOR_BASE, map::SENSOR_SIZE),
+            sensor.clone(),
+        );
+        map_port(&mut dma_ports, "aes", AddrRange::new(map::AES_BASE, map::AES_SIZE), aes.clone());
+        map_port(
+            &mut dma_ports,
+            "uart",
+            AddrRange::new(map::UART_BASE, map::UART_SIZE),
+            uart.clone(),
+        );
         if S::ENABLED {
             dma_ports.set_obs(shared_obs(&obs));
         }
@@ -174,43 +219,44 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
         .into_shared();
 
         let taintdbg = TaintDebug::new(ram.clone(), engine.clone()).into_shared();
+        let watchdog = Watchdog::new().into_shared();
 
         let mut router = Router::new("sys-bus");
-        router
-            .map("clint", AddrRange::new(map::CLINT_BASE, map::CLINT_SIZE), clint.clone())
-            .expect("fresh map");
-        router
-            .map("plic", AddrRange::new(map::PLIC_BASE, map::PLIC_SIZE), plic.clone())
-            .expect("fresh map");
-        router
-            .map("uart", AddrRange::new(map::UART_BASE, map::UART_SIZE), uart.clone())
-            .expect("fresh map");
-        router
-            .map(
-                "terminal",
-                AddrRange::new(map::TERMINAL_BASE, map::TERMINAL_SIZE),
-                terminal.clone(),
-            )
-            .expect("fresh map");
-        router
-            .map("sensor", AddrRange::new(map::SENSOR_BASE, map::SENSOR_SIZE), sensor.clone())
-            .expect("fresh map");
-        router
-            .map("can", AddrRange::new(map::CAN_BASE, map::CAN_SIZE), can.clone())
-            .expect("fresh map");
-        router
-            .map("aes", AddrRange::new(map::AES_BASE, map::AES_SIZE), aes.clone())
-            .expect("fresh map");
-        router
-            .map("dma", AddrRange::new(map::DMA_BASE, map::DMA_SIZE), dma.clone())
-            .expect("fresh map");
-        router
-            .map(
-                "taintdbg",
-                AddrRange::new(map::TAINTDBG_BASE, map::TAINTDBG_SIZE),
-                taintdbg.clone(),
-            )
-            .expect("fresh map");
+        map_port(
+            &mut router,
+            "clint",
+            AddrRange::new(map::CLINT_BASE, map::CLINT_SIZE),
+            clint.clone(),
+        );
+        map_port(&mut router, "plic", AddrRange::new(map::PLIC_BASE, map::PLIC_SIZE), plic.clone());
+        map_port(&mut router, "uart", AddrRange::new(map::UART_BASE, map::UART_SIZE), uart.clone());
+        map_port(
+            &mut router,
+            "terminal",
+            AddrRange::new(map::TERMINAL_BASE, map::TERMINAL_SIZE),
+            terminal.clone(),
+        );
+        map_port(
+            &mut router,
+            "sensor",
+            AddrRange::new(map::SENSOR_BASE, map::SENSOR_SIZE),
+            sensor.clone(),
+        );
+        map_port(&mut router, "can", AddrRange::new(map::CAN_BASE, map::CAN_SIZE), can.clone());
+        map_port(&mut router, "aes", AddrRange::new(map::AES_BASE, map::AES_SIZE), aes.clone());
+        map_port(&mut router, "dma", AddrRange::new(map::DMA_BASE, map::DMA_SIZE), dma.clone());
+        map_port(
+            &mut router,
+            "taintdbg",
+            AddrRange::new(map::TAINTDBG_BASE, map::TAINTDBG_SIZE),
+            taintdbg.clone(),
+        );
+        map_port(
+            &mut router,
+            "watchdog",
+            AddrRange::new(map::WATCHDOG_BASE, map::WATCHDOG_SIZE),
+            watchdog.clone(),
+        );
 
         if S::ENABLED {
             router.set_obs(shared_obs(&obs));
@@ -247,6 +293,7 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
             clint,
             plic,
             taintdbg,
+            watchdog,
         }
     }
 
@@ -334,6 +381,11 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
                         waiting = true;
                         break;
                     }
+                    Ok(Step::TrapLoop) => {
+                        stepped += 1;
+                        exit = Some(SocExit::TrapLoop);
+                        break;
+                    }
                     Err(v) => {
                         exit = Some(SocExit::Violation(v));
                         break;
@@ -353,6 +405,7 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
             let elapsed = self.config.insn_time * executed + self.bus.take_mmio_delay();
             let target = self.kernel.now().saturating_add(elapsed);
             self.kernel.run_until(target);
+            self.watchdog.borrow_mut().set_now(self.kernel.now());
 
             if S::ENABLED && M::TRACKING {
                 self.quanta_since_spread += 1;
@@ -367,9 +420,19 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
                 self.clint.borrow_mut().set_mtime(self.kernel.now().as_us());
                 return exit;
             }
+            // A concrete exit from inside the quantum (break, violation,
+            // trap loop) wins over a deadline that passed while time was
+            // advanced afterwards.
+            if self.watchdog.borrow().expired() {
+                self.clint.borrow_mut().set_mtime(self.kernel.now().as_us());
+                return SocExit::WatchdogTimeout;
+            }
             if waiting {
                 if !self.advance_to_next_event() {
                     return SocExit::Idle;
+                }
+                if self.watchdog.borrow().expired() {
+                    return SocExit::WatchdogTimeout;
                 }
                 // Deadlock guard: a waiting quantum that advanced neither
                 // the instruction count nor simulated time can never make
@@ -385,25 +448,26 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
     }
 
     /// While the CPU is parked in `wfi`, jump simulated time to the next
-    /// thing that could wake it: a kernel event or the timer comparator.
-    /// Returns `false` when no such event exists (true deadlock).
+    /// thing that could wake it: a kernel event, the timer comparator, or
+    /// the watchdog deadline (so an armed dog bites even on an otherwise
+    /// event-free platform). Returns `false` when no such event exists
+    /// (true deadlock).
     fn advance_to_next_event(&mut self) -> bool {
+        let now = self.kernel.now();
         let kernel_next = self.kernel.next_activity();
         let clint = self.clint.borrow();
-        let timer_next = if clint.mtimecmp_value() != u64::MAX {
-            Some(SimTime::from_us(clint.mtimecmp_value()))
-        } else {
-            None
-        };
+        let timer_next = (clint.mtimecmp_value() != u64::MAX)
+            .then(|| SimTime::from_us(clint.mtimecmp_value()).max(now));
         drop(clint);
-        let target = match (kernel_next, timer_next) {
-            (Some(k), Some(t)) => k.min(t.max(self.kernel.now())),
-            (Some(k), None) => k,
-            (None, Some(t)) => t.max(self.kernel.now()),
-            (None, None) => return false,
+        let wd_next = self.watchdog.borrow().deadline().map(|d| d.max(now));
+        let target = match [kernel_next, timer_next, wd_next].into_iter().flatten().min() {
+            Some(t) => t,
+            None => return false,
         };
         self.kernel.run_until(target);
-        self.clint.borrow_mut().set_mtime(self.kernel.now().as_us());
+        let now = self.kernel.now();
+        self.clint.borrow_mut().set_mtime(now.as_us());
+        self.watchdog.borrow_mut().set_now(now);
         true
     }
 
@@ -490,6 +554,23 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
     /// The taint-introspection peripheral.
     pub fn taintdbg(&self) -> &Rc<RefCell<TaintDebug>> {
         &self.taintdbg
+    }
+
+    /// The watchdog timer. Arm it host-side (or let firmware do it via
+    /// MMIO) to turn hangs into [`SocExit::WatchdogTimeout`].
+    pub fn watchdog(&self) -> &Rc<RefCell<Watchdog>> {
+        &self.watchdog
+    }
+
+    /// Installs a TLM fault hook on the system bus — every CPU-initiated
+    /// MMIO transaction passes through it (fault-injection campaigns).
+    pub fn set_mmio_fault(&mut self, hook: SharedFaultHook) {
+        self.bus.set_mmio_fault(hook);
+    }
+
+    /// Removes the system-bus fault hook.
+    pub fn clear_mmio_fault(&mut self) {
+        self.bus.clear_mmio_fault();
     }
 
     /// The build configuration.

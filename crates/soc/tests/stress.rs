@@ -124,12 +124,13 @@ proptest! {
         let mut soc = Soc::<Tainted>::new(cfg);
         soc.ram().borrow_mut().load_image(0, &bytes);
         soc.cpu_mut().reset(0);
-        // Anything but a host panic is acceptable: Break, InstrLimit (e.g.
-        // a trap loop at mtvec=0), or Idle (wfi soup).
+        // Anything but a host panic is acceptable: Break, InstrLimit,
+        // Idle (wfi soup), or TrapLoop (e.g. faulting soup at mtvec=0,
+        // now detected instead of burning the budget).
         let exit = soc.run(20_000);
         prop_assert!(matches!(
             exit,
-            SocExit::Break | SocExit::InstrLimit | SocExit::Idle
+            SocExit::Break | SocExit::InstrLimit | SocExit::Idle | SocExit::TrapLoop
         ));
     }
 

@@ -12,8 +12,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod fault;
 mod payload;
 mod router;
 
+pub use fault::{FaultAction, FaultRouter, SharedFaultHook, TlmFaultHook};
 pub use payload::{GenericPayload, TlmCommand, TlmResponse};
 pub use router::{MapError, Router, SharedTarget, TlmTarget};

@@ -16,14 +16,31 @@
 //!                         flight report (disassembled tail + provenance)
 //!   --events-out <file>   write every event as JSON lines
 //!   --chrome-trace <file> write a Chrome-trace (about://tracing) file
+//!   --fault-seed <n>      inject a deterministic fault schedule derived
+//!                         from this seed (accepts 0x-prefixed hex)
+//!   --fault-rate <r>      faults per CPU step for the schedule
+//!                         (default 5e-5, used with --fault-seed)
+//!   --campaign <n>        run a fault-free reference plus n faulted runs
+//!                         with seeds derived from --fault-seed, classify
+//!                         each against the reference and print a summary
 //! ```
 //!
 //! The observability flags attach a [`taintvp::obs::Recorder`] to every
 //! layer of the VP; without them the [`NullSink`] build runs and the
 //! instrumentation compiles to nothing.
 //!
-//! Exit status: 0 = guest reached `ebreak` cleanly, 2 = DIFT violation,
-//! 3 = other abnormal exit, 1 = usage/tooling error.
+//! Exit status — one code per [`SocExit`] variant so scripts (and the
+//! fault-campaign tooling) can classify runs without parsing stderr:
+//!
+//! | code | meaning                                      |
+//! |------|----------------------------------------------|
+//! | 0    | guest reached `ebreak` cleanly               |
+//! | 1    | usage/tooling error                          |
+//! | 2    | stopped by the DIFT engine (violation)       |
+//! | 3    | instruction budget exhausted                 |
+//! | 4    | deadlocked in `wfi` (idle, no wake event)    |
+//! | 5    | watchdog timeout                             |
+//! | 6    | trap loop (guest wedged in its trap handler) |
 
 use std::cell::RefCell;
 use std::process::ExitCode;
@@ -31,6 +48,9 @@ use std::rc::Rc;
 
 use taintvp::asm::{parse_asm, Program};
 use taintvp::core::{parse_policy, AtomTable, EnforceMode, SecurityPolicy};
+use taintvp::faults::{
+    classify, generate_plan, run_with_faults, Outcome, PlannedFault, ScenarioRun,
+};
 use taintvp::obs::export::{write_chrome_trace, write_jsonl};
 use taintvp::obs::{NullSink, ObsSink, Recorder};
 use taintvp::rv32::{Plain, TaintMode, Tainted};
@@ -38,6 +58,10 @@ use taintvp::soc::{Soc, SocConfig, SocExit};
 
 /// Ring capacity when observability is on but `--flight-recorder` is not.
 const DEFAULT_RING: usize = 32;
+
+/// RAM window (bytes from offset 0) that random fault schedules target —
+/// the loaded program plus its working data, matching the campaign runner.
+const RAM_FAULT_WINDOW: u32 = 0x4000;
 
 struct Options {
     program: String,
@@ -52,6 +76,9 @@ struct Options {
     flight_recorder: Option<usize>,
     events_out: Option<String>,
     chrome_trace: Option<String>,
+    fault_seed: Option<u64>,
+    fault_rate: f64,
+    campaign: u32,
 }
 
 impl Options {
@@ -68,7 +95,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: taintvp-run <program.s> [--policy file] [--plain] [--record] \
          [--input str] [--max-insns n] [--trace n] [--dump-uart-hex] \
-         [--metrics] [--flight-recorder n] [--events-out file] [--chrome-trace file]"
+         [--metrics] [--flight-recorder n] [--events-out file] [--chrome-trace file] \
+         [--fault-seed n] [--fault-rate r] [--campaign n]"
     );
     ExitCode::from(1)
 }
@@ -129,6 +157,9 @@ fn parse_args() -> Result<Options, String> {
         flight_recorder: None,
         events_out: None,
         chrome_trace: None,
+        fault_seed: None,
+        fault_rate: 5e-5,
+        campaign: 0,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -172,6 +203,28 @@ fn parse_args() -> Result<Options, String> {
             "--chrome-trace" => {
                 opts.chrome_trace = Some(args.next().ok_or("--chrome-trace needs a file")?);
             }
+            "--fault-seed" => {
+                let s = args.next().ok_or("--fault-seed needs a number")?;
+                let v = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                    None => s.parse().ok(),
+                };
+                opts.fault_seed = Some(v.ok_or_else(|| format!("bad --fault-seed `{s}`"))?);
+            }
+            "--fault-rate" => {
+                let s = args.next().ok_or("--fault-rate needs a number")?;
+                opts.fault_rate = s.parse().map_err(|_| format!("bad --fault-rate `{s}`"))?;
+                if !(opts.fault_rate > 0.0 && opts.fault_rate.is_finite()) {
+                    return Err("--fault-rate must be a positive finite number".into());
+                }
+            }
+            "--campaign" => {
+                opts.campaign = args
+                    .next()
+                    .ok_or("--campaign needs a count")?
+                    .parse()
+                    .map_err(|_| "bad --campaign value".to_owned())?;
+            }
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             other if opts.program.is_empty() => opts.program = other.to_owned(),
             other => return Err(format!("unexpected argument `{other}`")),
@@ -179,6 +232,12 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.program.is_empty() {
         return Err("missing program file".into());
+    }
+    if opts.campaign > 0 && opts.observed() {
+        return Err("--campaign cannot be combined with observability flags".into());
+    }
+    if opts.campaign > 0 && opts.fault_seed.is_none() {
+        return Err("--campaign needs --fault-seed".into());
     }
     Ok(opts)
 }
@@ -197,7 +256,9 @@ fn describe_exit(exit: &SocExit, atoms: &AtomTable) -> (&'static str, u8) {
             ("stopped by the DIFT engine", 2)
         }
         SocExit::InstrLimit => ("instruction budget exhausted", 3),
-        SocExit::Idle => ("deadlocked in wfi", 3),
+        SocExit::Idle => ("deadlocked in wfi", 4),
+        SocExit::WatchdogTimeout => ("watchdog timeout", 5),
+        SocExit::TrapLoop => ("trap loop", 6),
     }
 }
 
@@ -206,7 +267,8 @@ fn run_vp<M: TaintMode, S: ObsSink>(
     policy: SecurityPolicy,
     program: &Program,
     obs: Rc<RefCell<S>>,
-) -> (SocExit, Soc<M, S>) {
+    plan: &[PlannedFault],
+) -> (SocExit, Soc<M, S>, Vec<taintvp::faults::FaultRecord>) {
     let mut cfg = SocConfig::with_policy(policy);
     if opts.record {
         cfg.enforce = EnforceMode::Record;
@@ -224,11 +286,18 @@ fn run_vp<M: TaintMode, S: ObsSink>(
         eprintln!("[{:>8}] {pc:#010x}: {text}", soc.instret());
         remaining = remaining.saturating_sub(1);
         if !matches!(exit, SocExit::InstrLimit) {
-            return (exit, soc);
+            return (exit, soc, Vec::new());
         }
     }
-    let exit = soc.run(remaining);
-    (exit, soc)
+    if plan.is_empty() {
+        let exit = soc.run(remaining);
+        (exit, soc, Vec::new())
+    } else {
+        // The plan's steps are absolute; the traced prefix already
+        // consumed some, so faults scheduled inside it land immediately.
+        let (exit, records) = run_with_faults(&mut soc, remaining, plan);
+        (exit, soc, records)
+    }
 }
 
 fn report<M: TaintMode, S: ObsSink>(
@@ -260,7 +329,12 @@ fn report<M: TaintMode, S: ObsSink>(
 
 /// Flight report, metrics and export files from a recorded run. Returns an
 /// error string if an output file cannot be written.
-fn obs_epilogue(rec: &Recorder, opts: &Options, atoms: &AtomTable) -> Result<(), String> {
+fn obs_epilogue(
+    rec: &Recorder,
+    exit: &SocExit,
+    opts: &Options,
+    atoms: &AtomTable,
+) -> Result<(), String> {
     if opts.flight_recorder.is_some() {
         if let Some(report) = rec.flight_report(atoms) {
             eprintln!("{report}");
@@ -268,6 +342,7 @@ fn obs_epilogue(rec: &Recorder, opts: &Options, atoms: &AtomTable) -> Result<(),
     }
     if opts.metrics {
         eprintln!("{}", rec.metrics());
+        eprintln!("exit kind:              {}", exit.label());
     }
     if let Some(path) = &opts.events_out {
         let f = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
@@ -282,15 +357,123 @@ fn obs_epilogue(rec: &Recorder, opts: &Options, atoms: &AtomTable) -> Result<(),
     Ok(())
 }
 
+/// Deterministic fault schedule for a single `--fault-seed` run: the plan
+/// is sized by `--fault-rate` over the instruction budget (capped at 32
+/// faults, matching the campaign runner).
+fn fault_plan(opts: &Options) -> Vec<PlannedFault> {
+    match opts.fault_seed {
+        None => Vec::new(),
+        Some(seed) => {
+            let count = (opts.max_insns as f64 * opts.fault_rate).ceil() as u32;
+            generate_plan(seed, count.clamp(1, 32), opts.max_insns, RAM_FAULT_WINDOW)
+        }
+    }
+}
+
+/// Snapshot of a finished run in the campaign classifier's terms.
+fn snapshot<M: TaintMode, S: ObsSink>(
+    exit: SocExit,
+    soc: &Soc<M, S>,
+    faults: Vec<taintvp::faults::FaultRecord>,
+) -> ScenarioRun {
+    ScenarioRun {
+        exit,
+        uart: soc.uart().borrow().output().to_vec(),
+        auths: 0,
+        steps: soc.instret() + soc.cpu().traps_taken(),
+        traps: soc.cpu().traps_taken(),
+        sim_time: soc.now(),
+        faults,
+    }
+}
+
+/// `--campaign n`: one fault-free reference plus `n` faulted replays with
+/// derived seeds, each classified against the reference. Exits 2 when any
+/// replay ended in silent data corruption.
+fn run_cli_campaign<M: TaintMode>(
+    opts: &Options,
+    policy: SecurityPolicy,
+    program: &Program,
+) -> ExitCode {
+    let master = opts.fault_seed.expect("validated in parse_args");
+    let obs = Rc::new(RefCell::new(NullSink));
+    let (exit, soc, _) = run_vp::<M, NullSink>(opts, policy.clone(), program, obs, &[]);
+    let reference = snapshot(exit, &soc, Vec::new());
+    eprintln!(
+        "reference: exit {} after {} steps, {} UART bytes",
+        reference.exit.label(),
+        reference.steps,
+        reference.uart.len()
+    );
+
+    let horizon = reference.steps.max(1);
+    let budget = reference.steps.saturating_mul(4).saturating_add(10_000);
+    let count = ((horizon as f64 * opts.fault_rate).ceil() as u32).clamp(1, 32);
+    let mut totals = [0u64; Outcome::COUNT];
+    for i in 0..opts.campaign {
+        let seed = master.wrapping_add(u64::from(i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let plan = generate_plan(seed, count, horizon, RAM_FAULT_WINDOW);
+        let obs = Rc::new(RefCell::new(NullSink));
+        let run_opts = Options {
+            program: opts.program.clone(),
+            policy: opts.policy.clone(),
+            plain: opts.plain,
+            record: opts.record,
+            input: opts.input.clone(),
+            max_insns: budget,
+            trace: 0,
+            uart_hex: opts.uart_hex,
+            metrics: false,
+            flight_recorder: None,
+            events_out: None,
+            chrome_trace: None,
+            fault_seed: opts.fault_seed,
+            fault_rate: opts.fault_rate,
+            campaign: 0,
+        };
+        let (exit, soc, records) =
+            run_vp::<M, NullSink>(&run_opts, policy.clone(), program, obs, &plan);
+        let run = snapshot(exit, &soc, records);
+        let outcome = classify(&reference, &run);
+        totals[outcome.index()] += 1;
+        eprintln!(
+            "run {i:>3}: seed=0x{seed:016x} exit={:<16} outcome={:<16} faults={}",
+            run.exit.label(),
+            outcome.label(),
+            run.faults.len()
+        );
+    }
+    eprintln!("campaign summary ({} runs):", opts.campaign);
+    for o in Outcome::ALL {
+        eprintln!("  {:>16}: {}", o.label(), totals[o.index()]);
+    }
+    if totals[Outcome::Sdc.index()] > 0 {
+        eprintln!("campaign: FAIL — silent data corruption observed");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
 fn run<M: TaintMode>(
     opts: &Options,
     policy: SecurityPolicy,
     atoms: &AtomTable,
     program: &Program,
 ) -> ExitCode {
+    if opts.campaign > 0 {
+        return run_cli_campaign::<M>(opts, policy, program);
+    }
+    let plan = fault_plan(opts);
+    if !plan.is_empty() {
+        eprintln!("fault schedule ({} planned):", plan.len());
+        for f in &plan {
+            eprintln!("  step {:>10}: {} @ {}", f.at_step, f.kind.label(), f.kind.site());
+        }
+    }
     if !opts.observed() {
         let obs = Rc::new(RefCell::new(NullSink));
-        let (exit, soc) = run_vp::<M, NullSink>(opts, policy, program, obs);
+        let (exit, soc, records) = run_vp::<M, NullSink>(opts, policy, program, obs, &plan);
+        report_faults(&records);
         return ExitCode::from(report(&exit, &soc, opts, atoms));
     }
     let mut rec = Recorder::new(opts.flight_recorder.unwrap_or(DEFAULT_RING));
@@ -298,13 +481,26 @@ fn run<M: TaintMode>(
         rec = rec.with_event_log();
     }
     let obs = Rc::new(RefCell::new(rec));
-    let (exit, soc) = run_vp::<M, Recorder>(opts, policy, program, obs.clone());
+    let (exit, soc, records) = run_vp::<M, Recorder>(opts, policy, program, obs.clone(), &plan);
+    report_faults(&records);
     let code = report(&exit, &soc, opts, atoms);
-    if let Err(e) = obs_epilogue(&obs.borrow(), opts, atoms) {
+    if let Err(e) = obs_epilogue(&obs.borrow(), &exit, opts, atoms) {
         eprintln!("error: {e}");
         return ExitCode::from(1);
     }
     ExitCode::from(code)
+}
+
+fn report_faults(records: &[taintvp::faults::FaultRecord]) {
+    for r in records {
+        eprintln!(
+            "fault injected at step {}: {} @ {}{}",
+            r.step,
+            r.kind,
+            r.site,
+            r.addr.map(|a| format!(" addr={a:#x}")).unwrap_or_default()
+        );
+    }
 }
 
 fn main() -> ExitCode {

@@ -20,6 +20,7 @@
 pub use vpdift_asm as asm;
 pub use vpdift_attacks as attacks;
 pub use vpdift_core as core;
+pub use vpdift_faults as faults;
 pub use vpdift_firmware as firmware;
 pub use vpdift_immo as immo;
 pub use vpdift_kernel as kernel;
