@@ -111,6 +111,15 @@ impl Program {
         self.symbols.iter().map(|(n, &a)| (n.as_str(), a))
     }
 
+    /// All symbols sorted by address (name breaks ties) — the natural
+    /// order for building profiler symbol maps and annotated listings.
+    pub fn symbols_by_addr(&self) -> Vec<(u32, &str)> {
+        let mut out: Vec<(u32, &str)> =
+            self.symbols.iter().map(|(n, &a)| (a, n.as_str())).collect();
+        out.sort();
+        out
+    }
+
     /// Number of instruction words in the image (the "LoC ASM" metric of
     /// the paper's Table II).
     pub fn insn_count(&self) -> usize {
@@ -669,6 +678,23 @@ mod tests {
             Insn::Branch { cond: BranchCond::Eq, rs1: Reg::T0, rs2: Reg::Zero, offset: 8 }
         );
         assert_eq!(Insn::decode(words[4]).unwrap(), Insn::Jal { rd: Reg::Zero, offset: -16 });
+    }
+
+    #[test]
+    fn symbols_by_addr_is_sorted() {
+        let mut a = Asm::new(0x100);
+        a.label("first");
+        a.nop();
+        a.label("second");
+        a.nop();
+        a.label("also_second"); // same address as the next insn's label
+        a.nop();
+        let p = a.assemble().unwrap();
+        let syms = p.symbols_by_addr();
+        assert_eq!(syms[0], (0x100, "first"));
+        assert_eq!(syms[1], (0x104, "second"));
+        assert_eq!(syms[2], (0x108, "also_second"));
+        assert!(syms.windows(2).all(|w| w[0].0 <= w[1].0));
     }
 
     #[test]

@@ -11,14 +11,16 @@
 //! the resilience machinery exists to prevent), `1` on bad arguments.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use vpdift_faults::{render_json, run_campaign, CampaignConfig, Outcome};
+use vpdift_faults::{render_json, run_campaign, CampaignConfig, CampaignReport, Outcome};
 
-const USAGE: &str = "usage: faultcamp [--seed N] [--runs N] [--rate R] [--out FILE]";
+const USAGE: &str = "usage: faultcamp [--seed N] [--runs N] [--rate R] [--out FILE] [--json FILE]";
 
-fn parse_args() -> Result<(CampaignConfig, Option<String>), String> {
+fn parse_args() -> Result<(CampaignConfig, Option<String>, Option<String>), String> {
     let mut cfg = CampaignConfig::default();
     let mut out = None;
+    let mut bench_json = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
@@ -39,11 +41,34 @@ fn parse_args() -> Result<(CampaignConfig, Option<String>), String> {
                 }
             }
             "--out" => out = Some(value("--out")?),
+            "--json" => bench_json = Some(value("--json")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other}\n{USAGE}")),
         }
     }
-    Ok((cfg, out))
+    Ok((cfg, out, bench_json))
+}
+
+/// Renders the `taintvp-bench/v1` trajectory entry for this campaign:
+/// the deterministic per-scenario reference step counts plus the
+/// campaign's wall time (the only nondeterministic entry).
+fn render_bench_json(report: &CampaignReport, wall_ns: u128) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"taintvp-bench/v1\",\n");
+    out.push_str("  \"suite\": \"faultcamp\",\n");
+    out.push_str("  \"entries\": [\n");
+    for r in &report.references {
+        out.push_str(&format!(
+            "    {{\"group\": \"reference\", \"name\": \"{}\", \"unit\": \"steps\", \"median\": {}, \"mean\": {}, \"min\": {}, \"max\": {}, \"samples\": 1, \"throughput_elems\": null}},\n",
+            r.scenario, r.steps, r.steps, r.steps, r.steps
+        ));
+    }
+    out.push_str(&format!(
+        "    {{\"group\": \"campaign\", \"name\": \"wall_time\", \"unit\": \"ns\", \"median\": {wall_ns}, \"mean\": {wall_ns}, \"min\": {wall_ns}, \"max\": {wall_ns}, \"samples\": 1, \"throughput_elems\": null}}\n"
+    ));
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn parse_u64(s: &str) -> Option<u64> {
@@ -55,7 +80,7 @@ fn parse_u64(s: &str) -> Option<u64> {
 }
 
 fn main() -> ExitCode {
-    let (cfg, out) = match parse_args() {
+    let (cfg, out, bench_json) = match parse_args() {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("{msg}");
@@ -67,8 +92,18 @@ fn main() -> ExitCode {
         "faultcamp: seed=0x{:x} runs={} rate={} — running campaign...",
         cfg.seed, cfg.runs, cfg.rate
     );
+    let wall_start = Instant::now();
     let report = run_campaign(&cfg);
+    let wall_ns = wall_start.elapsed().as_nanos();
     let json = render_json(&report);
+
+    if let Some(path) = &bench_json {
+        if let Err(e) = std::fs::write(path, render_bench_json(&report, wall_ns)) {
+            eprintln!("faultcamp: cannot write bench JSON to {path}: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!("faultcamp: bench trajectory written to {path}");
+    }
 
     match &out {
         Some(path) => {

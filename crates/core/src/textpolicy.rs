@@ -61,9 +61,24 @@ pub struct AtomTable {
 }
 
 impl AtomTable {
+    /// Builds a table directly from atom names, in bit order — for tools
+    /// and tests that label atoms without parsing a policy file.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        AtomTable { names: names.into_iter().map(Into::into).collect() }
+    }
+
     /// Resolves a declared atom by name.
     pub fn tag(&self, name: &str) -> Option<Tag> {
         self.names.iter().position(|n| n == name).map(|i| Tag::atom(i as u32))
+    }
+
+    /// The name of `atom`, when one was declared for it.
+    pub fn name(&self, atom: u32) -> Option<&str> {
+        self.names.get(atom as usize).map(String::as_str)
     }
 
     /// Renders a tag as a `|`-joined list of atom names.

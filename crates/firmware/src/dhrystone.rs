@@ -48,8 +48,8 @@ pub fn build(iterations: u32) -> Workload {
     a.li(S4, 0);
     a.li(S5, iterations as i32);
 
-    a.label("loop");
-    a.bgtu(S0, S5, "done");
+    a.label("dhry_loop");
+    a.bgtu(S0, S5, "dhry_done");
 
     // Record copy (Proc_1 analogue): memcpy 32 bytes B <- A.
     a.la(A0, "rec_b");
@@ -94,9 +94,9 @@ pub fn build(iterations: u32) -> Workload {
     a.add(S4, S4, S3);
 
     a.addi(S0, S0, 1);
-    a.j("loop");
+    a.j("dhry_loop");
 
-    a.label("done");
+    a.label("dhry_done");
     a.mv(A0, S4);
     a.call("rt_put_hex");
     a.li(A0, b'\n' as i32);

@@ -56,12 +56,12 @@ pub fn build(n: u32) -> Workload {
     // checksum in s4; i in s1, j in s2, k in s3.
     a.li(S4, 0x811C_9DC5u32 as i32);
     a.li(S1, 0);
-    a.label("loop_i");
+    a.label("matmul_i");
     a.li(S2, 0);
-    a.label("loop_j");
+    a.label("matmul_j");
     a.li(S3, 0);
     a.li(S5, 0); // acc
-    a.label("loop_k");
+    a.label("matmul_k");
     // a[i*n + k]
     a.li(T0, n as i32);
     a.mul(T1, S1, T0);
@@ -81,17 +81,17 @@ pub fn build(n: u32) -> Workload {
     a.add(S5, S5, T3);
     a.addi(S3, S3, 1);
     a.li(T0, n as i32);
-    a.blt(S3, T0, "loop_k");
+    a.blt(S3, T0, "matmul_k");
     // checksum = (checksum ^ acc) * FNV_PRIME
     a.xor(S4, S4, S5);
     a.li(T0, 0x0100_0193);
     a.mul(S4, S4, T0);
     a.addi(S2, S2, 1);
     a.li(T0, n as i32);
-    a.blt(S2, T0, "loop_j");
+    a.blt(S2, T0, "matmul_j");
     a.addi(S1, S1, 1);
     a.li(T0, n as i32);
-    a.blt(S1, T0, "loop_i");
+    a.blt(S1, T0, "matmul_i");
 
     a.mv(A0, S4);
     a.call("rt_put_hex");

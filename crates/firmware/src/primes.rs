@@ -36,23 +36,23 @@ pub fn build(limit: u32) -> Workload {
     a.li(S1, 0); // count
     a.li(S2, limit as i32);
 
-    a.label("outer");
-    a.bgeu(S0, S2, "done");
+    a.label("primes_outer");
+    a.bgeu(S0, S2, "primes_done");
     a.li(T0, 2); // divisor
-    a.label("inner");
+    a.label("primes_inner");
     a.mul(T1, T0, T0);
     a.bgtu(T1, S0, "prime"); // d*d > n  ⇒ prime
     a.remu(T2, S0, T0);
     a.beqz(T2, "composite");
     a.addi(T0, T0, 1);
-    a.j("inner");
+    a.j("primes_inner");
     a.label("prime");
     a.addi(S1, S1, 1);
     a.label("composite");
     a.addi(S0, S0, 1);
-    a.j("outer");
+    a.j("primes_outer");
 
-    a.label("done");
+    a.label("primes_done");
     a.mv(A0, S1);
     a.call("rt_put_hex");
     a.li(A0, b'\n' as i32);

@@ -20,38 +20,38 @@ pub fn build(n: u32, rounds: u32) -> Workload {
     a.li(A0, 0xC0FFEE);
     a.call("rt_srand");
 
-    a.label("round");
+    a.label("qsort_round");
     // Fill the array with PRNG words.
-    a.la(S0, "arr");
+    a.la(S0, "qsort_arr");
     a.li(S1, n as i32);
     a.mv(S2, S0);
-    a.label("fill");
+    a.label("qsort_fill");
     a.call("rt_rand");
     a.sw(A0, 0, S2);
     a.addi(S2, S2, 4);
     a.addi(S1, S1, -1);
-    a.bnez(S1, "fill");
+    a.bnez(S1, "qsort_fill");
 
     // qsort(arr, arr + 4*(n-1))
-    a.la(A0, "arr");
-    a.la(A1, "arr");
+    a.la(A0, "qsort_arr");
+    a.la(A1, "qsort_arr");
     a.li(T0, (4 * (n - 1)) as i32);
     a.add(A1, A1, T0);
     a.call("qsort");
 
     // Verify ascending order.
-    a.la(T0, "arr");
+    a.la(T0, "qsort_arr");
     a.li(T1, (n - 1) as i32);
-    a.label("verify");
+    a.label("qsort_verify");
     a.lw(T2, 0, T0);
     a.lw(T3, 4, T0);
     a.bltu(T3, T2, "rt_fail");
     a.addi(T0, T0, 4);
     a.addi(T1, T1, -1);
-    a.bnez(T1, "verify");
+    a.bnez(T1, "qsort_verify");
 
     a.addi(S4, S4, -1);
-    a.bnez(S4, "round");
+    a.bnez(S4, "qsort_round");
     a.j("rt_ok");
 
     // ---- fn qsort(a0 = lo ptr, a1 = hi ptr), Lomuto partition ----------
@@ -67,18 +67,18 @@ pub fn build(n: u32, rounds: u32) -> Workload {
     a.lw(T0, 0, S1); // pivot = *hi
     a.mv(T1, S0); // i = lo (store slot)
     a.mv(T2, S0); // j
-    a.label("part");
-    a.bgeu(T2, S1, "part_done");
+    a.label("qsort_part");
+    a.bgeu(T2, S1, "qsort_part_done");
     a.lw(T3, 0, T2);
-    a.bgeu(T3, T0, "part_next"); // if *j < pivot: swap *i, *j; i += 4
+    a.bgeu(T3, T0, "qsort_part_next"); // if *j < pivot: swap *i, *j; i += 4
     a.lw(T4, 0, T1);
     a.sw(T3, 0, T1);
     a.sw(T4, 0, T2);
     a.addi(T1, T1, 4);
-    a.label("part_next");
+    a.label("qsort_part_next");
     a.addi(T2, T2, 4);
-    a.j("part");
-    a.label("part_done");
+    a.j("qsort_part");
+    a.label("qsort_part_done");
     // swap *i, *hi
     a.lw(T3, 0, T1);
     a.lw(T4, 0, S1);
@@ -104,7 +104,7 @@ pub fn build(n: u32, rounds: u32) -> Workload {
     emit_runtime(&mut a);
 
     a.align(4);
-    a.label("arr");
+    a.label("qsort_arr");
     a.zero(4 * n as usize);
 
     let program = a.assemble().expect("qsort assembles");

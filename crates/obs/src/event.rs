@@ -207,6 +207,9 @@ pub enum ObsEvent {
         tag: Tag,
         /// `true` when the target responded OK.
         ok: bool,
+        /// Latency the target added to the transaction, in picoseconds
+        /// (0 for unrouted or error-terminated transactions).
+        lat_ps: u64,
     },
     /// A trap or interrupt was taken.
     Trap {

@@ -12,7 +12,7 @@ use crate::event::ObsEvent;
 use crate::ring::TimedEvent;
 
 /// Escapes `s` for inclusion inside a JSON string literal.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -89,8 +89,8 @@ fn event_fields(event: &ObsEvent) -> String {
             tag_json(*before),
             tag_json(*after)
         ),
-        ObsEvent::Tlm { bus, target, addr, len, write, tag, ok } => format!(
-            "\"bus\":\"{}\",\"target\":\"{}\",\"addr\":{addr},\"len\":{len},\"write\":{write},\"tag\":{},\"ok\":{ok}",
+        ObsEvent::Tlm { bus, target, addr, len, write, tag, ok, lat_ps } => format!(
+            "\"bus\":\"{}\",\"target\":\"{}\",\"addr\":{addr},\"len\":{len},\"write\":{write},\"tag\":{},\"ok\":{ok},\"lat_ps\":{lat_ps}",
             escape(bus),
             escape(target),
             tag_json(*tag)
@@ -300,6 +300,7 @@ mod tests {
                     write: true,
                     tag: Tag::atom(0),
                     ok: false,
+                    lat_ps: 20_000,
                 },
             },
         ]

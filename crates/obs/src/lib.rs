@@ -26,7 +26,9 @@
 mod disasm;
 mod event;
 pub mod export;
+pub mod flowgraph;
 mod metrics;
+pub mod prof;
 mod provenance;
 mod recorder;
 mod ring;
@@ -40,7 +42,8 @@ use vpdift_core::{FlowObserver, SharedFlowObserver, Tag, Violation, ViolationKin
 pub use disasm::RawInsn;
 pub use event::{CheckKind, ObsEvent};
 pub use metrics::{CheckCounter, Metrics};
-pub use provenance::{Origin, ProvenanceMap};
+pub use prof::{Profiler, SymbolMap, TlmStat};
+pub use provenance::{FlowPath, Hop, HopKind, Origin, ProvenanceMap, SinkRec, HOP_CAP};
 pub use recorder::Recorder;
 pub use ring::{EventRing, TimedEvent};
 pub use sink::{shared_obs, DynObs, NullSink, ObsHandle, ObsSink, SharedObs, ATOM_SLOTS};

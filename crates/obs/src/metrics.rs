@@ -181,6 +181,7 @@ mod tests {
             write: true,
             tag: Tag::atom(1),
             ok: false,
+            lat_ps: 0,
         });
         assert_eq!(m.tagged_loads, 1);
         assert_eq!(m.untagged_loads, 1);

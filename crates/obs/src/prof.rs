@@ -1,0 +1,544 @@
+//! Guest-level profiler: symbol-attributed instruction histograms, a
+//! call/return-tracked shadow stack with folded-stack (flamegraph)
+//! output, and log2-bucketed TLM latency/access histograms.
+//!
+//! The profiler is fed from the same [`ObsEvent`] stream every other sink
+//! consumes — it decodes call/return shape from the retired instruction
+//! bits itself, so the CPU hot path gains no new hook. It is opt-in on
+//! the [`Recorder`](crate::Recorder) and, like everything else in this
+//! crate, nonexistent in `NullSink` builds.
+//!
+//! Attribution model: every PC is attributed to the nearest *preceding*
+//! label of the guest program's symbol table (`vpdift_asm::Program`
+//! exports its label map). The shadow stack keeps one frame per pending
+//! call, named after the *call site's* symbol, so a folded stack reads
+//! like a sampled flamegraph: `dhry_loop;rt_strcmp 12043` means 12043
+//! instructions retired inside `rt_strcmp` called from `dhry_loop`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+use vpdift_asm::{decompress, is_compressed, Insn, Program, Reg};
+
+use crate::event::ObsEvent;
+
+/// Sorted address→name map built from a program's label table.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolMap {
+    /// `(address, name)`, sorted by address then name.
+    syms: Vec<(u32, String)>,
+}
+
+/// Index sentinel for PCs before the first label.
+const NO_SYM: usize = usize::MAX;
+
+/// Display name used for unattributable PCs.
+pub const UNKNOWN_SYMBOL: &str = "[unknown]";
+
+impl SymbolMap {
+    /// Builds the map from an assembled program's exported label table.
+    pub fn from_program(program: &Program) -> Self {
+        Self::from_symbols(program.symbols().map(|(n, a)| (a, n.to_owned())))
+    }
+
+    /// Builds the map from raw `(address, name)` pairs.
+    pub fn from_symbols<I: IntoIterator<Item = (u32, String)>>(iter: I) -> Self {
+        let mut syms: Vec<(u32, String)> = iter.into_iter().collect();
+        syms.sort();
+        syms.dedup();
+        SymbolMap { syms }
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// `true` when the map has no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty()
+    }
+
+    /// Index of the nearest symbol at or before `pc`, or [`NO_SYM`].
+    fn index_of(&self, pc: u32) -> usize {
+        match self.syms.partition_point(|&(a, _)| a <= pc) {
+            0 => NO_SYM,
+            n => n - 1,
+        }
+    }
+
+    fn name_at(&self, index: usize) -> &str {
+        self.syms.get(index).map(|(_, n)| n.as_str()).unwrap_or(UNKNOWN_SYMBOL)
+    }
+
+    /// Resolves `pc` to `(symbol, offset)` against the nearest preceding
+    /// label, or `None` before the first label.
+    pub fn resolve(&self, pc: u32) -> Option<(&str, u32)> {
+        match self.index_of(pc) {
+            NO_SYM => None,
+            i => Some((self.syms[i].1.as_str(), pc - self.syms[i].0)),
+        }
+    }
+
+    /// Renders `pc` as `0xXXXXXXXX <symbol+0xoff>` (or bare hex when no
+    /// symbol precedes it).
+    pub fn format_pc(&self, pc: u32) -> String {
+        match self.resolve(pc) {
+            Some((name, 0)) => format!("{pc:#010x} <{name}>"),
+            Some((name, off)) => format!("{pc:#010x} <{name}+{off:#x}>"),
+            None => format!("{pc:#010x}"),
+        }
+    }
+}
+
+/// Number of log2 latency buckets (bucket `i` covers `[2^(i-1), 2^i)`
+/// nanoseconds; bucket 0 is `< 1 ns`).
+pub const LAT_BUCKETS: usize = 32;
+
+/// Per-TLM-target access statistics.
+#[derive(Debug, Clone)]
+pub struct TlmStat {
+    /// Read transactions.
+    pub reads: u64,
+    /// Write transactions.
+    pub writes: u64,
+    /// Transactions that did not complete OK.
+    pub errors: u64,
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Accumulated target latency in picoseconds.
+    pub lat_total_ps: u64,
+    /// Log2-bucketed latency histogram (nanoseconds).
+    pub lat_hist: [u64; LAT_BUCKETS],
+}
+
+impl Default for TlmStat {
+    fn default() -> Self {
+        TlmStat {
+            reads: 0,
+            writes: 0,
+            errors: 0,
+            bytes: 0,
+            lat_total_ps: 0,
+            lat_hist: [0; LAT_BUCKETS],
+        }
+    }
+}
+
+impl TlmStat {
+    /// Total transactions.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+fn lat_bucket(lat_ps: u64) -> usize {
+    let ns = lat_ps / 1000;
+    if ns == 0 {
+        0
+    } else {
+        ((u64::BITS - ns.leading_zeros()) as usize).min(LAT_BUCKETS - 1)
+    }
+}
+
+/// Shadow-stack depth cap; calls beyond it are counted, not pushed, and
+/// matching returns unwind the overflow counter first so the stack stays
+/// balanced.
+const MAX_DEPTH: usize = 64;
+
+/// The guest profiler. Feed it events with [`Profiler::on_event`]; read
+/// results with the `flat`/`inclusive`/`folded_output`/`render_*`
+/// accessors.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    symbols: SymbolMap,
+    pc_hist: HashMap<u32, u64>,
+    folded: HashMap<Vec<usize>, u64>,
+    /// Call-site symbol index per open frame.
+    stack: Vec<usize>,
+    /// Calls not pushed because the stack hit [`MAX_DEPTH`].
+    overflow: u64,
+    tlm: BTreeMap<String, TlmStat>,
+    insns: u64,
+}
+
+impl Profiler {
+    /// A profiler attributing against `symbols`.
+    pub fn new(symbols: SymbolMap) -> Self {
+        Profiler {
+            symbols,
+            pc_hist: HashMap::new(),
+            folded: HashMap::new(),
+            stack: Vec::new(),
+            overflow: 0,
+            tlm: BTreeMap::new(),
+            insns: 0,
+        }
+    }
+
+    /// The symbol map the profiler attributes against.
+    pub fn symbols(&self) -> &SymbolMap {
+        &self.symbols
+    }
+
+    /// Instructions profiled.
+    pub fn insns(&self) -> u64 {
+        self.insns
+    }
+
+    /// The exact per-PC instruction histogram.
+    pub fn pc_histogram(&self) -> &HashMap<u32, u64> {
+        &self.pc_hist
+    }
+
+    /// Per-target TLM statistics.
+    pub fn tlm_stats(&self) -> &BTreeMap<String, TlmStat> {
+        &self.tlm
+    }
+
+    /// Folds one event into the profile.
+    pub fn on_event(&mut self, event: &ObsEvent) {
+        match event {
+            ObsEvent::InsnRetired { pc, word, compressed, .. } => {
+                self.on_insn(*pc, *word, *compressed);
+            }
+            ObsEvent::Trap { pc, .. } => {
+                // Trap entry behaves like a call from the trapping
+                // context; `mret` pops it again.
+                self.push_frame(self.symbols.index_of(*pc));
+            }
+            ObsEvent::Tlm { target, len, write, ok, lat_ps, .. } => {
+                let stat = self.tlm.entry(target.clone()).or_default();
+                if *write {
+                    stat.writes += 1;
+                } else {
+                    stat.reads += 1;
+                }
+                if !*ok {
+                    stat.errors += 1;
+                }
+                stat.bytes += u64::from(*len);
+                stat.lat_total_ps += *lat_ps;
+                stat.lat_hist[lat_bucket(*lat_ps)] += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn on_insn(&mut self, pc: u32, word: u32, compressed: bool) {
+        self.insns += 1;
+        *self.pc_hist.entry(pc).or_insert(0) += 1;
+
+        // Attribute to the current stack plus the leaf symbol.
+        let leaf = self.symbols.index_of(pc);
+        let mut key = Vec::with_capacity(self.stack.len() + 1);
+        key.extend_from_slice(&self.stack);
+        key.push(leaf);
+        *self.folded.entry(key).or_insert(0) += 1;
+
+        // Track calls and returns from the instruction shape.
+        let insn = if compressed {
+            let half = word as u16;
+            if !is_compressed(half) {
+                return;
+            }
+            match decompress(half) {
+                Ok(i) => i,
+                Err(_) => return,
+            }
+        } else {
+            match Insn::decode(word) {
+                Ok(i) => i,
+                Err(_) => return,
+            }
+        };
+        match insn {
+            Insn::Jal { rd: Reg::Ra, .. } | Insn::Jalr { rd: Reg::Ra, .. } => {
+                self.push_frame(leaf);
+            }
+            Insn::Jalr { rd: Reg::Zero, rs1: Reg::Ra, .. } | Insn::Mret => self.pop_frame(),
+            _ => {}
+        }
+    }
+
+    fn push_frame(&mut self, site: usize) {
+        if self.stack.len() < MAX_DEPTH {
+            self.stack.push(site);
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    fn pop_frame(&mut self) {
+        if self.overflow > 0 {
+            self.overflow -= 1;
+        } else {
+            self.stack.pop();
+        }
+    }
+
+    /// Flat (exclusive) profile: instructions attributed per symbol,
+    /// sorted by count descending, ties by name.
+    pub fn flat(&self) -> Vec<(String, u64)> {
+        let mut per_sym: HashMap<usize, u64> = HashMap::new();
+        for (&pc, &n) in &self.pc_hist {
+            *per_sym.entry(self.symbols.index_of(pc)).or_insert(0) += n;
+        }
+        let mut out: Vec<(String, u64)> =
+            per_sym.into_iter().map(|(i, n)| (self.sym_name(i).to_owned(), n)).collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Inclusive profile: instructions retired while the symbol was the
+    /// leaf *or anywhere on the shadow stack* — the flamegraph view. A
+    /// loop that calls helpers owns its callees' time here.
+    pub fn inclusive(&self) -> Vec<(String, u64)> {
+        let mut per_sym: HashMap<usize, u64> = HashMap::new();
+        for (key, &n) in &self.folded {
+            let mut seen: Vec<usize> = Vec::with_capacity(key.len());
+            for &sym in key {
+                if !seen.contains(&sym) {
+                    seen.push(sym);
+                    *per_sym.entry(sym).or_insert(0) += n;
+                }
+            }
+        }
+        let mut out: Vec<(String, u64)> =
+            per_sym.into_iter().map(|(i, n)| (self.sym_name(i).to_owned(), n)).collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    fn sym_name(&self, index: usize) -> &str {
+        if index == NO_SYM {
+            UNKNOWN_SYMBOL
+        } else {
+            self.symbols.name_at(index)
+        }
+    }
+
+    /// Folded-stack output, one `frame;frame;leaf count` line per unique
+    /// stack, sorted lexicographically — feed straight into
+    /// `flamegraph.pl` or speedscope.
+    pub fn folded_output(&self) -> String {
+        let mut lines: Vec<String> = self
+            .folded
+            .iter()
+            .map(|(key, n)| {
+                let frames: Vec<&str> = key.iter().map(|&i| self.sym_name(i)).collect();
+                format!("{} {n}", frames.join(";"))
+            })
+            .collect();
+        lines.sort();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the flat profile's top `n` symbols with percentages.
+    pub fn render_flat(&self, n: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== guest profile: top {n} symbols (exclusive) ==");
+        let total = self.insns.max(1);
+        for (name, count) in self.flat().into_iter().take(n) {
+            let pct = count as f64 * 100.0 / total as f64;
+            let _ = writeln!(out, "  {name:<24} {count:>12}  {pct:>5.1}%");
+        }
+        let _ = writeln!(out, "  {:<24} {:>12}  100.0%", "total", self.insns);
+        out
+    }
+
+    /// Renders the per-target TLM access and latency histograms.
+    pub fn render_tlm(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== TLM access/latency histograms ==");
+        if self.tlm.is_empty() {
+            let _ = writeln!(out, "  (no TLM transactions observed)");
+            return out;
+        }
+        for (target, s) in &self.tlm {
+            let _ = writeln!(
+                out,
+                "  {target:<12} {:>8} accesses ({} R / {} W, {} err), {} bytes, avg latency {} ns",
+                s.accesses(),
+                s.reads,
+                s.writes,
+                s.errors,
+                s.bytes,
+                s.lat_total_ps / 1000 / s.accesses().max(1),
+            );
+            for (i, &n) in s.lat_hist.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                let label = if i == 0 {
+                    "      <1 ns".to_owned()
+                } else {
+                    format!("{:>7} ns", 1u64 << (i - 1))
+                };
+                let _ = writeln!(out, "    {label} .. : {n:>8}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdift_asm::Asm;
+    use vpdift_core::Tag;
+
+    fn insn(pc: u32, word: u32) -> ObsEvent {
+        ObsEvent::InsnRetired { pc, word, compressed: false, fetch_tag: Tag::EMPTY, instret: 0 }
+    }
+
+    /// `jal ra, +8` — a call.
+    const CALL: u32 = 0x008000EF;
+    /// `jalr x0, 0(ra)` — the canonical `ret`.
+    const RET: u32 = 0x00008067;
+    /// `addi x0, x0, 0` — nop.
+    const NOP: u32 = 0x00000013;
+
+    fn symmap(pairs: &[(u32, &str)]) -> SymbolMap {
+        SymbolMap::from_symbols(pairs.iter().map(|&(a, n)| (a, n.to_owned())))
+    }
+
+    #[test]
+    fn symbol_map_resolves_nearest_preceding_label() {
+        let m = symmap(&[(0x10, "main"), (0x40, "helper")]);
+        assert_eq!(m.resolve(0x8), None, "before the first label");
+        assert_eq!(m.resolve(0x10), Some(("main", 0)));
+        assert_eq!(m.resolve(0x3C), Some(("main", 0x2C)));
+        assert_eq!(m.resolve(0x44), Some(("helper", 4)));
+        assert_eq!(m.format_pc(0x44), "0x00000044 <helper+0x4>");
+        assert_eq!(m.format_pc(0x40), "0x00000040 <helper>");
+        assert_eq!(m.format_pc(0x4), "0x00000004");
+    }
+
+    #[test]
+    fn symbol_map_from_program_sees_labels() {
+        let mut a = Asm::new(0);
+        a.label("start");
+        a.nop();
+        a.label("tail");
+        a.nop();
+        let p = a.assemble().unwrap();
+        let m = SymbolMap::from_program(&p);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.resolve(4), Some(("tail", 0)));
+    }
+
+    #[test]
+    fn shadow_stack_folds_calls() {
+        let m = symmap(&[(0x0, "main"), (0x100, "helper")]);
+        let mut p = Profiler::new(m);
+        p.on_event(&insn(0x0, NOP));
+        p.on_event(&insn(0x4, CALL)); // call from main
+        p.on_event(&insn(0x100, NOP)); // inside helper
+        p.on_event(&insn(0x104, RET));
+        p.on_event(&insn(0x8, NOP)); // back in main
+        let folded = p.folded_output();
+        assert!(folded.contains("main 3"), "main-leaf insns: {folded}");
+        assert!(folded.contains("main;helper 2"), "callee attributed under call site: {folded}");
+        let inclusive = p.inclusive();
+        assert_eq!(inclusive[0], ("main".to_owned(), 5), "main owns everything inclusively");
+        assert_eq!(p.insns(), 5);
+        assert_eq!(p.pc_histogram()[&0x0], 1);
+    }
+
+    #[test]
+    fn flat_profile_attributes_by_symbol() {
+        let m = symmap(&[(0x0, "a"), (0x100, "b")]);
+        let mut p = Profiler::new(m);
+        for _ in 0..3 {
+            p.on_event(&insn(0x100, NOP));
+        }
+        p.on_event(&insn(0x0, NOP));
+        let flat = p.flat();
+        assert_eq!(flat[0], ("b".to_owned(), 3));
+        assert_eq!(flat[1], ("a".to_owned(), 1));
+        let text = p.render_flat(10);
+        assert!(text.contains('b') && text.contains("75.0%"), "{text}");
+    }
+
+    #[test]
+    fn trap_and_mret_balance_the_stack() {
+        let m = symmap(&[(0x0, "main"), (0x200, "trap_vec")]);
+        let mut p = Profiler::new(m);
+        p.on_event(&insn(0x4, NOP));
+        p.on_event(&ObsEvent::Trap { pc: 0x8, cause: 3, irq: false });
+        p.on_event(&insn(0x200, NOP));
+        // mret: 0x30200073
+        p.on_event(&insn(0x204, 0x30200073));
+        p.on_event(&insn(0x8, NOP));
+        let folded = p.folded_output();
+        assert!(folded.contains("main;trap_vec 2"), "handler under trapping context: {folded}");
+        assert!(folded.contains("main 2"), "{folded}");
+    }
+
+    #[test]
+    fn deep_recursion_is_depth_capped() {
+        let m = symmap(&[(0x0, "rec")]);
+        let mut p = Profiler::new(m);
+        for _ in 0..(MAX_DEPTH + 20) {
+            p.on_event(&insn(0x0, CALL));
+        }
+        for _ in 0..(MAX_DEPTH + 20) {
+            p.on_event(&insn(0x4, RET));
+        }
+        p.on_event(&insn(0x8, NOP));
+        assert!(p.stack.is_empty(), "overflowed calls unwind cleanly");
+        // First call and final nop both fold to a bare depth-1 "rec" key.
+        let folded = p.folded_output();
+        assert!(folded.lines().any(|l| l == "rec 2"), "{folded}");
+    }
+
+    #[test]
+    fn tlm_histograms_bucket_by_log2_latency() {
+        let mut p = Profiler::new(SymbolMap::default());
+        let tlm = |lat_ps: u64, write: bool, ok: bool| ObsEvent::Tlm {
+            bus: "sys-bus".into(),
+            target: "uart".into(),
+            addr: 0x1000_0000,
+            len: 4,
+            write,
+            tag: Tag::EMPTY,
+            ok,
+            lat_ps,
+        };
+        p.on_event(&tlm(0, false, true)); // <1ns
+        p.on_event(&tlm(1_000, true, true)); // 1ns -> bucket 1
+        p.on_event(&tlm(100_000, true, false)); // 100ns -> bucket 7
+        let s = &p.tlm_stats()["uart"];
+        assert_eq!(s.accesses(), 3);
+        assert_eq!((s.reads, s.writes, s.errors, s.bytes), (1, 2, 1, 12));
+        assert_eq!(s.lat_hist[0], 1);
+        assert_eq!(s.lat_hist[1], 1);
+        assert_eq!(s.lat_hist[7], 1);
+        let text = p.render_tlm();
+        assert!(text.contains("uart") && text.contains("3 accesses"), "{text}");
+    }
+
+    #[test]
+    fn unknown_pcs_render_as_unknown() {
+        let mut p = Profiler::new(symmap(&[(0x100, "late")]));
+        p.on_event(&insn(0x4, NOP));
+        assert_eq!(p.flat()[0].0, UNKNOWN_SYMBOL);
+        assert!(p.folded_output().starts_with(UNKNOWN_SYMBOL));
+    }
+
+    #[test]
+    fn lat_bucket_boundaries() {
+        assert_eq!(lat_bucket(0), 0);
+        assert_eq!(lat_bucket(999), 0);
+        assert_eq!(lat_bucket(1_000), 1);
+        assert_eq!(lat_bucket(2_000), 2);
+        assert_eq!(lat_bucket(3_000), 2);
+        assert_eq!(lat_bucket(4_000), 3);
+        assert_eq!(lat_bucket(u64::MAX), LAT_BUCKETS - 1);
+    }
+}

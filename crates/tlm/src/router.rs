@@ -144,26 +144,29 @@ impl Router {
         let addr = payload.address();
         let Some(m) = self.mappings.iter().find(|m| m.range.contains(addr)) else {
             payload.set_response(TlmResponse::AddressError);
-            self.emit(payload, addr, "<unmapped>");
+            self.emit(payload, addr, "<unmapped>", 0);
             return;
         };
         let end = addr as u64 + payload.len() as u64;
         if end > m.range.end as u64 {
             payload.set_response(TlmResponse::BurstError);
-            self.emit(payload, addr, &m.name);
+            self.emit(payload, addr, &m.name, 0);
             return;
         }
         let local = addr - m.range.start;
         payload.set_address(local);
+        let before = delay.as_ps();
         m.target.borrow_mut().transport(payload, delay);
+        let lat_ps = delay.as_ps().saturating_sub(before);
         payload.set_address(addr);
-        self.emit(payload, addr, &m.name);
+        self.emit(payload, addr, &m.name, lat_ps);
     }
 
     /// Reports a finished transaction to the sink, if one is attached.
     /// Called after the target's `transport` has returned so the sink is
     /// never borrowed while a target is active (re-entrancy safety).
-    fn emit(&self, payload: &GenericPayload, addr: u32, target: &str) {
+    /// `lat_ps` is what the target added to the transaction's delay.
+    fn emit(&self, payload: &GenericPayload, addr: u32, target: &str, lat_ps: u64) {
         let Some(obs) = &self.obs else { return };
         obs.borrow_mut().dyn_event(&ObsEvent::Tlm {
             bus: self.name.clone(),
@@ -173,6 +176,7 @@ impl Router {
             write: payload.command() == TlmCommand::Write,
             tag: payload.data_tag(),
             ok: payload.is_ok(),
+            lat_ps,
         });
     }
 
@@ -326,11 +330,12 @@ mod tests {
         assert_eq!(r.metrics().tlm_per_target["<unmapped>"], 1);
         let events: Vec<_> = r.ring().iter().collect();
         match &events[0].event {
-            vpdift_obs::ObsEvent::Tlm { target, addr, write, tag, ok, .. } => {
+            vpdift_obs::ObsEvent::Tlm { target, addr, write, tag, ok, lat_ps, .. } => {
                 assert_eq!(target, "ram");
                 assert_eq!(*addr, 0x104, "global address reported");
                 assert!(*write && *ok);
                 assert_eq!(*tag, Tag::atom(3));
+                assert_eq!(*lat_ps, 10_000, "target latency reported");
             }
             other => panic!("unexpected event {other:?}"),
         }

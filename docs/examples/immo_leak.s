@@ -1,0 +1,30 @@
+# Immobilizer PIN exfiltration, the `--explain` demo program.
+#
+# The immobilizer policy (immobilizer.policy) classifies the 16 bytes at
+# 0x2000 as the `pin` secret. This program plays the attacker: it copies
+# the first four PIN digits byte-by-byte to the UART data register, which
+# the policy declares a sink for tainted data. Run it with:
+#
+#   taintvp-run docs/examples/immo_leak.s \
+#       --policy docs/examples/immobilizer.policy --explain
+#
+# and the explain query walks the recorded taint flow: classification at
+# `pin`, the tainted `lbu` in `leak_loop`, and the violating UART store.
+
+        .entry
+        j    main
+
+        .align 13               # pad to 0x2000, the classified region
+pin:    .ascii "0042THEFTPROOF!!"
+
+main:
+        la   s0, pin            # source pointer into the secret
+        li   s1, 0x10000000     # UART data register (sink uart.tx)
+        li   s2, 4              # leak the four PIN digits
+leak_loop:
+        lbu  t0, 0(s0)          # tainted load: t0 now carries `pin`
+        sb   t0, 0(s1)          # tainted store to the sink -> violation
+        addi s0, s0, 1
+        addi s2, s2, -1
+        bnez s2, leak_loop
+        ebreak

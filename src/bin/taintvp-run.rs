@@ -12,10 +12,20 @@
 //!   --trace <n>           print the first n executed instructions
 //!   --dump-uart-hex       print UART output as hex instead of text
 //!   --metrics             print the DIFT metrics summary after the run
+//!                         (includes guest-profiler totals: top symbols,
+//!                         TLM access counts)
 //!   --flight-recorder <n> keep the last n events; on violation print a
 //!                         flight report (disassembled tail + provenance)
 //!   --events-out <file>   write every event as JSON lines
 //!   --chrome-trace <file> write a Chrome-trace (about://tracing) file
+//!   --profile             print the guest profile (symbol-attributed
+//!                         instruction counts + TLM latency histograms)
+//!   --folded-out <file>   write folded call stacks (flamegraph input)
+//!   --explain             on a DIFT violation, print the shortest
+//!                         recorded source→sink taint path with symbol
+//!                         names and disassembly
+//!   --flow-dot <file>     write the taint flow graph as Graphviz DOT
+//!   --flow-json <file>    write the taint flow graph as JSON
 //!   --fault-seed <n>      inject a deterministic fault schedule derived
 //!                         from this seed (accepts 0x-prefixed hex)
 //!   --fault-rate <r>      faults per CPU step for the schedule
@@ -52,7 +62,7 @@ use taintvp::faults::{
     classify, generate_plan, run_with_faults, Outcome, PlannedFault, ScenarioRun,
 };
 use taintvp::obs::export::{write_chrome_trace, write_jsonl};
-use taintvp::obs::{NullSink, ObsSink, Recorder};
+use taintvp::obs::{NullSink, ObsSink, Recorder, SymbolMap};
 use taintvp::rv32::{Plain, TaintMode, Tainted};
 use taintvp::soc::{Soc, SocConfig, SocExit};
 
@@ -76,6 +86,11 @@ struct Options {
     flight_recorder: Option<usize>,
     events_out: Option<String>,
     chrome_trace: Option<String>,
+    profile: bool,
+    folded_out: Option<String>,
+    explain: bool,
+    flow_dot: Option<String>,
+    flow_json: Option<String>,
     fault_seed: Option<u64>,
     fault_rate: f64,
     campaign: u32,
@@ -88,6 +103,18 @@ impl Options {
             || self.flight_recorder.is_some()
             || self.events_out.is_some()
             || self.chrome_trace.is_some()
+            || self.profiled()
+            || self.flow_tracked()
+    }
+
+    /// Any flag that needs the guest profiler?
+    fn profiled(&self) -> bool {
+        self.metrics || self.profile || self.folded_out.is_some()
+    }
+
+    /// Any flag that needs per-atom flow tracking?
+    fn flow_tracked(&self) -> bool {
+        self.explain || self.flow_dot.is_some() || self.flow_json.is_some()
     }
 }
 
@@ -96,6 +123,7 @@ fn usage() -> ExitCode {
         "usage: taintvp-run <program.s> [--policy file] [--plain] [--record] \
          [--input str] [--max-insns n] [--trace n] [--dump-uart-hex] \
          [--metrics] [--flight-recorder n] [--events-out file] [--chrome-trace file] \
+         [--profile] [--folded-out file] [--explain] [--flow-dot file] [--flow-json file] \
          [--fault-seed n] [--fault-rate r] [--campaign n]"
     );
     ExitCode::from(1)
@@ -157,6 +185,11 @@ fn parse_args() -> Result<Options, String> {
         flight_recorder: None,
         events_out: None,
         chrome_trace: None,
+        profile: false,
+        folded_out: None,
+        explain: false,
+        flow_dot: None,
+        flow_json: None,
         fault_seed: None,
         fault_rate: 5e-5,
         campaign: 0,
@@ -202,6 +235,17 @@ fn parse_args() -> Result<Options, String> {
             }
             "--chrome-trace" => {
                 opts.chrome_trace = Some(args.next().ok_or("--chrome-trace needs a file")?);
+            }
+            "--profile" => opts.profile = true,
+            "--folded-out" => {
+                opts.folded_out = Some(args.next().ok_or("--folded-out needs a file")?);
+            }
+            "--explain" => opts.explain = true,
+            "--flow-dot" => {
+                opts.flow_dot = Some(args.next().ok_or("--flow-dot needs a file")?);
+            }
+            "--flow-json" => {
+                opts.flow_json = Some(args.next().ok_or("--flow-json needs a file")?);
             }
             "--fault-seed" => {
                 let s = args.next().ok_or("--fault-seed needs a number")?;
@@ -344,6 +388,36 @@ fn obs_epilogue(
         eprintln!("{}", rec.metrics());
         eprintln!("exit kind:              {}", exit.label());
     }
+    if opts.explain {
+        match rec.explain(atoms) {
+            Some(text) => eprintln!("{text}"),
+            None => {
+                if matches!(exit, SocExit::Violation(_)) {
+                    eprintln!("--explain: no flow recorded for the violating atoms");
+                }
+            }
+        }
+    }
+    if let Some(prof) = rec.profiler() {
+        if opts.profile || opts.metrics {
+            eprint!("{}", prof.render_flat(10));
+            eprint!("{}", prof.render_tlm());
+        }
+        if let Some(path) = &opts.folded_out {
+            std::fs::write(path, prof.folded_output())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+    }
+    if let Some(path) = &opts.flow_dot {
+        let f = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        rec.write_flow_dot(&mut std::io::BufWriter::new(f), atoms)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(path) = &opts.flow_json {
+        let f = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        rec.write_flow_json(&mut std::io::BufWriter::new(f), atoms)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
     if let Some(path) = &opts.events_out {
         let f = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
         write_jsonl(std::io::BufWriter::new(f), rec.events())
@@ -427,6 +501,11 @@ fn run_cli_campaign<M: TaintMode>(
             flight_recorder: None,
             events_out: None,
             chrome_trace: None,
+            profile: false,
+            folded_out: None,
+            explain: false,
+            flow_dot: None,
+            flow_json: None,
             fault_seed: opts.fault_seed,
             fault_rate: opts.fault_rate,
             campaign: 0,
@@ -476,9 +555,16 @@ fn run<M: TaintMode>(
         report_faults(&records);
         return ExitCode::from(report(&exit, &soc, opts, atoms));
     }
-    let mut rec = Recorder::new(opts.flight_recorder.unwrap_or(DEFAULT_RING));
+    let mut rec = Recorder::new(opts.flight_recorder.unwrap_or(DEFAULT_RING))
+        .with_symbols(SymbolMap::from_program(program));
     if opts.events_out.is_some() || opts.chrome_trace.is_some() {
         rec = rec.with_event_log();
+    }
+    if opts.profiled() {
+        rec = rec.with_profiler();
+    }
+    if opts.flow_tracked() {
+        rec = rec.with_explain();
     }
     let obs = Rc::new(RefCell::new(rec));
     let (exit, soc, records) = run_vp::<M, Recorder>(opts, policy, program, obs.clone(), &plan);

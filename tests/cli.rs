@@ -64,6 +64,70 @@ fn usage_errors_exit_1() {
 }
 
 #[test]
+fn explain_walks_the_immobilizer_leak() {
+    let (code, _stdout, stderr) = run_cli(&[
+        "docs/examples/immo_leak.s",
+        "--policy",
+        "docs/examples/immobilizer.policy",
+        "--explain",
+    ]);
+    assert_eq!(code, 2, "violation exit code; stderr: {stderr}");
+    assert!(stderr.contains("== taint flow explanation =="), "explain header: {stderr}");
+    // Classification site, an intermediate hop with symbol + disassembly,
+    // and the violating sink — the full source-to-sink walk.
+    assert!(stderr.contains("source  pin @0x2000"), "classification site: {stderr}");
+    assert!(stderr.contains("<leak_loop>"), "hop symbol: {stderr}");
+    assert!(stderr.contains("lbu t0, 0(s0)"), "hop disassembly: {stderr}");
+    assert!(stderr.contains("sink    uart.tx"), "violating sink: {stderr}");
+}
+
+#[test]
+fn flow_graph_exports_render_structurally() {
+    let dir = std::env::temp_dir();
+    let dot_path = dir.join("taintvp_cli_flow.dot");
+    let json_path = dir.join("taintvp_cli_flow.json");
+    let (code, _stdout, stderr) = run_cli(&[
+        "docs/examples/immo_leak.s",
+        "--policy",
+        "docs/examples/immobilizer.policy",
+        "--flow-dot",
+        dot_path.to_str().unwrap(),
+        "--flow-json",
+        json_path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+
+    let dot = std::fs::read_to_string(&dot_path).expect("DOT written");
+    assert!(dot.starts_with("digraph taint_flow {"), "DOT header: {dot}");
+    assert!(dot.trim_end().ends_with('}'), "DOT closes: {dot}");
+    assert_eq!(dot.matches('{').count(), dot.matches('}').count(), "balanced braces: {dot}");
+    assert!(dot.contains("subgraph cluster_atom0"), "per-atom cluster: {dot}");
+    assert!(dot.contains("source: pin"), "source node: {dot}");
+    assert!(dot.contains("sink: uart.tx"), "sink node: {dot}");
+    assert!(dot.contains("->"), "edges present: {dot}");
+
+    let json = std::fs::read_to_string(&json_path).expect("JSON written");
+    assert!(json.contains("\"schema\": \"taintvp-flow/v1\""), "schema tag: {json}");
+    assert!(json.contains("\"site\": \"uart.tx\""), "sink record: {json}");
+    let _ = std::fs::remove_file(&dot_path);
+    let _ = std::fs::remove_file(&json_path);
+}
+
+#[test]
+fn profile_prints_flat_and_tlm_sections() {
+    let (code, _stdout, stderr) = run_cli(&[
+        "docs/examples/leak.s",
+        "--policy",
+        "docs/examples/leak.policy",
+        "--record",
+        "--profile",
+    ]);
+    assert_eq!(code, 0, "record mode completes; stderr: {stderr}");
+    assert!(stderr.contains("guest profile"), "profiler section: {stderr}");
+    assert!(stderr.contains("TLM access/latency"), "TLM section: {stderr}");
+}
+
+#[test]
 fn input_escapes_reach_the_terminal() {
     // docs/examples/echo_once.s echoes one console byte; feed it \x41.
     let (code, stdout, _) = run_cli(&["docs/examples/echo_once.s", "--plain", "--input", "\\x41"]);
