@@ -1,8 +1,8 @@
 //! Runs the attack suite on the DIFT-enabled VP and produces Table I.
 
-use vpdift_core::{SecurityPolicy, Tag, ViolationKind};
-use vpdift_rv32::Tainted;
-use vpdift_soc::{Soc, SocConfig, SocExit};
+use vpdift_core::{SecurityPolicy, Tag, Violation, ViolationKind};
+use vpdift_rv32::{ExecMode, Tainted};
+use vpdift_soc::{Soc, SocExit};
 
 use crate::suite::{all_attacks, Attack};
 
@@ -41,14 +41,32 @@ pub fn code_injection_policy() -> SecurityPolicy {
         .build()
 }
 
-/// Runs one applicable attack with its malicious input; also exercises the
-/// benign twin when `benign` is set.
-pub fn run_attack(attack: &Attack, benign: bool) -> Outcome {
-    let Some(form) = &attack.form else {
-        return Outcome::NotApplicable;
-    };
-    let mut cfg = SocConfig::with_policy(code_injection_policy());
-    cfg.sensor_thread = false;
+/// Full observable result of one attack run, engine-agnostic — what the
+/// differential harness compares between the interpreter and the block
+/// cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackRun {
+    /// How the simulation ended.
+    pub exit: SocExit,
+    /// Violations the DIFT engine recorded.
+    pub violations: Vec<Violation>,
+    /// Bytes the guest transmitted on the UART.
+    pub uart: Vec<u8>,
+    /// Retired instructions.
+    pub instret: u64,
+    /// Final architectural-state digest ([`Soc::state_digest`]).
+    pub digest: u64,
+}
+
+/// Runs one applicable attack on the given execution engine and captures
+/// everything observable. `None` for attacks without a RISC-V form.
+pub fn run_attack_captured(attack: &Attack, benign: bool, engine: ExecMode) -> Option<AttackRun> {
+    let form = attack.form.as_ref()?;
+    let cfg = Soc::<Tainted>::builder()
+        .policy(code_injection_policy())
+        .sensor_thread(false)
+        .engine(engine)
+        .build();
     let mut soc = Soc::<Tainted>::new(cfg);
     soc.load_program(&form.program);
 
@@ -62,7 +80,19 @@ pub fn run_attack(attack: &Attack, benign: bool) -> Outcome {
         if benign { form.benign_input.clone() } else { (form.malicious_input)(&form.program) };
     soc.terminal().borrow_mut().feed(&input);
 
-    match soc.run(10_000_000) {
+    let exit = soc.run(10_000_000);
+    let violations = soc.engine().borrow().violations().to_vec();
+    let uart = soc.uart().borrow().output().to_vec();
+    Some(AttackRun { exit, violations, uart, instret: soc.instret(), digest: soc.state_digest() })
+}
+
+/// Runs one applicable attack with its malicious input; also exercises the
+/// benign twin when `benign` is set.
+pub fn run_attack(attack: &Attack, benign: bool) -> Outcome {
+    let Some(run) = run_attack_captured(attack, benign, ExecMode::Interp) else {
+        return Outcome::NotApplicable;
+    };
+    match run.exit {
         SocExit::Violation(v) if v.kind == ViolationKind::Fetch => Outcome::Detected,
         SocExit::Violation(v) => {
             // Any other violation still stopped the attack, but Table I

@@ -13,6 +13,7 @@ mod harness;
 mod suite;
 
 pub use harness::{
-    code_injection_policy, render_table1, run_attack, table1, Outcome, TableRow, LI,
+    code_injection_policy, render_table1, run_attack, run_attack_captured, table1, AttackRun,
+    Outcome, TableRow, LI,
 };
 pub use suite::{all_attacks, layout, Attack, AttackForm, Location, Target, Technique};

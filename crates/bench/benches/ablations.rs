@@ -7,14 +7,13 @@ use vpdift_core::{AddrRange, ExecClearance, SecurityPolicy, Tag};
 use vpdift_immo::{protocol, PolicyKind, Variant};
 use vpdift_periph::{Dma, Ram};
 use vpdift_rv32::Tainted;
-use vpdift_soc::{Soc, SocConfig, SocExit};
+use vpdift_soc::{Soc, SocBuilder, SocExit};
 use vpdift_tlm::{GenericPayload, Router};
 
 /// Runs the primes workload under a given exec-clearance configuration.
 fn run_with_exec(exec: ExecClearance) -> u64 {
     let policy = SecurityPolicy::builder("ablation").exec_clearance(exec).build();
-    let mut cfg = SocConfig::with_policy(policy);
-    cfg.sensor_thread = false;
+    let cfg = SocBuilder::new().policy(policy).sensor_thread(false).build();
     let w = vpdift_firmware::primes::build(2_000);
     let mut soc = Soc::<Tainted>::new(cfg);
     soc.load_program(&w.program);
@@ -98,7 +97,7 @@ fn bench_taint_density(c: &mut Criterion) {
     for (name, stride) in [("0pct", 0u32), ("50pct", 2), ("100pct", 1)] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                let cfg = SocConfig { sensor_thread: false, ..Default::default() };
+                let cfg = SocBuilder::new().sensor_thread(false).build();
                 let mut soc = Soc::<Tainted>::new(cfg);
                 soc.load_program(&prog);
                 if stride > 0 {

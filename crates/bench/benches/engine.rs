@@ -1,0 +1,35 @@
+//! SoC-level engine comparison: the same firmware workload driven by the
+//! reference interpreter vs the predecoded block cache, on both VP
+//! flavours. The ISS-level numbers live in `benches/iss.rs`; this bench
+//! includes the full platform (bus routing, quantum loop, peripherals) so
+//! it reflects what `Soc::run` users actually get from `--engine block`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use vpdift_rv32::{ExecMode, Plain, TaintMode, Tainted};
+use vpdift_soc::{Soc, SocExit};
+
+fn run_soc<M: TaintMode>(engine: ExecMode) -> u64 {
+    let w = vpdift_firmware::primes::build(2_000);
+    let cfg = Soc::<M>::builder().sensor_thread(false).engine(engine).build();
+    let mut soc = Soc::<M>::new(cfg);
+    soc.load_program(&w.program);
+    assert_eq!(soc.run(w.max_insns), SocExit::Break);
+    soc.instret()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let insns = run_soc::<Plain>(ExecMode::Interp);
+    assert_eq!(insns, run_soc::<Plain>(ExecMode::BlockCache), "engines must retire identically");
+
+    let mut g = c.benchmark_group("soc_engine");
+    g.throughput(Throughput::Elements(insns));
+    g.sample_size(15);
+    for engine in [ExecMode::Interp, ExecMode::BlockCache] {
+        g.bench_function(&format!("vp_plain_{engine}"), |b| b.iter(|| run_soc::<Plain>(engine)));
+        g.bench_function(&format!("vp_plus_{engine}"), |b| b.iter(|| run_soc::<Tainted>(engine)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use vpdift_asm::{Asm, Reg};
-use vpdift_rv32::{Cpu, FlatMemory, Plain, RunExit, TaintMode, Tainted};
+use vpdift_rv32::{BlockCache, Cpu, FlatMemory, Plain, RunExit, TaintMode, Tainted};
 
 /// A tight ALU/memory kernel of ~100k retired instructions.
 fn kernel_program() -> vpdift_asm::Program {
@@ -34,16 +34,30 @@ fn run_kernel<M: TaintMode>(image: &[u8]) -> u64 {
     cpu.instret()
 }
 
+/// The same kernel driven by the predecoded block-cache engine instead of
+/// the fetch/decode interpreter.
+fn run_kernel_cached<M: TaintMode>(image: &[u8]) -> u64 {
+    let mut mem = FlatMemory::<M>::new(0, 64 * 1024);
+    mem.load_image(0, image);
+    let mut cpu = Cpu::<M>::new();
+    let mut engine = BlockCache::new();
+    assert_eq!(engine.run(&mut cpu, &mut mem, 10_000_000), RunExit::Break);
+    cpu.instret()
+}
+
 fn bench_iss(c: &mut Criterion) {
     let prog = kernel_program();
     let image = prog.image().to_vec();
     let insns = run_kernel::<Plain>(&image);
+    assert_eq!(insns, run_kernel_cached::<Plain>(&image), "engines must retire identically");
 
     let mut g = c.benchmark_group("iss_step_rate");
     g.throughput(Throughput::Elements(insns));
     g.sample_size(20);
     g.bench_function("vp_plain", |b| b.iter(|| run_kernel::<Plain>(&image)));
     g.bench_function("vp_plus_tainted", |b| b.iter(|| run_kernel::<Tainted>(&image)));
+    g.bench_function("vp_plain_cached", |b| b.iter(|| run_kernel_cached::<Plain>(&image)));
+    g.bench_function("vp_plus_tainted_cached", |b| b.iter(|| run_kernel_cached::<Tainted>(&image)));
     g.finish();
 }
 

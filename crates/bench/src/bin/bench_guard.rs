@@ -1,0 +1,94 @@
+//! CI bench guard: reads a `taintvp-bench/v1` results file (as emitted by
+//! `cargo bench -p vpdift-bench --bench iss -- --json BENCH_iss.json`) and
+//! fails when the block-cache engine is not actually faster than the
+//! reference interpreter on the plain VP — the regression the block cache
+//! exists to prevent.
+//!
+//! Usage: `bench_guard [BENCH_iss.json]` (default path: `BENCH_iss.json`).
+//!
+//! The parser is deliberately line-based (one entry object per line, the
+//! shape our criterion shim writes) so the guard needs no JSON dependency.
+
+use std::process::ExitCode;
+
+/// Extracts `"key": value` (a JSON number or string) from an entry line.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+fn median_of(entries: &[String], name: &str) -> Option<f64> {
+    let line = entries.iter().find(|l| field(l, "name") == Some(name))?;
+    field(line, "median")?.parse().ok()
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_iss.json".into());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_guard: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !text.contains("\"schema\": \"taintvp-bench/v1\"") {
+        eprintln!("bench_guard: {path} is not a taintvp-bench/v1 results file");
+        return ExitCode::FAILURE;
+    }
+    let entries: Vec<String> =
+        text.lines().filter(|l| l.trim_start().starts_with('{')).map(String::from).collect();
+
+    let mut fail = false;
+    let ratio = |label: &str, num: &str, den: &str| -> Option<f64> {
+        let (n, d) = (median_of(&entries, num)?, median_of(&entries, den)?);
+        println!("{label}: {num} = {n:.0} ns, {den} = {d:.0} ns ({:.2}x)", d / n);
+        Some(d / n)
+    };
+
+    match ratio("plain speedup", "vp_plain_cached", "vp_plain") {
+        Some(speedup) if speedup > 1.0 => {}
+        Some(speedup) => {
+            eprintln!(
+                "bench_guard: block-cache vp_plain is not faster than the interpreter \
+                 ({speedup:.2}x)"
+            );
+            fail = true;
+        }
+        None => {
+            eprintln!("bench_guard: missing vp_plain / vp_plain_cached entries in {path}");
+            fail = true;
+        }
+    }
+    // Informational: the VP+ engines and the overhead ratio they imply.
+    if let (Some(ti), Some(tc), Some(pi), Some(pc)) = (
+        median_of(&entries, "vp_plus_tainted"),
+        median_of(&entries, "vp_plus_tainted_cached"),
+        median_of(&entries, "vp_plain"),
+        median_of(&entries, "vp_plain_cached"),
+    ) {
+        println!("VP+/VP overhead: interp {:.2}x, block-cache {:.2}x", ti / pi, tc / pc);
+    }
+
+    if fail {
+        ExitCode::FAILURE
+    } else {
+        println!("bench_guard: ok");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_extraction() {
+        let line = r#"    {"group": "iss_step_rate", "name": "vp_plain", "unit": "ns/iter", "median": 1234.500, "mean": 1300.000, "min": 1200.000, "max": 1500.000, "samples": 20, "throughput_elems": 90009},"#;
+        assert_eq!(field(line, "name"), Some("vp_plain"));
+        assert_eq!(field(line, "median"), Some("1234.500"));
+        assert_eq!(field(line, "samples"), Some("20"));
+    }
+}

@@ -17,7 +17,7 @@ use std::rc::Rc;
 use vpdift_firmware::dhrystone;
 use vpdift_obs::{Recorder, SymbolMap};
 use vpdift_rv32::Tainted;
-use vpdift_soc::{Soc, SocConfig, SocExit};
+use vpdift_soc::{Soc, SocBuilder, SocExit};
 
 const USAGE: &str = "usage: profile_smoke [--iterations N] [--folded-out FILE] [--flat-out FILE]";
 
@@ -67,7 +67,7 @@ fn main() -> ExitCode {
     let symbols = SymbolMap::from_program(&workload.program);
     let rec = Rc::new(RefCell::new(Recorder::new(32).with_symbols(symbols).with_profiler()));
 
-    let cfg = SocConfig { sensor_thread: workload.needs_sensor, ..SocConfig::default() };
+    let cfg = SocBuilder::new().sensor_thread(workload.needs_sensor).build();
     let mut soc: Soc<Tainted, Recorder> = Soc::with_obs(cfg, rec.clone());
     soc.load_program(&workload.program);
     let exit = soc.run(workload.max_insns);

@@ -22,7 +22,7 @@ use vpdift_core::{ExecClearance, SecurityPolicy, Tag};
 use vpdift_firmware::Workload;
 use vpdift_immo::{firmware, protocol, Variant};
 use vpdift_rv32::{Plain, TaintMode, Tainted};
-use vpdift_soc::{Soc, SocConfig, SocExit};
+use vpdift_soc::{Soc, SocBuilder, SocExit};
 
 /// A single timed simulation run.
 #[derive(Debug, Clone, Copy)]
@@ -85,8 +85,11 @@ pub fn bench_policy() -> SecurityPolicy {
 /// fails host verification — a benchmark that computes wrong results is
 /// not a benchmark.
 pub fn run_workload<M: TaintMode>(workload: &Workload) -> Measurement {
-    let mut cfg =
-        if M::TRACKING { SocConfig::with_policy(bench_policy()) } else { SocConfig::default() };
+    let mut cfg = if M::TRACKING {
+        SocBuilder::new().policy(bench_policy()).build()
+    } else {
+        SocBuilder::new().build()
+    };
     cfg.sensor_thread = workload.needs_sensor;
     let mut soc = Soc::<M>::new(cfg);
     soc.load_program(&workload.program);
@@ -114,8 +117,8 @@ pub fn run_immo_bench<M: TaintMode>(rounds: u32) -> (Measurement, usize) {
     let fw = firmware::build(Variant::Fixed);
     let kind =
         if M::TRACKING { protocol::PolicyKind::Coarse } else { protocol::PolicyKind::Permissive };
-    let mut cfg = SocConfig::with_policy(protocol::policy_for(kind, &fw));
-    cfg.sensor_thread = false;
+    let cfg =
+        SocBuilder::new().policy(protocol::policy_for(kind, &fw)).sensor_thread(false).build();
     let mut soc = Soc::<M>::new(cfg);
     let (mut ecu, challenges) = protocol::prepare_session(&mut soc, &fw, rounds, b"dq", 0xBE);
     let start = Instant::now();

@@ -10,7 +10,7 @@ use vpdift_firmware::dhrystone;
 use vpdift_obs::export::{validate_json, write_chrome_trace};
 use vpdift_obs::{Recorder, SymbolMap};
 use vpdift_rv32::Tainted;
-use vpdift_soc::{Soc, SocConfig, SocExit};
+use vpdift_soc::{Soc, SocBuilder, SocExit};
 
 /// Runs a short dhrystone pass with profiler + event log enabled and
 /// returns the recorder.
@@ -20,7 +20,7 @@ fn profiled_dhrystone() -> Recorder {
     let rec = Rc::new(RefCell::new(
         Recorder::new(64).with_symbols(symbols).with_event_log().with_profiler(),
     ));
-    let cfg = SocConfig { sensor_thread: workload.needs_sensor, ..SocConfig::default() };
+    let cfg = SocBuilder::new().sensor_thread(workload.needs_sensor).build();
     let mut soc: Soc<Tainted, Recorder> = Soc::with_obs(cfg, rec.clone());
     soc.load_program(&workload.program);
     let exit = soc.run(workload.max_insns);

@@ -1,0 +1,91 @@
+//! Live-tag census: a one-way latch telling fast execution engines
+//! whether any taint can be live in the VP.
+//!
+//! The tainted VP pays for tag propagation and clearance checks on every
+//! instruction, even while *no tag exists anywhere* — which is the common
+//! case before the first classification source fires (demand-driven DIFT
+//! designs such as PAGURUS exploit exactly this). The census is the cheap
+//! side of that optimisation: every component that can *introduce* a
+//! non-empty tag into architectural state (host classification, tagged DMA
+//! writes, tagged MMIO read data, tag-bit fault injection) calls
+//! [`TaintCensus::arm`]. While the census is still clear, all register,
+//! RAM and peripheral tags are provably [`Tag::EMPTY`](crate::Tag::EMPTY),
+//! so every clearance check trivially passes and an engine may skip them.
+//!
+//! The latch is deliberately one-way: once armed it stays armed for the
+//! rest of the run. Tracking taint *death* would require a full census
+//! over registers + memory on every kill site, which is exactly the cost
+//! the fast path avoids. A one-way latch is sound (never skips a check
+//! that could fail) at the price of not re-entering the fast path.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// One-way latch recording whether any non-empty tag may be live.
+///
+/// Shared via [`SharedCensus`] between the tag sources (RAM classification,
+/// DMA, MMIO) and the execution engine that wants to gate checks on it.
+#[derive(Debug, Default)]
+pub struct TaintCensus {
+    live: Cell<bool>,
+    arms: Cell<u64>,
+}
+
+impl TaintCensus {
+    /// A fresh, clear census.
+    pub fn new() -> Self {
+        TaintCensus::default()
+    }
+
+    /// Wraps the census for sharing.
+    pub fn into_shared(self) -> SharedCensus {
+        Rc::new(self)
+    }
+
+    /// Latches the census: some non-empty tag has entered architectural
+    /// state. Idempotent; counts arming events for diagnostics.
+    #[inline]
+    pub fn arm(&self) {
+        self.live.set(true);
+        self.arms.set(self.arms.get() + 1);
+    }
+
+    /// `true` once any tag source has fired. While `false`, all
+    /// architectural tags are empty and clearance checks cannot fail.
+    #[inline]
+    pub fn is_live(&self) -> bool {
+        self.live.get()
+    }
+
+    /// Number of arming events seen (≥ 1 iff [`is_live`](Self::is_live)).
+    pub fn arm_events(&self) -> u64 {
+        self.arms.get()
+    }
+}
+
+/// A census as shared between tag sources and execution engines.
+pub type SharedCensus = Rc<TaintCensus>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_is_one_way() {
+        let c = TaintCensus::new().into_shared();
+        assert!(!c.is_live());
+        assert_eq!(c.arm_events(), 0);
+        c.arm();
+        c.arm();
+        assert!(c.is_live());
+        assert_eq!(c.arm_events(), 2);
+    }
+
+    #[test]
+    fn shared_handles_observe_the_same_latch() {
+        let a = TaintCensus::new().into_shared();
+        let b = a.clone();
+        b.arm();
+        assert!(a.is_live());
+    }
+}

@@ -11,6 +11,7 @@ use core::fmt;
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use crate::census::{SharedCensus, TaintCensus};
 use crate::error::{Violation, ViolationKind};
 use crate::policy::SecurityPolicy;
 use crate::tag::Tag;
@@ -97,6 +98,10 @@ pub struct DiftEngine {
     observer: Option<SharedFlowObserver>,
     /// Cached [`SecurityPolicy::atom_universe`] for the fail-closed check.
     universe: Tag,
+    /// Live-tag census shared with tag sources and fast execution engines.
+    /// Cloning the engine shares the census — both copies describe the same
+    /// architectural tag state.
+    census: SharedCensus,
 }
 
 impl fmt::Debug for DiftEngine {
@@ -122,6 +127,7 @@ impl DiftEngine {
             stats: EngineStats::default(),
             observer: None,
             universe,
+            census: TaintCensus::new().into_shared(),
         }
     }
 
@@ -159,6 +165,14 @@ impl DiftEngine {
     /// Detaches the flow observer, if any.
     pub fn clear_observer(&mut self) {
         self.observer = None;
+    }
+
+    /// The engine's live-tag census. Tag sources (RAM classification, DMA,
+    /// tagged MMIO reads) clone this handle and [`arm`](TaintCensus::arm)
+    /// it; fast execution engines consult it to skip provably-passing
+    /// checks while no tag is live.
+    pub fn census(&self) -> &SharedCensus {
+        &self.census
     }
 
     /// Statistics so far.

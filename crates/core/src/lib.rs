@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod census;
 mod engine;
 mod error;
 pub mod ifp;
@@ -56,6 +57,7 @@ mod tag;
 mod taint;
 pub mod textpolicy;
 
+pub use census::{SharedCensus, TaintCensus};
 pub use engine::{
     DiftEngine, EnforceMode, EngineStats, FlowObserver, SharedEngine, SharedFlowObserver,
 };

@@ -24,7 +24,7 @@ use vpdift_kernel::SimTime;
 use vpdift_periph::can::regs as can_regs;
 use vpdift_periph::CanFrame;
 use vpdift_rv32::Tainted;
-use vpdift_soc::{map, Soc, SocConfig, SocExit};
+use vpdift_soc::{map, Soc, SocExit};
 
 use crate::config::{generate_plan, FaultKind, PlannedFault};
 use crate::hooks::LossyCanFault;
@@ -293,8 +293,10 @@ pub fn faulted_run(
     match kind {
         ScenarioKind::ImmoSession => {
             let fw = immo_fw::build(Variant::Fixed);
-            let mut cfg = SocConfig::with_policy(policy_for(PolicyKind::PerByte, &fw));
-            cfg.sensor_thread = false;
+            let cfg = Soc::<Tainted>::builder()
+                .policy(policy_for(PolicyKind::PerByte, &fw))
+                .sensor_thread(false)
+                .build();
             let mut soc = Soc::<Tainted>::new(cfg);
             let (mut ecu, challenges) = prepare_session(&mut soc, &fw, 1, b"q", 0xEC0);
             if let Some(t) = watchdog {
@@ -310,8 +312,7 @@ pub fn faulted_run(
             let program = build_leak_program(Scenario::DirectLeakUart);
             let pin_addr = program.symbol("pin").expect("leak program has a pin label");
             let (policy, _tags) = immo_policy::per_byte(pin_addr, 16);
-            let mut cfg = SocConfig::with_policy(policy);
-            cfg.sensor_thread = false;
+            let cfg = Soc::<Tainted>::builder().policy(policy).sensor_thread(false).build();
             let mut soc = Soc::<Tainted>::new(cfg);
             soc.load_program(&program);
             soc.terminal().borrow_mut().feed(b"Z");
@@ -327,8 +328,10 @@ pub fn faulted_run(
                 .find(|a| a.form.is_some())
                 .expect("the suite contains applicable attacks");
             let form = attack.form.expect("filtered on is_some");
-            let mut cfg = SocConfig::with_policy(code_injection_policy());
-            cfg.sensor_thread = false;
+            let cfg = Soc::<Tainted>::builder()
+                .policy(code_injection_policy())
+                .sensor_thread(false)
+                .build();
             let mut soc = Soc::<Tainted>::new(cfg);
             soc.load_program(&form.program);
             let payload = form.program.symbol("payload").expect("payload symbol");
@@ -372,7 +375,7 @@ pub fn directed_run(kind: ScenarioKind, faulted: bool) -> ScenarioRun {
 /// trap lands at `mtvec` (still the reset value 0), which *is* the
 /// corrupted word: a textbook zero-progress trap loop.
 fn directed_trap_loop(faulted: bool) -> ScenarioRun {
-    let cfg = SocConfig { sensor_thread: false, ..Default::default() };
+    let cfg = Soc::<Tainted>::builder().sensor_thread(false).build();
     let mut soc = Soc::<Tainted>::new(cfg);
     soc.ram().borrow_mut().load_image(0, &0x0000_006Fu32.to_le_bytes());
     soc.cpu_mut().reset(0);
@@ -399,7 +402,7 @@ fn directed_watchdog(faulted: bool) -> ScenarioRun {
     a.lw(Reg::T1, can_regs::RX_ID as i32, Reg::S0);
     a.ebreak();
     let program = a.assemble().expect("watchdog guest assembles");
-    let cfg = SocConfig { sensor_thread: false, ..Default::default() };
+    let cfg = Soc::<Tainted>::builder().sensor_thread(false).build();
     let mut soc = Soc::<Tainted>::new(cfg);
     soc.load_program(&program);
     let mut faults = Vec::new();
@@ -437,8 +440,7 @@ fn directed_tag_corruption(faulted: bool) -> ScenarioRun {
     emit_runtime(&mut a);
     let program = a.assemble().expect("tag-corruption guest assembles");
     let policy = SecurityPolicy::builder("fault-demo").sink("uart.tx", Tag::EMPTY).build();
-    let mut cfg = SocConfig::with_policy(policy);
-    cfg.sensor_thread = false;
+    let cfg = Soc::<Tainted>::builder().policy(policy).sensor_thread(false).build();
     let mut soc = Soc::<Tainted>::new(cfg);
     soc.load_program(&program);
     let buf = program.symbol("buf").expect("buf symbol");

@@ -152,8 +152,6 @@ mod tests {
     use super::*;
     use vpdift_asm::{Asm, Reg};
     use vpdift_rv32::Tainted;
-    use vpdift_soc::SocConfig;
-
     /// A guest that copies a byte from 0x2000 to 0x2004 in a counted loop,
     /// then breaks — enough surface to observe a mid-run RAM flip.
     fn copy_loop_soc() -> Soc<Tainted> {
@@ -168,7 +166,7 @@ mod tests {
         a.bnez(Reg::S0, "loop");
         a.ebreak();
         let prog = a.assemble().expect("copy loop assembles");
-        let cfg = SocConfig { sensor_thread: false, ..Default::default() };
+        let cfg = Soc::<Tainted>::builder().sensor_thread(false).build();
         let mut soc = Soc::<Tainted>::new(cfg);
         soc.load_program(&prog);
         soc.ram().borrow_mut().load_image(0x2000, &[0x00]);

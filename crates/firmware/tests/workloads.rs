@@ -4,10 +4,10 @@
 
 use vpdift_firmware::{table2_workloads, Workload};
 use vpdift_rv32::{Plain, TaintMode, Tainted};
-use vpdift_soc::{Soc, SocConfig, SocExit};
+use vpdift_soc::{Soc, SocBuilder, SocExit};
 
 fn run_on<M: TaintMode>(w: &Workload) -> (SocExit, Vec<u8>, u64) {
-    let cfg = SocConfig { sensor_thread: w.needs_sensor, ..Default::default() };
+    let cfg = SocBuilder::new().sensor_thread(w.needs_sensor).build();
     let mut soc = Soc::<M>::new(cfg);
     soc.load_program(&w.program);
     let exit = soc.run(w.max_insns);

@@ -17,7 +17,7 @@
 
 use vpdift_periph::Aes128;
 use vpdift_rv32::Tainted;
-use vpdift_soc::{Soc, SocConfig, SocExit};
+use vpdift_soc::{Soc, SocExit};
 
 use crate::ecu::EngineEcu;
 use crate::firmware::{self, Variant, PIN};
@@ -50,8 +50,8 @@ pub fn crack_pin(kind: PolicyKind) -> CrackOutcome {
 
     for k in 1..=16u8 {
         // Fresh device for this step.
-        let mut cfg = SocConfig::with_policy(policy_for(kind, &fw));
-        cfg.sensor_thread = false;
+        let cfg =
+            Soc::<Tainted>::builder().policy(policy_for(kind, &fw)).sensor_thread(false).build();
         let mut soc = Soc::<Tainted>::new(cfg);
         soc.load_program(&fw.program);
 

@@ -28,5 +28,5 @@ pub mod scenarios;
 pub use bruteforce::{crack_pin, CrackOutcome};
 pub use ecu::EngineEcu;
 pub use firmware::{ImmoFirmware, Variant, PIN};
-pub use protocol::{run_session, PolicyKind, SessionOutcome};
-pub use scenarios::{run_scenario, Scenario, ScenarioResult};
+pub use protocol::{run_session, run_session_with, PolicyKind, SessionOutcome};
+pub use scenarios::{run_scenario, run_scenario_with, Scenario, ScenarioResult};

@@ -3,8 +3,8 @@
 //! benchmark row of Table II.
 
 use vpdift_core::SecurityPolicy;
-use vpdift_rv32::TaintMode;
-use vpdift_soc::{Soc, SocConfig, SocExit};
+use vpdift_rv32::{ExecMode, TaintMode};
+use vpdift_soc::{Soc, SocExit};
 
 use crate::ecu::EngineEcu;
 use crate::firmware::{self, Variant, PIN};
@@ -21,6 +21,9 @@ pub struct SessionOutcome {
     pub uart: Vec<u8>,
     /// Retired instructions.
     pub instret: u64,
+    /// Final architectural-state digest (CPU + RAM), for engine
+    /// equivalence checks.
+    pub digest: u64,
 }
 
 /// Which policy to run the immobilizer under.
@@ -76,9 +79,25 @@ pub fn run_session<M: TaintMode>(
     rounds: u32,
     console: &[u8],
 ) -> SessionOutcome {
+    run_session_with::<M>(variant, kind, rounds, console, ExecMode::Interp)
+}
+
+/// [`run_session`] with an explicit execution engine — the differential
+/// harness runs the same session on the interpreter and the block cache
+/// and compares the outcomes field by field.
+pub fn run_session_with<M: TaintMode>(
+    variant: Variant,
+    kind: PolicyKind,
+    rounds: u32,
+    console: &[u8],
+    engine: ExecMode,
+) -> SessionOutcome {
     let fw = firmware::build(variant);
-    let mut cfg = SocConfig::with_policy(policy_for(kind, &fw));
-    cfg.sensor_thread = false;
+    let cfg = Soc::<M>::builder()
+        .policy(policy_for(kind, &fw))
+        .sensor_thread(false)
+        .engine(engine)
+        .build();
     let mut soc = Soc::<M>::new(cfg);
     let (mut ecu, challenges) = prepare_session(&mut soc, &fw, rounds, console, 0xEC0);
     let exit = soc.run(200_000_000);
@@ -89,7 +108,13 @@ pub fn run_session<M: TaintMode>(
         }
     }
     let uart = soc.uart().borrow().output().to_vec();
-    SessionOutcome { exit, authentications, uart, instret: soc.instret() }
+    SessionOutcome {
+        exit,
+        authentications,
+        uart,
+        instret: soc.instret(),
+        digest: soc.state_digest(),
+    }
 }
 
 #[cfg(test)]

@@ -9,8 +9,8 @@
 use vpdift_asm::{Asm, Program, Reg};
 use vpdift_core::{Violation, ViolationKind};
 use vpdift_firmware::rt::emit_runtime;
-use vpdift_rv32::Tainted;
-use vpdift_soc::{Soc, SocConfig, SocExit};
+use vpdift_rv32::{ExecMode, Tainted};
+use vpdift_soc::{Soc, SocExit};
 
 use crate::firmware::PIN;
 use crate::policy;
@@ -180,12 +180,16 @@ pub struct ScenarioResult {
 /// Runs a scenario under the coarse or per-byte policy and reports whether
 /// the DIFT engine detected it.
 pub fn run_scenario(s: Scenario, per_byte_policy: bool) -> ScenarioResult {
+    run_scenario_with(s, per_byte_policy, ExecMode::Interp)
+}
+
+/// [`run_scenario`] with an explicit execution engine.
+pub fn run_scenario_with(s: Scenario, per_byte_policy: bool, engine: ExecMode) -> ScenarioResult {
     let program = build_program(s);
     let pin_addr = program.symbol("pin").expect("pin label");
     let (policy, _tags) =
         if per_byte_policy { policy::per_byte(pin_addr, 16) } else { policy::coarse(pin_addr, 16) };
-    let mut cfg = SocConfig::with_policy(policy);
-    cfg.sensor_thread = false;
+    let cfg = Soc::<Tainted>::builder().policy(policy).sensor_thread(false).engine(engine).build();
     let mut soc = Soc::<Tainted>::new(cfg);
     soc.load_program(&program);
     soc.terminal().borrow_mut().feed(b"Z");

@@ -233,6 +233,21 @@ pub enum ObsEvent {
         /// Kind-specific detail (bit index, IRQ line, burst count, …).
         detail: u32,
     },
+    /// End-of-run counters from a block-caching execution engine
+    /// (`vpdift-rv32`'s `BlockCache`); absent for interpreter runs.
+    EngineCache {
+        /// Steps dispatched from a cached block.
+        hits: u64,
+        /// Cache lookups that had to (re)build or fall back.
+        misses: u64,
+        /// Blocks killed by store-range invalidation (self-modifying code).
+        invalidations: u64,
+        /// Whole-cache flushes from external memory mutation.
+        flushes: u64,
+        /// Steps run with checks skipped because the taint census was
+        /// still clear.
+        idle_steps: u64,
+    },
 }
 
 impl ObsEvent {
@@ -250,6 +265,7 @@ impl ObsEvent {
             ObsEvent::Tlm { .. } => "tlm",
             ObsEvent::Trap { .. } => "trap",
             ObsEvent::FaultInjected { .. } => "fault",
+            ObsEvent::EngineCache { .. } => "engine_cache",
         }
     }
 }

@@ -102,6 +102,9 @@ fn event_fields(event: &ObsEvent) -> String {
             escape(kind),
             opt_u32(*addr)
         ),
+        ObsEvent::EngineCache { hits, misses, invalidations, flushes, idle_steps } => format!(
+            "\"hits\":{hits},\"misses\":{misses},\"invalidations\":{invalidations},\"flushes\":{flushes},\"idle_steps\":{idle_steps}"
+        ),
     }
 }
 

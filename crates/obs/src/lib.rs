@@ -41,7 +41,7 @@ use vpdift_core::{FlowObserver, SharedFlowObserver, Tag, Violation, ViolationKin
 
 pub use disasm::RawInsn;
 pub use event::{CheckKind, ObsEvent};
-pub use metrics::{CheckCounter, Metrics};
+pub use metrics::{CheckCounter, EngineCacheStats, Metrics};
 pub use prof::{Profiler, SymbolMap, TlmStat};
 pub use provenance::{FlowPath, Hop, HopKind, Origin, ProvenanceMap, SinkRec, HOP_CAP};
 pub use recorder::Recorder;

@@ -15,6 +15,22 @@ pub struct CheckCounter {
     pub failed: u64,
 }
 
+/// Block-cache engine counters as reported by the end-of-run
+/// [`ObsEvent::EngineCache`] event.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCacheStats {
+    /// Steps dispatched from a cached block.
+    pub hits: u64,
+    /// Cache lookups that had to (re)build or fall back.
+    pub misses: u64,
+    /// Blocks killed by store-range invalidation.
+    pub invalidations: u64,
+    /// Whole-cache flushes from external memory mutation.
+    pub flushes: u64,
+    /// Steps run with checks skipped (taint census clear).
+    pub idle_steps: u64,
+}
+
 /// Counter registry fed from [`ObsEvent`]s; renders the `--metrics`
 /// summary.
 #[derive(Debug, Clone, Default)]
@@ -45,6 +61,9 @@ pub struct Metrics {
     pub traps: u64,
     /// Faults injected by a fault-injection campaign.
     pub faults_injected: u64,
+    /// Block-cache engine counters `(hits, misses, invalidations,
+    /// flushes, idle_steps)`; `None` for interpreter runs.
+    pub engine_cache: Option<EngineCacheStats>,
     /// Per-atom high-water mark of classified RAM bytes (from periodic
     /// spread samples; index = atom).
     pub taint_high_water: [u32; ATOM_SLOTS],
@@ -85,6 +104,15 @@ impl Metrics {
             }
             ObsEvent::Trap { .. } => self.traps += 1,
             ObsEvent::FaultInjected { .. } => self.faults_injected += 1,
+            ObsEvent::EngineCache { hits, misses, invalidations, flushes, idle_steps } => {
+                self.engine_cache = Some(EngineCacheStats {
+                    hits: *hits,
+                    misses: *misses,
+                    invalidations: *invalidations,
+                    flushes: *flushes,
+                    idle_steps: *idle_steps,
+                });
+            }
         }
     }
 
@@ -135,6 +163,14 @@ impl fmt::Display for Metrics {
         writeln!(f, "violations:             {}", self.violations)?;
         if self.faults_injected > 0 {
             writeln!(f, "faults injected:        {}", self.faults_injected)?;
+        }
+        if let Some(ec) = &self.engine_cache {
+            writeln!(
+                f,
+                "block cache:            {} hits / {} misses, {} invalidations, {} flushes",
+                ec.hits, ec.misses, ec.invalidations, ec.flushes
+            )?;
+            writeln!(f, "taint-idle steps:       {}", ec.idle_steps)?;
         }
         if !self.tlm_per_target.is_empty() {
             writeln!(f, "TLM transactions per target:")?;

@@ -372,6 +372,12 @@ impl Recorder {
                     }
                     let _ = writeln!(out, " detail={detail}");
                 }
+                ObsEvent::EngineCache { hits, misses, invalidations, flushes, idle_steps } => {
+                    let _ = writeln!(
+                        out,
+                        "      engine     block-cache {hits} hits / {misses} misses, {invalidations} invalidations, {flushes} flushes, {idle_steps} idle steps"
+                    );
+                }
             }
         }
         Some(out)

@@ -1,9 +1,9 @@
 //! Main memory with per-byte security tags.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use vpdift_core::{Tag, Taint};
+use vpdift_core::{SharedCensus, Tag, Taint};
 use vpdift_kernel::SimTime;
 use vpdift_tlm::{GenericPayload, TlmCommand, TlmResponse, TlmTarget};
 
@@ -19,6 +19,15 @@ pub struct Ram {
     data: Vec<u8>,
     tags: Vec<Tag>,
     tracking: bool,
+    /// Mutation epoch: bumped on every change that bypasses the CPU's
+    /// store path (image loads, classification, DMA/TLM writes, injected
+    /// bit flips), so block-caching execution engines know to flush.
+    /// Shared as `Rc<Cell>` so the SoC bus can poll it without borrowing
+    /// the RAM every step.
+    epoch: Rc<Cell<u64>>,
+    /// Live-tag census to arm when a non-empty tag enters RAM from
+    /// outside the CPU (classification, tagged DMA data, tag-bit flips).
+    census: Option<SharedCensus>,
 }
 
 impl Ram {
@@ -28,6 +37,8 @@ impl Ram {
             data: vec![0; size],
             tags: if tracking { vec![Tag::EMPTY; size] } else { Vec::new() },
             tracking,
+            epoch: Rc::new(Cell::new(0)),
+            census: None,
         }
     }
 
@@ -49,6 +60,33 @@ impl Ram {
     /// `true` when per-byte tags are stored.
     pub fn tracking(&self) -> bool {
         self.tracking
+    }
+
+    /// Handle to the mutation-epoch counter (see the `epoch` field docs).
+    pub fn epoch_handle(&self) -> Rc<Cell<u64>> {
+        self.epoch.clone()
+    }
+
+    /// Current mutation epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+
+    #[inline]
+    fn bump_epoch(&self) {
+        self.epoch.set(self.epoch.get() + 1);
+    }
+
+    /// Attaches the live-tag census armed by external tag sources.
+    pub fn set_census(&mut self, census: SharedCensus) {
+        self.census = Some(census);
+    }
+
+    #[inline]
+    fn arm_census(&self) {
+        if let Some(c) = &self.census {
+            c.arm();
+        }
     }
 
     /// `true` iff the access `[offset, offset+size)` fits.
@@ -101,6 +139,7 @@ impl Ram {
                 *t = Tag::EMPTY;
             }
         }
+        self.bump_epoch();
     }
 
     /// Stamps `tag` onto `[offset, offset+len)` (classification at load
@@ -115,6 +154,10 @@ impl Ram {
         let off = offset as usize;
         for t in &mut self.tags[off..off + len] {
             *t = tag;
+        }
+        self.bump_epoch();
+        if !tag.is_empty() {
+            self.arm_census();
         }
     }
 
@@ -136,7 +179,9 @@ impl Ram {
     pub fn flip_data_bit(&mut self, offset: u32, bit: u32) -> Option<u8> {
         let b = self.data.get_mut(offset as usize)?;
         *b ^= 1u8 << (bit & 7);
-        Some(*b)
+        let v = *b;
+        self.bump_epoch();
+        Some(v)
     }
 
     /// Flips the presence of `atom` (0..32) in the *tag* of the byte at
@@ -150,7 +195,29 @@ impl Ram {
         let t = self.tags.get_mut(offset as usize)?;
         let flipped = Tag::from_bits(t.bits() ^ (1u32 << (atom & 31)));
         *t = flipped;
+        self.bump_epoch();
+        if !flipped.is_empty() {
+            self.arm_census();
+        }
         Some(flipped)
+    }
+
+    /// FNV-1a digest over all data bytes and (when tracking) tag bits —
+    /// the memory half of the differential engine harness's final-state
+    /// comparison.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in &self.data {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        for t in &self.tags {
+            for b in t.bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
     }
 
     /// Counts, per taint atom, how many bytes currently carry that atom —
@@ -185,11 +252,19 @@ impl TlmTarget for Ram {
                 }
             }
             TlmCommand::Write => {
+                let mut incoming = Tag::EMPTY;
                 for (i, b) in p.data().iter().enumerate() {
                     self.data[base + i] = b.value();
                     if self.tracking {
                         self.tags[base + i] = b.tag();
+                        incoming = incoming.lub(b.tag());
                     }
+                }
+                // A DMA burst bypasses the CPU: cached code over the range
+                // is stale, and tagged payload bytes are a taint source.
+                self.bump_epoch();
+                if !incoming.is_empty() {
+                    self.arm_census();
                 }
             }
             TlmCommand::Ignore => {}

@@ -64,6 +64,17 @@ pub trait Bus<M: TaintMode> {
     /// # Errors
     /// [`MemError`] on faults.
     fn store(&mut self, addr: u32, size: u32, value: M::Word, pc: u32) -> Result<(), MemError>;
+
+    /// A counter that changes whenever memory (data *or* tags) is mutated
+    /// by anything other than CPU stores through this bus — DMA bursts,
+    /// host-side classification/image loads, injected bit flips. Execution
+    /// engines that cache decoded code compare it every step and flush on
+    /// change; CPU stores are instead reported precisely by the CPU, so
+    /// they must *not* bump it. Buses without external mutators keep the
+    /// default constant `0`.
+    fn mutation_epoch(&self) -> u64 {
+        0
+    }
 }
 
 /// A flat byte-addressable memory with per-byte tags (elided in plain
@@ -77,6 +88,7 @@ pub struct FlatMemory<M: TaintMode> {
     base: u32,
     data: Vec<u8>,
     tags: Vec<Tag>,
+    epoch: u64,
     _mode: core::marker::PhantomData<M>,
 }
 
@@ -87,6 +99,7 @@ impl<M: TaintMode> FlatMemory<M> {
             base,
             data: vec![0; size],
             tags: if M::TRACKING { vec![Tag::EMPTY; size] } else { Vec::new() },
+            epoch: 0,
             _mode: core::marker::PhantomData,
         }
     }
@@ -121,6 +134,7 @@ impl<M: TaintMode> FlatMemory<M> {
     pub fn load_image(&mut self, addr: u32, image: &[u8]) {
         let off = addr.wrapping_sub(self.base) as usize;
         self.data[off..off + image.len()].copy_from_slice(image);
+        self.epoch += 1;
     }
 
     /// Stamps `tag` onto a byte range (classification).
@@ -135,6 +149,7 @@ impl<M: TaintMode> FlatMemory<M> {
         for t in &mut self.tags[off..off + len] {
             *t = tag;
         }
+        self.epoch += 1;
     }
 
     /// Reads one byte with its tag (diagnostics).
@@ -174,6 +189,10 @@ impl<M: TaintMode> Bus<M> for FlatMemory<M> {
             }
         }
         Ok(())
+    }
+
+    fn mutation_epoch(&self) -> u64 {
+        self.epoch
     }
 }
 

@@ -36,6 +36,24 @@ pub enum Step {
     TrapLoop,
 }
 
+/// Outcome of one fetch-decode-execute round, as needed by execution
+/// engines: the architectural [`Step`] plus the memory range written by a
+/// retired store (so a block cache can invalidate overlapping code).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Retired {
+    pub step: Step,
+    /// `(addr, size)` of a successful data store, if the instruction was
+    /// one. Suppressed (trapped/faulted) stores report `None`.
+    pub store: Option<(u32, u32)>,
+}
+
+impl Retired {
+    #[inline]
+    pub(crate) fn of(step: Step) -> Self {
+        Retired { step, store: None }
+    }
+}
+
 /// Why [`Cpu::run`] returned.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunExit {
@@ -82,6 +100,11 @@ pub struct Cpu<M: TaintMode, S: ObsSink = NullSink> {
     trap_loop_threshold: u32,
     last_trap: Option<(u32, u32, u64)>,
     same_trap_count: u32,
+    /// Gate for the taint-idle fast path: while `false`, clearance checks
+    /// are skipped wholesale. Only ever cleared by an execution engine that
+    /// has *proved* all architectural tags empty (census clear); the
+    /// interpreter leaves it `true`.
+    checks_enabled: bool,
     obs: Rc<RefCell<S>>,
 }
 
@@ -117,6 +140,7 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
             trap_loop_threshold: DEFAULT_TRAP_LOOP_THRESHOLD,
             last_trap: None,
             same_trap_count: 0,
+            checks_enabled: true,
             obs,
         }
     }
@@ -196,6 +220,46 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
         self.exec_clearance = exec;
     }
 
+    /// Engine-side gate for the taint-idle fast path (see
+    /// [`BlockCache`](crate::BlockCache)). Safe only while the caller can
+    /// prove all architectural tags empty.
+    pub(crate) fn set_checks_enabled(&mut self, enabled: bool) {
+        self.checks_enabled = enabled;
+    }
+
+    /// The instruction-fetch clearance check (§V-B2b), exposed so a block
+    /// cache replaying predecoded instructions can apply it to the cached
+    /// fetch tag exactly as the interpreter would.
+    pub(crate) fn fetch_clearance_check(&mut self, tag: Tag, pc: u32) -> Result<(), Violation> {
+        self.exec_check(ViolationKind::Fetch, tag, self.exec_clearance.fetch, pc)
+    }
+
+    /// FNV-1a digest of the full architectural state (pc, registers with
+    /// tags, CSRs with tags, retirement count, wait state). Used by the
+    /// differential engine harness to assert bit-identical final state.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = fnv1a(FNV_OFFSET, self.pc as u64);
+        for r in &self.regs {
+            h = fnv1a(h, r.val() as u64);
+            h = fnv1a(h, r.tag().bits() as u64);
+        }
+        for c in [
+            self.csrs.mstatus,
+            self.csrs.mie,
+            self.csrs.mip,
+            self.csrs.mtvec,
+            self.csrs.mepc,
+            self.csrs.mcause,
+            self.csrs.mtval,
+            self.csrs.mscratch,
+        ] {
+            h = fnv1a(h, c.val() as u64);
+            h = fnv1a(h, c.tag().bits() as u64);
+        }
+        h = fnv1a(h, self.instret);
+        fnv1a(h, self.in_wfi as u64)
+    }
+
     /// Attaches the DIFT engine used to record violations.
     pub fn set_engine(&mut self, engine: SharedEngine) {
         self.engine = Some(engine);
@@ -248,6 +312,11 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
         pc: u32,
     ) -> Result<(), Violation> {
         if !M::TRACKING {
+            return Ok(());
+        }
+        if !self.checks_enabled {
+            // Taint-idle fast path: the owning engine has proved every
+            // architectural tag empty, so the check would trivially pass.
             return Ok(());
         }
         let Some(required) = required else { return Ok(()) };
@@ -354,10 +423,21 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
     /// Returns the [`Violation`] when an *enforced* DIFT check fails; the
     /// simulation should stop (the paper's `ClearanceException`).
     pub fn step(&mut self, bus: &mut impl Bus<M>) -> Result<Step, Violation> {
+        if let Some(step) = self.pre_step()? {
+            return Ok(step);
+        }
+        self.fetch_decode_exec(bus).map(|r| r.step)
+    }
+
+    /// The interrupt/WFI preamble of [`Cpu::step`]: polls for enabled
+    /// pending interrupts and handles the parked-in-`wfi` state. Returns
+    /// `Some(step)` when the step completes here (interrupt taken or still
+    /// waiting), `None` when an instruction should be executed.
+    pub(crate) fn pre_step(&mut self) -> Result<Option<Step>, Violation> {
         if self.poll_interrupts()? {
             // Interrupt taken; fall through to execute the first handler
             // instruction on the next call.
-            return Ok(Step::Executed);
+            return Ok(Some(Step::Executed));
         }
         if self.in_wfi {
             // WFI resumes when an enabled interrupt becomes *pending*,
@@ -366,20 +446,29 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
             if self.csrs.pending() != 0 {
                 self.in_wfi = false;
             } else {
-                return Ok(Step::WaitingForInterrupt);
+                return Ok(Some(Step::WaitingForInterrupt));
             }
         }
+        Ok(None)
+    }
 
+    /// One full fetch-decode-execute round (everything in [`Cpu::step`]
+    /// after [`pre_step`](Self::pre_step)). Also the block cache's
+    /// fallback when a block cannot be built at the current pc.
+    pub(crate) fn fetch_decode_exec(
+        &mut self,
+        bus: &mut impl Bus<M>,
+    ) -> Result<Retired, Violation> {
         let pc = self.pc;
         // RV32C allows 2-byte alignment; only odd PCs are misaligned.
         if !pc.is_multiple_of(2) {
-            return self.take_trap(csrn::cause::MISALIGNED_FETCH, false, pc, pc);
+            return self.take_trap(csrn::cause::MISALIGNED_FETCH, false, pc, pc).map(Retired::of);
         }
 
         // --- fetch, with instruction-fetch clearance (§V-B2b) -----------
         let word = match bus.fetch(pc) {
             Ok(w) => w,
-            Err(e) => return self.mem_trap(e, true, pc),
+            Err(e) => return self.mem_trap(e, true, pc).map(Retired::of),
         };
         let compressed = vpdift_asm::is_compressed(word.val() as u16);
         let (fetched, insn_len) = if compressed {
@@ -388,7 +477,7 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
             let parcel = if M::TRACKING {
                 match bus.load(pc, 2) {
                     Ok(p) => p,
-                    Err(e) => return self.mem_trap(e, true, pc),
+                    Err(e) => return self.mem_trap(e, true, pc).map(Retired::of),
                 }
             } else {
                 word.map_val(|v| v & 0xFFFF)
@@ -397,7 +486,7 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
         } else {
             (word, 4u32)
         };
-        self.exec_check(ViolationKind::Fetch, fetched.tag(), self.exec_clearance.fetch, pc)?;
+        self.fetch_clearance_check(fetched.tag(), pc)?;
 
         let decoded = if compressed {
             vpdift_asm::decompress(fetched.val() as u16)
@@ -407,11 +496,32 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
         let insn = match decoded {
             Ok(i) => i,
             Err(_) => {
-                return self.take_trap(csrn::cause::ILLEGAL_INSN, false, fetched.val(), pc);
+                return self
+                    .take_trap(csrn::cause::ILLEGAL_INSN, false, fetched.val(), pc)
+                    .map(Retired::of);
             }
         };
 
+        self.exec_insn(bus, insn, pc, insn_len, fetched.val(), compressed, fetched.tag())
+    }
+
+    /// Executes one already-decoded instruction at `pc`. `raw`,
+    /// `compressed` and `fetch_tag` describe the fetched parcel for the
+    /// retirement event, so cached dispatch emits events identical to the
+    /// interpreter's.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn exec_insn(
+        &mut self,
+        bus: &mut impl Bus<M>,
+        insn: Insn,
+        pc: u32,
+        insn_len: u32,
+        raw: u32,
+        compressed: bool,
+        fetch_tag: Tag,
+    ) -> Result<Retired, Violation> {
         let mut next_pc = pc.wrapping_add(insn_len);
+        let mut store: Option<(u32, u32)> = None;
         let mut outcome = Step::Executed;
 
         macro_rules! rs {
@@ -470,16 +580,23 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
                 )?;
                 let size = width.size();
                 if !addr.is_multiple_of(size) {
-                    return self.take_trap(csrn::cause::MISALIGNED_LOAD, false, addr, pc);
+                    return self
+                        .take_trap(csrn::cause::MISALIGNED_LOAD, false, addr, pc)
+                        .map(Retired::of);
                 }
-                let raw = match bus.load(addr, size) {
+                let loaded = match bus.load(addr, size) {
                     Ok(w) => w,
-                    Err(e) => return self.mem_trap(e, false, pc),
+                    Err(e) => return self.mem_trap(e, false, pc).map(Retired::of),
                 };
                 if S::ENABLED {
-                    self.obs.borrow_mut().event(&ObsEvent::Load { pc, addr, size, tag: raw.tag() });
+                    self.obs.borrow_mut().event(&ObsEvent::Load {
+                        pc,
+                        addr,
+                        size,
+                        tag: loaded.tag(),
+                    });
                 }
-                let value = raw.map_val(|v| match width {
+                let value = loaded.map_val(|v| match width {
                     vpdift_asm::LoadWidth::B => v as u8 as i8 as i32 as u32,
                     vpdift_asm::LoadWidth::H => v as u16 as i16 as i32 as u32,
                     _ => v,
@@ -497,7 +614,9 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
                 )?;
                 let size = width.size();
                 if !addr.is_multiple_of(size) {
-                    return self.take_trap(csrn::cause::MISALIGNED_STORE, false, addr, pc);
+                    return self
+                        .take_trap(csrn::cause::MISALIGNED_STORE, false, addr, pc)
+                        .map(Retired::of);
                 }
                 if S::ENABLED {
                     self.obs.borrow_mut().event(&ObsEvent::Store {
@@ -508,8 +627,9 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
                     });
                 }
                 if let Err(e) = bus.store(addr, size, rs!(rs2), pc) {
-                    return self.mem_trap(e, false, pc);
+                    return self.mem_trap(e, false, pc).map(Retired::of);
                 }
+                store = Some((addr, size));
             }
             Insn::AluImm { op, rd, rs1, imm } => {
                 let a = rs!(rs1);
@@ -546,7 +666,7 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
             Insn::Ecall => {
                 // mepc points at the ecall itself; the handler returns past
                 // it by adding 4 (standard RISC-V convention).
-                return self.take_trap(csrn::cause::ECALL_M, false, 0, pc);
+                return self.take_trap(csrn::cause::ECALL_M, false, 0, pc).map(Retired::of);
             }
             Insn::Ebreak => {
                 outcome = Step::Break;
@@ -572,13 +692,13 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
         if S::ENABLED {
             self.obs.borrow_mut().event(&ObsEvent::InsnRetired {
                 pc,
-                word: fetched.val(),
+                word: raw,
                 compressed,
-                fetch_tag: fetched.tag(),
+                fetch_tag,
                 instret: self.instret,
             });
         }
-        Ok(outcome)
+        Ok(Retired { step: outcome, store })
     }
 
     fn mem_trap(&mut self, e: MemError, is_fetch: bool, pc: u32) -> Result<Step, Violation> {
@@ -607,6 +727,19 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
         }
         RunExit::MaxInsns
     }
+}
+
+/// FNV-1a offset basis (64-bit).
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one 64-bit quantity into an FNV-1a digest, byte by byte.
+#[inline]
+pub(crate) fn fnv1a(mut h: u64, x: u64) -> u64 {
+    for b in x.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 fn alu_imm<M: TaintMode>(op: AluOp, a: M::Word, imm: i32) -> M::Word {

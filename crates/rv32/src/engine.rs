@@ -1,0 +1,789 @@
+//! Execution engines: the predecoded basic-block cache and its
+//! taint-idle fast path.
+//!
+//! The interpreter ([`Cpu::step`]) re-fetches and re-decodes every
+//! instruction from memory on every step — simple, and the reference
+//! semantics. This module adds a second engine, [`BlockCache`], that
+//! decodes straight-line code once into flat per-block instruction
+//! vectors and afterwards dispatches from the cache. Two mechanisms keep
+//! it observably identical to the interpreter:
+//!
+//! * **Self-modifying-code invalidation.** Every retired CPU store
+//!   reports its `(addr, size)` back to the engine, which checks it
+//!   against a per-64-byte-line refcount of cached code and kills any
+//!   overlapping blocks (the Wilander–Kamkar attack suite *injects* code,
+//!   so this is mandatory, not an optimisation). Mutations that bypass
+//!   the CPU — DMA bursts, host classification, fault-injected bit flips
+//!   — are caught by the bus's [`mutation_epoch`](crate::Bus::mutation_epoch)
+//!   counter, which triggers a full flush on change.
+//! * **Taint-idle gating.** In the tainted VP, while the attached
+//!   [`TaintCensus`](vpdift_core::TaintCensus) is still clear, every
+//!   architectural tag is provably [`Tag::EMPTY`], so every clearance
+//!   check would trivially pass — the engine disables the CPU's check
+//!   sites wholesale and blocks execute with plain-VP cost. The first
+//!   classification source re-arms the checked path for the rest of the
+//!   run.
+//!
+//! The engine dispatches *one instruction per [`BlockCache::step`]*, so a
+//! caller interleaving interrupt-line sampling, watchdogs or time
+//! accounting between steps (as `vpdift-soc` does) sees exactly the
+//! interpreter's timing; the saving is the skipped fetch/decode work, not
+//! batching.
+
+use std::collections::HashMap;
+use std::str::FromStr;
+
+use vpdift_asm::Insn;
+use vpdift_core::{SharedCensus, Tag, Violation};
+use vpdift_obs::ObsSink;
+
+use crate::bus::Bus;
+use crate::cpu::{Cpu, RunExit, Step};
+use crate::mode::{TaintMode, Word};
+
+/// Which execution engine drives the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Fetch-decode-execute every instruction from memory — the reference
+    /// engine.
+    #[default]
+    Interp,
+    /// Predecoded basic-block cache with taint-idle fast path
+    /// ([`BlockCache`]).
+    BlockCache,
+}
+
+impl ExecMode {
+    /// Stable lower-case label (CLI / bench naming).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecMode::Interp => "interp",
+            ExecMode::BlockCache => "block",
+        }
+    }
+}
+
+impl core::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for ExecMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "interp" | "interpreter" => Ok(ExecMode::Interp),
+            "block" | "block-cache" | "blockcache" | "cached" => Ok(ExecMode::BlockCache),
+            other => Err(format!("unknown engine '{other}' (expected 'interp' or 'block')")),
+        }
+    }
+}
+
+/// Block-cache counters, reported through the observability layer and the
+/// CLI.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Steps dispatched from a cached block (cursor or index hit).
+    pub hits: u64,
+    /// Block-cache lookups that had to (re)build or fall back.
+    pub misses: u64,
+    /// Blocks killed by store-range invalidation.
+    pub invalidations: u64,
+    /// Whole-cache flushes (external mutation epoch changed, or capacity).
+    pub flushes: u64,
+    /// Steps executed with clearance checks skipped (taint census clear).
+    pub idle_steps: u64,
+    /// Steps executed with the full checked semantics.
+    pub checked_steps: u64,
+}
+
+/// Code-line granularity for store invalidation: 64-byte lines.
+const LINE_SHIFT: u32 = 6;
+/// Longest block, in instructions.
+const BLOCK_CAP: usize = 32;
+/// Arena capacity backstop; exceeding it flushes (never expected in
+/// practice — RAM-resident guest code is far smaller).
+const MAX_BLOCKS: usize = 4096;
+
+/// One predecoded instruction, carrying everything [`Cpu::exec_insn`] and
+/// the retirement event need.
+#[derive(Debug, Clone, Copy)]
+struct CachedInsn {
+    insn: Insn,
+    /// Address of the following sequential instruction (`pc + len`).
+    next_pc: u32,
+    len: u32,
+    /// The fetched parcel as the interpreter would report it (16-bit
+    /// parcels zero-extended).
+    raw: u32,
+    compressed: bool,
+    /// LUB of the executed parcel's byte tags at decode time; stores into
+    /// the block and external mutations invalidate it, so it is always
+    /// current when dispatched.
+    fetch_tag: Tag,
+    /// Whether interrupt state must be re-polled after this instruction.
+    /// Inside a straight-line slice, `mstatus`/`mie`/`mip` are reachable
+    /// only through CSR writes and bus side effects (`mret` and `wfi` end
+    /// the block; traps diverge), so only loads, stores and CSR ops set it.
+    poll: bool,
+}
+
+#[derive(Debug)]
+struct Block {
+    start: u32,
+    insns: Vec<CachedInsn>,
+    alive: bool,
+    first_line: u32,
+    last_line: u32,
+}
+
+/// Continue-point inside a block: the next dispatch is `insns[idx]`
+/// provided the CPU's pc still equals `expected_pc` (any divergence —
+/// taken branch, trap, interrupt — falls back to an index lookup).
+#[derive(Debug, Clone, Copy)]
+struct Cursor {
+    block: usize,
+    idx: usize,
+    expected_pc: u32,
+}
+
+/// The predecoded basic-block execution engine. See the module docs for
+/// the invalidation and taint-idle machinery.
+///
+/// ```
+/// use vpdift_asm::{Asm, Reg};
+/// use vpdift_rv32::{BlockCache, Cpu, FlatMemory, Plain, RunExit};
+///
+/// let mut a = Asm::new(0);
+/// a.li(Reg::A0, 21);
+/// a.add(Reg::A0, Reg::A0, Reg::A0);
+/// a.ebreak();
+/// let prog = a.assemble().unwrap();
+///
+/// let mut mem = FlatMemory::<Plain>::new(0, 4096);
+/// mem.load_image(0, prog.image());
+/// let mut cpu = Cpu::<Plain>::new();
+/// let mut engine = BlockCache::new();
+/// assert_eq!(engine.run(&mut cpu, &mut mem, 100), RunExit::Break);
+/// assert_eq!(cpu.reg(Reg::A0), 42);
+/// ```
+#[derive(Debug, Default)]
+pub struct BlockCache {
+    arena: Vec<Block>,
+    index: HashMap<u32, usize>,
+    /// Per-64-byte-line count of live blocks containing code from that
+    /// line; a store only pays the invalidation walk when its line count
+    /// is non-zero.
+    line_refs: Vec<u16>,
+    line_blocks: HashMap<u32, Vec<usize>>,
+    cursor: Option<Cursor>,
+    epoch: u64,
+    census: Option<SharedCensus>,
+    stats: CacheStats,
+}
+
+impl BlockCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        BlockCache::default()
+    }
+
+    /// Attaches the live-tag census enabling the taint-idle fast path.
+    /// Without one, the tainted VP always runs the checked semantics.
+    pub fn set_census(&mut self, census: SharedCensus) {
+        self.census = Some(census);
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Executes (at most) one instruction, exactly like [`Cpu::step`] but
+    /// dispatching from the block cache where possible.
+    ///
+    /// # Errors
+    /// Returns the [`Violation`] when an enforced DIFT check fails.
+    pub fn step<M: TaintMode, S: ObsSink>(
+        &mut self,
+        cpu: &mut Cpu<M, S>,
+        bus: &mut impl Bus<M>,
+    ) -> Result<Step, Violation> {
+        if let Some(step) = cpu.pre_step()? {
+            return Ok(step);
+        }
+        let epoch = bus.mutation_epoch();
+        if epoch != self.epoch {
+            // Memory changed behind the CPU's back (DMA, classification,
+            // fault injection): all cached decodes and fetch tags are
+            // suspect.
+            self.epoch = epoch;
+            self.flush();
+        }
+        if M::TRACKING {
+            let live = self.census.as_ref().is_none_or(|c| c.is_live());
+            cpu.set_checks_enabled(live);
+            if live {
+                self.stats.checked_steps += 1;
+            } else {
+                self.stats.idle_steps += 1;
+            }
+        }
+
+        let pc = cpu.pc();
+        let (bi, ii) = match self.cursor {
+            Some(c) if c.expected_pc == pc => {
+                self.stats.hits += 1;
+                (c.block, c.idx)
+            }
+            _ => {
+                self.cursor = None;
+                match self.index.get(&pc).copied().filter(|&bi| self.arena[bi].alive) {
+                    Some(bi) => {
+                        self.stats.hits += 1;
+                        (bi, 0)
+                    }
+                    None => {
+                        self.stats.misses += 1;
+                        match self.build(bus, pc) {
+                            Some(bi) => (bi, 0),
+                            None => {
+                                // Unfetchable/undecodable/misaligned pc:
+                                // one reference-interpreter step raises
+                                // the identical trap.
+                                let r = cpu.fetch_decode_exec(bus)?;
+                                if let Some((addr, size)) = r.store {
+                                    self.on_store(addr, size);
+                                }
+                                return Ok(r.step);
+                            }
+                        }
+                    }
+                }
+            }
+        };
+
+        let d = self.arena[bi].insns[ii];
+        if M::TRACKING {
+            cpu.fetch_clearance_check(d.fetch_tag, pc)?;
+        }
+        let r = cpu.exec_insn(bus, d.insn, pc, d.len, d.raw, d.compressed, d.fetch_tag)?;
+        let next = ii + 1;
+        // Set the cursor before invalidation: a store into the current
+        // block must clear it so the remaining cached tail is re-decoded.
+        self.cursor = if next < self.arena[bi].insns.len() {
+            Some(Cursor { block: bi, idx: next, expected_pc: d.next_pc })
+        } else {
+            None
+        };
+        if let Some((addr, size)) = r.store {
+            self.on_store(addr, size);
+        }
+        Ok(r.step)
+    }
+
+    /// Runs until `ebreak`, an enforced violation, `wfi` with nothing
+    /// pending, or `max_insns` retirements — [`Cpu::run`] on this engine.
+    ///
+    /// Unlike repeated [`BlockCache::step`] calls, `run` dispatches whole
+    /// cached blocks per cache probe: the mutation-epoch read, cursor
+    /// bookkeeping and statistics updates are paid per *block*, not per
+    /// instruction. Observable behaviour stays identical: the epoch is
+    /// re-read after every store, and interrupts are re-polled after every
+    /// instruction that can change interrupt state (loads, stores, CSR
+    /// ops — nothing else inside a straight-line slice can reach
+    /// `mstatus`/`mie`/`mip`).
+    pub fn run<M: TaintMode, S: ObsSink>(
+        &mut self,
+        cpu: &mut Cpu<M, S>,
+        bus: &mut impl Bus<M>,
+        max_insns: u64,
+    ) -> RunExit {
+        let limit = cpu.instret() + max_insns;
+        while cpu.instret() < limit {
+            match self.run_slice(cpu, bus, limit) {
+                Ok(Step::Executed) => {}
+                Ok(Step::Break) => return RunExit::Break,
+                Ok(Step::WaitingForInterrupt) => return RunExit::Wfi,
+                Ok(Step::TrapLoop) => return RunExit::TrapLoop,
+                Err(v) => return RunExit::Violation(v),
+            }
+        }
+        RunExit::MaxInsns
+    }
+
+    /// Executes a run of consecutive instructions from one cached block —
+    /// observationally a sequence of [`BlockCache::step`] calls, ending at
+    /// block end, control-flow divergence, the retirement `limit`, or any
+    /// non-`Executed` step.
+    fn run_slice<M: TaintMode, S: ObsSink>(
+        &mut self,
+        cpu: &mut Cpu<M, S>,
+        bus: &mut impl Bus<M>,
+        limit: u64,
+    ) -> Result<Step, Violation> {
+        if let Some(step) = cpu.pre_step()? {
+            return Ok(step);
+        }
+        let epoch = bus.mutation_epoch();
+        if epoch != self.epoch {
+            self.epoch = epoch;
+            self.flush();
+        }
+        // The census is a one-way latch: once live it stays live, so the
+        // re-sample below only runs while the fast path is still on.
+        let mut live = true;
+        if M::TRACKING {
+            live = self.census.as_ref().is_none_or(|c| c.is_live());
+            cpu.set_checks_enabled(live);
+        }
+
+        let mut pc = cpu.pc();
+        let (bi, mut ii) = match self.cursor {
+            Some(c) if c.expected_pc == pc => (c.block, c.idx),
+            _ => {
+                self.cursor = None;
+                match self.index.get(&pc).copied().filter(|&bi| self.arena[bi].alive) {
+                    Some(bi) => (bi, 0),
+                    None => match self.build(bus, pc) {
+                        Some(bi) => {
+                            self.stats.misses += 1;
+                            (bi, 0)
+                        }
+                        None => {
+                            self.stats.misses += 1;
+                            if M::TRACKING {
+                                self.count_gating(1, live);
+                            }
+                            let r = cpu.fetch_decode_exec(bus)?;
+                            if let Some((addr, size)) = r.store {
+                                self.on_store(addr, size);
+                            }
+                            return Ok(r.step);
+                        }
+                    },
+                }
+            }
+        };
+
+        // The block's instruction vector is moved out of the arena for the
+        // duration of the slice so the hot loop reads a local, provably
+        // unaliased slice; it is put back below unless the whole cache was
+        // flushed mid-slice (blocks are never rebuilt inside the loop).
+        let start = self.arena[bi].start;
+        let insns = std::mem::take(&mut self.arena[bi].insns);
+        let mut remaining = limit - cpu.instret();
+        let mut executed: u64 = 0;
+        let (mut checked, mut idle) = (0u64, 0u64);
+        // `pre_step` already ran above; it is re-run mid-slice only after
+        // instructions whose `poll` flag is set (see [`CachedInsn::poll`]).
+        let mut need_poll = false;
+        let res = loop {
+            if need_poll {
+                match cpu.pre_step() {
+                    Ok(None) => {}
+                    Ok(Some(step)) => break Ok(step),
+                    Err(v) => {
+                        self.cursor = None;
+                        break Err(v);
+                    }
+                }
+            }
+            if M::TRACKING && !live {
+                live = self.census.as_ref().is_none_or(|c| c.is_live());
+                if live {
+                    cpu.set_checks_enabled(true);
+                }
+            }
+            let d = &insns[ii];
+            if M::TRACKING {
+                if live {
+                    checked += 1;
+                } else {
+                    idle += 1;
+                }
+                if let Err(v) = cpu.fetch_clearance_check(d.fetch_tag, pc) {
+                    self.cursor = None;
+                    break Err(v);
+                }
+            }
+            let r = match cpu.exec_insn(bus, d.insn, pc, d.len, d.raw, d.compressed, d.fetch_tag) {
+                Ok(r) => r,
+                Err(v) => {
+                    self.cursor = None;
+                    executed += 1;
+                    break Err(v);
+                }
+            };
+            executed += 1;
+            remaining -= 1;
+            if let Some((addr, size)) = r.store {
+                self.on_store(addr, size);
+                let e = bus.mutation_epoch();
+                if e != self.epoch {
+                    self.epoch = e;
+                    self.flush();
+                    break Ok(r.step);
+                }
+                if !self.arena[bi].alive {
+                    self.cursor = None;
+                    break Ok(r.step);
+                }
+            }
+            if !matches!(r.step, Step::Executed) {
+                self.cursor = None;
+                break Ok(r.step);
+            }
+            ii += 1;
+            if ii >= insns.len() {
+                self.cursor = None;
+                break Ok(Step::Executed);
+            }
+            if cpu.pc() != d.next_pc {
+                // Taken branch or trap: next probe starts fresh.
+                self.cursor = None;
+                break Ok(Step::Executed);
+            }
+            pc = d.next_pc;
+            if remaining == 0 {
+                self.cursor = Some(Cursor { block: bi, idx: ii, expected_pc: pc });
+                break Ok(Step::Executed);
+            }
+            need_poll = d.poll;
+        };
+        if let Some(b) = self.arena.get_mut(bi) {
+            if b.start == start {
+                b.insns = insns;
+            }
+        }
+        self.stats.hits += executed;
+        if M::TRACKING {
+            self.stats.checked_steps += checked;
+            self.stats.idle_steps += idle;
+        }
+        res
+    }
+
+    #[inline]
+    fn count_gating(&mut self, n: u64, live: bool) {
+        if live {
+            self.stats.checked_steps += n;
+        } else {
+            self.stats.idle_steps += n;
+        }
+    }
+
+    /// Decodes the straight-line block starting at `pc` and registers it.
+    /// `None` when not even the first instruction could be decoded — the
+    /// caller falls back to the interpreter for faithful trap behaviour.
+    fn build<M: TaintMode>(&mut self, bus: &mut impl Bus<M>, pc: u32) -> Option<usize> {
+        if !pc.is_multiple_of(2) {
+            return None;
+        }
+        let mut insns: Vec<CachedInsn> = Vec::with_capacity(8);
+        let mut cur = pc;
+        while let Ok(word) = bus.fetch(cur) {
+            let compressed = vpdift_asm::is_compressed(word.val() as u16);
+            let (raw, fetch_tag, len) = if compressed {
+                // Mirror the interpreter: narrow to the executed 16-bit
+                // parcel so the cached fetch tag is byte-precise.
+                if M::TRACKING {
+                    match bus.load(cur, 2) {
+                        Ok(p) => (p.val() & 0xFFFF, p.tag(), 2u32),
+                        Err(_) => break,
+                    }
+                } else {
+                    (word.val() & 0xFFFF, Tag::EMPTY, 2u32)
+                }
+            } else {
+                (word.val(), word.tag(), 4u32)
+            };
+            let decoded =
+                if compressed { vpdift_asm::decompress(raw as u16) } else { Insn::decode(raw) };
+            let Ok(insn) = decoded else { break };
+            let next_pc = cur.wrapping_add(len);
+            let poll = matches!(insn, Insn::Load { .. } | Insn::Store { .. } | Insn::Csr { .. });
+            insns.push(CachedInsn { insn, next_pc, len, raw, compressed, fetch_tag, poll });
+            // Unconditional control transfers end the block; conditional
+            // branches may fall through, so the block continues past them.
+            let terminal = matches!(
+                insn,
+                Insn::Jal { .. }
+                    | Insn::Jalr { .. }
+                    | Insn::Mret
+                    | Insn::Ecall
+                    | Insn::Ebreak
+                    | Insn::Wfi
+                    | Insn::FenceI
+            );
+            cur = next_pc;
+            if terminal || insns.len() >= BLOCK_CAP {
+                break;
+            }
+        }
+        if insns.is_empty() {
+            return None;
+        }
+        let end = insns.last().map(|d| d.next_pc).unwrap_or(pc);
+        let block = Block {
+            start: pc,
+            insns,
+            alive: true,
+            first_line: pc >> LINE_SHIFT,
+            last_line: (end - 1) >> LINE_SHIFT,
+        };
+        Some(self.insert(block))
+    }
+
+    fn insert(&mut self, block: Block) -> usize {
+        if self.arena.len() >= MAX_BLOCKS {
+            self.flush();
+        }
+        let bi = self.arena.len();
+        for line in block.first_line..=block.last_line {
+            let li = line as usize;
+            if self.line_refs.len() <= li {
+                self.line_refs.resize(li + 1, 0);
+            }
+            self.line_refs[li] += 1;
+            self.line_blocks.entry(line).or_default().push(bi);
+        }
+        self.index.insert(block.start, bi);
+        self.arena.push(block);
+        bi
+    }
+
+    /// Store-range invalidation: kill every live block whose code lines
+    /// overlap the written range. The common case (store into data) costs
+    /// one or two refcount probes.
+    #[inline]
+    fn on_store(&mut self, addr: u32, size: u32) {
+        let first = addr >> LINE_SHIFT;
+        let last = addr.wrapping_add(size.saturating_sub(1)) >> LINE_SHIFT;
+        for line in first..=last {
+            if (line as usize) < self.line_refs.len() && self.line_refs[line as usize] > 0 {
+                self.invalidate_line(line);
+            }
+        }
+    }
+
+    fn invalidate_line(&mut self, line: u32) {
+        if let Some(blocks) = self.line_blocks.remove(&line) {
+            for bi in blocks {
+                self.kill(bi);
+            }
+        }
+    }
+
+    fn kill(&mut self, bi: usize) {
+        if !self.arena[bi].alive {
+            return;
+        }
+        self.arena[bi].alive = false;
+        let (start, first, last) = {
+            let b = &self.arena[bi];
+            (b.start, b.first_line, b.last_line)
+        };
+        self.index.remove(&start);
+        for line in first..=last {
+            self.line_refs[line as usize] -= 1;
+        }
+        if self.cursor.is_some_and(|c| c.block == bi) {
+            self.cursor = None;
+        }
+        self.stats.invalidations += 1;
+    }
+
+    /// Drops every cached block (external mutation or capacity).
+    fn flush(&mut self) {
+        self.cursor = None;
+        if self.arena.is_empty() {
+            return;
+        }
+        self.arena.clear();
+        self.index.clear();
+        self.line_refs.clear();
+        self.line_blocks.clear();
+        self.stats.flushes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::FlatMemory;
+    use crate::mode::{Plain, Tainted};
+    use vpdift_asm::{Asm, Reg};
+    use vpdift_core::{ExecClearance, TaintCensus};
+
+    fn looped_sum() -> vpdift_asm::Program {
+        let mut a = Asm::new(0);
+        a.li(Reg::A0, 0);
+        a.li(Reg::T0, 50);
+        a.label("loop");
+        a.add(Reg::A0, Reg::A0, Reg::T0);
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bne(Reg::T0, Reg::Zero, "loop");
+        a.ebreak();
+        a.assemble().unwrap()
+    }
+
+    fn run_both(prog: &vpdift_asm::Program) -> (RunExit, RunExit, u64, u64) {
+        let mut mem_i = FlatMemory::<Plain>::new(0, 4096);
+        mem_i.load_image(0, prog.image());
+        let mut cpu_i = Cpu::<Plain>::new();
+        let exit_i = cpu_i.run(&mut mem_i, 10_000);
+
+        let mut mem_b = FlatMemory::<Plain>::new(0, 4096);
+        mem_b.load_image(0, prog.image());
+        let mut cpu_b = Cpu::<Plain>::new();
+        let mut eng = BlockCache::new();
+        let exit_b = eng.run(&mut cpu_b, &mut mem_b, 10_000);
+
+        (exit_i, exit_b, cpu_i.state_digest(), cpu_b.state_digest())
+    }
+
+    #[test]
+    fn cached_loop_matches_interpreter() {
+        let prog = looped_sum();
+        let (exit_i, exit_b, d_i, d_b) = run_both(&prog);
+        assert_eq!(exit_i, RunExit::Break);
+        assert_eq!(exit_b, RunExit::Break);
+        assert_eq!(d_i, d_b);
+    }
+
+    #[test]
+    fn cache_hits_dominate_on_hot_loops() {
+        let prog = looped_sum();
+        let mut mem = FlatMemory::<Plain>::new(0, 4096);
+        mem.load_image(0, prog.image());
+        let mut cpu = Cpu::<Plain>::new();
+        let mut eng = BlockCache::new();
+        assert_eq!(eng.run(&mut cpu, &mut mem, 10_000), RunExit::Break);
+        let st = eng.stats();
+        assert!(st.hits > 10 * st.misses, "hits {} misses {}", st.hits, st.misses);
+    }
+
+    #[test]
+    fn store_into_cached_block_invalidates() {
+        // A loop body is cached, then the guest overwrites one of its
+        // instructions; the patched semantics must take effect exactly as
+        // under the interpreter.
+        let addi_a0_a0_100: i32 = 0x0645_0513u32 as i32; // addi a0, a0, 100
+        let mut a = Asm::new(0);
+        a.li(Reg::A0, 0);
+        a.li(Reg::T0, 2); // two passes
+        a.label("loop");
+        a.label("patch");
+        a.addi(Reg::A0, Reg::A0, 1); // pass 1: +1; overwritten to +100
+        a.li(Reg::T1, addi_a0_a0_100);
+        a.la(Reg::T2, "patch");
+        a.sw(Reg::T1, 0, Reg::T2);
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bne(Reg::T0, Reg::Zero, "loop");
+        a.ebreak();
+        let prog = a.assemble().unwrap();
+
+        let (exit_i, exit_b, d_i, d_b) = run_both(&prog);
+        assert_eq!(exit_i, RunExit::Break);
+        assert_eq!(exit_b, RunExit::Break);
+        assert_eq!(d_i, d_b);
+
+        // And the patched value is what the interpreter computes: 1 + 100.
+        let mut mem = FlatMemory::<Plain>::new(0, 4096);
+        mem.load_image(0, prog.image());
+        let mut cpu = Cpu::<Plain>::new();
+        let mut eng = BlockCache::new();
+        assert_eq!(eng.run(&mut cpu, &mut mem, 10_000), RunExit::Break);
+        assert_eq!(cpu.reg(Reg::A0), 101);
+        assert!(eng.stats().invalidations > 0);
+    }
+
+    #[test]
+    fn csr_raised_interrupt_is_taken_mid_block() {
+        // A `csrw mip` raising MSIP inside a straight-line block must be
+        // serviced before the following instruction — exactly where the
+        // batched dispatch re-polls only after poll-flagged instructions.
+        use vpdift_asm::csr;
+        let mut a = Asm::new(0);
+        a.la(Reg::T0, "handler");
+        a.csrw(csr::MTVEC, Reg::T0);
+        a.li(Reg::T1, 8); // MSIE / mstatus.MIE
+        a.csrw(csr::MIE, Reg::T1);
+        a.csrw(csr::MSTATUS, Reg::T1);
+        a.li(Reg::A0, 0);
+        a.li(Reg::A1, 8);
+        a.csrw(csr::MIP, Reg::A1); // raise MSIP: interrupt pends *here*
+        a.addi(Reg::A0, Reg::A0, 1); // must run only after the handler
+        a.ebreak();
+        a.label("handler");
+        a.li(Reg::A2, 77);
+        a.csrc(csr::MIP, Reg::A1);
+        a.mret();
+        let prog = a.assemble().unwrap();
+
+        let (exit_i, exit_b, d_i, d_b) = run_both(&prog);
+        assert_eq!(exit_i, RunExit::Break);
+        assert_eq!(exit_b, RunExit::Break);
+        assert_eq!(d_i, d_b, "engines disagree on mid-block interrupt");
+
+        let mut mem = FlatMemory::<Plain>::new(0, 4096);
+        mem.load_image(0, prog.image());
+        let mut cpu = Cpu::<Plain>::new();
+        let mut eng = BlockCache::new();
+        assert_eq!(eng.run(&mut cpu, &mut mem, 10_000), RunExit::Break);
+        assert_eq!(cpu.reg(Reg::A2), 77, "handler must have run");
+        assert_eq!(cpu.reg(Reg::A0), 1);
+    }
+
+    #[test]
+    fn external_mutation_epoch_flushes() {
+        let prog = looped_sum();
+        let mut mem = FlatMemory::<Plain>::new(0, 4096);
+        mem.load_image(0, prog.image());
+        let mut cpu = Cpu::<Plain>::new();
+        let mut eng = BlockCache::new();
+        for _ in 0..8 {
+            eng.step(&mut cpu, &mut mem).unwrap();
+        }
+        assert!(!eng.arena.is_empty());
+        // Host-side image reload bumps the epoch; next step flushes.
+        mem.load_image(0, prog.image());
+        eng.step(&mut cpu, &mut mem).unwrap();
+        assert!(eng.stats().flushes > 0);
+    }
+
+    #[test]
+    fn census_gates_clearance_checks() {
+        // Fetch clearance of EMPTY over classified code: the checked
+        // path must flag it, the idle path must be skipped until armed.
+        let prog = looped_sum();
+        let clearance = ExecClearance { fetch: Some(Tag::EMPTY), ..ExecClearance::UNCHECKED };
+
+        let census = TaintCensus::new().into_shared();
+        let mut mem = FlatMemory::<Tainted>::new(0, 4096);
+        mem.load_image(0, prog.image());
+        mem.classify(0, 64, Tag::atom(0));
+        let mut cpu = Cpu::<Tainted>::new();
+        cpu.set_exec_clearance(clearance);
+        let mut eng = BlockCache::new();
+        eng.set_census(census.clone());
+        // Census clear → checks skipped → the run completes.
+        assert_eq!(eng.run(&mut cpu, &mut mem, 10_000), RunExit::Break);
+        assert!(eng.stats().idle_steps > 0);
+        assert_eq!(eng.stats().checked_steps, 0);
+
+        // Armed census → the very same program trips the fetch check.
+        census.arm();
+        let mut cpu = Cpu::<Tainted>::new();
+        cpu.set_exec_clearance(clearance);
+        let mut mem2 = FlatMemory::<Tainted>::new(0, 4096);
+        mem2.load_image(0, prog.image());
+        mem2.classify(0, 64, Tag::atom(0));
+        let mut eng2 = BlockCache::new();
+        eng2.set_census(census);
+        assert!(matches!(eng2.run(&mut cpu, &mut mem2, 10_000), RunExit::Violation(_)));
+    }
+}

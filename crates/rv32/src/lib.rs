@@ -20,9 +20,11 @@
 mod bus;
 mod cpu;
 mod csr;
+mod engine;
 mod mode;
 
 pub use bus::{Bus, FlatMemory, MemError};
 pub use cpu::{Cpu, RunExit, Step, DEFAULT_TRAP_LOOP_THRESHOLD};
 pub use csr::CsrFile;
+pub use engine::{BlockCache, CacheStats, ExecMode};
 pub use mode::{Plain, TaintMode, Tainted, Word};

@@ -1,0 +1,136 @@
+//! The canonical SoC construction API.
+//!
+//! [`SocBuilder`] replaces struct-literal [`SocConfig`] construction at
+//! call sites: defaults are owned by one place, new knobs (like the
+//! execution engine) appear as methods instead of breaking every literal,
+//! and the produced [`SocConfig`] stays a plain value for serialization
+//! and diffing.
+//!
+//! ```
+//! use vpdift_core::SecurityPolicy;
+//! use vpdift_rv32::{ExecMode, Tainted};
+//! use vpdift_soc::{Soc, SocBuilder};
+//!
+//! let cfg = Soc::<Tainted>::builder()
+//!     .policy(SecurityPolicy::permissive())
+//!     .ram_size(256 * 1024)
+//!     .engine(ExecMode::BlockCache)
+//!     .build();
+//! let soc = Soc::<Tainted>::new(cfg);
+//! ```
+
+use vpdift_core::{EnforceMode, SecurityPolicy};
+use vpdift_kernel::SimTime;
+use vpdift_rv32::ExecMode;
+
+use crate::soc::SocConfig;
+
+/// Fluent builder producing a [`SocConfig`]. Obtain one via
+/// [`SocBuilder::new`], [`SocConfig::builder`] or
+/// [`Soc::builder`](crate::Soc::builder); every method overrides one
+/// default and returns the builder.
+#[derive(Clone, Debug, Default)]
+pub struct SocBuilder {
+    config: SocConfig,
+}
+
+impl SocBuilder {
+    /// A builder loaded with the default configuration.
+    pub fn new() -> Self {
+        SocBuilder { config: SocConfig::default() }
+    }
+
+    /// RAM size in bytes (must stay below the first MMIO region;
+    /// [`Soc::new`](crate::Soc::new) asserts this).
+    pub fn ram_size(mut self, bytes: usize) -> Self {
+        self.config.ram_size = bytes;
+        self
+    }
+
+    /// The security policy to enforce.
+    pub fn policy(mut self, policy: SecurityPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Enforce (stop on violation) or record (log and continue).
+    pub fn enforce(mut self, mode: EnforceMode) -> Self {
+        self.config.enforce = mode;
+        self
+    }
+
+    /// Seed for the sensor's data generator.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Instructions per scheduling quantum.
+    pub fn quantum(mut self, insns: u32) -> Self {
+        self.config.quantum = insns;
+        self
+    }
+
+    /// Simulated time per instruction.
+    pub fn insn_time(mut self, t: SimTime) -> Self {
+        self.config.insn_time = t;
+        self
+    }
+
+    /// Whether the sensor's periodic generation thread runs.
+    pub fn sensor_thread(mut self, enabled: bool) -> Self {
+        self.config.sensor_thread = enabled;
+        self
+    }
+
+    /// Which execution engine drives the CPU.
+    pub fn engine(mut self, mode: ExecMode) -> Self {
+        self.config.exec = mode;
+        self
+    }
+
+    /// Finalises into the [`SocConfig`] consumed by
+    /// [`Soc::new`](crate::Soc::new).
+    pub fn build(self) -> SocConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_config_default() {
+        let built = SocBuilder::new().build();
+        let def = SocConfig::default();
+        assert_eq!(built.ram_size, def.ram_size);
+        assert_eq!(built.enforce, def.enforce);
+        assert_eq!(built.seed, def.seed);
+        assert_eq!(built.quantum, def.quantum);
+        assert_eq!(built.insn_time, def.insn_time);
+        assert_eq!(built.sensor_thread, def.sensor_thread);
+        assert_eq!(built.exec, def.exec);
+    }
+
+    #[test]
+    fn every_knob_is_reachable() {
+        let cfg = SocBuilder::new()
+            .ram_size(64 * 1024)
+            .policy(SecurityPolicy::permissive())
+            .enforce(EnforceMode::Record)
+            .seed(7)
+            .quantum(128)
+            .insn_time(SimTime::from_ns(5))
+            .sensor_thread(false)
+            .engine(ExecMode::BlockCache)
+            .build();
+        assert_eq!(cfg.ram_size, 64 * 1024);
+        assert_eq!(cfg.enforce, EnforceMode::Record);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.quantum, 128);
+        assert_eq!(cfg.insn_time, SimTime::from_ns(5));
+        assert!(!cfg.sensor_thread);
+        assert_eq!(cfg.exec, ExecMode::BlockCache);
+    }
+}

@@ -2,10 +2,10 @@
 //! TLM routing for everything else, with DIFT store-clearance checks on
 //! protected regions.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use vpdift_core::{AddrRange, SharedEngine, Tag};
+use vpdift_core::{AddrRange, SharedCensus, SharedEngine, Tag};
 use vpdift_kernel::SimTime;
 use vpdift_periph::Ram;
 use vpdift_rv32::{Bus, MemError, TaintMode, Word};
@@ -27,6 +27,12 @@ pub struct SocBus<M: TaintMode> {
     protected: Vec<AddrRange>,
     mmio_delay: SimTime,
     irq_dirty: bool,
+    /// RAM's mutation-epoch counter, cached here so
+    /// [`Bus::mutation_epoch`] is a plain `Cell` read per step.
+    ram_epoch: Rc<Cell<u64>>,
+    /// Live-tag census, armed when tagged data enters the CPU via MMIO
+    /// (peripheral ingress like the terminal, sensor, or CAN RX).
+    census: Option<SharedCensus>,
     _mode: core::marker::PhantomData<M>,
 }
 
@@ -46,6 +52,9 @@ impl<M: TaintMode> SocBus<M> {
                     .collect()
             })
             .unwrap_or_default();
+        let census =
+            M::TRACKING.then(|| engine.as_ref().map(|e| e.borrow().census().clone())).flatten();
+        let ram_epoch = ram.borrow().epoch_handle();
         SocBus {
             ram,
             ram_end,
@@ -54,6 +63,8 @@ impl<M: TaintMode> SocBus<M> {
             protected,
             mmio_delay: SimTime::ZERO,
             irq_dirty: false,
+            ram_epoch,
+            census,
             _mode: core::marker::PhantomData,
         }
     }
@@ -165,6 +176,13 @@ impl<M: TaintMode> Bus<M> for SocBus<M> {
             lanes[..size as usize].copy_from_slice(p.data());
             lanes
         });
+        if M::TRACKING && !w.tag().is_empty() {
+            // Tagged data entering the core from a peripheral is a taint
+            // source: end any taint-idle fast path.
+            if let Some(c) = &self.census {
+                c.arm();
+            }
+        }
         Ok(M::Word::with_tag(w.value(), w.tag()))
     }
 
@@ -179,5 +197,9 @@ impl<M: TaintMode> Bus<M> for SocBus<M> {
         word.to_bytes(&mut lanes);
         let mut p = GenericPayload::write(addr, &lanes[..size as usize]);
         self.mmio(&mut p)
+    }
+
+    fn mutation_epoch(&self) -> u64 {
+        self.ram_epoch.get()
     }
 }

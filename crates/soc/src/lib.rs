@@ -23,7 +23,7 @@
 //! a.ebreak();
 //! let program = a.assemble().unwrap();
 //!
-//! let mut soc = Soc::<Tainted>::new(SocConfig::default());
+//! let mut soc = Soc::<Tainted>::new(Soc::<Tainted>::builder().build());
 //! soc.load_program(&program);
 //! assert_eq!(soc.run(10_000), SocExit::Break);
 //! assert_eq!(soc.uart().borrow().output_string(), "ok");
@@ -32,14 +32,17 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod builder;
 mod bus;
 pub mod map;
 mod soc;
 pub mod trace;
 
+pub use builder::SocBuilder;
 pub use bus::SocBus;
 pub use soc::{Soc, SocConfig, SocExit};
 pub use trace::TraceRecord;
+pub use vpdift_rv32::ExecMode;
 
 /// Convenience alias: the original (untracked) virtual prototype.
 pub type PlainSoc = Soc<vpdift_rv32::Plain>;

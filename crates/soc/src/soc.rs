@@ -11,9 +11,10 @@ use vpdift_periph::{
     AesEngine, CanChannel, CanController, CanHostEndpoint, Clint, Dma, IrqLine, Plic, Ram, Sensor,
     TaintDebug, Terminal, Uart, Watchdog,
 };
-use vpdift_rv32::{Cpu, Step, TaintMode, Word};
+use vpdift_rv32::{BlockCache, CacheStats, Cpu, ExecMode, Step, TaintMode, Word};
 use vpdift_tlm::{Router, SharedFaultHook, SharedTarget};
 
+use crate::builder::SocBuilder;
 use crate::bus::SocBus;
 use crate::map;
 
@@ -35,6 +36,9 @@ pub struct SocConfig {
     pub insn_time: SimTime,
     /// Whether the sensor's periodic generation thread runs.
     pub sensor_thread: bool,
+    /// Which execution engine drives the CPU (interpreter or predecoded
+    /// block cache).
+    pub exec: ExecMode,
 }
 
 impl Default for SocConfig {
@@ -47,14 +51,20 @@ impl Default for SocConfig {
             quantum: 1024,
             insn_time: SimTime::from_ns(10), // 100 MIPS guest clock
             sensor_thread: true,
+            exec: ExecMode::Interp,
         }
     }
 }
 
 impl SocConfig {
+    /// The canonical way to assemble a configuration — see [`SocBuilder`].
+    pub fn builder() -> SocBuilder {
+        SocBuilder::new()
+    }
+
     /// Configuration with a specific policy, defaults elsewhere.
     pub fn with_policy(policy: SecurityPolicy) -> Self {
-        SocConfig { policy, ..Self::default() }
+        SocBuilder::new().policy(policy).build()
     }
 }
 
@@ -109,6 +119,7 @@ pub struct Soc<M: TaintMode, S: ObsSink = NullSink> {
     kernel: Kernel,
     cpu: Cpu<M, S>,
     bus: SocBus<M>,
+    exec: EngineKind,
     engine: SharedEngine,
     obs: Rc<RefCell<S>>,
     /// Quanta since the last taint-spread sample (see [`SPREAD_PERIOD`]).
@@ -130,10 +141,23 @@ pub struct Soc<M: TaintMode, S: ObsSink = NullSink> {
 /// Taint-spread is sampled (an O(ram) scan) every this many quanta.
 const SPREAD_PERIOD: u32 = 64;
 
+/// The execution engine actually driving [`Soc::run`].
+enum EngineKind {
+    Interp,
+    Block(Box<BlockCache>),
+}
+
 impl<M: TaintMode, S: ObsSink + Default> Soc<M, S> {
     /// Builds the VP from `config`.
     pub fn new(config: SocConfig) -> Self {
         Self::with_obs(config, Rc::new(RefCell::new(S::default())))
+    }
+
+    /// The canonical configuration entry point:
+    /// `Soc::<Tainted>::builder().policy(p).build()` yields the
+    /// [`SocConfig`] passed to [`Soc::new`].
+    pub fn builder() -> SocBuilder {
+        SocBuilder::new()
     }
 }
 
@@ -267,7 +291,22 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
         if M::TRACKING {
             cpu.set_engine(engine.clone());
             cpu.set_exec_clearance(policy.exec());
+            // External tag sources writing straight into RAM (host
+            // classification, tagged DMA payloads, tag-bit faults) arm the
+            // engine's census so a block cache leaves its idle fast path.
+            ram.borrow_mut().set_census(engine.borrow().census().clone());
         }
+
+        let exec = match config.exec {
+            ExecMode::Interp => EngineKind::Interp,
+            ExecMode::BlockCache => {
+                let mut bc = BlockCache::new();
+                if M::TRACKING {
+                    bc.set_census(engine.borrow().census().clone());
+                }
+                EngineKind::Block(Box::new(bc))
+            }
+        };
 
         let mut kernel = Kernel::new();
         if config.sensor_thread {
@@ -279,6 +318,7 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
             kernel,
             cpu,
             bus,
+            exec,
             engine,
             obs,
             quanta_since_spread: 0,
@@ -351,6 +391,16 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
             if M::TRACKING {
                 obs.taint_spread(&self.ram.borrow().atom_spread());
             }
+            if let EngineKind::Block(bc) = &self.exec {
+                let st = bc.stats();
+                obs.event(&ObsEvent::EngineCache {
+                    hits: st.hits,
+                    misses: st.misses,
+                    invalidations: st.invalidations,
+                    flushes: st.flushes,
+                    idle_steps: st.idle_steps,
+                });
+            }
         }
         exit
     }
@@ -370,7 +420,14 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
             let mut waiting = false;
             let mut exit = None;
             for _ in 0..quantum {
-                match self.cpu.step(&mut self.bus) {
+                // Engine dispatch happens per step, inside the quantum:
+                // interrupt-line resampling, watchdog and time accounting
+                // below stay identical between engines.
+                let step = match &mut self.exec {
+                    EngineKind::Interp => self.cpu.step(&mut self.bus),
+                    EngineKind::Block(bc) => bc.step(&mut self.cpu, &mut self.bus),
+                };
+                match step {
                     Ok(Step::Executed) => stepped += 1,
                     Ok(Step::Break) => {
                         stepped += 1;
@@ -571,6 +628,23 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
     /// Removes the system-bus fault hook.
     pub fn clear_mmio_fault(&mut self) {
         self.bus.clear_mmio_fault();
+    }
+
+    /// Block-cache counters when the SoC runs on the
+    /// [`ExecMode::BlockCache`] engine; `None` under the interpreter.
+    pub fn engine_stats(&self) -> Option<CacheStats> {
+        match &self.exec {
+            EngineKind::Interp => None,
+            EngineKind::Block(bc) => Some(bc.stats()),
+        }
+    }
+
+    /// Digest of the full architectural state — CPU (pc, registers, CSRs,
+    /// tags) and RAM (data + tags). Two runs of the same program under
+    /// different execution engines must agree on this bit-for-bit; the
+    /// differential harness asserts exactly that.
+    pub fn state_digest(&self) -> u64 {
+        self.cpu.state_digest() ^ self.ram.borrow().digest().rotate_left(17)
     }
 
     /// The build configuration.

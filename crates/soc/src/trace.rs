@@ -100,7 +100,6 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::soc::SocConfig;
     use vpdift_asm::{Asm, Reg};
     use vpdift_core::{AddrRange, SecurityPolicy};
     use vpdift_rv32::Tainted;
@@ -117,8 +116,7 @@ mod tests {
         a.ebreak();
         let prog = a.assemble().unwrap();
 
-        let mut cfg = SocConfig::with_policy(policy);
-        cfg.sensor_thread = false;
+        let cfg = Soc::<Tainted>::builder().policy(policy).sensor_thread(false).build();
         let mut soc = Soc::<Tainted>::new(cfg);
         soc.load_program(&prog);
 
@@ -139,7 +137,7 @@ mod tests {
         a.nop();
         a.ebreak();
         let prog = a.assemble().unwrap();
-        let cfg = SocConfig { sensor_thread: false, ..Default::default() };
+        let cfg = Soc::<Tainted>::builder().sensor_thread(false).build();
         let mut soc = Soc::<Tainted>::new(cfg);
         soc.load_program(&prog);
         soc.ram().borrow_mut().classify(0, 4, Tag::atom(2));
@@ -157,7 +155,7 @@ mod tests {
 
     #[test]
     fn disassemble_handles_compressed_and_data() {
-        let cfg = SocConfig { sensor_thread: false, ..Default::default() };
+        let cfg = Soc::<Tainted>::builder().sensor_thread(false).build();
         let soc = Soc::<Tainted>::new(cfg);
         // c.li a0, 5 at 0; garbage word at 4.
         soc.ram().borrow_mut().load_image(0, &0x4515u16.to_le_bytes());

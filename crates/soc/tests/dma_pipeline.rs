@@ -6,7 +6,7 @@
 use vpdift_asm::{Asm, Reg};
 use vpdift_core::{SecurityPolicy, Tag, ViolationKind};
 use vpdift_rv32::Tainted;
-use vpdift_soc::{map, Soc, SocConfig, SocExit};
+use vpdift_soc::{map, Soc, SocBuilder, SocExit};
 
 use Reg::*;
 
@@ -55,8 +55,7 @@ fn soc_with(sensor_tag: Tag, can_clearance: Tag) -> Soc<Tainted> {
         .source("sensor.data", sensor_tag)
         .sink("can.tx", can_clearance)
         .build();
-    let mut cfg = SocConfig::with_policy(policy);
-    cfg.sensor_thread = false;
+    let cfg = SocBuilder::new().policy(policy).sensor_thread(false).build();
     let mut soc = Soc::<Tainted>::new(cfg);
     soc.load_program(&pipeline_program());
     soc.sensor().borrow_mut().generate_frame();

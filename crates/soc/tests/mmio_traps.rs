@@ -22,7 +22,7 @@
 use proptest::prelude::*;
 use vpdift_asm::{csr, Asm, Reg};
 use vpdift_rv32::{Plain, TaintMode, Tainted, Word};
-use vpdift_soc::{map, Soc, SocConfig, SocExit};
+use vpdift_soc::{map, Soc, SocBuilder, SocExit};
 
 /// Marker the main path writes to `a0` when the access did *not* trap.
 const NO_TRAP: u32 = 0x600D;
@@ -60,7 +60,7 @@ fn run_access<M: TaintMode>(addr: u32, size: u32, store: bool) -> AccessOutcome 
     let prog = a.assemble().expect("access probe assembles");
     let access_pc = prog.symbol("access").expect("access label");
 
-    let cfg = SocConfig { sensor_thread: false, ..Default::default() };
+    let cfg = SocBuilder::new().sensor_thread(false).build();
     let mut soc = Soc::<M>::new(cfg);
     soc.load_program(&prog);
     let exit = soc.run(10_000);
@@ -189,7 +189,7 @@ fn dma_burst_across_mapping_end_degrades_gracefully() {
     let prog = a.assemble().expect("dma probe assembles");
     let go_pc = prog.symbol("go").expect("go label");
 
-    let cfg = SocConfig { sensor_thread: false, ..Default::default() };
+    let cfg = SocBuilder::new().sensor_thread(false).build();
     let mut soc = Soc::<Tainted>::new(cfg);
     soc.load_program(&prog);
     let exit = soc.run(10_000);

@@ -5,7 +5,7 @@ use vpdift_asm::{csr, Asm, Reg};
 use vpdift_core::{EnforceMode, SecurityPolicy, Tag, ViolationKind};
 use vpdift_periph::can::CanFrame;
 use vpdift_rv32::{Plain, Tainted, Word};
-use vpdift_soc::{map, Soc, SocConfig, SocExit};
+use vpdift_soc::{map, Soc, SocBuilder, SocExit};
 
 use Reg::*;
 
@@ -35,7 +35,7 @@ fn uart_hello_from_guest() {
         a.label("msg");
         a.asciiz("hello, vp");
     });
-    let mut soc = Soc::<Plain>::new(SocConfig::default());
+    let mut soc = Soc::<Plain>::new(SocBuilder::new().build());
     soc.load_program(&prog);
     assert_eq!(soc.run(100_000), SocExit::Break);
     assert_eq!(soc.uart().borrow().output_string(), "hello, vp");
@@ -60,7 +60,7 @@ fn terminal_echo_classifies_input() {
         a.label("end");
         a.ebreak();
     });
-    let mut soc = Soc::<Tainted>::new(SocConfig::with_policy(policy));
+    let mut soc = Soc::<Tainted>::new(SocBuilder::new().policy(policy).build());
     soc.load_program(&prog);
     soc.terminal().borrow_mut().feed(b"abc");
     assert_eq!(soc.run(100_000), SocExit::Break);
@@ -82,7 +82,7 @@ fn secret_memory_leak_to_uart_is_stopped() {
         a.sw(T2, 0, T1); // leaks key byte 0
         a.ebreak();
     });
-    let mut soc = Soc::<Tainted>::new(SocConfig::with_policy(policy));
+    let mut soc = Soc::<Tainted>::new(SocBuilder::new().policy(policy).build());
     soc.load_program(&prog);
     match soc.run(100_000) {
         SocExit::Violation(v) => {
@@ -108,8 +108,7 @@ fn record_mode_collects_violations_and_finishes() {
         a.sw(T2, 0, T1);
         a.ebreak();
     });
-    let mut cfg = SocConfig::with_policy(policy);
-    cfg.enforce = EnforceMode::Record;
+    let cfg = SocBuilder::new().policy(policy).enforce(EnforceMode::Record).build();
     let mut soc = Soc::<Tainted>::new(cfg);
     soc.load_program(&prog);
     assert_eq!(soc.run(100_000), SocExit::Break);
@@ -144,7 +143,7 @@ fn sensor_interrupt_drives_handler() {
         a.lbu(A0, 0, T0);
         a.mret();
     });
-    let mut soc = Soc::<Tainted>::new(SocConfig::default());
+    let mut soc = Soc::<Tainted>::new(SocBuilder::new().build());
     soc.load_program(&prog);
     assert_eq!(soc.run(1_000_000), SocExit::Break);
     assert_eq!(soc.cpu().reg(A1).val(), map::IRQ_SENSOR, "claimed the sensor source");
@@ -162,7 +161,7 @@ fn sensor_data_tag_flows_into_software() {
         a.lbu(A0, 0, T0);
         a.ebreak();
     });
-    let mut soc = Soc::<Tainted>::new(SocConfig::with_policy(policy));
+    let mut soc = Soc::<Tainted>::new(SocBuilder::new().policy(policy).build());
     soc.load_program(&prog);
     soc.sensor().borrow_mut().generate_frame();
     assert_eq!(soc.run(1000), SocExit::Break);
@@ -192,7 +191,7 @@ fn timer_interrupt_via_clint() {
         a.csrr(A0, csr::MCAUSE);
         a.ebreak();
     });
-    let mut soc = Soc::<Plain>::new(SocConfig::default());
+    let mut soc = Soc::<Plain>::new(SocBuilder::new().build());
     soc.load_program(&prog);
     assert_eq!(soc.run(1_000_000), SocExit::Break);
     assert_eq!(soc.cpu().reg(A0).val(), 0x8000_0007, "machine timer interrupt taken");
@@ -230,7 +229,7 @@ fn can_round_trip_with_host() {
         a.sw(T5, 0x34, T0); // RX_POP
         a.ebreak();
     });
-    let mut soc = Soc::<Tainted>::new(SocConfig::with_policy(policy));
+    let mut soc = Soc::<Tainted>::new(SocBuilder::new().policy(policy).build());
     soc.load_program(&prog);
     soc.can_host().send(CanFrame::new(0x42, &[10, 20, 30]));
     assert_eq!(soc.run(1_000_000), SocExit::Break);
@@ -271,7 +270,7 @@ fn aes_encrypt_from_guest_declassifies() {
         a.sw(A0, 0, T6);
         a.ebreak();
     });
-    let mut soc = Soc::<Tainted>::new(SocConfig::with_policy(policy));
+    let mut soc = Soc::<Tainted>::new(SocBuilder::new().policy(policy).build());
     soc.load_program(&prog);
     soc.ram().borrow_mut().load_image(0x2000, &[0x2B; 16]);
     // classification already applied by load_program; re-apply since we
@@ -292,7 +291,7 @@ fn aes_encrypt_from_guest_declassifies() {
         .classify_region("key", vpdift_core::AddrRange::new(0x2000, 16), SECRET)
         .sink("uart.tx", UNTRUSTED)
         .build();
-    let mut soc = Soc::<Tainted>::new(SocConfig::with_policy(policy));
+    let mut soc = Soc::<Tainted>::new(SocBuilder::new().policy(policy).build());
     soc.load_program(&leak);
     soc.ram().borrow_mut().classify(0x2000, 16, SECRET);
     assert!(matches!(soc.run(10_000), SocExit::Violation(_)));
@@ -318,7 +317,7 @@ fn dma_copy_from_guest_preserves_taint() {
         a.lbu(A0, 0, T2);
         a.ebreak();
     });
-    let mut soc = Soc::<Tainted>::new(SocConfig::with_policy(policy));
+    let mut soc = Soc::<Tainted>::new(SocBuilder::new().policy(policy).build());
     soc.load_program(&prog);
     soc.ram().borrow_mut().load_image(0x3000, &[9; 8]);
     soc.ram().borrow_mut().classify(0x3000, 8, SECRET);
@@ -342,7 +341,7 @@ fn store_clearance_protects_pin_region() {
         a.sb(T1, 0, T2); // overwrite PIN
         a.ebreak();
     });
-    let mut soc = Soc::<Tainted>::new(SocConfig::with_policy(policy));
+    let mut soc = Soc::<Tainted>::new(SocBuilder::new().policy(policy).build());
     soc.load_program(&prog);
     soc.terminal().borrow_mut().feed(b"X");
     match soc.run(10_000) {
@@ -363,7 +362,7 @@ fn plain_soc_runs_same_program_unchecked() {
         a.sw(T2, 0, T1);
         a.ebreak();
     });
-    let mut soc = Soc::<Plain>::new(SocConfig::default());
+    let mut soc = Soc::<Plain>::new(SocBuilder::new().build());
     soc.load_program(&prog);
     assert_eq!(soc.run(10_000), SocExit::Break);
 }
@@ -374,7 +373,7 @@ fn instr_limit_and_idle_exits() {
         a.label("spin");
         a.j("spin");
     });
-    let mut soc = Soc::<Plain>::new(SocConfig::default());
+    let mut soc = Soc::<Plain>::new(SocBuilder::new().build());
     soc.load_program(&spin);
     assert_eq!(soc.run(1000), SocExit::InstrLimit);
     assert_eq!(soc.instret(), 1000);
@@ -384,7 +383,7 @@ fn instr_limit_and_idle_exits() {
         a.wfi();
         a.ebreak();
     });
-    let cfg = SocConfig { sensor_thread: false, ..Default::default() };
+    let cfg = SocBuilder::new().sensor_thread(false).build();
     let mut soc = Soc::<Plain>::new(cfg);
     soc.load_program(&sleep);
     assert_eq!(soc.run(1000), SocExit::Idle);
@@ -398,7 +397,7 @@ fn simulated_time_advances_with_instructions() {
         }
         a.ebreak();
     });
-    let mut soc = Soc::<Plain>::new(SocConfig::default());
+    let mut soc = Soc::<Plain>::new(SocBuilder::new().build());
     soc.load_program(&prog);
     assert_eq!(soc.run(10_000), SocExit::Break);
     // 101 instructions at 10 ns each ≈ 1.01 µs (quantum-rounded).

@@ -12,7 +12,7 @@ use proptest::prelude::*;
 use vpdift_asm::{Asm, Reg};
 use vpdift_core::{AddrRange, EnforceMode, ExecClearance, SecurityPolicy, Tag};
 use vpdift_rv32::{Plain, TaintMode, Tainted, Word};
-use vpdift_soc::{Soc, SocConfig, SocExit};
+use vpdift_soc::{Soc, SocBuilder, SocExit};
 
 const WORK_REGS: [Reg; 8] =
     [Reg::T0, Reg::T1, Reg::T2, Reg::A0, Reg::A1, Reg::A2, Reg::A3, Reg::A4];
@@ -91,7 +91,7 @@ fn build_program(ops: &[Op]) -> Vec<u8> {
 }
 
 fn run_soc<M: TaintMode>(image: &[u8]) -> (SocExit, Vec<u32>, u64) {
-    let cfg = SocConfig { sensor_thread: false, ..Default::default() };
+    let cfg = SocBuilder::new().sensor_thread(false).build();
     let mut soc = Soc::<M>::new(cfg);
     soc.ram().borrow_mut().load_image(0, image);
     soc.cpu_mut().reset(0);
@@ -120,7 +120,7 @@ proptest! {
     /// the guest must end in a bounded architectural state.
     #[test]
     fn random_code_never_panics_the_host(bytes in prop::collection::vec(any::<u8>(), 16..256)) {
-        let cfg = SocConfig { sensor_thread: false, ..Default::default() };
+        let cfg = SocBuilder::new().sensor_thread(false).build();
         let mut soc = Soc::<Tainted>::new(cfg);
         soc.ram().borrow_mut().load_image(0, &bytes);
         soc.cpu_mut().reset(0);
@@ -148,8 +148,7 @@ proptest! {
             .sink("uart.tx", Tag::EMPTY)
             .exec_clearance(ExecClearance::UNCHECKED)
             .build();
-        let mut cfg = SocConfig::with_policy(policy);
-        cfg.sensor_thread = false;
+        let cfg = SocBuilder::new().policy(policy).sensor_thread(false).build();
         let mut soc = Soc::<Tainted>::new(cfg);
         soc.ram().borrow_mut().load_image(0, &bytes);
         // Classification rules are applied by load_program; emulate here.
@@ -185,7 +184,7 @@ fn taint_survives_copy_chains() {
         }
         a.ebreak();
         let prog = a.assemble().unwrap();
-        let cfg = SocConfig { sensor_thread: false, ..Default::default() };
+        let cfg = SocBuilder::new().sensor_thread(false).build();
         let mut soc = Soc::<Tainted>::new(cfg);
         soc.load_program(&prog);
         let tag = Tag::from_bits(rng.gen_range(1..16));
@@ -219,15 +218,14 @@ fn record_and_enforce_agree_on_first_violation() {
     a.ebreak();
     let prog = a.assemble().unwrap();
 
-    let mut enforce = Soc::<Tainted>::new(SocConfig::with_policy(mk_policy()));
+    let mut enforce = Soc::<Tainted>::new(SocBuilder::new().policy(mk_policy()).build());
     enforce.load_program(&prog);
     let enforced = match enforce.run(1000) {
         SocExit::Violation(v) => v,
         other => panic!("{other:?}"),
     };
 
-    let mut cfg = SocConfig::with_policy(mk_policy());
-    cfg.enforce = EnforceMode::Record;
+    let cfg = SocBuilder::new().policy(mk_policy()).enforce(EnforceMode::Record).build();
     let mut record = Soc::<Tainted>::new(cfg);
     record.load_program(&prog);
     assert_eq!(record.run(1000), SocExit::Break);

@@ -4,7 +4,7 @@
 use vpdift_asm::{Asm, Reg};
 use vpdift_core::{AddrRange, EnforceMode, SecurityPolicy, Tag, ViolationKind};
 use vpdift_rv32::{Tainted, Word};
-use vpdift_soc::{map, Soc, SocConfig, SocExit};
+use vpdift_soc::{map, Soc, SocBuilder, SocExit};
 
 use Reg::*;
 
@@ -29,8 +29,7 @@ fn guest_reads_its_own_tags() {
         a.ebreak();
         a.assemble().unwrap()
     };
-    let mut cfg = SocConfig::with_policy(policy);
-    cfg.sensor_thread = false;
+    let cfg = SocBuilder::new().policy(policy).sensor_thread(false).build();
     let mut soc = Soc::<Tainted>::new(cfg);
     soc.load_program(&prog);
     assert_eq!(soc.run(10_000), SocExit::Break);
@@ -58,8 +57,7 @@ fn guest_taint_assertions_catch_policy_mistakes() {
     let good = SecurityPolicy::builder("good")
         .classify_region("key", AddrRange::new(0x2000, 4), SECRET)
         .build();
-    let mut cfg = SocConfig::with_policy(good);
-    cfg.sensor_thread = false;
+    let cfg = SocBuilder::new().policy(good).sensor_thread(false).build();
     let mut soc = Soc::<Tainted>::new(cfg);
     soc.load_program(&prog);
     assert_eq!(soc.run(10_000), SocExit::Break);
@@ -67,9 +65,8 @@ fn guest_taint_assertions_catch_policy_mistakes() {
 
     // The buggy policy: classification forgotten.
     let buggy = SecurityPolicy::builder("buggy").build();
-    let mut cfg = SocConfig::with_policy(buggy);
-    cfg.enforce = EnforceMode::Record;
-    cfg.sensor_thread = false;
+    let cfg =
+        SocBuilder::new().policy(buggy).enforce(EnforceMode::Record).sensor_thread(false).build();
     let mut soc = Soc::<Tainted>::new(cfg);
     soc.load_program(&prog);
     assert_eq!(soc.run(10_000), SocExit::Break);
@@ -95,8 +92,7 @@ fn enforced_assertion_stops_the_run() {
         a.ebreak();
         a.assemble().unwrap()
     };
-    let mut cfg = SocConfig::with_policy(SecurityPolicy::permissive());
-    cfg.sensor_thread = false;
+    let cfg = SocBuilder::new().policy(SecurityPolicy::permissive()).sensor_thread(false).build();
     let mut soc = Soc::<Tainted>::new(cfg);
     soc.load_program(&prog);
     assert!(matches!(soc.run(10_000), SocExit::Violation(_)));

@@ -12,8 +12,8 @@
 
 use taintvp::asm::{Asm, Reg};
 use taintvp::core::{EnforceMode, SecurityPolicy, Tag};
+use taintvp::prelude::{map, Soc, SocBuilder, SocExit};
 use taintvp::rv32::Tainted;
-use taintvp::soc::{map, Soc, SocConfig, SocExit};
 
 use Reg::*;
 
@@ -55,9 +55,7 @@ fn firmware(publish_raw_sample: bool) -> taintvp::asm::Program {
 }
 
 fn soc(policy: SecurityPolicy, enforce: EnforceMode, raw: bool) -> Soc<Tainted> {
-    let mut cfg = SocConfig::with_policy(policy);
-    cfg.enforce = enforce;
-    cfg.sensor_thread = false;
+    let cfg = SocBuilder::new().policy(policy).enforce(enforce).sensor_thread(false).build();
     let mut s = Soc::<Tainted>::new(cfg);
     s.load_program(&firmware(raw));
     s.sensor().borrow_mut().generate_frame();

@@ -6,8 +6,8 @@
 
 use taintvp::asm::{Asm, Reg};
 use taintvp::core::{AddrRange, SecurityPolicy, Tag};
+use taintvp::prelude::{map, Soc, SocBuilder, SocExit};
 use taintvp::rv32::Tainted;
-use taintvp::soc::{map, Soc, SocConfig, SocExit};
 
 fn main() {
     // 1. A policy: the word at 0x2000 is secret; the UART only accepts
@@ -33,7 +33,7 @@ fn main() {
     let program = a.assemble().expect("assembles");
 
     // 3. Run on the DIFT VP+.
-    let mut soc = Soc::<Tainted>::new(SocConfig::with_policy(policy));
+    let mut soc = Soc::<Tainted>::new(SocBuilder::new().policy(policy).build());
     soc.load_program(&program);
     soc.ram().borrow_mut().load_image(0x2000, &0xC0FF_EE00u32.to_le_bytes());
     soc.ram().borrow_mut().classify(0x2000, 4, secret);

@@ -7,14 +7,14 @@
 
 use taintvp::core::{SecurityPolicy, Tag};
 use taintvp::firmware::sensor_app;
+use taintvp::prelude::{Soc, SocBuilder, SocExit};
 use taintvp::rv32::Tainted;
-use taintvp::soc::{Soc, SocConfig, SocExit};
 
 fn main() {
     let workload = sensor_app::build(3);
 
     // Public sensor data: the stream flows freely.
-    let mut soc = Soc::<Tainted>::new(SocConfig::default());
+    let mut soc = Soc::<Tainted>::new(SocBuilder::new().build());
     soc.load_program(&workload.program);
     let exit = soc.run(workload.max_insns);
     println!(
@@ -31,8 +31,7 @@ fn main() {
         .source("sensor.data", secret)
         .sink("uart.tx", Tag::EMPTY)
         .build();
-    let mut cfg = SocConfig::with_policy(policy);
-    cfg.sensor_thread = true;
+    let cfg = SocBuilder::new().policy(policy).sensor_thread(true).build();
     let mut soc = Soc::<Tainted>::new(cfg);
     soc.load_program(&workload.program);
     match soc.run(workload.max_insns) {

@@ -6,6 +6,9 @@
 //!
 //!   --policy <file>       textual security policy (see vpdift_core::textpolicy)
 //!   --plain               run on the original VP (no taint tracking)
+//!   --engine <name>       execution engine: `interp` (default) or `block`
+//!                         (predecoded basic-block cache with taint-idle
+//!                         fast path)
 //!   --record              log violations instead of stopping at the first
 //!   --input <string>      bytes fed to the terminal (supports \n, \xNN)
 //!   --max-insns <n>       instruction budget (default 100M)
@@ -64,7 +67,7 @@ use taintvp::faults::{
 use taintvp::obs::export::{write_chrome_trace, write_jsonl};
 use taintvp::obs::{NullSink, ObsSink, Recorder, SymbolMap};
 use taintvp::rv32::{Plain, TaintMode, Tainted};
-use taintvp::soc::{Soc, SocConfig, SocExit};
+use taintvp::soc::{ExecMode, Soc, SocExit};
 
 /// Ring capacity when observability is on but `--flight-recorder` is not.
 const DEFAULT_RING: usize = 32;
@@ -77,6 +80,7 @@ struct Options {
     program: String,
     policy: Option<String>,
     plain: bool,
+    engine: ExecMode,
     record: bool,
     input: Vec<u8>,
     max_insns: u64,
@@ -120,7 +124,7 @@ impl Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: taintvp-run <program.s> [--policy file] [--plain] [--record] \
+        "usage: taintvp-run <program.s> [--policy file] [--plain] [--engine interp|block] [--record] \
          [--input str] [--max-insns n] [--trace n] [--dump-uart-hex] \
          [--metrics] [--flight-recorder n] [--events-out file] [--chrome-trace file] \
          [--profile] [--folded-out file] [--explain] [--flow-dot file] [--flow-json file] \
@@ -176,6 +180,7 @@ fn parse_args() -> Result<Options, String> {
         program: String::new(),
         policy: None,
         plain: false,
+        engine: ExecMode::Interp,
         record: false,
         input: Vec::new(),
         max_insns: 100_000_000,
@@ -198,6 +203,10 @@ fn parse_args() -> Result<Options, String> {
         match arg.as_str() {
             "--policy" => opts.policy = Some(args.next().ok_or("--policy needs a file")?),
             "--plain" => opts.plain = true,
+            "--engine" => {
+                let s = args.next().ok_or("--engine needs a name")?;
+                opts.engine = s.parse().map_err(|e: String| e)?;
+            }
             "--record" => opts.record = true,
             "--input" => {
                 let s = args.next().ok_or("--input needs a string")?;
@@ -313,11 +322,11 @@ fn run_vp<M: TaintMode, S: ObsSink>(
     obs: Rc<RefCell<S>>,
     plan: &[PlannedFault],
 ) -> (SocExit, Soc<M, S>, Vec<taintvp::faults::FaultRecord>) {
-    let mut cfg = SocConfig::with_policy(policy);
+    let mut builder = Soc::<M>::builder().policy(policy).engine(opts.engine);
     if opts.record {
-        cfg.enforce = EnforceMode::Record;
+        builder = builder.enforce(EnforceMode::Record);
     }
-    let mut soc: Soc<M, S> = Soc::with_obs(cfg, obs);
+    let mut soc: Soc<M, S> = Soc::with_obs(builder.build(), obs);
     soc.load_program(program);
     soc.terminal().borrow_mut().feed(&opts.input);
 
@@ -368,6 +377,17 @@ fn report<M: TaintMode, S: ObsSink>(
         soc.now(),
         engine.violations().len()
     );
+    if let Some(stats) = soc.engine_stats() {
+        eprintln!(
+            "== block cache: {} hits, {} misses, {} invalidations, {} flushes, {} idle / {} checked steps",
+            stats.hits,
+            stats.misses,
+            stats.invalidations,
+            stats.flushes,
+            stats.idle_steps,
+            stats.checked_steps
+        );
+    }
     code
 }
 
@@ -492,6 +512,7 @@ fn run_cli_campaign<M: TaintMode>(
             program: opts.program.clone(),
             policy: opts.policy.clone(),
             plain: opts.plain,
+            engine: opts.engine,
             record: opts.record,
             input: opts.input.clone(),
             max_insns: budget,

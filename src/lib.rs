@@ -17,6 +17,8 @@
 //! assert_eq!(c.tag(), Tag::from_bits(0b11)); // LUB of both operand tags
 //! ```
 
+pub mod prelude;
+
 pub use vpdift_asm as asm;
 pub use vpdift_attacks as attacks;
 pub use vpdift_core as core;

@@ -1,0 +1,43 @@
+//! The stable facade: one `use taintvp::prelude::*;` brings in everything
+//! a typical embedding needs — SoC construction, taint primitives, policy
+//! authoring, observability sinks and the fault-campaign entry points —
+//! without memorising which workspace crate owns what.
+//!
+//! Items here are the supported API surface; reach into the per-subsystem
+//! modules (`taintvp::rv32`, `taintvp::obs`, …) only for internals that
+//! may move between releases.
+//!
+//! ```
+//! use taintvp::prelude::*;
+//!
+//! let cfg = Soc::<Tainted>::builder()
+//!     .policy(SecurityPolicy::permissive())
+//!     .engine(ExecMode::BlockCache)
+//!     .build();
+//! let soc = Soc::<Tainted>::new(cfg);
+//! assert_eq!(soc.instret(), 0);
+//! ```
+
+// SoC construction and execution.
+pub use vpdift_soc::{map, ExecMode, PlainSoc, Soc, SocBuilder, SocConfig, SocExit, TaintedSoc};
+
+// Execution modes of the CPU type parameter.
+pub use vpdift_rv32::{Plain, TaintMode, Tainted};
+
+// Taint primitives and policy authoring.
+pub use vpdift_core::{
+    parse_policy, EnforceMode, SecurityPolicy, SecurityPolicyBuilder, Tag, Taint, Violation,
+    ViolationKind,
+};
+
+// Observability sinks.
+pub use vpdift_obs::{shared_obs, Metrics, NullSink, ObsEvent, ObsSink, Recorder, SharedObs};
+
+// Fault-injection campaigns.
+pub use vpdift_faults::{
+    classify, generate_plan, run_campaign, run_with_faults, CampaignConfig, CampaignReport,
+    FaultKind, Outcome, PlannedFault,
+};
+
+// Guest program authoring.
+pub use vpdift_asm::{Asm, Program, Reg};

@@ -10,8 +10,8 @@ use taintvp::asm::{Asm, Reg};
 use taintvp::core::{AddrRange, SecurityPolicy, Tag, ViolationKind};
 use taintvp::firmware::aes_soft::{emit_aes_data, emit_aes_encrypt};
 use taintvp::firmware::rt::emit_runtime;
+use taintvp::prelude::{map, Soc, SocBuilder, SocExit};
 use taintvp::rv32::Tainted;
-use taintvp::soc::{map, Soc, SocConfig, SocExit};
 
 use Reg::*;
 
@@ -76,8 +76,7 @@ fn hw_crypto_program() -> taintvp::asm::Program {
 }
 
 fn run(prog: &taintvp::asm::Program) -> (SocExit, usize, [u8; 16]) {
-    let mut cfg = SocConfig::with_policy(policy());
-    cfg.sensor_thread = false;
+    let cfg = SocBuilder::new().policy(policy()).sensor_thread(false).build();
     let mut soc = Soc::<Tainted>::new(cfg);
     soc.load_program(prog);
     let key: [u8; 16] = *b"sixteen byte key";
@@ -117,8 +116,7 @@ fn hardware_crypto_declassifies_and_transmits() {
 fn software_and_hardware_compute_the_same_ciphertext() {
     // Run the software path under a permissive policy and compare the
     // full ciphertext with the host model — the guest AES is real AES.
-    let mut cfg = SocConfig::with_policy(SecurityPolicy::permissive());
-    cfg.sensor_thread = false;
+    let cfg = SocBuilder::new().policy(SecurityPolicy::permissive()).sensor_thread(false).build();
     let mut soc = Soc::<Tainted>::new(cfg);
     let prog = soft_crypto_program();
     soc.load_program(&prog);

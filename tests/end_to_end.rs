@@ -3,8 +3,8 @@
 
 use taintvp::asm::{Asm, Reg};
 use taintvp::core::{ifp, AddrRange, EnforceMode, SecurityPolicy, Tag, ViolationKind};
+use taintvp::prelude::{map, Soc, SocBuilder, SocExit};
 use taintvp::rv32::{Plain, Tainted, Word};
-use taintvp::soc::{map, Soc, SocConfig, SocExit};
 
 use Reg::*;
 
@@ -32,7 +32,7 @@ fn secret_laundering_through_arithmetic_is_still_caught() {
     a.ebreak();
     let prog = a.assemble().unwrap();
 
-    let mut soc = Soc::<Tainted>::new(SocConfig::with_policy(policy));
+    let mut soc = Soc::<Tainted>::new(SocBuilder::new().policy(policy).build());
     soc.load_program(&prog);
     match soc.run(10_000) {
         SocExit::Violation(v) => {
@@ -65,7 +65,7 @@ fn compiled_ifp3_tags_work_on_the_soc() {
     a.ebreak();
     let prog = a.assemble().unwrap();
 
-    let mut soc = Soc::<Tainted>::new(SocConfig::with_policy(policy));
+    let mut soc = Soc::<Tainted>::new(SocBuilder::new().policy(policy).build());
     soc.load_program(&prog);
     soc.terminal().borrow_mut().feed(b"x");
     match soc.run(10_000) {
@@ -99,8 +99,7 @@ fn record_mode_full_audit() {
     a.ebreak();
     let prog = a.assemble().unwrap();
 
-    let mut cfg = SocConfig::with_policy(policy);
-    cfg.enforce = EnforceMode::Record;
+    let cfg = SocBuilder::new().policy(policy).enforce(EnforceMode::Record).build();
     let mut soc = Soc::<Tainted>::new(cfg);
     soc.load_program(&prog);
     assert_eq!(soc.run(10_000), SocExit::Break);
@@ -117,13 +116,13 @@ fn vp_and_vp_plus_agree_on_a_nontrivial_program() {
     let w = taintvp::firmware::qsort::build(200, 1);
     let run = |tainted: bool| -> (Vec<u8>, u64) {
         if tainted {
-            let mut soc = Soc::<Tainted>::new(SocConfig::default());
+            let mut soc = Soc::<Tainted>::new(SocBuilder::new().build());
             soc.load_program(&w.program);
             assert_eq!(soc.run(w.max_insns), SocExit::Break);
             let out = soc.uart().borrow().output().to_vec();
             (out, soc.instret())
         } else {
-            let mut soc = Soc::<Plain>::new(SocConfig::default());
+            let mut soc = Soc::<Plain>::new(SocBuilder::new().build());
             soc.load_program(&w.program);
             assert_eq!(soc.run(w.max_insns), SocExit::Break);
             let out = soc.uart().borrow().output().to_vec();
@@ -167,13 +166,13 @@ fn declassification_end_to_end() {
         .sink("uart.tx", Tag::EMPTY);
 
     // Without the grant: ciphertext keeps the key's tag and is blocked.
-    let mut soc = Soc::<Tainted>::new(SocConfig::with_policy(base.clone().build()));
+    let mut soc = Soc::<Tainted>::new(SocBuilder::new().policy(base.clone().build()).build());
     soc.load_program(&build_prog());
     assert!(matches!(soc.run(100_000), SocExit::Violation(_)));
 
     // With the grant: ciphertext is declassified to bottom and flows out.
     let policy = base.allow_declassify("aes").build();
-    let mut soc = Soc::<Tainted>::new(SocConfig::with_policy(policy));
+    let mut soc = Soc::<Tainted>::new(SocBuilder::new().policy(policy).build());
     soc.load_program(&build_prog());
     assert_eq!(soc.run(100_000), SocExit::Break);
     assert_eq!(soc.uart().borrow().output().len(), 1);
@@ -207,7 +206,7 @@ fn tags_survive_interrupt_driven_flows() {
         a.mret();
         a.assemble().unwrap()
     };
-    let mut soc = Soc::<Tainted>::new(SocConfig::with_policy(policy));
+    let mut soc = Soc::<Tainted>::new(SocBuilder::new().policy(policy).build());
     soc.load_program(&prog);
     assert_eq!(soc.run(1_000_000), SocExit::Break);
     assert_eq!(Word::tag(soc.cpu().reg(A0)), secret);

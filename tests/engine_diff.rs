@@ -1,0 +1,156 @@
+//! Differential harness: the predecoded block-cache engine must be
+//! observationally identical to the reference interpreter.
+//!
+//! Every scenario runs twice — `ExecMode::Interp` and
+//! `ExecMode::BlockCache` — and the harness asserts bit-identical
+//! architectural state (register/CSR/RAM digest), the same `SocExit`, the
+//! same violation reports, the same UART bytes and the same instruction
+//! count. Covered: the full Wilander-Kamkar attack suite (malicious and
+//! benign twins), the §VI-A immobilizer scenarios and protocol sessions,
+//! the Table II plain/tainted workloads, and a self-modifying-code
+//! regression where injected code is overwritten *after* being cached.
+
+use taintvp::asm::{Asm, Reg};
+use taintvp::attacks::{all_attacks, run_attack_captured};
+use taintvp::firmware::table2_workloads;
+use taintvp::immo::{run_scenario_with, run_session_with, PolicyKind, Scenario, Variant};
+use taintvp::prelude::{ExecMode, Plain, Soc, SocExit, TaintMode, Tainted};
+
+/// Runs one SoC program under both engines and returns
+/// `(exit, uart, instret, digest)` per engine for comparison.
+fn run_both<M: TaintMode>(
+    prog: &taintvp::asm::Program,
+    budget: u64,
+) -> [(SocExit, Vec<u8>, u64, u64); 2] {
+    [ExecMode::Interp, ExecMode::BlockCache].map(|mode| {
+        let cfg = Soc::<M>::builder().sensor_thread(false).engine(mode).build();
+        let mut soc = Soc::<M>::new(cfg);
+        soc.load_program(prog);
+        let exit = soc.run(budget);
+        let uart = soc.uart().borrow().output().to_vec();
+        (exit, uart, soc.instret(), soc.state_digest())
+    })
+}
+
+#[test]
+fn attack_suite_is_engine_invariant() {
+    for attack in all_attacks() {
+        if attack.form.is_none() {
+            continue;
+        }
+        for benign in [false, true] {
+            let interp = run_attack_captured(&attack, benign, ExecMode::Interp).unwrap();
+            let cached = run_attack_captured(&attack, benign, ExecMode::BlockCache).unwrap();
+            assert_eq!(interp, cached, "attack #{} (benign={benign}): engines disagree", attack.id);
+        }
+    }
+}
+
+#[test]
+fn immobilizer_scenarios_are_engine_invariant() {
+    for s in Scenario::ALL {
+        for per_byte in [false, true] {
+            let interp = run_scenario_with(s, per_byte, ExecMode::Interp);
+            let cached = run_scenario_with(s, per_byte, ExecMode::BlockCache);
+            assert_eq!(interp.detected, cached.detected, "{}: detection differs", s.name());
+            assert_eq!(interp.violation, cached.violation, "{}: violation differs", s.name());
+        }
+    }
+}
+
+#[test]
+fn immobilizer_sessions_are_engine_invariant() {
+    for (variant, kind, rounds, console) in [
+        (Variant::Fixed, PolicyKind::Coarse, 3, b"q".as_slice()),
+        (Variant::Fixed, PolicyKind::PerByte, 2, b"q".as_slice()),
+        (Variant::Vulnerable, PolicyKind::Coarse, 0, b"dq".as_slice()),
+    ] {
+        let interp = run_session_with::<Tainted>(variant, kind, rounds, console, ExecMode::Interp);
+        let cached =
+            run_session_with::<Tainted>(variant, kind, rounds, console, ExecMode::BlockCache);
+        assert_eq!(interp.exit, cached.exit, "exit differs for {variant:?}/{kind:?}");
+        assert_eq!(interp.authentications, cached.authentications);
+        assert_eq!(interp.uart, cached.uart);
+        assert_eq!(interp.instret, cached.instret);
+        assert_eq!(interp.digest, cached.digest, "state digest differs for {variant:?}/{kind:?}");
+    }
+}
+
+#[test]
+fn table2_workloads_are_engine_invariant_on_both_vps() {
+    for w in table2_workloads(1) {
+        if w.needs_sensor {
+            // The sensor thread is timing-driven, not step-driven; covered
+            // by the session tests above. Keep this harness deterministic.
+            continue;
+        }
+        let [pi, pc] = run_both::<Plain>(&w.program, w.max_insns);
+        assert_eq!(pi, pc, "{}: plain VP engines disagree", w.name);
+        let [ti, tc] = run_both::<Tainted>(&w.program, w.max_insns);
+        assert_eq!(ti, tc, "{}: VP+ engines disagree", w.name);
+        assert_eq!(pi.0, SocExit::Break, "{}: workload must complete", w.name);
+    }
+}
+
+/// Self-modifying code at SoC level: a loop body is executed (and thus
+/// cached), then the guest overwrites one of its instructions and runs it
+/// again. The block cache must re-decode and match the interpreter.
+#[test]
+fn smc_overwrite_after_caching_is_engine_invariant() {
+    let mut a = Asm::new(0);
+    a.entry();
+    a.li(Reg::A0, 0);
+    a.li(Reg::S0, 3); // three passes over the patched region
+    a.label("outer");
+    a.label("patch");
+    a.addi(Reg::A0, Reg::A0, 1); // becomes `addi a0, a0, 100` mid-run
+    a.addi(Reg::S0, Reg::S0, -1);
+    a.beqz(Reg::S0, "done");
+    // After the first pass, rewrite the patch instruction.
+    a.la(Reg::T0, "patch");
+    a.li(Reg::T1, 0x0645_0513u32 as i32); // addi a0, a0, 100
+    a.sw(Reg::T1, 0, Reg::T0);
+    a.j("outer");
+    a.label("done");
+    a.ebreak();
+    let prog = a.assemble().expect("smc guest assembles");
+
+    let [pi, pc] = run_both::<Plain>(&prog, 1_000);
+    assert_eq!(pi, pc, "plain VP engines disagree on SMC");
+    let [ti, tc] = run_both::<Tainted>(&prog, 1_000);
+    assert_eq!(ti, tc, "VP+ engines disagree on SMC");
+    assert_eq!(pi.0, SocExit::Break);
+
+    // Semantics check: pass 1 adds 1, passes 2 and 3 add 100 each.
+    let cfg = Soc::<Plain>::builder().sensor_thread(false).engine(ExecMode::BlockCache).build();
+    let mut soc = Soc::<Plain>::new(cfg);
+    soc.load_program(&prog);
+    assert_eq!(soc.run(1_000), SocExit::Break);
+    assert_eq!(soc.cpu().reg(Reg::A0), 201, "patched add must take effect after caching");
+    let stats = soc.engine_stats().expect("block cache stats");
+    assert!(stats.invalidations > 0, "the overwrite must invalidate a cached block");
+}
+
+/// The block cache reports its statistics; on a hot loop nearly every
+/// step is a cache hit, and on the plain VP no taint checks run at all.
+#[test]
+fn block_cache_stats_reflect_hot_loops() {
+    let mut a = Asm::new(0);
+    a.entry();
+    a.li(Reg::T0, 20_000);
+    a.label("spin");
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, "spin");
+    a.ebreak();
+    let prog = a.assemble().unwrap();
+    let cfg = Soc::<Tainted>::builder().sensor_thread(false).engine(ExecMode::BlockCache).build();
+    let mut soc = Soc::<Tainted>::new(cfg);
+    soc.load_program(&prog);
+    assert_eq!(soc.run(100_000), SocExit::Break);
+    let stats = soc.engine_stats().expect("block cache stats");
+    assert!(stats.hits > 10 * stats.misses.max(1), "hot loop must hit the cache");
+    // Nothing classified and no tagged ingress: the whole run stays on the
+    // taint-idle fast path.
+    assert_eq!(stats.checked_steps, 0, "untainted run must not pay for checks");
+    assert!(stats.idle_steps > 0);
+}

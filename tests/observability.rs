@@ -11,8 +11,8 @@ use taintvp::asm::parse_asm;
 use taintvp::core::parse_policy;
 use taintvp::obs::export::{validate_json, write_chrome_trace, write_jsonl};
 use taintvp::obs::{CheckKind, Recorder};
+use taintvp::prelude::{Soc, SocBuilder, SocExit};
 use taintvp::rv32::Tainted;
-use taintvp::soc::{Soc, SocConfig, SocExit};
 
 const LEAK_ASM: &str = "
         li   t0, 0x2000         # the (classified) key
@@ -33,8 +33,7 @@ fn leak_to_violation() -> (Rc<RefCell<Recorder>>, taintvp::core::AtomTable, SocE
     let (policy, atoms) = parse_policy(LEAK_POLICY).expect("policy parses");
     let program = parse_asm(LEAK_ASM, 0).expect("program assembles");
     let rec = Rc::new(RefCell::new(Recorder::new(16).with_event_log()));
-    let mut cfg = SocConfig::with_policy(policy);
-    cfg.sensor_thread = false;
+    let cfg = SocBuilder::new().policy(policy).sensor_thread(false).build();
     let mut soc: Soc<Tainted, Recorder> = Soc::with_obs(cfg, rec.clone());
     soc.load_program(&program);
     let exit = soc.run(1_000);

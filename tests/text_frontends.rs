@@ -3,8 +3,8 @@
 
 use taintvp::asm::parse_asm;
 use taintvp::core::parse_policy;
+use taintvp::prelude::{Soc, SocBuilder, SocExit};
 use taintvp::rv32::Tainted;
-use taintvp::soc::{Soc, SocConfig, SocExit};
 
 const PROGRAM: &str = r#"
 # copy 4 key bytes to the UART
@@ -34,7 +34,7 @@ fn textual_program_and_policy_enforce_together() {
     let (policy, atoms) = parse_policy(POLICY).expect("policy parses");
     assert_eq!(policy.name(), "text-demo");
 
-    let mut soc = Soc::<Tainted>::new(SocConfig::with_policy(policy));
+    let mut soc = Soc::<Tainted>::new(SocBuilder::new().policy(policy).build());
     soc.load_program(&program);
     soc.ram().borrow_mut().load_image(0x2000, b"KEY!");
     soc.ram().borrow_mut().classify(0x2000, 4, atoms.tag("secret").unwrap());
@@ -52,7 +52,7 @@ fn textual_program_and_policy_enforce_together() {
 fn textual_program_runs_clean_without_classification() {
     let program = parse_asm(PROGRAM, 0).expect("program parses");
     let (policy, _) = parse_policy("policy open\nsink uart.tx public\n").unwrap();
-    let mut soc = Soc::<Tainted>::new(SocConfig::with_policy(policy));
+    let mut soc = Soc::<Tainted>::new(SocBuilder::new().policy(policy).build());
     soc.load_program(&program);
     soc.ram().borrow_mut().load_image(0x2000, b"ok!!");
     assert_eq!(soc.run(10_000), SocExit::Break);
