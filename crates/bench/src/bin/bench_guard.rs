@@ -6,10 +6,17 @@
 //!
 //! Usage: `bench_guard [BENCH_iss.json]` (default path: `BENCH_iss.json`).
 //!
+//! Every passing run also appends one compact `taintvp-bench/v1` line to
+//! the committed `BENCH_trajectory.jsonl` (override the path with
+//! `BENCH_TRAJECTORY`), so the perf history accumulates across PRs
+//! instead of living in a single overwritten snapshot.
+//!
 //! The parser is deliberately line-based (one entry object per line, the
 //! shape our criterion shim writes) so the guard needs no JSON dependency.
 
 use std::process::ExitCode;
+
+use vpdift_bench::trajectory;
 
 /// Extracts `"key": value` (a JSON number or string) from an entry line.
 fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
@@ -73,11 +80,27 @@ fn main() -> ExitCode {
     }
 
     if fail {
-        ExitCode::FAILURE
-    } else {
-        println!("bench_guard: ok");
-        ExitCode::SUCCESS
+        return ExitCode::FAILURE;
     }
+
+    // Log this run to the append-only perf trajectory.
+    let tracked = ["vp_plain", "vp_plain_cached", "vp_plus_tainted", "vp_plus_tainted_cached"];
+    let logged: Vec<trajectory::Entry> = tracked
+        .iter()
+        .filter_map(|name| {
+            median_of(&entries, name)
+                .map(|m| trajectory::Entry::new("iss_step_rate", name, "ns/iter", m))
+        })
+        .collect();
+    let line = trajectory::render_line("bench_guard", trajectory::now_unix(), &logged);
+    let traj_path = trajectory::path();
+    match trajectory::append(&traj_path, &line) {
+        Ok(()) => println!("bench_guard: trajectory appended to {traj_path}"),
+        Err(e) => eprintln!("bench_guard: warning: cannot append to {traj_path}: {e}"),
+    }
+
+    println!("bench_guard: ok");
+    ExitCode::SUCCESS
 }
 
 #[cfg(test)]

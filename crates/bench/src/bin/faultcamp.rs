@@ -13,6 +13,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use vpdift_bench::trajectory;
 use vpdift_faults::{render_json, run_campaign, CampaignConfig, CampaignReport, Outcome};
 
 const USAGE: &str = "usage: faultcamp [--seed N] [--runs N] [--rate R] [--out FILE] [--json FILE]";
@@ -103,6 +104,20 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
         eprintln!("faultcamp: bench trajectory written to {path}");
+
+        // And one compact line into the append-only perf trajectory log.
+        let mut logged: Vec<trajectory::Entry> = report
+            .references
+            .iter()
+            .map(|r| trajectory::Entry::new("reference", r.scenario, "steps", r.steps as f64))
+            .collect();
+        logged.push(trajectory::Entry::new("campaign", "wall_time", "ns", wall_ns as f64));
+        let line = trajectory::render_line("faultcamp", trajectory::now_unix(), &logged);
+        let traj_path = trajectory::path();
+        match trajectory::append(&traj_path, &line) {
+            Ok(()) => eprintln!("faultcamp: trajectory appended to {traj_path}"),
+            Err(e) => eprintln!("faultcamp: warning: cannot append to {traj_path}: {e}"),
+        }
     }
 
     match &out {

@@ -193,9 +193,116 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
     out
 }
 
+/// Machine-readable performance trajectory: an append-only JSONL log
+/// (`BENCH_trajectory.jsonl` at the workspace root) with one compact
+/// `taintvp-bench/v1` line per `bench_guard` / `faultcamp --json` run, so
+/// the perf history is reconstructible across PRs instead of a single
+/// overwritten snapshot.
+pub mod trajectory {
+    use std::io::Write as _;
+
+    /// Default trajectory path, relative to the invocation directory;
+    /// override with the `BENCH_TRAJECTORY` environment variable.
+    pub const DEFAULT_PATH: &str = "BENCH_trajectory.jsonl";
+
+    /// One measurement inside a trajectory line.
+    #[derive(Debug, Clone)]
+    pub struct Entry {
+        /// Benchmark group, e.g. `iss_step_rate`.
+        pub group: String,
+        /// Benchmark name, e.g. `vp_plain`.
+        pub name: String,
+        /// Measurement unit, e.g. `ns/iter` or `steps`.
+        pub unit: String,
+        /// The measured value (a median for timed benches).
+        pub value: f64,
+    }
+
+    impl Entry {
+        /// Convenience constructor.
+        pub fn new(group: &str, name: &str, unit: &str, value: f64) -> Self {
+            Self { group: group.into(), name: name.into(), unit: unit.into(), value }
+        }
+    }
+
+    /// The trajectory path: `$BENCH_TRAJECTORY` or [`DEFAULT_PATH`].
+    pub fn path() -> String {
+        std::env::var("BENCH_TRAJECTORY").unwrap_or_else(|_| DEFAULT_PATH.into())
+    }
+
+    /// Renders one compact single-line `taintvp-bench/v1` record.
+    /// `t_unix` orders runs in the log (0 is fine for tests).
+    pub fn render_line(suite: &str, t_unix: u64, entries: &[Entry]) -> String {
+        let mut line = format!(
+            "{{\"schema\": \"taintvp-bench/v1\", \"suite\": \"{suite}\", \
+             \"t_unix\": {t_unix}, \"entries\": ["
+        );
+        for (i, e) in entries.iter().enumerate() {
+            if i > 0 {
+                line.push_str(", ");
+            }
+            let value = if e.value.fract() == 0.0 {
+                format!("{}", e.value as i64)
+            } else {
+                format!("{:.3}", e.value)
+            };
+            line.push_str(&format!(
+                "{{\"group\": \"{}\", \"name\": \"{}\", \"unit\": \"{}\", \"value\": {value}}}",
+                e.group, e.name, e.unit
+            ));
+        }
+        line.push_str("]}");
+        line
+    }
+
+    /// Appends `line` (no trailing newline needed) to the trajectory log,
+    /// creating the file on first use.
+    pub fn append(path: &str, line: &str) -> std::io::Result<()> {
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        writeln!(f, "{line}")
+    }
+
+    /// Seconds since the Unix epoch, saturating to 0 on clock trouble.
+    pub fn now_unix() -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trajectory_line_is_valid_single_line_json() {
+        let entries = vec![
+            trajectory::Entry::new("iss_step_rate", "vp_plain", "ns/iter", 1152989.0),
+            trajectory::Entry::new("campaign", "wall_time", "ns", 123.456),
+        ];
+        let line = trajectory::render_line("bench_guard", 0, &entries);
+        assert!(!line.contains('\n'), "one line per run: {line}");
+        vpdift_obs::export::validate_json(&line).expect("trajectory line parses");
+        assert!(line.contains("\"schema\": \"taintvp-bench/v1\""));
+        assert!(line.contains("\"value\": 1152989"));
+        assert!(line.contains("\"value\": 123.456"));
+    }
+
+    #[test]
+    fn trajectory_appends_one_line_per_run() {
+        let path = std::env::temp_dir().join("taintvp_trajectory_test.jsonl");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+        for t in 0..3 {
+            let line = trajectory::render_line("faultcamp", t, &[]);
+            trajectory::append(path, &line).expect("append works");
+        }
+        let log = std::fs::read_to_string(path).expect("log readable");
+        assert_eq!(log.lines().count(), 3);
+        assert!(log.lines().all(|l| l.starts_with("{\"schema\": \"taintvp-bench/v1\"")));
+        let _ = std::fs::remove_file(path);
+    }
 
     #[test]
     fn measurement_mips() {

@@ -9,6 +9,7 @@
 
 use core::fmt;
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 
 use crate::census::{SharedCensus, TaintCensus};
@@ -49,6 +50,15 @@ pub trait FlowObserver {
     /// A violation was recorded (covers engine-side check failures *and*
     /// externally detected ones handed to [`DiftEngine::record`]).
     fn on_violation(&mut self, violation: &Violation);
+
+    /// The tag checked at a *named* site (output sink, protected region,
+    /// declassify component) differs from the tag last checked there —
+    /// the tag set reaching that site changed. Fired on the clearance-check
+    /// path, before the pass/fail decision is reported; live-introspection
+    /// layers use it for taint watchpoints. The per-site state backing
+    /// this notification is only maintained while an observer is attached,
+    /// so unobserved runs (the `NullSink` configuration) pay nothing.
+    fn on_tag_change(&mut self, _site: &str, _before: Tag, _after: Tag) {}
 }
 
 /// A flow observer as shared with the engine.
@@ -102,6 +112,10 @@ pub struct DiftEngine {
     /// Cloning the engine shares the census — both copies describe the same
     /// architectural tag state.
     census: SharedCensus,
+    /// Last tag checked per named site, backing
+    /// [`FlowObserver::on_tag_change`]. Empty (and never written) while no
+    /// observer is attached.
+    site_tags: HashMap<String, Tag>,
 }
 
 impl fmt::Debug for DiftEngine {
@@ -128,6 +142,7 @@ impl DiftEngine {
             observer: None,
             universe,
             census: TaintCensus::new().into_shared(),
+            site_tags: HashMap::new(),
         }
     }
 
@@ -207,6 +222,31 @@ impl DiftEngine {
         }
     }
 
+    /// Reports an evaluated check to the attached observer and, when the
+    /// check site is *named* (see [`ViolationKind::site`]), fires
+    /// [`FlowObserver::on_tag_change`] if the checked tag differs from the
+    /// tag last checked there. Entirely skipped — including the per-site
+    /// bookkeeping — while no observer is attached, preserving the
+    /// zero-cost-when-off guarantee for `NullSink` builds.
+    fn notify_check(
+        &mut self,
+        kind: &ViolationKind,
+        tag: Tag,
+        required: Tag,
+        pc: Option<u32>,
+        passed: bool,
+    ) {
+        let Some(obs) = &self.observer else { return };
+        obs.borrow_mut().on_check(kind, tag, required, pc, passed);
+        if let Some(site) = kind.site() {
+            let before = self.site_tags.get(site).copied().unwrap_or(Tag::EMPTY);
+            if before != tag {
+                self.site_tags.insert(site.to_owned(), tag);
+                obs.borrow_mut().on_tag_change(site, before, tag);
+            }
+        }
+    }
+
     /// The core check: is `allowedFlow(tag, required)`? On failure a
     /// violation of `kind` is recorded. `tag` is subject to the fail-closed
     /// rule (see the type-level docs).
@@ -224,9 +264,7 @@ impl DiftEngine {
         let tag = self.sanitize(tag);
         self.stats.checks += 1;
         let passed = tag.flows_to(required);
-        if let Some(obs) = &self.observer {
-            obs.borrow_mut().on_check(&kind, tag, required, pc, passed);
-        }
+        self.notify_check(&kind, tag, required, pc, passed);
         if passed {
             return Ok(());
         }
@@ -261,10 +299,8 @@ impl DiftEngine {
             let tag = self.sanitize(tag);
             self.stats.checks += 1;
             let passed = tag.flows_to(clearance);
-            if let Some(obs) = &self.observer {
-                let kind = ViolationKind::Store { region: region.clone() };
-                obs.borrow_mut().on_check(&kind, tag, clearance, pc, passed);
-            }
+            let kind = ViolationKind::Store { region: region.clone() };
+            self.notify_check(&kind, tag, clearance, pc, passed);
             if passed {
                 return Ok(());
             }
@@ -293,10 +329,12 @@ impl DiftEngine {
         }
     }
 
-    /// Clears violations and statistics (fresh run on the same policy).
+    /// Clears violations, statistics, and per-site tag-change state (fresh
+    /// run on the same policy).
     pub fn reset(&mut self) {
         self.violations.clear();
         self.stats = EngineStats::default();
+        self.site_tags.clear();
     }
 }
 
@@ -394,6 +432,70 @@ mod tests {
         e.set_mode(EnforceMode::Record);
         assert_eq!(e.mode(), EnforceMode::Record);
         assert!(e.check_output("uart.tx", SECRET, None).is_ok());
+    }
+
+    #[derive(Default)]
+    struct TagChangeLog {
+        changes: Vec<(String, Tag, Tag)>,
+        checks: usize,
+    }
+
+    impl FlowObserver for TagChangeLog {
+        fn on_check(&mut self, _: &ViolationKind, _: Tag, _: Tag, _: Option<u32>, _: bool) {
+            self.checks += 1;
+        }
+        fn on_violation(&mut self, _: &Violation) {}
+        fn on_tag_change(&mut self, site: &str, before: Tag, after: Tag) {
+            self.changes.push((site.to_owned(), before, after));
+        }
+    }
+
+    #[test]
+    fn tag_change_fires_on_named_sites_only_when_tag_set_differs() {
+        let mut e = engine();
+        let log = Rc::new(RefCell::new(TagChangeLog::default()));
+        e.set_observer(log.clone());
+        // First check at a named site: EMPTY -> EMPTY is not a change.
+        assert!(e.check_output("uart.tx", Tag::EMPTY, None).is_ok());
+        assert!(log.borrow().changes.is_empty());
+        // Untrusted arrives: change EMPTY -> UNTRUSTED.
+        assert!(e.check_output("uart.tx", UNTRUSTED, None).is_ok());
+        // Same tag again: no new change.
+        assert!(e.check_output("uart.tx", UNTRUSTED, None).is_ok());
+        // Secret joins: change UNTRUSTED -> UNTRUSTED∪SECRET (a violation,
+        // but the change still fires — it is evaluated pre-verdict).
+        assert!(e.check_output("uart.tx", UNTRUSTED.lub(SECRET), None).is_err());
+        // Anonymous CPU-side checks never fire tag changes.
+        let _ = e.check_flow(ViolationKind::Branch, SECRET, Tag::EMPTY, None);
+        let log = log.borrow();
+        assert_eq!(
+            log.changes,
+            vec![
+                ("uart.tx".into(), Tag::EMPTY, UNTRUSTED),
+                ("uart.tx".into(), UNTRUSTED, UNTRUSTED.lub(SECRET)),
+            ]
+        );
+        assert_eq!(log.checks, 5);
+    }
+
+    #[test]
+    fn tag_change_tracks_store_regions_and_resets() {
+        let mut e = engine();
+        let log = Rc::new(RefCell::new(TagChangeLog::default()));
+        e.set_observer(log.clone());
+        assert!(e.check_store(0x1000, SECRET, None).is_ok());
+        assert_eq!(log.borrow().changes, vec![("pin".into(), Tag::EMPTY, SECRET)]);
+        // reset() forgets per-site state: the same tag change fires again.
+        e.reset();
+        assert!(e.check_store(0x1000, SECRET, None).is_ok());
+        assert_eq!(log.borrow().changes.len(), 2);
+    }
+
+    #[test]
+    fn unobserved_engine_keeps_no_site_state() {
+        let mut e = engine();
+        let _ = e.check_output("uart.tx", SECRET, None);
+        assert!(e.site_tags.is_empty(), "site tracking must be free under NullSink");
     }
 
     #[test]

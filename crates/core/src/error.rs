@@ -47,6 +47,21 @@ pub enum ViolationKind {
     },
 }
 
+impl ViolationKind {
+    /// The named check site this kind refers to (sink, region, component,
+    /// or custom label), when it carries one. Anonymous CPU-side checks
+    /// (branch/fetch/mem-addr/trap-vector) have no site.
+    pub fn site(&self) -> Option<&str> {
+        match self {
+            ViolationKind::Output { sink } => Some(sink),
+            ViolationKind::Store { region } => Some(region),
+            ViolationKind::Declassify { component } => Some(component),
+            ViolationKind::Custom { what } => Some(what),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for ViolationKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

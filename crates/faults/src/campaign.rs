@@ -250,7 +250,10 @@ pub fn classify(reference: &ScenarioRun, run: &ScenarioRun) -> Outcome {
                 Outcome::Sdc
             }
         }
-        SocExit::InstrLimit | SocExit::Idle => {
+        // A cooperative stop never happens inside a campaign (no serve
+        // session drives these runs); treat a stray one like a budget
+        // exit so the classification stays total.
+        SocExit::InstrLimit | SocExit::Idle | SocExit::Stopped => {
             // Directed references are open loops that also hit the
             // budget; matching behavior there is absorption, not a hang.
             if matches!(reference.exit, SocExit::InstrLimit | SocExit::Idle)

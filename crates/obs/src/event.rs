@@ -169,6 +169,18 @@ pub enum ObsEvent {
     },
     /// A violation was recorded by the DIFT engine.
     Violation(Violation),
+    /// The tag set reaching a *named* check site (output sink, protected
+    /// region, declassify component) changed: the engine saw a different
+    /// tag at the site than on its previous check there. Much sparser than
+    /// the per-check stream — live watchpoints key on it.
+    TagSetChange {
+        /// The named site (e.g. `"uart.tx"`).
+        site: String,
+        /// Tag last checked at the site (empty before the first check).
+        before: Tag,
+        /// Tag checked now.
+        after: Tag,
+    },
     /// Data entered the system already classified: a policy region applied
     /// at load time, or a peripheral ingress tagging incoming bytes.
     Classify {
@@ -247,6 +259,8 @@ pub enum ObsEvent {
         /// Steps run with checks skipped because the taint census was
         /// still clear.
         idle_steps: u64,
+        /// Steps run on the slow checked path after the census armed.
+        checked_steps: u64,
     },
 }
 
@@ -260,6 +274,7 @@ impl ObsEvent {
             ObsEvent::Store { .. } => "store",
             ObsEvent::Check { .. } => "check",
             ObsEvent::Violation(_) => "violation",
+            ObsEvent::TagSetChange { .. } => "tag_set_change",
             ObsEvent::Classify { .. } => "classify",
             ObsEvent::Declassify { .. } => "declassify",
             ObsEvent::Tlm { .. } => "tlm",

@@ -8,11 +8,12 @@ use std::io::{self, Write};
 
 use vpdift_core::Tag;
 
-use crate::event::ObsEvent;
+use crate::event::{CheckKind, ObsEvent};
+use crate::metrics::Metrics;
 use crate::ring::TimedEvent;
 
 /// Escapes `s` for inclusion inside a JSON string literal.
-pub(crate) fn escape(s: &str) -> String {
+pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -29,7 +30,7 @@ pub(crate) fn escape(s: &str) -> String {
 }
 
 /// Renders a tag as a JSON array of its atom indices.
-fn tag_json(tag: Tag) -> String {
+pub fn tag_json(tag: Tag) -> String {
     let atoms: Vec<String> = tag.atoms().map(|a| a.to_string()).collect();
     format!("[{}]", atoms.join(","))
 }
@@ -41,8 +42,10 @@ fn opt_u32(v: Option<u32>) -> String {
     }
 }
 
-/// Renders one event's payload fields (no braces, no timestamp).
-fn event_fields(event: &ObsEvent) -> String {
+/// Renders one event's payload fields (no braces, no timestamp). Shared
+/// with the serve protocol, which wraps the same fields in its own
+/// streaming envelope.
+pub fn event_fields(event: &ObsEvent) -> String {
     match event {
         ObsEvent::InsnRetired { pc, word, compressed, fetch_tag, instret } => format!(
             "\"pc\":{pc},\"word\":{word},\"compressed\":{compressed},\"fetch_tag\":{},\"instret\":{instret}",
@@ -77,6 +80,12 @@ fn event_fields(event: &ObsEvent) -> String {
             tag_json(v.required),
             opt_u32(v.pc)
         ),
+        ObsEvent::TagSetChange { site, before, after } => format!(
+            "\"site\":\"{}\",\"before\":{},\"after\":{}",
+            escape(site),
+            tag_json(*before),
+            tag_json(*after)
+        ),
         ObsEvent::Classify { source, tag, addr } => format!(
             "\"source\":\"{}\",\"tag\":{},\"addr\":{}",
             escape(source),
@@ -102,8 +111,8 @@ fn event_fields(event: &ObsEvent) -> String {
             escape(kind),
             opt_u32(*addr)
         ),
-        ObsEvent::EngineCache { hits, misses, invalidations, flushes, idle_steps } => format!(
-            "\"hits\":{hits},\"misses\":{misses},\"invalidations\":{invalidations},\"flushes\":{flushes},\"idle_steps\":{idle_steps}"
+        ObsEvent::EngineCache { hits, misses, invalidations, flushes, idle_steps, checked_steps } => format!(
+            "\"hits\":{hits},\"misses\":{misses},\"invalidations\":{invalidations},\"flushes\":{flushes},\"idle_steps\":{idle_steps},\"checked_steps\":{checked_steps}"
         ),
     }
 }
@@ -146,6 +155,70 @@ pub fn write_chrome_trace<W: Write>(mut w: W, events: &[TimedEvent]) -> io::Resu
         )?;
     }
     writeln!(w, "],\"displayTimeUnit\":\"ns\"}}")?;
+    Ok(())
+}
+
+/// Writes the full metrics registry as one `taintvp-metrics/v1` JSON
+/// document, including the block-cache counters when a caching engine ran
+/// (so cache behaviour is machine-readable, not just a CLI summary line).
+///
+/// # Errors
+/// Propagates I/O errors from `w`.
+pub fn write_metrics_json<W: Write>(mut w: W, m: &Metrics) -> io::Result<()> {
+    writeln!(w, "{{")?;
+    writeln!(w, "  \"schema\": \"taintvp-metrics/v1\",")?;
+    writeln!(w, "  \"instructions\": {},", m.instructions)?;
+    writeln!(
+        w,
+        "  \"loads\": {{\"tagged\": {}, \"untagged\": {}}},",
+        m.tagged_loads, m.untagged_loads
+    )?;
+    writeln!(
+        w,
+        "  \"stores\": {{\"tagged\": {}, \"untagged\": {}}},",
+        m.tagged_stores, m.untagged_stores
+    )?;
+    writeln!(w, "  \"tag_writes\": {},", m.tag_writes)?;
+    writeln!(w, "  \"checks\": {{")?;
+    writeln!(w, "    \"total\": {},", m.total_checks())?;
+    for kind in CheckKind::ALL {
+        let c = m.checks[kind.index()];
+        let sep = if kind.index() + 1 == CheckKind::COUNT { "" } else { "," };
+        writeln!(
+            w,
+            "    \"{}\": {{\"performed\": {}, \"failed\": {}}}{sep}",
+            kind.label(),
+            c.performed,
+            c.failed
+        )?;
+    }
+    writeln!(w, "  }},")?;
+    writeln!(w, "  \"classifications\": {},", m.classifications)?;
+    writeln!(w, "  \"declassifications\": {},", m.declassifications)?;
+    writeln!(w, "  \"traps\": {},", m.traps)?;
+    writeln!(w, "  \"violations\": {},", m.violations)?;
+    writeln!(w, "  \"tag_set_changes\": {},", m.tag_set_changes)?;
+    writeln!(w, "  \"faults_injected\": {},", m.faults_injected)?;
+    match &m.engine_cache {
+        Some(ec) => writeln!(
+            w,
+            "  \"engine_cache\": {{\"hits\": {}, \"misses\": {}, \"invalidations\": {}, \"flushes\": {}, \"idle_steps\": {}, \"checked_steps\": {}}},",
+            ec.hits, ec.misses, ec.invalidations, ec.flushes, ec.idle_steps, ec.checked_steps
+        )?,
+        None => writeln!(w, "  \"engine_cache\": null,")?,
+    }
+    let tlm: Vec<String> =
+        m.tlm_per_target.iter().map(|(target, n)| format!("\"{}\": {n}", escape(target))).collect();
+    writeln!(w, "  \"tlm_per_target\": {{{}}},", tlm.join(", "))?;
+    let spread: Vec<String> = m
+        .taint_high_water
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(atom, &c)| format!("\"{atom}\": {c}"))
+        .collect();
+    writeln!(w, "  \"taint_high_water\": {{{}}}", spread.join(", "))?;
+    writeln!(w, "}}")?;
     Ok(())
 }
 
@@ -332,6 +405,39 @@ mod tests {
         validate_json(&text).unwrap_or_else(|e| panic!("{e}: {text}"));
         assert!(text.contains("\"traceEvents\""));
         assert!(text.contains("\"ts\":0.01"), "10ns == 0.01µs: {text}");
+    }
+
+    #[test]
+    fn metrics_json_is_valid_and_carries_cache_stats() {
+        let mut m = Metrics { instructions: 42, ..Metrics::default() };
+        m.update(&ObsEvent::EngineCache {
+            hits: 100,
+            misses: 3,
+            invalidations: 2,
+            flushes: 1,
+            idle_steps: 60,
+            checked_steps: 40,
+        });
+        m.update(&ObsEvent::TagSetChange {
+            site: "uart.tx".into(),
+            before: Tag::EMPTY,
+            after: Tag::atom(0),
+        });
+        let mut buf = Vec::new();
+        write_metrics_json(&mut buf, &m).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        validate_json(&text).unwrap_or_else(|e| panic!("{e}: {text}"));
+        assert!(text.contains("\"schema\": \"taintvp-metrics/v1\""));
+        assert!(text.contains("\"hits\": 100"));
+        assert!(text.contains("\"checked_steps\": 40"));
+        assert!(text.contains("\"tag_set_changes\": 1"));
+
+        // Interpreter runs export an explicit null cache block.
+        let mut buf = Vec::new();
+        write_metrics_json(&mut buf, &Metrics::default()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        validate_json(&text).unwrap();
+        assert!(text.contains("\"engine_cache\": null"));
     }
 
     #[test]

@@ -33,6 +33,7 @@ mod provenance;
 mod recorder;
 mod ring;
 mod sink;
+pub mod stream;
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -43,10 +44,11 @@ pub use disasm::RawInsn;
 pub use event::{CheckKind, ObsEvent};
 pub use metrics::{CheckCounter, EngineCacheStats, Metrics};
 pub use prof::{Profiler, SymbolMap, TlmStat};
-pub use provenance::{FlowPath, Hop, HopKind, Origin, ProvenanceMap, SinkRec, HOP_CAP};
+pub use provenance::{FlowDelta, FlowPath, Hop, HopKind, Origin, ProvenanceMap, SinkRec, HOP_CAP};
 pub use recorder::Recorder;
 pub use ring::{EventRing, TimedEvent};
 pub use sink::{shared_obs, DynObs, NullSink, ObsHandle, ObsSink, SharedObs, ATOM_SLOTS};
+pub use stream::{StopFlag, StreamItem, StreamSink, Watch, WatchKind};
 
 /// Adapts an [`ObsSink`] to the engine's [`FlowObserver`] hook: engine
 /// check sites become [`ObsEvent::Check`]s and recorded violations become
@@ -84,6 +86,14 @@ impl<S: ObsSink> FlowObserver for EngineObserverAdapter<S> {
 
     fn on_violation(&mut self, violation: &Violation) {
         self.sink.borrow_mut().event(&ObsEvent::Violation(violation.clone()));
+    }
+
+    fn on_tag_change(&mut self, site: &str, before: Tag, after: Tag) {
+        self.sink.borrow_mut().event(&ObsEvent::TagSetChange {
+            site: site.to_owned(),
+            before,
+            after,
+        });
     }
 }
 

@@ -29,6 +29,8 @@ pub struct EngineCacheStats {
     pub flushes: u64,
     /// Steps run with checks skipped (taint census clear).
     pub idle_steps: u64,
+    /// Steps run on the slow checked path after the census armed.
+    pub checked_steps: u64,
 }
 
 /// Counter registry fed from [`ObsEvent`]s; renders the `--metrics`
@@ -61,6 +63,8 @@ pub struct Metrics {
     pub traps: u64,
     /// Faults injected by a fault-injection campaign.
     pub faults_injected: u64,
+    /// Tag-set changes observed at named check sites.
+    pub tag_set_changes: u64,
     /// Block-cache engine counters `(hits, misses, invalidations,
     /// flushes, idle_steps)`; `None` for interpreter runs.
     pub engine_cache: Option<EngineCacheStats>,
@@ -97,6 +101,7 @@ impl Metrics {
                 }
             }
             ObsEvent::Violation(_) => self.violations += 1,
+            ObsEvent::TagSetChange { .. } => self.tag_set_changes += 1,
             ObsEvent::Classify { .. } => self.classifications += 1,
             ObsEvent::Declassify { .. } => self.declassifications += 1,
             ObsEvent::Tlm { target, .. } => {
@@ -104,13 +109,21 @@ impl Metrics {
             }
             ObsEvent::Trap { .. } => self.traps += 1,
             ObsEvent::FaultInjected { .. } => self.faults_injected += 1,
-            ObsEvent::EngineCache { hits, misses, invalidations, flushes, idle_steps } => {
+            ObsEvent::EngineCache {
+                hits,
+                misses,
+                invalidations,
+                flushes,
+                idle_steps,
+                checked_steps,
+            } => {
                 self.engine_cache = Some(EngineCacheStats {
                     hits: *hits,
                     misses: *misses,
                     invalidations: *invalidations,
                     flushes: *flushes,
                     idle_steps: *idle_steps,
+                    checked_steps: *checked_steps,
                 });
             }
         }
@@ -161,6 +174,9 @@ impl fmt::Display for Metrics {
         writeln!(f, "declassifications:      {}", self.declassifications)?;
         writeln!(f, "traps taken:            {}", self.traps)?;
         writeln!(f, "violations:             {}", self.violations)?;
+        if self.tag_set_changes > 0 {
+            writeln!(f, "tag-set changes:        {}", self.tag_set_changes)?;
+        }
         if self.faults_injected > 0 {
             writeln!(f, "faults injected:        {}", self.faults_injected)?;
         }
@@ -170,7 +186,11 @@ impl fmt::Display for Metrics {
                 "block cache:            {} hits / {} misses, {} invalidations, {} flushes",
                 ec.hits, ec.misses, ec.invalidations, ec.flushes
             )?;
-            writeln!(f, "taint-idle steps:       {}", ec.idle_steps)?;
+            writeln!(
+                f,
+                "taint-idle steps:       {} ({} checked)",
+                ec.idle_steps, ec.checked_steps
+            )?;
         }
         if !self.tlm_per_target.is_empty() {
             writeln!(f, "TLM transactions per target:")?;

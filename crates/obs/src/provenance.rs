@@ -106,11 +106,13 @@ struct HopRing {
 }
 
 impl HopRing {
-    fn push(&mut self, hop: Hop) {
+    /// Returns `true` when the hop became a *new* node (folding into the
+    /// previous node's repeat count is not a graph change).
+    fn push(&mut self, hop: Hop) -> bool {
         if let Some(last) = self.hops.last_mut() {
             if last.same_site(&hop) {
                 last.repeats += 1;
-                return;
+                return false;
             }
         }
         if self.hops.len() == HOP_CAP {
@@ -118,7 +120,41 @@ impl HopRing {
             self.evicted += 1;
         }
         self.hops.push(hop);
+        true
     }
+}
+
+/// One incremental change to the recorded flow graph, for live streaming.
+/// Only produced after [`ProvenanceMap::enable_deltas`]; batch consumers
+/// (DOT/JSON export, `--explain`) never pay for the queue.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowDelta {
+    /// An atom gained its origin (first classification).
+    Origin {
+        /// The newly classified atom.
+        atom: u32,
+        /// Classification site name.
+        source: String,
+        /// Classification address, when there is one.
+        addr: Option<u32>,
+    },
+    /// A new hop node was appended to an atom's path. Repeat folds of the
+    /// newest node do not produce deltas — the node is unchanged.
+    Hop {
+        /// The atom that moved.
+        atom: u32,
+        /// The recorded step.
+        hop: Hop,
+    },
+    /// An atom's rejecting sink was set (or replaced by a later one).
+    Sink {
+        /// The rejected atom.
+        atom: u32,
+        /// Violation site label.
+        site: String,
+        /// PC of the violating access, when known.
+        pc: Option<u32>,
+    },
 }
 
 /// One atom's recorded source→hops→sink path, borrowed from the map.
@@ -143,9 +179,24 @@ pub struct ProvenanceMap {
     origins: [Option<Origin>; ATOM_SLOTS],
     hops: [HopRing; ATOM_SLOTS],
     sinks: [Option<SinkRec>; ATOM_SLOTS],
+    /// Incremental-change queue; `None` until
+    /// [`ProvenanceMap::enable_deltas`].
+    deltas: Option<Vec<FlowDelta>>,
 }
 
 impl ProvenanceMap {
+    /// Starts queueing [`FlowDelta`]s for every graph change from here on.
+    pub fn enable_deltas(&mut self) {
+        if self.deltas.is_none() {
+            self.deltas = Some(Vec::new());
+        }
+    }
+
+    /// Removes and returns all queued deltas (empty when delta tracking
+    /// is off or nothing changed since the last take).
+    pub fn take_deltas(&mut self) -> Vec<FlowDelta> {
+        self.deltas.as_mut().map(std::mem::take).unwrap_or_default()
+    }
     /// Records a classification event: every atom of `tag` not yet seen
     /// gets `source`/`addr` as its origin. Later sightings are ignored —
     /// the *first* ingress is the provenance. Atoms outside the slot
@@ -156,6 +207,9 @@ impl ProvenanceMap {
             let Some(slot) = self.origins.get_mut(atom as usize) else { continue };
             if slot.is_none() {
                 *slot = Some(Origin { source: source.to_owned(), addr, time });
+                if let Some(q) = &mut self.deltas {
+                    q.push(FlowDelta::Origin { atom, source: source.to_owned(), addr });
+                }
             }
         }
     }
@@ -164,7 +218,11 @@ impl ProvenanceMap {
     pub fn record_hop(&mut self, tag: Tag, hop: Hop) {
         for atom in tag.atoms() {
             if let Some(ring) = self.hops.get_mut(atom as usize) {
-                ring.push(hop.clone());
+                if ring.push(hop.clone()) {
+                    if let Some(q) = &mut self.deltas {
+                        q.push(FlowDelta::Hop { atom, hop: hop.clone() });
+                    }
+                }
             }
         }
     }
@@ -175,6 +233,9 @@ impl ProvenanceMap {
         for atom in tag.atoms() {
             if let Some(slot) = self.sinks.get_mut(atom as usize) {
                 *slot = Some(SinkRec { site: site.to_owned(), pc, time });
+                if let Some(q) = &mut self.deltas {
+                    q.push(FlowDelta::Sink { atom, site: site.to_owned(), pc });
+                }
             }
         }
     }
@@ -327,6 +388,34 @@ mod tests {
         p.record_sink(Tag::atom(0), "can.tx", None, SimTime::from_ns(2));
         let path = p.path(0).unwrap();
         assert_eq!(path.sink.unwrap().site, "can.tx", "last rejection wins");
+    }
+
+    #[test]
+    fn deltas_queue_only_real_graph_changes() {
+        let mut p = ProvenanceMap::default();
+        // Nothing queued while deltas are off.
+        p.classify(Tag::atom(0), "pin", Some(0x2000), SimTime::ZERO);
+        assert!(p.take_deltas().is_empty());
+
+        p.enable_deltas();
+        // Re-classification of a known atom is not a change.
+        p.classify(Tag::atom(0), "terminal.rx", None, SimTime::from_ns(1));
+        // A fresh atom is.
+        p.classify(Tag::atom(1), "can.rx", None, SimTime::from_ns(2));
+        // Three identical hops fold into one node: one delta.
+        for _ in 0..3 {
+            p.record_hop(Tag::atom(0), hop(HopKind::Load, 0x40, Some(0x2000)));
+        }
+        p.record_sink(Tag::atom(0), "uart.tx", Some(0x44), SimTime::from_ns(3));
+
+        let deltas = p.take_deltas();
+        assert_eq!(deltas.len(), 3, "{deltas:?}");
+        assert!(
+            matches!(&deltas[0], FlowDelta::Origin { atom: 1, source, .. } if source == "can.rx")
+        );
+        assert!(matches!(&deltas[1], FlowDelta::Hop { atom: 0, .. }));
+        assert!(matches!(&deltas[2], FlowDelta::Sink { atom: 0, site, .. } if site == "uart.tx"));
+        assert!(p.take_deltas().is_empty(), "take drains the queue");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::event::{CheckKind, ObsEvent};
 use crate::flowgraph;
 use crate::metrics::Metrics;
 use crate::prof::{Profiler, SymbolMap};
-use crate::provenance::{Hop, HopKind, ProvenanceMap};
+use crate::provenance::{FlowDelta, Hop, HopKind, ProvenanceMap};
 use crate::ring::{EventRing, TimedEvent};
 use crate::sink::{ObsSink, ATOM_SLOTS};
 
@@ -88,6 +88,23 @@ impl Recorder {
     pub fn with_explain(mut self) -> Self {
         self.explain = true;
         self
+    }
+
+    /// Additionally queues incremental flow-graph changes as
+    /// [`FlowDelta`]s, drained with [`Recorder::take_flow_deltas`] — the
+    /// live-streaming complement of [`Recorder::with_explain`] (which it
+    /// implies: deltas only exist where flow tracking records hops).
+    #[must_use]
+    pub fn with_flow_deltas(mut self) -> Self {
+        self.explain = true;
+        self.provenance.enable_deltas();
+        self
+    }
+
+    /// Removes and returns queued flow-graph deltas (always empty unless
+    /// [`Recorder::with_flow_deltas`] was used).
+    pub fn take_flow_deltas(&mut self) -> Vec<FlowDelta> {
+        self.provenance.take_deltas()
     }
 
     /// Aggregated counters.
@@ -342,6 +359,9 @@ impl Recorder {
                 ObsEvent::Violation(v) => {
                     let _ = writeln!(out, "      VIOLATION  {v}");
                 }
+                ObsEvent::TagSetChange { site, before, after } => {
+                    let _ = writeln!(out, "      tag_set    `{site}` {before} -> {after}");
+                }
                 ObsEvent::Classify { source, tag, addr } => match addr {
                     Some(a) => {
                         let _ = writeln!(out, "      classify   `{source}` tag {tag} @ {a:#010x}");
@@ -372,10 +392,17 @@ impl Recorder {
                     }
                     let _ = writeln!(out, " detail={detail}");
                 }
-                ObsEvent::EngineCache { hits, misses, invalidations, flushes, idle_steps } => {
+                ObsEvent::EngineCache {
+                    hits,
+                    misses,
+                    invalidations,
+                    flushes,
+                    idle_steps,
+                    checked_steps,
+                } => {
                     let _ = writeln!(
                         out,
-                        "      engine     block-cache {hits} hits / {misses} misses, {invalidations} invalidations, {flushes} flushes, {idle_steps} idle steps"
+                        "      engine     block-cache {hits} hits / {misses} misses, {invalidations} invalidations, {flushes} flushes, {idle_steps} idle / {checked_steps} checked steps"
                     );
                 }
             }

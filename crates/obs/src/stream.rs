@@ -1,0 +1,491 @@
+//! Live-introspection sink: taint watchpoints, a cooperative stop flag,
+//! and a bounded buffer of streamable items.
+//!
+//! Where the [`Recorder`](crate::Recorder) aggregates for post-mortem
+//! reports, the [`StreamSink`] wraps one and additionally makes the event
+//! stream *interactive*: a serve layer registers [`Watch`]points, runs the
+//! VP in slices, and between slices [`drain`](StreamSink::drain)s whatever
+//! matched the subscription — filtered [`ObsEvent`]s, incremental
+//! flow-graph [`FlowDelta`]s, and watch hits. When a watchpoint triggers
+//! it raises a shared [`StopFlag`] that the SoC run loop polls, so the
+//! simulation breaks mid-run instead of at the next exit condition.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use vpdift_core::Tag;
+use vpdift_kernel::SimTime;
+
+use crate::event::ObsEvent;
+use crate::provenance::FlowDelta;
+use crate::recorder::Recorder;
+use crate::ring::TimedEvent;
+use crate::sink::{ObsSink, ATOM_SLOTS};
+
+/// Default bound on the number of buffered [`StreamItem`]s; older items
+/// are dropped (and counted) when a client does not drain fast enough.
+pub const STREAM_BUF_CAP: usize = 4096;
+
+/// A shared, cloneable "please stop" latch between a watchpoint evaluator
+/// (or any other controller) and the SoC run loop. The loop polls
+/// [`is_requested`](StopFlag::is_requested) per step — only when an
+/// enabled sink is attached, so `NullSink` builds never see the check —
+/// and exits with `SocExit::Stopped` when raised.
+#[derive(Clone, Debug, Default)]
+pub struct StopFlag(Rc<Cell<bool>>);
+
+impl StopFlag {
+    /// A fresh, unraised flag.
+    pub fn new() -> Self {
+        StopFlag::default()
+    }
+
+    /// Raises the flag.
+    pub fn request(&self) {
+        self.0.set(true);
+    }
+
+    /// `true` while the flag is raised.
+    pub fn is_requested(&self) -> bool {
+        self.0.get()
+    }
+
+    /// Lowers the flag, returning whether it was raised.
+    pub fn take(&self) -> bool {
+        self.0.replace(false)
+    }
+}
+
+/// What a taint watchpoint watches for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WatchKind {
+    /// Tainted data reached the named check site (e.g. `"uart.tx"`):
+    /// triggers on any check there whose tag is non-empty, or — with
+    /// `atom` set — carries that specific atom. Fires whether or not the
+    /// check passes, so a leak is caught even under a permissive policy.
+    Sink {
+        /// The named check site.
+        site: String,
+        /// Restrict to one atom; `None` matches any non-empty tag.
+        atom: Option<u32>,
+    },
+    /// The tag set reaching an address range changed: triggers when a
+    /// store, write transaction, or classification inside
+    /// `[start, start+len)` carries a different tag than the range last
+    /// saw (initially the empty tag).
+    Range {
+        /// First address of the watched range.
+        start: u32,
+        /// Length of the range in bytes.
+        len: u32,
+    },
+    /// A policy violation was recorded, optionally only at one site.
+    Violation {
+        /// Restrict to violations at this site; `None` matches all.
+        site: Option<String>,
+    },
+}
+
+/// A registered taint watchpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Watch {
+    /// Identifier assigned at registration, used to unregister and to
+    /// attribute hits.
+    pub id: u32,
+    /// What it watches for.
+    pub kind: WatchKind,
+}
+
+struct WatchState {
+    watch: Watch,
+    /// Tag last seen by a [`WatchKind::Range`] watch.
+    last: Tag,
+    hits: u64,
+}
+
+/// One item a subscriber can receive from [`StreamSink::drain`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamItem {
+    /// A subscribed observability event.
+    Event(TimedEvent),
+    /// An incremental flow-graph change.
+    Flow(FlowDelta),
+    /// A watchpoint triggered (the stop flag was raised).
+    Watch {
+        /// Which watchpoint.
+        id: u32,
+        /// Human-readable trigger description.
+        reason: String,
+        /// Simulated time of the trigger.
+        time: SimTime,
+    },
+}
+
+/// An [`ObsSink`] for live sessions: forwards everything into an inner
+/// [`Recorder`] (so metrics/explain/flight reports keep working), buffers
+/// the items a subscriber asked for, and evaluates watchpoints.
+pub struct StreamSink {
+    recorder: Recorder,
+    now: SimTime,
+    /// Subscribed event kinds ([`ObsEvent::label`] values); `None` means
+    /// no event subscription, `Some(empty)` means *all* kinds.
+    event_filter: Option<Vec<String>>,
+    /// Whether flow-graph deltas are streamed.
+    flow_subscribed: bool,
+    buf: VecDeque<StreamItem>,
+    buf_cap: usize,
+    dropped: u64,
+    watches: Vec<WatchState>,
+    next_watch_id: u32,
+    stop: StopFlag,
+}
+
+impl StreamSink {
+    /// Wraps `recorder` (typically built `with_symbols().with_flow_deltas()`)
+    /// and ties watch hits to `stop`.
+    pub fn new(recorder: Recorder, stop: StopFlag) -> Self {
+        StreamSink {
+            recorder,
+            now: SimTime::ZERO,
+            event_filter: None,
+            flow_subscribed: false,
+            buf: VecDeque::new(),
+            buf_cap: STREAM_BUF_CAP,
+            dropped: 0,
+            watches: Vec::new(),
+            next_watch_id: 1,
+            stop: StopFlag::new(),
+        }
+        .with_stop(stop)
+    }
+
+    fn with_stop(mut self, stop: StopFlag) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// The inner recorder (metrics, provenance, explain, …).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Mutable access to the inner recorder.
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        &mut self.recorder
+    }
+
+    /// The shared stop flag watch hits raise.
+    pub fn stop_flag(&self) -> StopFlag {
+        self.stop.clone()
+    }
+
+    /// Subscribes to event kinds by [`ObsEvent::label`]; an empty list
+    /// subscribes to *all* kinds. Replaces any previous subscription.
+    pub fn subscribe_events(&mut self, kinds: Vec<String>) {
+        self.event_filter = Some(kinds);
+    }
+
+    /// Cancels the event subscription (flow/watch items still stream).
+    pub fn unsubscribe_events(&mut self) {
+        self.event_filter = None;
+    }
+
+    /// Turns flow-graph delta streaming on or off. The inner recorder
+    /// must have been built [`Recorder::with_flow_deltas`] for deltas to
+    /// exist at all.
+    pub fn subscribe_flow(&mut self, on: bool) {
+        self.flow_subscribed = on;
+    }
+
+    /// Registers a watchpoint and returns its id.
+    pub fn add_watch(&mut self, kind: WatchKind) -> u32 {
+        let id = self.next_watch_id;
+        self.next_watch_id += 1;
+        self.watches.push(WatchState { watch: Watch { id, kind }, last: Tag::EMPTY, hits: 0 });
+        id
+    }
+
+    /// Unregisters watch `id`; `false` when no such watch exists.
+    pub fn remove_watch(&mut self, id: u32) -> bool {
+        let before = self.watches.len();
+        self.watches.retain(|w| w.watch.id != id);
+        self.watches.len() != before
+    }
+
+    /// The registered watchpoints with their hit counts, in id order.
+    pub fn watches(&self) -> impl Iterator<Item = (&Watch, u64)> {
+        self.watches.iter().map(|w| (&w.watch, w.hits))
+    }
+
+    /// Removes and returns everything buffered since the last drain.
+    pub fn drain(&mut self) -> Vec<StreamItem> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Items dropped because the buffer bound was hit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn push(&mut self, item: StreamItem) {
+        if self.buf.len() == self.buf_cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(item);
+    }
+
+    /// The tag an event presents to range watches at `addr`, when it is
+    /// an address-carrying taint movement.
+    fn range_sighting(event: &ObsEvent) -> Option<(u32, Tag)> {
+        match event {
+            ObsEvent::Store { addr, tag, .. } => Some((*addr, *tag)),
+            ObsEvent::Tlm { addr, tag, write: true, .. } => Some((*addr, *tag)),
+            ObsEvent::Classify { addr: Some(addr), tag, .. } => Some((*addr, *tag)),
+            _ => None,
+        }
+    }
+
+    fn eval_watches(&mut self, event: &ObsEvent) {
+        let mut hits: Vec<(u32, String)> = Vec::new();
+        for w in &mut self.watches {
+            match &w.watch.kind {
+                WatchKind::Sink { site, atom } => {
+                    let (seen, tag) = match event {
+                        ObsEvent::Check { site: Some(s), tag, .. } if s == site => (true, *tag),
+                        ObsEvent::TagSetChange { site: s, after, .. } if s == site => {
+                            (true, *after)
+                        }
+                        _ => (false, Tag::EMPTY),
+                    };
+                    let matched = seen
+                        && match atom {
+                            Some(a) => tag.contains(Tag::atom(*a)),
+                            None => !tag.is_empty(),
+                        };
+                    if matched {
+                        w.hits += 1;
+                        hits.push((
+                            w.watch.id,
+                            format!("tainted data (tag {tag}) reached sink `{site}`"),
+                        ));
+                    }
+                }
+                WatchKind::Range { start, len } => {
+                    if let Some((addr, tag)) = Self::range_sighting(event) {
+                        let in_range = addr.wrapping_sub(*start) < *len;
+                        if in_range && tag != w.last {
+                            let before = w.last;
+                            w.last = tag;
+                            w.hits += 1;
+                            hits.push((
+                                w.watch.id,
+                                format!(
+                                    "tag set at {addr:#010x} (range {start:#010x}+{len}) changed {before} -> {tag}"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                WatchKind::Violation { site } => {
+                    if let ObsEvent::Violation(v) = event {
+                        let matched = match site {
+                            Some(s) => v.kind.site() == Some(s.as_str()),
+                            None => true,
+                        };
+                        if matched {
+                            w.hits += 1;
+                            hits.push((w.watch.id, format!("violation: {v}")));
+                        }
+                    }
+                }
+            }
+        }
+        for (id, reason) in hits {
+            self.stop.request();
+            let time = self.now;
+            self.push(StreamItem::Watch { id, reason, time });
+        }
+    }
+}
+
+impl ObsSink for StreamSink {
+    fn event(&mut self, event: &ObsEvent) {
+        self.recorder.event(event);
+        self.eval_watches(event);
+        let subscribed = match &self.event_filter {
+            None => false,
+            Some(kinds) => kinds.is_empty() || kinds.iter().any(|k| k == event.label()),
+        };
+        if subscribed {
+            let item = StreamItem::Event(TimedEvent { time: self.now, event: event.clone() });
+            self.push(item);
+        }
+        if self.flow_subscribed {
+            for delta in self.recorder.take_flow_deltas() {
+                self.push(StreamItem::Flow(delta));
+            }
+        }
+    }
+
+    fn set_now(&mut self, now: SimTime) {
+        self.now = now;
+        self.recorder.set_now(now);
+    }
+
+    fn taint_spread(&mut self, counts: &[u32; ATOM_SLOTS]) {
+        self.recorder.taint_spread(counts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdift_core::{Violation, ViolationKind};
+
+    use crate::event::CheckKind;
+
+    fn check_at(site: &str, tag: Tag) -> ObsEvent {
+        ObsEvent::Check {
+            kind: CheckKind::Output,
+            tag,
+            required: Tag::EMPTY,
+            pc: Some(0x44),
+            passed: tag.is_empty(),
+            site: Some(site.to_owned()),
+        }
+    }
+
+    fn sink() -> StreamSink {
+        StreamSink::new(Recorder::new(8).with_flow_deltas(), StopFlag::new())
+    }
+
+    #[test]
+    fn stop_flag_latches_and_takes() {
+        let f = StopFlag::new();
+        let g = f.clone();
+        assert!(!f.is_requested());
+        g.request();
+        assert!(f.is_requested(), "clones share the latch");
+        assert!(f.take());
+        assert!(!g.is_requested());
+        assert!(!f.take());
+    }
+
+    #[test]
+    fn sink_watch_fires_on_tainted_check_and_raises_stop() {
+        let mut s = sink();
+        let stop = s.stop_flag();
+        let id = s.add_watch(WatchKind::Sink { site: "uart.tx".into(), atom: None });
+        s.event(&check_at("uart.tx", Tag::EMPTY));
+        assert!(!stop.is_requested(), "untainted check does not fire");
+        s.event(&check_at("can.tx", Tag::atom(0)));
+        assert!(!stop.is_requested(), "other site does not fire");
+        s.event(&check_at("uart.tx", Tag::atom(0)));
+        assert!(stop.is_requested());
+        let items = s.drain();
+        assert!(
+            items.iter().any(|i| matches!(i, StreamItem::Watch { id: got, .. } if *got == id)),
+            "{items:?}"
+        );
+    }
+
+    #[test]
+    fn sink_watch_with_atom_filters() {
+        let mut s = sink();
+        let stop = s.stop_flag();
+        s.add_watch(WatchKind::Sink { site: "uart.tx".into(), atom: Some(1) });
+        s.event(&check_at("uart.tx", Tag::atom(0)));
+        assert!(!stop.is_requested(), "wrong atom");
+        s.event(&check_at("uart.tx", Tag::atom(0).lub(Tag::atom(1))));
+        assert!(stop.is_requested());
+    }
+
+    #[test]
+    fn range_watch_fires_on_tag_set_change_only() {
+        let mut s = sink();
+        let stop = s.stop_flag();
+        s.add_watch(WatchKind::Range { start: 0x3000, len: 16 });
+        let store = |addr, tag| ObsEvent::Store { pc: 0x40, addr, size: 1, tag };
+        s.event(&store(0x3004, Tag::EMPTY));
+        assert!(!stop.is_requested(), "empty tag == initial state");
+        s.event(&store(0x2000, Tag::atom(0)));
+        assert!(!stop.is_requested(), "outside the range");
+        s.event(&store(0x3004, Tag::atom(0)));
+        assert!(stop.take());
+        s.event(&store(0x3008, Tag::atom(0)));
+        assert!(!stop.is_requested(), "same tag again is not a change");
+        s.event(&store(0x300f, Tag::EMPTY));
+        assert!(stop.is_requested(), "tag leaving the range is a change too");
+    }
+
+    #[test]
+    fn violation_watch_matches_site_filter() {
+        let mut s = sink();
+        let stop = s.stop_flag();
+        s.add_watch(WatchKind::Violation { site: Some("uart.tx".into()) });
+        let v = |sink: &str| {
+            ObsEvent::Violation(Violation::new(
+                ViolationKind::Output { sink: sink.into() },
+                Tag::atom(0),
+                Tag::EMPTY,
+            ))
+        };
+        s.event(&v("can.tx"));
+        assert!(!stop.is_requested());
+        s.event(&v("uart.tx"));
+        assert!(stop.is_requested());
+    }
+
+    #[test]
+    fn subscription_filters_events_and_streams_flow_deltas() {
+        let mut s = sink();
+        s.subscribe_events(vec!["classify".into()]);
+        s.subscribe_flow(true);
+        s.event(&ObsEvent::Trap { pc: 0, cause: 3, irq: false });
+        s.event(&ObsEvent::Classify {
+            source: "pin".into(),
+            tag: Tag::atom(0),
+            addr: Some(0x2000),
+        });
+        let items = s.drain();
+        let events: Vec<_> = items.iter().filter(|i| matches!(i, StreamItem::Event(_))).collect();
+        assert_eq!(events.len(), 1, "trap filtered out: {items:?}");
+        assert!(
+            items.iter().any(|i| matches!(i, StreamItem::Flow(FlowDelta::Origin { atom: 0, .. }))),
+            "classification produced a flow delta: {items:?}"
+        );
+        assert!(s.drain().is_empty(), "drain empties the buffer");
+        // Metrics still aggregate underneath.
+        assert_eq!(s.recorder().metrics().traps, 1);
+        assert_eq!(s.recorder().metrics().classifications, 1);
+    }
+
+    #[test]
+    fn empty_kind_list_subscribes_all_and_buffer_bounds_drop() {
+        let mut s = sink();
+        s.subscribe_events(Vec::new());
+        s.buf_cap = 4;
+        for i in 0..10 {
+            s.event(&ObsEvent::Trap { pc: i, cause: 3, irq: false });
+        }
+        assert_eq!(s.drain().len(), 4);
+        assert_eq!(s.dropped(), 6);
+    }
+
+    #[test]
+    fn remove_watch_stops_firing() {
+        let mut s = sink();
+        let stop = s.stop_flag();
+        let id = s.add_watch(WatchKind::Violation { site: None });
+        assert!(s.remove_watch(id));
+        assert!(!s.remove_watch(id), "second removal reports missing");
+        s.event(&ObsEvent::Violation(Violation::new(
+            ViolationKind::Branch,
+            Tag::atom(0),
+            Tag::EMPTY,
+        )));
+        assert!(!stop.is_requested());
+    }
+}

@@ -1,0 +1,34 @@
+//! # vpdift-serve — the live VP introspection server
+//!
+//! A long-running process holding many named VP sessions and speaking the
+//! line-oriented `taintvp-serve/v1` JSON protocol over stdio or TCP (see
+//! `docs/SERVE.md` for the message reference). Each session is a full
+//! [`Soc`](vpdift_soc::Soc) — plain or tainted, interpreter or block
+//! cache — with a [`StreamSink`](vpdift_obs::StreamSink) attached, so a
+//! client can:
+//!
+//! * `create` a VP from assembly + policy source and keep it warm,
+//! * `step`/`run`/`until` it in resumable slices,
+//! * `read` registers, memory bytes, and per-byte tag sets,
+//! * set taint `watch`points (tainted data at a named sink, tag-set
+//!   changes over an address range, policy violations) that pause the
+//!   guest mid-run via the cooperative stop flag,
+//! * `subscribe` to filtered [`ObsEvent`](vpdift_obs::ObsEvent)s and
+//!   flow-graph deltas streamed *while the guest runs*, and
+//! * ask for a live `explain` — the shortest recorded source→sink path —
+//!   without waiting for a violation.
+//!
+//! The transport-free core is [`Server::handle_line`]; `taintvp-run
+//! serve` wraps it around stdio or a TCP listener.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod json;
+pub mod proto;
+mod server;
+mod session;
+
+pub use proto::{ErrorCode, ServeError, SCHEMA};
+pub use server::{Control, Server};
+pub use session::{ByteRead, CreateOpts, RegRead, Session, DEFAULT_MAX_STEPS, UNTIL_CAP};

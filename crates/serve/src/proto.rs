@@ -1,0 +1,220 @@
+//! The `taintvp-serve/v1` wire protocol: one JSON document per line.
+//!
+//! Requests are objects with a `"cmd"` string and an optional numeric
+//! `"id"` the server echoes back. Responses are `{"id":N,"ok":true,...}`
+//! or `{"id":N,"ok":false,"error":{"code":"...","message":"..."}}`.
+//! Streamed lines (events, flow deltas, watch hits) carry an `"ev"` key
+//! instead of `"ok"` so clients can split them from responses with one
+//! key test.
+
+use vpdift_obs::export::{escape, event_fields, tag_json};
+use vpdift_obs::{FlowDelta, HopKind, StreamItem};
+
+/// Schema tag sent in the greeting line and documented in docs/SERVE.md.
+pub const SCHEMA: &str = "taintvp-serve/v1";
+
+/// Typed protocol error categories; the wire code is [`ErrorCode::code`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line was not valid JSON.
+    BadJson,
+    /// The JSON was valid but the request shape was not (missing or
+    /// ill-typed fields).
+    BadRequest,
+    /// Unknown `"cmd"` verb.
+    UnknownCmd,
+    /// The named session does not exist.
+    UnknownSession,
+    /// `create` with a session name that is already in use.
+    DuplicateSession,
+    /// The submitted program failed to assemble.
+    BadProgram,
+    /// The submitted policy failed to parse.
+    BadPolicy,
+    /// A malformed watchpoint specification.
+    BadWatch,
+    /// The client connection failed mid-operation.
+    Io,
+}
+
+impl ErrorCode {
+    /// The wire representation.
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrorCode::BadJson => "bad_json",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownCmd => "unknown_cmd",
+            ErrorCode::UnknownSession => "unknown_session",
+            ErrorCode::DuplicateSession => "duplicate_session",
+            ErrorCode::BadProgram => "bad_program",
+            ErrorCode::BadPolicy => "bad_policy",
+            ErrorCode::BadWatch => "bad_watch",
+            ErrorCode::Io => "io",
+        }
+    }
+}
+
+/// A protocol-level failure: every fallible server path funnels into this
+/// so clients always get a typed error line, never a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeError {
+    /// The category.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ServeError {
+    /// Builds an error with a formatted message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ServeError { code, message: message.into() }
+    }
+}
+
+/// Renders the `"id":N,` prefix (nothing when the request carried no id).
+fn id_prefix(id: Option<u64>) -> String {
+    match id {
+        Some(id) => format!("\"id\":{id},"),
+        None => String::new(),
+    }
+}
+
+/// A success response line. `fields` is the pre-rendered body (may be
+/// empty) *without* surrounding braces or a leading comma.
+pub fn ok_line(id: Option<u64>, fields: &str) -> String {
+    if fields.is_empty() {
+        format!("{{{}\"ok\":true}}", id_prefix(id))
+    } else {
+        format!("{{{}\"ok\":true,{fields}}}", id_prefix(id))
+    }
+}
+
+/// An error response line.
+pub fn err_line(id: Option<u64>, err: &ServeError) -> String {
+    format!(
+        "{{{}\"ok\":false,\"error\":{{\"code\":\"{}\",\"message\":\"{}\"}}}}",
+        id_prefix(id),
+        err.code.code(),
+        escape(&err.message)
+    )
+}
+
+/// The greeting line written once per connection before any response.
+pub fn greeting(sessions: &[&str]) -> String {
+    let names: Vec<String> = sessions.iter().map(|s| format!("\"{}\"", escape(s))).collect();
+    format!("{{\"schema\":\"{SCHEMA}\",\"sessions\":[{}]}}", names.join(","))
+}
+
+/// Renders one streamed item as an `"ev"` line tagged with the session it
+/// came from.
+pub fn stream_line(session: &str, item: &StreamItem) -> String {
+    let sess = escape(session);
+    match item {
+        StreamItem::Event(te) => format!(
+            "{{\"ev\":\"obs\",\"session\":\"{sess}\",\"t_ps\":{},\"kind\":\"{}\",{}}}",
+            te.time.as_ps(),
+            te.event.label(),
+            event_fields(&te.event)
+        ),
+        StreamItem::Flow(delta) => {
+            format!("{{\"ev\":\"flow\",\"session\":\"{sess}\",{}}}", flow_fields(delta))
+        }
+        StreamItem::Watch { id, reason, time } => format!(
+            "{{\"ev\":\"watch\",\"session\":\"{sess}\",\"watch\":{id},\"reason\":\"{}\",\"t_ps\":{}}}",
+            escape(reason),
+            time.as_ps()
+        ),
+    }
+}
+
+fn opt_u32(v: Option<u32>) -> String {
+    match v {
+        Some(n) => n.to_string(),
+        None => "null".into(),
+    }
+}
+
+fn flow_fields(delta: &FlowDelta) -> String {
+    match delta {
+        FlowDelta::Origin { atom, source, addr } => format!(
+            "\"delta\":\"origin\",\"atom\":{atom},\"source\":\"{}\",\"addr\":{}",
+            escape(source),
+            opt_u32(*addr)
+        ),
+        FlowDelta::Hop { atom, hop } => {
+            let kind = match &hop.kind {
+                HopKind::Reg(r) => format!("\"reg\",\"reg\":{r}"),
+                HopKind::Tlm { bus, target } => {
+                    format!("\"tlm\",\"bus\":\"{}\",\"target\":\"{}\"", escape(bus), escape(target))
+                }
+                other => format!("\"{}\"", other.label()),
+            };
+            format!(
+                "\"delta\":\"hop\",\"atom\":{atom},\"kind\":{kind},\"pc\":{},\"addr\":{},\"t_ps\":{}",
+                opt_u32(hop.pc),
+                opt_u32(hop.addr),
+                hop.time.as_ps()
+            )
+        }
+        FlowDelta::Sink { atom, site, pc } => format!(
+            "\"delta\":\"sink\",\"atom\":{atom},\"site\":\"{}\",\"pc\":{}",
+            escape(site),
+            opt_u32(*pc)
+        ),
+    }
+}
+
+/// Renders a tag as its JSON atom list — re-exported spelling for the
+/// session layer.
+pub fn tag_field(tag: vpdift_core::Tag) -> String {
+    tag_json(tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdift_kernel::SimTime;
+    use vpdift_obs::export::validate_json;
+    use vpdift_obs::{Hop, ObsEvent, TimedEvent};
+
+    #[test]
+    fn response_lines_are_valid_json() {
+        let ok = ok_line(Some(7), "\"exit\":\"break\",\"instret\":42");
+        validate_json(&ok).expect("ok line parses");
+        assert!(ok.starts_with("{\"id\":7,\"ok\":true,"));
+        let bare = ok_line(None, "");
+        assert_eq!(bare, "{\"ok\":true}");
+        let err = err_line(Some(1), &ServeError::new(ErrorCode::BadWatch, "no \"site\""));
+        validate_json(&err).expect("error line parses");
+        assert!(err.contains("\"code\":\"bad_watch\""), "{err}");
+        validate_json(&greeting(&["a", "b"])).expect("greeting parses");
+    }
+
+    #[test]
+    fn stream_lines_are_valid_json() {
+        let ev = StreamItem::Event(TimedEvent {
+            time: SimTime::from_ns(3),
+            event: ObsEvent::Trap { cause: 2, pc: 0x40, irq: false },
+        });
+        let flow = StreamItem::Flow(FlowDelta::Hop {
+            atom: 1,
+            hop: Hop {
+                kind: HopKind::Tlm { bus: "bus0".into(), target: "uart".into() },
+                pc: None,
+                addr: Some(0x1000_0000),
+                time: SimTime::from_ns(5),
+                repeats: 1,
+            },
+        });
+        let watch = StreamItem::Watch {
+            id: 2,
+            reason: "sink uart.tx tagged".into(),
+            time: SimTime::from_ns(9),
+        };
+        for item in [&ev, &flow, &watch] {
+            let line = stream_line("s1", item);
+            validate_json(&line).unwrap_or_else(|e| panic!("bad line `{line}`: {e}"));
+            assert!(line.contains("\"ev\":\""), "{line}");
+        }
+    }
+}

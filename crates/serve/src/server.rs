@@ -1,0 +1,507 @@
+//! The introspection server: a registry of named [`Session`]s driven by
+//! `taintvp-serve/v1` request lines.
+//!
+//! [`Server::handle_line`] is the transport-free core — one request line
+//! in, one response line out, plus any streamed `"ev"` lines emitted
+//! through the sink callback. [`Server::serve`] wraps it around a
+//! `BufRead`/`Write` pair (stdio), and [`serve_tcp`](Server::serve_tcp)
+//! accepts TCP connections sequentially — sessions persist across
+//! connections, which is what makes the server useful as a long-running
+//! debug target.
+//!
+//! Error discipline: every failure path returns a typed protocol error
+//! line (`bad_json`, `unknown_session`, …) — the server never panics on
+//! client input, and a client that disconnects mid-run has its running
+//! session stopped and freed rather than left wedged.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+
+use vpdift_core::EnforceMode;
+use vpdift_obs::WatchKind;
+use vpdift_rv32::ExecMode;
+use vpdift_soc::SocExit;
+
+use crate::json::{self, Value};
+use crate::proto::{self, ErrorCode, ServeError};
+use crate::session::{ByteRead, CreateOpts, Session, DEFAULT_MAX_STEPS};
+
+/// What a handled request asks the transport loop to do next.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Control {
+    /// Keep reading requests.
+    Continue,
+    /// `shutdown` was requested: stop the transport loop.
+    Shutdown,
+}
+
+/// The session registry plus request dispatch.
+#[derive(Default)]
+pub struct Server {
+    sessions: BTreeMap<String, Session>,
+}
+
+/// Emits a line to the client; an `Err` means the client is gone.
+pub type EmitFn<'a> = dyn FnMut(&str) -> io::Result<()> + 'a;
+
+impl Server {
+    /// An empty registry.
+    pub fn new() -> Server {
+        Server::default()
+    }
+
+    /// Session names, for the greeting and `list`.
+    pub fn session_names(&self) -> Vec<&str> {
+        self.sessions.keys().map(String::as_str).collect()
+    }
+
+    /// Handles one request line: writes streamed `"ev"` lines and exactly
+    /// one response line through `emit`, and reports whether to keep
+    /// serving.
+    ///
+    /// An `emit` failure mid-run (client disconnect) stops the running
+    /// session via its [`StopFlag`](vpdift_obs::StopFlag), frees it, and
+    /// surfaces as `Err` so the transport loop can drop the connection.
+    ///
+    /// # Errors
+    /// Only transport failures; protocol problems become error *lines*.
+    pub fn handle_line(&mut self, line: &str, emit: &mut EmitFn<'_>) -> io::Result<Control> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(Control::Continue);
+        }
+        let (id, result) = match json::parse(line) {
+            Err(e) => (None, Err(ServeError::new(ErrorCode::BadJson, e.to_string()))),
+            Ok(req) => {
+                let id = req.get("id").and_then(Value::as_u64);
+                (id, self.dispatch(&req, emit))
+            }
+        };
+        match result {
+            Ok(Reply { fields, control }) => {
+                emit(&proto::ok_line(id, &fields))?;
+                Ok(control)
+            }
+            Err(err) => {
+                emit(&proto::err_line(id, &err))?;
+                Ok(Control::Continue)
+            }
+        }
+    }
+
+    fn dispatch(&mut self, req: &Value, emit: &mut EmitFn<'_>) -> Result<Reply, ServeError> {
+        let cmd = req
+            .get("cmd")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ServeError::new(ErrorCode::BadRequest, "missing `cmd` string"))?;
+        match cmd {
+            "create" => self.cmd_create(req),
+            "destroy" => self.cmd_destroy(req),
+            "list" => Ok(Reply::fields(format!(
+                "\"sessions\":[{}]",
+                self.sessions
+                    .keys()
+                    .map(|n| format!("\"{}\"", vpdift_obs::export::escape(n)))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ))),
+            "step" => self.cmd_run(req, Some(1), emit),
+            "run" => {
+                let max = req.get("max_steps").and_then(Value::as_u64);
+                self.cmd_run(req, Some(max.unwrap_or(DEFAULT_MAX_STEPS)), emit)
+            }
+            "until" => self.cmd_run(req, None, emit),
+            "read" => self.cmd_read(req),
+            "watch" => self.cmd_watch(req),
+            "unwatch" => self.cmd_unwatch(req),
+            "subscribe" => self.cmd_subscribe(req),
+            "explain" => self.cmd_explain(req),
+            "info" => self.cmd_info(req),
+            "shutdown" => Ok(Reply { fields: String::new(), control: Control::Shutdown }),
+            other => Err(ServeError::new(ErrorCode::UnknownCmd, format!("unknown cmd `{other}`"))),
+        }
+    }
+
+    fn session_name(req: &Value) -> Result<&str, ServeError> {
+        req.get("session")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ServeError::new(ErrorCode::BadRequest, "missing `session` string"))
+    }
+
+    fn session<'a>(&'a mut self, req: &'a Value) -> Result<(&'a str, &'a mut Session), ServeError> {
+        let name = Self::session_name(req)?;
+        match self.sessions.get_mut(name) {
+            Some(sess) => Ok((name, sess)),
+            None => Err(ServeError::new(ErrorCode::UnknownSession, format!("no session `{name}`"))),
+        }
+    }
+
+    fn cmd_create(&mut self, req: &Value) -> Result<Reply, ServeError> {
+        let name = Self::session_name(req)?;
+        if self.sessions.contains_key(name) {
+            return Err(ServeError::new(
+                ErrorCode::DuplicateSession,
+                format!("session `{name}` already exists"),
+            ));
+        }
+        let program = req
+            .get("program")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ServeError::new(ErrorCode::BadRequest, "missing `program` string"))?;
+        let mut opts = CreateOpts { program: program.to_owned(), ..CreateOpts::default() };
+        opts.policy = req.get("policy").and_then(Value::as_str).map(str::to_owned);
+        if let Some(mode) = req.get("mode").and_then(Value::as_str) {
+            opts.tainted = match mode {
+                "tainted" => true,
+                "plain" => false,
+                other => {
+                    return Err(ServeError::new(
+                        ErrorCode::BadRequest,
+                        format!("mode must be `tainted` or `plain`, got `{other}`"),
+                    ))
+                }
+            };
+        }
+        if let Some(engine) = req.get("engine").and_then(Value::as_str) {
+            opts.engine = match engine {
+                "interp" => ExecMode::Interp,
+                "block" => ExecMode::BlockCache,
+                other => {
+                    return Err(ServeError::new(
+                        ErrorCode::BadRequest,
+                        format!("engine must be `interp` or `block`, got `{other}`"),
+                    ))
+                }
+            };
+        }
+        if let Some(enforce) = req.get("enforce").and_then(Value::as_str) {
+            opts.enforce = match enforce {
+                "enforce" => EnforceMode::Enforce,
+                "record" => EnforceMode::Record,
+                other => {
+                    return Err(ServeError::new(
+                        ErrorCode::BadRequest,
+                        format!("enforce must be `enforce` or `record`, got `{other}`"),
+                    ))
+                }
+            };
+        }
+        opts.quantum = req.get("quantum").and_then(Value::as_u32);
+        opts.ram_size = req.get("ram_size").and_then(Value::as_u32).map(|n| n as usize);
+
+        let sess = Session::create(&opts)?;
+        let fields = format!(
+            "\"session\":\"{}\",\"mode\":\"{}\",\"engine\":\"{}\"",
+            vpdift_obs::export::escape(name),
+            sess.mode(),
+            sess.engine()
+        );
+        self.sessions.insert(name.to_owned(), sess);
+        Ok(Reply::fields(fields))
+    }
+
+    fn cmd_destroy(&mut self, req: &Value) -> Result<Reply, ServeError> {
+        let name = Self::session_name(req)?;
+        if self.sessions.remove(name).is_none() {
+            return Err(ServeError::new(ErrorCode::UnknownSession, format!("no session `{name}`")));
+        }
+        Ok(Reply::fields(String::new()))
+    }
+
+    fn cmd_run(
+        &mut self,
+        req: &Value,
+        max_steps: Option<u64>,
+        emit: &mut EmitFn<'_>,
+    ) -> Result<Reply, ServeError> {
+        let (name, sess) = self.session(req)?;
+        let name = name.to_owned();
+
+        // Stream buffered items between run slices. A failing emit means
+        // the client is gone: raise the stop flag so the current slice is
+        // the last, then free the session below.
+        let mut client_gone = false;
+        let stop = sess.stop_flag();
+        let mut on_items = |items: Vec<vpdift_obs::StreamItem>| {
+            if client_gone {
+                return;
+            }
+            for item in &items {
+                if emit(&proto::stream_line(&name, item)).is_err() {
+                    client_gone = true;
+                    stop.request();
+                    return;
+                }
+            }
+        };
+        let exit = match max_steps {
+            Some(n) => sess.run(n, &mut on_items),
+            None => sess.run_until(req.get("cap").and_then(Value::as_u64), &mut on_items),
+        };
+
+        if client_gone {
+            self.sessions.remove(&name);
+            return Err(ServeError::new(
+                ErrorCode::Io,
+                format!("client disconnected mid-run; session `{name}` freed"),
+            ));
+        }
+
+        let sess = self.sessions.get_mut(&name).expect("session still registered");
+        let mut fields = format!(
+            "\"exit\":\"{}\",\"instret\":{},\"t_ps\":{},\"digest\":\"{:#018x}\"",
+            exit.label(),
+            sess.instret(),
+            sess.now_ps(),
+            sess.digest()
+        );
+        if let SocExit::Violation(v) = &exit {
+            fields.push_str(&format!(
+                ",\"violation\":\"{}\"",
+                vpdift_obs::export::escape(&v.to_string())
+            ));
+        }
+        Ok(Reply::fields(fields))
+    }
+
+    fn cmd_read(&mut self, req: &Value) -> Result<Reply, ServeError> {
+        let what = req
+            .get("what")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ServeError::new(ErrorCode::BadRequest, "missing `what` string"))?
+            .to_owned();
+        let (_, sess) = self.session(req)?;
+        match what.as_str() {
+            "regs" => {
+                let (pc, regs) = sess.read_regs();
+                let rendered: Vec<String> = regs
+                    .iter()
+                    .map(|r| {
+                        format!(
+                            "{{\"name\":\"{}\",\"value\":{},\"tag\":{}}}",
+                            r.name,
+                            r.value,
+                            proto::tag_field(r.tag)
+                        )
+                    })
+                    .collect();
+                Ok(Reply::fields(format!("\"pc\":{pc},\"regs\":[{}]", rendered.join(","))))
+            }
+            "mem" | "tags" => {
+                let addr = req
+                    .get("addr")
+                    .and_then(Value::as_u32)
+                    .ok_or_else(|| ServeError::new(ErrorCode::BadRequest, "missing `addr`"))?;
+                let len = req.get("len").and_then(Value::as_u64).unwrap_or(16).min(4096) as usize;
+                let bytes = sess.read_mem(addr, len);
+                let rendered: Vec<String> = bytes
+                    .iter()
+                    .map(|b| match b {
+                        None => "null".to_owned(),
+                        Some(ByteRead { value, tag }) => {
+                            if what == "mem" {
+                                value.to_string()
+                            } else {
+                                proto::tag_field(*tag)
+                            }
+                        }
+                    })
+                    .collect();
+                Ok(Reply::fields(format!(
+                    "\"addr\":{addr},\"{}\":[{}]",
+                    if what == "mem" { "bytes" } else { "tags" },
+                    rendered.join(",")
+                )))
+            }
+            other => Err(ServeError::new(
+                ErrorCode::BadRequest,
+                format!("`what` must be regs|mem|tags, got `{other}`"),
+            )),
+        }
+    }
+
+    fn cmd_watch(&mut self, req: &Value) -> Result<Reply, ServeError> {
+        let kind = req
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ServeError::new(ErrorCode::BadWatch, "missing `kind` string"))?
+            .to_owned();
+        let watch = match kind.as_str() {
+            "sink" => {
+                let site = req.get("site").and_then(Value::as_str).ok_or_else(|| {
+                    ServeError::new(ErrorCode::BadWatch, "sink watch needs `site`")
+                })?;
+                WatchKind::Sink {
+                    site: site.to_owned(),
+                    atom: req.get("atom").and_then(Value::as_u32),
+                }
+            }
+            "range" => {
+                let start = req.get("addr").and_then(Value::as_u32).ok_or_else(|| {
+                    ServeError::new(ErrorCode::BadWatch, "range watch needs `addr`")
+                })?;
+                let len = req.get("len").and_then(Value::as_u32).ok_or_else(|| {
+                    ServeError::new(ErrorCode::BadWatch, "range watch needs `len`")
+                })?;
+                WatchKind::Range { start, len }
+            }
+            "violation" => WatchKind::Violation {
+                site: req.get("site").and_then(Value::as_str).map(str::to_owned),
+            },
+            other => {
+                return Err(ServeError::new(
+                    ErrorCode::BadWatch,
+                    format!("`kind` must be sink|range|violation, got `{other}`"),
+                ))
+            }
+        };
+        let (_, sess) = self.session(req)?;
+        let id = sess.add_watch(watch);
+        Ok(Reply::fields(format!("\"watch\":{id}")))
+    }
+
+    fn cmd_unwatch(&mut self, req: &Value) -> Result<Reply, ServeError> {
+        let id = req
+            .get("watch")
+            .and_then(Value::as_u32)
+            .ok_or_else(|| ServeError::new(ErrorCode::BadRequest, "missing `watch` id"))?;
+        let (_, sess) = self.session(req)?;
+        if !sess.remove_watch(id) {
+            return Err(ServeError::new(
+                ErrorCode::BadWatch,
+                format!("no watch {id} in this session"),
+            ));
+        }
+        Ok(Reply::fields(String::new()))
+    }
+
+    fn cmd_subscribe(&mut self, req: &Value) -> Result<Reply, ServeError> {
+        let events = match req.get("events") {
+            None | Some(Value::Null) => None,
+            Some(v) => {
+                let arr = v.as_arr().ok_or_else(|| {
+                    ServeError::new(ErrorCode::BadRequest, "`events` must be an array of kinds")
+                })?;
+                let kinds: Result<Vec<String>, ServeError> = arr
+                    .iter()
+                    .map(|k| {
+                        k.as_str().map(str::to_owned).ok_or_else(|| {
+                            ServeError::new(ErrorCode::BadRequest, "event kinds must be strings")
+                        })
+                    })
+                    .collect();
+                Some(kinds?)
+            }
+        };
+        let flow = req.get("flow").and_then(Value::as_bool).unwrap_or(false);
+        let (_, sess) = self.session(req)?;
+        sess.subscribe(events, flow);
+        Ok(Reply::fields(String::new()))
+    }
+
+    fn cmd_explain(&mut self, req: &Value) -> Result<Reply, ServeError> {
+        let atom = req.get("atom").and_then(Value::as_str).map(str::to_owned);
+        let (_, sess) = self.session(req)?;
+        let text = sess.explain(atom.as_deref())?;
+        Ok(Reply::fields(match text {
+            Some(t) => format!("\"explain\":\"{}\"", vpdift_obs::export::escape(&t)),
+            None => "\"explain\":null".to_owned(),
+        }))
+    }
+
+    fn cmd_info(&mut self, req: &Value) -> Result<Reply, ServeError> {
+        let (_, sess) = self.session(req)?;
+        let watches: Vec<String> = sess.watches().iter().map(|w| w.id.to_string()).collect();
+        Ok(Reply::fields(format!(
+            "\"mode\":\"{}\",\"engine\":\"{}\",\"instret\":{},\"t_ps\":{},\"digest\":\"{:#018x}\",\"violations\":{},\"watches\":[{}]",
+            sess.mode(),
+            sess.engine(),
+            sess.instret(),
+            sess.now_ps(),
+            sess.digest(),
+            sess.violations(),
+            watches.join(",")
+        )))
+    }
+
+    /// Serves one client over a reader/writer pair (stdio transport):
+    /// greeting first, then request lines until EOF or `shutdown`.
+    ///
+    /// # Errors
+    /// Transport failures other than the client closing its end.
+    pub fn serve<R: BufRead, W: Write>(&mut self, reader: R, mut writer: W) -> io::Result<()> {
+        let greeting = proto::greeting(&self.session_names());
+        writeln!(writer, "{greeting}")?;
+        writer.flush()?;
+        for line in reader.lines() {
+            let line = line?;
+            let mut emit = |s: &str| {
+                writeln!(writer, "{s}")?;
+                writer.flush()
+            };
+            match self.handle_line(&line, &mut emit) {
+                Ok(Control::Continue) => {}
+                Ok(Control::Shutdown) => break,
+                // The client vanished: this connection is done, but the
+                // server (and its surviving sessions) can serve the next.
+                Err(_) => break,
+            }
+        }
+        Ok(())
+    }
+
+    /// Binds `addr` and serves TCP clients sequentially. Sessions persist
+    /// across connections; a `shutdown` request stops the listener.
+    ///
+    /// # Errors
+    /// Bind failures; per-connection errors only end that connection.
+    pub fn serve_tcp(&mut self, addr: &str) -> io::Result<()> {
+        let listener = TcpListener::bind(addr)?;
+        eprintln!("taintvp-serve listening on {}", listener.local_addr()?);
+        for stream in listener.incoming() {
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let reader = BufReader::new(stream.try_clone()?);
+            let mut writer = stream;
+            let greeting = proto::greeting(&self.session_names());
+            if writeln!(writer, "{greeting}").is_err() {
+                continue;
+            }
+            let mut done = false;
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                let mut emit = |s: &str| {
+                    writeln!(writer, "{s}")?;
+                    writer.flush()
+                };
+                match self.handle_line(&line, &mut emit) {
+                    Ok(Control::Continue) => {}
+                    Ok(Control::Shutdown) => {
+                        done = true;
+                        break;
+                    }
+                    Err(_) => break,
+                }
+            }
+            if done {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A successful reply: pre-rendered response fields plus loop control.
+struct Reply {
+    fields: String,
+    control: Control,
+}
+
+impl Reply {
+    fn fields(fields: String) -> Reply {
+        Reply { fields, control: Control::Continue }
+    }
+}

@@ -1,0 +1,441 @@
+//! One live VP under server control: a [`Soc`] in either taint mode with
+//! a [`StreamSink`] attached, plus the policy's atom table for rendering
+//! tags and explanations.
+//!
+//! Sessions are resumable by construction: `run` executes a bounded slice
+//! and the underlying [`StopFlag`] cooperative-stop mechanism means a
+//! watchpoint hit returns [`SocExit::Stopped`] with all architectural
+//! state intact — the next `run` continues from the exact stop point.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vpdift_asm::{parse_asm, Reg};
+use vpdift_core::{parse_policy, AtomTable, EnforceMode, SecurityPolicy, Tag};
+use vpdift_obs::{flowgraph, Recorder, StopFlag, StreamItem, StreamSink, Watch, WatchKind};
+use vpdift_rv32::{ExecMode, Plain, Tainted, Word};
+use vpdift_soc::{Soc, SocBuilder, SocExit};
+
+use crate::proto::{ErrorCode, ServeError};
+
+/// Default per-call instruction budget when a request names none.
+pub const DEFAULT_MAX_STEPS: u64 = 1_000_000;
+
+/// Hard ceiling for `until` (matches the CLI's default instruction cap).
+pub const UNTIL_CAP: u64 = 100_000_000;
+
+/// Flight-recorder ring capacity for server sessions.
+const RING_CAP: usize = 64;
+
+/// Options extracted from a `create` request.
+#[derive(Clone, Debug)]
+pub struct CreateOpts {
+    /// Assembly source of the guest program.
+    pub program: String,
+    /// Optional policy source; permissive when absent.
+    pub policy: Option<String>,
+    /// `false` = plain VP (no tracking), `true` = tainted VP+.
+    pub tainted: bool,
+    /// Execution engine.
+    pub engine: ExecMode,
+    /// Enforce or record violations.
+    pub enforce: EnforceMode,
+    /// Scheduling quantum override.
+    pub quantum: Option<u32>,
+    /// RAM size override in bytes (digest cost scales with RAM, so small
+    /// guests benefit from a small footprint).
+    pub ram_size: Option<usize>,
+}
+
+impl Default for CreateOpts {
+    fn default() -> Self {
+        CreateOpts {
+            program: String::new(),
+            policy: None,
+            tainted: true,
+            engine: ExecMode::Interp,
+            enforce: EnforceMode::Enforce,
+            quantum: None,
+            ram_size: None,
+        }
+    }
+}
+
+/// The mode-erased SoC: servers hold many sessions of mixed modes.
+enum AnySoc {
+    Plain(Soc<Plain, StreamSink>),
+    Tainted(Soc<Tainted, StreamSink>),
+}
+
+/// Dispatches a method call to whichever mode the session runs in.
+macro_rules! with_soc {
+    ($sess:expr, $soc:ident => $body:expr) => {
+        match &mut $sess.soc {
+            AnySoc::Plain($soc) => $body,
+            AnySoc::Tainted($soc) => $body,
+        }
+    };
+}
+
+/// One register as reported by `read {"what":"regs"}`.
+#[derive(Clone, Debug)]
+pub struct RegRead {
+    /// ABI name (`a0`, `sp`, …).
+    pub name: String,
+    /// Current value.
+    pub value: u32,
+    /// Current tag (always empty in plain mode).
+    pub tag: Tag,
+}
+
+/// One byte as reported by `read {"what":"mem"|"tags"}`.
+#[derive(Clone, Debug)]
+pub struct ByteRead {
+    /// Byte value.
+    pub value: u8,
+    /// Byte tag (always empty in plain mode).
+    pub tag: Tag,
+}
+
+/// A live VP session.
+pub struct Session {
+    soc: AnySoc,
+    sink: Rc<RefCell<StreamSink>>,
+    stop: StopFlag,
+    atoms: AtomTable,
+    tainted: bool,
+    engine: ExecMode,
+    quantum: u32,
+}
+
+impl Session {
+    /// Assembles `opts.program`, parses the policy, and boots a fresh VP
+    /// with a [`StreamSink`] attached.
+    ///
+    /// # Errors
+    /// [`ErrorCode::BadProgram`] / [`ErrorCode::BadPolicy`] with the
+    /// parser's message.
+    pub fn create(opts: &CreateOpts) -> Result<Session, ServeError> {
+        let program = parse_asm(&opts.program, 0)
+            .map_err(|e| ServeError::new(ErrorCode::BadProgram, e.to_string()))?;
+        let (policy, atoms) = match &opts.policy {
+            Some(src) => parse_policy(src)
+                .map_err(|e| ServeError::new(ErrorCode::BadPolicy, e.to_string()))?,
+            None => (SecurityPolicy::permissive(), AtomTable::from_names::<_, String>([])),
+        };
+
+        let stop = StopFlag::new();
+        let recorder = Recorder::new(RING_CAP)
+            .with_symbols(vpdift_obs::SymbolMap::from_program(&program))
+            .with_flow_deltas();
+        let sink = Rc::new(RefCell::new(StreamSink::new(recorder, stop.clone())));
+
+        let mut builder = SocBuilder::new()
+            .policy(policy)
+            .enforce(opts.enforce)
+            .engine(opts.engine)
+            .sensor_thread(false)
+            .stop_flag(stop.clone());
+        if let Some(q) = opts.quantum {
+            builder = builder.quantum(q);
+        }
+        if let Some(bytes) = opts.ram_size {
+            builder = builder.ram_size(bytes);
+        }
+        let cfg = builder.build();
+        let quantum = cfg.quantum;
+
+        let soc = if opts.tainted {
+            let mut soc: Soc<Tainted, StreamSink> = Soc::with_obs(cfg, sink.clone());
+            soc.load_program(&program);
+            AnySoc::Tainted(soc)
+        } else {
+            let mut soc: Soc<Plain, StreamSink> = Soc::with_obs(cfg, sink.clone());
+            soc.load_program(&program);
+            AnySoc::Plain(soc)
+        };
+
+        Ok(Session { soc, sink, stop, atoms, tainted: opts.tainted, engine: opts.engine, quantum })
+    }
+
+    /// `"tainted"` or `"plain"`.
+    pub fn mode(&self) -> &'static str {
+        if self.tainted {
+            "tainted"
+        } else {
+            "plain"
+        }
+    }
+
+    /// `"interp"` or `"block"`.
+    pub fn engine(&self) -> &'static str {
+        match self.engine {
+            ExecMode::Interp => "interp",
+            ExecMode::BlockCache => "block",
+        }
+    }
+
+    /// The policy's atom table.
+    pub fn atoms(&self) -> &AtomTable {
+        &self.atoms
+    }
+
+    /// Instructions retired so far.
+    pub fn instret(&mut self) -> u64 {
+        with_soc!(self, soc => soc.instret())
+    }
+
+    /// Simulated time in picoseconds.
+    pub fn now_ps(&mut self) -> u64 {
+        with_soc!(self, soc => soc.now().as_ps())
+    }
+
+    /// Architectural state digest (CPU ^ RAM), for engine-diff parity.
+    pub fn digest(&mut self) -> u64 {
+        with_soc!(self, soc => soc.state_digest())
+    }
+
+    /// Runs up to `max_steps` instructions, draining buffered stream
+    /// items to `emit` between slices so a subscribed client sees events
+    /// *while the guest runs*, not after. Slices are quantum multiples,
+    /// which keeps a sliced run bit-identical to one batch `Soc::run`
+    /// call (watch stops land on step boundaries and remain resumable).
+    pub fn run(&mut self, max_steps: u64, emit: &mut dyn FnMut(Vec<StreamItem>)) -> SocExit {
+        let slice = (self.quantum as u64).max(1) * 8;
+        let mut remaining = max_steps;
+        loop {
+            let budget = remaining.min(slice);
+            let exit = with_soc!(self, soc => soc.run(budget));
+            let items = self.sink.borrow_mut().drain();
+            if !items.is_empty() {
+                emit(items);
+            }
+            remaining = remaining.saturating_sub(budget);
+            match exit {
+                SocExit::InstrLimit if remaining > 0 => continue,
+                other => return other,
+            }
+        }
+    }
+
+    /// Runs until the guest exits, a watch fires, or `cap` instructions
+    /// have retired — `run` without a meaningful budget.
+    pub fn run_until(
+        &mut self,
+        cap: Option<u64>,
+        emit: &mut dyn FnMut(Vec<StreamItem>),
+    ) -> SocExit {
+        self.run(cap.unwrap_or(UNTIL_CAP), emit)
+    }
+
+    /// All 32 registers plus the PC.
+    pub fn read_regs(&mut self) -> (u32, Vec<RegRead>) {
+        with_soc!(self, soc => {
+            let cpu = soc.cpu();
+            let regs = Reg::ALL
+                .iter()
+                .map(|&r| {
+                    let w = cpu.reg(r);
+                    RegRead { name: r.to_string(), value: w.val(), tag: w.tag() }
+                })
+                .collect();
+            (cpu.pc(), regs)
+        })
+    }
+
+    /// `len` bytes of RAM starting at `addr`; `None` entries are out of
+    /// range (MMIO space is not readable through this call).
+    pub fn read_mem(&mut self, addr: u32, len: usize) -> Vec<Option<ByteRead>> {
+        with_soc!(self, soc => {
+            let ram = soc.ram().borrow();
+            (0..len)
+                .map(|i| {
+                    let off = addr.wrapping_add(i as u32);
+                    ram.byte_at(off).map(|(value, tag)| ByteRead { value, tag })
+                })
+                .collect()
+        })
+    }
+
+    /// Adds a watchpoint; returns its id.
+    pub fn add_watch(&mut self, kind: WatchKind) -> u32 {
+        self.sink.borrow_mut().add_watch(kind)
+    }
+
+    /// Removes a watchpoint; `false` when the id is unknown.
+    pub fn remove_watch(&mut self, id: u32) -> bool {
+        self.sink.borrow_mut().remove_watch(id)
+    }
+
+    /// Current watchpoints (id + kind).
+    pub fn watches(&self) -> Vec<Watch> {
+        self.sink.borrow().watches().map(|(w, _hits)| w.clone()).collect()
+    }
+
+    /// Subscribes to event kinds (empty list = every kind) and/or flow
+    /// deltas.
+    pub fn subscribe(&mut self, events: Option<Vec<String>>, flow: bool) {
+        let mut sink = self.sink.borrow_mut();
+        match events {
+            Some(kinds) => sink.subscribe_events(kinds),
+            None => sink.unsubscribe_events(),
+        }
+        sink.subscribe_flow(flow);
+    }
+
+    /// Drains whatever the sink buffered since the last drain.
+    pub fn drain(&mut self) -> Vec<StreamItem> {
+        self.sink.borrow_mut().drain()
+    }
+
+    /// Recorded (non-enforced) violations so far.
+    pub fn violations(&self) -> usize {
+        self.sink.borrow().recorder().violations().len()
+    }
+
+    /// The live source→sink explanation. With `atom` set, renders the
+    /// shortest recorded path of that atom *right now* — no violation
+    /// needed; without it, explains the last violation (as `--explain`
+    /// does post-mortem).
+    pub fn explain(&mut self, atom: Option<&str>) -> Result<Option<String>, ServeError> {
+        let sink = self.sink.borrow();
+        let rec = sink.recorder();
+        match atom {
+            None => Ok(rec.explain(&self.atoms)),
+            Some(name) => {
+                let tag = self.atoms.tag(name).ok_or_else(|| {
+                    ServeError::new(
+                        ErrorCode::BadRequest,
+                        format!("unknown atom `{name}` in this session's policy"),
+                    )
+                })?;
+                Ok(rec.provenance().shortest_path(tag).map(|path| {
+                    flowgraph::render_path(&path, &self.atoms, rec.symbols(), &|_| None)
+                }))
+            }
+        }
+    }
+
+    /// A clone of the session's cooperative stop flag. Raising it makes
+    /// the current run slice the last one (used when the client vanishes
+    /// mid-run).
+    pub fn stop_flag(&self) -> StopFlag {
+        self.stop.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOOP_LEAK: &str = "
+        li   s0, 0x2000
+        li   s1, 0x10000000
+        li   s2, 4
+loop:
+        lbu  t0, 0(s0)
+        sb   t0, 0(s1)
+        addi s0, s0, 1
+        addi s2, s2, -1
+        bnez s2, loop
+        ebreak
+";
+
+    const POLICY: &str = "
+policy serve-test
+atom secret
+classify 0x2000 +16 secret
+sink uart.tx public
+";
+
+    fn leak_opts() -> CreateOpts {
+        CreateOpts {
+            program: LOOP_LEAK.into(),
+            policy: Some(POLICY.into()),
+            enforce: EnforceMode::Record,
+            ram_size: Some(64 * 1024),
+            ..CreateOpts::default()
+        }
+    }
+
+    #[test]
+    fn create_rejects_bad_program_and_policy() {
+        let bad_prog = CreateOpts { program: "not an opcode".into(), ..CreateOpts::default() };
+        let err = Session::create(&bad_prog).err().expect("bad program rejected");
+        assert_eq!(err.code, ErrorCode::BadProgram);
+
+        let bad_policy = CreateOpts {
+            program: "ebreak".into(),
+            policy: Some("classify nonsense".into()),
+            ..CreateOpts::default()
+        };
+        let err = Session::create(&bad_policy).err().expect("bad policy rejected");
+        assert_eq!(err.code, ErrorCode::BadPolicy);
+    }
+
+    #[test]
+    fn watch_stops_run_and_session_resumes() {
+        let mut sess = Session::create(&leak_opts()).expect("session boots");
+        let id = sess.add_watch(WatchKind::Sink { site: "uart.tx".into(), atom: None });
+        sess.subscribe(Some(vec![]), true);
+
+        let mut streamed = Vec::new();
+        let exit = sess.run(DEFAULT_MAX_STEPS, &mut |items| streamed.extend(items));
+        assert_eq!(exit, SocExit::Stopped, "watch interrupts the run");
+        assert!(
+            streamed.iter().any(|i| matches!(i, StreamItem::Watch { id: w, .. } if *w == id)),
+            "watch hit streamed"
+        );
+        assert!(streamed.iter().any(|i| matches!(i, StreamItem::Flow(_))), "flow deltas streamed");
+
+        // The session is live: registers and memory are inspectable and
+        // the explanation names the flow while the guest is paused.
+        let (pc, regs) = sess.read_regs();
+        assert!(pc != 0, "paused mid-program");
+        assert_eq!(regs.len(), 32);
+        let secret = &sess.read_mem(0x2000, 4);
+        assert!(secret.iter().all(|b| b.is_some()));
+        let explain = sess.explain(Some("secret")).expect("atom known");
+        let text = explain.expect("path recorded");
+        assert!(text.contains("flow of"), "{text}");
+
+        // Resume: the watch fires once per leaked byte, then the guest
+        // ebreaks once the watch is removed.
+        let exit = sess.run(DEFAULT_MAX_STEPS, &mut |_| {});
+        assert_eq!(exit, SocExit::Stopped);
+        assert!(sess.remove_watch(id));
+        let exit = sess.run_until(None, &mut |_| {});
+        assert_eq!(exit, SocExit::Break);
+    }
+
+    #[test]
+    fn sliced_run_digest_matches_batch_run() {
+        for engine in [ExecMode::Interp, ExecMode::BlockCache] {
+            let opts = CreateOpts { engine, ..leak_opts() };
+            // Many tiny budgets until the guest ebreaks: slicing must not
+            // perturb architectural state relative to one batch run.
+            let mut sliced = Session::create(&opts).expect("session boots");
+            let mut emitted = Vec::new();
+            let exit = loop {
+                match sliced.run(3, &mut |items| emitted.extend(items)) {
+                    SocExit::InstrLimit => continue,
+                    other => break other,
+                }
+            };
+            assert_eq!(exit, SocExit::Break, "engine {engine:?}");
+
+            let mut batch = Session::create(&opts).expect("session boots");
+            assert_eq!(batch.run(DEFAULT_MAX_STEPS, &mut |_| {}), SocExit::Break);
+            assert_eq!(
+                sliced.instret(),
+                batch.instret(),
+                "engine {engine:?}: instruction counts diverged"
+            );
+            assert_eq!(
+                sliced.digest(),
+                batch.digest(),
+                "engine {engine:?}: sliced and batch runs diverged"
+            );
+        }
+    }
+}

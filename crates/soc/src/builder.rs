@@ -21,6 +21,7 @@
 
 use vpdift_core::{EnforceMode, SecurityPolicy};
 use vpdift_kernel::SimTime;
+use vpdift_obs::StopFlag;
 use vpdift_rv32::ExecMode;
 
 use crate::soc::SocConfig;
@@ -89,6 +90,15 @@ impl SocBuilder {
         self
     }
 
+    /// Shares `flag` with the run loop for cooperative stops: raising it
+    /// (typically from a [`vpdift_obs::StreamSink`] watchpoint) makes
+    /// [`Soc::run`](crate::Soc::run) return `SocExit::Stopped` at the
+    /// next step boundary. Ignored by `NullSink` builds.
+    pub fn stop_flag(mut self, flag: StopFlag) -> Self {
+        self.config.stop = flag;
+        self
+    }
+
     /// Finalises into the [`SocConfig`] consumed by
     /// [`Soc::new`](crate::Soc::new).
     pub fn build(self) -> SocConfig {
@@ -115,6 +125,7 @@ mod tests {
 
     #[test]
     fn every_knob_is_reachable() {
+        let stop = StopFlag::new();
         let cfg = SocBuilder::new()
             .ram_size(64 * 1024)
             .policy(SecurityPolicy::permissive())
@@ -124,6 +135,7 @@ mod tests {
             .insn_time(SimTime::from_ns(5))
             .sensor_thread(false)
             .engine(ExecMode::BlockCache)
+            .stop_flag(stop.clone())
             .build();
         assert_eq!(cfg.ram_size, 64 * 1024);
         assert_eq!(cfg.enforce, EnforceMode::Record);
@@ -132,5 +144,7 @@ mod tests {
         assert_eq!(cfg.insn_time, SimTime::from_ns(5));
         assert!(!cfg.sensor_thread);
         assert_eq!(cfg.exec, ExecMode::BlockCache);
+        stop.request();
+        assert!(cfg.stop.is_requested(), "builder shares the caller's flag");
     }
 }

@@ -6,7 +6,7 @@ use std::rc::Rc;
 use vpdift_asm::Program;
 use vpdift_core::{AddrRange, DiftEngine, EnforceMode, SecurityPolicy, SharedEngine, Violation};
 use vpdift_kernel::{Kernel, SimTime};
-use vpdift_obs::{engine_observer, shared_obs, NullSink, ObsEvent, ObsSink};
+use vpdift_obs::{engine_observer, shared_obs, NullSink, ObsEvent, ObsSink, StopFlag};
 use vpdift_periph::{
     AesEngine, CanChannel, CanController, CanHostEndpoint, Clint, Dma, IrqLine, Plic, Ram, Sensor,
     TaintDebug, Terminal, Uart, Watchdog,
@@ -39,6 +39,12 @@ pub struct SocConfig {
     /// Which execution engine drives the CPU (interpreter or predecoded
     /// block cache).
     pub exec: ExecMode,
+    /// Cooperative stop flag polled by [`Soc::run`]: raising it (from a
+    /// watchpoint or a controlling session) ends the run with
+    /// [`SocExit::Stopped`] at the next step boundary. Only polled when an
+    /// enabled observability sink is attached — `NullSink` builds compile
+    /// the check out.
+    pub stop: StopFlag,
 }
 
 impl Default for SocConfig {
@@ -52,6 +58,7 @@ impl Default for SocConfig {
             insn_time: SimTime::from_ns(10), // 100 MIPS guest clock
             sensor_thread: true,
             exec: ExecMode::Interp,
+            stop: StopFlag::new(),
         }
     }
 }
@@ -87,6 +94,10 @@ pub enum SocExit {
     /// synchronous traps without retiring an instruction — the guest is
     /// wedged in its own trap handler (e.g. a corrupted trap vector).
     TrapLoop,
+    /// The configured [`StopFlag`] was raised — a watchpoint hit or an
+    /// external stop request. The VP is resumable: call [`Soc::run`]
+    /// again to continue from the exact stop point.
+    Stopped,
 }
 
 impl SocExit {
@@ -99,6 +110,7 @@ impl SocExit {
             SocExit::Idle => "idle",
             SocExit::WatchdogTimeout => "watchdog_timeout",
             SocExit::TrapLoop => "trap_loop",
+            SocExit::Stopped => "stopped",
         }
     }
 }
@@ -399,6 +411,7 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
                     invalidations: st.invalidations,
                     flushes: st.flushes,
                     idle_steps: st.idle_steps,
+                    checked_steps: st.checked_steps,
                 });
             }
         }
@@ -420,6 +433,14 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
             let mut waiting = false;
             let mut exit = None;
             for _ in 0..quantum {
+                // Cooperative stop: a watchpoint raised the flag during
+                // the previous step's event emission (or a controller
+                // raised it between runs). Consuming it here stops on the
+                // exact step boundary, leaving the VP resumable.
+                if S::ENABLED && self.config.stop.take() {
+                    exit = Some(SocExit::Stopped);
+                    break;
+                }
                 // Engine dispatch happens per step, inside the quantum:
                 // interrupt-line resampling, watchdog and time accounting
                 // below stay identical between engines.

@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! taintvp-run <program.s> [options]
+//! taintvp-run serve [--tcp addr]
+//! taintvp-run client [--script file] [--tcp addr]
 //!
 //!   --policy <file>       textual security policy (see vpdift_core::textpolicy)
 //!   --plain               run on the original VP (no taint tracking)
@@ -17,6 +19,9 @@
 //!   --metrics             print the DIFT metrics summary after the run
 //!                         (includes guest-profiler totals: top symbols,
 //!                         TLM access counts)
+//!   --metrics-json <file> write the metrics registry as a
+//!                         `taintvp-metrics/v1` JSON document (includes
+//!                         block-cache statistics when `--engine block`)
 //!   --flight-recorder <n> keep the last n events; on violation print a
 //!                         flight report (disassembled tail + provenance)
 //!   --events-out <file>   write every event as JSON lines
@@ -37,6 +42,13 @@
 //!                         with seeds derived from --fault-seed, classify
 //!                         each against the reference and print a summary
 //! ```
+//!
+//! The `serve` subcommand starts the live introspection server speaking
+//! the `taintvp-serve/v1` line-JSON protocol (docs/SERVE.md) over stdio,
+//! or over TCP with `--tcp addr`. The `client` subcommand drives a server:
+//! it sends the request lines from `--script file` (or interactively from
+//! stdin) and prints every server line — spawning a `serve` child over
+//! stdio by default, or connecting to `--tcp addr`.
 //!
 //! The observability flags attach a [`taintvp::obs::Recorder`] to every
 //! layer of the VP; without them the [`NullSink`] build runs and the
@@ -64,7 +76,7 @@ use taintvp::core::{parse_policy, AtomTable, EnforceMode, SecurityPolicy};
 use taintvp::faults::{
     classify, generate_plan, run_with_faults, Outcome, PlannedFault, ScenarioRun,
 };
-use taintvp::obs::export::{write_chrome_trace, write_jsonl};
+use taintvp::obs::export::{write_chrome_trace, write_jsonl, write_metrics_json};
 use taintvp::obs::{NullSink, ObsSink, Recorder, SymbolMap};
 use taintvp::rv32::{Plain, TaintMode, Tainted};
 use taintvp::soc::{ExecMode, Soc, SocExit};
@@ -87,6 +99,7 @@ struct Options {
     trace: u64,
     uart_hex: bool,
     metrics: bool,
+    metrics_json: Option<String>,
     flight_recorder: Option<usize>,
     events_out: Option<String>,
     chrome_trace: Option<String>,
@@ -104,6 +117,7 @@ impl Options {
     /// Any flag that needs the recording sink?
     fn observed(&self) -> bool {
         self.metrics
+            || self.metrics_json.is_some()
             || self.flight_recorder.is_some()
             || self.events_out.is_some()
             || self.chrome_trace.is_some()
@@ -126,9 +140,12 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: taintvp-run <program.s> [--policy file] [--plain] [--engine interp|block] [--record] \
          [--input str] [--max-insns n] [--trace n] [--dump-uart-hex] \
-         [--metrics] [--flight-recorder n] [--events-out file] [--chrome-trace file] \
+         [--metrics] [--metrics-json file] [--flight-recorder n] [--events-out file] \
+         [--chrome-trace file] \
          [--profile] [--folded-out file] [--explain] [--flow-dot file] [--flow-json file] \
-         [--fault-seed n] [--fault-rate r] [--campaign n]"
+         [--fault-seed n] [--fault-rate r] [--campaign n]\n\
+         \x20      taintvp-run serve [--tcp addr]\n\
+         \x20      taintvp-run client [--script file] [--tcp addr]"
     );
     ExitCode::from(1)
 }
@@ -187,6 +204,7 @@ fn parse_args() -> Result<Options, String> {
         trace: 0,
         uart_hex: false,
         metrics: false,
+        metrics_json: None,
         flight_recorder: None,
         events_out: None,
         chrome_trace: None,
@@ -228,6 +246,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--dump-uart-hex" => opts.uart_hex = true,
             "--metrics" => opts.metrics = true,
+            "--metrics-json" => {
+                opts.metrics_json = Some(args.next().ok_or("--metrics-json needs a file")?);
+            }
             "--flight-recorder" => {
                 let n: usize = args
                     .next()
@@ -312,6 +333,7 @@ fn describe_exit(exit: &SocExit, atoms: &AtomTable) -> (&'static str, u8) {
         SocExit::Idle => ("deadlocked in wfi", 4),
         SocExit::WatchdogTimeout => ("watchdog timeout", 5),
         SocExit::TrapLoop => ("trap loop", 6),
+        SocExit::Stopped => ("stopped by watchpoint", 7),
     }
 }
 
@@ -407,6 +429,11 @@ fn obs_epilogue(
     if opts.metrics {
         eprintln!("{}", rec.metrics());
         eprintln!("exit kind:              {}", exit.label());
+    }
+    if let Some(path) = &opts.metrics_json {
+        let f = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        write_metrics_json(std::io::BufWriter::new(f), rec.metrics())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
     if opts.explain {
         match rec.explain(atoms) {
@@ -519,6 +546,7 @@ fn run_cli_campaign<M: TaintMode>(
             trace: 0,
             uart_hex: opts.uart_hex,
             metrics: false,
+            metrics_json: None,
             flight_recorder: None,
             events_out: None,
             chrome_trace: None,
@@ -610,7 +638,156 @@ fn report_faults(records: &[taintvp::faults::FaultRecord]) {
     }
 }
 
+/// `taintvp-run serve [--tcp addr]` — the live introspection server over
+/// stdio (default) or TCP.
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut tcp = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tcp" => {
+                let Some(addr) = args.get(i + 1) else {
+                    eprintln!("error: --tcp needs an address");
+                    return ExitCode::from(1);
+                };
+                tcp = Some(addr.clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("error: unknown serve option `{other}`");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let mut server = taintvp::serve::Server::new();
+    let result = match tcp {
+        Some(addr) => server.serve_tcp(&addr),
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            server.serve(stdin.lock(), stdout.lock())
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: serve transport failed: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// `taintvp-run client [--script file] [--tcp addr]` — drive a server:
+/// request lines come from the script file (or stdin), every server line
+/// is printed to stdout. Without `--tcp` a `serve` child is spawned and
+/// driven over its stdio.
+fn client_main(args: &[String]) -> ExitCode {
+    let mut script = None;
+    let mut tcp = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--script" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("error: --script needs a file");
+                    return ExitCode::from(1);
+                };
+                script = Some(path.clone());
+                i += 2;
+            }
+            "--tcp" => {
+                let Some(addr) = args.get(i + 1) else {
+                    eprintln!("error: --tcp needs an address");
+                    return ExitCode::from(1);
+                };
+                tcp = Some(addr.clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("error: unknown client option `{other}`");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let requests: Vec<String> = match &script {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => text.lines().map(str::to_owned).collect(),
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::from(1);
+            }
+        },
+        None => {
+            use std::io::BufRead as _;
+            std::io::stdin().lock().lines().map_while(Result::ok).collect()
+        }
+    };
+    match run_client(&requests, tcp.as_deref()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: client transport failed: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// Sends `requests` line-by-line and echoes every server line to stdout.
+/// A reader thread drains the server side so large streams cannot
+/// deadlock the write pipe.
+fn run_client(requests: &[String], tcp: Option<&str>) -> std::io::Result<()> {
+    use std::io::{BufRead as _, BufReader, Write as _};
+
+    fn pump<R: std::io::Read + Send + 'static>(r: R) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            for line in BufReader::new(r).lines().map_while(Result::ok) {
+                println!("{line}");
+            }
+        })
+    }
+
+    match tcp {
+        Some(addr) => {
+            let stream = std::net::TcpStream::connect(addr)?;
+            let reader = pump(stream.try_clone()?);
+            let mut writer = stream;
+            for line in requests {
+                writeln!(writer, "{line}")?;
+            }
+            writer.flush()?;
+            writer.shutdown(std::net::Shutdown::Write)?;
+            let _ = reader.join();
+        }
+        None => {
+            let exe = std::env::current_exe()?;
+            let mut child = std::process::Command::new(exe)
+                .arg("serve")
+                .stdin(std::process::Stdio::piped())
+                .stdout(std::process::Stdio::piped())
+                .spawn()?;
+            let reader = pump(child.stdout.take().expect("piped stdout"));
+            {
+                let mut stdin = child.stdin.take().expect("piped stdin");
+                for line in requests {
+                    writeln!(stdin, "{line}")?;
+                }
+                stdin.flush()?;
+                // Dropping stdin closes the pipe: a script without a
+                // `shutdown` request still terminates the server via EOF.
+            }
+            let _ = child.wait()?;
+            let _ = reader.join();
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => return serve_main(&argv[1..]),
+        Some("client") => return client_main(&argv[1..]),
+        _ => {}
+    }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {

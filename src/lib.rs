@@ -29,5 +29,6 @@ pub use vpdift_kernel as kernel;
 pub use vpdift_obs as obs;
 pub use vpdift_periph as periph;
 pub use vpdift_rv32 as rv32;
+pub use vpdift_serve as serve;
 pub use vpdift_soc as soc;
 pub use vpdift_tlm as tlm;

@@ -30,8 +30,14 @@ pub use vpdift_core::{
     ViolationKind,
 };
 
-// Observability sinks.
-pub use vpdift_obs::{shared_obs, Metrics, NullSink, ObsEvent, ObsSink, Recorder, SharedObs};
+// Observability sinks and live streaming.
+pub use vpdift_obs::{
+    shared_obs, Metrics, NullSink, ObsEvent, ObsSink, Recorder, SharedObs, StopFlag, StreamItem,
+    StreamSink, WatchKind,
+};
+
+// The live introspection server.
+pub use vpdift_serve::{Server, Session};
 
 // Fault-injection campaigns.
 pub use vpdift_faults::{

@@ -134,3 +134,109 @@ fn input_escapes_reach_the_terminal() {
     assert_eq!(code, 0);
     assert!(stdout.contains('A'));
 }
+
+#[test]
+fn metrics_json_export_is_valid_and_tagged() {
+    let path = std::env::temp_dir().join("taintvp_cli_metrics.json");
+    let (code, _stdout, stderr) = run_cli(&[
+        "docs/examples/leak.s",
+        "--policy",
+        "docs/examples/leak.policy",
+        "--record",
+        "--metrics-json",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "record mode completes; stderr: {stderr}");
+    let json = std::fs::read_to_string(&path).expect("metrics written");
+    taintvp::obs::export::validate_json(&json).expect("metrics JSON parses");
+    assert!(json.contains("\"schema\": \"taintvp-metrics/v1\""), "schema tag: {json}");
+    assert!(json.contains("\"instructions\""), "counter present: {json}");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Pipes a request script into `taintvp-run serve` over stdio and returns
+/// (exit code, stdout lines).
+fn run_serve_script(script: &str) -> (i32, Vec<String>) {
+    use std::io::Write as _;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_taintvp-run"))
+        .arg("serve")
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve child spawns");
+    child.stdin.take().expect("piped stdin").write_all(script.as_bytes()).expect("script written");
+    let out = child.wait_with_output().expect("serve child exits");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).lines().map(str::to_owned).collect(),
+    )
+}
+
+#[test]
+fn serve_subcommand_speaks_the_protocol_over_stdio() {
+    let program = taintvp::obs::export::escape(
+        &std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/docs/examples/immo_leak.s"))
+            .expect("demo program"),
+    );
+    let policy = taintvp::obs::export::escape(
+        &std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/docs/examples/immobilizer.policy"
+        ))
+        .expect("demo policy"),
+    );
+    let script = format!(
+        "{{\"id\":1,\"cmd\":\"create\",\"session\":\"immo\",\"program\":\"{program}\",\
+         \"policy\":\"{policy}\",\"enforce\":\"record\",\"ram_size\":65536}}\n\
+         {{\"id\":2,\"cmd\":\"watch\",\"session\":\"immo\",\"kind\":\"sink\",\"site\":\"uart.tx\"}}\n\
+         {{\"id\":3,\"cmd\":\"run\",\"session\":\"immo\",\"max_steps\":100000}}\n\
+         {{\"id\":4,\"cmd\":\"shutdown\"}}\n"
+    );
+    let (code, lines) = run_serve_script(&script);
+    assert_eq!(code, 0, "clean shutdown: {lines:?}");
+    assert!(
+        lines.first().is_some_and(|l| l.contains("\"schema\":\"taintvp-serve/v1\"")),
+        "greeting first: {lines:?}"
+    );
+    assert!(
+        lines.iter().any(|l| l.contains("\"ev\":\"watch\"") && l.contains("uart.tx")),
+        "watch hit streamed: {lines:?}"
+    );
+    assert!(
+        lines.iter().any(|l| l.contains("\"id\":3") && l.contains("\"exit\":\"stopped\"")),
+        "watchpoint paused the run: {lines:?}"
+    );
+    for line in &lines {
+        taintvp::obs::export::validate_json(line)
+            .unwrap_or_else(|e| panic!("bad line `{line}`: {e}"));
+    }
+}
+
+#[test]
+fn serve_exits_cleanly_on_client_eof() {
+    // No shutdown request — closing stdin must still terminate the server.
+    let (code, lines) = run_serve_script("{\"id\":1,\"cmd\":\"list\"}\n");
+    assert_eq!(code, 0, "EOF ends the stdio session: {lines:?}");
+    assert!(lines.iter().any(|l| l.contains("\"sessions\":[]")), "{lines:?}");
+}
+
+#[test]
+fn client_subcommand_drives_a_spawned_server() {
+    let script_path = std::env::temp_dir().join("taintvp_cli_client.jsonl");
+    std::fs::write(
+        &script_path,
+        "{\"id\":1,\"cmd\":\"create\",\"session\":\"s\",\"program\":\"ebreak\",\"ram_size\":65536}\n\
+         {\"id\":2,\"cmd\":\"until\",\"session\":\"s\"}\n\
+         {\"id\":3,\"cmd\":\"shutdown\"}\n",
+    )
+    .expect("script written");
+    let (code, stdout, stderr) = run_cli(&["client", "--script", script_path.to_str().unwrap()]);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(stdout.contains("\"schema\":\"taintvp-serve/v1\""), "greeting echoed: {stdout}");
+    assert!(
+        stdout.contains("\"id\":2") && stdout.contains("\"exit\":\"break\""),
+        "run response echoed: {stdout}"
+    );
+    let _ = std::fs::remove_file(&script_path);
+}

@@ -9,8 +9,9 @@ use std::rc::Rc;
 
 use taintvp::asm::parse_asm;
 use taintvp::core::parse_policy;
+use taintvp::core::EnforceMode;
 use taintvp::obs::export::{validate_json, write_chrome_trace, write_jsonl};
-use taintvp::obs::{CheckKind, Recorder};
+use taintvp::obs::{CheckKind, Recorder, StopFlag, StreamItem, StreamSink, WatchKind};
 use taintvp::prelude::{Soc, SocBuilder, SocExit};
 use taintvp::rv32::Tainted;
 
@@ -156,4 +157,66 @@ fn cli_without_obs_flags_behaves_as_before() {
     assert_eq!(code, 2);
     assert!(!stderr.contains("flight report"), "{stderr}");
     assert!(!stderr.contains("== DIFT metrics =="), "{stderr}");
+}
+
+/// A four-byte leak loop so a watchpoint can interrupt the transfer
+/// mid-way: each iteration copies one classified byte to the UART.
+const LEAK_LOOP_ASM: &str = "
+        li   s0, 0x2000         # the (classified) key
+        li   s1, 0x10000000     # UART
+        li   s2, 4
+loop:
+        lbu  t0, 0(s0)
+        sb   t0, 0(s1)
+        addi s0, s0, 1
+        addi s2, s2, -1
+        bnez s2, loop
+        ebreak
+";
+
+#[test]
+fn sink_watchpoint_stops_the_leak_mid_run_and_resumes() {
+    let (policy, _atoms) = parse_policy(LEAK_POLICY).expect("policy parses");
+    let program = parse_asm(LEAK_LOOP_ASM, 0).expect("program assembles");
+
+    let stop = StopFlag::new();
+    let mut sink = StreamSink::new(Recorder::new(16), stop.clone());
+    let watch_id = sink.add_watch(WatchKind::Sink { site: "uart.tx".into(), atom: None });
+    let sink = Rc::new(RefCell::new(sink));
+
+    // Record mode: without the watchpoint the whole 4-byte leak runs to
+    // completion; the watch must be what stops it.
+    let cfg = SocBuilder::new()
+        .policy(policy)
+        .enforce(EnforceMode::Record)
+        .sensor_thread(false)
+        .stop_flag(stop)
+        .build();
+    let mut soc: Soc<Tainted, StreamSink> = Soc::with_obs(cfg, sink.clone());
+    soc.load_program(&program);
+
+    let exit = soc.run(1_000);
+    assert_eq!(exit, SocExit::Stopped, "watch interrupts the run");
+    assert_eq!(
+        soc.uart().borrow().output().len(),
+        1,
+        "stopped after the first leaked byte, before the transfer completed"
+    );
+    let items = sink.borrow_mut().drain();
+    assert!(
+        items.iter().any(|i| matches!(i, StreamItem::Watch { id, .. } if *id == watch_id)),
+        "stream carries the watch hit: {items:?}"
+    );
+
+    // The stop is cooperative: the same Soc resumes and the watch fires
+    // again on the next leaked byte.
+    let exit = soc.run(1_000);
+    assert_eq!(exit, SocExit::Stopped, "resumed run hits the watch again");
+    assert_eq!(soc.uart().borrow().output().len(), 2);
+
+    // Removing the watch lets the program run to its ebreak.
+    assert!(sink.borrow_mut().remove_watch(watch_id));
+    let exit = soc.run(1_000);
+    assert_eq!(exit, SocExit::Break);
+    assert_eq!(soc.uart().borrow().output().len(), 4, "full leak once unwatched");
 }
