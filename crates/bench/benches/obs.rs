@@ -14,13 +14,11 @@
 //! * `recorder` — the full [`vpdift_obs::Recorder`] (metrics + ring, no
 //!   event log): the price users pay for `--metrics`/`--flight-recorder`.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use vpdift_asm::{Asm, Reg};
 use vpdift_obs::{ObsEvent, ObsSink, Recorder};
 use vpdift_rv32::{Cpu, FlatMemory, RunExit, Tainted};
+use vpdift_sync::{shared, Shared};
 
 /// The same ALU/memory kernel as `iss.rs` (~100k retired instructions).
 fn kernel_program() -> vpdift_asm::Program {
@@ -56,7 +54,7 @@ impl ObsSink for CountingSink {
     }
 }
 
-fn run_kernel<S: ObsSink>(image: &[u8], obs: Rc<RefCell<S>>) -> u64 {
+fn run_kernel<S: ObsSink>(image: &[u8], obs: Shared<S>) -> u64 {
     let mut mem = FlatMemory::<Tainted>::new(0, 64 * 1024);
     mem.load_image(0, image);
     let mut cpu = Cpu::<Tainted, S>::with_obs(obs);
@@ -78,15 +76,11 @@ fn bench_obs(c: &mut Criterion) {
     let mut g = c.benchmark_group("obs_overhead_tainted");
     g.throughput(Throughput::Elements(insns));
     g.sample_size(20);
-    g.bench_function("null_sink", |b| {
-        b.iter(|| run_kernel(&image, Rc::new(RefCell::new(vpdift_obs::NullSink))))
-    });
+    g.bench_function("null_sink", |b| b.iter(|| run_kernel(&image, shared(vpdift_obs::NullSink))));
     g.bench_function("counting_sink", |b| {
-        b.iter(|| run_kernel(&image, Rc::new(RefCell::new(CountingSink::default()))))
+        b.iter(|| run_kernel(&image, shared(CountingSink::default())))
     });
-    g.bench_function("recorder", |b| {
-        b.iter(|| run_kernel(&image, Rc::new(RefCell::new(Recorder::new(32)))))
-    });
+    g.bench_function("recorder", |b| b.iter(|| run_kernel(&image, shared(Recorder::new(32)))));
     g.finish();
 }
 

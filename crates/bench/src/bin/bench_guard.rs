@@ -13,6 +13,9 @@
 //!
 //! The parser is deliberately line-based (one entry object per line, the
 //! shape our criterion shim writes) so the guard needs no JSON dependency.
+//! Blank and truncated lines — the torn tail a killed bench run leaves in
+//! `BENCH_trajectory.jsonl` or a half-written results file — are skipped
+//! with a warning rather than tripping the guard.
 
 use std::process::ExitCode;
 
@@ -25,6 +28,32 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let rest = &line[start..];
     let end = rest.find([',', '}'])?;
     Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// A complete entry line: starts an object and closes it. A killed writer
+/// leaves a final line that opens `{` but never reaches `}` — that torn
+/// tail (and any blank line) must be tolerated, not parsed as an entry.
+fn is_complete_entry(line: &str) -> bool {
+    let t = line.trim();
+    t.starts_with('{') && (t.ends_with('}') || t.ends_with("},"))
+}
+
+/// Collects the complete entry lines of a `taintvp-bench/v1` file,
+/// warning (once per line) about truncated leftovers instead of erroring.
+fn collect_entries(text: &str) -> Vec<String> {
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let t = line.trim();
+        if t.is_empty() || !t.starts_with('{') {
+            continue;
+        }
+        if is_complete_entry(line) {
+            entries.push(line.to_owned());
+        } else {
+            eprintln!("bench_guard: warning: skipping truncated line `{:.60}…`", t);
+        }
+    }
+    entries
 }
 
 fn median_of(entries: &[String], name: &str) -> Option<f64> {
@@ -45,8 +74,7 @@ fn main() -> ExitCode {
         eprintln!("bench_guard: {path} is not a taintvp-bench/v1 results file");
         return ExitCode::FAILURE;
     }
-    let entries: Vec<String> =
-        text.lines().filter(|l| l.trim_start().starts_with('{')).map(String::from).collect();
+    let entries = collect_entries(&text);
 
     let mut fail = false;
     let ratio = |label: &str, num: &str, den: &str| -> Option<f64> {
@@ -106,6 +134,26 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn truncated_and_blank_lines_are_skipped() {
+        let text = concat!(
+            "{\n",
+            "  \"schema\": \"taintvp-bench/v1\",\n",
+            "  \"entries\": [\n",
+            "    {\"group\": \"g\", \"name\": \"vp_plain\", \"unit\": \"ns/iter\", \"median\": 10.0},\n",
+            "\n",
+            "    {\"group\": \"g\", \"name\": \"vp_plain_cached\", \"unit\": \"ns/iter\", \"median\": 5.0}\n",
+            "  ]\n",
+            "}\n",
+            "{\"group\": \"g\", \"name\": \"torn\", \"unit\": \"ns/iter\", \"med"
+        );
+        let entries = collect_entries(text);
+        assert_eq!(entries.len(), 2, "blank + torn lines skipped, not parsed");
+        assert_eq!(median_of(&entries, "vp_plain"), Some(10.0));
+        assert_eq!(median_of(&entries, "vp_plain_cached"), Some(5.0));
+        assert_eq!(median_of(&entries, "torn"), None);
+    }
 
     #[test]
     fn field_extraction() {

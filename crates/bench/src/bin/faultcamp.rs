@@ -6,6 +6,12 @@
 //! deterministic JSON: the same seed always produces byte-identical
 //! output.
 //!
+//! With `--workers N` (N > 1) the seeded runs execute on the
+//! `vpdift-fleet` work-stealing executor; the report is byte-identical
+//! to the serial one regardless of worker count. `--journal FILE`
+//! streams results into a crash-safe `taintvp-fleet/v1` JSONL journal
+//! and `--resume` picks an interrupted campaign up where it stopped.
+//!
 //! Exit status: `0` on a fully classified campaign, `2` when any run of
 //! the immobilizer session ended in silent data corruption (the outcome
 //! the resilience machinery exists to prevent), `1` on bad arguments.
@@ -14,14 +20,25 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use vpdift_bench::trajectory;
-use vpdift_faults::{render_json, run_campaign, CampaignConfig, CampaignReport, Outcome};
+use vpdift_faults::campaign::ReferenceInfo;
+use vpdift_faults::{render_json, run_campaign, CampaignConfig, Outcome};
+use vpdift_fleet::{run_campaign_fleet, FleetConfig};
 
-const USAGE: &str = "usage: faultcamp [--seed N] [--runs N] [--rate R] [--out FILE] [--json FILE]";
+const USAGE: &str = "usage: faultcamp [--seed N] [--runs N] [--rate R] [--out FILE] [--json FILE] \
+     [--workers N] [--journal FILE] [--resume]";
 
-fn parse_args() -> Result<(CampaignConfig, Option<String>, Option<String>), String> {
+#[derive(Default)]
+struct Options {
+    out: Option<String>,
+    bench_json: Option<String>,
+    workers: usize,
+    journal: Option<String>,
+    resume: bool,
+}
+
+fn parse_args() -> Result<(CampaignConfig, Options), String> {
     let mut cfg = CampaignConfig::default();
-    let mut out = None;
-    let mut bench_json = None;
+    let mut opts = Options { workers: 1, ..Options::default() };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
@@ -41,25 +58,37 @@ fn parse_args() -> Result<(CampaignConfig, Option<String>, Option<String>), Stri
                     return Err(format!("--rate must be a positive finite number, got {v}"));
                 }
             }
-            "--out" => out = Some(value("--out")?),
-            "--json" => bench_json = Some(value("--json")?),
+            "--out" => opts.out = Some(value("--out")?),
+            "--json" => opts.bench_json = Some(value("--json")?),
+            "--workers" => {
+                let v = value("--workers")?;
+                opts.workers = v.parse().map_err(|_| format!("bad --workers {v}"))?;
+                if opts.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--journal" => opts.journal = Some(value("--journal")?),
+            "--resume" => opts.resume = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other}\n{USAGE}")),
         }
     }
-    Ok((cfg, out, bench_json))
+    if opts.resume && opts.journal.is_none() {
+        return Err("--resume needs --journal".into());
+    }
+    Ok((cfg, opts))
 }
 
 /// Renders the `taintvp-bench/v1` trajectory entry for this campaign:
 /// the deterministic per-scenario reference step counts plus the
 /// campaign's wall time (the only nondeterministic entry).
-fn render_bench_json(report: &CampaignReport, wall_ns: u128) -> String {
+fn render_bench_json(references: &[ReferenceInfo], wall_ns: u128) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"taintvp-bench/v1\",\n");
     out.push_str("  \"suite\": \"faultcamp\",\n");
     out.push_str("  \"entries\": [\n");
-    for r in &report.references {
+    for r in references {
         out.push_str(&format!(
             "    {{\"group\": \"reference\", \"name\": \"{}\", \"unit\": \"steps\", \"median\": {}, \"mean\": {}, \"min\": {}, \"max\": {}, \"samples\": 1, \"throughput_elems\": null}},\n",
             r.scenario, r.steps, r.steps, r.steps, r.steps
@@ -81,7 +110,7 @@ fn parse_u64(s: &str) -> Option<u64> {
 }
 
 fn main() -> ExitCode {
-    let (cfg, out, bench_json) = match parse_args() {
+    let (cfg, opts) = match parse_args() {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("{msg}");
@@ -90,28 +119,53 @@ fn main() -> ExitCode {
     };
 
     eprintln!(
-        "faultcamp: seed=0x{:x} runs={} rate={} — running campaign...",
-        cfg.seed, cfg.runs, cfg.rate
+        "faultcamp: seed=0x{:x} runs={} rate={} workers={} — running campaign...",
+        cfg.seed, cfg.runs, cfg.rate, opts.workers
     );
     let wall_start = Instant::now();
-    let report = run_campaign(&cfg);
-    let wall_ns = wall_start.elapsed().as_nanos();
-    let json = render_json(&report);
 
-    if let Some(path) = &bench_json {
-        if let Err(e) = std::fs::write(path, render_bench_json(&report, wall_ns)) {
+    // The fleet path handles both parallel execution and journaling;
+    // the plain serial path stays the default.
+    let use_fleet = opts.workers > 1 || opts.journal.is_some();
+    let (json, references, summary, failures) = if use_fleet {
+        let fleet_config = FleetConfig { workers: opts.workers, ..FleetConfig::default() };
+        let journal_path = opts.journal.as_ref().map(std::path::Path::new);
+        match run_campaign_fleet(&cfg, &fleet_config, journal_path, opts.resume) {
+            Ok(campaign) => {
+                if campaign.resumed > 0 {
+                    eprintln!(
+                        "faultcamp: resumed {} completed run(s) from journal",
+                        campaign.resumed
+                    );
+                }
+                let failures = campaign.failures.clone();
+                (campaign.json, campaign.references, campaign.summary, failures)
+            }
+            Err(e) => {
+                eprintln!("faultcamp: fleet campaign failed: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    } else {
+        let report = run_campaign(&cfg);
+        (render_json(&report), report.references.clone(), report.summary.to_vec(), Vec::new())
+    };
+    let wall_ns = wall_start.elapsed().as_nanos();
+
+    if let Some(path) = &opts.bench_json {
+        if let Err(e) = std::fs::write(path, render_bench_json(&references, wall_ns)) {
             eprintln!("faultcamp: cannot write bench JSON to {path}: {e}");
             return ExitCode::from(1);
         }
         eprintln!("faultcamp: bench trajectory written to {path}");
 
         // And one compact line into the append-only perf trajectory log.
-        let mut logged: Vec<trajectory::Entry> = report
-            .references
+        let mut logged: Vec<trajectory::Entry> = references
             .iter()
             .map(|r| trajectory::Entry::new("reference", r.scenario, "steps", r.steps as f64))
             .collect();
         logged.push(trajectory::Entry::new("campaign", "wall_time", "ns", wall_ns as f64));
+        logged.push(trajectory::Entry::new("campaign", "workers", "count", opts.workers as f64));
         let line = trajectory::render_line("faultcamp", trajectory::now_unix(), &logged);
         let traj_path = trajectory::path();
         match trajectory::append(&traj_path, &line) {
@@ -120,7 +174,7 @@ fn main() -> ExitCode {
         }
     }
 
-    match &out {
+    match &opts.out {
         Some(path) => {
             if let Err(e) = std::fs::write(path, &json) {
                 eprintln!("faultcamp: cannot write {path}: {e}");
@@ -133,10 +187,13 @@ fn main() -> ExitCode {
 
     eprintln!("faultcamp: outcome summary:");
     for o in Outcome::ALL {
-        eprintln!("  {:>16}: {}", o.label(), report.total(o));
+        eprintln!("  {:>16}: {}", o.label(), summary[o.index()]);
+    }
+    for (job, status) in &failures {
+        eprintln!("faultcamp: run {job} did not complete: {status}");
     }
 
-    let immo_sdc = report.scenario_count("immo-session", Outcome::Sdc);
+    let immo_sdc = vpdift_fleet::campaign::count_scenario_outcome(&json, "immo-session", "sdc");
     if immo_sdc > 0 {
         eprintln!(
             "faultcamp: FAIL — {immo_sdc} immobilizer run(s) ended in silent data corruption"

@@ -10,9 +10,8 @@
 //!
 //! Exit status: 0 when all assertions hold, 1 otherwise.
 
-use std::cell::RefCell;
 use std::process::ExitCode;
-use std::rc::Rc;
+use vpdift_sync::shared;
 
 use vpdift_firmware::dhrystone;
 use vpdift_obs::{Recorder, SymbolMap};
@@ -65,7 +64,7 @@ fn main() -> ExitCode {
 
     let workload = dhrystone::build(opts.iterations);
     let symbols = SymbolMap::from_program(&workload.program);
-    let rec = Rc::new(RefCell::new(Recorder::new(32).with_symbols(symbols).with_profiler()));
+    let rec = shared(Recorder::new(32).with_symbols(symbols).with_profiler());
 
     let cfg = SocBuilder::new().sensor_thread(workload.needs_sensor).build();
     let mut soc: Soc<Tainted, Recorder> = Soc::with_obs(cfg, rec.clone());

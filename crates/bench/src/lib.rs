@@ -257,8 +257,23 @@ pub mod trajectory {
 
     /// Appends `line` (no trailing newline needed) to the trajectory log,
     /// creating the file on first use.
+    ///
+    /// A killed writer can leave the log without its final newline; gluing
+    /// the next entry onto that torn tail would corrupt *two* lines, so a
+    /// missing terminator is repaired with a newline before appending.
     pub fn append(path: &str, line: &str) -> std::io::Result<()> {
+        use std::io::{Read as _, Seek as _, SeekFrom};
         let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        let len = f.metadata()?.len();
+        if len > 0 {
+            let mut tail = [0u8; 1];
+            let mut probe = std::fs::File::open(path)?;
+            probe.seek(SeekFrom::Start(len - 1))?;
+            probe.read_exact(&mut tail)?;
+            if tail[0] != b'\n' {
+                writeln!(f)?;
+            }
+        }
         writeln!(f, "{line}")
     }
 
@@ -301,6 +316,23 @@ mod tests {
         let log = std::fs::read_to_string(path).expect("log readable");
         assert_eq!(log.lines().count(), 3);
         assert!(log.lines().all(|l| l.starts_with("{\"schema\": \"taintvp-bench/v1\"")));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn trajectory_append_repairs_a_torn_tail() {
+        let path = std::env::temp_dir().join("taintvp_trajectory_torn_test.jsonl");
+        let path = path.to_str().unwrap();
+        // A killed writer left the log without its final newline.
+        std::fs::write(path, "{\"schema\": \"taintvp-bench/v1\", \"suite\": \"faultc").unwrap();
+        let line = trajectory::render_line("faultcamp", 1, &[]);
+        trajectory::append(path, &line).expect("append works");
+        let log = std::fs::read_to_string(path).expect("log readable");
+        assert_eq!(log.lines().count(), 2, "torn tail stays its own line");
+        assert!(
+            log.lines().nth(1).unwrap().starts_with("{\"schema\": \"taintvp-bench/v1\""),
+            "new entry is not glued onto the torn tail"
+        );
         let _ = std::fs::remove_file(path);
     }
 

@@ -3,9 +3,6 @@
 //! export format — Chrome trace, folded stacks, flat profile, flow
 //! DOT/JSON — is structurally well-formed.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use vpdift_firmware::dhrystone;
 use vpdift_obs::export::{validate_json, write_chrome_trace};
 use vpdift_obs::{Recorder, SymbolMap};
@@ -17,9 +14,9 @@ use vpdift_soc::{Soc, SocBuilder, SocExit};
 fn profiled_dhrystone() -> Recorder {
     let workload = dhrystone::build(5);
     let symbols = SymbolMap::from_program(&workload.program);
-    let rec = Rc::new(RefCell::new(
+    let rec = vpdift_sync::shared(
         Recorder::new(64).with_symbols(symbols).with_event_log().with_profiler(),
-    ));
+    );
     let cfg = SocBuilder::new().sensor_thread(workload.needs_sensor).build();
     let mut soc: Soc<Tainted, Recorder> = Soc::with_obs(cfg, rec.clone());
     soc.load_program(&workload.program);
@@ -27,7 +24,7 @@ fn profiled_dhrystone() -> Recorder {
     assert!(matches!(exit, SocExit::Break), "dhrystone exits cleanly: {exit:?}");
     assert!(workload.verify(soc.uart().borrow().output()), "checksum holds");
     drop(soc);
-    match Rc::try_unwrap(rec) {
+    match std::sync::Arc::try_unwrap(rec) {
         Ok(cell) => cell.into_inner(),
         Err(_) => panic!("sole owner"),
     }

@@ -18,8 +18,8 @@
 //! the fast path avoids. A one-way latch is sound (never skips a check
 //! that could fail) at the price of not re-entering the fast path.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One-way latch recording whether any non-empty tag may be live.
 ///
@@ -27,8 +27,8 @@ use std::rc::Rc;
 /// DMA, MMIO) and the execution engine that wants to gate checks on it.
 #[derive(Debug, Default)]
 pub struct TaintCensus {
-    live: Cell<bool>,
-    arms: Cell<u64>,
+    live: AtomicBool,
+    arms: AtomicU64,
 }
 
 impl TaintCensus {
@@ -39,32 +39,32 @@ impl TaintCensus {
 
     /// Wraps the census for sharing.
     pub fn into_shared(self) -> SharedCensus {
-        Rc::new(self)
+        Arc::new(self)
     }
 
     /// Latches the census: some non-empty tag has entered architectural
     /// state. Idempotent; counts arming events for diagnostics.
     #[inline]
     pub fn arm(&self) {
-        self.live.set(true);
-        self.arms.set(self.arms.get() + 1);
+        self.live.store(true, Ordering::Relaxed);
+        self.arms.fetch_add(1, Ordering::Relaxed);
     }
 
     /// `true` once any tag source has fired. While `false`, all
     /// architectural tags are empty and clearance checks cannot fail.
     #[inline]
     pub fn is_live(&self) -> bool {
-        self.live.get()
+        self.live.load(Ordering::Relaxed)
     }
 
     /// Number of arming events seen (≥ 1 iff [`is_live`](Self::is_live)).
     pub fn arm_events(&self) -> u64 {
-        self.arms.get()
+        self.arms.load(Ordering::Relaxed)
     }
 }
 
 /// A census as shared between tag sources and execution engines.
-pub type SharedCensus = Rc<TaintCensus>;
+pub type SharedCensus = Arc<TaintCensus>;
 
 #[cfg(test)]
 mod tests {

@@ -8,9 +8,9 @@
 //! recorded.
 
 use core::fmt;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+
+use vpdift_sync::{shared, Shared};
 
 use crate::census::{SharedCensus, TaintCensus};
 use crate::error::{Violation, ViolationKind};
@@ -34,8 +34,9 @@ pub enum EnforceMode {
 /// layer can see checks and violations without core depending on it
 /// (`vpdift-obs` provides the standard implementation). The engine calls
 /// observers synchronously while it is itself borrowed — implementations
-/// must not call back into the engine.
-pub trait FlowObserver {
+/// must not call back into the engine. Observers are `Send` so an engine
+/// (and the VP owning it) can migrate between fleet worker threads.
+pub trait FlowObserver: Send {
     /// A clearance check of `kind` was evaluated: `passed` tells whether
     /// `allowedFlow(tag, required)` held.
     fn on_check(
@@ -62,7 +63,7 @@ pub trait FlowObserver {
 }
 
 /// A flow observer as shared with the engine.
-pub type SharedFlowObserver = Rc<RefCell<dyn FlowObserver>>;
+pub type SharedFlowObserver = Shared<dyn FlowObserver>;
 
 /// Run-time statistics, reported alongside Table II.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -153,7 +154,7 @@ impl DiftEngine {
 
     /// Wraps the engine for sharing between VP components.
     pub fn into_shared(self) -> SharedEngine {
-        Rc::new(RefCell::new(self))
+        shared(self)
     }
 
     /// The policy under evaluation.
@@ -339,7 +340,7 @@ impl DiftEngine {
 }
 
 /// The engine as shared between the CPU and peripherals of one VP.
-pub type SharedEngine = Rc<RefCell<DiftEngine>>;
+pub type SharedEngine = Shared<DiftEngine>;
 
 #[cfg(test)]
 mod tests {
@@ -453,7 +454,7 @@ mod tests {
     #[test]
     fn tag_change_fires_on_named_sites_only_when_tag_set_differs() {
         let mut e = engine();
-        let log = Rc::new(RefCell::new(TagChangeLog::default()));
+        let log = shared(TagChangeLog::default());
         e.set_observer(log.clone());
         // First check at a named site: EMPTY -> EMPTY is not a change.
         assert!(e.check_output("uart.tx", Tag::EMPTY, None).is_ok());
@@ -481,7 +482,7 @@ mod tests {
     #[test]
     fn tag_change_tracks_store_regions_and_resets() {
         let mut e = engine();
-        let log = Rc::new(RefCell::new(TagChangeLog::default()));
+        let log = shared(TagChangeLog::default());
         e.set_observer(log.clone());
         assert!(e.check_store(0x1000, SECRET, None).is_ok());
         assert_eq!(log.borrow().changes, vec![("pin".into(), Tag::EMPTY, SECRET)]);

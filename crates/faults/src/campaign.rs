@@ -9,9 +9,6 @@
 //! contains at least one `trap_loop`, one `watchdog_timeout` and one
 //! `dift_detected` classification.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use vpdift_asm::{Asm, Reg};
 use vpdift_attacks::{all_attacks, code_injection_policy, LI};
 use vpdift_core::{SecurityPolicy, Tag};
@@ -25,6 +22,7 @@ use vpdift_periph::can::regs as can_regs;
 use vpdift_periph::CanFrame;
 use vpdift_rv32::Tainted;
 use vpdift_soc::{map, Soc, SocExit};
+use vpdift_sync::shared;
 
 use crate::config::{generate_plan, FaultKind, PlannedFault};
 use crate::hooks::LossyCanFault;
@@ -410,7 +408,7 @@ fn directed_watchdog(faulted: bool) -> ScenarioRun {
     soc.load_program(&program);
     let mut faults = Vec::new();
     if faulted {
-        let line = Rc::new(RefCell::new(LossyCanFault::default()));
+        let line = shared(LossyCanFault::default());
         line.borrow_mut().arm_drop(1);
         soc.can_host().set_line_fault(line);
         soc.watchdog().borrow_mut().arm(SimTime::from_ms(1));
@@ -539,10 +537,25 @@ fn plan_size(steps: u64, rate: f64) -> u32 {
     (((steps as f64) * rate).ceil() as u64).clamp(1, 32) as u32
 }
 
-/// Runs the full campaign. Equal configs produce equal reports — no
-/// wall-clock time, host randomness or map iteration order is involved.
-pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
-    let mut summary = [0u64; Outcome::COUNT];
+/// Everything a campaign computes exactly once before the seeded runs
+/// fan out: the three directed demonstrations and the fault-free
+/// references for every random scenario. A parallel executor computes
+/// this on the driver thread, then hands [`random_run`] jobs to workers.
+#[derive(Debug, Clone)]
+pub struct CampaignPrelude {
+    /// Fault-free reference facts, one per scenario (directed first, in
+    /// the same order [`run_campaign`] reports them).
+    pub references: Vec<ReferenceInfo>,
+    /// The three directed demonstrations, classified.
+    pub directed: Vec<ScenarioOutcome>,
+    /// Reference runs keyed by random scenario — what every seeded run
+    /// needs to generate its plan and classify its outcome.
+    pub refs: Vec<(ScenarioKind, ScenarioRun)>,
+}
+
+/// Runs the once-per-campaign work: directed demonstrations and
+/// fault-free references. Deterministic for equal configs.
+pub fn campaign_prelude(_config: &CampaignConfig) -> CampaignPrelude {
     let mut references = Vec::new();
     let mut directed = Vec::new();
 
@@ -551,7 +564,6 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
         let reference = directed_run(kind, false);
         let run = directed_run(kind, true);
         let outcome = classify(&reference, &run);
-        summary[outcome.index()] += 1;
         references.push(ReferenceInfo {
             scenario: kind.name(),
             exit: reference.exit.label(),
@@ -576,35 +588,62 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
         });
     }
 
-    let mut random = Vec::new();
-    for i in 0..config.runs {
-        let seed = run_seed(config.seed, i);
-        let mut results = Vec::new();
-        for (kind, reference) in &refs {
-            let plan = generate_plan(
-                seed ^ kind.salt(),
-                plan_size(reference.steps, config.rate),
-                reference.steps.max(1),
-                RAM_FAULT_WINDOW,
-            );
-            let budget = reference.steps * 4 + 10_000;
-            // Host-side hang detection: well beyond anything the
-            // reference needed, in both time and steps.
-            let watchdog = (reference.sim_time * 4).saturating_add(SimTime::from_ms(1));
-            let run = faulted_run(*kind, &plan, Some(watchdog), budget);
-            let outcome = classify(reference, &run);
-            summary[outcome.index()] += 1;
-            results.push(ScenarioOutcome {
-                scenario: kind.name(),
-                exit: run.exit.label(),
-                outcome,
-                faults: run.faults,
-            });
-        }
-        random.push(RunOutcomes { run: i, seed, results });
-    }
+    CampaignPrelude { references, directed, refs }
+}
 
-    CampaignReport { config: *config, references, directed, random, summary }
+/// Executes seeded run `i`: every random scenario under the fault
+/// schedule derived from the campaign seed. This is the unit of work a
+/// fleet executor parallelizes; calling it for `0..runs` in order is
+/// exactly what the serial [`run_campaign`] does, so a parallel campaign
+/// that reassembles these results in run order is byte-identical.
+pub fn random_run(
+    refs: &[(ScenarioKind, ScenarioRun)],
+    config: &CampaignConfig,
+    i: u32,
+) -> RunOutcomes {
+    let seed = run_seed(config.seed, i);
+    let mut results = Vec::new();
+    for (kind, reference) in refs {
+        let plan = generate_plan(
+            seed ^ kind.salt(),
+            plan_size(reference.steps, config.rate),
+            reference.steps.max(1),
+            RAM_FAULT_WINDOW,
+        );
+        let budget = reference.steps * 4 + 10_000;
+        // Host-side hang detection: well beyond anything the
+        // reference needed, in both time and steps.
+        let watchdog = (reference.sim_time * 4).saturating_add(SimTime::from_ms(1));
+        let run = faulted_run(*kind, &plan, Some(watchdog), budget);
+        let outcome = classify(reference, &run);
+        results.push(ScenarioOutcome {
+            scenario: kind.name(),
+            exit: run.exit.label(),
+            outcome,
+            faults: run.faults,
+        });
+    }
+    RunOutcomes { run: i, seed, results }
+}
+
+/// Runs the full campaign. Equal configs produce equal reports — no
+/// wall-clock time, host randomness or map iteration order is involved.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    let prelude = campaign_prelude(config);
+    let random: Vec<RunOutcomes> =
+        (0..config.runs).map(|i| random_run(&prelude.refs, config, i)).collect();
+
+    let mut summary = [0u64; Outcome::COUNT];
+    for s in prelude.directed.iter().chain(random.iter().flat_map(|r| &r.results)) {
+        summary[s.outcome.index()] += 1;
+    }
+    CampaignReport {
+        config: *config,
+        references: prelude.references,
+        directed: prelude.directed,
+        random,
+        summary,
+    }
 }
 
 #[cfg(test)]

@@ -9,12 +9,10 @@
 //! fault ends the run and the remaining faults never happen — exactly as
 //! on real hardware, where a crashed board absorbs no further radiation.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use vpdift_obs::{ObsEvent, ObsSink};
 use vpdift_rv32::TaintMode;
 use vpdift_soc::{map, Soc, SocExit};
+use vpdift_sync::{shared, Shared};
 
 use crate::config::{FaultKind, PlannedFault};
 use crate::hooks::{ArmedBusFault, BusFaultKind, LossyCanFault};
@@ -39,8 +37,8 @@ pub struct FaultRecord {
 /// without bus or CAN faults keeps the platform entirely hook-free.
 #[derive(Debug, Default)]
 pub struct InjectorState {
-    bus: Option<Rc<RefCell<ArmedBusFault>>>,
-    can: Option<Rc<RefCell<LossyCanFault>>>,
+    bus: Option<Shared<ArmedBusFault>>,
+    can: Option<Shared<LossyCanFault>>,
 }
 
 /// Applies one fault to the SoC at `step` and returns the record. Emits
@@ -63,7 +61,7 @@ pub fn apply_fault<M: TaintMode, S: ObsSink>(
         }
         FaultKind::TlmCorrupt | FaultKind::TlmDrop | FaultKind::TlmError => {
             if state.bus.is_none() {
-                let hook = Rc::new(RefCell::new(ArmedBusFault::default()));
+                let hook = shared(ArmedBusFault::default());
                 soc.set_mmio_fault(hook.clone());
                 state.bus = Some(hook);
             }
@@ -76,7 +74,7 @@ pub fn apply_fault<M: TaintMode, S: ObsSink>(
         }
         FaultKind::CanCorrupt | FaultKind::CanDrop { .. } => {
             if state.can.is_none() {
-                let line = Rc::new(RefCell::new(LossyCanFault::default()));
+                let line = shared(LossyCanFault::default());
                 soc.can_host().set_line_fault(line.clone());
                 state.can = Some(line);
             }

@@ -45,10 +45,10 @@ pub mod injector;
 pub mod report;
 
 pub use campaign::{
-    classify, run_campaign, CampaignConfig, CampaignReport, Outcome, RunOutcomes, ScenarioKind,
-    ScenarioOutcome, ScenarioRun,
+    campaign_prelude, classify, random_run, run_campaign, CampaignConfig, CampaignPrelude,
+    CampaignReport, Outcome, RunOutcomes, ScenarioKind, ScenarioOutcome, ScenarioRun,
 };
 pub use config::{generate_plan, FaultKind, PlannedFault};
 pub use hooks::{ArmedBusFault, BusFaultKind, LossyCanFault};
 pub use injector::{apply_fault, run_with_faults, FaultRecord, InjectorState};
-pub use report::render_json;
+pub use report::{render_json, run_json, scenario_json};

@@ -7,10 +7,11 @@
 
 use std::fmt::Write as _;
 
-use crate::campaign::{CampaignReport, Outcome, ScenarioOutcome};
+use crate::campaign::{CampaignReport, Outcome, RunOutcomes, ScenarioOutcome};
 use crate::injector::FaultRecord;
 
-fn fault_json(f: &FaultRecord) -> String {
+/// Renders one fault record as a compact JSON object.
+pub fn fault_json(f: &FaultRecord) -> String {
     let addr = match f.addr {
         Some(a) => a.to_string(),
         None => "null".to_string(),
@@ -21,7 +22,8 @@ fn fault_json(f: &FaultRecord) -> String {
     )
 }
 
-fn scenario_json(s: &ScenarioOutcome) -> String {
+/// Renders one classified scenario outcome as a compact JSON object.
+pub fn scenario_json(s: &ScenarioOutcome) -> String {
     let faults: Vec<String> = s.faults.iter().map(fault_json).collect();
     format!(
         "{{\"scenario\":\"{}\",\"exit\":\"{}\",\"outcome\":\"{}\",\"faults\":[{}]}}",
@@ -30,6 +32,16 @@ fn scenario_json(s: &ScenarioOutcome) -> String {
         s.outcome.label(),
         faults.join(",")
     )
+}
+
+/// Renders one seeded run (all random scenarios) as a compact JSON
+/// object — the exact fragment [`render_json`] emits per run, so a
+/// parallel campaign executor that renders fragments per job and
+/// reassembles them in run order reproduces the serial report
+/// byte-for-byte.
+pub fn run_json(run: &RunOutcomes) -> String {
+    let results: Vec<String> = run.results.iter().map(scenario_json).collect();
+    format!("{{\"run\":{},\"seed\":{},\"results\":[{}]}}", run.run, run.seed, results.join(","))
 }
 
 /// Renders the report as deterministic JSON: equal reports produce
@@ -63,15 +75,8 @@ pub fn render_json(report: &CampaignReport) -> String {
 
     out.push_str("  \"runs\": [\n");
     for (i, run) in report.random.iter().enumerate() {
-        let results: Vec<String> = run.results.iter().map(scenario_json).collect();
         let comma = if i + 1 < report.random.len() { "," } else { "" };
-        let _ = writeln!(
-            out,
-            "    {{\"run\":{},\"seed\":{},\"results\":[{}]}}{comma}",
-            run.run,
-            run.seed,
-            results.join(",")
-        );
+        let _ = writeln!(out, "    {}{comma}", run_json(run));
     }
     out.push_str("  ],\n");
 

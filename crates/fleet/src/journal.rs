@@ -1,0 +1,354 @@
+//! The crash-safe results journal: `taintvp-fleet/v1` JSONL.
+//!
+//! Line 1 is the header (format tag, suite name, job count, seed); every
+//! following line is one terminal [`JobResult`]. Appends are fsync'd per
+//! batch by the executor, so after SIGKILL the file holds every result
+//! reported before the last sync plus at most one torn line. Resume
+//! ([`Journal::open_resume`]) tolerates that torn tail — it parses what
+//! it can, verifies the header matches the campaign being resumed, and
+//! hands back the completed results so the executor can skip them.
+//!
+//! Records are written by this module and parsed by this module, so the
+//! parser leans on the writer's fixed field order (`job`, `status`,
+//! `attempts`, `elapsed_us`, `counts`, `detail`, `payload` — payload
+//! last, because it is itself JSON and runs to the record's final
+//! brace). It is *not* a general JSON parser and does not need one.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+
+use crate::job::{JobResult, JobStatus};
+
+/// The format tag every journal opens with.
+pub const FORMAT: &str = "taintvp-fleet/v1";
+
+/// Campaign identity, pinned in the header line and re-verified on
+/// resume so a journal can never splice results from a different sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Suite name (e.g. `faultcamp`, `immo-fleet`).
+    pub suite: String,
+    /// Total jobs in the campaign.
+    pub jobs: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl JournalHeader {
+    fn render(&self) -> String {
+        format!(
+            "{{\"format\":\"{FORMAT}\",\"suite\":\"{}\",\"jobs\":{},\"seed\":{}}}",
+            self.suite, self.jobs, self.seed
+        )
+    }
+
+    fn parse(line: &str) -> Option<JournalHeader> {
+        let format: String = extract_str(line, "format")?;
+        if format != FORMAT {
+            return None;
+        }
+        Some(JournalHeader {
+            suite: extract_str(line, "suite")?,
+            jobs: extract_u64(line, "jobs")?,
+            seed: extract_u64(line, "seed")?,
+        })
+    }
+}
+
+/// Renders one result as its journal line (no trailing newline).
+pub fn render_record(r: &JobResult) -> String {
+    let detail = match &r.detail {
+        Some(d) => format!("\"{}\"", escape(d)),
+        None => "null".to_string(),
+    };
+    let counts: Vec<String> = r.counts.iter().map(u64::to_string).collect();
+    let payload = r.payload.as_deref().unwrap_or("null");
+    format!(
+        "{{\"job\":{},\"status\":\"{}\",\"attempts\":{},\"elapsed_us\":{},\"counts\":[{}],\"detail\":{},\"payload\":{}}}",
+        r.job_id,
+        r.status.label(),
+        r.attempts,
+        r.elapsed_us,
+        counts.join(","),
+        detail,
+        payload,
+    )
+}
+
+/// Parses one journal record line; `None` for torn or foreign lines.
+pub fn parse_record(line: &str) -> Option<JobResult> {
+    let line = line.trim_end();
+    if !line.starts_with("{\"job\":") || !line.ends_with('}') {
+        return None;
+    }
+    let job_id = extract_u64(line, "job")?;
+    let status = JobStatus::parse(&extract_str(line, "status")?)?;
+    let attempts = extract_u64(line, "attempts")? as u32;
+    let elapsed_us = extract_u64(line, "elapsed_us")?;
+    let counts = extract_u64_array(line, "counts")?;
+    let detail = match find_value(line, "detail")? {
+        v if v.starts_with("null") => None,
+        v if v.starts_with('"') => Some(unescape(&v[1..v.find_unescaped_quote()?])),
+        _ => return None,
+    };
+    let payload_start = line.find("\"payload\":")? + "\"payload\":".len();
+    // The payload is the last field and is raw JSON: it runs to the
+    // record's closing brace.
+    let payload_raw = &line[payload_start..line.len() - 1];
+    let payload = if payload_raw == "null" { None } else { Some(payload_raw.to_string()) };
+    Some(JobResult { job_id, status, attempts, payload, counts, detail, elapsed_us })
+}
+
+trait FindUnescapedQuote {
+    fn find_unescaped_quote(&self) -> Option<usize>;
+}
+
+impl FindUnescapedQuote for str {
+    /// Index of the closing quote of a string value that starts at
+    /// byte 0 with the opening quote.
+    fn find_unescaped_quote(&self) -> Option<usize> {
+        let bytes = self.as_bytes();
+        let mut i = 1;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => return Some(i),
+                _ => i += 1,
+            }
+        }
+        None
+    }
+}
+
+fn find_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    Some(&line[at..])
+}
+
+fn extract_u64(line: &str, key: &str) -> Option<u64> {
+    let v = find_value(line, key)?;
+    let digits: String = v.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let v = find_value(line, key)?;
+    if !v.starts_with('"') {
+        return None;
+    }
+    Some(unescape(&v[1..v.find_unescaped_quote()?]))
+}
+
+fn extract_u64_array(line: &str, key: &str) -> Option<Vec<u64>> {
+    let v = find_value(line, key)?;
+    let inner = v.strip_prefix('[')?;
+    let end = inner.find(']')?;
+    let inner = &inner[..end];
+    if inner.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    inner.split(',').map(|n| n.trim().parse().ok()).collect()
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// An append handle on a journal file.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+}
+
+impl Journal {
+    /// Creates (truncating) a fresh journal with `header`, fsync'd
+    /// before returning so the campaign identity survives any crash.
+    pub fn create(path: &Path, header: &JournalHeader) -> io::Result<Journal> {
+        let mut file = File::create(path)?;
+        writeln!(file, "{}", header.render())?;
+        file.sync_data()?;
+        Ok(Journal { file })
+    }
+
+    /// Opens an existing journal for resume: verifies the header matches
+    /// `expect`, parses every intact record (tolerating a torn tail
+    /// line, which is truncated away so appends restart on a clean
+    /// record boundary), and returns the append handle plus the
+    /// recovered results.
+    pub fn open_resume(
+        path: &Path,
+        expect: &JournalHeader,
+    ) -> io::Result<(Journal, Vec<JobResult>)> {
+        let mut lines = Vec::new();
+        for line in BufReader::new(File::open(path)?).lines() {
+            lines.push(line?);
+        }
+        let header_line = lines
+            .first()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty journal"))?;
+        let header = JournalHeader::parse(header_line).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "journal header is not taintvp-fleet/v1")
+        })?;
+        if &header != expect {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "journal belongs to a different campaign: \
+                     found suite={} jobs={} seed={}, expected suite={} jobs={} seed={}",
+                    header.suite, header.jobs, header.seed, expect.suite, expect.jobs, expect.seed
+                ),
+            ));
+        }
+
+        // Byte offset past the last intact line — where appends resume.
+        let mut intact_end = header_line.len() as u64 + 1;
+        let mut results: Vec<JobResult> = Vec::new();
+        for line in &lines[1..] {
+            match parse_record(line) {
+                Some(r) => {
+                    intact_end += line.len() as u64 + 1;
+                    // Last write wins: a rerun after a torn record may
+                    // journal the same job twice.
+                    results.retain(|p| p.job_id != r.job_id);
+                    results.push(r);
+                }
+                // Torn tail from the killed writer: recover what parsed,
+                // drop the fragment.
+                None => break,
+            }
+        }
+        results.sort_by_key(|r| r.job_id);
+
+        // Truncate the torn tail (if any) so the next append starts a
+        // fresh line rather than gluing onto the fragment.
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(intact_end)?;
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok((Journal { file }, results))
+    }
+
+    /// Appends one record (no sync — call [`Journal::sync`] per batch).
+    pub fn append(&mut self, r: &JobResult) -> io::Result<()> {
+        writeln!(self.file, "{}", render_record(r))
+    }
+
+    /// Flushes appended records to disk (fsync).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(id: u64, status: JobStatus) -> JobResult {
+        JobResult {
+            job_id: id,
+            status,
+            attempts: 1 + (id % 3) as u32,
+            payload: match status {
+                JobStatus::Ok => Some(format!("{{\"run\":{id},\"results\":[1,2]}}")),
+                _ => None,
+            },
+            counts: vec![id, 0, 7],
+            detail: match status {
+                JobStatus::Ok => None,
+                _ => Some("thread panicked: \"index 3\"\nbacktrace".to_string()),
+            },
+            elapsed_us: 1234,
+        }
+    }
+
+    #[test]
+    fn record_round_trips() {
+        for status in [JobStatus::Ok, JobStatus::Crashed, JobStatus::Hang, JobStatus::Error] {
+            let r = sample(5, status);
+            let line = render_record(&r);
+            let back = parse_record(&line).expect("parses");
+            assert_eq!(back.job_id, r.job_id);
+            assert_eq!(back.status, r.status);
+            assert_eq!(back.attempts, r.attempts);
+            assert_eq!(back.payload, r.payload);
+            assert_eq!(back.counts, r.counts);
+            assert_eq!(back.detail, r.detail);
+            assert_eq!(back.elapsed_us, r.elapsed_us);
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated() {
+        let dir = std::env::temp_dir().join(format!("fleet-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.jsonl");
+        let header = JournalHeader { suite: "t".into(), jobs: 4, seed: 9 };
+        {
+            let mut j = Journal::create(&path, &header).unwrap();
+            j.append(&sample(0, JobStatus::Ok)).unwrap();
+            j.append(&sample(1, JobStatus::Crashed)).unwrap();
+            j.sync().unwrap();
+        }
+        // Simulate a SIGKILL mid-append: half a record, no newline.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"job\":2,\"status\":\"ok\",\"atte").unwrap();
+        }
+        let (_j, recovered) = Journal::open_resume(&path, &header).unwrap();
+        let ids: Vec<u64> = recovered.iter().map(|r| r.job_id).collect();
+        assert_eq!(ids, vec![0, 1], "intact records recovered, torn tail dropped");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mismatched_header_refuses_resume() {
+        let dir = std::env::temp_dir().join(format!("fleet-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mismatch.jsonl");
+        let header = JournalHeader { suite: "a".into(), jobs: 4, seed: 9 };
+        Journal::create(&path, &header).unwrap();
+        let other = JournalHeader { suite: "a".into(), jobs: 4, seed: 10 };
+        let err = Journal::open_resume(&path, &other).unwrap_err();
+        assert!(err.to_string().contains("different campaign"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,6 +1,7 @@
 //! # vpdift-kernel — discrete-event simulation kernel
 //!
-//! A compact, single-threaded discrete-event kernel standing in for the
+//! A compact discrete-event kernel (single-threaded execution, `Send`
+//! ownership) standing in for the
 //! IEEE-1666 SystemC simulation kernel used by the paper's virtual
 //! prototype. It provides the subset of SystemC semantics the VP model
 //! relies on:
@@ -15,17 +16,18 @@
 //!
 //! ```
 //! use vpdift_kernel::{Kernel, Periodic, SimTime};
-//! use std::{cell::Cell, rc::Rc};
+//! use std::sync::atomic::{AtomicU32, Ordering};
+//! use std::sync::Arc;
 //!
 //! let mut kernel = Kernel::new();
-//! let frames = Rc::new(Cell::new(0u32));
+//! let frames = Arc::new(AtomicU32::new(0));
 //! let f = frames.clone();
 //! // A 40 Hz sensor thread, like the paper's SimpleSensor::run().
 //! kernel.spawn("sensor", Periodic::new(SimTime::from_ms(25), move |_k| {
-//!     f.set(f.get() + 1);
+//!     f.fetch_add(1, Ordering::Relaxed);
 //! }));
 //! kernel.run_until(SimTime::from_s(1));
-//! assert_eq!(frames.get(), 40);
+//! assert_eq!(frames.load(Ordering::Relaxed), 40);
 //! ```
 
 #![warn(missing_docs)]

@@ -24,8 +24,10 @@ pub enum Next {
 /// A cooperative simulation process.
 ///
 /// Implementors receive mutable access to the [`Kernel`] so they can notify
-/// events or schedule follow-up work during an activation.
-pub trait Process {
+/// events or schedule follow-up work during an activation. Processes are
+/// `Send`: the kernel (and the whole VP owning it) migrates between fleet
+/// worker threads as a unit.
+pub trait Process: Send {
     /// Performs one activation and reports what to wait for next.
     fn resume(&mut self, kernel: &mut Kernel, id: ProcessId) -> Next;
 }
@@ -49,7 +51,7 @@ pub struct FnProcess<F> {
 
 impl<F> FnProcess<F>
 where
-    F: FnMut(&mut Kernel, ProcessId) -> Next,
+    F: FnMut(&mut Kernel, ProcessId) -> Next + Send,
 {
     /// Wraps a closure as a [`Process`].
     pub fn new(f: F) -> Self {
@@ -59,7 +61,7 @@ where
 
 impl<F> Process for FnProcess<F>
 where
-    F: FnMut(&mut Kernel, ProcessId) -> Next,
+    F: FnMut(&mut Kernel, ProcessId) -> Next + Send,
 {
     fn resume(&mut self, kernel: &mut Kernel, id: ProcessId) -> Next {
         (self.f)(kernel, id)
@@ -78,7 +80,7 @@ pub struct Periodic<F> {
 
 impl<F> Periodic<F>
 where
-    F: FnMut(&mut Kernel),
+    F: FnMut(&mut Kernel) + Send,
 {
     /// Creates a periodic process with the given period.
     ///
@@ -92,7 +94,7 @@ where
 
 impl<F> Process for Periodic<F>
 where
-    F: FnMut(&mut Kernel),
+    F: FnMut(&mut Kernel) + Send,
 {
     fn resume(&mut self, kernel: &mut Kernel, _id: ProcessId) -> Next {
         if self.armed {
@@ -106,20 +108,19 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     #[test]
     fn fn_process_runs_and_stops() {
         let mut k = Kernel::new();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let l = log.clone();
         let mut count = 0;
         k.spawn(
             "counter",
             FnProcess::new(move |k, _| {
                 count += 1;
-                l.borrow_mut().push((count, k.now()));
+                l.lock().unwrap().push((count, k.now()));
                 if count < 2 {
                     Next::WaitFor(SimTime::from_ns(3))
                 } else {
@@ -128,18 +129,21 @@ mod tests {
             }),
         );
         k.run_to_completion();
-        assert_eq!(*log.borrow(), vec![(1, SimTime::ZERO), (2, SimTime::from_ns(3))]);
+        assert_eq!(*log.lock().unwrap(), vec![(1, SimTime::ZERO), (2, SimTime::from_ns(3))]);
     }
 
     #[test]
     fn periodic_skips_body_at_elaboration() {
         let mut k = Kernel::new();
-        let times = Rc::new(RefCell::new(Vec::new()));
+        let times = Arc::new(Mutex::new(Vec::new()));
         let t = times.clone();
-        k.spawn("tick", Periodic::new(SimTime::from_ns(10), move |k| t.borrow_mut().push(k.now())));
+        k.spawn(
+            "tick",
+            Periodic::new(SimTime::from_ns(10), move |k| t.lock().unwrap().push(k.now())),
+        );
         k.run_until(SimTime::from_ns(35));
         assert_eq!(
-            *times.borrow(),
+            *times.lock().unwrap(),
             vec![SimTime::from_ns(10), SimTime::from_ns(20), SimTime::from_ns(30)]
         );
     }

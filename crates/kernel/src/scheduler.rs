@@ -8,9 +8,9 @@
 
 use core::cmp::Ordering;
 use core::fmt;
-use std::cell::RefCell;
 use std::collections::{BinaryHeap, VecDeque};
-use std::rc::Rc;
+
+use vpdift_sync::{shared, Shared};
 
 use crate::process::{Next, Process};
 use crate::time::SimTime;
@@ -23,7 +23,7 @@ pub struct EventId(usize);
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct ProcessId(usize);
 
-type OnceAction = Box<dyn FnOnce(&mut Kernel)>;
+type OnceAction = Box<dyn FnOnce(&mut Kernel) + Send>;
 
 enum Action {
     Resume(ProcessId),
@@ -73,7 +73,7 @@ struct EventRecord {
 }
 
 struct ProcessSlot {
-    body: Rc<RefCell<dyn Process>>,
+    body: Shared<dyn Process>,
     /// A process that returned [`Next::Stop`] is never resumed again.
     stopped: bool,
     name: &'static str,
@@ -99,12 +99,14 @@ pub struct KernelStats {
 ///
 /// ```
 /// use vpdift_kernel::{Kernel, SimTime};
+/// use std::sync::atomic::{AtomicU32, Ordering};
+/// use std::sync::Arc;
 /// let mut k = Kernel::new();
-/// let hits = std::rc::Rc::new(std::cell::Cell::new(0));
+/// let hits = Arc::new(AtomicU32::new(0));
 /// let h = hits.clone();
-/// k.schedule_in(SimTime::from_ns(5), move |_| h.set(h.get() + 1));
+/// k.schedule_in(SimTime::from_ns(5), move |_| { h.fetch_add(1, Ordering::Relaxed); });
 /// k.run_until(SimTime::from_ns(10));
-/// assert_eq!(hits.get(), 1);
+/// assert_eq!(hits.load(Ordering::Relaxed), 1);
 /// ```
 pub struct Kernel {
     now: SimTime,
@@ -170,16 +172,12 @@ impl Kernel {
     /// Registers a process and schedules its first resume at the current
     /// time (next delta cycle), mirroring `SC_THREAD` start-up semantics.
     pub fn spawn<P: Process + 'static>(&mut self, name: &'static str, process: P) -> ProcessId {
-        self.spawn_shared(name, Rc::new(RefCell::new(process)))
+        self.spawn_shared(name, shared(process))
     }
 
-    /// Registers an externally owned process (shared via `Rc<RefCell<_>>`),
-    /// so models can keep a handle to their own state.
-    pub fn spawn_shared(
-        &mut self,
-        name: &'static str,
-        process: Rc<RefCell<dyn Process>>,
-    ) -> ProcessId {
+    /// Registers an externally owned process (shared via [`Shared`]), so
+    /// models can keep a handle to their own state.
+    pub fn spawn_shared(&mut self, name: &'static str, process: Shared<dyn Process>) -> ProcessId {
         let id = ProcessId(self.processes.len());
         self.processes.push(ProcessSlot { body: process, stopped: false, name });
         self.push_delta(Action::Resume(id));
@@ -195,7 +193,7 @@ impl Kernel {
     }
 
     /// Schedules a one-shot closure after `delay` (zero = next delta cycle).
-    pub fn schedule_in<F: FnOnce(&mut Kernel) + 'static>(&mut self, delay: SimTime, f: F) {
+    pub fn schedule_in<F: FnOnce(&mut Kernel) + Send + 'static>(&mut self, delay: SimTime, f: F) {
         self.schedule_action(delay, Action::Once(Box::new(f)));
     }
 
@@ -321,7 +319,7 @@ impl Kernel {
         if self.processes[pid.0].stopped {
             return;
         }
-        let body = Rc::clone(&self.processes[pid.0].body);
+        let body = Shared::clone(&self.processes[pid.0].body);
         let next = body.borrow_mut().resume(self, pid);
         match next {
             Next::WaitFor(d) => self.wait_for(pid, d),
@@ -334,47 +332,48 @@ impl Kernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU32, Ordering as AtOrd};
+    use std::sync::{Arc, Mutex};
 
     #[test]
     fn one_shot_runs_at_scheduled_time() {
         let mut k = Kernel::new();
-        let fired = Rc::new(Cell::new(SimTime::ZERO));
+        let fired = Arc::new(Mutex::new(SimTime::ZERO));
         let f = fired.clone();
-        k.schedule_in(SimTime::from_ns(7), move |k| f.set(k.now()));
+        k.schedule_in(SimTime::from_ns(7), move |k| *f.lock().unwrap() = k.now());
         k.run_until(SimTime::from_ns(100));
-        assert_eq!(fired.get(), SimTime::from_ns(7));
+        assert_eq!(*fired.lock().unwrap(), SimTime::from_ns(7));
         assert_eq!(k.now(), SimTime::from_ns(100));
     }
 
     #[test]
     fn same_time_actions_run_in_schedule_order() {
         let mut k = Kernel::new();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         for i in 0..4 {
             let l = log.clone();
-            k.schedule_in(SimTime::from_ns(5), move |_| l.borrow_mut().push(i));
+            k.schedule_in(SimTime::from_ns(5), move |_| l.lock().unwrap().push(i));
         }
         k.run_until(SimTime::from_ns(5));
-        assert_eq!(*log.borrow(), vec![0, 1, 2, 3]);
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2, 3]);
     }
 
     #[test]
     fn delta_notification_runs_in_next_delta_cycle_same_time() {
         let mut k = Kernel::new();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let l1 = log.clone();
         let l2 = log.clone();
         k.schedule_in(SimTime::from_ns(1), move |k| {
-            l1.borrow_mut().push(("a", k.now()));
+            l1.lock().unwrap().push(("a", k.now()));
             let l3 = l1.clone();
-            k.schedule_in(SimTime::ZERO, move |k| l3.borrow_mut().push(("b", k.now())));
+            k.schedule_in(SimTime::ZERO, move |k| l3.lock().unwrap().push(("b", k.now())));
         });
-        k.schedule_in(SimTime::from_ns(1), move |k| l2.borrow_mut().push(("c", k.now())));
+        k.schedule_in(SimTime::from_ns(1), move |k| l2.lock().unwrap().push(("c", k.now())));
         k.run_until(SimTime::from_ns(1));
         let t = SimTime::from_ns(1);
         // "b" is delayed by one delta cycle, after "c" at the same timestamp.
-        assert_eq!(*log.borrow(), vec![("a", t), ("c", t), ("b", t)]);
+        assert_eq!(*log.lock().unwrap(), vec![("a", t), ("c", t), ("b", t)]);
         assert!(k.stats().delta_cycles >= 2);
     }
 
@@ -382,13 +381,13 @@ mod tests {
     fn event_notification_wakes_waiters_once() {
         struct Waiter {
             event: EventId,
-            wakeups: Rc<Cell<u32>>,
+            wakeups: Arc<AtomicU32>,
             armed: bool,
         }
         impl Process for Waiter {
             fn resume(&mut self, _k: &mut Kernel, _id: ProcessId) -> Next {
                 if self.armed {
-                    self.wakeups.set(self.wakeups.get() + 1);
+                    self.wakeups.fetch_add(1, AtOrd::Relaxed);
                 }
                 self.armed = true;
                 Next::WaitEvent(self.event)
@@ -396,76 +395,78 @@ mod tests {
         }
         let mut k = Kernel::new();
         let ev = k.create_event();
-        let wakeups = Rc::new(Cell::new(0));
+        let wakeups = Arc::new(AtomicU32::new(0));
         k.spawn("waiter", Waiter { event: ev, wakeups: wakeups.clone(), armed: false });
         k.notify(ev, SimTime::from_ns(3));
         k.run_until(SimTime::from_ns(10));
-        assert_eq!(wakeups.get(), 1);
+        assert_eq!(wakeups.load(AtOrd::Relaxed), 1);
         // Second notification wakes it again (it re-armed itself).
         k.notify(ev, SimTime::from_ns(1));
         k.run_until(SimTime::from_ns(20));
-        assert_eq!(wakeups.get(), 2);
+        assert_eq!(wakeups.load(AtOrd::Relaxed), 2);
     }
 
     #[test]
     fn periodic_process_ticks_until_deadline() {
         struct Ticker {
             period: SimTime,
-            ticks: Rc<Cell<u32>>,
+            ticks: Arc<AtomicU32>,
             first: bool,
         }
         impl Process for Ticker {
             fn resume(&mut self, _k: &mut Kernel, _id: ProcessId) -> Next {
                 if !self.first {
-                    self.ticks.set(self.ticks.get() + 1);
+                    self.ticks.fetch_add(1, AtOrd::Relaxed);
                 }
                 self.first = false;
                 Next::WaitFor(self.period)
             }
         }
         let mut k = Kernel::new();
-        let ticks = Rc::new(Cell::new(0));
+        let ticks = Arc::new(AtomicU32::new(0));
         k.spawn(
             "ticker",
             Ticker { period: SimTime::from_ms(25), ticks: ticks.clone(), first: true },
         );
         k.run_until(SimTime::from_s(1));
         // 40 Hz sensor cadence from Fig. 4 of the paper.
-        assert_eq!(ticks.get(), 40);
+        assert_eq!(ticks.load(AtOrd::Relaxed), 40);
     }
 
     #[test]
     fn stopped_process_is_never_resumed_again() {
         struct Once {
-            runs: Rc<Cell<u32>>,
+            runs: Arc<AtomicU32>,
         }
         impl Process for Once {
             fn resume(&mut self, _k: &mut Kernel, _id: ProcessId) -> Next {
-                self.runs.set(self.runs.get() + 1);
+                self.runs.fetch_add(1, AtOrd::Relaxed);
                 Next::Stop
             }
         }
         let mut k = Kernel::new();
-        let runs = Rc::new(Cell::new(0));
+        let runs = Arc::new(AtomicU32::new(0));
         let pid = k.spawn("once", Once { runs: runs.clone() });
         k.run_until(SimTime::from_ns(1));
         // Manual resume attempts are ignored after Stop.
         k.wait_for(pid, SimTime::from_ns(1));
         k.run_until(SimTime::from_ns(5));
-        assert_eq!(runs.get(), 1);
+        assert_eq!(runs.load(AtOrd::Relaxed), 1);
         assert_eq!(k.process_name(pid), "once");
     }
 
     #[test]
     fn run_to_completion_drains_everything() {
         let mut k = Kernel::new();
-        let hits = Rc::new(Cell::new(0));
+        let hits = Arc::new(AtomicU32::new(0));
         for i in 1..=5u64 {
             let h = hits.clone();
-            k.schedule_in(SimTime::from_ns(i), move |_| h.set(h.get() + 1));
+            k.schedule_in(SimTime::from_ns(i), move |_| {
+                h.fetch_add(1, AtOrd::Relaxed);
+            });
         }
         k.run_to_completion();
-        assert_eq!(hits.get(), 5);
+        assert_eq!(hits.load(AtOrd::Relaxed), 5);
         assert!(!k.has_pending());
         assert_eq!(k.now(), SimTime::from_ns(5));
     }
@@ -482,15 +483,15 @@ mod tests {
     #[test]
     fn nested_scheduling_from_actions() {
         let mut k = Kernel::new();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let l = log.clone();
         k.schedule_in(SimTime::from_ns(1), move |k| {
-            l.borrow_mut().push(1);
+            l.lock().unwrap().push(1);
             let l2 = l.clone();
-            k.schedule_in(SimTime::from_ns(2), move |_| l2.borrow_mut().push(2));
+            k.schedule_in(SimTime::from_ns(2), move |_| l2.lock().unwrap().push(2));
         });
         k.run_until(SimTime::from_ns(10));
-        assert_eq!(*log.borrow(), vec![1, 2]);
+        assert_eq!(*log.lock().unwrap(), vec![1, 2]);
         assert_eq!(k.stats().actions, 2);
     }
 }

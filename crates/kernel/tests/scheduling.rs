@@ -1,32 +1,32 @@
 //! Additional kernel scheduling tests: ordering guarantees, interleaved
 //! processes and events, and stats accounting.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
 
 use vpdift_kernel::{FnProcess, Kernel, Next, Periodic, SimTime};
 
 #[test]
 fn two_periodic_processes_interleave_deterministically() {
     let mut k = Kernel::new();
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let l1 = log.clone();
     let l2 = log.clone();
     k.spawn(
         "a",
         Periodic::new(SimTime::from_ns(30), move |k| {
-            l1.borrow_mut().push(('a', k.now().as_ns()));
+            l1.lock().unwrap().push(('a', k.now().as_ns()));
         }),
     );
     k.spawn(
         "b",
         Periodic::new(SimTime::from_ns(20), move |k| {
-            l2.borrow_mut().push(('b', k.now().as_ns()));
+            l2.lock().unwrap().push(('b', k.now().as_ns()));
         }),
     );
     k.run_until(SimTime::from_ns(60));
     assert_eq!(
-        *log.borrow(),
+        *log.lock().unwrap(),
         vec![('b', 20), ('a', 30), ('b', 40), ('a', 60), ('b', 60)],
         "scheduling order (a re-armed at t=30, b at t=40) breaks the tie at t=60"
     );
@@ -36,7 +36,7 @@ fn two_periodic_processes_interleave_deterministically() {
 fn event_multicast_wakes_all_waiters_in_subscription_order() {
     let mut k = Kernel::new();
     let ev = k.create_event();
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     for i in 0..3 {
         let l = log.clone();
         let mut first = true;
@@ -44,7 +44,7 @@ fn event_multicast_wakes_all_waiters_in_subscription_order() {
             "waiter",
             FnProcess::new(move |_k, _id| {
                 if !first {
-                    l.borrow_mut().push(i);
+                    l.lock().unwrap().push(i);
                     return Next::Stop;
                 }
                 first = false;
@@ -54,7 +54,7 @@ fn event_multicast_wakes_all_waiters_in_subscription_order() {
     }
     k.notify(ev, SimTime::from_ns(5));
     k.run_until(SimTime::from_ns(10));
-    assert_eq!(*log.borrow(), vec![0, 1, 2]);
+    assert_eq!(*log.lock().unwrap(), vec![0, 1, 2]);
 }
 
 #[test]
@@ -65,14 +65,14 @@ fn notify_without_waiters_is_lost() {
     let ev = k.create_event();
     k.notify(ev, SimTime::from_ns(1));
     k.run_until(SimTime::from_ns(2));
-    let woke = Rc::new(std::cell::Cell::new(false));
+    let woke = Arc::new(AtomicBool::new(false));
     let w = woke.clone();
     let mut first = true;
     k.spawn(
         "late",
         FnProcess::new(move |_k, _id| {
             if !first {
-                w.set(true);
+                w.store(true, Ordering::Relaxed);
                 return Next::Stop;
             }
             first = false;
@@ -80,7 +80,7 @@ fn notify_without_waiters_is_lost() {
         }),
     );
     k.run_until(SimTime::from_ns(10));
-    assert!(!woke.get(), "missed notification must not be replayed");
+    assert!(!woke.load(Ordering::Relaxed), "missed notification must not be replayed");
 }
 
 #[test]
@@ -114,7 +114,7 @@ fn process_chain_via_events() {
     let mut k = Kernel::new();
     let ping = k.create_event();
     let pong = k.create_event();
-    let turns = Rc::new(std::cell::Cell::new(0));
+    let turns = Arc::new(AtomicU32::new(0));
 
     let t1 = turns.clone();
     let mut first1 = true;
@@ -122,8 +122,7 @@ fn process_chain_via_events() {
         "ping",
         FnProcess::new(move |k, _id| {
             if !first1 {
-                t1.set(t1.get() + 1);
-                if t1.get() >= 6 {
+                if t1.fetch_add(1, Ordering::Relaxed) + 1 >= 6 {
                     return Next::Stop;
                 }
                 k.notify(pong, SimTime::from_ns(1));
@@ -147,5 +146,6 @@ fn process_chain_via_events() {
         }),
     );
     k.run_until(SimTime::from_us(1));
-    assert!(turns.get() >= 6, "ping-pong progressed: {}", turns.get());
+    let t = turns.load(Ordering::Relaxed);
+    assert!(t >= 6, "ping-pong progressed: {t}");
 }

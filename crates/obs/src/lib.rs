@@ -35,10 +35,8 @@ mod ring;
 mod sink;
 pub mod stream;
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use vpdift_core::{FlowObserver, SharedFlowObserver, Tag, Violation, ViolationKind};
+use vpdift_sync::{shared, Shared};
 
 pub use disasm::RawInsn;
 pub use event::{CheckKind, ObsEvent};
@@ -54,12 +52,12 @@ pub use stream::{StopFlag, StreamItem, StreamSink, Watch, WatchKind};
 /// check sites become [`ObsEvent::Check`]s and recorded violations become
 /// [`ObsEvent::Violation`]s.
 pub struct EngineObserverAdapter<S: ObsSink> {
-    sink: Rc<RefCell<S>>,
+    sink: Shared<S>,
 }
 
 impl<S: ObsSink> EngineObserverAdapter<S> {
     /// Wraps `sink` for attachment via `DiftEngine::set_observer`.
-    pub fn new(sink: Rc<RefCell<S>>) -> Self {
+    pub fn new(sink: Shared<S>) -> Self {
         EngineObserverAdapter { sink }
     }
 }
@@ -98,8 +96,8 @@ impl<S: ObsSink> FlowObserver for EngineObserverAdapter<S> {
 }
 
 /// Convenience: wraps a shared sink as the engine-side observer handle.
-pub fn engine_observer<S: ObsSink>(sink: &Rc<RefCell<S>>) -> SharedFlowObserver {
-    Rc::new(RefCell::new(EngineObserverAdapter::new(sink.clone())))
+pub fn engine_observer<S: ObsSink>(sink: &Shared<S>) -> SharedFlowObserver {
+    shared(EngineObserverAdapter::new(sink.clone()))
 }
 
 #[cfg(test)]
@@ -111,7 +109,7 @@ mod tests {
     fn engine_checks_flow_into_the_sink() {
         let policy = SecurityPolicy::builder("t").sink("uart.tx", Tag::EMPTY).build();
         let mut engine = DiftEngine::new(policy);
-        let sink = Rc::new(RefCell::new(Recorder::new(8)));
+        let sink = shared(Recorder::new(8));
         engine.set_observer(engine_observer(&sink));
 
         assert!(engine.check_output("uart.tx", Tag::EMPTY, None).is_ok());

@@ -6,11 +6,10 @@
 //! dead code and the hot paths compile exactly as before the observability
 //! layer existed.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use vpdift_core::Tag;
 use vpdift_kernel::SimTime;
+
+use vpdift_sync::Shared;
 
 use crate::event::ObsEvent;
 
@@ -20,8 +19,10 @@ pub const ATOM_SLOTS: usize = Tag::CAPACITY as usize;
 /// A consumer of observability events.
 ///
 /// Implementations should be cheap: emission sites sit on simulation hot
-/// paths and call [`ObsSink::event`] synchronously.
-pub trait ObsSink: 'static {
+/// paths and call [`ObsSink::event`] synchronously. Sinks are `Send` so a
+/// VP (which owns its sink graph outright) can migrate between fleet
+/// worker threads.
+pub trait ObsSink: Send + 'static {
     /// `false` compiles all emission sites out (see [`NullSink`]).
     const ENABLED: bool = true;
 
@@ -53,7 +54,7 @@ impl ObsSink for NullSink {
 /// Object-safe mirror of [`ObsSink`] for components that cannot be generic
 /// over the sink type (peripherals behind `dyn TlmTarget`, the TLM
 /// routers, the engine observer). Blanket-implemented for every sink.
-pub trait DynObs {
+pub trait DynObs: Send {
     /// See [`ObsSink::event`].
     fn dyn_event(&mut self, event: &ObsEvent);
 }
@@ -65,11 +66,11 @@ impl<S: ObsSink> DynObs for S {
 }
 
 /// A shared dynamic sink handle, as handed to peripherals and routers.
-pub type SharedObs = Rc<RefCell<dyn DynObs>>;
+pub type SharedObs = Shared<dyn DynObs>;
 
 /// Coerces a shared concrete sink into the dynamic handle peripherals
 /// take.
-pub fn shared_obs<S: ObsSink>(sink: &Rc<RefCell<S>>) -> SharedObs {
+pub fn shared_obs<S: ObsSink>(sink: &Shared<S>) -> SharedObs {
     sink.clone()
 }
 
@@ -126,7 +127,7 @@ mod tests {
 
     #[test]
     fn dynamic_handle_reaches_concrete_sink() {
-        let sink = Rc::new(RefCell::new(Counting::default()));
+        let sink = vpdift_sync::shared(Counting::default());
         let dynamic = shared_obs(&sink);
         dynamic.borrow_mut().dyn_event(&ObsEvent::Trap { pc: 0, cause: 3, irq: false });
         assert_eq!(sink.borrow().0, 1);

@@ -10,9 +10,9 @@
 //! it raises a shared [`StopFlag`] that the SoC run loop polls, so the
 //! simulation breaks mid-run instead of at the next exit condition.
 
-use std::cell::Cell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use vpdift_core::Tag;
 use vpdift_kernel::SimTime;
@@ -28,12 +28,16 @@ use crate::sink::{ObsSink, ATOM_SLOTS};
 pub const STREAM_BUF_CAP: usize = 4096;
 
 /// A shared, cloneable "please stop" latch between a watchpoint evaluator
-/// (or any other controller) and the SoC run loop. The loop polls
-/// [`is_requested`](StopFlag::is_requested) per step — only when an
-/// enabled sink is attached, so `NullSink` builds never see the check —
-/// and exits with `SocExit::Stopped` when raised.
+/// (or any other controller — fleet deadline reapers raise it from another
+/// thread) and the SoC run loop. The loop polls
+/// [`is_requested`](StopFlag::is_requested) every step regardless of the
+/// attached sink: the unraised-flag check is a single relaxed atomic load,
+/// cheap enough for the `NullSink` hot path, and polling unconditionally
+/// is what lets a fleet executor deadline-kill a wedged session that runs
+/// without observability. Raised flags end the run with
+/// `SocExit::Stopped`.
 #[derive(Clone, Debug, Default)]
-pub struct StopFlag(Rc<Cell<bool>>);
+pub struct StopFlag(Arc<AtomicBool>);
 
 impl StopFlag {
     /// A fresh, unraised flag.
@@ -41,19 +45,25 @@ impl StopFlag {
         StopFlag::default()
     }
 
-    /// Raises the flag.
+    /// Raises the flag. Safe from any thread.
     pub fn request(&self) {
-        self.0.set(true);
+        self.0.store(true, Ordering::Release);
     }
 
     /// `true` while the flag is raised.
+    #[inline]
     pub fn is_requested(&self) -> bool {
-        self.0.get()
+        self.0.load(Ordering::Relaxed)
     }
 
-    /// Lowers the flag, returning whether it was raised.
+    /// Lowers the flag, returning whether it was raised. The fast path
+    /// (flag not raised) is a single relaxed load.
+    #[inline]
     pub fn take(&self) -> bool {
-        self.0.replace(false)
+        if !self.0.load(Ordering::Relaxed) {
+            return false;
+        }
+        self.0.swap(false, Ordering::AcqRel)
     }
 }
 

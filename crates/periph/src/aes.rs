@@ -6,11 +6,9 @@
 //! encrypted responses may leave on the CAN bus while the key itself never
 //! can.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use vpdift_core::{DeclassifyCap, Tag, Taint};
 use vpdift_kernel::SimTime;
+use vpdift_sync::{shared, Shared};
 use vpdift_tlm::{GenericPayload, TlmCommand, TlmResponse, TlmTarget};
 
 use crate::aes_core::Aes128;
@@ -72,8 +70,8 @@ impl AesEngine {
     }
 
     /// Wraps into the shared handle used by the SoC.
-    pub fn into_shared(self) -> Rc<RefCell<AesEngine>> {
-        Rc::new(RefCell::new(self))
+    pub fn into_shared(self) -> Shared<AesEngine> {
+        shared(self)
     }
 
     /// Completed operations count.

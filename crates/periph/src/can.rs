@@ -7,9 +7,8 @@
 //! `"<name>.tx"` sink — secret data cannot leave on the CAN bus — and every
 //! received byte is classified with the controller's input tag.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use vpdift_sync::{shared, Shared};
 
 use vpdift_core::{SharedEngine, Tag, Taint};
 use vpdift_kernel::SimTime;
@@ -52,14 +51,14 @@ impl CanFrame {
 /// A line-level fault model for a CAN link: consulted for every frame
 /// entering the wire in either direction. Implementations may mutate the
 /// frame (bit corruption) and return `false` to drop it entirely.
-pub trait CanLineFault {
+pub trait CanLineFault: Send {
     /// `frame` is about to be put on the wire; `to_device` is `true` for
     /// host→VP traffic. Return `false` to lose the frame.
     fn on_frame(&mut self, frame: &mut CanFrame, to_device: bool) -> bool;
 }
 
 /// A line-fault model as shared with a [`CanChannel`].
-pub type SharedCanLine = Rc<RefCell<dyn CanLineFault>>;
+pub type SharedCanLine = Shared<dyn CanLineFault>;
 
 /// The two directions of a point-to-point CAN link.
 #[derive(Default)]
@@ -82,11 +81,7 @@ impl core::fmt::Debug for ChannelState {
 /// Applies the channel's line-fault model to `frame`; `true` = deliver.
 /// The hook handle is cloned out first so the model may inspect the
 /// channel without a double borrow.
-fn apply_line_fault(
-    state: &Rc<RefCell<ChannelState>>,
-    frame: &mut CanFrame,
-    to_device: bool,
-) -> bool {
+fn apply_line_fault(state: &Shared<ChannelState>, frame: &mut CanFrame, to_device: bool) -> bool {
     let hook = state.borrow().line_fault.clone();
     match hook {
         Some(h) => h.borrow_mut().on_frame(frame, to_device),
@@ -97,7 +92,7 @@ fn apply_line_fault(
 /// A shared CAN link between the VP's controller and a host endpoint.
 #[derive(Debug, Clone, Default)]
 pub struct CanChannel {
-    state: Rc<RefCell<ChannelState>>,
+    state: Shared<ChannelState>,
 }
 
 impl CanChannel {
@@ -108,7 +103,7 @@ impl CanChannel {
 
     /// The host side of the link.
     pub fn host_endpoint(&self) -> CanHostEndpoint {
-        CanHostEndpoint { state: Rc::clone(&self.state) }
+        CanHostEndpoint { state: Shared::clone(&self.state) }
     }
 
     /// Installs a line-level fault model (frame corruption/loss) on the
@@ -126,7 +121,7 @@ impl CanChannel {
 /// Host-side access to the CAN link (the scripted remote ECU).
 #[derive(Debug, Clone)]
 pub struct CanHostEndpoint {
-    state: Rc<RefCell<ChannelState>>,
+    state: Shared<ChannelState>,
 }
 
 impl CanHostEndpoint {
@@ -260,8 +255,8 @@ impl CanController {
     }
 
     /// Wraps into the shared handle used by the SoC.
-    pub fn into_shared(self) -> Rc<RefCell<CanController>> {
-        Rc::new(RefCell::new(self))
+    pub fn into_shared(self) -> Shared<CanController> {
+        shared(self)
     }
 
     /// Instance name.
@@ -516,11 +511,7 @@ mod tests {
     fn line_fault_drops_and_send_reports_it() {
         let channel = CanChannel::new();
         let host = channel.host_endpoint();
-        channel.set_line_fault(Rc::new(RefCell::new(LossyLine {
-            drop_n: 2,
-            corrupt: false,
-            seen: 0,
-        })));
+        channel.set_line_fault(shared(LossyLine { drop_n: 2, corrupt: false, seen: 0 }));
         assert!(!host.send(CanFrame::new(1, &[0xAA])), "first frame lost");
         assert!(!host.send(CanFrame::new(1, &[0xAA])), "second frame lost");
         assert!(host.send(CanFrame::new(1, &[0xAA])));
@@ -532,29 +523,17 @@ mod tests {
     fn send_with_retry_survives_bounded_loss() {
         let channel = CanChannel::new();
         let host = channel.host_endpoint();
-        channel.set_line_fault(Rc::new(RefCell::new(LossyLine {
-            drop_n: 2,
-            corrupt: false,
-            seen: 0,
-        })));
+        channel.set_line_fault(shared(LossyLine { drop_n: 2, corrupt: false, seen: 0 }));
         assert_eq!(host.send_with_retry(CanFrame::new(7, &[1]), 5), Some(3), "third attempt lands");
         // Total loss within the attempt budget is reported, not retried forever.
-        channel.set_line_fault(Rc::new(RefCell::new(LossyLine {
-            drop_n: 100,
-            corrupt: false,
-            seen: 0,
-        })));
+        channel.set_line_fault(shared(LossyLine { drop_n: 100, corrupt: false, seen: 0 }));
         assert_eq!(host.send_with_retry(CanFrame::new(7, &[1]), 4), None);
     }
 
     #[test]
     fn line_fault_corrupts_device_tx_but_send_still_counts() {
         let (mut c, host) = controller();
-        c.channel.set_line_fault(Rc::new(RefCell::new(LossyLine {
-            drop_n: 0,
-            corrupt: true,
-            seen: 0,
-        })));
+        c.channel.set_line_fault(shared(LossyLine { drop_n: 0, corrupt: true, seen: 0 }));
         wr(&mut c, regs::TX_DLC, Taint::untainted(1));
         let mut p = GenericPayload::write(regs::TX_DATA, &[Taint::untainted(0xAA)]);
         c.transport(&mut p, &mut SimTime::ZERO.clone());
@@ -567,11 +546,7 @@ mod tests {
     #[test]
     fn line_loss_is_invisible_to_the_device() {
         let (mut c, host) = controller();
-        c.channel.set_line_fault(Rc::new(RefCell::new(LossyLine {
-            drop_n: 1,
-            corrupt: false,
-            seen: 0,
-        })));
+        c.channel.set_line_fault(shared(LossyLine { drop_n: 1, corrupt: false, seen: 0 }));
         wr(&mut c, regs::TX_DLC, Taint::untainted(1));
         let mut p = GenericPayload::write(regs::TX_DATA, &[Taint::untainted(0x42)]);
         c.transport(&mut p, &mut SimTime::ZERO.clone());

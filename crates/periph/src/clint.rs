@@ -1,11 +1,9 @@
 //! Core-local interruptor: machine timer (`mtime`/`mtimecmp`) and software
 //! interrupt (`msip`), as in the SiFive/RISC-V VP memory map.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use vpdift_core::Taint;
 use vpdift_kernel::SimTime;
+use vpdift_sync::{shared, Shared};
 use vpdift_tlm::{GenericPayload, TlmCommand, TlmResponse, TlmTarget};
 
 use crate::mmio::{get_word, put_word};
@@ -40,8 +38,8 @@ impl Clint {
     }
 
     /// Wraps into the shared handle used by the SoC.
-    pub fn into_shared(self) -> Rc<RefCell<Clint>> {
-        Rc::new(RefCell::new(self))
+    pub fn into_shared(self) -> Shared<Clint> {
+        shared(self)
     }
 
     /// Current timer value.

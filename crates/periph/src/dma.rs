@@ -7,11 +7,9 @@
 //! the bytes — and transfers into protected regions are still subject to
 //! the policy's store-clearance rules.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use vpdift_core::{SharedEngine, Taint, Violation};
 use vpdift_kernel::SimTime;
+use vpdift_sync::{shared, Shared};
 use vpdift_tlm::{GenericPayload, Router, TlmCommand, TlmResponse, TlmTarget};
 
 use crate::mmio::{get_word, put_word};
@@ -93,8 +91,8 @@ impl Dma {
     }
 
     /// Wraps into the shared handle used by the SoC.
-    pub fn into_shared(self) -> Rc<RefCell<Dma>> {
-        Rc::new(RefCell::new(self))
+    pub fn into_shared(self) -> Shared<Dma> {
+        shared(self)
     }
 
     /// Total bytes copied over the controller's lifetime.
@@ -222,7 +220,7 @@ mod tests {
 
     const SECRET: Tag = Tag::from_bits(1);
 
-    fn dma_with_ram() -> (Dma, Rc<RefCell<Ram>>) {
+    fn dma_with_ram() -> (Dma, Shared<Ram>) {
         let ram = Ram::new(4096, true).into_shared();
         let mut ports = Router::new("dma-ports");
         ports.map("ram", AddrRange::new(0, 4096), ram.clone()).unwrap();

@@ -4,11 +4,9 @@
 //! claims the highest-priority pending one, and completes it. The `eip()`
 //! level feeds the CPU's machine-external-interrupt pending bit.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use vpdift_core::Taint;
 use vpdift_kernel::SimTime;
+use vpdift_sync::{shared, Shared};
 use vpdift_tlm::{GenericPayload, TlmCommand, TlmResponse, TlmTarget};
 
 use crate::mmio::{get_word, put_word};
@@ -40,8 +38,8 @@ impl Plic {
 
     /// Wraps into the shared handle used by the SoC and by peripherals'
     /// [`IrqLine`]s.
-    pub fn into_shared(self) -> Rc<RefCell<Plic>> {
-        Rc::new(RefCell::new(self))
+    pub fn into_shared(self) -> Shared<Plic> {
+        shared(self)
     }
 
     /// Raises interrupt source `id` (1..=31).
@@ -112,7 +110,7 @@ impl TlmTarget for Plic {
 /// A handle a peripheral uses to raise its interrupt line.
 #[derive(Clone)]
 pub struct IrqLine {
-    plic: Rc<RefCell<Plic>>,
+    plic: Shared<Plic>,
     id: u32,
 }
 
@@ -124,7 +122,7 @@ impl core::fmt::Debug for IrqLine {
 
 impl IrqLine {
     /// Creates the line for source `id` on `plic`.
-    pub fn new(plic: Rc<RefCell<Plic>>, id: u32) -> Self {
+    pub fn new(plic: Shared<Plic>, id: u32) -> Self {
         IrqLine { plic, id }
     }
 

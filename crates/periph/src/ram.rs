@@ -1,10 +1,11 @@
 //! Main memory with per-byte security tags.
 
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use vpdift_core::{SharedCensus, Tag, Taint};
 use vpdift_kernel::SimTime;
+use vpdift_sync::{shared, Shared};
 use vpdift_tlm::{GenericPayload, TlmCommand, TlmResponse, TlmTarget};
 
 /// Byte-addressable RAM. Tag storage is only materialised when the VP runs
@@ -22,9 +23,9 @@ pub struct Ram {
     /// Mutation epoch: bumped on every change that bypasses the CPU's
     /// store path (image loads, classification, DMA/TLM writes, injected
     /// bit flips), so block-caching execution engines know to flush.
-    /// Shared as `Rc<Cell>` so the SoC bus can poll it without borrowing
-    /// the RAM every step.
-    epoch: Rc<Cell<u64>>,
+    /// Shared as `Arc<AtomicU64>` so the SoC bus can poll it without
+    /// borrowing the RAM every step, from whichever thread owns the VP.
+    epoch: Arc<AtomicU64>,
     /// Live-tag census to arm when a non-empty tag enters RAM from
     /// outside the CPU (classification, tagged DMA data, tag-bit flips).
     census: Option<SharedCensus>,
@@ -37,14 +38,14 @@ impl Ram {
             data: vec![0; size],
             tags: if tracking { vec![Tag::EMPTY; size] } else { Vec::new() },
             tracking,
-            epoch: Rc::new(Cell::new(0)),
+            epoch: Arc::new(AtomicU64::new(0)),
             census: None,
         }
     }
 
     /// Wraps into the shared handle used by the SoC.
-    pub fn into_shared(self) -> Rc<RefCell<Ram>> {
-        Rc::new(RefCell::new(self))
+    pub fn into_shared(self) -> Shared<Ram> {
+        shared(self)
     }
 
     /// Size in bytes.
@@ -63,18 +64,18 @@ impl Ram {
     }
 
     /// Handle to the mutation-epoch counter (see the `epoch` field docs).
-    pub fn epoch_handle(&self) -> Rc<Cell<u64>> {
+    pub fn epoch_handle(&self) -> Arc<AtomicU64> {
         self.epoch.clone()
     }
 
     /// Current mutation epoch.
     pub fn epoch(&self) -> u64 {
-        self.epoch.get()
+        self.epoch.load(Ordering::Relaxed)
     }
 
     #[inline]
     fn bump_epoch(&self) {
-        self.epoch.set(self.epoch.get() + 1);
+        self.epoch.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Attaches the live-tag census armed by external tag sources.

@@ -7,13 +7,11 @@
 //! sensor's interrupt. Reads return the tagged frame bytes through the TLM
 //! data lane, exactly like the paper's `Taint<uint8_t>` pointer cast.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vpdift_core::{Tag, Taint};
 use vpdift_kernel::{Kernel, Periodic, SimTime};
+use vpdift_sync::{shared, Shared};
 use vpdift_tlm::{GenericPayload, TlmCommand, TlmResponse, TlmTarget};
 
 use crate::mmio::{get_word, put_word};
@@ -71,14 +69,14 @@ impl Sensor {
     }
 
     /// Wraps into the shared handle used by the SoC.
-    pub fn into_shared(self) -> Rc<RefCell<Sensor>> {
-        Rc::new(RefCell::new(self))
+    pub fn into_shared(self) -> Shared<Sensor> {
+        shared(self)
     }
 
     /// Registers the periodic generation thread (Fig. 4's `run`) with the
     /// simulation kernel.
-    pub fn spawn(this: &Rc<RefCell<Sensor>>, kernel: &mut Kernel) {
-        let me = Rc::clone(this);
+    pub fn spawn(this: &Shared<Sensor>, kernel: &mut Kernel) {
+        let me = Shared::clone(this);
         kernel.spawn(
             "sensor.run",
             Periodic::new(PERIOD, move |_k| {

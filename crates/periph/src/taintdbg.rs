@@ -10,11 +10,9 @@
 //! *existence* of a classification is not itself classified in this
 //! model — do not map this peripheral in production-profile platforms).
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use vpdift_core::{SharedEngine, Tag, Taint, Violation, ViolationKind};
 use vpdift_kernel::SimTime;
+use vpdift_sync::{shared, Shared};
 use vpdift_tlm::{GenericPayload, TlmCommand, TlmResponse, TlmTarget};
 
 use crate::mmio::{get_word, put_word};
@@ -36,7 +34,7 @@ pub mod regs {
 /// The introspection peripheral.
 #[derive(Debug)]
 pub struct TaintDebug {
-    ram: Rc<RefCell<Ram>>,
+    ram: Shared<Ram>,
     engine: SharedEngine,
     addr: u32,
     failed: u32,
@@ -44,13 +42,13 @@ pub struct TaintDebug {
 
 impl TaintDebug {
     /// Creates the peripheral over the platform RAM.
-    pub fn new(ram: Rc<RefCell<Ram>>, engine: SharedEngine) -> Self {
+    pub fn new(ram: Shared<Ram>, engine: SharedEngine) -> Self {
         TaintDebug { ram, engine, addr: 0, failed: 0 }
     }
 
     /// Wraps into the shared handle used by the SoC.
-    pub fn into_shared(self) -> Rc<RefCell<TaintDebug>> {
-        Rc::new(RefCell::new(self))
+    pub fn into_shared(self) -> Shared<TaintDebug> {
+        shared(self)
     }
 
     /// Failed guest assertions so far.
@@ -115,7 +113,7 @@ mod tests {
     use super::*;
     use vpdift_core::{DiftEngine, EnforceMode, SecurityPolicy};
 
-    fn setup(mode: EnforceMode) -> (TaintDebug, Rc<RefCell<Ram>>) {
+    fn setup(mode: EnforceMode) -> (TaintDebug, Shared<Ram>) {
         let ram = Ram::new(256, true).into_shared();
         let engine = DiftEngine::with_mode(SecurityPolicy::permissive(), mode).into_shared();
         (TaintDebug::new(ram.clone(), engine), ram)

@@ -5,9 +5,8 @@
 //! (typically low-integrity `LI`), so injected data is tainted from the
 //! moment it enters the system.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use vpdift_sync::{shared, Shared};
 
 use vpdift_core::{Tag, Taint};
 use vpdift_kernel::SimTime;
@@ -57,8 +56,8 @@ impl Terminal {
     }
 
     /// Wraps into the shared handle used by the SoC.
-    pub fn into_shared(self) -> Rc<RefCell<Terminal>> {
-        Rc::new(RefCell::new(self))
+    pub fn into_shared(self) -> Shared<Terminal> {
+        shared(self)
     }
 
     /// Instance name.

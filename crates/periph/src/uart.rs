@@ -4,11 +4,9 @@
 //! of the sink `"<name>.tx"` before it "leaves the system"; secret data
 //! hitting the UART is exactly the paper's immobilizer debug-dump leak.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use vpdift_core::SharedEngine;
 use vpdift_kernel::SimTime;
+use vpdift_sync::{shared, Shared};
 use vpdift_tlm::{GenericPayload, TlmCommand, TlmResponse, TlmTarget};
 
 /// Register map (word-aligned offsets).
@@ -35,8 +33,8 @@ impl Uart {
     }
 
     /// Wraps into the shared handle used by the SoC.
-    pub fn into_shared(self) -> Rc<RefCell<Uart>> {
-        Rc::new(RefCell::new(self))
+    pub fn into_shared(self) -> Shared<Uart> {
+        shared(self)
     }
 
     /// Instance name.

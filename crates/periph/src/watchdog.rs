@@ -15,11 +15,9 @@
 //! and each idle skip), so a timeout is observed within one quantum of the
 //! deadline rather than cycle-exactly — the usual LT trade-off.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use vpdift_core::Taint;
 use vpdift_kernel::SimTime;
+use vpdift_sync::{shared, Shared};
 use vpdift_tlm::{GenericPayload, TlmCommand, TlmResponse, TlmTarget};
 
 use crate::mmio::{get_word, put_word};
@@ -68,8 +66,8 @@ impl Watchdog {
     }
 
     /// Wraps into the shared handle used by the SoC.
-    pub fn into_shared(self) -> Rc<RefCell<Watchdog>> {
-        Rc::new(RefCell::new(self))
+    pub fn into_shared(self) -> Shared<Watchdog> {
+        shared(self)
     }
 
     /// Arms (or re-arms) with `timeout` from the current simulated time.

@@ -6,13 +6,11 @@
 //! routes through the [`Word`] abstraction, so the plain instantiation
 //! compiles tag work away entirely.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use vpdift_asm::csr as csrn;
 use vpdift_asm::{AluOp, BranchCond, CsrSrc, Insn, MulOp, Reg};
 use vpdift_core::{ExecClearance, SharedEngine, Tag, Violation, ViolationKind};
 use vpdift_obs::{CheckKind, NullSink, ObsEvent, ObsSink};
+use vpdift_sync::{shared, Shared};
 
 use crate::bus::{Bus, MemError};
 use crate::csr::CsrFile;
@@ -105,7 +103,7 @@ pub struct Cpu<M: TaintMode, S: ObsSink = NullSink> {
     /// has *proved* all architectural tags empty (census clear); the
     /// interpreter leaves it `true`.
     checks_enabled: bool,
-    obs: Rc<RefCell<S>>,
+    obs: Shared<S>,
 }
 
 /// Default consecutive-identical-trap count after which the trap-loop
@@ -121,13 +119,13 @@ impl<M: TaintMode, S: ObsSink + Default> Default for Cpu<M, S> {
 impl<M: TaintMode, S: ObsSink + Default> Cpu<M, S> {
     /// Creates a core reset to PC 0 with unchecked execution clearance.
     pub fn new() -> Self {
-        Self::with_obs(Rc::new(RefCell::new(S::default())))
+        Self::with_obs(shared(S::default()))
     }
 }
 
 impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
     /// Creates a core emitting observability events into `obs`.
-    pub fn with_obs(obs: Rc<RefCell<S>>) -> Self {
+    pub fn with_obs(obs: Shared<S>) -> Self {
         Cpu {
             pc: 0,
             regs: [M::Word::from_u32(0); 32],
@@ -146,7 +144,7 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
     }
 
     /// The attached observability sink.
-    pub fn obs(&self) -> &Rc<RefCell<S>> {
+    pub fn obs(&self) -> &Shared<S> {
         &self.obs
     }
 

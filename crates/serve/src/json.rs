@@ -221,7 +221,7 @@ impl Parser<'_> {
                     // at char boundaries is safe via char_indices logic).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid utf-8"))?;
-                    let ch = rest.chars().next().unwrap();
+                    let ch = rest.chars().next().ok_or_else(|| self.err("truncated string"))?;
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }

@@ -248,7 +248,15 @@ impl Server {
             ));
         }
 
-        let sess = self.sessions.get_mut(&name).expect("session still registered");
+        // The session was present before the run and only the
+        // client-gone branch above frees it, but a typed error keeps
+        // this path panic-free if that invariant ever changes.
+        let Some(sess) = self.sessions.get_mut(&name) else {
+            return Err(ServeError::new(
+                ErrorCode::UnknownSession,
+                format!("session `{name}` vanished mid-run"),
+            ));
+        };
         let mut fields = format!(
             "\"exit\":\"{}\",\"instret\":{},\"t_ps\":{},\"digest\":\"{:#018x}\"",
             exit.label(),

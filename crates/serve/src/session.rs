@@ -7,14 +7,12 @@
 //! watchpoint hit returns [`SocExit::Stopped`] with all architectural
 //! state intact — the next `run` continues from the exact stop point.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use vpdift_asm::{parse_asm, Reg};
 use vpdift_core::{parse_policy, AtomTable, EnforceMode, SecurityPolicy, Tag};
 use vpdift_obs::{flowgraph, Recorder, StopFlag, StreamItem, StreamSink, Watch, WatchKind};
 use vpdift_rv32::{ExecMode, Plain, Tainted, Word};
 use vpdift_soc::{Soc, SocBuilder, SocExit};
+use vpdift_sync::{shared, Shared};
 
 use crate::proto::{ErrorCode, ServeError};
 
@@ -100,7 +98,7 @@ pub struct ByteRead {
 /// A live VP session.
 pub struct Session {
     soc: AnySoc,
-    sink: Rc<RefCell<StreamSink>>,
+    sink: Shared<StreamSink>,
     stop: StopFlag,
     atoms: AtomTable,
     tainted: bool,
@@ -128,7 +126,7 @@ impl Session {
         let recorder = Recorder::new(RING_CAP)
             .with_symbols(vpdift_obs::SymbolMap::from_program(&program))
             .with_flow_deltas();
-        let sink = Rc::new(RefCell::new(StreamSink::new(recorder, stop.clone())));
+        let sink = shared(StreamSink::new(recorder, stop.clone()));
 
         let mut builder = SocBuilder::new()
             .policy(policy)

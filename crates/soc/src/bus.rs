@@ -2,20 +2,21 @@
 //! TLM routing for everything else, with DIFT store-clearance checks on
 //! protected regions.
 
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use vpdift_core::{AddrRange, SharedCensus, SharedEngine, Tag};
 use vpdift_kernel::SimTime;
 use vpdift_periph::Ram;
 use vpdift_rv32::{Bus, MemError, TaintMode, Word};
+use vpdift_sync::Shared;
 use vpdift_tlm::{FaultRouter, GenericPayload, Router, SharedFaultHook, TlmResponse};
 
 use crate::map::RAM_BASE;
 
 /// The CPU ⇄ memory-system adapter.
 pub struct SocBus<M: TaintMode> {
-    ram: Rc<RefCell<Ram>>,
+    ram: Shared<Ram>,
     ram_end: u32,
     /// The system-bus router behind a fault-injection interposer; with no
     /// hook installed the wrapper is a single `Option` check per MMIO
@@ -28,8 +29,8 @@ pub struct SocBus<M: TaintMode> {
     mmio_delay: SimTime,
     irq_dirty: bool,
     /// RAM's mutation-epoch counter, cached here so
-    /// [`Bus::mutation_epoch`] is a plain `Cell` read per step.
-    ram_epoch: Rc<Cell<u64>>,
+    /// [`Bus::mutation_epoch`] is a relaxed atomic load per step.
+    ram_epoch: Arc<AtomicU64>,
     /// Live-tag census, armed when tagged data enters the CPU via MMIO
     /// (peripheral ingress like the terminal, sensor, or CAN RX).
     census: Option<SharedCensus>,
@@ -38,7 +39,7 @@ pub struct SocBus<M: TaintMode> {
 
 impl<M: TaintMode> SocBus<M> {
     /// Creates the bus. `router` must map every non-RAM target.
-    pub fn new(ram: Rc<RefCell<Ram>>, router: Router, engine: Option<SharedEngine>) -> Self {
+    pub fn new(ram: Shared<Ram>, router: Router, engine: Option<SharedEngine>) -> Self {
         let ram_end = RAM_BASE + ram.borrow().len() as u32;
         let protected = engine
             .as_ref()
@@ -200,6 +201,6 @@ impl<M: TaintMode> Bus<M> for SocBus<M> {
     }
 
     fn mutation_epoch(&self) -> u64 {
-        self.ram_epoch.get()
+        self.ram_epoch.load(Ordering::Relaxed)
     }
 }

@@ -1,8 +1,5 @@
 //! The assembled virtual prototype.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use vpdift_asm::Program;
 use vpdift_core::{AddrRange, DiftEngine, EnforceMode, SecurityPolicy, SharedEngine, Violation};
 use vpdift_kernel::{Kernel, SimTime};
@@ -12,6 +9,7 @@ use vpdift_periph::{
     TaintDebug, Terminal, Uart, Watchdog,
 };
 use vpdift_rv32::{BlockCache, CacheStats, Cpu, ExecMode, Step, TaintMode, Word};
+use vpdift_sync::{shared, Shared};
 use vpdift_tlm::{Router, SharedFaultHook, SharedTarget};
 
 use crate::builder::SocBuilder;
@@ -133,21 +131,21 @@ pub struct Soc<M: TaintMode, S: ObsSink = NullSink> {
     bus: SocBus<M>,
     exec: EngineKind,
     engine: SharedEngine,
-    obs: Rc<RefCell<S>>,
+    obs: Shared<S>,
     /// Quanta since the last taint-spread sample (see [`SPREAD_PERIOD`]).
     quanta_since_spread: u32,
-    ram: Rc<RefCell<Ram>>,
-    uart: Rc<RefCell<Uart>>,
-    terminal: Rc<RefCell<Terminal>>,
-    sensor: Rc<RefCell<Sensor>>,
-    can: Rc<RefCell<CanController>>,
+    ram: Shared<Ram>,
+    uart: Shared<Uart>,
+    terminal: Shared<Terminal>,
+    sensor: Shared<Sensor>,
+    can: Shared<CanController>,
     can_host: CanHostEndpoint,
-    aes: Rc<RefCell<AesEngine>>,
-    dma: Rc<RefCell<Dma>>,
-    clint: Rc<RefCell<Clint>>,
-    plic: Rc<RefCell<Plic>>,
-    taintdbg: Rc<RefCell<TaintDebug>>,
-    watchdog: Rc<RefCell<Watchdog>>,
+    aes: Shared<AesEngine>,
+    dma: Shared<Dma>,
+    clint: Shared<Clint>,
+    plic: Shared<Plic>,
+    taintdbg: Shared<TaintDebug>,
+    watchdog: Shared<Watchdog>,
 }
 
 /// Taint-spread is sampled (an O(ram) scan) every this many quanta.
@@ -162,7 +160,7 @@ enum EngineKind {
 impl<M: TaintMode, S: ObsSink + Default> Soc<M, S> {
     /// Builds the VP from `config`.
     pub fn new(config: SocConfig) -> Self {
-        Self::with_obs(config, Rc::new(RefCell::new(S::default())))
+        Self::with_obs(config, shared(S::default()))
     }
 
     /// The canonical configuration entry point:
@@ -183,7 +181,7 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
     /// Panics if `config.ram_size` would make RAM overlap the first MMIO
     /// region (the CLINT) — the map's disjointness is a build-time
     /// invariant everything downstream relies on.
-    pub fn with_obs(config: SocConfig, obs: Rc<RefCell<S>>) -> Self {
+    pub fn with_obs(config: SocConfig, obs: Shared<S>) -> Self {
         assert!(
             config.ram_size <= map::CLINT_BASE as usize,
             "RAM ({} bytes) may not reach the CLINT at {:#x}",
@@ -434,10 +432,12 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
             let mut exit = None;
             for _ in 0..quantum {
                 // Cooperative stop: a watchpoint raised the flag during
-                // the previous step's event emission (or a controller
-                // raised it between runs). Consuming it here stops on the
-                // exact step boundary, leaving the VP resumable.
-                if S::ENABLED && self.config.stop.take() {
+                // the previous step's event emission, a controller raised
+                // it between runs, or a fleet deadline reaper raised it
+                // from another thread. Polled unconditionally — not gated
+                // on `S::ENABLED` — so deadline kills reach `NullSink`
+                // sessions too; the unraised check is one relaxed load.
+                if self.config.stop.take() {
                     exit = Some(SocExit::Stopped);
                     break;
                 }
@@ -570,7 +570,7 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
     }
 
     /// The shared observability sink.
-    pub fn obs(&self) -> &Rc<RefCell<S>> {
+    pub fn obs(&self) -> &Shared<S> {
         &self.obs
     }
 
@@ -580,27 +580,27 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
     }
 
     /// Main memory.
-    pub fn ram(&self) -> &Rc<RefCell<Ram>> {
+    pub fn ram(&self) -> &Shared<Ram> {
         &self.ram
     }
 
     /// The UART (read its `output()` to observe transmitted bytes).
-    pub fn uart(&self) -> &Rc<RefCell<Uart>> {
+    pub fn uart(&self) -> &Shared<Uart> {
         &self.uart
     }
 
     /// The console-input device (feed attacker bytes here).
-    pub fn terminal(&self) -> &Rc<RefCell<Terminal>> {
+    pub fn terminal(&self) -> &Shared<Terminal> {
         &self.terminal
     }
 
     /// The sensor.
-    pub fn sensor(&self) -> &Rc<RefCell<Sensor>> {
+    pub fn sensor(&self) -> &Shared<Sensor> {
         &self.sensor
     }
 
     /// The CAN controller.
-    pub fn can(&self) -> &Rc<RefCell<CanController>> {
+    pub fn can(&self) -> &Shared<CanController> {
         &self.can
     }
 
@@ -610,33 +610,33 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
     }
 
     /// The AES engine.
-    pub fn aes(&self) -> &Rc<RefCell<AesEngine>> {
+    pub fn aes(&self) -> &Shared<AesEngine> {
         &self.aes
     }
 
     /// The DMA controller.
-    pub fn dma(&self) -> &Rc<RefCell<Dma>> {
+    pub fn dma(&self) -> &Shared<Dma> {
         &self.dma
     }
 
     /// The CLINT.
-    pub fn clint(&self) -> &Rc<RefCell<Clint>> {
+    pub fn clint(&self) -> &Shared<Clint> {
         &self.clint
     }
 
     /// The PLIC.
-    pub fn plic(&self) -> &Rc<RefCell<Plic>> {
+    pub fn plic(&self) -> &Shared<Plic> {
         &self.plic
     }
 
     /// The taint-introspection peripheral.
-    pub fn taintdbg(&self) -> &Rc<RefCell<TaintDebug>> {
+    pub fn taintdbg(&self) -> &Shared<TaintDebug> {
         &self.taintdbg
     }
 
     /// The watchdog timer. Arm it host-side (or let firmware do it via
     /// MMIO) to turn hangs into [`SocExit::WatchdogTimeout`].
-    pub fn watchdog(&self) -> &Rc<RefCell<Watchdog>> {
+    pub fn watchdog(&self) -> &Shared<Watchdog> {
         &self.watchdog
     }
 

@@ -7,10 +7,8 @@
 //! With no hook installed the wrapper costs a single `Option` check per
 //! transaction.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use vpdift_kernel::SimTime;
+use vpdift_sync::Shared;
 
 use crate::payload::{GenericPayload, TlmResponse};
 use crate::router::{Router, TlmTarget};
@@ -32,7 +30,7 @@ pub enum FaultAction {
 
 /// A fault model consulted around every transaction through a
 /// [`FaultRouter`].
-pub trait TlmFaultHook {
+pub trait TlmFaultHook: Send {
     /// Called before routing. May mutate the payload (corrupting write
     /// data or the address) and decides whether the transaction proceeds.
     fn before(&mut self, payload: &mut GenericPayload) -> FaultAction;
@@ -43,7 +41,7 @@ pub trait TlmFaultHook {
 }
 
 /// A fault hook as shared between the campaign driver and the bus.
-pub type SharedFaultHook = Rc<RefCell<dyn TlmFaultHook>>;
+pub type SharedFaultHook = Shared<dyn TlmFaultHook>;
 
 /// A [`Router`] wrapper that injects faults via an optional
 /// [`TlmFaultHook`].
@@ -130,15 +128,15 @@ mod tests {
     use super::*;
     use vpdift_core::{AddrRange, Taint};
 
-    fn wrapped_ram() -> (FaultRouter, Rc<RefCell<[Taint<u8>; 16]>>) {
+    fn wrapped_ram() -> (FaultRouter, Shared<[Taint<u8>; 16]>) {
         let mut router = Router::new("bus");
-        let ram = Rc::new(RefCell::new([Taint::untainted(0u8); 16]));
+        let ram = vpdift_sync::shared([Taint::untainted(0u8); 16]);
         let r = ram.clone();
         router
             .map(
                 "ram",
                 AddrRange::new(0x100, 16),
-                Rc::new(RefCell::new(move |p: &mut GenericPayload, _d: &mut SimTime| {
+                vpdift_sync::shared(move |p: &mut GenericPayload, _d: &mut SimTime| {
                     let base = p.address() as usize;
                     match p.command() {
                         crate::TlmCommand::Read => {
@@ -154,7 +152,7 @@ mod tests {
                         crate::TlmCommand::Ignore => {}
                     }
                     p.set_response(TlmResponse::Ok);
-                })),
+                }),
             )
             .unwrap();
         (FaultRouter::new(router), ram)
@@ -181,7 +179,7 @@ mod tests {
     #[test]
     fn drop_never_reaches_the_target() {
         let (mut fr, ram) = wrapped_ram();
-        fr.set_hook(Rc::new(RefCell::new(OneShot(FaultAction::Drop))));
+        fr.set_hook(vpdift_sync::shared(OneShot(FaultAction::Drop)));
         let mut w = GenericPayload::write(0x104, &[Taint::untainted(7)]);
         fr.route(&mut w, &mut SimTime::ZERO.clone());
         assert_eq!(w.response(), TlmResponse::GenericError);
@@ -196,9 +194,7 @@ mod tests {
     #[test]
     fn forced_response_short_circuits() {
         let (mut fr, _ram) = wrapped_ram();
-        fr.set_hook(Rc::new(RefCell::new(OneShot(FaultAction::Respond(
-            TlmResponse::AddressError,
-        )))));
+        fr.set_hook(vpdift_sync::shared(OneShot(FaultAction::Respond(TlmResponse::AddressError))));
         let mut r = GenericPayload::read(0x104, 4);
         fr.route(&mut r, &mut SimTime::ZERO.clone());
         assert_eq!(r.response(), TlmResponse::AddressError);
@@ -220,7 +216,7 @@ mod tests {
         }
         let (mut fr, ram) = wrapped_ram();
         ram.borrow_mut()[0] = Taint::untainted(0x11);
-        fr.set_hook(Rc::new(RefCell::new(FlipRead)));
+        fr.set_hook(vpdift_sync::shared(FlipRead));
         let mut r = GenericPayload::read(0x100, 1);
         fr.route(&mut r, &mut SimTime::ZERO.clone());
         assert_eq!(r.data()[0].value(), 0x91, "read lane corrupted post-route");
@@ -230,7 +226,7 @@ mod tests {
     #[test]
     fn clear_hook_restores_transparency() {
         let (mut fr, _ram) = wrapped_ram();
-        fr.set_hook(Rc::new(RefCell::new(OneShot(FaultAction::Drop))));
+        fr.set_hook(vpdift_sync::shared(OneShot(FaultAction::Drop)));
         fr.clear_hook();
         let mut r = GenericPayload::read(0x100, 1);
         fr.route(&mut r, &mut SimTime::ZERO.clone());

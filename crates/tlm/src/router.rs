@@ -1,11 +1,9 @@
 //! Address-based transaction routing — the TLM interconnect.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use vpdift_core::AddrRange;
 use vpdift_kernel::SimTime;
 use vpdift_obs::{ObsEvent, SharedObs};
+use vpdift_sync::Shared;
 
 use crate::payload::{GenericPayload, TlmCommand, TlmResponse};
 
@@ -14,7 +12,7 @@ use crate::payload::{GenericPayload, TlmCommand, TlmResponse};
 /// `transport` is the blocking-transport equivalent: it must process the
 /// payload, fill reads / absorb writes, set a response status, and may add
 /// to `delay` to model access latency (loosely-timed style).
-pub trait TlmTarget {
+pub trait TlmTarget: Send {
     /// Processes one transaction addressed to this target. The payload
     /// address has already been rewritten to a target-local offset.
     fn transport(&mut self, payload: &mut GenericPayload, delay: &mut SimTime);
@@ -22,7 +20,7 @@ pub trait TlmTarget {
 
 impl<F> TlmTarget for F
 where
-    F: FnMut(&mut GenericPayload, &mut SimTime),
+    F: FnMut(&mut GenericPayload, &mut SimTime) + Send,
 {
     fn transport(&mut self, payload: &mut GenericPayload, delay: &mut SimTime) {
         self(payload, delay)
@@ -30,7 +28,7 @@ where
 }
 
 /// A shared, interiorly mutable target handle as stored in the router.
-pub type SharedTarget = Rc<RefCell<dyn TlmTarget>>;
+pub type SharedTarget = Shared<dyn TlmTarget>;
 
 struct Mapping {
     name: String,
@@ -63,18 +61,18 @@ impl std::error::Error for MapError {}
 /// use vpdift_tlm::{GenericPayload, Router, TlmResponse};
 /// use vpdift_core::{AddrRange, Taint};
 /// use vpdift_kernel::SimTime;
-/// use std::{cell::RefCell, rc::Rc};
+/// use vpdift_sync::shared;
 ///
 /// let mut router = Router::new("bus");
-/// let reg = Rc::new(RefCell::new(0u8));
+/// let reg = shared(0u8);
 /// let r = reg.clone();
-/// router.map("reg", AddrRange::new(0x1000, 4), Rc::new(RefCell::new(
+/// router.map("reg", AddrRange::new(0x1000, 4), shared(
 ///     move |p: &mut GenericPayload, _d: &mut SimTime| {
 ///         if p.command() == vpdift_tlm::TlmCommand::Write {
 ///             *r.borrow_mut() = p.data()[0].value();
 ///         }
 ///         p.set_response(TlmResponse::Ok);
-///     })))?;
+///     }))?;
 /// let mut p = GenericPayload::write(0x1002, &[Taint::untainted(7)]);
 /// router.route(&mut p, &mut SimTime::ZERO);
 /// assert!(p.is_ok());
@@ -237,11 +235,11 @@ mod tests {
         }
     }
 
-    fn scratch() -> Rc<RefCell<Scratch>> {
-        Rc::new(RefCell::new(Scratch {
+    fn scratch() -> Shared<Scratch> {
+        vpdift_sync::shared(Scratch {
             bytes: [Taint::untainted(0); 16],
             latency: SimTime::from_ns(10),
-        }))
+        })
     }
 
     #[test]
@@ -304,7 +302,7 @@ mod tests {
         let ram = scratch();
         inner.map("ram", AddrRange::new(0x0, 16), ram.clone()).unwrap();
         let mut outer = Router::new("sys-bus");
-        outer.map("periph", AddrRange::new(0x1000, 16), Rc::new(RefCell::new(inner))).unwrap();
+        outer.map("periph", AddrRange::new(0x1000, 16), vpdift_sync::shared(inner)).unwrap();
 
         let mut p = GenericPayload::write(0x1004, &[Taint::untainted(9)]);
         outer.route(&mut p, &mut SimTime::ZERO.clone());
@@ -317,7 +315,7 @@ mod tests {
         use vpdift_obs::{shared_obs, Recorder};
         let mut router = Router::new("bus");
         router.map("ram", AddrRange::new(0x100, 16), scratch()).unwrap();
-        let sink = Rc::new(RefCell::new(Recorder::new(8)));
+        let sink = vpdift_sync::shared(Recorder::new(8));
         router.set_obs(shared_obs(&sink));
 
         let mut w = GenericPayload::write(0x104, &[Taint::new(1, Tag::atom(3))]);

@@ -5,6 +5,9 @@
 //! taintvp-run <program.s> [options]
 //! taintvp-run serve [--tcp addr]
 //! taintvp-run client [--script file] [--tcp addr]
+//! taintvp-run fleet [--jobs n] [--workers n] [--seed n] [--rate r]
+//!                   [--deadline-ms n] [--journal file] [--resume]
+//!                   [--out file] [--inject-panic idx] [--inject-hang idx]
 //!
 //!   --policy <file>       textual security policy (see vpdift_core::textpolicy)
 //!   --plain               run on the original VP (no taint tracking)
@@ -43,6 +46,13 @@
 //!                         each against the reference and print a summary
 //! ```
 //!
+//! The `fleet` subcommand sweeps the immobilizer session under per-job
+//! fault schedules on the `vpdift-fleet` work-stealing executor: panicking
+//! sessions are isolated as `crashed`, deadline overruns are killed and
+//! classified `hang`, results stream into a crash-safe `taintvp-fleet/v1`
+//! journal, and the aggregate JSON is byte-identical for any worker count
+//! (docs/FLEET.md).
+//!
 //! The `serve` subcommand starts the live introspection server speaking
 //! the `taintvp-serve/v1` line-JSON protocol (docs/SERVE.md) over stdio,
 //! or over TCP with `--tcp addr`. The `client` subcommand drives a server:
@@ -67,9 +77,8 @@
 //! | 5    | watchdog timeout                             |
 //! | 6    | trap loop (guest wedged in its trap handler) |
 
-use std::cell::RefCell;
 use std::process::ExitCode;
-use std::rc::Rc;
+use vpdift_sync::{shared, Shared};
 
 use taintvp::asm::{parse_asm, Program};
 use taintvp::core::{parse_policy, AtomTable, EnforceMode, SecurityPolicy};
@@ -145,7 +154,8 @@ fn usage() -> ExitCode {
          [--profile] [--folded-out file] [--explain] [--flow-dot file] [--flow-json file] \
          [--fault-seed n] [--fault-rate r] [--campaign n]\n\
          \x20      taintvp-run serve [--tcp addr]\n\
-         \x20      taintvp-run client [--script file] [--tcp addr]"
+         \x20      taintvp-run client [--script file] [--tcp addr]\n\
+         \x20      taintvp-run fleet [--jobs n] [--workers n] [...] (see docs/FLEET.md)"
     );
     ExitCode::from(1)
 }
@@ -341,7 +351,7 @@ fn run_vp<M: TaintMode, S: ObsSink>(
     opts: &Options,
     policy: SecurityPolicy,
     program: &Program,
-    obs: Rc<RefCell<S>>,
+    obs: Shared<S>,
     plan: &[PlannedFault],
 ) -> (SocExit, Soc<M, S>, Vec<taintvp::faults::FaultRecord>) {
     let mut builder = Soc::<M>::builder().policy(policy).engine(opts.engine);
@@ -517,7 +527,7 @@ fn run_cli_campaign<M: TaintMode>(
     program: &Program,
 ) -> ExitCode {
     let master = opts.fault_seed.expect("validated in parse_args");
-    let obs = Rc::new(RefCell::new(NullSink));
+    let obs = shared(NullSink);
     let (exit, soc, _) = run_vp::<M, NullSink>(opts, policy.clone(), program, obs, &[]);
     let reference = snapshot(exit, &soc, Vec::new());
     eprintln!(
@@ -534,7 +544,7 @@ fn run_cli_campaign<M: TaintMode>(
     for i in 0..opts.campaign {
         let seed = master.wrapping_add(u64::from(i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let plan = generate_plan(seed, count, horizon, RAM_FAULT_WINDOW);
-        let obs = Rc::new(RefCell::new(NullSink));
+        let obs = shared(NullSink);
         let run_opts = Options {
             program: opts.program.clone(),
             policy: opts.policy.clone(),
@@ -599,7 +609,7 @@ fn run<M: TaintMode>(
         }
     }
     if !opts.observed() {
-        let obs = Rc::new(RefCell::new(NullSink));
+        let obs = shared(NullSink);
         let (exit, soc, records) = run_vp::<M, NullSink>(opts, policy, program, obs, &plan);
         report_faults(&records);
         return ExitCode::from(report(&exit, &soc, opts, atoms));
@@ -615,7 +625,7 @@ fn run<M: TaintMode>(
     if opts.flow_tracked() {
         rec = rec.with_explain();
     }
-    let obs = Rc::new(RefCell::new(rec));
+    let obs = shared(rec);
     let (exit, soc, records) = run_vp::<M, Recorder>(opts, policy, program, obs.clone(), &plan);
     report_faults(&records);
     let code = report(&exit, &soc, opts, atoms);
@@ -636,6 +646,315 @@ fn report_faults(records: &[taintvp::faults::FaultRecord]) {
             r.addr.map(|a| format!(" addr={a:#x}")).unwrap_or_default()
         );
     }
+}
+
+/// Options for `taintvp-run fleet` — a parallel immobilizer-session
+/// fault sweep on the `vpdift-fleet` executor.
+struct FleetOptions {
+    jobs: u32,
+    workers: usize,
+    seed: u64,
+    rate: f64,
+    deadline_ms: u64,
+    journal: Option<String>,
+    resume: bool,
+    out: Option<String>,
+    inject_panic: Vec<u64>,
+    inject_hang: Vec<u64>,
+}
+
+const FLEET_USAGE: &str =
+    "usage: taintvp-run fleet [--jobs n] [--workers n] [--seed n] [--rate r] \
+     [--deadline-ms n] [--journal file] [--resume] [--out file] \
+     [--inject-panic idx] [--inject-hang idx]";
+
+fn parse_fleet_args(args: &[String]) -> Result<FleetOptions, String> {
+    let mut opts = FleetOptions {
+        jobs: 64,
+        workers: 1,
+        seed: 0xF1EE7,
+        rate: 5e-5,
+        deadline_ms: 10_000,
+        journal: None,
+        resume: false,
+        out: None,
+        inject_panic: Vec::new(),
+        inject_hang: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().map(String::as_str).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--jobs" => {
+                let v = value("--jobs")?;
+                opts.jobs = v.parse().map_err(|_| format!("bad --jobs `{v}`"))?;
+            }
+            "--workers" => {
+                let v = value("--workers")?;
+                opts.workers = v.parse().map_err(|_| format!("bad --workers `{v}`"))?;
+                if opts.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                    None => v.parse().ok(),
+                };
+                opts.seed = parsed.ok_or_else(|| format!("bad --seed `{v}`"))?;
+            }
+            "--rate" => {
+                let v = value("--rate")?;
+                opts.rate = v.parse().map_err(|_| format!("bad --rate `{v}`"))?;
+                if !(opts.rate > 0.0 && opts.rate.is_finite()) {
+                    return Err("--rate must be a positive finite number".into());
+                }
+            }
+            "--deadline-ms" => {
+                let v = value("--deadline-ms")?;
+                opts.deadline_ms = v.parse().map_err(|_| format!("bad --deadline-ms `{v}`"))?;
+            }
+            "--journal" => opts.journal = Some(value("--journal")?.to_owned()),
+            "--resume" => opts.resume = true,
+            "--out" => opts.out = Some(value("--out")?.to_owned()),
+            "--inject-panic" => {
+                let v = value("--inject-panic")?;
+                opts.inject_panic.push(v.parse().map_err(|_| format!("bad --inject-panic `{v}`"))?);
+            }
+            "--inject-hang" => {
+                let v = value("--inject-hang")?;
+                opts.inject_hang.push(v.parse().map_err(|_| format!("bad --inject-hang `{v}`"))?);
+            }
+            "--help" | "-h" => return Err(FLEET_USAGE.into()),
+            other => return Err(format!("unknown fleet option `{other}`\n{FLEET_USAGE}")),
+        }
+    }
+    if opts.resume && opts.journal.is_none() {
+        return Err("--resume needs --journal".into());
+    }
+    if !opts.inject_hang.is_empty() && opts.deadline_ms == 0 {
+        return Err("--inject-hang needs a nonzero --deadline-ms".into());
+    }
+    Ok(opts)
+}
+
+/// `taintvp-run fleet` — N seeded immobilizer-session fault runs on the
+/// work-stealing executor. Each job replays the session under its own
+/// derived fault schedule and renders one deterministic JSON row; the
+/// aggregate is byte-identical for any worker count. `--inject-panic` /
+/// `--inject-hang` replace the named job with a deliberately faulty one
+/// (a panicking session, a wedged guest only the deadline reaper can
+/// kill) to exercise the failure taxonomy end to end.
+fn fleet_main(args: &[String]) -> ExitCode {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use taintvp::faults::campaign::{faulted_run, reference_run};
+    use taintvp::faults::{classify, generate_plan, scenario_json, Outcome, ScenarioKind};
+    use taintvp::fleet::{
+        quiet_worker_panics, Fleet, FleetConfig, Job, JobError, JobOutput, JobStatus, Journal,
+        JournalHeader,
+    };
+    use taintvp::kernel::SimTime;
+
+    let opts = match parse_fleet_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    quiet_worker_panics();
+
+    // Driver-side prelude: the fault-free reference every job classifies
+    // against (exactly once, like the campaign runner).
+    let kind = ScenarioKind::ImmoSession;
+    let reference = Arc::new(reference_run(kind));
+    eprintln!(
+        "fleet: reference immo-session: exit {} after {} steps",
+        reference.exit.label(),
+        reference.steps
+    );
+
+    let jobs: Vec<Job> = (0..u64::from(opts.jobs))
+        .map(|i| {
+            if opts.inject_panic.contains(&i) {
+                return Job::new(i, move |_ctx| -> Result<JobOutput, JobError> {
+                    panic!("injected panic in job {i}");
+                });
+            }
+            if opts.inject_hang.contains(&i) {
+                return Job::new(i, move |ctx: &taintvp::fleet::JobCtx| {
+                    // A guest wedged in a tight loop with an effectively
+                    // unlimited budget: only the deadline reaper raising
+                    // `ctx.stop` ends this attempt.
+                    let program = parse_asm("loop:\n    j loop\n", 0)
+                        .map_err(|e| JobError::Fatal(format!("bad hang program: {e}")))?;
+                    let cfg = Soc::<Tainted>::builder()
+                        .sensor_thread(false)
+                        .stop_flag(ctx.stop.clone())
+                        .build();
+                    let mut soc = Soc::<Tainted>::new(cfg);
+                    soc.load_program(&program);
+                    soc.run(u64::MAX);
+                    Err(JobError::Fatal("hang job outlived its deadline kill".into()))
+                });
+            }
+            let reference = Arc::clone(&reference);
+            let master = opts.seed;
+            let rate = opts.rate;
+            Job::new(i, move |_ctx| {
+                let seed = master.wrapping_add((i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let count = ((reference.steps as f64 * rate).ceil() as u32).clamp(1, 32);
+                let plan = generate_plan(seed, count, reference.steps.max(1), RAM_FAULT_WINDOW);
+                let budget = reference.steps * 4 + 10_000;
+                let watchdog = (reference.sim_time * 4).saturating_add(SimTime::from_ms(1));
+                let run = faulted_run(kind, &plan, Some(watchdog), budget);
+                let outcome = classify(&reference, &run);
+                let mut counts = vec![0u64; Outcome::COUNT];
+                counts[outcome.index()] = 1;
+                let row = taintvp::faults::ScenarioOutcome {
+                    scenario: kind.name(),
+                    exit: run.exit.label(),
+                    outcome,
+                    faults: run.faults,
+                };
+                let payload = format!(
+                    "{{\"job\":{i},\"seed\":\"0x{seed:016x}\",\"result\":{}}}",
+                    scenario_json(&row)
+                );
+                Ok(JobOutput { payload, counts })
+            })
+        })
+        .collect();
+
+    let header =
+        JournalHeader { suite: "immo-sweep".into(), jobs: u64::from(opts.jobs), seed: opts.seed };
+    let journal_path = opts.journal.as_ref().map(std::path::Path::new);
+    let (mut journal, recovered) = match (journal_path, opts.resume) {
+        (Some(path), true) => match Journal::open_resume(path, &header) {
+            Ok((j, recovered)) => (Some(j), recovered),
+            Err(e) => {
+                eprintln!("error: cannot resume journal: {e}");
+                return ExitCode::from(1);
+            }
+        },
+        (Some(path), false) => match Journal::create(path, &header) {
+            Ok(j) => (Some(j), Vec::new()),
+            Err(e) => {
+                eprintln!("error: cannot create journal: {e}");
+                return ExitCode::from(1);
+            }
+        },
+        (None, _) => (None, Vec::new()),
+    };
+    if !recovered.is_empty() {
+        eprintln!("fleet: resumed {} completed job(s) from journal", recovered.len());
+    }
+
+    let skip: Vec<u64> = recovered.iter().map(|r| r.job_id).collect();
+    let fleet_config = FleetConfig {
+        workers: opts.workers,
+        deadline: (opts.deadline_ms > 0).then(|| Duration::from_millis(opts.deadline_ms)),
+        ..FleetConfig::default()
+    };
+    let fresh = Fleet::new(fleet_config).run(jobs, journal.as_mut(), &skip);
+
+    let mut results = recovered;
+    results.extend(fresh);
+    results.sort_by_key(|r| r.job_id);
+
+    // Deterministic aggregate: one row per job in id order, failures as
+    // explicit rows — byte-identical for any worker count.
+    use std::fmt::Write as _;
+    let mut summary = [0u64; Outcome::COUNT];
+    let mut failed = [0u64; 3]; // crashed, hang, error
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"fleet\": {{\"suite\": \"immo-sweep\", \"seed\": {}, \"jobs\": {}}},",
+        opts.seed, opts.jobs
+    );
+    let _ = writeln!(
+        out,
+        "  \"reference\": {{\"scenario\":\"{}\",\"exit\":\"{}\",\"steps\":{}}},",
+        kind.name(),
+        reference.exit.label(),
+        reference.steps
+    );
+    out.push_str("  \"runs\": [\n");
+    for (n, r) in results.iter().enumerate() {
+        let comma = if n + 1 < results.len() { "," } else { "" };
+        match (&r.status, &r.payload) {
+            (JobStatus::Ok, Some(payload)) => {
+                for (slot, c) in r.counts.iter().enumerate() {
+                    if let Some(cell) = summary.get_mut(slot) {
+                        *cell += c;
+                    }
+                }
+                let _ = writeln!(out, "    {payload}{comma}");
+            }
+            _ => {
+                match r.status {
+                    JobStatus::Crashed => failed[0] += 1,
+                    JobStatus::Hang => failed[1] += 1,
+                    _ => failed[2] += 1,
+                }
+                let _ = writeln!(
+                    out,
+                    "    {{\"job\":{},\"failed\":\"{}\"}}{comma}",
+                    r.job_id,
+                    r.status.label()
+                );
+            }
+        }
+    }
+    out.push_str("  ],\n");
+    let mut cells: Vec<String> =
+        Outcome::ALL.iter().map(|o| format!("\"{}\": {}", o.label(), summary[o.index()])).collect();
+    for (label, n) in [("crashed", failed[0]), ("hang", failed[1]), ("error", failed[2])] {
+        cells.push(format!("\"{label}\": {n}"));
+    }
+    let _ = writeln!(out, "  \"summary\": {{{}}}", cells.join(", "));
+    out.push_str("}\n");
+
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &out) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::from(1);
+            }
+            eprintln!("fleet: report written to {path}");
+        }
+        None => print!("{out}"),
+    }
+    for r in &results {
+        if r.status != JobStatus::Ok {
+            eprintln!(
+                "fleet: job {} did not complete: {}{}",
+                r.job_id,
+                r.status.label(),
+                r.detail.as_deref().map(|d| format!(" ({d})")).unwrap_or_default()
+            );
+        }
+    }
+    eprintln!(
+        "fleet: {} job(s), {} completed, {} crashed, {} hung, {} errored",
+        results.len(),
+        results.len() as u64 - failed.iter().sum::<u64>(),
+        failed[0],
+        failed[1],
+        failed[2]
+    );
+    if summary[Outcome::Sdc.index()] > 0 {
+        eprintln!("fleet: FAIL — silent data corruption observed");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
 }
 
 /// `taintvp-run serve [--tcp addr]` — the live introspection server over
@@ -786,6 +1105,7 @@ fn main() -> ExitCode {
     match argv.first().map(String::as_str) {
         Some("serve") => return serve_main(&argv[1..]),
         Some("client") => return client_main(&argv[1..]),
+        Some("fleet") => return fleet_main(&argv[1..]),
         _ => {}
     }
     let opts = match parse_args() {

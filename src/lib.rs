@@ -24,6 +24,7 @@ pub use vpdift_attacks as attacks;
 pub use vpdift_core as core;
 pub use vpdift_faults as faults;
 pub use vpdift_firmware as firmware;
+pub use vpdift_fleet as fleet;
 pub use vpdift_immo as immo;
 pub use vpdift_kernel as kernel;
 pub use vpdift_obs as obs;
@@ -31,4 +32,5 @@ pub use vpdift_periph as periph;
 pub use vpdift_rv32 as rv32;
 pub use vpdift_serve as serve;
 pub use vpdift_soc as soc;
+pub use vpdift_sync as sync;
 pub use vpdift_tlm as tlm;

@@ -47,3 +47,6 @@ pub use vpdift_faults::{
 
 // Guest program authoring.
 pub use vpdift_asm::{Asm, Program, Reg};
+
+/// Shared-handle primitives (the workspace replacement for `Rc<RefCell<T>>`).
+pub use vpdift_sync::{shared, MutCell, Shared};

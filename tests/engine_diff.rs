@@ -154,3 +154,66 @@ fn block_cache_stats_reflect_hot_loops() {
     assert_eq!(stats.checked_steps, 0, "untainted run must not pay for checks");
     assert!(stats.idle_steps > 0);
 }
+
+/// The trap-loop detector (a guest wedged re-entering its own trap
+/// handler after a bit flip turns a spin jump into a faulting opcode)
+/// fires identically under both engines — previously only exercised on
+/// the interpreter via the directed campaign scenario.
+#[test]
+fn trap_loop_detection_is_engine_invariant() {
+    use taintvp::faults::{run_with_faults, FaultKind, PlannedFault};
+
+    let results = [ExecMode::Interp, ExecMode::BlockCache].map(|mode| {
+        let cfg = Soc::<Tainted>::builder().sensor_thread(false).engine(mode).build();
+        let mut soc = Soc::<Tainted>::new(cfg);
+        // `jal x0, 0`: spin-at-zero; the flipped bit 6 makes it faulting,
+        // and with mtvec=0 every trap lands back on the broken opcode.
+        soc.ram().borrow_mut().load_image(0, &0x0000_006Fu32.to_le_bytes());
+        soc.cpu_mut().reset(0);
+        let plan =
+            vec![PlannedFault { at_step: 50, kind: FaultKind::RamDataFlip { offset: 0, bit: 6 } }];
+        let (exit, _) = run_with_faults(&mut soc, 20_000, &plan);
+        (exit, soc.instret(), soc.cpu().traps_taken(), soc.state_digest())
+    });
+    assert_eq!(results[0].0, SocExit::TrapLoop, "interpreter detects the trap loop");
+    assert_eq!(results[1].0, SocExit::TrapLoop, "block cache detects the trap loop");
+    assert_eq!(results[0], results[1], "engines disagree on trap-loop detection");
+}
+
+/// The platform watchdog (armed, waiting on a CAN frame a lossy line
+/// drops) bites identically under both engines.
+#[test]
+fn watchdog_timeout_is_engine_invariant() {
+    use taintvp::faults::LossyCanFault;
+    use taintvp::kernel::SimTime;
+    use taintvp::periph::can::regs as can_regs;
+    use taintvp::periph::CanFrame;
+    use taintvp::prelude::shared;
+    use taintvp::soc::map;
+
+    let results = [ExecMode::Interp, ExecMode::BlockCache].map(|mode| {
+        let mut a = Asm::new(0);
+        a.entry();
+        a.li(Reg::S0, map::CAN_BASE as i32);
+        a.label("poll");
+        a.lw(Reg::T0, can_regs::RX_AVAIL as i32, Reg::S0);
+        a.beqz(Reg::T0, "poll");
+        a.ebreak();
+        let prog = a.assemble().expect("watchdog guest assembles");
+
+        let cfg = Soc::<Tainted>::builder().sensor_thread(false).engine(mode).build();
+        let mut soc = Soc::<Tainted>::new(cfg);
+        soc.load_program(&prog);
+        let line = shared(LossyCanFault::default());
+        line.borrow_mut().arm_drop(1);
+        soc.can_host().set_line_fault(line);
+        soc.watchdog().borrow_mut().arm(SimTime::from_ms(1));
+        let delivered = soc.can_host().send(CanFrame::new(0x10, &[1, 2, 3, 4, 5, 6, 7, 8]));
+        assert!(!delivered, "the armed line fault must drop the frame");
+        let exit = soc.run(5_000_000);
+        (exit, soc.instret(), soc.state_digest())
+    });
+    assert_eq!(results[0].0, SocExit::WatchdogTimeout, "interpreter watchdog bites");
+    assert_eq!(results[1].0, SocExit::WatchdogTimeout, "block-cache watchdog bites");
+    assert_eq!(results[0], results[1], "engines disagree on watchdog timeout");
+}

@@ -3,16 +3,14 @@
 //! region and the failed check, and the exporters must emit parseable
 //! output — both through the library API and the `taintvp-run` CLI.
 
-use std::cell::RefCell;
 use std::process::Command;
-use std::rc::Rc;
 
 use taintvp::asm::parse_asm;
 use taintvp::core::parse_policy;
 use taintvp::core::EnforceMode;
 use taintvp::obs::export::{validate_json, write_chrome_trace, write_jsonl};
 use taintvp::obs::{CheckKind, Recorder, StopFlag, StreamItem, StreamSink, WatchKind};
-use taintvp::prelude::{Soc, SocBuilder, SocExit};
+use taintvp::prelude::{shared, Shared, Soc, SocBuilder, SocExit};
 use taintvp::rv32::Tainted;
 
 const LEAK_ASM: &str = "
@@ -30,10 +28,10 @@ classify 0x2000 +16 secret
 sink uart.tx public
 ";
 
-fn leak_to_violation() -> (Rc<RefCell<Recorder>>, taintvp::core::AtomTable, SocExit) {
+fn leak_to_violation() -> (Shared<Recorder>, taintvp::core::AtomTable, SocExit) {
     let (policy, atoms) = parse_policy(LEAK_POLICY).expect("policy parses");
     let program = parse_asm(LEAK_ASM, 0).expect("program assembles");
-    let rec = Rc::new(RefCell::new(Recorder::new(16).with_event_log()));
+    let rec = shared(Recorder::new(16).with_event_log());
     let cfg = SocBuilder::new().policy(policy).sensor_thread(false).build();
     let mut soc: Soc<Tainted, Recorder> = Soc::with_obs(cfg, rec.clone());
     soc.load_program(&program);
@@ -182,7 +180,7 @@ fn sink_watchpoint_stops_the_leak_mid_run_and_resumes() {
     let stop = StopFlag::new();
     let mut sink = StreamSink::new(Recorder::new(16), stop.clone());
     let watch_id = sink.add_watch(WatchKind::Sink { site: "uart.tx".into(), atom: None });
-    let sink = Rc::new(RefCell::new(sink));
+    let sink = shared(sink);
 
     // Record mode: without the watchpoint the whole 4-byte leak runs to
     // completion; the watch must be what stops it.
