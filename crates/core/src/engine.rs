@@ -36,7 +36,7 @@ pub enum EnforceMode {
 /// observers synchronously while it is itself borrowed — implementations
 /// must not call back into the engine. Observers are `Send` so an engine
 /// (and the VP owning it) can migrate between fleet worker threads.
-pub trait FlowObserver: Send {
+pub trait FlowObserver: Send + Sync {
     /// A clearance check of `kind` was evaluated: `passed` tells whether
     /// `allowedFlow(tag, required)` held.
     fn on_check(

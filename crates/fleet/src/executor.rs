@@ -22,7 +22,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -66,11 +66,25 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Attempt state: the worker's closure is still running.
+const ATTEMPT_RUNNING: u8 = 0;
+/// Attempt state: the closure returned before any deadline kill.
+const ATTEMPT_FINISHED: u8 = 1;
+/// Attempt state: the reaper killed the attempt past its deadline.
+const ATTEMPT_KILLED: u8 = 2;
+
 /// One in-flight attempt, as watched by the reaper.
+///
+/// `state` is the race arbiter between the worker (RUNNING → FINISHED
+/// when the closure returns) and the reaper (RUNNING → KILLED past the
+/// deadline). Both transitions are compare-exchanges from RUNNING, so
+/// exactly one side wins: a job whose closure returned just under the
+/// deadline commits FINISHED first and can never be classified `Hang`,
+/// however late the worker is descheduled afterwards.
 struct ActiveAttempt {
     started: Instant,
     stop: StopFlag,
-    killed: Arc<AtomicBool>,
+    state: Arc<AtomicU8>,
 }
 
 /// Shared mutable executor state.
@@ -145,8 +159,16 @@ impl Fleet {
                         for slot in &shared.active {
                             let guard = slot.lock().unwrap();
                             if let Some(a) = guard.as_ref() {
-                                if a.started.elapsed() >= deadline {
-                                    a.killed.store(true, Ordering::Release);
+                                if a.started.elapsed() >= deadline
+                                    && a.state
+                                        .compare_exchange(
+                                            ATTEMPT_RUNNING,
+                                            ATTEMPT_KILLED,
+                                            Ordering::AcqRel,
+                                            Ordering::Acquire,
+                                        )
+                                        .is_ok()
+                                {
                                     a.stop.request();
                                 }
                             }
@@ -236,21 +258,34 @@ fn run_job(w: usize, job: &Job, shared: &FleetShared, config: &FleetConfig) -> J
     loop {
         attempt += 1;
         let stop = StopFlag::new();
-        let killed = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(AtomicU8::new(ATTEMPT_RUNNING));
         let ctx = JobCtx { job_id: job.id, attempt, stop: stop.clone() };
 
         *shared.active[w].lock().unwrap() = Some(ActiveAttempt {
             started: Instant::now(),
             stop: stop.clone(),
-            killed: Arc::clone(&killed),
+            state: Arc::clone(&state),
         });
         let outcome = catch_unwind(AssertUnwindSafe(|| (job.work)(&ctx)));
+        // Claim completion BEFORE clearing the slot: if this CAS wins,
+        // the reaper can no longer kill the attempt, so a job that
+        // returned under the deadline keeps its real verdict even if
+        // this thread is descheduled right here.
+        let killed = state
+            .compare_exchange(
+                ATTEMPT_RUNNING,
+                ATTEMPT_FINISHED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_err();
         *shared.active[w].lock().unwrap() = None;
 
         let elapsed_us = started.elapsed().as_micros() as u64;
-        // Deadline verdict outranks whatever the attempt returned: a
-        // killed session's output is a partial artifact, not a result.
-        if killed.load(Ordering::Acquire) {
+        // The attempt only carries the Hang verdict when the reaper won
+        // the state race: its output past a kill is a partial artifact,
+        // not a result.
+        if killed {
             return JobResult {
                 job_id: job.id,
                 status: JobStatus::Hang,
@@ -400,6 +435,63 @@ mod tests {
         assert!(results[1].payload.is_none(), "killed output is discarded");
         for r in results.iter().filter(|r| r.job_id != 1) {
             assert_eq!(r.status, JobStatus::Ok);
+        }
+    }
+
+    #[test]
+    fn finished_attempt_wins_the_kill_race() {
+        // The worker commits FINISHED the moment the closure returns; a
+        // reaper firing afterwards (even with elapsed >= deadline and
+        // the slot still occupied) must lose the CAS and change nothing.
+        let state = AtomicU8::new(ATTEMPT_RUNNING);
+        assert!(state
+            .compare_exchange(
+                ATTEMPT_RUNNING,
+                ATTEMPT_FINISHED,
+                Ordering::AcqRel,
+                Ordering::Acquire
+            )
+            .is_ok());
+        assert!(
+            state
+                .compare_exchange(
+                    ATTEMPT_RUNNING,
+                    ATTEMPT_KILLED,
+                    Ordering::AcqRel,
+                    Ordering::Acquire
+                )
+                .is_err(),
+            "reaper must not reclassify a completed attempt"
+        );
+
+        // Reverse order: the reaper killed first, so the worker's
+        // completion CAS fails and the attempt is classified Hang.
+        let state = AtomicU8::new(ATTEMPT_RUNNING);
+        assert!(state
+            .compare_exchange(ATTEMPT_RUNNING, ATTEMPT_KILLED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok());
+        assert!(state
+            .compare_exchange(
+                ATTEMPT_RUNNING,
+                ATTEMPT_FINISHED,
+                Ordering::AcqRel,
+                Ordering::Acquire
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn fast_jobs_never_classified_hang_under_tight_deadline() {
+        // Jobs that return well under the deadline must keep their Ok
+        // verdict regardless of reaper timing or worker descheduling.
+        let fleet = Fleet::new(FleetConfig {
+            workers: 4,
+            deadline: Some(Duration::from_millis(200)),
+            ..FleetConfig::default()
+        });
+        let results = fleet.run((0..64).map(ok_job).collect(), None, &[]);
+        for r in &results {
+            assert_eq!(r.status, JobStatus::Ok, "job {} misclassified", r.job_id);
         }
     }
 

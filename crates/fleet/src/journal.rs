@@ -39,7 +39,9 @@ impl JournalHeader {
     fn render(&self) -> String {
         format!(
             "{{\"format\":\"{FORMAT}\",\"suite\":\"{}\",\"jobs\":{},\"seed\":{}}}",
-            self.suite, self.jobs, self.seed
+            escape(&self.suite),
+            self.jobs,
+            self.seed
         )
     }
 
@@ -76,10 +78,55 @@ pub fn render_record(r: &JobResult) -> String {
     )
 }
 
+/// `true` iff `line` is one structurally complete JSON object: tracking
+/// string/escape state and `{}`/`[]` depth, the outermost brace must
+/// close exactly at the final byte. Any proper prefix of a record leaves
+/// the outer brace open (or ends mid-string), so a torn tail that
+/// happens to stop at an *internal* `}` — e.g. the end of a nested
+/// payload object — is rejected rather than mistaken for a full record.
+fn record_is_complete(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    if bytes.first() != Some(&b'{') {
+        return false;
+    }
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_string {
+            match b {
+                b'\\' => i += 1,
+                b'"' => in_string = false,
+                _ => {}
+            }
+        } else {
+            match b {
+                b'"' => in_string = true,
+                b'{' | b'[' => depth += 1,
+                b'}' | b']' => {
+                    if depth == 0 {
+                        return false;
+                    }
+                    depth -= 1;
+                    if depth == 0 {
+                        // Outer object closed: complete only if this is
+                        // the last byte.
+                        return i == bytes.len() - 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
 /// Parses one journal record line; `None` for torn or foreign lines.
 pub fn parse_record(line: &str) -> Option<JobResult> {
     let line = line.trim_end();
-    if !line.starts_with("{\"job\":") || !line.ends_with('}') {
+    if !line.starts_with("{\"job\":") || !record_is_complete(line) {
         return None;
     }
     let job_id = extract_u64(line, "job")?;
@@ -336,6 +383,67 @@ mod tests {
         let (_j, recovered) = Journal::open_resume(&path, &header).unwrap();
         let ids: Vec<u64> = recovered.iter().map(|r| r.job_id).collect();
         assert_eq!(ids, vec![0, 1], "intact records recovered, torn tail dropped");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_at_internal_brace_is_rejected() {
+        // The adversarial tear: a record with a nested JSON payload cut
+        // exactly after the payload's own closing brace. The line ends
+        // in '}' but the record's outer brace is still open — it must
+        // parse as torn, not as a completed job with a truncated payload.
+        let full = render_record(&sample(2, JobStatus::Ok));
+        let inner_end = full.rfind("]}").expect("payload array close") + "]}".len();
+        let torn = &full[..inner_end];
+        assert!(torn.ends_with('}'), "tear lands on an internal brace");
+        assert!(parse_record(torn).is_none(), "torn-at-internal-brace accepted: {torn}");
+        assert!(parse_record(&full).is_some(), "intact record still parses");
+
+        // And end-to-end: resume over such a tail recovers only the
+        // intact records.
+        let dir = std::env::temp_dir().join(format!("fleet-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn-brace.jsonl");
+        let header = JournalHeader { suite: "t".into(), jobs: 4, seed: 9 };
+        {
+            let mut j = Journal::create(&path, &header).unwrap();
+            j.append(&sample(0, JobStatus::Ok)).unwrap();
+            j.sync().unwrap();
+        }
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{torn}").unwrap();
+        }
+        let (_j, recovered) = Journal::open_resume(&path, &header).unwrap();
+        let ids: Vec<u64> = recovered.iter().map(|r| r.job_id).collect();
+        assert_eq!(ids, vec![0], "truncated payload must not be spliced into the aggregate");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detail_braces_inside_strings_do_not_confuse_completeness() {
+        let mut r = sample(3, JobStatus::Crashed);
+        r.detail = Some("panicked at {\"depth\": [1, {2}]} mid-line".to_string());
+        let line = render_record(&r);
+        let back = parse_record(&line).expect("braces inside strings are opaque");
+        assert_eq!(back.detail, r.detail);
+    }
+
+    #[test]
+    fn header_with_quotes_in_suite_round_trips() {
+        let header = JournalHeader { suite: "camp \"alpha\" \\ beta".into(), jobs: 2, seed: 1 };
+        let parsed = JournalHeader::parse(&header.render()).expect("escaped header parses");
+        assert_eq!(parsed, header);
+
+        // And resume against the same header must succeed, not report a
+        // foreign-format journal.
+        let dir = std::env::temp_dir().join(format!("fleet-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("quoted-suite.jsonl");
+        Journal::create(&path, &header).unwrap();
+        let (_j, recovered) = Journal::open_resume(&path, &header).unwrap();
+        assert!(recovered.is_empty());
         std::fs::remove_file(&path).ok();
     }
 

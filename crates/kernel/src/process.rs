@@ -27,7 +27,7 @@ pub enum Next {
 /// events or schedule follow-up work during an activation. Processes are
 /// `Send`: the kernel (and the whole VP owning it) migrates between fleet
 /// worker threads as a unit.
-pub trait Process: Send {
+pub trait Process: Send + Sync {
     /// Performs one activation and reports what to wait for next.
     fn resume(&mut self, kernel: &mut Kernel, id: ProcessId) -> Next;
 }
@@ -51,7 +51,7 @@ pub struct FnProcess<F> {
 
 impl<F> FnProcess<F>
 where
-    F: FnMut(&mut Kernel, ProcessId) -> Next + Send,
+    F: FnMut(&mut Kernel, ProcessId) -> Next + Send + Sync,
 {
     /// Wraps a closure as a [`Process`].
     pub fn new(f: F) -> Self {
@@ -61,7 +61,7 @@ where
 
 impl<F> Process for FnProcess<F>
 where
-    F: FnMut(&mut Kernel, ProcessId) -> Next + Send,
+    F: FnMut(&mut Kernel, ProcessId) -> Next + Send + Sync,
 {
     fn resume(&mut self, kernel: &mut Kernel, id: ProcessId) -> Next {
         (self.f)(kernel, id)
@@ -80,7 +80,7 @@ pub struct Periodic<F> {
 
 impl<F> Periodic<F>
 where
-    F: FnMut(&mut Kernel) + Send,
+    F: FnMut(&mut Kernel) + Send + Sync,
 {
     /// Creates a periodic process with the given period.
     ///
@@ -94,7 +94,7 @@ where
 
 impl<F> Process for Periodic<F>
 where
-    F: FnMut(&mut Kernel) + Send,
+    F: FnMut(&mut Kernel) + Send + Sync,
 {
     fn resume(&mut self, kernel: &mut Kernel, _id: ProcessId) -> Next {
         if self.armed {

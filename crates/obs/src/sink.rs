@@ -22,7 +22,7 @@ pub const ATOM_SLOTS: usize = Tag::CAPACITY as usize;
 /// paths and call [`ObsSink::event`] synchronously. Sinks are `Send` so a
 /// VP (which owns its sink graph outright) can migrate between fleet
 /// worker threads.
-pub trait ObsSink: Send + 'static {
+pub trait ObsSink: Send + Sync + 'static {
     /// `false` compiles all emission sites out (see [`NullSink`]).
     const ENABLED: bool = true;
 
@@ -54,7 +54,7 @@ impl ObsSink for NullSink {
 /// Object-safe mirror of [`ObsSink`] for components that cannot be generic
 /// over the sink type (peripherals behind `dyn TlmTarget`, the TLM
 /// routers, the engine observer). Blanket-implemented for every sink.
-pub trait DynObs: Send {
+pub trait DynObs: Send + Sync {
     /// See [`ObsSink::event`].
     fn dyn_event(&mut self, event: &ObsEvent);
 }

@@ -51,7 +51,7 @@ impl CanFrame {
 /// A line-level fault model for a CAN link: consulted for every frame
 /// entering the wire in either direction. Implementations may mutate the
 /// frame (bit corruption) and return `false` to drop it entirely.
-pub trait CanLineFault: Send {
+pub trait CanLineFault: Send + Sync {
     /// `frame` is about to be put on the wire; `to_device` is `true` for
     /// host→VP traffic. Return `false` to lose the frame.
     fn on_frame(&mut self, frame: &mut CanFrame, to_device: bool) -> bool;

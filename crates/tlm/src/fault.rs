@@ -30,7 +30,7 @@ pub enum FaultAction {
 
 /// A fault model consulted around every transaction through a
 /// [`FaultRouter`].
-pub trait TlmFaultHook: Send {
+pub trait TlmFaultHook: Send + Sync {
     /// Called before routing. May mutate the payload (corrupting write
     /// data or the address) and decides whether the transaction proceeds.
     fn before(&mut self, payload: &mut GenericPayload) -> FaultAction;

@@ -12,7 +12,7 @@ use crate::payload::{GenericPayload, TlmCommand, TlmResponse};
 /// `transport` is the blocking-transport equivalent: it must process the
 /// payload, fill reads / absorb writes, set a response status, and may add
 /// to `delay` to model access latency (loosely-timed style).
-pub trait TlmTarget: Send {
+pub trait TlmTarget: Send + Sync {
     /// Processes one transaction addressed to this target. The payload
     /// address has already been rewritten to a target-local offset.
     fn transport(&mut self, payload: &mut GenericPayload, delay: &mut SimTime);
@@ -20,7 +20,7 @@ pub trait TlmTarget: Send {
 
 impl<F> TlmTarget for F
 where
-    F: FnMut(&mut GenericPayload, &mut SimTime) + Send,
+    F: FnMut(&mut GenericPayload, &mut SimTime) + Send + Sync,
 {
     fn transport(&mut self, payload: &mut GenericPayload, delay: &mut SimTime) {
         self(payload, delay)
