@@ -17,15 +17,19 @@
 //! the resilience machinery exists to prevent), `1` on bad arguments.
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use vpdift_bench::trajectory;
 use vpdift_faults::campaign::ReferenceInfo;
 use vpdift_faults::{render_json, run_campaign, CampaignConfig, Outcome};
-use vpdift_fleet::{run_campaign_fleet, FleetConfig};
+use vpdift_fleet::{run_campaign_fleet, spawn_sampler, FleetConfig, SamplerConfig, TelemetryHub};
+use vpdift_obs::MetricsServer;
 
 const USAGE: &str = "usage: faultcamp [--seed N] [--runs N] [--rate R] [--out FILE] [--json FILE] \
-     [--workers N] [--journal FILE] [--resume]";
+     [--workers N] [--journal FILE] [--resume] [--progress] \
+     [--telemetry-interval-ms N] [--telemetry-out FILE] \
+     [--metrics-addr HOST:PORT] [--metrics-linger-ms N]";
 
 #[derive(Default)]
 struct Options {
@@ -34,11 +38,24 @@ struct Options {
     workers: usize,
     journal: Option<String>,
     resume: bool,
+    telemetry_interval_ms: u64,
+    telemetry_out: Option<String>,
+    metrics_addr: Option<String>,
+    metrics_linger_ms: u64,
+    progress: bool,
+}
+
+impl Options {
+    /// Whether any telemetry consumer is configured. Telemetry rides the
+    /// fleet executor, so these flags also force the fleet path.
+    fn telemetry_on(&self) -> bool {
+        self.telemetry_out.is_some() || self.metrics_addr.is_some() || self.progress
+    }
 }
 
 fn parse_args() -> Result<(CampaignConfig, Options), String> {
     let mut cfg = CampaignConfig::default();
-    let mut opts = Options { workers: 1, ..Options::default() };
+    let mut opts = Options { workers: 1, telemetry_interval_ms: 500, ..Options::default() };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
@@ -69,12 +86,31 @@ fn parse_args() -> Result<(CampaignConfig, Options), String> {
             }
             "--journal" => opts.journal = Some(value("--journal")?),
             "--resume" => opts.resume = true,
+            "--telemetry-interval-ms" => {
+                let v = value("--telemetry-interval-ms")?;
+                opts.telemetry_interval_ms =
+                    v.parse().map_err(|_| format!("bad --telemetry-interval-ms {v}"))?;
+                if opts.telemetry_interval_ms == 0 {
+                    return Err("--telemetry-interval-ms must be at least 1".into());
+                }
+            }
+            "--telemetry-out" => opts.telemetry_out = Some(value("--telemetry-out")?),
+            "--metrics-addr" => opts.metrics_addr = Some(value("--metrics-addr")?),
+            "--metrics-linger-ms" => {
+                let v = value("--metrics-linger-ms")?;
+                opts.metrics_linger_ms =
+                    v.parse().map_err(|_| format!("bad --metrics-linger-ms {v}"))?;
+            }
+            "--progress" => opts.progress = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other}\n{USAGE}")),
         }
     }
     if opts.resume && opts.journal.is_none() {
         return Err("--resume needs --journal".into());
+    }
+    if opts.metrics_linger_ms > 0 && opts.metrics_addr.is_none() {
+        return Err("--metrics-linger-ms needs --metrics-addr".into());
     }
     Ok((cfg, opts))
 }
@@ -124,11 +160,51 @@ fn main() -> ExitCode {
     );
     let wall_start = Instant::now();
 
-    // The fleet path handles both parallel execution and journaling;
-    // the plain serial path stays the default.
-    let use_fleet = opts.workers > 1 || opts.journal.is_some();
+    // The fleet path handles parallel execution, journaling, and
+    // telemetry; the plain serial path stays the default.
+    let use_fleet = opts.workers > 1 || opts.journal.is_some() || opts.telemetry_on();
+    let hub = opts.telemetry_on().then(|| TelemetryHub::new(opts.workers));
+    let metrics_server = match (&opts.metrics_addr, &hub) {
+        (Some(addr), Some(h)) => {
+            let render_hub = Arc::clone(h);
+            let render = Arc::new(move || vpdift_fleet::telemetry::render_prom(&render_hub));
+            match MetricsServer::bind(addr, render) {
+                Ok(server) => {
+                    eprintln!(
+                        "faultcamp: metrics endpoint on http://{}/metrics",
+                        server.local_addr()
+                    );
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("faultcamp: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+        _ => None,
+    };
+    let sampler = match &hub {
+        Some(h) => {
+            let sampler_config = SamplerConfig {
+                interval: Duration::from_millis(opts.telemetry_interval_ms),
+                out: opts.telemetry_out.as_ref().map(std::path::PathBuf::from),
+                progress: true,
+            };
+            match spawn_sampler(Arc::clone(h), sampler_config) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("faultcamp: cannot start telemetry sampler: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+        None => None,
+    };
+
     let (json, references, summary, failures) = if use_fleet {
-        let fleet_config = FleetConfig { workers: opts.workers, ..FleetConfig::default() };
+        let fleet_config =
+            FleetConfig { workers: opts.workers, telemetry: hub.clone(), ..FleetConfig::default() };
         let journal_path = opts.journal.as_ref().map(std::path::Path::new);
         match run_campaign_fleet(&cfg, &fleet_config, journal_path, opts.resume) {
             Ok(campaign) => {
@@ -151,6 +227,16 @@ fn main() -> ExitCode {
         (render_json(&report), report.references.clone(), report.summary.to_vec(), Vec::new())
     };
     let wall_ns = wall_start.elapsed().as_nanos();
+    if let Some(h) = &hub {
+        // run_campaign_fleet does not own the hub lifecycle; finish it
+        // here so the sampler emits its final snapshot and exits.
+        h.mark_done();
+    }
+    if let Some(s) = sampler {
+        if let Err(e) = s.finish() {
+            eprintln!("faultcamp: warning: telemetry stream write failed: {e}");
+        }
+    }
 
     if let Some(path) = &opts.bench_json {
         if let Err(e) = std::fs::write(path, render_bench_json(&references, wall_ns)) {
@@ -166,6 +252,16 @@ fn main() -> ExitCode {
             .collect();
         logged.push(trajectory::Entry::new("campaign", "wall_time", "ns", wall_ns as f64));
         logged.push(trajectory::Entry::new("campaign", "workers", "count", opts.workers as f64));
+        if let Some(h) = &hub {
+            let snap = h.snapshot();
+            logged.push(trajectory::Entry::new(
+                "campaign",
+                "jobs_per_s",
+                "jobs/s",
+                snap.jobs_per_s(),
+            ));
+            logged.push(trajectory::Entry::new("campaign", "insns", "count", snap.insns as f64));
+        }
         let line = trajectory::render_line("faultcamp", trajectory::now_unix(), &logged);
         let traj_path = trajectory::path();
         match trajectory::append(&traj_path, &line) {
@@ -194,11 +290,25 @@ fn main() -> ExitCode {
     }
 
     let immo_sdc = vpdift_fleet::campaign::count_scenario_outcome(&json, "immo-session", "sdc");
-    if immo_sdc > 0 {
+    let exit = if immo_sdc > 0 {
         eprintln!(
             "faultcamp: FAIL — {immo_sdc} immobilizer run(s) ended in silent data corruption"
         );
-        return ExitCode::from(2);
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    };
+    if let Some(server) = metrics_server {
+        // Keep the endpoint up for post-run scrapes (CI asserts final
+        // counters against the journal) before tearing it down.
+        if opts.metrics_linger_ms > 0 {
+            eprintln!(
+                "faultcamp: metrics endpoint lingering {}ms for final scrapes",
+                opts.metrics_linger_ms
+            );
+            std::thread::sleep(Duration::from_millis(opts.metrics_linger_ms));
+        }
+        server.shutdown();
     }
-    ExitCode::SUCCESS
+    exit
 }

@@ -477,6 +477,11 @@ pub struct RunOutcomes {
     pub seed: u64,
     /// Per-scenario results.
     pub results: Vec<ScenarioOutcome>,
+    /// Total CPU steps consumed across all scenarios in this run —
+    /// telemetry fuel for fleet throughput (MIPS) accounting. Excluded
+    /// from [`run_json`](crate::report::run_json), so reports stay
+    /// byte-identical to pre-telemetry output.
+    pub steps: u64,
 }
 
 /// Reference-run facts included in the report.
@@ -603,6 +608,7 @@ pub fn random_run(
 ) -> RunOutcomes {
     let seed = run_seed(config.seed, i);
     let mut results = Vec::new();
+    let mut steps = 0u64;
     for (kind, reference) in refs {
         let plan = generate_plan(
             seed ^ kind.salt(),
@@ -616,6 +622,7 @@ pub fn random_run(
         let watchdog = (reference.sim_time * 4).saturating_add(SimTime::from_ms(1));
         let run = faulted_run(*kind, &plan, Some(watchdog), budget);
         let outcome = classify(reference, &run);
+        steps += run.steps;
         results.push(ScenarioOutcome {
             scenario: kind.name(),
             exit: run.exit.label(),
@@ -623,7 +630,7 @@ pub fn random_run(
             faults: run.faults,
         });
     }
-    RunOutcomes { run: i, seed, results }
+    RunOutcomes { run: i, seed, results, steps }
 }
 
 /// Runs the full campaign. Equal configs produce equal reports — no

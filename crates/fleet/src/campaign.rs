@@ -92,7 +92,7 @@ pub fn run_campaign_fleet(
                 for s in &run.results {
                     counts[s.outcome.index()] += 1;
                 }
-                Ok(JobOutput { payload: run_json(&run), counts })
+                Ok(JobOutput { payload: run_json(&run), counts, insns: run.steps })
             })
         })
         .collect();
@@ -113,6 +113,9 @@ pub fn run_campaign_fleet(
 
     let skip: Vec<u64> = recovered.iter().map(|r| r.job_id).collect();
     let resumed = skip.len();
+    if let Some(hub) = &fleet_config.telemetry {
+        hub.add_resumed(resumed as u64);
+    }
     let fresh = Fleet::new(fleet_config.clone()).run(jobs, journal.as_mut(), &skip);
 
     let mut results = recovered;

@@ -26,10 +26,11 @@ use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use vpdift_obs::StopFlag;
+use vpdift_obs::{InsnCell, StopFlag};
 
 use crate::job::{Job, JobCtx, JobError, JobResult, JobStatus};
 use crate::journal::Journal;
+use crate::telemetry::{TelemetryHub, WorkerStats};
 
 /// Executor tuning.
 #[derive(Debug, Clone)]
@@ -42,11 +43,21 @@ pub struct FleetConfig {
     pub max_retries: u32,
     /// Seed for the deterministic retry backoff schedule.
     pub retry_seed: u64,
+    /// Telemetry hub fed by the workers; `None` (the default) costs one
+    /// null-pointer check per job (compile-asserted in
+    /// [`crate::telemetry`]), nothing per instruction.
+    pub telemetry: Option<Arc<TelemetryHub>>,
 }
 
 impl Default for FleetConfig {
     fn default() -> Self {
-        FleetConfig { workers: 1, deadline: None, max_retries: 2, retry_seed: 0xF1EE_7000 }
+        FleetConfig {
+            workers: 1,
+            deadline: None,
+            max_retries: 2,
+            retry_seed: 0xF1EE_7000,
+            telemetry: None,
+        }
     }
 }
 
@@ -128,6 +139,9 @@ impl Fleet {
         let workers = self.config.workers.max(1);
         let jobs: Vec<Job> = jobs.into_iter().filter(|j| !skip.contains(&j.id)).collect();
         let total = jobs.len();
+        if let Some(hub) = &self.config.telemetry {
+            hub.set_total(total as u64);
+        }
 
         let mut deques: Vec<Mutex<VecDeque<Job>>> = Vec::new();
         for _ in 0..workers {
@@ -207,39 +221,64 @@ impl Fleet {
             }
         });
 
+        if let Some(hub) = &self.config.telemetry {
+            hub.mark_done();
+        }
         results.sort_by_key(|r| r.job_id);
         results
     }
 }
 
 /// Finds work for worker `w`: its own front, then other deques' backs.
-fn find_job(w: usize, shared: &FleetShared) -> Option<Job> {
+/// The boolean is `true` when the job was stolen from a victim deque.
+fn find_job(w: usize, shared: &FleetShared) -> Option<(Job, bool)> {
     if let Some(job) = shared.deques[w].lock().unwrap().pop_front() {
-        return Some(job);
+        return Some((job, false));
     }
     let n = shared.deques.len();
     for off in 1..n {
         let victim = (w + off) % n;
         if let Some(job) = shared.deques[victim].lock().unwrap().pop_back() {
-            return Some(job);
+            return Some((job, true));
         }
     }
     None
 }
 
 fn worker_loop(w: usize, shared: &FleetShared, config: &FleetConfig, tx: &mpsc::Sender<JobResult>) {
+    // One null check per fleet: with telemetry off `stats` is `None` and
+    // every telemetry site below is a skipped branch at job granularity.
+    let stats: Option<&WorkerStats> = config.telemetry.as_deref().map(|hub| hub.worker(w));
+    // Jobs receive a live insn cell either way; without telemetry it is
+    // a per-worker dummy nobody reads.
+    let insn_cell = stats.map(WorkerStats::insn_cell).unwrap_or_default();
     loop {
         if shared.remaining.load(Ordering::Acquire) == 0 {
             shared.done.store(true, Ordering::Release);
             return;
         }
-        let Some(job) = find_job(w, shared) else {
+        let Some((job, stolen)) = find_job(w, shared) else {
             // All deques empty but jobs still in flight elsewhere (or a
             // racing steal): idle briefly and re-check.
+            let parked = Instant::now();
             std::thread::sleep(Duration::from_micros(100));
+            if let Some(s) = stats {
+                s.on_idle(parked.elapsed());
+            }
             continue;
         };
-        let result = run_job(w, &job, shared, config);
+        if let Some(s) = stats {
+            if stolen {
+                s.on_steal();
+            }
+            s.on_queue_depth(shared.deques[w].lock().unwrap().len() as u64);
+            s.on_job_start();
+        }
+        let busy = Instant::now();
+        let (result, insns) = run_job(w, &job, shared, config, &insn_cell);
+        if let Some(s) = stats {
+            s.on_job_done(result.status, result.attempts, busy.elapsed(), insns);
+        }
         shared.remaining.fetch_sub(1, Ordering::AcqRel);
         if shared.remaining.load(Ordering::Acquire) == 0 {
             shared.done.store(true, Ordering::Release);
@@ -251,15 +290,23 @@ fn worker_loop(w: usize, shared: &FleetShared, config: &FleetConfig, tx: &mpsc::
 }
 
 /// Runs one job to a terminal status: attempts, retries, panic capture,
-/// deadline classification.
-fn run_job(w: usize, job: &Job, shared: &FleetShared, config: &FleetConfig) -> JobResult {
+/// deadline classification. The second return value is the job's
+/// completion-reported instruction count ([`JobOutput::insns`](crate::job::JobOutput);
+/// 0 for failed jobs and for jobs that report live through the cell).
+fn run_job(
+    w: usize,
+    job: &Job,
+    shared: &FleetShared,
+    config: &FleetConfig,
+    insn_cell: &InsnCell,
+) -> (JobResult, u64) {
     let started = Instant::now();
     let mut attempt = 0u32;
     loop {
         attempt += 1;
         let stop = StopFlag::new();
         let state = Arc::new(AtomicU8::new(ATTEMPT_RUNNING));
-        let ctx = JobCtx { job_id: job.id, attempt, stop: stop.clone() };
+        let ctx = JobCtx { job_id: job.id, attempt, stop: stop.clone(), insns: insn_cell.clone() };
 
         *shared.active[w].lock().unwrap() = Some(ActiveAttempt {
             started: Instant::now(),
@@ -286,28 +333,34 @@ fn run_job(w: usize, job: &Job, shared: &FleetShared, config: &FleetConfig) -> J
         // the state race: its output past a kill is a partial artifact,
         // not a result.
         if killed {
-            return JobResult {
-                job_id: job.id,
-                status: JobStatus::Hang,
-                attempts: attempt,
-                payload: None,
-                counts: Vec::new(),
-                detail: Some("deadline exceeded".into()),
-                elapsed_us,
-            };
+            return (
+                JobResult {
+                    job_id: job.id,
+                    status: JobStatus::Hang,
+                    attempts: attempt,
+                    payload: None,
+                    counts: Vec::new(),
+                    detail: Some("deadline exceeded".into()),
+                    elapsed_us,
+                },
+                0,
+            );
         }
 
         match outcome {
             Ok(Ok(output)) => {
-                return JobResult {
-                    job_id: job.id,
-                    status: JobStatus::Ok,
-                    attempts: attempt,
-                    payload: Some(output.payload),
-                    counts: output.counts,
-                    detail: None,
-                    elapsed_us,
-                }
+                return (
+                    JobResult {
+                        job_id: job.id,
+                        status: JobStatus::Ok,
+                        attempts: attempt,
+                        payload: Some(output.payload),
+                        counts: output.counts,
+                        detail: None,
+                        elapsed_us,
+                    },
+                    output.insns,
+                )
             }
             Ok(Err(JobError::Transient(msg))) if attempt <= config.max_retries => {
                 std::thread::sleep(retry_backoff(config.retry_seed, job.id, attempt));
@@ -319,27 +372,33 @@ fn run_job(w: usize, job: &Job, shared: &FleetShared, config: &FleetConfig) -> J
                     JobError::Transient(m) => ("transient (retries exhausted)", m),
                     JobError::Fatal(m) => ("fatal", m),
                 };
-                return JobResult {
-                    job_id: job.id,
-                    status: JobStatus::Error,
-                    attempts: attempt,
-                    payload: None,
-                    counts: Vec::new(),
-                    detail: Some(format!("{kind}: {msg}")),
-                    elapsed_us,
-                };
+                return (
+                    JobResult {
+                        job_id: job.id,
+                        status: JobStatus::Error,
+                        attempts: attempt,
+                        payload: None,
+                        counts: Vec::new(),
+                        detail: Some(format!("{kind}: {msg}")),
+                        elapsed_us,
+                    },
+                    0,
+                );
             }
             Err(panic_payload) => {
                 let msg = panic_message(panic_payload.as_ref());
-                return JobResult {
-                    job_id: job.id,
-                    status: JobStatus::Crashed,
-                    attempts: attempt,
-                    payload: None,
-                    counts: Vec::new(),
-                    detail: Some(msg),
-                    elapsed_us,
-                };
+                return (
+                    JobResult {
+                        job_id: job.id,
+                        status: JobStatus::Crashed,
+                        attempts: attempt,
+                        payload: None,
+                        counts: Vec::new(),
+                        detail: Some(msg),
+                        elapsed_us,
+                    },
+                    0,
+                );
             }
         }
     }
@@ -383,7 +442,11 @@ mod tests {
 
     fn ok_job(id: u64) -> Job {
         Job::new(id, move |ctx| {
-            Ok(JobOutput { payload: format!("{{\"job\":{}}}", ctx.job_id), counts: vec![1] })
+            Ok(JobOutput {
+                payload: format!("{{\"job\":{}}}", ctx.job_id),
+                counts: vec![1],
+                insns: 0,
+            })
         })
     }
 
@@ -428,7 +491,7 @@ mod tests {
             while !ctx.stop.is_requested() {
                 std::hint::spin_loop();
             }
-            Ok(JobOutput { payload: "{\"late\":true}".into(), counts: vec![1] })
+            Ok(JobOutput { payload: "{\"late\":true}".into(), counts: vec![1], insns: 0 })
         });
         let results = fleet.run(jobs, None, &[]);
         assert_eq!(results[1].status, JobStatus::Hang);
@@ -506,7 +569,7 @@ mod tests {
             if ctx.attempt < 3 {
                 Err(JobError::Transient("flaky host".into()))
             } else {
-                Ok(JobOutput { payload: "{}".into(), counts: vec![] })
+                Ok(JobOutput { payload: "{}".into(), counts: vec![], insns: 0 })
             }
         });
         let results = fleet.run(vec![job], None, &[]);

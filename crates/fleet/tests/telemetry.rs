@@ -1,0 +1,127 @@
+//! End-to-end fleet telemetry: deterministic snapshots across identical
+//! runs, and a live `/metrics` scrape whose counters match the fleet's
+//! own aggregate.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use vpdift_fleet::telemetry::render_prom;
+use vpdift_fleet::{Fleet, FleetConfig, Job, JobOutput, JobStatus, TelemetryHub};
+use vpdift_obs::MetricsServer;
+
+fn counting_job(id: u64, insns: u64) -> Job {
+    Job::new(id, move |ctx| {
+        Ok(JobOutput { payload: format!("{{\"job\":{}}}", ctx.job_id), counts: vec![1], insns })
+    })
+}
+
+fn run_with_hub(workers: usize, jobs: usize) -> (Arc<TelemetryHub>, Vec<vpdift_fleet::JobResult>) {
+    let hub = TelemetryHub::new(workers);
+    let config =
+        FleetConfig { workers, telemetry: Some(Arc::clone(&hub)), ..FleetConfig::default() };
+    let jobs: Vec<Job> = (0..jobs as u64).map(|i| counting_job(i, 100 + i)).collect();
+    let results = Fleet::new(config).run(jobs, None, &[]);
+    (hub, results)
+}
+
+#[test]
+fn two_identical_serial_runs_produce_identical_telemetry() {
+    // workers=1 pins the job→worker assignment, so everything outside
+    // the timing fields must reproduce byte-for-byte.
+    let (hub_a, _) = run_with_hub(1, 16);
+    let (hub_b, _) = run_with_hub(1, 16);
+    let a = hub_a.snapshot().deterministic_json();
+    let b = hub_b.snapshot().deterministic_json();
+    assert_eq!(a, b, "serial fleet telemetry must be deterministic");
+    assert!(a.contains("\"done\":16"), "{a}");
+}
+
+#[test]
+fn snapshot_matches_fleet_results() {
+    let (hub, results) = run_with_hub(3, 20);
+    let snap = hub.snapshot();
+    assert!(snap.finished);
+    assert_eq!(snap.done, results.len() as u64);
+    assert_eq!(snap.ok, results.iter().filter(|r| r.status == JobStatus::Ok).count() as u64);
+    assert_eq!(snap.running, 0, "no attempt in flight after the run");
+    let expected: u64 = (0..20u64).map(|i| 100 + i).sum();
+    assert_eq!(snap.insns, expected, "completion-reported insns all land");
+    assert_eq!(snap.wall_us.count(), 20, "one wall-time sample per job");
+}
+
+fn scrape(addr: std::net::SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics endpoint");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read scrape response");
+    response
+}
+
+fn prom_value(text: &str, name: &str) -> Option<f64> {
+    text.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l[name.len() + 1..].trim().parse().ok())
+}
+
+#[test]
+fn metrics_endpoint_serves_fleet_counters_mid_run_and_after() {
+    let hub = TelemetryHub::new(2);
+    let render_hub = Arc::clone(&hub);
+    let server = MetricsServer::bind("127.0.0.1:0", Arc::new(move || render_prom(&render_hub)))
+        .expect("endpoint binds");
+    let addr = server.local_addr();
+
+    // Jobs slow enough that the mid-run scrape observes an unfinished
+    // fleet: each sleeps 20ms, and a gate job holds until we scraped.
+    let gate = vpdift_obs::StopFlag::new();
+    let release = gate.clone();
+    let mut jobs: Vec<Job> = (0..8u64)
+        .map(|i| {
+            Job::new(i, move |ctx| {
+                std::thread::sleep(Duration::from_millis(20));
+                Ok(JobOutput {
+                    payload: format!("{{\"job\":{}}}", ctx.job_id),
+                    counts: vec![1],
+                    insns: 50,
+                })
+            })
+        })
+        .collect();
+    jobs.push(Job::new(8, move |_ctx| {
+        while !release.is_requested() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Ok(JobOutput { payload: "{\"job\":8}".into(), counts: vec![1], insns: 50 })
+    }));
+
+    let config =
+        FleetConfig { workers: 2, telemetry: Some(Arc::clone(&hub)), ..FleetConfig::default() };
+    let results = std::thread::scope(|scope| {
+        let runner = scope.spawn(|| Fleet::new(config).run(jobs, None, &[]));
+
+        // Mid-run scrape: valid exposition text, counters not yet final.
+        let mid = scrape(addr);
+        assert!(mid.starts_with("HTTP/1.1 200 OK"), "{mid}");
+        assert!(mid.contains("text/plain; version=0.0.4"), "{mid}");
+        assert!(mid.contains("# TYPE fleet_jobs_completed_total counter"), "{mid}");
+        let mid_done = prom_value(&mid, "fleet_jobs_completed_total")
+            .expect("mid-run scrape carries the completed counter");
+        assert!(mid_done <= 9.0, "mid-run count cannot exceed the job total");
+
+        gate.request();
+        let results = runner.join().expect("fleet run completes");
+
+        // Post-run scrape: counters final and monotone vs. mid-run.
+        let after = scrape(addr);
+        let done = prom_value(&after, "fleet_jobs_completed_total").unwrap();
+        assert_eq!(done, results.len() as f64, "scrape matches the aggregate");
+        assert!(done >= mid_done, "counters are monotone across scrapes");
+        assert_eq!(prom_value(&after, "fleet_jobs_running"), Some(0.0));
+        results
+    });
+    assert_eq!(results.len(), 9);
+    server.shutdown();
+}

@@ -1,0 +1,311 @@
+//! Prometheus text exposition (hand-rolled, offline, zero-dep).
+//!
+//! [`Expo`] builds a `text/plain; version=0.0.4` document: `# HELP` /
+//! `# TYPE` headers are emitted once per metric name, label values are
+//! escaped per the format spec, and [`Hist`] snapshots render as
+//! cumulative `_bucket{le=...}` series plus `_sum`/`_count`. The output
+//! is deterministic: series appear exactly in the order the builder was
+//! fed.
+//!
+//! [`render_metrics`] exposes the whole [`Metrics`] registry under a
+//! caller-chosen prefix and label set — the same counters `--metrics`
+//! prints, machine-readable.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::event::CheckKind;
+use crate::hist::Hist;
+use crate::metrics::Metrics;
+
+/// A label set: `(name, value)` pairs. Values are escaped on render.
+pub type Labels<'a> = &'a [(&'a str, &'a str)];
+
+/// Builder for one exposition document.
+#[derive(Debug, Default)]
+pub struct Expo {
+    out: String,
+    seen: BTreeSet<String>,
+}
+
+impl Expo {
+    /// An empty document.
+    pub fn new() -> Expo {
+        Expo::default()
+    }
+
+    /// Emits `# HELP` / `# TYPE` once per metric name.
+    fn header(&mut self, name: &str, help: &str, ty: &str) {
+        if self.seen.insert(name.to_owned()) {
+            let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
+            let _ = writeln!(self.out, "# TYPE {name} {ty}");
+        }
+    }
+
+    /// Appends a counter sample. Counter names should end in `_total`.
+    pub fn counter(&mut self, name: &str, help: &str, labels: Labels<'_>, value: u64) {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.out, "{name}{} {value}", render_labels(labels));
+    }
+
+    /// Appends a gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: Labels<'_>, value: f64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name}{} {}", render_labels(labels), fmt_value(value));
+    }
+
+    /// Appends a [`Hist`] as a Prometheus histogram: cumulative
+    /// `_bucket{le=...}` series (bucket upper bounds multiplied by
+    /// `scale` — e.g. `1e-6` to expose a microsecond histogram in
+    /// seconds), then `_sum` and `_count`.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: Labels<'_>,
+        hist: &Hist,
+        scale: f64,
+    ) {
+        self.header(name, help, "histogram");
+        let spec = hist.spec();
+        let mut cumulative = 0u64;
+        for (i, &n) in hist.buckets().iter().enumerate() {
+            cumulative += n;
+            let le = match spec.upper_bound(i) {
+                Some(up) => fmt_value(up as f64 * scale),
+                None => "+Inf".to_owned(),
+            };
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", &le));
+            let _ = writeln!(self.out, "{name}_bucket{} {cumulative}", render_labels(&with_le));
+        }
+        let _ = writeln!(
+            self.out,
+            "{name}_sum{} {}",
+            render_labels(labels),
+            fmt_value(hist.sum() as f64 * scale)
+        );
+        let _ = writeln!(self.out, "{name}_count{} {}", render_labels(labels), hist.count());
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Renders `{k="v",...}` with escaped values (empty string for no
+/// labels).
+fn render_labels(labels: Labels<'_>) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Escapes a label value: backslash, double quote, newline.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Escapes HELP text: backslash and newline.
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Renders a sample value: integral floats print without a fraction so
+/// counters stay exact-looking; everything else uses shortest-float.
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Exposes the [`Metrics`] registry under `prefix` (e.g. `vp`) with
+/// `labels` on every series.
+pub fn render_metrics(expo: &mut Expo, prefix: &str, labels: Labels<'_>, m: &Metrics) {
+    let name = |suffix: &str| format!("{prefix}_{suffix}");
+    expo.counter(&name("instructions_total"), "Instructions retired.", labels, m.instructions);
+    for kind in CheckKind::ALL {
+        let c = m.checks[kind.index()];
+        if c.performed == 0 {
+            continue;
+        }
+        let mut with_kind: Vec<(&str, &str)> = labels.to_vec();
+        with_kind.push(("kind", kind.label()));
+        expo.counter(&name("checks_total"), "Clearance checks evaluated.", &with_kind, c.performed);
+        expo.counter(
+            &name("check_failures_total"),
+            "Clearance checks failed.",
+            &with_kind,
+            c.failed,
+        );
+    }
+    for (tagged, loads, stores) in
+        [("true", m.tagged_loads, m.tagged_stores), ("false", m.untagged_loads, m.untagged_stores)]
+    {
+        let mut with_tag: Vec<(&str, &str)> = labels.to_vec();
+        with_tag.push(("tagged", tagged));
+        expo.counter(&name("loads_total"), "Loads observed.", &with_tag, loads);
+        expo.counter(&name("stores_total"), "Stores observed.", &with_tag, stores);
+    }
+    expo.counter(&name("tag_writes_total"), "Tag-changing register writes.", labels, m.tag_writes);
+    for (target, n) in &m.tlm_per_target {
+        let mut with_target: Vec<(&str, &str)> = labels.to_vec();
+        with_target.push(("target", target));
+        expo.counter(&name("tlm_transactions_total"), "TLM transactions.", &with_target, *n);
+    }
+    expo.counter(
+        &name("classifications_total"),
+        "Classification events.",
+        labels,
+        m.classifications,
+    );
+    expo.counter(
+        &name("declassifications_total"),
+        "Declassification events.",
+        labels,
+        m.declassifications,
+    );
+    expo.counter(&name("violations_total"), "Policy violations recorded.", labels, m.violations);
+    expo.counter(&name("traps_total"), "Traps and interrupts taken.", labels, m.traps);
+    if m.faults_injected > 0 {
+        expo.counter(&name("faults_injected_total"), "Faults injected.", labels, m.faults_injected);
+    }
+    if m.tag_set_changes > 0 {
+        expo.counter(
+            &name("tag_set_changes_total"),
+            "Tag-set changes at check sites.",
+            labels,
+            m.tag_set_changes,
+        );
+    }
+    if let Some(ec) = &m.engine_cache {
+        for (suffix, help, v) in [
+            ("engine_cache_hits_total", "Block-cache step dispatches from cache.", ec.hits),
+            ("engine_cache_misses_total", "Block-cache rebuilds or fallbacks.", ec.misses),
+            (
+                "engine_cache_invalidations_total",
+                "Blocks killed by store ranges.",
+                ec.invalidations,
+            ),
+            ("engine_cache_flushes_total", "Whole-cache flushes.", ec.flushes),
+            ("engine_idle_steps_total", "Steps run with checks skipped.", ec.idle_steps),
+            ("engine_checked_steps_total", "Steps run on the checked path.", ec.checked_steps),
+        ] {
+            expo.counter(&name(suffix), help, labels, v);
+        }
+    }
+    for (atom, &c) in m.taint_high_water.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let atom_s = atom.to_string();
+        let mut with_atom: Vec<(&str, &str)> = labels.to_vec();
+        with_atom.push(("atom", &atom_s));
+        expo.gauge(
+            &name("taint_high_water_bytes"),
+            "High-water classified RAM bytes per atom.",
+            &with_atom,
+            f64::from(c),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::HistSpec;
+
+    #[test]
+    fn counters_and_gauges_render_with_single_headers() {
+        let mut e = Expo::new();
+        e.counter("jobs_total", "Jobs.", &[("worker", "0")], 3);
+        e.counter("jobs_total", "Jobs.", &[("worker", "1")], 4);
+        e.gauge("depth", "Queue depth.", &[], 2.0);
+        let text = e.finish();
+        assert_eq!(text.matches("# HELP jobs_total").count(), 1, "{text}");
+        assert_eq!(text.matches("# TYPE jobs_total counter").count(), 1);
+        assert!(text.contains("jobs_total{worker=\"0\"} 3"));
+        assert!(text.contains("jobs_total{worker=\"1\"} 4"));
+        assert!(text.contains("# TYPE depth gauge"));
+        assert!(text.contains("\ndepth 2\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut e = Expo::new();
+        e.counter("x_total", "back\\slash help", &[("p", "a\"b\\c\nd")], 1);
+        let text = e.finish();
+        assert!(text.contains("# HELP x_total back\\\\slash help"), "{text}");
+        assert!(text.contains("x_total{p=\"a\\\"b\\\\c\\nd\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let mut h = Hist::new(HistSpec::linear(10, 4));
+        for v in [1u64, 5, 12, 35, 90] {
+            h.record(v);
+        }
+        let mut e = Expo::new();
+        e.histogram("lat", "Latency.", &[], &h, 1.0);
+        let text = e.finish();
+        assert!(text.contains("# TYPE lat histogram"));
+        assert!(text.contains("lat_bucket{le=\"10\"} 2"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"20\"} 3"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"30\"} 3"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 5"), "{text}");
+        assert!(text.contains("lat_sum 143"), "{text}");
+        assert!(text.contains("lat_count 5"), "{text}");
+    }
+
+    #[test]
+    fn histogram_scale_converts_units() {
+        let mut h = Hist::new(HistSpec::linear(500, 3));
+        h.record(250);
+        let mut e = Expo::new();
+        e.histogram("wall_seconds", "Wall.", &[], &h, 1e-3);
+        let text = e.finish();
+        assert!(text.contains("wall_seconds_bucket{le=\"0.5\"} 1"), "{text}");
+        assert!(text.contains("wall_seconds_sum 0.25"), "{text}");
+    }
+
+    #[test]
+    fn metrics_registry_renders() {
+        use crate::event::ObsEvent;
+        use vpdift_core::Tag;
+        let mut m = Metrics::default();
+        m.update(&ObsEvent::InsnRetired {
+            pc: 0,
+            word: 0x13,
+            compressed: false,
+            fetch_tag: Tag::EMPTY,
+            instret: 0,
+        });
+        m.update(&ObsEvent::Load { pc: 0, addr: 4, size: 4, tag: Tag::atom(1) });
+        m.update(&ObsEvent::Tlm {
+            bus: "sys-bus".into(),
+            target: "uart".into(),
+            addr: 0x1000_0000,
+            len: 1,
+            write: true,
+            tag: Tag::EMPTY,
+            ok: true,
+            lat_ps: 0,
+        });
+        let mut e = Expo::new();
+        render_metrics(&mut e, "vp", &[("session", "s1")], &m);
+        let text = e.finish();
+        assert!(text.contains("vp_instructions_total{session=\"s1\"} 1"), "{text}");
+        assert!(text.contains("vp_loads_total{session=\"s1\",tagged=\"true\"} 1"), "{text}");
+        assert!(
+            text.contains("vp_tlm_transactions_total{session=\"s1\",target=\"uart\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("vp_violations_total{session=\"s1\"} 0"), "{text}");
+    }
+}

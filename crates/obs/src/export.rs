@@ -164,7 +164,24 @@ pub fn write_chrome_trace<W: Write>(mut w: W, events: &[TimedEvent]) -> io::Resu
 ///
 /// # Errors
 /// Propagates I/O errors from `w`.
-pub fn write_metrics_json<W: Write>(mut w: W, m: &Metrics) -> io::Result<()> {
+pub fn write_metrics_json<W: Write>(w: W, m: &Metrics) -> io::Result<()> {
+    write_metrics_json_ext(w, m, &[])
+}
+
+/// [`write_metrics_json`] with extra top-level members appended after
+/// the registry fields — the additive extension point of the
+/// `taintvp-metrics/v1` schema (e.g. the fleet runner's `"fleet"` block
+/// with per-outcome-class counts and per-worker telemetry). Each entry
+/// is `(key, value)` where `value` must be pre-rendered valid JSON;
+/// consumers ignore members they do not know.
+///
+/// # Errors
+/// Propagates I/O errors from `w`.
+pub fn write_metrics_json_ext<W: Write>(
+    mut w: W,
+    m: &Metrics,
+    extra: &[(&str, &str)],
+) -> io::Result<()> {
     writeln!(w, "{{")?;
     writeln!(w, "  \"schema\": \"taintvp-metrics/v1\",")?;
     writeln!(w, "  \"instructions\": {},", m.instructions)?;
@@ -217,7 +234,16 @@ pub fn write_metrics_json<W: Write>(mut w: W, m: &Metrics) -> io::Result<()> {
         .filter(|(_, &c)| c > 0)
         .map(|(atom, &c)| format!("\"{atom}\": {c}"))
         .collect();
-    writeln!(w, "  \"taint_high_water\": {{{}}}", spread.join(", "))?;
+    match extra {
+        [] => writeln!(w, "  \"taint_high_water\": {{{}}}", spread.join(", "))?,
+        _ => {
+            writeln!(w, "  \"taint_high_water\": {{{}}},", spread.join(", "))?;
+            for (i, (key, value)) in extra.iter().enumerate() {
+                let sep = if i + 1 == extra.len() { "" } else { "," };
+                writeln!(w, "  \"{}\": {value}{sep}", escape(key))?;
+            }
+        }
+    }
     writeln!(w, "}}")?;
     Ok(())
 }
@@ -438,6 +464,22 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         validate_json(&text).unwrap();
         assert!(text.contains("\"engine_cache\": null"));
+    }
+
+    #[test]
+    fn metrics_json_ext_appends_extra_members() {
+        let mut buf = Vec::new();
+        write_metrics_json_ext(
+            &mut buf,
+            &Metrics::default(),
+            &[("fleet", "{\"done\":3}"), ("note", "\"x\"")],
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        validate_json(&text).unwrap_or_else(|e| panic!("{e}: {text}"));
+        assert!(text.contains("\"fleet\": {\"done\":3}"), "{text}");
+        assert!(text.contains("\"note\": \"x\""), "{text}");
+        assert!(text.contains("\"schema\": \"taintvp-metrics/v1\""), "schema unchanged");
     }
 
     #[test]

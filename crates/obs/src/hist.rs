@@ -1,0 +1,425 @@
+//! Reusable bucketed histograms: lock-free recording, mergeable
+//! snapshots, quantile estimation.
+//!
+//! Two flavours share one bucket layout ([`HistSpec`]):
+//!
+//! - [`Hist`] — a plain value type for single-threaded recording and for
+//!   *snapshots*: it merges ([`Hist::merge`] is associative and
+//!   commutative), serializes, and estimates quantiles.
+//! - [`AtomicHist`] — a lock-free recorder for hot paths shared across
+//!   threads: [`AtomicHist::record`] is two relaxed `fetch_add`s, never a
+//!   lock, and [`AtomicHist::snapshot`] yields a `Hist`.
+//!
+//! Layouts are log2 (bucket `i >= 1` covers `[2^(i-1), 2^i)`, bucket 0
+//! is the zero value — the same shape the TLM latency histogram in
+//! [`crate::prof`] has always used) or linear (`[i*w, (i+1)*w)`). The
+//! top bucket saturates: every value at or past its lower bound lands
+//! there, so recording can never index out of range.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket layout family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BucketKind {
+    /// Bucket 0 holds the value `0`; bucket `i >= 1` covers
+    /// `[2^(i-1), 2^i)`.
+    Log2,
+    /// Bucket `i` covers `[i*width, (i+1)*width)`.
+    Linear {
+        /// Bucket width (at least 1).
+        width: u64,
+    },
+}
+
+/// A bucket layout: kind plus bucket count. Two histograms are mergeable
+/// exactly when their specs are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSpec {
+    kind: BucketKind,
+    buckets: usize,
+}
+
+impl HistSpec {
+    /// A log2 layout with `buckets` buckets (clamped to at least 2).
+    pub fn log2(buckets: usize) -> HistSpec {
+        HistSpec { kind: BucketKind::Log2, buckets: buckets.max(2) }
+    }
+
+    /// A linear layout of `buckets` buckets of `width` each (both
+    /// clamped to at least 2 / 1).
+    pub fn linear(width: u64, buckets: usize) -> HistSpec {
+        HistSpec { kind: BucketKind::Linear { width: width.max(1) }, buckets: buckets.max(2) }
+    }
+
+    /// The layout family.
+    pub fn kind(&self) -> BucketKind {
+        self.kind
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// The bucket `value` lands in. Saturates at the top bucket.
+    pub fn bucket_of(&self, value: u64) -> usize {
+        match self.kind {
+            BucketKind::Log2 => {
+                if value == 0 {
+                    0
+                } else {
+                    ((u64::BITS - value.leading_zeros()) as usize).min(self.buckets - 1)
+                }
+            }
+            BucketKind::Linear { width } => ((value / width) as usize).min(self.buckets - 1),
+        }
+    }
+
+    /// Smallest value belonging to bucket `i` (0 for bucket 0).
+    pub fn lower_bound(&self, i: usize) -> u64 {
+        match self.kind {
+            BucketKind::Log2 => {
+                if i == 0 {
+                    0
+                } else {
+                    1u64.checked_shl(i as u32 - 1).unwrap_or(u64::MAX)
+                }
+            }
+            BucketKind::Linear { width } => width.saturating_mul(i as u64),
+        }
+    }
+
+    /// First value *past* bucket `i`, or `None` for the saturating top
+    /// bucket (which is unbounded above).
+    pub fn upper_bound(&self, i: usize) -> Option<u64> {
+        if i + 1 >= self.buckets {
+            return None;
+        }
+        Some(self.lower_bound(i + 1))
+    }
+}
+
+/// Why two histograms could not merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistError {
+    /// The bucket layouts differ; counts are not comparable.
+    SpecMismatch,
+}
+
+impl core::fmt::Display for HistError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            HistError::SpecMismatch => write!(f, "histogram bucket layouts differ"),
+        }
+    }
+}
+
+impl std::error::Error for HistError {}
+
+/// A plain bucketed histogram: the value/snapshot type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    spec: HistSpec,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Hist {
+    /// An empty histogram with `spec`.
+    pub fn new(spec: HistSpec) -> Hist {
+        Hist { spec, buckets: vec![0; spec.buckets()], count: 0, sum: 0 }
+    }
+
+    /// The bucket layout.
+    pub fn spec(&self) -> HistSpec {
+        self.spec
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` observations of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        self.buckets[self.spec.bucket_of(value)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observed values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Per-bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Count in bucket `i` (0 out of range).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// Folds `other` into `self`. Associative and commutative: any merge
+    /// tree over the same snapshots yields the same histogram. Fails
+    /// (without mutating `self`) when the specs differ.
+    pub fn merge(&mut self, other: &Hist) -> Result<(), HistError> {
+        if self.spec != other.spec {
+            return Err(HistError::SpecMismatch);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        Ok(())
+    }
+
+    /// Bucket bounds `(lower, upper)` containing quantile `q` in
+    /// `[0, 1]`: the true quantile value lies in `[lower, upper)`
+    /// (`upper` is `None` for the unbounded top bucket). Returns the
+    /// zero bucket's bounds when empty.
+    pub fn quantile_bounds(&self, q: f64) -> (u64, Option<u64>) {
+        let i = self.quantile_bucket(q);
+        (self.spec.lower_bound(i), self.spec.upper_bound(i))
+    }
+
+    /// Point estimate for quantile `q` in `[0, 1]`: the inclusive upper
+    /// edge of the containing bucket (its lower bound for the unbounded
+    /// top bucket), so the error is at most the bucket width. 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let i = self.quantile_bucket(q);
+        match self.spec.upper_bound(i) {
+            Some(up) => up - 1,
+            None => self.spec.lower_bound(i),
+        }
+    }
+
+    /// Index of the bucket holding the `q`-quantile observation.
+    fn quantile_bucket(&self, q: f64) -> usize {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based; q=0 maps to the first.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return i;
+            }
+        }
+        self.buckets.len() - 1
+    }
+
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Indexing sugar: `hist[i]` is the count in bucket `i`.
+impl core::ops::Index<usize> for Hist {
+    type Output = u64;
+    fn index(&self, i: usize) -> &u64 {
+        &self.buckets[i]
+    }
+}
+
+/// A lock-free histogram recorder for hot paths shared across threads.
+///
+/// [`record`](AtomicHist::record) is two relaxed `fetch_add`s — no lock,
+/// no CAS loop — so concurrent recorders never contend beyond the cache
+/// line. Relaxed ordering means a [`snapshot`](AtomicHist::snapshot)
+/// taken mid-storm may be a few observations behind (and `count`/`sum`
+/// momentarily skewed by in-flight records); terminal snapshots taken
+/// after recording stops are exact.
+#[derive(Debug)]
+pub struct AtomicHist {
+    spec: HistSpec,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl AtomicHist {
+    /// An empty recorder with `spec`.
+    pub fn new(spec: HistSpec) -> AtomicHist {
+        let buckets = (0..spec.buckets()).map(|_| AtomicU64::new(0)).collect();
+        AtomicHist { spec, buckets, count: AtomicU64::new(0), sum: AtomicU64::new(0) }
+    }
+
+    /// The bucket layout.
+    pub fn spec(&self) -> HistSpec {
+        self.spec
+    }
+
+    /// Records one observation of `value` (relaxed; lock-free).
+    pub fn record(&self, value: u64) {
+        self.buckets[self.spec.bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy as a plain, mergeable [`Hist`].
+    pub fn snapshot(&self) -> Hist {
+        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        Hist {
+            spec: self.spec,
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_bucket_boundaries() {
+        let s = HistSpec::log2(32);
+        assert_eq!(s.bucket_of(0), 0);
+        assert_eq!(s.bucket_of(1), 1);
+        assert_eq!(s.bucket_of(2), 2);
+        assert_eq!(s.bucket_of(3), 2);
+        assert_eq!(s.bucket_of(4), 3);
+        assert_eq!(s.bucket_of(u64::MAX), 31, "saturates at the top bucket");
+        assert_eq!(s.lower_bound(0), 0);
+        assert_eq!(s.lower_bound(1), 1);
+        assert_eq!(s.lower_bound(7), 64);
+        assert_eq!(s.upper_bound(7), Some(128));
+        assert_eq!(s.upper_bound(31), None, "top bucket is unbounded");
+    }
+
+    #[test]
+    fn linear_bucket_boundaries() {
+        let s = HistSpec::linear(10, 4);
+        assert_eq!(s.bucket_of(0), 0);
+        assert_eq!(s.bucket_of(9), 0);
+        assert_eq!(s.bucket_of(10), 1);
+        assert_eq!(s.bucket_of(35), 3);
+        assert_eq!(s.bucket_of(1_000_000), 3, "saturates");
+        assert_eq!(s.lower_bound(2), 20);
+        assert_eq!(s.upper_bound(2), Some(30));
+        assert_eq!(s.upper_bound(3), None);
+    }
+
+    #[test]
+    fn record_and_merge_agree_with_bulk_recording() {
+        let spec = HistSpec::log2(16);
+        let mut a = Hist::new(spec);
+        let mut b = Hist::new(spec);
+        let mut all = Hist::new(spec);
+        for v in [0u64, 1, 3, 200, 9_999] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [7u64, 7, 4_096] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a, all);
+        assert_eq!(a.count(), 8);
+        assert_eq!(a.sum(), 1 + 3 + 200 + 9_999 + 7 + 7 + 4_096);
+    }
+
+    #[test]
+    fn merge_rejects_spec_mismatch_without_mutating() {
+        let mut a = Hist::new(HistSpec::log2(8));
+        a.record(5);
+        let before = a.clone();
+        let b = Hist::new(HistSpec::linear(10, 8));
+        assert_eq!(a.merge(&b), Err(HistError::SpecMismatch));
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn quantile_is_within_bucket_bounds() {
+        let mut h = Hist::new(HistSpec::log2(32));
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // True p50 = 500 (bucket [512..1024) holds ranks 512.., so p50's
+        // bucket is [256, 512)); the estimate must bracket it.
+        let (lo, hi) = h.quantile_bounds(0.5);
+        assert!(lo <= 500 && 500 < hi.unwrap(), "p50 in [{lo}, {hi:?})");
+        let p50 = h.quantile(0.5);
+        assert!(p50 >= lo && hi.map(|u| p50 < u).unwrap_or(true));
+        let (lo, hi) = h.quantile_bounds(0.99);
+        assert!(lo <= 990 && 990 < hi.unwrap(), "p99 in [{lo}, {hi:?})");
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        let h = Hist::new(HistSpec::log2(8));
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile_bounds(0.99), (0, Some(1)));
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn atomic_hist_snapshot_matches_plain() {
+        let spec = HistSpec::linear(100, 8);
+        let at = AtomicHist::new(spec);
+        let mut plain = Hist::new(spec);
+        for v in [0u64, 50, 150, 420, 99_999] {
+            at.record(v);
+            plain.record(v);
+        }
+        assert_eq!(at.snapshot(), plain);
+    }
+
+    #[test]
+    fn atomic_hist_concurrent_records_all_land() {
+        use std::sync::Arc;
+        let at = Arc::new(AtomicHist::new(HistSpec::log2(16)));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let at = Arc::clone(&at);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    at.record(t * 1000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = at.snapshot();
+        assert_eq!(snap.count(), 4000);
+        assert_eq!(snap.buckets().iter().sum::<u64>(), 4000);
+    }
+
+    #[test]
+    fn top_bucket_saturation_preserves_count() {
+        let mut h = Hist::new(HistSpec::log2(4));
+        for v in [8u64, 100, u64::MAX, 1 << 40] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket(3), 4, "all land in the top bucket");
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.quantile(0.99), h.spec().lower_bound(3));
+    }
+}

@@ -25,13 +25,16 @@
 
 mod disasm;
 mod event;
+pub mod expo;
 pub mod export;
 pub mod flowgraph;
+pub mod hist;
 mod metrics;
 pub mod prof;
 mod provenance;
 mod recorder;
 mod ring;
+pub mod scrape;
 mod sink;
 pub mod stream;
 
@@ -40,13 +43,16 @@ use vpdift_sync::{shared, Shared};
 
 pub use disasm::RawInsn;
 pub use event::{CheckKind, ObsEvent};
+pub use expo::Expo;
+pub use hist::{AtomicHist, BucketKind, Hist, HistError, HistSpec};
 pub use metrics::{CheckCounter, EngineCacheStats, Metrics};
 pub use prof::{Profiler, SymbolMap, TlmStat};
 pub use provenance::{FlowDelta, FlowPath, Hop, HopKind, Origin, ProvenanceMap, SinkRec, HOP_CAP};
 pub use recorder::Recorder;
 pub use ring::{EventRing, TimedEvent};
+pub use scrape::{MetricsServer, ScrapeError};
 pub use sink::{shared_obs, DynObs, NullSink, ObsHandle, ObsSink, SharedObs, ATOM_SLOTS};
-pub use stream::{StopFlag, StreamItem, StreamSink, Watch, WatchKind};
+pub use stream::{InsnCell, StopFlag, StreamItem, StreamSink, Watch, WatchKind};
 
 /// Adapts an [`ObsSink`] to the engine's [`FlowObserver`] hook: engine
 /// check sites become [`ObsEvent::Check`]s and recorded violations become

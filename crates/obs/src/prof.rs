@@ -21,6 +21,7 @@ use std::fmt::Write as _;
 use vpdift_asm::{decompress, is_compressed, Insn, Program, Reg};
 
 use crate::event::ObsEvent;
+use crate::hist::{Hist, HistSpec};
 
 /// Sorted address→name map built from a program's label table.
 #[derive(Debug, Clone, Default)]
@@ -95,6 +96,12 @@ impl SymbolMap {
 /// nanoseconds; bucket 0 is `< 1 ns`).
 pub const LAT_BUCKETS: usize = 32;
 
+/// The latency bucket layout: [`LAT_BUCKETS`] log2 buckets over
+/// nanoseconds.
+pub fn lat_spec() -> HistSpec {
+    HistSpec::log2(LAT_BUCKETS)
+}
+
 /// Per-TLM-target access statistics.
 #[derive(Debug, Clone)]
 pub struct TlmStat {
@@ -108,8 +115,9 @@ pub struct TlmStat {
     pub bytes: u64,
     /// Accumulated target latency in picoseconds.
     pub lat_total_ps: u64,
-    /// Log2-bucketed latency histogram (nanoseconds).
-    pub lat_hist: [u64; LAT_BUCKETS],
+    /// Log2-bucketed latency histogram (nanoseconds; see
+    /// [`lat_spec`]).
+    pub lat_hist: Hist,
 }
 
 impl Default for TlmStat {
@@ -120,7 +128,7 @@ impl Default for TlmStat {
             errors: 0,
             bytes: 0,
             lat_total_ps: 0,
-            lat_hist: [0; LAT_BUCKETS],
+            lat_hist: Hist::new(lat_spec()),
         }
     }
 }
@@ -129,15 +137,6 @@ impl TlmStat {
     /// Total transactions.
     pub fn accesses(&self) -> u64 {
         self.reads + self.writes
-    }
-}
-
-fn lat_bucket(lat_ps: u64) -> usize {
-    let ns = lat_ps / 1000;
-    if ns == 0 {
-        0
-    } else {
-        ((u64::BITS - ns.leading_zeros()) as usize).min(LAT_BUCKETS - 1)
     }
 }
 
@@ -219,7 +218,7 @@ impl Profiler {
                 }
                 stat.bytes += u64::from(*len);
                 stat.lat_total_ps += *lat_ps;
-                stat.lat_hist[lat_bucket(*lat_ps)] += 1;
+                stat.lat_hist.record(*lat_ps / 1000);
             }
             _ => {}
         }
@@ -370,14 +369,14 @@ impl Profiler {
                 s.bytes,
                 s.lat_total_ps / 1000 / s.accesses().max(1),
             );
-            for (i, &n) in s.lat_hist.iter().enumerate() {
+            for (i, &n) in s.lat_hist.buckets().iter().enumerate() {
                 if n == 0 {
                     continue;
                 }
                 let label = if i == 0 {
                     "      <1 ns".to_owned()
                 } else {
-                    format!("{:>7} ns", 1u64 << (i - 1))
+                    format!("{:>7} ns", s.lat_hist.spec().lower_bound(i))
                 };
                 let _ = writeln!(out, "    {label} .. : {n:>8}");
             }
@@ -533,12 +532,15 @@ mod tests {
 
     #[test]
     fn lat_bucket_boundaries() {
-        assert_eq!(lat_bucket(0), 0);
-        assert_eq!(lat_bucket(999), 0);
-        assert_eq!(lat_bucket(1_000), 1);
-        assert_eq!(lat_bucket(2_000), 2);
-        assert_eq!(lat_bucket(3_000), 2);
-        assert_eq!(lat_bucket(4_000), 3);
-        assert_eq!(lat_bucket(u64::MAX), LAT_BUCKETS - 1);
+        // The latency layout buckets by log2 of *nanoseconds* (events
+        // carry picoseconds; `on_event` divides).
+        let bucket = |lat_ps: u64| lat_spec().bucket_of(lat_ps / 1000);
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(999), 0);
+        assert_eq!(bucket(1_000), 1);
+        assert_eq!(bucket(2_000), 2);
+        assert_eq!(bucket(3_000), 2);
+        assert_eq!(bucket(4_000), 3);
+        assert_eq!(bucket(u64::MAX), LAT_BUCKETS - 1);
     }
 }

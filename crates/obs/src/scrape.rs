@@ -1,0 +1,258 @@
+//! A minimal, dependency-free `GET /metrics` endpoint.
+//!
+//! [`MetricsServer::bind`] spawns one background thread that accepts
+//! plain-HTTP/1.1 connections and answers `GET /metrics` with whatever
+//! the supplied render closure returns (Prometheus text exposition,
+//! `text/plain; version=0.0.4`). It is deliberately tiny: one request
+//! per connection, bounded request head, typed errors, and *no panics on
+//! malformed input* — a garbage request earns a `400` and the server
+//! keeps serving. Shutdown is explicit ([`MetricsServer::shutdown`]) or
+//! on drop.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Renders the current exposition document for one scrape.
+pub type RenderFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// Why the endpoint could not start.
+#[derive(Debug)]
+pub enum ScrapeError {
+    /// The listen socket could not be bound or configured.
+    Bind {
+        /// The requested address.
+        addr: String,
+        /// The underlying socket error.
+        source: std::io::Error,
+    },
+}
+
+impl core::fmt::Display for ScrapeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ScrapeError::Bind { addr, source } => {
+                write!(f, "cannot bind metrics endpoint on {addr}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScrapeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScrapeError::Bind { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Largest request head accepted; anything longer is a `400`.
+const MAX_HEAD: usize = 8 * 1024;
+/// Per-connection read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A running scrape endpoint. Dropping it stops the accept thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl core::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("MetricsServer").field("addr", &self.addr).finish_non_exhaustive()
+    }
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9464`, port 0 for ephemeral) and
+    /// serves `GET /metrics` from `render` until shutdown.
+    pub fn bind(addr: &str, render: RenderFn) -> Result<MetricsServer, ScrapeError> {
+        let bind_err = |source| ScrapeError::Bind { addr: addr.to_owned(), source };
+        let listener = TcpListener::bind(addr).map_err(bind_err)?;
+        listener.set_nonblocking(true).map_err(bind_err)?;
+        let local = listener.local_addr().map_err(bind_err)?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_thread = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("metrics-scrape".into())
+            .spawn(move || accept_loop(&listener, &stop_thread, &render))
+            .map_err(|source| ScrapeError::Bind { addr: addr.to_owned(), source })?;
+
+        Ok(MetricsServer { addr: local, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept thread and waits for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool, render: &RenderFn) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => handle_conn(stream, render),
+            // WouldBlock is the idle case; any other accept error is
+            // transient from our point of view — keep serving.
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Serves exactly one request on `stream`, best-effort: peers that hang
+/// up or dawdle past the timeout are simply dropped.
+fn handle_conn(stream: TcpStream, render: &RenderFn) {
+    let mut stream = stream;
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_read_timeout(Some(IO_TIMEOUT)).is_err()
+        || stream.set_write_timeout(Some(IO_TIMEOUT)).is_err()
+    {
+        return;
+    }
+    let (status, content_type, body) = match read_request(&mut stream) {
+        Some(head) => route(&head, render),
+        None => ("400 Bad Request", "text/plain; charset=utf-8", "bad request\n".to_owned()),
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+/// Reads the request head (through the blank line), bounded by
+/// [`MAX_HEAD`]. `None` on oversize, timeout, or disconnect.
+fn read_request(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        // Oversize verdicts must precede the terminator check: a
+        // complete-but-huge head is still a bad request.
+        if buf.len() > MAX_HEAD {
+            return None;
+        }
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return None,
+        }
+    }
+    Some(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// Routes one request head to `(status, content type, body)`.
+fn route(head: &str, render: &RenderFn) -> (&'static str, &'static str, String) {
+    let plain = "text/plain; charset=utf-8";
+    let Some(request_line) = head.lines().next() else {
+        return ("400 Bad Request", plain, "bad request\n".to_owned());
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ("400 Bad Request", plain, "bad request\n".to_owned());
+    };
+    if !version.starts_with("HTTP/") || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return ("400 Bad Request", plain, "bad request\n".to_owned());
+    }
+    if method != "GET" {
+        return ("405 Method Not Allowed", plain, "only GET is supported\n".to_owned());
+    }
+    let bare = path.split('?').next().unwrap_or(path);
+    match bare {
+        "/metrics" => ("200 OK", "text/plain; version=0.0.4; charset=utf-8", render()),
+        "/" => ("200 OK", plain, "taintvp metrics endpoint; scrape /metrics\n".to_owned()),
+        _ => ("404 Not Found", plain, "not found; scrape /metrics\n".to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn server() -> MetricsServer {
+        let render: RenderFn = Arc::new(|| "# TYPE up gauge\nup 1\n".to_owned());
+        MetricsServer::bind("127.0.0.1:0", render).expect("ephemeral bind")
+    }
+
+    fn request(addr: SocketAddr, raw: &[u8]) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(raw).unwrap();
+        let mut out = String::new();
+        BufReader::new(s).read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn scrape_returns_exposition_text() {
+        let srv = server();
+        let resp = request(srv.local_addr(), b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+        assert!(resp.contains("text/plain; version=0.0.4"), "{resp}");
+        assert!(resp.ends_with("up 1\n"), "{resp}");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_400_and_server_survives() {
+        let srv = server();
+        let resp = request(srv.local_addr(), b"\xff\xfe garbage\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        // An empty-line-only request parses to no tokens: also 400.
+        let resp = request(srv.local_addr(), b"\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        // The endpoint still serves after the garbage.
+        let resp = request(srv.local_addr(), b"GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn wrong_method_and_path_are_rejected() {
+        let srv = server();
+        let resp = request(srv.local_addr(), b"POST /metrics HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+        let resp = request(srv.local_addr(), b"GET /nope HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+        let resp = request(srv.local_addr(), b"GET /metrics?x=1 HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"), "query strings are tolerated: {resp}");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn read_line_folding_via_bufreader_is_not_required() {
+        // Guard against over-long heads: > MAX_HEAD earns a 400.
+        let srv = server();
+        let mut raw = Vec::from(&b"GET /metrics HTTP/1.1\r\nX-Pad: "[..]);
+        raw.extend(vec![b'a'; MAX_HEAD + 100]);
+        raw.extend_from_slice(b"\r\n\r\n");
+        let resp = request(srv.local_addr(), &raw);
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        srv.shutdown();
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for `obs::hist`: merge algebra, quantile bounds, and
+//! top-bucket saturation.
+
+use proptest::prelude::*;
+use vpdift_obs::hist::{Hist, HistSpec};
+
+/// A mixed bag of layouts: log2 and linear, varied sizes.
+fn spec_strategy() -> impl Strategy<Value = HistSpec> {
+    prop_oneof![
+        (2usize..48).prop_map(HistSpec::log2),
+        ((1u32..1_000), (2usize..48)).prop_map(|(w, n)| HistSpec::linear(u64::from(w), n)),
+    ]
+}
+
+/// Values spanning many orders of magnitude (uniform u64 would almost
+/// always saturate log2 layouts).
+fn value_strategy() -> impl Strategy<Value = u64> {
+    (any::<u64>(), 0u32..64).prop_map(|(v, shift)| v >> shift)
+}
+
+fn hist_of(spec: HistSpec, values: &[u64]) -> Hist {
+    let mut h = Hist::new(spec);
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// Merge is commutative: a∪b == b∪a.
+    #[test]
+    fn merge_is_commutative(
+        spec in spec_strategy(),
+        a in proptest::strategy::vec(value_strategy(), 0..64),
+        b in proptest::strategy::vec(value_strategy(), 0..64),
+    ) {
+        let (ha, hb) = (hist_of(spec, &a), hist_of(spec, &b));
+        let mut ab = ha.clone();
+        ab.merge(&hb).unwrap();
+        let mut ba = hb.clone();
+        ba.merge(&ha).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merge is associative: (a∪b)∪c == a∪(b∪c), and both equal
+    /// recording every value into one histogram.
+    #[test]
+    fn merge_is_associative(
+        spec in spec_strategy(),
+        a in proptest::strategy::vec(value_strategy(), 0..48),
+        b in proptest::strategy::vec(value_strategy(), 0..48),
+        c in proptest::strategy::vec(value_strategy(), 0..48),
+    ) {
+        let (ha, hb, hc) = (hist_of(spec, &a), hist_of(spec, &b), hist_of(spec, &c));
+        let mut left = ha.clone();
+        left.merge(&hb).unwrap();
+        left.merge(&hc).unwrap();
+        let mut right_tail = hb.clone();
+        right_tail.merge(&hc).unwrap();
+        let mut right = ha.clone();
+        right.merge(&right_tail).unwrap();
+        prop_assert_eq!(&left, &right);
+
+        let mut all: Vec<u64> = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(&left, &hist_of(spec, &all));
+    }
+
+    /// Quantile estimates land inside the bucket holding the true
+    /// quantile: lower <= exact <= estimate < upper (bucket error only).
+    #[test]
+    fn quantiles_are_within_bucket_error(
+        spec in spec_strategy(),
+        values in proptest::strategy::vec(value_strategy(), 1..128),
+        qi in 0usize..3,
+    ) {
+        let q = [0.5, 0.99, 1.0][qi];
+        let h = hist_of(spec, &values);
+        let mut values = values;
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1];
+
+        let (lo, hi) = h.quantile_bounds(q);
+        prop_assert!(lo <= exact, "exact {exact} below bucket floor {lo}");
+        if let Some(hi) = hi {
+            prop_assert!(exact < hi, "exact {exact} past bucket ceiling {hi}");
+        }
+        let est = h.quantile(q);
+        prop_assert!(est >= lo);
+        if let Some(hi) = hi {
+            prop_assert!(est < hi);
+        }
+    }
+
+    /// Every value at or past the top bucket's floor saturates into it;
+    /// count and sum survive saturation.
+    #[test]
+    fn top_bucket_saturates(
+        spec in spec_strategy(),
+        raw in proptest::strategy::vec(any::<u64>(), 1..64),
+    ) {
+        let top = spec.buckets() - 1;
+        let floor = spec.lower_bound(top);
+        let values: Vec<u64> = raw.iter().map(|v| v | floor).collect();
+        let h = hist_of(spec, &values);
+        prop_assert_eq!(h.bucket(top), values.len() as u64);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let expect: u64 = values.iter().fold(0u64, |acc, &v| acc.saturating_add(v));
+        prop_assert_eq!(h.sum(), expect);
+        prop_assert_eq!(h.quantile(0.99), floor, "top-bucket estimate is its floor");
+    }
+}

@@ -25,10 +25,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod json;
+pub mod metrics;
 pub mod proto;
 mod server;
 mod session;
 
+pub use metrics::{ServeMetrics, SessionStats};
 pub use proto::{ErrorCode, ServeError, SCHEMA};
 pub use server::{Control, Server};
 pub use session::{ByteRead, CreateOpts, RegRead, Session, DEFAULT_MAX_STEPS, UNTIL_CAP};

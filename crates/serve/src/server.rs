@@ -24,6 +24,7 @@ use vpdift_rv32::ExecMode;
 use vpdift_soc::SocExit;
 
 use crate::json::{self, Value};
+use crate::metrics::{ServeMetrics, SessionStats};
 use crate::proto::{self, ErrorCode, ServeError};
 use crate::session::{ByteRead, CreateOpts, Session, DEFAULT_MAX_STEPS};
 
@@ -40,6 +41,7 @@ pub enum Control {
 #[derive(Default)]
 pub struct Server {
     sessions: BTreeMap<String, Session>,
+    metrics: Option<std::sync::Arc<ServeMetrics>>,
 }
 
 /// Emits a line to the client; an `Err` means the client is gone.
@@ -49,6 +51,23 @@ impl Server {
     /// An empty registry.
     pub fn new() -> Server {
         Server::default()
+    }
+
+    /// Publishes request and per-session counters into `metrics` (shared
+    /// with a scrape endpoint; see [`ServeMetrics`]).
+    pub fn with_metrics(mut self, metrics: std::sync::Arc<ServeMetrics>) -> Server {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Captures `sess`'s progress facts for the metrics hub.
+    fn session_stats(sess: &mut Session) -> SessionStats {
+        SessionStats {
+            instret: sess.instret(),
+            t_ps: sess.now_ps(),
+            violations: sess.violations() as u64,
+            runs: 0,
+        }
     }
 
     /// Session names, for the greeting and `list`.
@@ -84,6 +103,9 @@ impl Server {
                 Ok(control)
             }
             Err(err) => {
+                if let Some(m) = &self.metrics {
+                    m.on_error();
+                }
                 emit(&proto::err_line(id, &err))?;
                 Ok(Control::Continue)
             }
@@ -95,6 +117,26 @@ impl Server {
             .get("cmd")
             .and_then(Value::as_str)
             .ok_or_else(|| ServeError::new(ErrorCode::BadRequest, "missing `cmd` string"))?;
+        if let Some(m) = &self.metrics {
+            // Client-chosen command strings are folded to `unknown` so
+            // the label set stays bounded.
+            const KNOWN: &[&str] = &[
+                "create",
+                "destroy",
+                "list",
+                "step",
+                "run",
+                "until",
+                "read",
+                "watch",
+                "unwatch",
+                "subscribe",
+                "explain",
+                "info",
+                "shutdown",
+            ];
+            m.on_request(if KNOWN.contains(&cmd) { cmd } else { "unknown" });
+        }
         match cmd {
             "create" => self.cmd_create(req),
             "destroy" => self.cmd_destroy(req),
@@ -190,14 +232,20 @@ impl Server {
         opts.quantum = req.get("quantum").and_then(Value::as_u32);
         opts.ram_size = req.get("ram_size").and_then(Value::as_u32).map(|n| n as usize);
 
-        let sess = Session::create(&opts)?;
+        let mut sess = Session::create(&opts)?;
         let fields = format!(
             "\"session\":\"{}\",\"mode\":\"{}\",\"engine\":\"{}\"",
             vpdift_obs::export::escape(name),
             sess.mode(),
             sess.engine()
         );
+        if let Some(m) = &self.metrics {
+            m.record_session(name, Self::session_stats(&mut sess));
+        }
         self.sessions.insert(name.to_owned(), sess);
+        if let Some(m) = &self.metrics {
+            m.set_sessions(self.sessions.len() as u64);
+        }
         Ok(Reply::fields(fields))
     }
 
@@ -205,6 +253,10 @@ impl Server {
         let name = Self::session_name(req)?;
         if self.sessions.remove(name).is_none() {
             return Err(ServeError::new(ErrorCode::UnknownSession, format!("no session `{name}`")));
+        }
+        if let Some(m) = &self.metrics {
+            m.drop_session(name);
+            m.set_sessions(self.sessions.len() as u64);
         }
         Ok(Reply::fields(String::new()))
     }
@@ -242,6 +294,10 @@ impl Server {
 
         if client_gone {
             self.sessions.remove(&name);
+            if let Some(m) = &self.metrics {
+                m.drop_session(&name);
+                m.set_sessions(self.sessions.len() as u64);
+            }
             return Err(ServeError::new(
                 ErrorCode::Io,
                 format!("client disconnected mid-run; session `{name}` freed"),
@@ -257,6 +313,9 @@ impl Server {
                 format!("session `{name}` vanished mid-run"),
             ));
         };
+        if let Some(m) = &self.metrics {
+            m.record_session_run(&name, Self::session_stats(sess));
+        }
         let mut fields = format!(
             "\"exit\":\"{}\",\"instret\":{},\"t_ps\":{},\"digest\":\"{:#018x}\"",
             exit.label(),

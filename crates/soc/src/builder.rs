@@ -21,7 +21,7 @@
 
 use vpdift_core::{EnforceMode, SecurityPolicy};
 use vpdift_kernel::SimTime;
-use vpdift_obs::StopFlag;
+use vpdift_obs::{InsnCell, StopFlag};
 use vpdift_rv32::ExecMode;
 
 use crate::soc::SocConfig;
@@ -99,6 +99,15 @@ impl SocBuilder {
         self
     }
 
+    /// Shares `cell` with the run loop as a live retired-step counter:
+    /// the loop adds each quantum's steps with one relaxed atomic add,
+    /// so an external sampler (fleet telemetry, a metrics endpoint) can
+    /// watch a session's progress mid-run.
+    pub fn insn_cell(mut self, cell: InsnCell) -> Self {
+        self.config.insns = cell;
+        self
+    }
+
     /// Finalises into the [`SocConfig`] consumed by
     /// [`Soc::new`](crate::Soc::new).
     pub fn build(self) -> SocConfig {
@@ -126,6 +135,7 @@ mod tests {
     #[test]
     fn every_knob_is_reachable() {
         let stop = StopFlag::new();
+        let insns = InsnCell::new();
         let cfg = SocBuilder::new()
             .ram_size(64 * 1024)
             .policy(SecurityPolicy::permissive())
@@ -136,6 +146,7 @@ mod tests {
             .sensor_thread(false)
             .engine(ExecMode::BlockCache)
             .stop_flag(stop.clone())
+            .insn_cell(insns.clone())
             .build();
         assert_eq!(cfg.ram_size, 64 * 1024);
         assert_eq!(cfg.enforce, EnforceMode::Record);
@@ -146,5 +157,7 @@ mod tests {
         assert_eq!(cfg.exec, ExecMode::BlockCache);
         stop.request();
         assert!(cfg.stop.is_requested(), "builder shares the caller's flag");
+        cfg.insns.add(5);
+        assert_eq!(insns.get(), 5, "builder shares the caller's insn cell");
     }
 }

@@ -3,7 +3,7 @@
 use vpdift_asm::Program;
 use vpdift_core::{AddrRange, DiftEngine, EnforceMode, SecurityPolicy, SharedEngine, Violation};
 use vpdift_kernel::{Kernel, SimTime};
-use vpdift_obs::{engine_observer, shared_obs, NullSink, ObsEvent, ObsSink, StopFlag};
+use vpdift_obs::{engine_observer, shared_obs, InsnCell, NullSink, ObsEvent, ObsSink, StopFlag};
 use vpdift_periph::{
     AesEngine, CanChannel, CanController, CanHostEndpoint, Clint, Dma, IrqLine, Plic, Ram, Sensor,
     TaintDebug, Terminal, Uart, Watchdog,
@@ -43,6 +43,12 @@ pub struct SocConfig {
     /// enabled observability sink is attached — `NullSink` builds compile
     /// the check out.
     pub stop: StopFlag,
+    /// Live retired-step counter published at quantum boundaries (one
+    /// relaxed add per quantum, never per instruction), so external
+    /// samplers — fleet telemetry, a serve-layer scrape endpoint — can
+    /// report progress of a session still mid-run. Share a cell via
+    /// [`SocBuilder::insn_cell`]; the default cell has no other reader.
+    pub insns: InsnCell,
 }
 
 impl Default for SocConfig {
@@ -57,6 +63,7 @@ impl Default for SocConfig {
             sensor_thread: true,
             exec: ExecMode::Interp,
             stop: StopFlag::new(),
+            insns: InsnCell::new(),
         }
     }
 }
@@ -478,6 +485,9 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
                 }
             }
             steps_left -= stepped.min(steps_left);
+            if stepped > 0 {
+                self.config.insns.add(stepped);
+            }
             // Advance simulated time: executed steps + MMIO latency.
             let executed = stepped;
             let elapsed = self.config.insn_time * executed + self.bus.take_mmio_delay();

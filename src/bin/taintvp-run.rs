@@ -3,11 +3,14 @@
 //!
 //! ```text
 //! taintvp-run <program.s> [options]
-//! taintvp-run serve [--tcp addr]
+//! taintvp-run serve [--tcp addr] [--metrics-addr host:port]
 //! taintvp-run client [--script file] [--tcp addr]
 //! taintvp-run fleet [--jobs n] [--workers n] [--seed n] [--rate r]
 //!                   [--deadline-ms n] [--journal file] [--resume]
 //!                   [--out file] [--inject-panic idx] [--inject-hang idx]
+//!                   [--progress] [--telemetry-interval-ms n]
+//!                   [--telemetry-out file] [--metrics-json file]
+//!                   [--metrics-addr host:port] [--metrics-linger-ms n]
 //!
 //!   --policy <file>       textual security policy (see vpdift_core::textpolicy)
 //!   --plain               run on the original VP (no taint tracking)
@@ -51,11 +54,17 @@
 //! sessions are isolated as `crashed`, deadline overruns are killed and
 //! classified `hang`, results stream into a crash-safe `taintvp-fleet/v1`
 //! journal, and the aggregate JSON is byte-identical for any worker count
-//! (docs/FLEET.md).
+//! (docs/FLEET.md). Its telemetry flags (`--progress`,
+//! `--telemetry-out`, `--metrics-addr`, `--metrics-json`; see
+//! docs/OBSERVABILITY.md) attach per-worker counters, a
+//! `taintvp-telem/v1` stream, live progress, and a scrapeable Prometheus
+//! `/metrics` endpoint — all opt-in, costing one pointer check per job
+//! when off.
 //!
 //! The `serve` subcommand starts the live introspection server speaking
 //! the `taintvp-serve/v1` line-JSON protocol (docs/SERVE.md) over stdio,
-//! or over TCP with `--tcp addr`. The `client` subcommand drives a server:
+//! or over TCP with `--tcp addr`; `--metrics-addr` adds a `/metrics`
+//! endpoint with request and per-session counters. The `client` subcommand drives a server:
 //! it sends the request lines from `--script file` (or interactively from
 //! stdin) and prints every server line — spawning a `serve` child over
 //! stdio by default, or connecting to `--tcp addr`.
@@ -661,12 +670,31 @@ struct FleetOptions {
     out: Option<String>,
     inject_panic: Vec<u64>,
     inject_hang: Vec<u64>,
+    telemetry_interval_ms: u64,
+    telemetry_out: Option<String>,
+    metrics_addr: Option<String>,
+    metrics_linger_ms: u64,
+    metrics_json: Option<String>,
+    progress: bool,
+}
+
+impl FleetOptions {
+    /// Whether any telemetry consumer is configured (spawns the hub and
+    /// sampler; off by default so the hot path stays unobserved).
+    fn telemetry_on(&self) -> bool {
+        self.telemetry_out.is_some()
+            || self.metrics_addr.is_some()
+            || self.metrics_json.is_some()
+            || self.progress
+    }
 }
 
 const FLEET_USAGE: &str =
     "usage: taintvp-run fleet [--jobs n] [--workers n] [--seed n] [--rate r] \
      [--deadline-ms n] [--journal file] [--resume] [--out file] \
-     [--inject-panic idx] [--inject-hang idx]";
+     [--inject-panic idx] [--inject-hang idx] [--progress] \
+     [--telemetry-interval-ms n] [--telemetry-out file] [--metrics-json file] \
+     [--metrics-addr host:port] [--metrics-linger-ms n]";
 
 fn parse_fleet_args(args: &[String]) -> Result<FleetOptions, String> {
     let mut opts = FleetOptions {
@@ -680,6 +708,12 @@ fn parse_fleet_args(args: &[String]) -> Result<FleetOptions, String> {
         out: None,
         inject_panic: Vec::new(),
         inject_hang: Vec::new(),
+        telemetry_interval_ms: 500,
+        telemetry_out: None,
+        metrics_addr: None,
+        metrics_linger_ms: 0,
+        metrics_json: None,
+        progress: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -728,6 +762,23 @@ fn parse_fleet_args(args: &[String]) -> Result<FleetOptions, String> {
                 let v = value("--inject-hang")?;
                 opts.inject_hang.push(v.parse().map_err(|_| format!("bad --inject-hang `{v}`"))?);
             }
+            "--telemetry-interval-ms" => {
+                let v = value("--telemetry-interval-ms")?;
+                opts.telemetry_interval_ms =
+                    v.parse().map_err(|_| format!("bad --telemetry-interval-ms `{v}`"))?;
+                if opts.telemetry_interval_ms == 0 {
+                    return Err("--telemetry-interval-ms must be at least 1".into());
+                }
+            }
+            "--telemetry-out" => opts.telemetry_out = Some(value("--telemetry-out")?.to_owned()),
+            "--metrics-addr" => opts.metrics_addr = Some(value("--metrics-addr")?.to_owned()),
+            "--metrics-linger-ms" => {
+                let v = value("--metrics-linger-ms")?;
+                opts.metrics_linger_ms =
+                    v.parse().map_err(|_| format!("bad --metrics-linger-ms `{v}`"))?;
+            }
+            "--metrics-json" => opts.metrics_json = Some(value("--metrics-json")?.to_owned()),
+            "--progress" => opts.progress = true,
             "--help" | "-h" => return Err(FLEET_USAGE.into()),
             other => return Err(format!("unknown fleet option `{other}`\n{FLEET_USAGE}")),
         }
@@ -737,6 +788,9 @@ fn parse_fleet_args(args: &[String]) -> Result<FleetOptions, String> {
     }
     if !opts.inject_hang.is_empty() && opts.deadline_ms == 0 {
         return Err("--inject-hang needs a nonzero --deadline-ms".into());
+    }
+    if opts.metrics_linger_ms > 0 && opts.metrics_addr.is_none() {
+        return Err("--metrics-linger-ms needs --metrics-addr".into());
     }
     Ok(opts)
 }
@@ -755,10 +809,11 @@ fn fleet_main(args: &[String]) -> ExitCode {
     use taintvp::faults::campaign::{faulted_run, reference_run};
     use taintvp::faults::{classify, generate_plan, scenario_json, Outcome, ScenarioKind};
     use taintvp::fleet::{
-        quiet_worker_panics, Fleet, FleetConfig, Job, JobError, JobOutput, JobStatus, Journal,
-        JournalHeader,
+        quiet_worker_panics, spawn_sampler, Fleet, FleetConfig, Job, JobError, JobOutput,
+        JobStatus, Journal, JournalHeader, SamplerConfig, TelemetryHub,
     };
     use taintvp::kernel::SimTime;
+    use taintvp::obs::MetricsServer;
 
     let opts = match parse_fleet_args(args) {
         Ok(o) => o,
@@ -796,6 +851,7 @@ fn fleet_main(args: &[String]) -> ExitCode {
                     let cfg = Soc::<Tainted>::builder()
                         .sensor_thread(false)
                         .stop_flag(ctx.stop.clone())
+                        .insn_cell(ctx.insns.clone())
                         .build();
                     let mut soc = Soc::<Tainted>::new(cfg);
                     soc.load_program(&program);
@@ -826,7 +882,7 @@ fn fleet_main(args: &[String]) -> ExitCode {
                     "{{\"job\":{i},\"seed\":\"0x{seed:016x}\",\"result\":{}}}",
                     scenario_json(&row)
                 );
-                Ok(JobOutput { payload, counts })
+                Ok(JobOutput { payload, counts, insns: run.steps })
             })
         })
         .collect();
@@ -855,13 +911,73 @@ fn fleet_main(args: &[String]) -> ExitCode {
         eprintln!("fleet: resumed {} completed job(s) from journal", recovered.len());
     }
 
+    // Telemetry is opt-in: without any consumer flag no hub exists and
+    // the executor's per-job telemetry guard is a null-pointer check.
+    let hub = opts.telemetry_on().then(|| TelemetryHub::new(opts.workers));
+    if let Some(h) = &hub {
+        h.add_resumed(recovered.len() as u64);
+    }
+    let metrics_server = match (&opts.metrics_addr, &hub) {
+        (Some(addr), Some(h)) => {
+            let render_hub = Arc::clone(h);
+            // Fleet series plus the `obs::metrics` registry (under the
+            // `vp_` prefix) — the fleet aggregates one registry counter
+            // live, retired instructions, same as `--metrics-json`.
+            let render = Arc::new(move || {
+                let mut expo = taintvp::obs::Expo::new();
+                let snap = render_hub.snapshot();
+                snap.render_prom(&mut expo);
+                let registry =
+                    taintvp::obs::Metrics { instructions: snap.insns, ..Default::default() };
+                taintvp::obs::expo::render_metrics(&mut expo, "vp", &[], &registry);
+                expo.finish()
+            });
+            match MetricsServer::bind(addr, render) {
+                Ok(server) => {
+                    eprintln!("fleet: metrics endpoint on http://{}/metrics", server.local_addr());
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+        _ => None,
+    };
+    let sampler = match &hub {
+        Some(h) => {
+            let config = SamplerConfig {
+                interval: Duration::from_millis(opts.telemetry_interval_ms),
+                out: opts.telemetry_out.as_ref().map(std::path::PathBuf::from),
+                progress: true,
+            };
+            match spawn_sampler(Arc::clone(h), config) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("error: cannot start telemetry sampler: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+        None => None,
+    };
+
     let skip: Vec<u64> = recovered.iter().map(|r| r.job_id).collect();
     let fleet_config = FleetConfig {
         workers: opts.workers,
         deadline: (opts.deadline_ms > 0).then(|| Duration::from_millis(opts.deadline_ms)),
+        telemetry: hub.clone(),
         ..FleetConfig::default()
     };
     let fresh = Fleet::new(fleet_config).run(jobs, journal.as_mut(), &skip);
+    if let Some(s) = sampler {
+        // The run marked the hub done; the sampler emits its final
+        // snapshot and exits. A stream-write failure is diagnostic only.
+        if let Err(e) = s.finish() {
+            eprintln!("fleet: warning: telemetry stream write failed: {e}");
+        }
+    }
 
     let mut results = recovered;
     results.extend(fresh);
@@ -932,6 +1048,42 @@ fn fleet_main(args: &[String]) -> ExitCode {
         }
         None => print!("{out}"),
     }
+
+    // `taintvp-metrics/v1` with the fleet extension: outcome-class
+    // counts plus the per-worker telemetry snapshot (timing-free).
+    if let (Some(path), Some(h)) = (&opts.metrics_json, &hub) {
+        let snap = h.snapshot();
+        let mut outcome_cells: Vec<String> = Outcome::ALL
+            .iter()
+            .map(|o| format!("\"{}\":{}", o.label(), summary[o.index()]))
+            .collect();
+        // Job-level failure classes are prefixed so they cannot collide
+        // with classification labels (`hang` exists in both namespaces).
+        for (label, n) in
+            [("job_crashed", failed[0]), ("job_hang", failed[1]), ("job_error", failed[2])]
+        {
+            outcome_cells.push(format!("\"{label}\":{n}"));
+        }
+        let fleet_block = format!(
+            "{{\"outcomes\":{{{}}},\"telemetry\":{}}}",
+            outcome_cells.join(","),
+            snap.deterministic_json()
+        );
+        let registry =
+            taintvp::obs::Metrics { instructions: snap.insns, ..taintvp::obs::Metrics::default() };
+        let write = std::fs::File::create(path).and_then(|f| {
+            taintvp::obs::export::write_metrics_json_ext(
+                std::io::BufWriter::new(f),
+                &registry,
+                &[("fleet", &fleet_block)],
+            )
+        });
+        if let Err(e) = write {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!("fleet: metrics JSON written to {path}");
+    }
     for r in &results {
         if r.status != JobStatus::Ok {
             eprintln!(
@@ -950,17 +1102,32 @@ fn fleet_main(args: &[String]) -> ExitCode {
         failed[1],
         failed[2]
     );
-    if summary[Outcome::Sdc.index()] > 0 {
+    let exit = if summary[Outcome::Sdc.index()] > 0 {
         eprintln!("fleet: FAIL — silent data corruption observed");
-        return ExitCode::from(2);
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    };
+    if let Some(server) = metrics_server {
+        // Keep the endpoint up for post-run scrapes (CI asserts final
+        // counters against the journal) before tearing it down.
+        if opts.metrics_linger_ms > 0 {
+            eprintln!(
+                "fleet: metrics endpoint lingering {}ms for final scrapes",
+                opts.metrics_linger_ms
+            );
+            std::thread::sleep(Duration::from_millis(opts.metrics_linger_ms));
+        }
+        server.shutdown();
     }
-    ExitCode::SUCCESS
+    exit
 }
 
 /// `taintvp-run serve [--tcp addr]` — the live introspection server over
 /// stdio (default) or TCP.
 fn serve_main(args: &[String]) -> ExitCode {
     let mut tcp = None;
+    let mut metrics_addr = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -972,6 +1139,14 @@ fn serve_main(args: &[String]) -> ExitCode {
                 tcp = Some(addr.clone());
                 i += 2;
             }
+            "--metrics-addr" => {
+                let Some(addr) = args.get(i + 1) else {
+                    eprintln!("error: --metrics-addr needs an address");
+                    return ExitCode::from(1);
+                };
+                metrics_addr = Some(addr.clone());
+                i += 2;
+            }
             other => {
                 eprintln!("error: unknown serve option `{other}`");
                 return ExitCode::from(1);
@@ -979,6 +1154,25 @@ fn serve_main(args: &[String]) -> ExitCode {
         }
     }
     let mut server = taintvp::serve::Server::new();
+    let mut metrics_server = None;
+    if let Some(addr) = metrics_addr {
+        let metrics = std::sync::Arc::new(taintvp::serve::ServeMetrics::new());
+        let render_hub = std::sync::Arc::clone(&metrics);
+        match taintvp::obs::MetricsServer::bind(
+            &addr,
+            std::sync::Arc::new(move || render_hub.render()),
+        ) {
+            Ok(ms) => {
+                eprintln!("taintvp-serve metrics endpoint on http://{}/metrics", ms.local_addr());
+                metrics_server = Some(ms);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(1);
+            }
+        }
+        server = server.with_metrics(metrics);
+    }
     let result = match tcp {
         Some(addr) => server.serve_tcp(&addr),
         None => {
@@ -987,6 +1181,9 @@ fn serve_main(args: &[String]) -> ExitCode {
             server.serve(stdin.lock(), stdout.lock())
         }
     };
+    if let Some(ms) = metrics_server {
+        ms.shutdown();
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
