@@ -11,7 +11,7 @@
 use core::fmt;
 use std::collections::HashMap;
 
-use crate::insn::{AluOp, BranchCond, CsrOp, CsrSrc, Insn, LoadWidth, MulOp, StoreWidth};
+use crate::insn::{AluOp, AmoOp, BranchCond, CsrOp, CsrSrc, Insn, LoadWidth, MulOp, StoreWidth};
 use crate::reg::Reg;
 
 /// Errors reported by [`Asm::assemble`].
@@ -76,6 +76,21 @@ pub struct Program {
 }
 
 impl Program {
+    /// Builds a program directly from its parts — the path taken by
+    /// loaders (e.g. the ELF32 parser in `vpdift-loader`) that obtain an
+    /// image from outside the assembler. `insn_count` is estimated as one
+    /// instruction per word; external images do not distinguish code from
+    /// data.
+    pub fn from_parts(
+        base: u32,
+        entry: u32,
+        image: Vec<u8>,
+        symbols: HashMap<String, u32>,
+    ) -> Self {
+        let insn_count = image.len() / 4;
+        Program { base, entry, image, symbols, insn_count }
+    }
+
     /// Load address of the first image byte.
     pub fn base(&self) -> u32 {
         self.base
@@ -531,6 +546,68 @@ impl Asm {
     /// Emits `fence`.
     pub fn fence(&mut self) -> &mut Self {
         self.emit(Insn::Fence)
+    }
+
+    // ----- A extension --------------------------------------------------
+
+    /// Emits `lr.w rd, (rs1)`.
+    pub fn lr_w(&mut self, rd: Reg, rs1: Reg) -> &mut Self {
+        self.emit(Insn::Lr { rd, rs1 })
+    }
+
+    /// Emits `sc.w rd, rs2, (rs1)`.
+    pub fn sc_w(&mut self, rd: Reg, rs2: Reg, rs1: Reg) -> &mut Self {
+        self.emit(Insn::Sc { rd, rs2, rs1 })
+    }
+
+    /// Emits `amo<op>.w rd, rs2, (rs1)`.
+    pub fn amo_w(&mut self, op: AmoOp, rd: Reg, rs2: Reg, rs1: Reg) -> &mut Self {
+        self.emit(Insn::Amo { op, rd, rs2, rs1 })
+    }
+
+    /// Emits `amoswap.w rd, rs2, (rs1)`.
+    pub fn amoswap_w(&mut self, rd: Reg, rs2: Reg, rs1: Reg) -> &mut Self {
+        self.amo_w(AmoOp::Swap, rd, rs2, rs1)
+    }
+
+    /// Emits `amoadd.w rd, rs2, (rs1)`.
+    pub fn amoadd_w(&mut self, rd: Reg, rs2: Reg, rs1: Reg) -> &mut Self {
+        self.amo_w(AmoOp::Add, rd, rs2, rs1)
+    }
+
+    /// Emits `amoxor.w rd, rs2, (rs1)`.
+    pub fn amoxor_w(&mut self, rd: Reg, rs2: Reg, rs1: Reg) -> &mut Self {
+        self.amo_w(AmoOp::Xor, rd, rs2, rs1)
+    }
+
+    /// Emits `amoand.w rd, rs2, (rs1)`.
+    pub fn amoand_w(&mut self, rd: Reg, rs2: Reg, rs1: Reg) -> &mut Self {
+        self.amo_w(AmoOp::And, rd, rs2, rs1)
+    }
+
+    /// Emits `amoor.w rd, rs2, (rs1)`.
+    pub fn amoor_w(&mut self, rd: Reg, rs2: Reg, rs1: Reg) -> &mut Self {
+        self.amo_w(AmoOp::Or, rd, rs2, rs1)
+    }
+
+    /// Emits `amomin.w rd, rs2, (rs1)`.
+    pub fn amomin_w(&mut self, rd: Reg, rs2: Reg, rs1: Reg) -> &mut Self {
+        self.amo_w(AmoOp::Min, rd, rs2, rs1)
+    }
+
+    /// Emits `amomax.w rd, rs2, (rs1)`.
+    pub fn amomax_w(&mut self, rd: Reg, rs2: Reg, rs1: Reg) -> &mut Self {
+        self.amo_w(AmoOp::Max, rd, rs2, rs1)
+    }
+
+    /// Emits `amominu.w rd, rs2, (rs1)`.
+    pub fn amominu_w(&mut self, rd: Reg, rs2: Reg, rs1: Reg) -> &mut Self {
+        self.amo_w(AmoOp::Minu, rd, rs2, rs1)
+    }
+
+    /// Emits `amomaxu.w rd, rs2, (rs1)`.
+    pub fn amomaxu_w(&mut self, rd: Reg, rs2: Reg, rs1: Reg) -> &mut Self {
+        self.amo_w(AmoOp::Maxu, rd, rs2, rs1)
     }
 
     // ----- pseudo-instructions ------------------------------------------

@@ -1,0 +1,187 @@
+//! ELF32 emission: serialise an assembled [`Program`] into a minimal but
+//! standard-conforming ELF executable.
+//!
+//! With no offline RISC-V toolchain in this environment (see DESIGN.md),
+//! the assembler itself doubles as the producer of "external binaries":
+//! `Program::to_elf` emits a little-endian `ET_EXEC` image with one
+//! `PT_LOAD` segment covering the flat image, plus `.symtab`/`.strtab`
+//! sections carrying every label so the profiler can attribute samples by
+//! name after a load/parse round trip. The `vpdift-loader` crate is the
+//! matching consumer; the conformance harness runs every self-checking
+//! program through emit → parse → execute to pin the two ends together.
+
+use crate::builder::{Asm, AsmError, Program};
+
+const EHDR_SIZE: u32 = 52;
+const PHDR_SIZE: u32 = 32;
+const SHDR_SIZE: u32 = 40;
+
+/// Section-name string table, with each name's offset hard-wired below.
+const SHSTRTAB: &[u8] = b"\0.text\0.symtab\0.strtab\0.shstrtab\0";
+const NAME_TEXT: u32 = 1;
+const NAME_SYMTAB: u32 = 7;
+const NAME_STRTAB: u32 = 15;
+const NAME_SHSTRTAB: u32 = 23;
+
+fn push_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn pad_to_4(out: &mut Vec<u8>) {
+    while !out.len().is_multiple_of(4) {
+        out.push(0);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_shdr(
+    out: &mut Vec<u8>,
+    name: u32,
+    sh_type: u32,
+    flags: u32,
+    addr: u32,
+    offset: u32,
+    size: u32,
+    link: u32,
+    info: u32,
+    addralign: u32,
+    entsize: u32,
+) {
+    for v in [name, sh_type, flags, addr, offset, size, link, info, addralign, entsize] {
+        push_u32(out, v);
+    }
+}
+
+impl Program {
+    /// Serialises the program as an ELF32 little-endian RISC-V executable:
+    /// one `PT_LOAD` segment at [`Program::base`], entry at
+    /// [`Program::entry`], and all labels exported as global function
+    /// symbols.
+    pub fn to_elf(&self) -> Vec<u8> {
+        let image_off = EHDR_SIZE + PHDR_SIZE; // 84
+        let image_len = self.image().len() as u32;
+
+        // Build .strtab and the symbol entries together (sorted by
+        // address so the output is deterministic).
+        let mut strtab: Vec<u8> = vec![0];
+        let mut syms: Vec<u8> = vec![0; 16]; // index 0: the null symbol
+        for (addr, name) in self.symbols_by_addr() {
+            let name_off = strtab.len() as u32;
+            strtab.extend_from_slice(name.as_bytes());
+            strtab.push(0);
+            push_u32(&mut syms, name_off); // st_name
+            push_u32(&mut syms, addr); // st_value
+            push_u32(&mut syms, 0); // st_size
+            syms.push(0x12); // st_info: GLOBAL | FUNC
+            syms.push(0); // st_other
+            push_u16(&mut syms, 1); // st_shndx: .text
+        }
+
+        let mut out = Vec::with_capacity(
+            (image_off + image_len) as usize + syms.len() + strtab.len() + SHSTRTAB.len() + 256,
+        );
+
+        // ELF header.
+        out.extend_from_slice(&[0x7F, b'E', b'L', b'F', 1, 1, 1, 0]);
+        out.extend_from_slice(&[0; 8]); // EI_PAD
+        push_u16(&mut out, 2); // e_type: ET_EXEC
+        push_u16(&mut out, 0xF3); // e_machine: RISC-V
+        push_u32(&mut out, 1); // e_version
+        push_u32(&mut out, self.entry()); // e_entry
+        push_u32(&mut out, EHDR_SIZE); // e_phoff
+        let shoff_at = out.len();
+        push_u32(&mut out, 0); // e_shoff (patched below)
+        push_u32(&mut out, 0); // e_flags
+        push_u16(&mut out, EHDR_SIZE as u16); // e_ehsize
+        push_u16(&mut out, PHDR_SIZE as u16); // e_phentsize
+        push_u16(&mut out, 1); // e_phnum
+        push_u16(&mut out, SHDR_SIZE as u16); // e_shentsize
+        push_u16(&mut out, 5); // e_shnum
+        push_u16(&mut out, 4); // e_shstrndx
+
+        // Program header: the whole image, RWX (flat RAM, no MMU).
+        push_u32(&mut out, 1); // p_type: PT_LOAD
+        push_u32(&mut out, image_off); // p_offset
+        push_u32(&mut out, self.base()); // p_vaddr
+        push_u32(&mut out, self.base()); // p_paddr
+        push_u32(&mut out, image_len); // p_filesz
+        push_u32(&mut out, image_len); // p_memsz
+        push_u32(&mut out, 7); // p_flags: RWX
+        push_u32(&mut out, 4); // p_align
+
+        debug_assert_eq!(out.len() as u32, image_off);
+        out.extend_from_slice(self.image());
+
+        pad_to_4(&mut out);
+        let symtab_off = out.len() as u32;
+        out.extend_from_slice(&syms);
+        let strtab_off = out.len() as u32;
+        out.extend_from_slice(&strtab);
+        let shstrtab_off = out.len() as u32;
+        out.extend_from_slice(SHSTRTAB);
+        pad_to_4(&mut out);
+
+        let shoff = out.len() as u32;
+        out[shoff_at..shoff_at + 4].copy_from_slice(&shoff.to_le_bytes());
+        push_shdr(&mut out, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0); // SHN_UNDEF
+        push_shdr(&mut out, NAME_TEXT, 1, 0x6, self.base(), image_off, image_len, 0, 0, 4, 0);
+        push_shdr(&mut out, NAME_SYMTAB, 2, 0, 0, symtab_off, syms.len() as u32, 3, 1, 4, 16);
+        push_shdr(&mut out, NAME_STRTAB, 3, 0, 0, strtab_off, strtab.len() as u32, 0, 0, 1, 0);
+        push_shdr(
+            &mut out,
+            NAME_SHSTRTAB,
+            3,
+            0,
+            0,
+            shstrtab_off,
+            SHSTRTAB.len() as u32,
+            0,
+            0,
+            1,
+            0,
+        );
+        out
+    }
+}
+
+impl Asm {
+    /// Assembles and serialises in one step: `a.to_elf()?` is
+    /// `a.assemble()?.to_elf()`.
+    ///
+    /// # Errors
+    /// Any [`AsmError`] from assembly.
+    pub fn to_elf(self) -> Result<Vec<u8>, AsmError> {
+        Ok(self.assemble()?.to_elf())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    #[test]
+    fn elf_header_is_well_formed() {
+        let mut a = Asm::new(0x100);
+        a.label("main");
+        a.li(Reg::A0, 42);
+        a.ebreak();
+        let elf = a.to_elf().unwrap();
+        assert_eq!(&elf[..4], &[0x7F, b'E', b'L', b'F']);
+        assert_eq!(elf[4], 1); // 32-bit
+        assert_eq!(elf[5], 1); // little-endian
+        assert_eq!(u16::from_le_bytes([elf[16], elf[17]]), 2); // ET_EXEC
+        assert_eq!(u16::from_le_bytes([elf[18], elf[19]]), 0xF3); // RISC-V
+        assert_eq!(u32::from_le_bytes([elf[24], elf[25], elf[26], elf[27]]), 0x100);
+        // The PT_LOAD payload is the raw image.
+        let p_offset = u32::from_le_bytes([elf[56], elf[57], elf[58], elf[59]]) as usize;
+        let p_filesz = u32::from_le_bytes([elf[68], elf[69], elf[70], elf[71]]) as usize;
+        assert_eq!(p_filesz, 12); // li = 2 insns, ebreak = 1
+        let word = u32::from_le_bytes(elf[p_offset..p_offset + 4].try_into().unwrap());
+        assert!(crate::insn::Insn::decode(word).is_ok());
+    }
+}

@@ -256,6 +256,118 @@ impl MulOp {
     }
 }
 
+/// A-extension atomic read-modify-write operation (the `amo*.w` family;
+/// LR/SC are separate [`Insn`] variants).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum AmoOp {
+    Swap,
+    Add,
+    Xor,
+    And,
+    Or,
+    Min,
+    Max,
+    Minu,
+    Maxu,
+}
+
+impl AmoOp {
+    /// All nine AMO operations, in funct5 order.
+    pub const ALL: [AmoOp; 9] = [
+        AmoOp::Add,
+        AmoOp::Swap,
+        AmoOp::Xor,
+        AmoOp::Or,
+        AmoOp::And,
+        AmoOp::Min,
+        AmoOp::Max,
+        AmoOp::Minu,
+        AmoOp::Maxu,
+    ];
+
+    const fn funct5(self) -> u32 {
+        match self {
+            AmoOp::Add => 0b00000,
+            AmoOp::Swap => 0b00001,
+            AmoOp::Xor => 0b00100,
+            AmoOp::Or => 0b01000,
+            AmoOp::And => 0b01100,
+            AmoOp::Min => 0b10000,
+            AmoOp::Max => 0b10100,
+            AmoOp::Minu => 0b11000,
+            AmoOp::Maxu => 0b11100,
+        }
+    }
+    fn from_funct5(f: u32) -> Option<Self> {
+        Some(match f {
+            0b00000 => AmoOp::Add,
+            0b00001 => AmoOp::Swap,
+            0b00100 => AmoOp::Xor,
+            0b01000 => AmoOp::Or,
+            0b01100 => AmoOp::And,
+            0b10000 => AmoOp::Min,
+            0b10100 => AmoOp::Max,
+            0b11000 => AmoOp::Minu,
+            0b11100 => AmoOp::Maxu,
+            _ => return None,
+        })
+    }
+    const fn mnemonic(self) -> &'static str {
+        match self {
+            AmoOp::Swap => "amoswap.w",
+            AmoOp::Add => "amoadd.w",
+            AmoOp::Xor => "amoxor.w",
+            AmoOp::And => "amoand.w",
+            AmoOp::Or => "amoor.w",
+            AmoOp::Min => "amomin.w",
+            AmoOp::Max => "amomax.w",
+            AmoOp::Minu => "amominu.w",
+            AmoOp::Maxu => "amomaxu.w",
+        }
+    }
+    /// Applies the operation to (loaded value, rs2 value), returning the
+    /// value written back to memory. Min/Max are signed, Minu/Maxu
+    /// unsigned, per the RISC-V A extension.
+    pub const fn apply(self, loaded: u32, rs2: u32) -> u32 {
+        match self {
+            AmoOp::Swap => rs2,
+            AmoOp::Add => loaded.wrapping_add(rs2),
+            AmoOp::Xor => loaded ^ rs2,
+            AmoOp::And => loaded & rs2,
+            AmoOp::Or => loaded | rs2,
+            AmoOp::Min => {
+                if (loaded as i32) < (rs2 as i32) {
+                    loaded
+                } else {
+                    rs2
+                }
+            }
+            AmoOp::Max => {
+                if (loaded as i32) > (rs2 as i32) {
+                    loaded
+                } else {
+                    rs2
+                }
+            }
+            AmoOp::Minu => {
+                if loaded < rs2 {
+                    loaded
+                } else {
+                    rs2
+                }
+            }
+            AmoOp::Maxu => {
+                if loaded > rs2 {
+                    loaded
+                } else {
+                    rs2
+                }
+            }
+        }
+    }
+}
+
 /// Zicsr operation.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 #[allow(missing_docs)]
@@ -408,6 +520,40 @@ pub enum Insn {
         /// Source operand (register or 5-bit immediate).
         src: CsrSrc,
     },
+    /// `lr.w rd, (rs1)` — load-reserved word: loads the word at `rs1` and
+    /// registers a reservation on that address. Acquire/release bits are
+    /// accepted on decode but carry no semantics in this sequentially
+    /// consistent VP (encode always emits aq=rl=0).
+    Lr {
+        /// Destination for the loaded word.
+        rd: Reg,
+        /// Address register (no offset in the A extension).
+        rs1: Reg,
+    },
+    /// `sc.w rd, rs2, (rs1)` — store-conditional word: stores `rs2` at
+    /// `rs1` iff a reservation from a prior `lr.w` on the same address is
+    /// still valid; `rd` receives 0 on success, 1 on failure.
+    Sc {
+        /// Destination for the success code (0 = stored, 1 = failed).
+        rd: Reg,
+        /// Value stored on success.
+        rs2: Reg,
+        /// Address register.
+        rs1: Reg,
+    },
+    /// `amo<op>.w rd, rs2, (rs1)` — atomic read-modify-write: loads the
+    /// word at `rs1` into `rd`, applies [`AmoOp::apply`] to (loaded,
+    /// `rs2`) and stores the result back.
+    Amo {
+        /// The read-modify-write operation.
+        op: AmoOp,
+        /// Destination for the *original* memory value.
+        rd: Reg,
+        /// Right-hand operand of the operation.
+        rs2: Reg,
+        /// Address register.
+        rs1: Reg,
+    },
     /// `fence` (a no-op in this sequentially consistent VP).
     Fence,
     /// `fence.i` instruction-stream fence.
@@ -449,7 +595,13 @@ const OPC_STORE: u32 = 0b0100011;
 const OPC_OP_IMM: u32 = 0b0010011;
 const OPC_OP: u32 = 0b0110011;
 const OPC_MISC_MEM: u32 = 0b0001111;
+const OPC_AMO: u32 = 0b0101111;
 const OPC_SYSTEM: u32 = 0b1110011;
+
+/// funct5 values of LR/SC within the AMO opcode space (the nine
+/// read-modify-write funct5s live in [`AmoOp`]).
+const AMO_F5_LR: u32 = 0b00010;
+const AMO_F5_SC: u32 = 0b00011;
 
 fn enc_r(funct7: u32, rs2: u32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
     (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
@@ -580,6 +732,13 @@ impl Insn {
                 assert!(field < 32, "CSR immediate out of range");
                 ((csr as u32) << 20) | (field << 15) | (funct3 << 12) | (rd.num() << 7) | OPC_SYSTEM
             }
+            Insn::Lr { rd, rs1 } => enc_r(AMO_F5_LR << 2, 0, rs1.num(), 0b010, rd.num(), OPC_AMO),
+            Insn::Sc { rd, rs2, rs1 } => {
+                enc_r(AMO_F5_SC << 2, rs2.num(), rs1.num(), 0b010, rd.num(), OPC_AMO)
+            }
+            Insn::Amo { op, rd, rs2, rs1 } => {
+                enc_r(op.funct5() << 2, rs2.num(), rs1.num(), 0b010, rd.num(), OPC_AMO)
+            }
             Insn::Fence => 0x0FF0_000F,
             Insn::FenceI => 0x0000_100F,
             Insn::Ecall => 0x0000_0073,
@@ -660,6 +819,17 @@ impl Insn {
                 0b001 => Insn::FenceI,
                 _ => return ill,
             },
+            // A extension: funct5 in [31:27]; aq/rl in [26:25] are accepted
+            // and discarded (ordering is vacuous in this sequential VP).
+            OPC_AMO if funct3 == 0b010 => match funct7 >> 2 {
+                AMO_F5_LR if rs2 == Reg::Zero => Insn::Lr { rd, rs1 },
+                AMO_F5_LR => return ill,
+                AMO_F5_SC => Insn::Sc { rd, rs2, rs1 },
+                f5 => match AmoOp::from_funct5(f5) {
+                    Some(op) => Insn::Amo { op, rd, rs2, rs1 },
+                    None => return ill,
+                },
+            },
             OPC_SYSTEM => match funct3 {
                 0b000 => match word {
                     0x0000_0073 => Insn::Ecall,
@@ -729,6 +899,11 @@ impl fmt::Display for Insn {
                 CsrSrc::Reg(r) => write!(f, "{} {rd}, {csr:#x}, {r}", op.mnemonic(false)),
                 CsrSrc::Imm(i) => write!(f, "{} {rd}, {csr:#x}, {i}", op.mnemonic(true)),
             },
+            Insn::Lr { rd, rs1 } => write!(f, "lr.w {rd}, ({rs1})"),
+            Insn::Sc { rd, rs2, rs1 } => write!(f, "sc.w {rd}, {rs2}, ({rs1})"),
+            Insn::Amo { op, rd, rs2, rs1 } => {
+                write!(f, "{} {rd}, {rs2}, ({rs1})", op.mnemonic())
+            }
             Insn::Fence => write!(f, "fence"),
             Insn::FenceI => write!(f, "fence.i"),
             Insn::Ecall => write!(f, "ecall"),
@@ -803,6 +978,70 @@ mod tests {
     }
 
     #[test]
+    fn amo_golden_encodings() {
+        // Cross-checked against the RISC-V A-extension encoding table
+        // (funct5 in [31:27], aq=rl=0, funct3=010, opcode 0101111).
+        assert_eq!(Insn::Lr { rd: Reg::A0, rs1: Reg::A1 }.encode(), 0x1005_A52F);
+        assert_eq!(Insn::Sc { rd: Reg::A0, rs2: Reg::A2, rs1: Reg::A1 }.encode(), 0x18C5_A52F);
+        let amo = |op| Insn::Amo { op, rd: Reg::A0, rs2: Reg::A2, rs1: Reg::A1 }.encode();
+        assert_eq!(amo(AmoOp::Add), 0x00C5_A52F);
+        assert_eq!(amo(AmoOp::Swap), 0x08C5_A52F);
+        assert_eq!(amo(AmoOp::Xor), 0x20C5_A52F);
+        assert_eq!(amo(AmoOp::Or), 0x40C5_A52F);
+        assert_eq!(amo(AmoOp::And), 0x60C5_A52F);
+        assert_eq!(amo(AmoOp::Min), 0x80C5_A52F);
+        assert_eq!(amo(AmoOp::Max), 0xA0C5_A52F);
+        assert_eq!(amo(AmoOp::Minu), 0xC0C5_A52F);
+        assert_eq!(amo(AmoOp::Maxu), 0xE0C5_A52F);
+    }
+
+    #[test]
+    fn amo_aq_rl_bits_accepted_and_canonicalised() {
+        // lr.w.aqrl a0, (a1): same as the golden with aq=rl=1.
+        let word = 0x1005_A52F | (0b11 << 25);
+        let insn = Insn::decode(word).unwrap();
+        assert_eq!(insn, Insn::Lr { rd: Reg::A0, rs1: Reg::A1 });
+        // Re-encode canonicalises the ordering bits away.
+        assert_eq!(insn.encode(), 0x1005_A52F);
+    }
+
+    #[test]
+    fn amo_illegal_forms_rejected() {
+        // lr.w with rs2 != x0 is reserved.
+        assert!(Insn::decode(0x10C5_A52F).is_err());
+        // Unassigned funct5 (0b00110).
+        assert!(Insn::decode(0x30C5_A52F).is_err());
+        // AMO opcode with funct3 != 010 (e.g. 011 = RV64 amoadd.d).
+        assert!(Insn::decode(0x00C5_B52F).is_err());
+    }
+
+    #[test]
+    fn amo_display() {
+        assert_eq!(Insn::Lr { rd: Reg::A0, rs1: Reg::A1 }.to_string(), "lr.w a0, (a1)");
+        assert_eq!(
+            Insn::Sc { rd: Reg::A0, rs2: Reg::A2, rs1: Reg::A1 }.to_string(),
+            "sc.w a0, a2, (a1)"
+        );
+        assert_eq!(
+            Insn::Amo { op: AmoOp::Maxu, rd: Reg::T0, rs2: Reg::T1, rs1: Reg::T2 }.to_string(),
+            "amomaxu.w t0, t1, (t2)"
+        );
+    }
+
+    #[test]
+    fn amo_apply_semantics() {
+        assert_eq!(AmoOp::Swap.apply(5, 9), 9);
+        assert_eq!(AmoOp::Add.apply(u32::MAX, 2), 1);
+        assert_eq!(AmoOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AmoOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AmoOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AmoOp::Min.apply(-3i32 as u32, 2), -3i32 as u32);
+        assert_eq!(AmoOp::Max.apply(-3i32 as u32, 2), 2);
+        assert_eq!(AmoOp::Minu.apply(-3i32 as u32, 2), 2);
+        assert_eq!(AmoOp::Maxu.apply(-3i32 as u32, 2), -3i32 as u32);
+    }
+
+    #[test]
     fn decode_round_trips_goldens() {
         for word in [
             0x0015_0513u32,
@@ -823,6 +1062,10 @@ mod tests {
             0x1050_0073,
             0x0FF0_000F,
             0x0000_100F,
+            0x1005_A52F, // lr.w a0, (a1)
+            0x18C5_A52F, // sc.w a0, a2, (a1)
+            0x00C5_A52F, // amoadd.w a0, a2, (a1)
+            0xE0C5_A52F, // amomaxu.w a0, a2, (a1)
         ] {
             let insn = Insn::decode(word).unwrap_or_else(|e| panic!("{e}"));
             assert_eq!(insn.encode(), word, "{insn}");

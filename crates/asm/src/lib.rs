@@ -30,12 +30,15 @@
 mod builder;
 pub mod compressed;
 pub mod csr;
+mod elf;
 mod insn;
 mod parse;
 mod reg;
 
 pub use builder::{split_hi_lo, Asm, AsmError, Program};
 pub use compressed::{decompress, is_compressed};
-pub use insn::{AluOp, BranchCond, CsrOp, CsrSrc, DecodeError, Insn, LoadWidth, MulOp, StoreWidth};
+pub use insn::{
+    AluOp, AmoOp, BranchCond, CsrOp, CsrSrc, DecodeError, Insn, LoadWidth, MulOp, StoreWidth,
+};
 pub use parse::{parse_asm, ParseError};
 pub use reg::Reg;

@@ -2,7 +2,9 @@
 //! decodes back to itself, and decode never panics on arbitrary words.
 
 use proptest::prelude::*;
-use vpdift_asm::{AluOp, BranchCond, CsrOp, CsrSrc, Insn, LoadWidth, MulOp, Reg, StoreWidth};
+use vpdift_asm::{
+    AluOp, AmoOp, BranchCond, CsrOp, CsrSrc, Insn, LoadWidth, MulOp, Reg, StoreWidth,
+};
 
 fn reg() -> impl Strategy<Value = Reg> {
     (0u32..32).prop_map(|n| Reg::from_num(n).unwrap())
@@ -111,6 +113,25 @@ fn insn() -> impl Strategy<Value = Insn> {
             prop_oneof![reg().prop_map(CsrSrc::Reg), (0u8..32).prop_map(CsrSrc::Imm)]
         )
             .prop_map(|(op, rd, csr, src)| Insn::Csr { op, rd, csr, src }),
+        (reg(), reg()).prop_map(|(rd, rs1)| Insn::Lr { rd, rs1 }),
+        (reg(), reg(), reg()).prop_map(|(rd, rs2, rs1)| Insn::Sc { rd, rs2, rs1 }),
+        (
+            prop_oneof![
+                Just(AmoOp::Swap),
+                Just(AmoOp::Add),
+                Just(AmoOp::Xor),
+                Just(AmoOp::And),
+                Just(AmoOp::Or),
+                Just(AmoOp::Min),
+                Just(AmoOp::Max),
+                Just(AmoOp::Minu),
+                Just(AmoOp::Maxu)
+            ],
+            reg(),
+            reg(),
+            reg()
+        )
+            .prop_map(|(op, rd, rs2, rs1)| Insn::Amo { op, rd, rs2, rs1 }),
         Just(Insn::Fence),
         Just(Insn::FenceI),
         Just(Insn::Ecall),

@@ -1,0 +1,481 @@
+//! ELF32 loader for the virtual prototype.
+//!
+//! The paper's flow runs *real embedded binaries* on the VP: firmware is
+//! cross-compiled, the ELF is loaded into the prototype's RAM, and DIFT
+//! runs against the unmodified image. This crate is the loading half of
+//! that flow — a hand-rolled, allocation-bounded ELF32 little-endian
+//! parser with no external dependencies:
+//!
+//! * [`Elf32::parse`] validates the identification header (32-bit,
+//!   little-endian, RISC-V, executable), collects every `PT_LOAD`
+//!   program-header segment with its backing bytes, and — when present —
+//!   decodes `.symtab`/`.strtab` into `(address, name)` pairs that feed
+//!   the profiler's symbol map directly, so `--profile` and `--explain`
+//!   attribute samples in an external binary by function name.
+//! * Every read is bounds-checked and every failure is a typed
+//!   [`LoaderError`]; the parser never panics and never allocates more
+//!   than [`MAX_IMAGE_BYTES`] for segment payloads, whatever the input
+//!   claims. This is fuzzed in `tests/fuzz.rs`.
+//! * [`Elf32::to_program`] flattens the segments into the assembler's
+//!   [`Program`] form (base + contiguous image + symbols), which the SoC
+//!   already knows how to load — BSS gaps are zero-filled exactly as a
+//!   `memsz > filesz` segment requires.
+//!
+//! The emission half lives in `vpdift-asm` (`Program::to_elf`), giving a
+//! byte round-trip that the conformance harness leans on: assemble →
+//! emit ELF → parse ELF → run.
+
+use core::fmt;
+use std::collections::HashMap;
+
+use vpdift_asm::Program;
+
+/// The four ELF magic bytes.
+pub const ELF_MAGIC: [u8; 4] = [0x7F, b'E', b'L', b'F'];
+
+/// `e_machine` for RISC-V.
+pub const EM_RISCV: u16 = 0xF3;
+
+/// `e_type` for an executable image.
+pub const ET_EXEC: u16 = 2;
+
+/// `p_type` of a loadable segment.
+pub const PT_LOAD: u32 = 1;
+
+/// `sh_type` of a symbol table.
+pub const SHT_SYMTAB: u32 = 2;
+
+/// `sh_type` of a string table.
+pub const SHT_STRTAB: u32 = 3;
+
+/// Ceiling on the flattened image extent (and on per-parse payload
+/// allocation): a hostile header cannot make the loader reserve more than
+/// this, no matter what `p_memsz` claims. 64 MiB is far beyond any RAM
+/// size the SoC map supports.
+pub const MAX_IMAGE_BYTES: u64 = 64 * 1024 * 1024;
+
+const EHDR_SIZE: usize = 52;
+const PHDR_SIZE: usize = 32;
+const SHDR_SIZE: usize = 40;
+const SYM_SIZE: usize = 16;
+
+/// `st_info & 0xf` values filtered out of the symbol list (section and
+/// file pseudo-symbols carry no profiling value).
+const STT_SECTION: u8 = 3;
+const STT_FILE: u8 = 4;
+
+/// `true` iff `bytes` starts with the ELF magic — the CLI's front-end
+/// switch between "assembly source" and "binary image".
+pub fn is_elf(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[..4] == ELF_MAGIC
+}
+
+/// Why an ELF image was rejected. Every variant names the offending
+/// field; none of them aborts the process — malformed input is data, not
+/// a bug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoaderError {
+    /// The file ends before a structure it declares (header, program
+    /// header, section header, symbol, or segment payload).
+    Truncated {
+        /// What was being read.
+        what: &'static str,
+        /// Bytes required.
+        need: u64,
+        /// Bytes available.
+        have: u64,
+    },
+    /// The first four bytes are not `\x7fELF`.
+    BadMagic,
+    /// `EI_CLASS` is not `ELFCLASS32`.
+    UnsupportedClass(u8),
+    /// `EI_DATA` is not `ELFDATA2LSB`.
+    UnsupportedEndianness(u8),
+    /// `e_machine` is not RISC-V.
+    UnsupportedMachine(u16),
+    /// `e_type` is not `ET_EXEC` (no relocation support on the VP).
+    UnsupportedType(u16),
+    /// A `PT_LOAD` segment's file range exceeds the file.
+    SegmentOutOfFile {
+        /// Program-header index.
+        index: usize,
+    },
+    /// A `PT_LOAD` segment has `p_filesz > p_memsz`.
+    FileszExceedsMemsz {
+        /// Program-header index.
+        index: usize,
+    },
+    /// A `PT_LOAD` segment's `p_vaddr + p_memsz` wraps the address space.
+    SegmentWraps {
+        /// Program-header index.
+        index: usize,
+    },
+    /// No `PT_LOAD` segment with `p_memsz > 0` exists — nothing to run.
+    NoLoadableSegments,
+    /// The flattened extent (or claimed payload total) exceeds
+    /// [`MAX_IMAGE_BYTES`].
+    ImageTooLarge {
+        /// Bytes the image would span.
+        extent: u64,
+    },
+    /// A `.symtab` names a `sh_link` string table that is absent or not
+    /// `SHT_STRTAB`.
+    BadSymtabLink {
+        /// The offending `sh_link`.
+        link: u32,
+    },
+}
+
+impl fmt::Display for LoaderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoaderError::Truncated { what, need, have } => {
+                write!(f, "truncated ELF: {what} needs {need} bytes, file has {have}")
+            }
+            LoaderError::BadMagic => write!(f, "not an ELF file (bad magic)"),
+            LoaderError::UnsupportedClass(c) => {
+                write!(f, "unsupported ELF class {c} (only ELFCLASS32)")
+            }
+            LoaderError::UnsupportedEndianness(d) => {
+                write!(f, "unsupported ELF data encoding {d} (only little-endian)")
+            }
+            LoaderError::UnsupportedMachine(m) => {
+                write!(f, "unsupported machine {m:#06x} (only RISC-V, 0x00f3)")
+            }
+            LoaderError::UnsupportedType(t) => {
+                write!(f, "unsupported ELF type {t} (only ET_EXEC)")
+            }
+            LoaderError::SegmentOutOfFile { index } => {
+                write!(f, "PT_LOAD segment {index} file range exceeds the file")
+            }
+            LoaderError::FileszExceedsMemsz { index } => {
+                write!(f, "PT_LOAD segment {index} has p_filesz > p_memsz")
+            }
+            LoaderError::SegmentWraps { index } => {
+                write!(f, "PT_LOAD segment {index} wraps the 32-bit address space")
+            }
+            LoaderError::NoLoadableSegments => write!(f, "no loadable (PT_LOAD) segments"),
+            LoaderError::ImageTooLarge { extent } => {
+                write!(f, "image spans {extent} bytes (limit {MAX_IMAGE_BYTES})")
+            }
+            LoaderError::BadSymtabLink { link } => {
+                write!(f, ".symtab links to invalid string table section {link}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoaderError {}
+
+/// One loadable segment: `data` holds the file-backed prefix
+/// (`p_filesz` bytes); the `memsz - data.len()` tail is BSS and must be
+/// zero-filled by whoever maps the segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Load address.
+    pub vaddr: u32,
+    /// Total in-memory size (≥ `data.len()`).
+    pub memsz: u32,
+    /// `p_flags` bits (`PF_X`=1, `PF_W`=2, `PF_R`=4).
+    pub flags: u32,
+    /// The file-backed bytes.
+    pub data: Vec<u8>,
+}
+
+impl Segment {
+    /// `true` iff the segment is executable (`PF_X`).
+    pub fn is_exec(&self) -> bool {
+        self.flags & 1 != 0
+    }
+
+    /// `true` iff the segment is writable (`PF_W`).
+    pub fn is_write(&self) -> bool {
+        self.flags & 2 != 0
+    }
+
+    /// First address past the segment.
+    pub fn end(&self) -> u32 {
+        self.vaddr + self.memsz
+    }
+}
+
+/// A parsed ELF32 executable: everything the VP needs to boot it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Elf32 {
+    /// `e_entry` — where the CPU starts.
+    pub entry: u32,
+    /// All `PT_LOAD` segments with `p_memsz > 0`, in file order.
+    pub segments: Vec<Segment>,
+    /// `(address, name)` pairs from `.symtab`, filtered of section/file
+    /// pseudo-symbols; empty when the binary is stripped.
+    pub symbols: Vec<(u32, String)>,
+}
+
+/// Bounds-checked little-endian field readers over the raw file.
+struct Reader<'a>(&'a [u8]);
+
+impl<'a> Reader<'a> {
+    fn slice(&self, off: usize, len: usize, what: &'static str) -> Result<&'a [u8], LoaderError> {
+        let end = off.checked_add(len).ok_or(LoaderError::Truncated {
+            what,
+            need: u64::MAX,
+            have: self.0.len() as u64,
+        })?;
+        if end > self.0.len() {
+            return Err(LoaderError::Truncated {
+                what,
+                need: end as u64,
+                have: self.0.len() as u64,
+            });
+        }
+        Ok(&self.0[off..end])
+    }
+
+    fn u16(&self, off: usize, what: &'static str) -> Result<u16, LoaderError> {
+        let b = self.slice(off, 2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&self, off: usize, what: &'static str) -> Result<u32, LoaderError> {
+        let b = self.slice(off, 4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+impl Elf32 {
+    /// Parses an ELF32 little-endian RISC-V executable.
+    ///
+    /// # Errors
+    /// A typed [`LoaderError`] naming the first malformed field; the
+    /// parser never panics on arbitrary input.
+    pub fn parse(bytes: &[u8]) -> Result<Elf32, LoaderError> {
+        let r = Reader(bytes);
+        if bytes.len() < 4 || bytes[..4] != ELF_MAGIC {
+            return Err(if bytes.len() < EHDR_SIZE && is_elf(bytes) {
+                LoaderError::Truncated {
+                    what: "ELF header",
+                    need: EHDR_SIZE as u64,
+                    have: bytes.len() as u64,
+                }
+            } else {
+                LoaderError::BadMagic
+            });
+        }
+        if bytes.len() < EHDR_SIZE {
+            return Err(LoaderError::Truncated {
+                what: "ELF header",
+                need: EHDR_SIZE as u64,
+                have: bytes.len() as u64,
+            });
+        }
+        if bytes[4] != 1 {
+            return Err(LoaderError::UnsupportedClass(bytes[4]));
+        }
+        if bytes[5] != 1 {
+            return Err(LoaderError::UnsupportedEndianness(bytes[5]));
+        }
+        let e_type = r.u16(16, "e_type")?;
+        if e_type != ET_EXEC {
+            return Err(LoaderError::UnsupportedType(e_type));
+        }
+        let e_machine = r.u16(18, "e_machine")?;
+        if e_machine != EM_RISCV {
+            return Err(LoaderError::UnsupportedMachine(e_machine));
+        }
+        let entry = r.u32(24, "e_entry")?;
+        let phoff = r.u32(28, "e_phoff")? as usize;
+        let shoff = r.u32(32, "e_shoff")? as usize;
+        let phentsize = r.u16(42, "e_phentsize")? as usize;
+        let phnum = r.u16(44, "e_phnum")? as usize;
+        let shentsize = r.u16(46, "e_shentsize")? as usize;
+        let shnum = r.u16(48, "e_shnum")? as usize;
+
+        // Program headers → loadable segments. Tolerate a larger-than-
+        // standard phentsize (fields we read sit at fixed offsets within
+        // each entry) but never a smaller one.
+        let mut segments = Vec::new();
+        let mut payload_total = 0u64;
+        if phnum > 0 {
+            let stride = phentsize.max(PHDR_SIZE);
+            for i in 0..phnum {
+                let base = phoff.saturating_add(i.saturating_mul(stride));
+                let ph = Reader(r.slice(base, PHDR_SIZE, "program header")?);
+                if ph.u32(0, "p_type")? != PT_LOAD {
+                    continue;
+                }
+                let offset = ph.u32(4, "p_offset")? as usize;
+                let vaddr = ph.u32(8, "p_vaddr")?;
+                let filesz = ph.u32(16, "p_filesz")? as usize;
+                let memsz = ph.u32(20, "p_memsz")?;
+                let flags = ph.u32(24, "p_flags")?;
+                if memsz == 0 {
+                    // Zero-sized PT_LOAD: legal, loads nothing.
+                    continue;
+                }
+                if filesz as u64 > memsz as u64 {
+                    return Err(LoaderError::FileszExceedsMemsz { index: i });
+                }
+                if vaddr.checked_add(memsz).is_none() {
+                    return Err(LoaderError::SegmentWraps { index: i });
+                }
+                let file_end = offset.saturating_add(filesz);
+                if file_end > bytes.len() {
+                    return Err(LoaderError::SegmentOutOfFile { index: i });
+                }
+                payload_total += filesz as u64;
+                if payload_total > MAX_IMAGE_BYTES {
+                    return Err(LoaderError::ImageTooLarge { extent: payload_total });
+                }
+                segments.push(Segment {
+                    vaddr,
+                    memsz,
+                    flags,
+                    data: bytes[offset..file_end].to_vec(),
+                });
+            }
+        }
+        if segments.is_empty() {
+            return Err(LoaderError::NoLoadableSegments);
+        }
+
+        // Section headers → symbols. A stripped or sectionless binary is
+        // fine; a *declared* section table that runs off the file is not.
+        let mut symbols = Vec::new();
+        if shoff != 0 && shnum > 0 {
+            let stride = shentsize.max(SHDR_SIZE);
+            let shdr = |idx: usize| -> Result<Reader<'_>, LoaderError> {
+                let base = shoff.saturating_add(idx.saturating_mul(stride));
+                Ok(Reader(r.slice(base, SHDR_SIZE, "section header")?))
+            };
+            for i in 0..shnum {
+                let sh = shdr(i)?;
+                if sh.u32(4, "sh_type")? != SHT_SYMTAB {
+                    continue;
+                }
+                let sym_off = sh.u32(16, "sh_offset")? as usize;
+                let sym_size = sh.u32(20, "sh_size")? as usize;
+                let link = sh.u32(24, "sh_link")?;
+                if link as usize >= shnum {
+                    return Err(LoaderError::BadSymtabLink { link });
+                }
+                let st = shdr(link as usize)?;
+                if st.u32(4, "sh_type")? != SHT_STRTAB {
+                    return Err(LoaderError::BadSymtabLink { link });
+                }
+                let str_off = st.u32(16, "sh_offset")? as usize;
+                let str_size = st.u32(20, "sh_size")? as usize;
+                let strtab = r.slice(str_off, str_size, "string table")?;
+                let syms = r.slice(sym_off, sym_size, "symbol table")?;
+                for entry in syms.chunks_exact(SYM_SIZE) {
+                    let name_off =
+                        u32::from_le_bytes([entry[0], entry[1], entry[2], entry[3]]) as usize;
+                    let value = u32::from_le_bytes([entry[4], entry[5], entry[6], entry[7]]);
+                    let kind = entry[12] & 0xF;
+                    if name_off == 0 || kind == STT_SECTION || kind == STT_FILE {
+                        continue;
+                    }
+                    let Some(tail) = strtab.get(name_off..) else { continue };
+                    let name_len = tail.iter().position(|&b| b == 0).unwrap_or(tail.len());
+                    let name = String::from_utf8_lossy(&tail[..name_len]).into_owned();
+                    if !name.is_empty() {
+                        symbols.push((value, name));
+                    }
+                }
+                break; // one .symtab is all anyone emits
+            }
+        }
+        symbols.sort();
+
+        Ok(Elf32 { entry, segments, symbols })
+    }
+
+    /// Lowest load address across segments.
+    pub fn min_vaddr(&self) -> u32 {
+        self.segments.iter().map(|s| s.vaddr).min().unwrap_or(0)
+    }
+
+    /// One past the highest loaded byte.
+    pub fn max_end(&self) -> u32 {
+        self.segments.iter().map(Segment::end).max().unwrap_or(0)
+    }
+
+    /// Flattens the segments into a single contiguous [`Program`] image
+    /// based at [`Elf32::min_vaddr`]; inter-segment gaps and BSS tails are
+    /// zero-filled, and the symbol table carries over.
+    ///
+    /// # Errors
+    /// [`LoaderError::ImageTooLarge`] when the flattened span would exceed
+    /// [`MAX_IMAGE_BYTES`] (segments legal in isolation can still be
+    /// placed gigabytes apart).
+    pub fn to_program(&self) -> Result<Program, LoaderError> {
+        let base = self.min_vaddr();
+        let extent = self.max_end() as u64 - base as u64;
+        if extent > MAX_IMAGE_BYTES {
+            return Err(LoaderError::ImageTooLarge { extent });
+        }
+        let mut image = vec![0u8; extent as usize];
+        for seg in &self.segments {
+            let off = (seg.vaddr - base) as usize;
+            image[off..off + seg.data.len()].copy_from_slice(&seg.data);
+        }
+        let mut symbols: HashMap<String, u32> = HashMap::new();
+        for (addr, name) in &self.symbols {
+            symbols.insert(name.clone(), *addr);
+        }
+        Ok(Program::from_parts(base, self.entry, image, symbols))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_garbage_and_short_input() {
+        assert_eq!(Elf32::parse(b""), Err(LoaderError::BadMagic));
+        assert_eq!(Elf32::parse(b"\x7fEL"), Err(LoaderError::BadMagic));
+        assert!(matches!(
+            Elf32::parse(b"\x7fELF\x01\x01"),
+            Err(LoaderError::Truncated { what: "ELF header", .. })
+        ));
+        assert!(!is_elf(b"addi x1, x0, 1"));
+        assert!(is_elf(&[0x7F, b'E', b'L', b'F', 9, 9]));
+    }
+
+    #[test]
+    fn rejects_wrong_class_data_machine_type() {
+        let mut hdr = [0u8; EHDR_SIZE];
+        hdr[..4].copy_from_slice(&ELF_MAGIC);
+        hdr[4] = 2; // ELFCLASS64
+        assert_eq!(Elf32::parse(&hdr), Err(LoaderError::UnsupportedClass(2)));
+        hdr[4] = 1;
+        hdr[5] = 2; // big-endian
+        assert_eq!(Elf32::parse(&hdr), Err(LoaderError::UnsupportedEndianness(2)));
+        hdr[5] = 1;
+        hdr[16] = 3; // ET_DYN
+        assert_eq!(Elf32::parse(&hdr), Err(LoaderError::UnsupportedType(3)));
+        hdr[16] = 2;
+        hdr[18] = 0x3E; // x86-64
+        assert_eq!(Elf32::parse(&hdr), Err(LoaderError::UnsupportedMachine(0x3E)));
+        hdr[18] = 0xF3;
+        hdr[19] = 0;
+        assert_eq!(Elf32::parse(&hdr), Err(LoaderError::NoLoadableSegments));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let msgs = [
+            LoaderError::BadMagic.to_string(),
+            LoaderError::Truncated { what: "x", need: 9, have: 2 }.to_string(),
+            LoaderError::SegmentOutOfFile { index: 3 }.to_string(),
+            LoaderError::FileszExceedsMemsz { index: 1 }.to_string(),
+            LoaderError::SegmentWraps { index: 0 }.to_string(),
+            LoaderError::NoLoadableSegments.to_string(),
+            LoaderError::ImageTooLarge { extent: 1 << 40 }.to_string(),
+            LoaderError::BadSymtabLink { link: 7 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+}

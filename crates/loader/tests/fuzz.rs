@@ -1,0 +1,181 @@
+//! Robustness suite for the ELF parser: arbitrary bytes, truncations and
+//! targeted mutations of valid images must produce `Ok` or a typed
+//! [`LoaderError`] — never a panic, never an unbounded allocation.
+
+use proptest::prelude::*;
+use vpdift_asm::{Asm, Reg};
+use vpdift_loader::{is_elf, Elf32, LoaderError, ELF_MAGIC};
+
+/// A small valid ELF to truncate/mutate (emitted by the assembler).
+fn valid_elf() -> Vec<u8> {
+    let mut a = Asm::new(0);
+    a.label("main");
+    a.li(Reg::A0, 7);
+    a.label("spin");
+    a.addi(Reg::A0, Reg::A0, -1);
+    a.bnez(Reg::A0, "spin");
+    a.ebreak();
+    a.to_elf().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Elf32::parse(&bytes);
+        let _ = is_elf(&bytes);
+    }
+
+    #[test]
+    fn parse_never_panics_past_the_magic(tail in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Force the parser past the identification checks so the header /
+        // phdr / shdr walkers see hostile input.
+        let mut bytes = vec![0x7F, b'E', b'L', b'F', 1, 1, 1, 0];
+        bytes.extend_from_slice(&tail);
+        let _ = Elf32::parse(&bytes);
+    }
+
+    #[test]
+    fn truncating_a_valid_elf_never_panics(cut in 0usize..400) {
+        let elf = valid_elf();
+        let cut = cut.min(elf.len());
+        // Err is fine (typed rejection is the expected outcome); a prefix
+        // that still parses must still describe in-file data.
+        if let Ok(parsed) = Elf32::parse(&elf[..cut]) {
+            for seg in &parsed.segments {
+                prop_assert!(seg.data.len() <= cut);
+            }
+        }
+    }
+
+    #[test]
+    fn mutating_a_valid_elf_never_panics(offset in 0usize..400, value in any::<u8>()) {
+        let mut elf = valid_elf();
+        let offset = offset.min(elf.len() - 1);
+        elf[offset] = value;
+        let _ = Elf32::parse(&elf);
+    }
+}
+
+/// Builds an ELF header + `phnum` program headers + payload by hand, so
+/// the directed tests below can express states the emitter never produces.
+fn raw_elf(phdrs: &[[u32; 8]], payload: &[u8]) -> Vec<u8> {
+    let mut out = vec![0u8; 52];
+    out[..4].copy_from_slice(&ELF_MAGIC);
+    out[4] = 1; // ELFCLASS32
+    out[5] = 1; // little-endian
+    out[16..18].copy_from_slice(&2u16.to_le_bytes()); // ET_EXEC
+    out[18..20].copy_from_slice(&0xF3u16.to_le_bytes()); // RISC-V
+    out[28..32].copy_from_slice(&52u32.to_le_bytes()); // e_phoff
+    out[42..44].copy_from_slice(&32u16.to_le_bytes()); // e_phentsize
+    out[44..46].copy_from_slice(&(phdrs.len() as u16).to_le_bytes());
+    for ph in phdrs {
+        for field in ph {
+            out.extend_from_slice(&field.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(payload);
+    out
+}
+
+/// `[p_type, p_offset, p_vaddr, p_paddr, p_filesz, p_memsz, p_flags, p_align]`
+fn load_phdr(offset: u32, vaddr: u32, filesz: u32, memsz: u32) -> [u32; 8] {
+    [1, offset, vaddr, vaddr, filesz, memsz, 7, 4]
+}
+
+#[test]
+fn zero_sized_pt_load_is_skipped() {
+    // One real segment plus a memsz=0 one: the empty one must vanish
+    // without error.
+    let payload = [0x73, 0x00, 0x10, 0x00]; // ebreak
+    let elf = raw_elf(&[load_phdr(116, 0x40, 0, 0), load_phdr(116, 0, 4, 4)], &payload);
+    let parsed = Elf32::parse(&elf).unwrap();
+    assert_eq!(parsed.segments.len(), 1);
+    assert_eq!(parsed.segments[0].vaddr, 0);
+}
+
+#[test]
+fn only_zero_sized_segments_is_an_error() {
+    let elf = raw_elf(&[load_phdr(52, 0x40, 0, 0)], &[]);
+    assert_eq!(Elf32::parse(&elf), Err(LoaderError::NoLoadableSegments));
+}
+
+#[test]
+fn segment_past_end_of_file_is_rejected() {
+    let elf = raw_elf(&[load_phdr(84, 0, 1000, 1000)], &[0; 8]);
+    assert_eq!(Elf32::parse(&elf), Err(LoaderError::SegmentOutOfFile { index: 0 }));
+}
+
+#[test]
+fn filesz_larger_than_memsz_is_rejected() {
+    let elf = raw_elf(&[load_phdr(84, 0, 8, 4)], &[0; 8]);
+    assert_eq!(Elf32::parse(&elf), Err(LoaderError::FileszExceedsMemsz { index: 0 }));
+}
+
+#[test]
+fn wrapping_segment_is_rejected() {
+    let elf = raw_elf(&[load_phdr(84, 0xFFFF_FFF0, 8, 0x20)], &[0; 8]);
+    assert_eq!(Elf32::parse(&elf), Err(LoaderError::SegmentWraps { index: 0 }));
+}
+
+#[test]
+fn overlapping_segments_parse_and_flatten() {
+    // Overlap is odd but harmless: later segments win in the flat image.
+    let elf =
+        raw_elf(&[load_phdr(116, 0, 4, 4), load_phdr(120, 2, 4, 4)], &[1, 2, 3, 4, 9, 9, 9, 9]);
+    let parsed = Elf32::parse(&elf).unwrap();
+    assert_eq!(parsed.segments.len(), 2);
+    let program = parsed.to_program().unwrap();
+    assert_eq!(program.image(), &[1, 2, 9, 9, 9, 9]);
+}
+
+#[test]
+fn distant_segments_exceed_the_image_cap() {
+    let elf = raw_elf(&[load_phdr(116, 0, 4, 4), load_phdr(116, 0xF000_0000, 4, 4)], &[0; 4]);
+    let parsed = Elf32::parse(&elf).unwrap();
+    assert!(matches!(parsed.to_program(), Err(LoaderError::ImageTooLarge { .. })));
+}
+
+#[test]
+fn emitted_elf_round_trips_through_the_parser() {
+    let mut a = Asm::new(0x200);
+    a.label("boot");
+    a.j("main");
+    a.align(4);
+    a.label("table");
+    a.word(0xDEAD_BEEF);
+    a.label("main");
+    a.entry();
+    a.li(Reg::A0, 3);
+    a.ebreak();
+    let program = a.assemble().unwrap();
+    let parsed = Elf32::parse(&program.to_elf()).unwrap();
+
+    assert_eq!(parsed.entry, program.entry());
+    assert_eq!(parsed.segments.len(), 1);
+    assert_eq!(parsed.segments[0].vaddr, program.base());
+    assert_eq!(parsed.segments[0].data, program.image());
+    assert!(parsed.segments[0].is_exec());
+
+    // Symbols survive with addresses intact…
+    let round = parsed.to_program().unwrap();
+    assert_eq!(round.base(), program.base());
+    assert_eq!(round.entry(), program.entry());
+    assert_eq!(round.image(), program.image());
+    for (name, addr) in program.symbols() {
+        assert_eq!(round.symbol(name), Some(addr), "symbol {name}");
+    }
+    // …and arrive sorted by address for the profiler.
+    assert!(parsed.symbols.windows(2).all(|w| w[0].0 <= w[1].0));
+}
+
+#[test]
+fn bss_tail_zero_fills_in_to_program() {
+    let elf = raw_elf(&[load_phdr(84, 0, 4, 16)], &[0xAA; 4]);
+    let parsed = Elf32::parse(&elf).unwrap();
+    let program = parsed.to_program().unwrap();
+    assert_eq!(program.image().len(), 16);
+    assert_eq!(&program.image()[..4], &[0xAA; 4]);
+    assert!(program.image()[4..].iter().all(|&b| b == 0));
+}

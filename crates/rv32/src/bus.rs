@@ -75,6 +75,17 @@ pub trait Bus<M: TaintMode> {
     fn mutation_epoch(&self) -> u64 {
         0
     }
+
+    /// `true` iff `addr..addr+size` supports atomic (LR/SC/AMO) access.
+    /// Atomics are only defined on idempotent backing store: a bus routing
+    /// MMIO returns `false` for device regions so the CPU raises an access
+    /// fault instead of performing a read-modify-write on a register with
+    /// side effects. The default (plain memories) accepts everything the
+    /// bus can address.
+    fn atomic_supported(&self, addr: u32, size: u32) -> bool {
+        let _ = (addr, size);
+        true
+    }
 }
 
 /// A flat byte-addressable memory with per-byte tags (elided in plain

@@ -103,6 +103,10 @@ pub struct Cpu<M: TaintMode, S: ObsSink = NullSink> {
     /// has *proved* all architectural tags empty (census clear); the
     /// interpreter leaves it `true`.
     checks_enabled: bool,
+    /// LR/SC reservation: the word address registered by the last `lr.w`,
+    /// cleared by any store, by `sc.w` (success or failure) and by traps.
+    /// Lives on the core so both execution engines share one implementation.
+    reservation: Option<u32>,
     obs: Shared<S>,
 }
 
@@ -139,6 +143,7 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
             last_trap: None,
             same_trap_count: 0,
             checks_enabled: true,
+            reservation: None,
             obs,
         }
     }
@@ -157,6 +162,12 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
         self.traps_taken = 0;
         self.last_trap = None;
         self.same_trap_count = 0;
+        self.reservation = None;
+    }
+
+    /// The active LR/SC reservation address, if any (for tests).
+    pub fn reservation(&self) -> Option<u32> {
+        self.reservation
     }
 
     /// Current program counter.
@@ -255,7 +266,16 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
             h = fnv1a(h, c.tag().bits() as u64);
         }
         h = fnv1a(h, self.instret);
-        fnv1a(h, self.in_wfi as u64)
+        h = fnv1a(h, self.in_wfi as u64);
+        // Reservation state distinguishes "no reservation" from "reserved
+        // at address 0" so differential runs compare it exactly.
+        fnv1a(
+            h,
+            match self.reservation {
+                Some(addr) => 0x8000_0000_0000_0000 | addr as u64,
+                None => 0,
+            },
+        )
     }
 
     /// Attaches the DIFT engine used to record violations.
@@ -363,6 +383,9 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
         pc: u32,
     ) -> Result<Step, Violation> {
         let mtvec = self.csrs.mtvec;
+        // Traps conservatively break any LR/SC reservation (the handler may
+        // touch the reserved word; the spec permits spurious SC failure).
+        self.reservation = None;
         self.exec_check(ViolationKind::TrapVector, mtvec.tag(), self.exec_clearance.branch, pc)?;
         if S::ENABLED {
             self.obs.borrow_mut().event(&ObsEvent::Trap { pc, cause, irq: is_irq });
@@ -628,6 +651,134 @@ impl<M: TaintMode, S: ObsSink> Cpu<M, S> {
                     return self.mem_trap(e, false, pc).map(Retired::of);
                 }
                 store = Some((addr, size));
+                // Any intervening store breaks an LR/SC reservation.
+                self.reservation = None;
+            }
+            Insn::Lr { rd, rs1 } => {
+                let base = rs!(rs1);
+                let addr = base.val();
+                self.exec_check(
+                    ViolationKind::MemAddr,
+                    base.tag(),
+                    self.exec_clearance.mem_addr,
+                    pc,
+                )?;
+                if !addr.is_multiple_of(4) {
+                    return self
+                        .take_trap(csrn::cause::MISALIGNED_LOAD, false, addr, pc)
+                        .map(Retired::of);
+                }
+                if !bus.atomic_supported(addr, 4) {
+                    // Atomics are only defined on idempotent memory (RAM);
+                    // an LR on MMIO is an access fault, not a side effect.
+                    return self
+                        .take_trap(csrn::cause::LOAD_FAULT, false, addr, pc)
+                        .map(Retired::of);
+                }
+                let loaded = match bus.load(addr, 4) {
+                    Ok(w) => w,
+                    Err(e) => return self.mem_trap(e, false, pc).map(Retired::of),
+                };
+                if S::ENABLED {
+                    self.obs.borrow_mut().event(&ObsEvent::Load {
+                        pc,
+                        addr,
+                        size: 4,
+                        tag: loaded.tag(),
+                    });
+                }
+                self.reservation = Some(addr);
+                self.obs_set_reg(rd, loaded, pc);
+            }
+            Insn::Sc { rd, rs2, rs1 } => {
+                let base = rs!(rs1);
+                let addr = base.val();
+                self.exec_check(
+                    ViolationKind::MemAddr,
+                    base.tag(),
+                    self.exec_clearance.mem_addr,
+                    pc,
+                )?;
+                if !addr.is_multiple_of(4) {
+                    return self
+                        .take_trap(csrn::cause::MISALIGNED_STORE, false, addr, pc)
+                        .map(Retired::of);
+                }
+                if !bus.atomic_supported(addr, 4) {
+                    return self
+                        .take_trap(csrn::cause::STORE_FAULT, false, addr, pc)
+                        .map(Retired::of);
+                }
+                // An SC consumes the reservation whether it succeeds or not.
+                let reserved = self.reservation.take() == Some(addr);
+                if reserved {
+                    if S::ENABLED {
+                        self.obs.borrow_mut().event(&ObsEvent::Store {
+                            pc,
+                            addr,
+                            size: 4,
+                            tag: rs!(rs2).tag(),
+                        });
+                    }
+                    if let Err(e) = bus.store(addr, 4, rs!(rs2), pc) {
+                        return self.mem_trap(e, false, pc).map(Retired::of);
+                    }
+                    store = Some((addr, 4));
+                }
+                // The 0/1 success code is architecturally generated, not
+                // data-derived: it carries no tag.
+                self.obs_set_reg(rd, M::Word::from_u32(!reserved as u32), pc);
+            }
+            Insn::Amo { op, rd, rs2, rs1 } => {
+                let base = rs!(rs1);
+                let addr = base.val();
+                self.exec_check(
+                    ViolationKind::MemAddr,
+                    base.tag(),
+                    self.exec_clearance.mem_addr,
+                    pc,
+                )?;
+                if !addr.is_multiple_of(4) {
+                    return self
+                        .take_trap(csrn::cause::MISALIGNED_STORE, false, addr, pc)
+                        .map(Retired::of);
+                }
+                if !bus.atomic_supported(addr, 4) {
+                    return self
+                        .take_trap(csrn::cause::STORE_FAULT, false, addr, pc)
+                        .map(Retired::of);
+                }
+                let loaded = match bus.load(addr, 4) {
+                    Ok(w) => w,
+                    Err(e) => return self.mem_trap(e, false, pc).map(Retired::of),
+                };
+                if S::ENABLED {
+                    self.obs.borrow_mut().event(&ObsEvent::Load {
+                        pc,
+                        addr,
+                        size: 4,
+                        tag: loaded.tag(),
+                    });
+                }
+                // Read-modify-write taint rule: the written word carries
+                // LUB(loaded tag, rs2 tag) — `binop` computes exactly that.
+                let written = loaded.binop(rs!(rs2), |l, r| op.apply(l, r));
+                if S::ENABLED {
+                    self.obs.borrow_mut().event(&ObsEvent::Store {
+                        pc,
+                        addr,
+                        size: 4,
+                        tag: written.tag(),
+                    });
+                }
+                if let Err(e) = bus.store(addr, 4, written, pc) {
+                    return self.mem_trap(e, false, pc).map(Retired::of);
+                }
+                store = Some((addr, 4));
+                // An AMO is a store: it breaks any reservation, including
+                // one on its own address.
+                self.reservation = None;
+                self.obs_set_reg(rd, loaded, pc);
             }
             Insn::AluImm { op, rd, rs1, imm } => {
                 let a = rs!(rs1);

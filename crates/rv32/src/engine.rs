@@ -504,7 +504,15 @@ impl BlockCache {
                 if compressed { vpdift_asm::decompress(raw as u16) } else { Insn::decode(raw) };
             let Ok(insn) = decoded else { break };
             let next_pc = cur.wrapping_add(len);
-            let poll = matches!(insn, Insn::Load { .. } | Insn::Store { .. } | Insn::Csr { .. });
+            let poll = matches!(
+                insn,
+                Insn::Load { .. }
+                    | Insn::Store { .. }
+                    | Insn::Csr { .. }
+                    | Insn::Lr { .. }
+                    | Insn::Sc { .. }
+                    | Insn::Amo { .. }
+            );
             insns.push(CachedInsn { insn, next_pc, len, raw, compressed, fetch_tag, poll });
             // Unconditional control transfers end the block; conditional
             // branches may fall through, so the block continues past them.

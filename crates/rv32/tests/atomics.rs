@@ -1,0 +1,378 @@
+//! RV32A semantics tests: LR/SC reservation behavior and all nine AMOs,
+//! including the read-modify-write taint rule (written tag =
+//! LUB(loaded tag, rs2 tag)).
+
+use vpdift_asm::{AmoOp, Asm, Reg};
+use vpdift_core::{Tag, Taint};
+use vpdift_rv32::{Bus, Cpu, FlatMemory, Plain, RunExit, TaintMode, Tainted, Word};
+
+const RAM: usize = 64 * 1024;
+const CELL: u32 = 0x1000;
+
+/// Assembles `build`, runs it until `ebreak`, and returns CPU + memory.
+fn run_prog<M: TaintMode>(build: impl FnOnce(&mut Asm)) -> (Cpu<M>, FlatMemory<M>) {
+    let mut a = Asm::new(0);
+    build(&mut a);
+    let prog = a.assemble().expect("test program assembles");
+    let mut mem = FlatMemory::<M>::new(0, RAM);
+    mem.load_image(0, prog.image());
+    let mut cpu = Cpu::<M>::new();
+    cpu.set_reg(Reg::Sp, M::Word::from_u32(RAM as u32 - 16));
+    let exit = cpu.run(&mut mem, 2_000_000);
+    assert_eq!(exit, RunExit::Break, "program must end at ebreak");
+    (cpu, mem)
+}
+
+fn check_both(build: impl Fn(&mut Asm) + Copy, expect: &[(Reg, u32)]) {
+    for_mode::<Plain>(build, expect);
+    for_mode::<Tainted>(build, expect);
+}
+
+fn for_mode<M: TaintMode>(build: impl FnOnce(&mut Asm), expect: &[(Reg, u32)]) {
+    let (cpu, _) = run_prog::<M>(build);
+    for &(r, v) in expect {
+        assert_eq!(cpu.reg(r).val(), v, "register {r}");
+    }
+}
+
+use Reg::*;
+
+#[test]
+fn lr_sc_success_path() {
+    check_both(
+        |a| {
+            a.li(T0, CELL as i32);
+            a.li(T1, 41);
+            a.sw(T1, 0, T0);
+            a.lr_w(A0, T0); // a0 = 41, reservation on CELL
+            a.addi(A1, A0, 1);
+            a.sc_w(A2, A1, T0); // succeeds: a2 = 0, mem = 42
+            a.lw(A3, 0, T0);
+            a.ebreak();
+        },
+        &[(A0, 41), (A2, 0), (A3, 42)],
+    );
+}
+
+#[test]
+fn sc_without_reservation_fails() {
+    check_both(
+        |a| {
+            a.li(T0, CELL as i32);
+            a.li(T1, 7);
+            a.sw(T1, 0, T0);
+            a.li(A1, 99);
+            a.sc_w(A2, A1, T0); // no prior lr.w: a2 = 1, mem untouched
+            a.lw(A3, 0, T0);
+            a.ebreak();
+        },
+        &[(A2, 1), (A3, 7)],
+    );
+}
+
+#[test]
+fn sc_after_intervening_store_fails() {
+    check_both(
+        |a| {
+            a.li(T0, CELL as i32);
+            a.li(T2, (CELL + 64) as i32);
+            a.li(T1, 5);
+            a.sw(T1, 0, T0);
+            a.lr_w(A0, T0);
+            // Store to an unrelated address still breaks the reservation
+            // (conservative single-reservation model).
+            a.sw(T1, 0, T2);
+            a.li(A1, 123);
+            a.sc_w(A2, A1, T0); // fails: a2 = 1
+            a.lw(A3, 0, T0);
+            a.ebreak();
+        },
+        &[(A0, 5), (A2, 1), (A3, 5)],
+    );
+}
+
+#[test]
+fn sc_to_wrong_address_fails_and_consumes_reservation() {
+    check_both(
+        |a| {
+            a.li(T0, CELL as i32);
+            a.li(T2, (CELL + 8) as i32);
+            a.lr_w(A0, T0);
+            a.li(A1, 77);
+            a.sc_w(A2, A1, T2); // wrong address: fails
+            a.sc_w(A4, A1, T0); // reservation consumed by the failed SC
+            a.lw(A3, 0, T0);
+            a.ebreak();
+        },
+        &[(A2, 1), (A4, 1), (A3, 0)],
+    );
+}
+
+#[test]
+fn amo_arithmetic_results() {
+    // amoadd: rd gets the OLD value, memory the sum.
+    check_both(
+        |a| {
+            a.li(T0, CELL as i32);
+            a.li(T1, 40);
+            a.sw(T1, 0, T0);
+            a.li(T2, 2);
+            a.amoadd_w(A0, T2, T0); // a0 = 40, mem = 42
+            a.lw(A1, 0, T0);
+            a.amoswap_w(A2, T1, T0); // a2 = 42, mem = 40
+            a.lw(A3, 0, T0);
+            a.ebreak();
+        },
+        &[(A0, 40), (A1, 42), (A2, 42), (A3, 40)],
+    );
+}
+
+#[test]
+fn amo_min_max_signedness() {
+    check_both(
+        |a| {
+            a.li(T0, CELL as i32);
+            a.li(T1, -3);
+            a.sw(T1, 0, T0);
+            a.li(T2, 2);
+            a.amomin_w(A0, T2, T0); // signed min(-3, 2) = -3
+            a.lw(A1, 0, T0);
+            a.li(T1, -3);
+            a.sw(T1, 0, T0);
+            a.amominu_w(A2, T2, T0); // unsigned min(0xFFFF_FFFD, 2) = 2
+            a.lw(A3, 0, T0);
+            a.li(T1, -3);
+            a.sw(T1, 0, T0);
+            a.amomax_w(A4, T2, T0); // signed max = 2
+            a.lw(A5, 0, T0);
+            a.li(T1, -3);
+            a.sw(T1, 0, T0);
+            a.amomaxu_w(A6, T2, T0); // unsigned max = 0xFFFF_FFFD
+            a.lw(A7, 0, T0);
+            a.ebreak();
+        },
+        &[
+            (A0, -3i32 as u32),
+            (A1, -3i32 as u32),
+            (A2, -3i32 as u32),
+            (A3, 2),
+            (A4, -3i32 as u32),
+            (A5, 2),
+            (A6, -3i32 as u32),
+            (A7, -3i32 as u32),
+        ],
+    );
+}
+
+#[test]
+fn amo_bitwise_results() {
+    check_both(
+        |a| {
+            a.li(T0, CELL as i32);
+            a.li(T1, 0b1100);
+            a.li(T2, 0b1010);
+            a.sw(T1, 0, T0);
+            a.amoxor_w(A0, T2, T0);
+            a.lw(A1, 0, T0);
+            a.sw(T1, 0, T0);
+            a.amoand_w(A2, T2, T0);
+            a.lw(A3, 0, T0);
+            a.sw(T1, 0, T0);
+            a.amoor_w(A4, T2, T0);
+            a.lw(A5, 0, T0);
+            a.ebreak();
+        },
+        &[(A0, 0b1100), (A1, 0b0110), (A2, 0b1100), (A3, 0b1000), (A4, 0b1100), (A5, 0b1110)],
+    );
+}
+
+#[test]
+fn amo_breaks_reservation() {
+    check_both(
+        |a| {
+            a.li(T0, CELL as i32);
+            a.lr_w(A0, T0);
+            a.li(T2, 1);
+            a.amoadd_w(A4, T2, T0); // a store: breaks the reservation
+            a.li(A1, 9);
+            a.sc_w(A2, A1, T0); // fails
+            a.lw(A3, 0, T0);
+            a.ebreak();
+        },
+        &[(A2, 1), (A3, 1)],
+    );
+}
+
+/// The written word's tag is LUB(loaded tag, rs2 tag); rd carries the
+/// loaded tag only.
+#[test]
+fn amo_taint_is_lub_of_loaded_and_rs2() {
+    let mut a = Asm::new(0);
+    a.li(T0, CELL as i32);
+    a.li(T2, 2);
+    a.amoadd_w(A0, T2, T0);
+    a.lw(A1, 0, T0);
+    a.ebreak();
+    let prog = a.assemble().unwrap();
+
+    let mut mem = FlatMemory::<Tainted>::new(0, RAM);
+    mem.load_image(0, prog.image());
+    // Memory cell carries tag bit 0; make rs2 (T2) carry tag bit 1 by
+    // classifying the immediate's source... simpler: classify the cell and
+    // poke the register after reset via a pre-seeded register.
+    mem.store(CELL, 4, Taint::new(40u32, Tag::from_bits(0b01)), 0).unwrap();
+    let mut cpu = Cpu::<Tainted>::new();
+    cpu.set_reg(Reg::Sp, Taint::untainted(RAM as u32 - 16));
+    // Run the first two insns (li is 1-2 insns; use step-until-pc), then
+    // taint T2 before the AMO executes. Easier: run whole program with an
+    // untainted T2 first to find expectations, then use the taint from the
+    // memory cell only.
+    let exit = cpu.run(&mut mem, 1000);
+    assert_eq!(exit, RunExit::Break);
+    // rd got the old value and the loaded tag.
+    assert_eq!(cpu.reg(A0).value(), 40);
+    assert_eq!(cpu.reg(A0).tag(), Tag::from_bits(0b01));
+    // The written-back sum carries the loaded tag (rs2 was untainted).
+    assert_eq!(cpu.reg(A1).value(), 42);
+    assert_eq!(cpu.reg(A1).tag(), Tag::from_bits(0b01));
+
+    // Second run: rs2 tainted too — the memory word must carry the LUB.
+    let mut a = Asm::new(0);
+    a.li(T0, CELL as i32);
+    a.lw(T2, 4, T0); // T2 from a cell tagged 0b10
+    a.amoadd_w(A0, T2, T0);
+    a.lw(A1, 0, T0);
+    a.ebreak();
+    let prog = a.assemble().unwrap();
+    let mut mem = FlatMemory::<Tainted>::new(0, RAM);
+    mem.load_image(0, prog.image());
+    mem.store(CELL, 4, Taint::new(40u32, Tag::from_bits(0b01)), 0).unwrap();
+    mem.store(CELL + 4, 4, Taint::new(2u32, Tag::from_bits(0b10)), 0).unwrap();
+    let mut cpu = Cpu::<Tainted>::new();
+    cpu.set_reg(Reg::Sp, Taint::untainted(RAM as u32 - 16));
+    assert_eq!(cpu.run(&mut mem, 1000), RunExit::Break);
+    assert_eq!(cpu.reg(A1).value(), 42);
+    assert_eq!(cpu.reg(A1).tag(), Tag::from_bits(0b11), "written tag = LUB(loaded, rs2)");
+    // rd keeps only the loaded tag.
+    assert_eq!(cpu.reg(A0).tag(), Tag::from_bits(0b01));
+}
+
+/// LR propagates the loaded tag into rd; a successful SC writes rs2's tag
+/// to memory and produces an untainted success code.
+#[test]
+fn lr_sc_taint_propagation() {
+    let mut a = Asm::new(0);
+    a.li(T0, CELL as i32);
+    a.lr_w(A0, T0);
+    a.lw(T2, 4, T0);
+    // Reservation must survive loads (only stores break it).
+    a.sc_w(A2, T2, T0);
+    a.lw(A1, 0, T0);
+    a.ebreak();
+    let prog = a.assemble().unwrap();
+    let mut mem = FlatMemory::<Tainted>::new(0, RAM);
+    mem.load_image(0, prog.image());
+    mem.store(CELL, 4, Taint::new(1u32, Tag::from_bits(0b01)), 0).unwrap();
+    mem.store(CELL + 4, 4, Taint::new(5u32, Tag::from_bits(0b10)), 0).unwrap();
+    let mut cpu = Cpu::<Tainted>::new();
+    cpu.set_reg(Reg::Sp, Taint::untainted(RAM as u32 - 16));
+    assert_eq!(cpu.run(&mut mem, 1000), RunExit::Break);
+    assert_eq!(cpu.reg(A0).tag(), Tag::from_bits(0b01), "lr.w propagates the loaded tag");
+    assert_eq!(cpu.reg(A2).value(), 0, "sc.w succeeded");
+    assert_eq!(cpu.reg(A2).tag(), Tag::EMPTY, "success code is architecturally generated");
+    assert_eq!(cpu.reg(A1).value(), 5);
+    assert_eq!(cpu.reg(A1).tag(), Tag::from_bits(0b10), "sc.w stored rs2's tag");
+}
+
+#[test]
+fn misaligned_amo_traps() {
+    for_misaligned::<Plain>();
+    for_misaligned::<Tainted>();
+}
+
+fn for_misaligned<M: TaintMode>() {
+    let mut a = Asm::new(0);
+    a.j("start");
+    a.align(4);
+    a.label("handler");
+    a.ebreak();
+    a.label("start");
+    a.la(T1, "handler");
+    a.csrw(vpdift_asm::csr::MTVEC, T1);
+    a.li(T0, (CELL + 2) as i32);
+    a.li(T2, 1);
+    a.amoadd_w(A0, T2, T0);
+    a.ebreak();
+    let prog = a.assemble().unwrap();
+    let mut mem = FlatMemory::<M>::new(0, RAM);
+    mem.load_image(0, prog.image());
+    let mut cpu = Cpu::<M>::new();
+    let exit = cpu.run(&mut mem, 1000);
+    assert_eq!(exit, RunExit::Break);
+    assert_eq!(cpu.traps_taken(), 1, "misaligned AMO must trap");
+    assert_eq!(cpu.csrs().mcause.val(), 6, "store/AMO address misaligned");
+    assert_eq!(cpu.csrs().mtval.val(), CELL + 2);
+}
+
+#[test]
+fn reservation_visible_and_cleared() {
+    let mut a = Asm::new(0);
+    a.li(T0, CELL as i32);
+    a.lr_w(A0, T0);
+    a.ebreak();
+    let prog = a.assemble().unwrap();
+    let mut mem = FlatMemory::<Plain>::new(0, RAM);
+    mem.load_image(0, prog.image());
+    let mut cpu = Cpu::<Plain>::new();
+    assert_eq!(cpu.reservation(), None);
+    assert_eq!(cpu.run(&mut mem, 100), RunExit::Break);
+    assert_eq!(cpu.reservation(), Some(CELL));
+    cpu.reset(0);
+    assert_eq!(cpu.reservation(), None, "reset clears the reservation");
+}
+
+/// The reservation state is part of the architectural digest.
+#[test]
+fn reservation_changes_state_digest() {
+    let mut a = Asm::new(0);
+    a.li(T0, CELL as i32);
+    a.lr_w(A0, T0);
+    a.ebreak();
+    let prog = a.assemble().unwrap();
+
+    let mut b = Asm::new(0);
+    b.li(T0, CELL as i32);
+    b.lw(A0, 0, T0);
+    b.ebreak();
+    let prog2 = b.assemble().unwrap();
+
+    let digest = |p: &vpdift_asm::Program| {
+        let mut mem = FlatMemory::<Plain>::new(0, RAM);
+        mem.load_image(0, p.image());
+        let mut cpu = Cpu::<Plain>::new();
+        assert_eq!(cpu.run(&mut mem, 100), RunExit::Break);
+        cpu.state_digest()
+    };
+    // Same registers, same pc/instret — only the reservation differs.
+    assert_ne!(digest(&prog), digest(&prog2));
+}
+
+/// `AmoOp::apply` matches the executed semantics for every op.
+#[test]
+fn every_amo_op_executes() {
+    for op in AmoOp::ALL {
+        let old = 0x8000_0001u32; // negative as i32, large as u32
+        let rhs = 7u32;
+        let (cpu, _) = run_prog::<Plain>(|a| {
+            a.li(T0, CELL as i32);
+            a.li(T1, old as i32);
+            a.sw(T1, 0, T0);
+            a.li(T2, rhs as i32);
+            a.amo_w(op, A0, T2, T0);
+            a.lw(A1, 0, T0);
+            a.ebreak();
+        });
+        assert_eq!(cpu.reg(A0).val(), old, "{op:?}: rd = old value");
+        assert_eq!(cpu.reg(A1).val(), op.apply(old, rhs), "{op:?}: memory = apply(old, rs2)");
+    }
+}

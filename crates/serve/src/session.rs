@@ -7,8 +7,9 @@
 //! watchpoint hit returns [`SocExit::Stopped`] with all architectural
 //! state intact — the next `run` continues from the exact stop point.
 
-use vpdift_asm::{parse_asm, Reg};
+use vpdift_asm::{parse_asm, Program, Reg};
 use vpdift_core::{parse_policy, AtomTable, EnforceMode, SecurityPolicy, Tag};
+use vpdift_loader::Elf32;
 use vpdift_obs::{flowgraph, Recorder, StopFlag, StreamItem, StreamSink, Watch, WatchKind};
 use vpdift_rv32::{ExecMode, Plain, Tainted, Word};
 use vpdift_soc::{Soc, SocBuilder, SocExit};
@@ -25,10 +26,16 @@ pub const UNTIL_CAP: u64 = 100_000_000;
 /// Flight-recorder ring capacity for server sessions.
 const RING_CAP: usize = 64;
 
+/// Prefix marking a `create` program field as a hex-encoded ELF32 image
+/// (JSON strings cannot carry raw binary, so clients hex-encode the file:
+/// `"program": "elf-hex:7f454c46..."`).
+pub const ELF_HEX_PREFIX: &str = "elf-hex:";
+
 /// Options extracted from a `create` request.
 #[derive(Clone, Debug)]
 pub struct CreateOpts {
-    /// Assembly source of the guest program.
+    /// Guest program: assembly source, or a hex-encoded ELF32 image when
+    /// prefixed with [`ELF_HEX_PREFIX`].
     pub program: String,
     /// Optional policy source; permissive when absent.
     pub policy: Option<String>,
@@ -57,6 +64,20 @@ impl Default for CreateOpts {
             ram_size: None,
         }
     }
+}
+
+/// Decodes an even-length hex string (no separators) into bytes.
+fn decode_hex(hex: &str) -> Result<Vec<u8>, &'static str> {
+    let hex = hex.trim();
+    if !hex.len().is_multiple_of(2) {
+        return Err("elf-hex payload has odd length");
+    }
+    let mut out = Vec::with_capacity(hex.len() / 2);
+    for pair in hex.as_bytes().chunks_exact(2) {
+        let s = core::str::from_utf8(pair).map_err(|_| "elf-hex payload is not ASCII hex")?;
+        out.push(u8::from_str_radix(s, 16).map_err(|_| "elf-hex payload is not ASCII hex")?);
+    }
+    Ok(out)
 }
 
 /// The mode-erased SoC: servers hold many sessions of mixed modes.
@@ -107,15 +128,25 @@ pub struct Session {
 }
 
 impl Session {
-    /// Assembles `opts.program`, parses the policy, and boots a fresh VP
-    /// with a [`StreamSink`] attached.
+    /// Assembles `opts.program` (or decodes + parses a hex-encoded ELF32
+    /// image, see [`ELF_HEX_PREFIX`]), parses the policy, and boots a
+    /// fresh VP with a [`StreamSink`] attached.
     ///
     /// # Errors
     /// [`ErrorCode::BadProgram`] / [`ErrorCode::BadPolicy`] with the
-    /// parser's message.
+    /// parser's (or loader's) message.
     pub fn create(opts: &CreateOpts) -> Result<Session, ServeError> {
-        let program = parse_asm(&opts.program, 0)
-            .map_err(|e| ServeError::new(ErrorCode::BadProgram, e.to_string()))?;
+        let bad = |msg: String| ServeError::new(ErrorCode::BadProgram, msg);
+        let (program, elf): (Program, Option<Elf32>) =
+            match opts.program.strip_prefix(ELF_HEX_PREFIX) {
+                Some(hex) => {
+                    let bytes = decode_hex(hex).map_err(|e| bad(e.to_owned()))?;
+                    let elf = Elf32::parse(&bytes).map_err(|e| bad(e.to_string()))?;
+                    let program = elf.to_program().map_err(|e| bad(e.to_string()))?;
+                    (program, Some(elf))
+                }
+                None => (parse_asm(&opts.program, 0).map_err(|e| bad(e.to_string()))?, None),
+            };
         let (policy, atoms) = match &opts.policy {
             Some(src) => parse_policy(src)
                 .map_err(|e| ServeError::new(ErrorCode::BadPolicy, e.to_string()))?,
@@ -143,13 +174,30 @@ impl Session {
         let cfg = builder.build();
         let quantum = cfg.quantum;
 
+        // Boot: ELF images map segment-by-segment (BSS zeroed, load
+        // errors reported as bad_program); assembly uses the flat image.
+        fn boot<M: vpdift_rv32::TaintMode>(
+            soc: &mut Soc<M, StreamSink>,
+            program: &Program,
+            elf: &Option<Elf32>,
+        ) -> Result<(), ServeError> {
+            match elf {
+                Some(e) => soc
+                    .load_elf(e)
+                    .map_err(|e| ServeError::new(ErrorCode::BadProgram, e.to_string())),
+                None => {
+                    soc.load_program(program);
+                    Ok(())
+                }
+            }
+        }
         let soc = if opts.tainted {
             let mut soc: Soc<Tainted, StreamSink> = Soc::with_obs(cfg, sink.clone());
-            soc.load_program(&program);
+            boot(&mut soc, &program, &elf)?;
             AnySoc::Tainted(soc)
         } else {
             let mut soc: Soc<Plain, StreamSink> = Soc::with_obs(cfg, sink.clone());
-            soc.load_program(&program);
+            boot(&mut soc, &program, &elf)?;
             AnySoc::Plain(soc)
         };
 

@@ -223,3 +223,66 @@ fn client_disconnect_mid_run_frees_the_session() {
     let out = one_shot(&mut server, r#"{"cmd":"list"}"#);
     assert_eq!(out[0], "{\"ok\":true,\"sessions\":[]}");
 }
+
+// --------------------------------------------------------- elf guests ---
+
+/// Builds a tiny ELF guest and returns it as an `elf-hex:` program field.
+fn elf_hex_program() -> String {
+    use vpdift_asm::{Asm, Reg};
+    let mut a = Asm::new(0);
+    a.label("main");
+    a.entry();
+    a.li(Reg::A0, 0x2A);
+    a.ebreak();
+    let bytes = a.to_elf().expect("demo ELF assembles");
+    let mut field = String::from("elf-hex:");
+    for b in bytes {
+        field.push_str(&format!("{b:02x}"));
+    }
+    field
+}
+
+#[test]
+fn elf_hex_session_runs_the_binary() {
+    let mut server = Server::new();
+    let (out, _) = drive(
+        &mut server,
+        &[
+            format!(
+                "{{\"id\":1,\"cmd\":\"create\",\"session\":\"bin\",\"program\":\"{}\",\"ram_size\":65536}}",
+                elf_hex_program()
+            ),
+            r#"{"id":2,"cmd":"until","session":"bin"}"#.into(),
+            r#"{"id":3,"cmd":"read","session":"bin","what":"regs"}"#.into(),
+        ],
+    );
+    assert!(out[0].contains("\"ok\":true"), "create accepts elf-hex: {}", out[0]);
+    assert!(out[1].contains("\"exit\":\"break\""), "binary runs to ebreak: {}", out[1]);
+    // a0 holds 0x2a from the guest.
+    assert!(out[2].contains("\"name\":\"a0\",\"value\":42"), "a0 value visible: {}", out[2]);
+}
+
+#[test]
+fn bad_elf_hex_payloads_get_typed_errors() {
+    let mut server = Server::new();
+    for (program, what) in [
+        ("elf-hex:zz", "non-hex digits"),
+        ("elf-hex:abc", "odd length"),
+        ("elf-hex:7f454c46", "truncated ELF"),
+        ("elf-hex:00112233445566778899", "not an ELF at all"),
+    ] {
+        let out = one_shot(
+            &mut server,
+            &format!("{{\"cmd\":\"create\",\"session\":\"x\",\"program\":\"{program}\"}}"),
+        );
+        assert_eq!(out.len(), 1);
+        assert!(
+            out[0].contains("\"code\":\"bad_program\""),
+            "{what} must be bad_program: {}",
+            out[0]
+        );
+        assert!(out[0].contains("\"ok\":false"), "{}", out[0]);
+    }
+    // No half-created sessions linger.
+    assert!(one_shot(&mut server, r#"{"cmd":"list"}"#)[0].contains("\"sessions\":[]"));
+}

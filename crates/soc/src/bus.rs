@@ -203,4 +203,10 @@ impl<M: TaintMode> Bus<M> for SocBus<M> {
     fn mutation_epoch(&self) -> u64 {
         self.ram_epoch.load(Ordering::Relaxed)
     }
+
+    fn atomic_supported(&self, addr: u32, size: u32) -> bool {
+        // Atomics never reach MMIO: device registers have read/write side
+        // effects, so a read-modify-write cannot be made atomic there.
+        self.in_ram(addr, size)
+    }
 }

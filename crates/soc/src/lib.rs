@@ -40,7 +40,7 @@ pub mod trace;
 
 pub use builder::SocBuilder;
 pub use bus::SocBus;
-pub use soc::{Soc, SocConfig, SocExit};
+pub use soc::{ElfLoadError, Soc, SocConfig, SocExit};
 pub use trace::TraceRecord;
 pub use vpdift_rv32::ExecMode;
 

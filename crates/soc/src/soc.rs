@@ -1,8 +1,13 @@
 //! The assembled virtual prototype.
 
+use core::fmt;
+
 use vpdift_asm::Program;
-use vpdift_core::{AddrRange, DiftEngine, EnforceMode, SecurityPolicy, SharedEngine, Violation};
+use vpdift_core::{
+    AddrRange, DiftEngine, EnforceMode, SecurityPolicy, SharedEngine, Tag, Violation,
+};
 use vpdift_kernel::{Kernel, SimTime};
+use vpdift_loader::{Elf32, Segment};
 use vpdift_obs::{engine_observer, shared_obs, InsnCell, NullSink, ObsEvent, ObsSink, StopFlag};
 use vpdift_periph::{
     AesEngine, CanChannel, CanController, CanHostEndpoint, Clint, Dma, IrqLine, Plic, Ram, Sensor,
@@ -15,6 +20,47 @@ use vpdift_tlm::{Router, SharedFaultHook, SharedTarget};
 use crate::builder::SocBuilder;
 use crate::bus::SocBus;
 use crate::map;
+
+/// Why an ELF image could not be mapped into this SoC ([`Soc::load_elf`]).
+/// The checks run before any byte is written, so a failed load leaves RAM
+/// and the CPU untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElfLoadError {
+    /// A `PT_LOAD` segment does not fit in RAM.
+    SegmentOutsideRam {
+        /// Segment index (parse order).
+        index: usize,
+        /// Segment load address.
+        vaddr: u32,
+        /// Segment in-memory size.
+        memsz: u32,
+        /// First address past RAM.
+        ram_end: u32,
+    },
+    /// The entry point is not a RAM address.
+    EntryOutsideRam {
+        /// The ELF entry point.
+        entry: u32,
+        /// First address past RAM.
+        ram_end: u32,
+    },
+}
+
+impl fmt::Display for ElfLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElfLoadError::SegmentOutsideRam { index, vaddr, memsz, ram_end } => write!(
+                f,
+                "segment {index} ({vaddr:#010x}+{memsz:#x}) outside RAM (ends {ram_end:#010x})"
+            ),
+            ElfLoadError::EntryOutsideRam { entry, ram_end } => {
+                write!(f, "entry point {entry:#010x} outside RAM (ends {ram_end:#010x})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ElfLoadError {}
 
 /// Build-time configuration of the VP.
 #[derive(Clone, Debug)]
@@ -358,6 +404,81 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
     /// RAM, and points the CPU at the entry with a stack at the top of RAM.
     pub fn load_program(&mut self, program: &Program) {
         self.ram.borrow_mut().load_image(program.base() - map::RAM_BASE, program.image());
+        self.apply_policy_and_boot(program.entry());
+    }
+
+    /// Maps a parsed ELF32 executable: every `PT_LOAD` segment is copied
+    /// into RAM with its BSS tail zeroed, the policy's classification
+    /// rules apply as in [`Soc::load_program`], and the CPU boots at the
+    /// ELF entry with a stack at the top of RAM.
+    ///
+    /// # Errors
+    /// [`ElfLoadError`] when a segment or the entry falls outside RAM;
+    /// nothing is written in that case.
+    pub fn load_elf(&mut self, elf: &Elf32) -> Result<(), ElfLoadError> {
+        self.load_elf_with(elf, |_, _| Tag::EMPTY)
+    }
+
+    /// [`Soc::load_elf`] with a per-segment ingress-classification hook:
+    /// `ingress(index, segment)` returns the taint tag stamped onto that
+    /// segment's bytes after loading (`Tag::EMPTY` to skip). This is how
+    /// an external binary's data regions are marked as taint sources at
+    /// load time — the loader has no policy language of its own, so the
+    /// caller (CLI `--taint-segment`, a serve session, a campaign) decides.
+    ///
+    /// # Errors
+    /// [`ElfLoadError`] when a segment or the entry falls outside RAM;
+    /// the check runs over all segments before any byte is written.
+    pub fn load_elf_with<F>(&mut self, elf: &Elf32, mut ingress: F) -> Result<(), ElfLoadError>
+    where
+        F: FnMut(usize, &Segment) -> Tag,
+    {
+        let ram_end = map::RAM_BASE + self.config.ram_size as u32;
+        for (index, seg) in elf.segments.iter().enumerate() {
+            // RAM_BASE is 0, so only the upper bound can fail.
+            if seg.vaddr > ram_end || seg.end() > ram_end {
+                return Err(ElfLoadError::SegmentOutsideRam {
+                    index,
+                    vaddr: seg.vaddr,
+                    memsz: seg.memsz,
+                    ram_end,
+                });
+            }
+        }
+        if elf.entry >= ram_end {
+            return Err(ElfLoadError::EntryOutsideRam { entry: elf.entry, ram_end });
+        }
+        for (index, seg) in elf.segments.iter().enumerate() {
+            let off = seg.vaddr - map::RAM_BASE;
+            {
+                let mut ram = self.ram.borrow_mut();
+                ram.load_image(off, &seg.data);
+                let bss = seg.memsz as usize - seg.data.len();
+                if bss > 0 {
+                    // `memsz > filesz` tail: the ELF contract requires
+                    // zero-fill (the SoC may be reloaded with RAM dirty).
+                    ram.load_image(off + seg.data.len() as u32, &vec![0u8; bss]);
+                }
+            }
+            let tag = ingress(index, seg);
+            if !tag.is_empty() {
+                self.ram.borrow_mut().classify(off, seg.memsz as usize, tag);
+                if S::ENABLED && M::TRACKING {
+                    self.obs.borrow_mut().event(&ObsEvent::Classify {
+                        source: format!("elf.segment{index}"),
+                        tag,
+                        addr: Some(seg.vaddr),
+                    });
+                }
+            }
+        }
+        self.apply_policy_and_boot(elf.entry);
+        Ok(())
+    }
+
+    /// The shared tail of program loading: policy classification rules
+    /// stamped onto RAM, CPU reset at `entry`, stack at the top of RAM.
+    fn apply_policy_and_boot(&mut self, entry: u32) {
         let policy = self.config.policy.clone();
         for rule in policy.regions() {
             if let Some(tag) = rule.classify {
@@ -380,7 +501,7 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
                 }
             }
         }
-        self.cpu.reset(program.entry());
+        self.cpu.reset(entry);
         let sp = map::RAM_BASE + self.config.ram_size as u32 - 16;
         self.cpu.set_reg(vpdift_asm::Reg::Sp, M::Word::from_u32(sp));
     }

@@ -1,0 +1,44 @@
+//! Emits a small demo RV32 ELF binary for exercising the external-binary
+//! path (`taintvp-run <file>.elf`) without a cross toolchain: the guest is
+//! built with the in-tree assembler and serialised via `Asm::to_elf`.
+//!
+//! Usage: `mkelf-demo [out.elf]` (default `demo.elf`).
+//!
+//! The guest has two symbols (`main`, `emit`) so `--profile`/`--explain`
+//! have names to attribute, prints 40 dots on the UART, and exits with a
+//! clean `ebreak` — the same shape docs/LOADER.md walks through.
+
+use taintvp::asm::{Asm, Reg};
+
+fn main() -> std::process::ExitCode {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "demo.elf".into());
+
+    let mut a = Asm::new(0);
+    a.label("main");
+    a.entry();
+    a.li(Reg::S0, 40);
+    a.label("work");
+    a.call("emit");
+    a.addi(Reg::S0, Reg::S0, -1);
+    a.bnez(Reg::S0, "work");
+    a.ebreak();
+    a.label("emit");
+    a.li(Reg::T0, 0x1000_0000u32 as i32); // UART tx register
+    a.li(Reg::T1, b'.' as i32);
+    a.sw(Reg::T1, 0, Reg::T0);
+    a.ret();
+
+    let bytes = match a.to_elf() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: demo guest failed to assemble: {e}");
+            return std::process::ExitCode::from(1);
+        }
+    };
+    if let Err(e) = std::fs::write(&out, &bytes) {
+        eprintln!("error: cannot write {out}: {e}");
+        return std::process::ExitCode::from(1);
+    }
+    eprintln!("wrote {out} ({} bytes, entry 0x0)", bytes.len());
+    std::process::ExitCode::SUCCESS
+}

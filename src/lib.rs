@@ -27,6 +27,7 @@ pub use vpdift_firmware as firmware;
 pub use vpdift_fleet as fleet;
 pub use vpdift_immo as immo;
 pub use vpdift_kernel as kernel;
+pub use vpdift_loader as loader;
 pub use vpdift_obs as obs;
 pub use vpdift_periph as periph;
 pub use vpdift_rv32 as rv32;

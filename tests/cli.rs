@@ -240,3 +240,75 @@ fn client_subcommand_drives_a_spawned_server() {
     );
     let _ = std::fs::remove_file(&script_path);
 }
+
+/// Emits a small ELF with distinct symbols into a temp file. The guest
+/// prints one UART byte from `emit` so `--profile`/`--explain` have both
+/// I/O and symbol structure to attribute.
+fn write_demo_elf(name: &str) -> std::path::PathBuf {
+    use taintvp::asm::{Asm, Reg};
+    let mut a = Asm::new(0);
+    a.label("main");
+    a.entry();
+    a.li(Reg::S0, 40);
+    a.label("work");
+    a.call("emit");
+    a.addi(Reg::S0, Reg::S0, -1);
+    a.bnez(Reg::S0, "work");
+    a.ebreak();
+    a.label("emit");
+    a.li(Reg::T0, 0x1000_0000u32 as i32); // UART tx
+    a.li(Reg::T1, b'.' as i32);
+    a.sw(Reg::T1, 0, Reg::T0);
+    a.ret();
+    let path = std::env::temp_dir().join(name);
+    std::fs::write(&path, a.to_elf().expect("demo ELF assembles")).expect("ELF written");
+    path
+}
+
+#[test]
+fn elf_guest_runs_end_to_end_with_symbolized_profile() {
+    let path = write_demo_elf("taintvp_cli_demo.elf");
+    let (code, stdout, stderr) = run_cli(&[path.to_str().unwrap(), "--profile", "--dump-uart-hex"]);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(stderr.contains("clean exit"), "{stderr}");
+    assert!(stdout.contains("uart[40]"), "all 40 UART bytes arrive: {stdout}");
+    // Profile attribution (on stderr) uses the names from the ELF `.symtab`.
+    assert!(stderr.contains("main"), "profile names `main`: {stderr}");
+    assert!(stderr.contains("emit"), "profile names `emit`: {stderr}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn malformed_elf_exits_8_with_a_typed_error() {
+    // The ELF magic makes the CLI take the loader path; the truncated
+    // header must surface as a loader error, not a panic or a parse of
+    // the bytes as assembly text.
+    let path = std::env::temp_dir().join("taintvp_cli_truncated.elf");
+    std::fs::write(&path, [0x7F, b'E', b'L', b'F', 1, 1]).expect("stub written");
+    let (code, _stdout, stderr) = run_cli(&[path.to_str().unwrap()]);
+    assert_eq!(code, 8, "loader errors use their own exit code: {stderr}");
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(stderr.contains("truncated"), "names the defect: {stderr}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn taint_segment_flag_classifies_elf_ingress() {
+    let path = write_demo_elf("taintvp_cli_taintseg.elf");
+    // Tag segment 0 with atom bit 2; the guest copies segment bytes to the
+    // UART, so in permissive mode the run stays clean but the taint flows.
+    let (code, _stdout, stderr) =
+        run_cli(&[path.to_str().unwrap(), "--taint-segment", "0:2", "--metrics"]);
+    assert_eq!(code, 0, "stderr: {stderr}");
+
+    // Out-of-range segment index is a usage error, not a loader error.
+    let (code, _stdout, stderr) = run_cli(&[path.to_str().unwrap(), "--taint-segment", "7:2"]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("1 loadable segment"), "{stderr}");
+
+    // And the flag is meaningless for assembly guests.
+    let (code, _stdout, stderr) = run_cli(&["docs/examples/leak.s", "--taint-segment", "0:2"]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("only applies to ELF"), "{stderr}");
+    let _ = std::fs::remove_file(&path);
+}

@@ -180,6 +180,138 @@ fn trap_loop_detection_is_engine_invariant() {
     assert_eq!(results[0], results[1], "engines disagree on trap-loop detection");
 }
 
+/// LR/SC under contention: reservations established in one cached block
+/// and consumed (or killed) in another must behave identically across
+/// engines — including the reservation state folded into the digest.
+#[test]
+fn lrsc_contention_is_engine_invariant() {
+    let mut a = Asm::new(0);
+    a.entry();
+    let cell = 0x7000;
+    a.li(Reg::S0, cell);
+    a.sw(Reg::Zero, 0, Reg::S0);
+    a.li(Reg::S1, 0); // SC-failure tally
+                      // Round 1: clean LR/SC pair — must succeed.
+    a.lr_w(Reg::T0, Reg::S0);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.sc_w(Reg::A0, Reg::T0, Reg::S0);
+    a.add(Reg::S1, Reg::S1, Reg::A0);
+    // Round 2: an intervening store "contends" and kills the reservation.
+    a.lr_w(Reg::T0, Reg::S0);
+    a.sw(Reg::T0, 64, Reg::S0);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.sc_w(Reg::A0, Reg::T0, Reg::S0);
+    a.add(Reg::S1, Reg::S1, Reg::A0);
+    // Round 3: reservation taken in one block, SC reached through a
+    // branch in another — the cache must carry the reservation across
+    // block boundaries.
+    a.lr_w(Reg::T0, Reg::S0);
+    a.beqz(Reg::Zero, "far_sc");
+    a.ebreak(); // unreachable
+    a.label("far_sc");
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.sc_w(Reg::A0, Reg::T0, Reg::S0);
+    a.add(Reg::S1, Reg::S1, Reg::A0);
+    // Round 4: SC with no reservation at all.
+    a.sc_w(Reg::A0, Reg::T0, Reg::S0);
+    a.add(Reg::S1, Reg::S1, Reg::A0);
+    a.lw(Reg::A1, 0, Reg::S0);
+    a.ebreak();
+    let prog = a.assemble().expect("lrsc guest assembles");
+
+    let [pi, pc] = run_both::<Plain>(&prog, 1_000);
+    assert_eq!(pi, pc, "plain VP engines disagree on LR/SC contention");
+    let [ti, tc] = run_both::<Tainted>(&prog, 1_000);
+    assert_eq!(ti, tc, "VP+ engines disagree on LR/SC contention");
+    assert_eq!(pi.0, SocExit::Break);
+
+    // Semantics: rounds 1 and 3 succeed, rounds 2 and 4 fail (tally 2),
+    // so the cell ends at 2.
+    let cfg = Soc::<Plain>::builder().sensor_thread(false).build();
+    let mut soc = Soc::<Plain>::new(cfg);
+    soc.load_program(&prog);
+    assert_eq!(soc.run(1_000), SocExit::Break);
+    assert_eq!(soc.cpu().reg(Reg::S1), 2, "exactly two SCs must fail");
+    assert_eq!(soc.cpu().reg(Reg::A1), 2, "two successful increments");
+}
+
+/// Atomics on MMIO are access faults, not read-modify-writes with device
+/// side effects — and the trap must look the same under both engines.
+#[test]
+fn amo_on_mmio_traps_identically_on_both_engines() {
+    use taintvp::asm::csr;
+    use taintvp::soc::map;
+
+    let mut a = Asm::new(0);
+    a.entry();
+    a.la(Reg::T0, "handler");
+    a.csrw(csr::MTVEC, Reg::T0);
+    a.li(Reg::S0, map::UART_BASE as i32);
+    a.li(Reg::T1, 1);
+    a.amoadd_w(Reg::T2, Reg::T1, Reg::S0); // store fault, no UART write
+    a.ebreak(); // skipped: the handler exits
+    a.align(4);
+    a.label("handler");
+    a.csrr(Reg::A0, csr::MCAUSE);
+    a.csrr(Reg::A1, csr::MTVAL);
+    a.ebreak();
+    let prog = a.assemble().expect("mmio amo guest assembles");
+
+    let [pi, pc] = run_both::<Plain>(&prog, 1_000);
+    assert_eq!(pi, pc, "plain VP engines disagree on AMO-to-MMIO");
+    let [ti, tc] = run_both::<Tainted>(&prog, 1_000);
+    assert_eq!(ti, tc, "VP+ engines disagree on AMO-to-MMIO");
+    assert_eq!(pi.0, SocExit::Break);
+    assert!(pi.1.is_empty(), "the faulting AMO must not reach the UART");
+
+    let cfg = Soc::<Plain>::builder().sensor_thread(false).build();
+    let mut soc = Soc::<Plain>::new(cfg);
+    soc.load_program(&prog);
+    assert_eq!(soc.run(1_000), SocExit::Break);
+    assert_eq!(soc.cpu().reg(Reg::A0), csr::cause::STORE_FAULT, "AMO faults as a store");
+    assert_eq!(soc.cpu().reg(Reg::A1), map::UART_BASE, "mtval holds the MMIO address");
+}
+
+/// SC-after-intervening-store over *tainted* data: the failed SC, the
+/// taint carried by the intervening store and the final AMO over a
+/// classified cell must leave bit-identical tag state (the state digest
+/// folds in per-byte tags) on both engines.
+#[test]
+fn tainted_atomics_digest_is_engine_invariant() {
+    use taintvp::core::Tag;
+    use taintvp::rv32::Word as _;
+
+    let cell: u32 = 0x7000;
+    let results = [ExecMode::Interp, ExecMode::BlockCache].map(|mode| {
+        let mut a = Asm::new(0);
+        a.entry();
+        a.li(Reg::S0, cell as i32);
+        a.lr_w(Reg::T0, Reg::S0); // tainted load: T0 carries the tag
+        a.sw(Reg::T0, 32, Reg::S0); // intervening store spreads the taint…
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.sc_w(Reg::A0, Reg::T0, Reg::S0); // …and this SC must fail
+        a.li(Reg::T1, 5);
+        a.amoadd_w(Reg::T2, Reg::T1, Reg::S0); // written tag = lub(cell, clean)
+        a.ebreak();
+        let prog = a.assemble().expect("tainted atomics guest assembles");
+
+        let cfg = Soc::<Tainted>::builder().sensor_thread(false).engine(mode).build();
+        let mut soc = Soc::<Tainted>::new(cfg);
+        soc.load_program(&prog);
+        soc.ram().borrow_mut().classify(cell, 4, Tag::from_bits(0b10));
+        let exit = soc.run(1_000);
+        let spread_tag = soc.ram().borrow().load(cell + 32, 4).1;
+        let cell_tag = soc.ram().borrow().load(cell, 4).1;
+        let sc_result = soc.cpu().reg(Reg::A0).val();
+        (exit, sc_result, soc.instret(), soc.state_digest(), spread_tag, cell_tag)
+    });
+    assert_eq!(results[0], results[1], "engines disagree on tainted atomics");
+    assert_eq!(results[0].0, SocExit::Break);
+    assert_eq!(results[0].1, 1, "the SC after the intervening store must fail");
+    assert_eq!(results[0].4, Tag::from_bits(0b10), "the intervening store spreads the tag");
+    assert_eq!(results[0].5, Tag::from_bits(0b10), "the AMO write keeps the cell tainted");
+}
+
 /// The platform watchdog (armed, waiting on a CAN frame a lossy line
 /// drops) bites identically under both engines.
 #[test]
