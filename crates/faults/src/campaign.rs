@@ -21,7 +21,7 @@ use vpdift_kernel::SimTime;
 use vpdift_periph::can::regs as can_regs;
 use vpdift_periph::CanFrame;
 use vpdift_rv32::Tainted;
-use vpdift_soc::{map, Soc, SocExit};
+use vpdift_soc::{map, ExecConfig, Soc, SocBuilder, SocExit};
 use vpdift_sync::shared;
 
 use crate::config::{generate_plan, FaultKind, PlannedFault};
@@ -282,6 +282,15 @@ fn observe<S: vpdift_obs::ObsSink>(
     }
 }
 
+/// Every campaign SoC starts from the one validated [`ExecConfig`] entry
+/// point; scenario-specific knobs (typed policies, the disabled sensor
+/// thread) layer on top of the resolved builder.
+fn base_builder() -> SocBuilder {
+    SocBuilder::from_exec_config(&ExecConfig::default())
+        .expect("the default exec config is valid")
+        .sensor_thread(false)
+}
+
 /// Runs a *random-schedule* scenario under `plan`. `watchdog` arms the
 /// host-side hang detector (always `None` for the reference run: an
 /// un-kicked dog would bite every long reference).
@@ -294,10 +303,7 @@ pub fn faulted_run(
     match kind {
         ScenarioKind::ImmoSession => {
             let fw = immo_fw::build(Variant::Fixed);
-            let cfg = Soc::<Tainted>::builder()
-                .policy(policy_for(PolicyKind::PerByte, &fw))
-                .sensor_thread(false)
-                .build();
+            let cfg = base_builder().policy(policy_for(PolicyKind::PerByte, &fw)).build();
             let mut soc = Soc::<Tainted>::new(cfg);
             let (mut ecu, challenges) = prepare_session(&mut soc, &fw, 1, b"q", 0xEC0);
             if let Some(t) = watchdog {
@@ -313,7 +319,7 @@ pub fn faulted_run(
             let program = build_leak_program(Scenario::DirectLeakUart);
             let pin_addr = program.symbol("pin").expect("leak program has a pin label");
             let (policy, _tags) = immo_policy::per_byte(pin_addr, 16);
-            let cfg = Soc::<Tainted>::builder().policy(policy).sensor_thread(false).build();
+            let cfg = base_builder().policy(policy).build();
             let mut soc = Soc::<Tainted>::new(cfg);
             soc.load_program(&program);
             soc.terminal().borrow_mut().feed(b"Z");
@@ -329,10 +335,7 @@ pub fn faulted_run(
                 .find(|a| a.form.is_some())
                 .expect("the suite contains applicable attacks");
             let form = attack.form.expect("filtered on is_some");
-            let cfg = Soc::<Tainted>::builder()
-                .policy(code_injection_policy())
-                .sensor_thread(false)
-                .build();
+            let cfg = base_builder().policy(code_injection_policy()).build();
             let mut soc = Soc::<Tainted>::new(cfg);
             soc.load_program(&form.program);
             let payload = form.program.symbol("payload").expect("payload symbol");
@@ -376,7 +379,7 @@ pub fn directed_run(kind: ScenarioKind, faulted: bool) -> ScenarioRun {
 /// trap lands at `mtvec` (still the reset value 0), which *is* the
 /// corrupted word: a textbook zero-progress trap loop.
 fn directed_trap_loop(faulted: bool) -> ScenarioRun {
-    let cfg = Soc::<Tainted>::builder().sensor_thread(false).build();
+    let cfg = base_builder().build();
     let mut soc = Soc::<Tainted>::new(cfg);
     soc.ram().borrow_mut().load_image(0, &0x0000_006Fu32.to_le_bytes());
     soc.cpu_mut().reset(0);
@@ -403,7 +406,7 @@ fn directed_watchdog(faulted: bool) -> ScenarioRun {
     a.lw(Reg::T1, can_regs::RX_ID as i32, Reg::S0);
     a.ebreak();
     let program = a.assemble().expect("watchdog guest assembles");
-    let cfg = Soc::<Tainted>::builder().sensor_thread(false).build();
+    let cfg = base_builder().build();
     let mut soc = Soc::<Tainted>::new(cfg);
     soc.load_program(&program);
     let mut faults = Vec::new();
@@ -441,7 +444,7 @@ fn directed_tag_corruption(faulted: bool) -> ScenarioRun {
     emit_runtime(&mut a);
     let program = a.assemble().expect("tag-corruption guest assembles");
     let policy = SecurityPolicy::builder("fault-demo").sink("uart.tx", Tag::EMPTY).build();
-    let cfg = Soc::<Tainted>::builder().policy(policy).sensor_thread(false).build();
+    let cfg = base_builder().policy(policy).build();
     let mut soc = Soc::<Tainted>::new(cfg);
     soc.load_program(&program);
     let buf = program.symbol("buf").expect("buf symbol");

@@ -164,7 +164,10 @@ mod tests {
         a.bnez(Reg::S0, "loop");
         a.ebreak();
         let prog = a.assemble().expect("copy loop assembles");
-        let cfg = Soc::<Tainted>::builder().sensor_thread(false).build();
+        let cfg = vpdift_soc::SocBuilder::from_exec_config(&vpdift_soc::ExecConfig::default())
+            .expect("default exec config resolves")
+            .sensor_thread(false)
+            .build();
         let mut soc = Soc::<Tainted>::new(cfg);
         soc.load_program(&prog);
         soc.ram().borrow_mut().load_image(0x2000, &[0x00]);

@@ -52,7 +52,10 @@ pub use recorder::Recorder;
 pub use ring::{EventRing, TimedEvent};
 pub use scrape::{MetricsServer, ScrapeError};
 pub use sink::{shared_obs, DynObs, NullSink, ObsHandle, ObsSink, SharedObs, ATOM_SLOTS};
-pub use stream::{InsnCell, StopFlag, StreamItem, StreamSink, Watch, WatchKind};
+pub use stream::{
+    BreakHit, BreakKind, BreakSet, Breakpoint, InsnCell, StopFlag, StreamItem, StreamSink, Watch,
+    WatchKind,
+};
 
 /// Adapts an [`ObsSink`] to the engine's [`FlowObserver`] hook: engine
 /// check sites become [`ObsEvent::Check`]s and recorded violations become

@@ -12,7 +12,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use vpdift_core::Tag;
 use vpdift_kernel::SimTime;
@@ -95,6 +95,159 @@ impl InsnCell {
     }
 }
 
+/// What a [`Breakpoint`] fires on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakKind {
+    /// Stop *before* executing the instruction at this PC. Persists
+    /// across hits; resuming steps over it once (see [`BreakSet::check`]).
+    Pc(u32),
+    /// Stop once the retired-instruction count reaches this value.
+    /// One-shot: removed automatically when it fires.
+    Instret(u64),
+}
+
+impl core::fmt::Display for BreakKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BreakKind::Pc(pc) => write!(f, "pc={pc:#010x}"),
+            BreakKind::Instret(n) => write!(f, "instret={n}"),
+        }
+    }
+}
+
+/// A registered breakpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Breakpoint {
+    /// Identifier assigned at registration, used to unregister and to
+    /// attribute hits.
+    pub id: u32,
+    /// What it fires on.
+    pub kind: BreakKind,
+}
+
+/// The record a fired breakpoint leaves behind, retrievable once via
+/// [`BreakSet::take_hit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakHit {
+    /// Which breakpoint fired.
+    pub id: u32,
+    /// Its kind at the time it fired.
+    pub kind: BreakKind,
+    /// PC of the instruction about to execute when the run stopped.
+    pub pc: u32,
+    /// Retired-instruction count at the stop.
+    pub instret: u64,
+}
+
+#[derive(Debug, Default)]
+struct BreakState {
+    bps: Vec<Breakpoint>,
+    next_id: u32,
+    /// `(pc, instret)` of the last hit; consumed by the first
+    /// [`check`](BreakSet::check) after a resume so a persistent PC
+    /// breakpoint does not immediately re-fire on the same instruction.
+    resume: Option<(u32, u64)>,
+    hit: Option<BreakHit>,
+}
+
+#[derive(Debug, Default)]
+struct BreakInner {
+    /// Fast-path gate: `true` while any breakpoint is registered. The
+    /// run loop reads this (one relaxed load) before touching the mutex,
+    /// so sessions without breakpoints never contend.
+    armed: AtomicBool,
+    state: Mutex<BreakState>,
+}
+
+/// A shared, cloneable set of PC / instruction-count breakpoints,
+/// evaluated by the SoC run loop *before* each instruction executes.
+///
+/// Like [`StopFlag`], clones share state, so a serve registry can arm
+/// and disarm breakpoints from another thread while the session runs.
+/// Unlike the stop poll — which is unconditional so deadline reapers
+/// reach `NullSink` fleets — the breakpoint check is observability-gated
+/// in the run loop and additionally gated on [`armed`](BreakSet::armed),
+/// keeping batch runs at zero cost.
+#[derive(Clone, Debug, Default)]
+pub struct BreakSet(Arc<BreakInner>);
+
+impl BreakSet {
+    /// A fresh, empty set.
+    pub fn new() -> Self {
+        BreakSet::default()
+    }
+
+    /// Registers a breakpoint and returns its id. Ids are never reused.
+    pub fn add(&self, kind: BreakKind) -> u32 {
+        let mut st = self.0.state.lock().unwrap();
+        st.next_id += 1;
+        let id = st.next_id;
+        st.bps.push(Breakpoint { id, kind });
+        self.0.armed.store(true, Ordering::Release);
+        id
+    }
+
+    /// Unregisters breakpoint `id`; `false` when no such breakpoint
+    /// exists.
+    pub fn remove(&self, id: u32) -> bool {
+        let mut st = self.0.state.lock().unwrap();
+        let before = st.bps.len();
+        st.bps.retain(|b| b.id != id);
+        let removed = st.bps.len() != before;
+        if st.bps.is_empty() {
+            self.0.armed.store(false, Ordering::Release);
+        }
+        removed
+    }
+
+    /// The registered breakpoints, in registration order.
+    pub fn list(&self) -> Vec<Breakpoint> {
+        self.0.state.lock().unwrap().bps.clone()
+    }
+
+    /// `true` while any breakpoint is registered — a single relaxed
+    /// load, the run loop's pre-check before paying for the mutex.
+    #[inline]
+    pub fn armed(&self) -> bool {
+        self.0.armed.load(Ordering::Relaxed)
+    }
+
+    /// Evaluates the set against the instruction about to execute.
+    /// Returns `true` when a breakpoint fires (the run loop should stop
+    /// with `SocExit::Stopped`); the hit is recorded for
+    /// [`take_hit`](BreakSet::take_hit).
+    ///
+    /// The first call after a hit with the *same* `(pc, instret)` —
+    /// i.e. resuming at the instruction the break stopped in front of —
+    /// skips PC breakpoints once, so persistent PC breaks don't pin the
+    /// session in place. Instret breakpoints fire when
+    /// `instret >= n` and are removed as they fire.
+    pub fn check(&self, pc: u32, instret: u64) -> bool {
+        let mut st = self.0.state.lock().unwrap();
+        let skip_pc = st.resume.take() == Some((pc, instret));
+        let fired = st.bps.iter().find_map(|b| match b.kind {
+            BreakKind::Pc(bp) if !skip_pc && bp == pc => Some(*b),
+            BreakKind::Instret(n) if instret >= n => Some(*b),
+            _ => None,
+        });
+        let Some(bp) = fired else { return false };
+        if matches!(bp.kind, BreakKind::Instret(_)) {
+            st.bps.retain(|b| b.id != bp.id);
+            if st.bps.is_empty() {
+                self.0.armed.store(false, Ordering::Release);
+            }
+        }
+        st.resume = Some((pc, instret));
+        st.hit = Some(BreakHit { id: bp.id, kind: bp.kind, pc, instret });
+        true
+    }
+
+    /// Removes and returns the record of the most recent hit, if any.
+    pub fn take_hit(&self) -> Option<BreakHit> {
+        self.0.state.lock().unwrap().hit.take()
+    }
+}
+
 /// What a taint watchpoint watches for.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WatchKind {
@@ -157,6 +310,19 @@ pub enum StreamItem {
         reason: String,
         /// Simulated time of the trigger.
         time: SimTime,
+    },
+    /// A breakpoint fired: the run stopped *before* executing `pc`.
+    /// Synthesized by the serve layer from [`BreakSet::take_hit`] after
+    /// a stopped run (the SoC loop itself never touches the stream).
+    Break {
+        /// Which breakpoint.
+        id: u32,
+        /// Human-readable trigger description (e.g. `pc=0x00000040`).
+        reason: String,
+        /// PC of the instruction about to execute.
+        pc: u32,
+        /// Retired-instruction count at the stop.
+        instret: u64,
     },
 }
 
@@ -510,6 +676,51 @@ mod tests {
         }
         assert_eq!(s.drain().len(), 4);
         assert_eq!(s.dropped(), 6);
+    }
+
+    #[test]
+    fn pc_break_fires_once_then_skips_on_resume() {
+        let b = BreakSet::new();
+        assert!(!b.armed());
+        let id = b.add(BreakKind::Pc(0x40));
+        assert!(b.armed());
+        assert!(!b.check(0x3c, 10), "other pc does not fire");
+        assert!(b.check(0x40, 11));
+        let hit = b.take_hit().expect("hit recorded");
+        assert_eq!((hit.id, hit.pc, hit.instret), (id, 0x40, 11));
+        assert!(b.take_hit().is_none(), "hit is taken once");
+        assert!(!b.check(0x40, 11), "resume at the same spot skips the pc break once");
+        assert!(b.check(0x40, 15), "but coming back around fires again");
+        assert!(b.armed(), "pc breaks persist");
+        assert!(b.remove(id));
+        assert!(!b.remove(id));
+        assert!(!b.armed());
+    }
+
+    #[test]
+    fn instret_break_is_one_shot_and_clones_share_state() {
+        let a = BreakSet::new();
+        let b = a.clone();
+        let id = b.add(BreakKind::Instret(100));
+        assert!(a.armed(), "clones share the set");
+        assert!(!a.check(0x10, 99));
+        assert!(a.check(0x10, 100));
+        assert_eq!(a.take_hit().map(|h| h.id), Some(id));
+        assert!(!a.armed(), "instret break removed itself");
+        assert!(a.list().is_empty());
+        assert!(!a.check(0x14, 101), "does not re-fire");
+    }
+
+    #[test]
+    fn stale_resume_token_does_not_mask_a_different_pc_hit() {
+        let b = BreakSet::new();
+        b.add(BreakKind::Pc(0x40));
+        b.add(BreakKind::Pc(0x44));
+        assert!(b.check(0x40, 5));
+        // Resume skips 0x40 at (0x40, 5); the very next instruction is
+        // 0x44 and must still fire.
+        assert!(!b.check(0x40, 5));
+        assert!(b.check(0x44, 6));
     }
 
     #[test]

@@ -1,14 +1,15 @@
 //! Scrapeable serve-side metrics: request counters plus per-session
 //! progress gauges.
 //!
-//! The introspection server is single-threaded by design — sessions are
-//! not `Sync` — so the scrape endpoint never touches them. Instead the
-//! server owns an `Arc<ServeMetrics>` and publishes into it at command
-//! granularity (request counted at dispatch, session gauges refreshed
-//! after the commands that move them); the scrape thread renders from
-//! these shared counters under short locks. Metrics are therefore at
-//! most one command stale, which is exactly the freshness a sequential
-//! request loop can promise.
+//! The v2 server is multi-threaded — one thread per TCP connection over
+//! a shared session registry — and every `ServeMetrics` field is already
+//! a lock or an atomic, so connection threads publish into one shared
+//! `Arc<ServeMetrics>` (attached once via the registry) at command
+//! granularity: requests counted at dispatch, session gauges refreshed
+//! after the commands that move them. The scrape endpoint renders from
+//! these shared counters under short locks and never touches a session
+//! itself, so a scrape can never block (or be blocked by) a guest run.
+//! Gauges are at most one command stale per session.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};

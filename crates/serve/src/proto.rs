@@ -1,17 +1,59 @@
-//! The `taintvp-serve/v1` wire protocol: one JSON document per line.
+//! The `taintvp-serve/v2` wire protocol: one JSON document per line.
 //!
 //! Requests are objects with a `"cmd"` string and an optional numeric
 //! `"id"` the server echoes back. Responses are `{"id":N,"ok":true,...}`
 //! or `{"id":N,"ok":false,"error":{"code":"...","message":"..."}}`.
-//! Streamed lines (events, flow deltas, watch hits) carry an `"ev"` key
-//! instead of `"ok"` so clients can split them from responses with one
-//! key test.
+//! Streamed lines (events, flow deltas, watch hits, breakpoint hits)
+//! carry an `"ev"` key instead of `"ok"` so clients can split them from
+//! responses with one key test.
+//!
+//! v2 is a strict superset of v1: every v1 command keeps its exact
+//! response shape (new response fields are additive and rendered only
+//! when non-empty), and the v2-only verbs (`hello`, `stop`, `break`,
+//! `unbreak`) are rejected as `unknown_cmd` on a connection pinned to v1
+//! via `hello` — see [`Version`].
 
 use vpdift_obs::export::{escape, event_fields, tag_json};
 use vpdift_obs::{FlowDelta, HopKind, StreamItem};
 
-/// Schema tag sent in the greeting line and documented in docs/SERVE.md.
+/// The v1 schema tag, still accepted by `hello` version negotiation.
 pub const SCHEMA: &str = "taintvp-serve/v1";
+
+/// The current schema tag, sent in the greeting line and documented in
+/// docs/SERVE.md.
+pub const SCHEMA_V2: &str = "taintvp-serve/v2";
+
+/// A negotiated protocol version. Every connection starts at
+/// [`Version::V2`]; a `hello` naming the v1 schema pins the connection
+/// back to v1 (v2-only verbs then report `unknown_cmd`, exactly as a v1
+/// server would have).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum Version {
+    /// `taintvp-serve/v1`: the PR 5 protocol, golden-transcript pinned.
+    V1,
+    /// `taintvp-serve/v2`: concurrent clients, `stop`, breakpoints.
+    #[default]
+    V2,
+}
+
+impl Version {
+    /// The schema tag this version answers to.
+    pub fn schema(self) -> &'static str {
+        match self {
+            Version::V1 => SCHEMA,
+            Version::V2 => SCHEMA_V2,
+        }
+    }
+
+    /// Parses a `hello` version string.
+    pub fn from_schema(s: &str) -> Option<Version> {
+        match s {
+            _ if s == SCHEMA => Some(Version::V1),
+            _ if s == SCHEMA_V2 => Some(Version::V2),
+            _ => None,
+        }
+    }
+}
 
 /// Typed protocol error categories; the wire code is [`ErrorCode::code`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -35,6 +77,9 @@ pub enum ErrorCode {
     BadWatch,
     /// The client connection failed mid-operation.
     Io,
+    /// The session is locked by a run in progress on another connection
+    /// (v2): interrupt it with `stop` instead of waiting.
+    Busy,
 }
 
 impl ErrorCode {
@@ -50,6 +95,7 @@ impl ErrorCode {
             ErrorCode::BadPolicy => "bad_policy",
             ErrorCode::BadWatch => "bad_watch",
             ErrorCode::Io => "io",
+            ErrorCode::Busy => "busy",
         }
     }
 }
@@ -99,10 +145,15 @@ pub fn err_line(id: Option<u64>, err: &ServeError) -> String {
     )
 }
 
-/// The greeting line written once per connection before any response.
+/// The greeting line written once per connection before any response:
+/// current schema, the older schemas `hello` can pin, and the sessions
+/// already live in the registry.
 pub fn greeting(sessions: &[&str]) -> String {
     let names: Vec<String> = sessions.iter().map(|s| format!("\"{}\"", escape(s))).collect();
-    format!("{{\"schema\":\"{SCHEMA}\",\"sessions\":[{}]}}", names.join(","))
+    format!(
+        "{{\"schema\":\"{SCHEMA_V2}\",\"compat\":[\"{SCHEMA}\"],\"sessions\":[{}]}}",
+        names.join(",")
+    )
 }
 
 /// Renders one streamed item as an `"ev"` line tagged with the session it
@@ -123,6 +174,10 @@ pub fn stream_line(session: &str, item: &StreamItem) -> String {
             "{{\"ev\":\"watch\",\"session\":\"{sess}\",\"watch\":{id},\"reason\":\"{}\",\"t_ps\":{}}}",
             escape(reason),
             time.as_ps()
+        ),
+        StreamItem::Break { id, reason, pc, instret } => format!(
+            "{{\"ev\":\"break\",\"session\":\"{sess}\",\"break\":{id},\"reason\":\"{}\",\"pc\":{pc},\"instret\":{instret}}}",
+            escape(reason)
         ),
     }
 }
@@ -191,6 +246,18 @@ mod tests {
     }
 
     #[test]
+    fn version_negotiation_and_greeting_compat() {
+        assert_eq!(Version::default(), Version::V2, "connections start at v2");
+        assert_eq!(Version::from_schema(SCHEMA), Some(Version::V1));
+        assert_eq!(Version::from_schema(SCHEMA_V2), Some(Version::V2));
+        assert_eq!(Version::from_schema("taintvp-serve/v3"), None);
+        assert_eq!(Version::V1.schema(), SCHEMA);
+        let g = greeting(&["a"]);
+        assert!(g.contains("\"schema\":\"taintvp-serve/v2\""), "{g}");
+        assert!(g.contains("\"compat\":[\"taintvp-serve/v1\"]"), "{g}");
+    }
+
+    #[test]
     fn stream_lines_are_valid_json() {
         let ev = StreamItem::Event(TimedEvent {
             time: SimTime::from_ns(3),
@@ -211,7 +278,13 @@ mod tests {
             reason: "sink uart.tx tagged".into(),
             time: SimTime::from_ns(9),
         };
-        for item in [&ev, &flow, &watch] {
+        let brk = StreamItem::Break {
+            id: 1,
+            reason: "pc=0x00000040".into(),
+            pc: 0x40,
+            instret: 17,
+        };
+        for item in [&ev, &flow, &watch, &brk] {
             let line = stream_line("s1", item);
             validate_json(&line).unwrap_or_else(|e| panic!("bad line `{line}`: {e}"));
             assert!(line.contains("\"ev\":\""), "{line}");

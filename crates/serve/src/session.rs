@@ -8,11 +8,14 @@
 //! state intact — the next `run` continues from the exact stop point.
 
 use vpdift_asm::{parse_asm, Program, Reg};
-use vpdift_core::{parse_policy, AtomTable, EnforceMode, SecurityPolicy, Tag};
+use vpdift_core::{AtomTable, Tag};
 use vpdift_loader::Elf32;
-use vpdift_obs::{flowgraph, Recorder, StopFlag, StreamItem, StreamSink, Watch, WatchKind};
+use vpdift_obs::{
+    flowgraph, BreakHit, BreakKind, BreakSet, Breakpoint, Recorder, StopFlag, StreamItem,
+    StreamSink, Watch, WatchKind,
+};
 use vpdift_rv32::{ExecMode, Plain, Tainted, Word};
-use vpdift_soc::{Soc, SocBuilder, SocExit};
+use vpdift_soc::{ExecConfig, ExecConfigError, Soc, SocExit};
 use vpdift_sync::{shared, Shared};
 
 use crate::proto::{ErrorCode, ServeError};
@@ -31,39 +34,18 @@ const RING_CAP: usize = 64;
 /// `"program": "elf-hex:7f454c46..."`).
 pub const ELF_HEX_PREFIX: &str = "elf-hex:";
 
-/// Options extracted from a `create` request.
-#[derive(Clone, Debug)]
+/// Options extracted from a `create` request. Everything except the
+/// program — policy, mode, engine, enforce, quantum, ram_size — rides in
+/// the shared [`ExecConfig`], so serve validates exactly what the CLI and
+/// fleet validate.
+#[derive(Clone, Debug, Default)]
 pub struct CreateOpts {
     /// Guest program: assembly source, or a hex-encoded ELF32 image when
     /// prefixed with [`ELF_HEX_PREFIX`].
     pub program: String,
-    /// Optional policy source; permissive when absent.
-    pub policy: Option<String>,
-    /// `false` = plain VP (no tracking), `true` = tainted VP+.
-    pub tainted: bool,
-    /// Execution engine.
-    pub engine: ExecMode,
-    /// Enforce or record violations.
-    pub enforce: EnforceMode,
-    /// Scheduling quantum override.
-    pub quantum: Option<u32>,
-    /// RAM size override in bytes (digest cost scales with RAM, so small
-    /// guests benefit from a small footprint).
-    pub ram_size: Option<usize>,
-}
-
-impl Default for CreateOpts {
-    fn default() -> Self {
-        CreateOpts {
-            program: String::new(),
-            policy: None,
-            tainted: true,
-            engine: ExecMode::Interp,
-            enforce: EnforceMode::Enforce,
-            quantum: None,
-            ram_size: None,
-        }
-    }
+    /// How to build and run the VP (one parse/validate path for every
+    /// entry point — see [`ExecConfig`]).
+    pub exec: ExecConfig,
 }
 
 /// Decodes an even-length hex string (no separators) into bytes.
@@ -121,6 +103,7 @@ pub struct Session {
     soc: AnySoc,
     sink: Shared<StreamSink>,
     stop: StopFlag,
+    breaks: BreakSet,
     atoms: AtomTable,
     tainted: bool,
     engine: ExecMode,
@@ -134,7 +117,10 @@ impl Session {
     ///
     /// # Errors
     /// [`ErrorCode::BadProgram`] / [`ErrorCode::BadPolicy`] with the
-    /// parser's (or loader's) message.
+    /// parser's (or loader's) message; [`ErrorCode::BadRequest`] for
+    /// out-of-range exec limits (bad `ram_size`/`quantum` — rejected
+    /// here by [`ExecConfig::validate`] instead of panicking the server
+    /// inside SoC construction).
     pub fn create(opts: &CreateOpts) -> Result<Session, ServeError> {
         let bad = |msg: String| ServeError::new(ErrorCode::BadProgram, msg);
         let (program, elf): (Program, Option<Elf32>) =
@@ -147,31 +133,26 @@ impl Session {
                 }
                 None => (parse_asm(&opts.program, 0).map_err(|e| bad(e.to_string()))?, None),
             };
-        let (policy, atoms) = match &opts.policy {
-            Some(src) => parse_policy(src)
-                .map_err(|e| ServeError::new(ErrorCode::BadPolicy, e.to_string()))?,
-            None => (SecurityPolicy::permissive(), AtomTable::from_names::<_, String>([])),
-        };
+        let (builder, atoms) = opts.exec.resolve().map_err(|e| {
+            let code = match e {
+                ExecConfigError::BadPolicy(_) => ErrorCode::BadPolicy,
+                _ => ErrorCode::BadRequest,
+            };
+            ServeError::new(code, e.to_string())
+        })?;
 
         let stop = StopFlag::new();
+        let breaks = BreakSet::new();
         let recorder = Recorder::new(RING_CAP)
             .with_symbols(vpdift_obs::SymbolMap::from_program(&program))
             .with_flow_deltas();
         let sink = shared(StreamSink::new(recorder, stop.clone()));
 
-        let mut builder = SocBuilder::new()
-            .policy(policy)
-            .enforce(opts.enforce)
-            .engine(opts.engine)
+        let cfg = builder
             .sensor_thread(false)
-            .stop_flag(stop.clone());
-        if let Some(q) = opts.quantum {
-            builder = builder.quantum(q);
-        }
-        if let Some(bytes) = opts.ram_size {
-            builder = builder.ram_size(bytes);
-        }
-        let cfg = builder.build();
+            .stop_flag(stop.clone())
+            .breakpoints(breaks.clone())
+            .build();
         let quantum = cfg.quantum;
 
         // Boot: ELF images map segment-by-segment (BSS zeroed, load
@@ -191,7 +172,7 @@ impl Session {
                 }
             }
         }
-        let soc = if opts.tainted {
+        let soc = if opts.exec.tainted {
             let mut soc: Soc<Tainted, StreamSink> = Soc::with_obs(cfg, sink.clone());
             boot(&mut soc, &program, &elf)?;
             AnySoc::Tainted(soc)
@@ -201,7 +182,16 @@ impl Session {
             AnySoc::Plain(soc)
         };
 
-        Ok(Session { soc, sink, stop, atoms, tainted: opts.tainted, engine: opts.engine, quantum })
+        Ok(Session {
+            soc,
+            sink,
+            stop,
+            breaks,
+            atoms,
+            tainted: opts.exec.tainted,
+            engine: opts.exec.engine,
+            quantum,
+        })
     }
 
     /// `"tainted"` or `"plain"`.
@@ -363,10 +353,37 @@ impl Session {
     }
 
     /// A clone of the session's cooperative stop flag. Raising it makes
-    /// the current run slice the last one (used when the client vanishes
-    /// mid-run).
+    /// the current run slice the last one — from the same connection
+    /// (client vanished mid-run) or any other (the v2 `stop` command).
     pub fn stop_flag(&self) -> StopFlag {
         self.stop.clone()
+    }
+
+    /// A clone of the session's breakpoint set — shared with the SoC run
+    /// loop, armable from any thread.
+    pub fn break_set(&self) -> BreakSet {
+        self.breaks.clone()
+    }
+
+    /// Adds a PC or instruction-count breakpoint; returns its id.
+    pub fn add_break(&self, kind: BreakKind) -> u32 {
+        self.breaks.add(kind)
+    }
+
+    /// Removes breakpoint `id`; `false` when the id is unknown.
+    pub fn remove_break(&self, id: u32) -> bool {
+        self.breaks.remove(id)
+    }
+
+    /// The registered breakpoints, in registration order.
+    pub fn breaks(&self) -> Vec<Breakpoint> {
+        self.breaks.list()
+    }
+
+    /// The record of the most recent breakpoint hit, consumed once —
+    /// the serve layer turns it into an `"ev":"break"` stream line.
+    pub fn take_break_hit(&self) -> Option<BreakHit> {
+        self.breaks.take_hit()
     }
 }
 
@@ -397,26 +414,36 @@ sink uart.tx public
     fn leak_opts() -> CreateOpts {
         CreateOpts {
             program: LOOP_LEAK.into(),
-            policy: Some(POLICY.into()),
-            enforce: EnforceMode::Record,
-            ram_size: Some(64 * 1024),
-            ..CreateOpts::default()
+            exec: ExecConfig {
+                policy: Some(POLICY.into()),
+                enforce: vpdift_core::EnforceMode::Record,
+                ram_size: Some(64 * 1024),
+                ..ExecConfig::default()
+            },
         }
     }
 
     #[test]
-    fn create_rejects_bad_program_and_policy() {
+    fn create_rejects_bad_program_policy_and_limits() {
         let bad_prog = CreateOpts { program: "not an opcode".into(), ..CreateOpts::default() };
         let err = Session::create(&bad_prog).err().expect("bad program rejected");
         assert_eq!(err.code, ErrorCode::BadProgram);
 
         let bad_policy = CreateOpts {
             program: "ebreak".into(),
-            policy: Some("classify nonsense".into()),
-            ..CreateOpts::default()
+            exec: ExecConfig { policy: Some("classify nonsense".into()), ..ExecConfig::default() },
         };
         let err = Session::create(&bad_policy).err().expect("bad policy rejected");
         assert_eq!(err.code, ErrorCode::BadPolicy);
+
+        // A huge ram_size used to reach the assertion inside SoC
+        // construction and panic the server; ExecConfig rejects it first.
+        let bad_ram = CreateOpts {
+            program: "ebreak".into(),
+            exec: ExecConfig { ram_size: Some(usize::MAX), ..ExecConfig::default() },
+        };
+        let err = Session::create(&bad_ram).err().expect("bad ram_size rejected");
+        assert_eq!(err.code, ErrorCode::BadRequest);
     }
 
     #[test]
@@ -455,9 +482,45 @@ sink uart.tx public
     }
 
     #[test]
+    fn breakpoints_stop_before_the_instruction_and_resume_on_both_engines() {
+        for engine in [ExecMode::Interp, ExecMode::BlockCache] {
+            let mut opts = leak_opts();
+            opts.exec.engine = engine;
+            let mut sess = Session::create(&opts).expect("session boots");
+
+            // Stop mid-loop by instruction count: the breakpoint fires
+            // *before* instruction 13 retires.
+            let id = sess.add_break(BreakKind::Instret(12));
+            let exit = sess.run(DEFAULT_MAX_STEPS, &mut |_| {});
+            assert_eq!(exit, SocExit::Stopped, "engine {engine:?}");
+            assert_eq!(sess.instret(), 12, "engine {engine:?}: stopped before executing");
+            let hit = sess.take_break_hit().expect("hit recorded");
+            assert_eq!((hit.id, hit.instret), (id, 12));
+            assert!(sess.breaks().is_empty(), "instret breaks are one-shot");
+
+            // A PC breakpoint at the paused instruction: resuming skips
+            // it once (no instant re-fire), then it catches the next
+            // loop iteration at the same PC.
+            let (pc, _) = sess.read_regs();
+            let pcid = sess.add_break(BreakKind::Pc(pc));
+            let exit = sess.run(DEFAULT_MAX_STEPS, &mut |_| {});
+            assert_eq!(exit, SocExit::Stopped, "engine {engine:?}");
+            let hit = sess.take_break_hit().expect("pc hit recorded");
+            assert_eq!((hit.id, hit.pc), (pcid, pc));
+            assert!(hit.instret > 12, "a full loop iteration ran in between");
+
+            assert!(sess.remove_break(pcid));
+            assert!(!sess.remove_break(pcid), "second removal reports missing");
+            let exit = sess.run_until(None, &mut |_| {});
+            assert_eq!(exit, SocExit::Break, "engine {engine:?}: runs to completion");
+        }
+    }
+
+    #[test]
     fn sliced_run_digest_matches_batch_run() {
         for engine in [ExecMode::Interp, ExecMode::BlockCache] {
-            let opts = CreateOpts { engine, ..leak_opts() };
+            let mut opts = leak_opts();
+            opts.exec.engine = engine;
             // Many tiny budgets until the guest ebreaks: slicing must not
             // perturb architectural state relative to one batch run.
             let mut sliced = Session::create(&opts).expect("session boots");

@@ -191,7 +191,7 @@ fn malformed_and_unknown_requests_get_typed_errors() {
 }
 
 #[test]
-fn client_disconnect_mid_run_frees_the_session() {
+fn client_disconnect_mid_run_stops_but_keeps_the_session() {
     let mut server = Server::new();
     let create = format!(
         "{{\"cmd\":\"create\",\"session\":\"immo\",\"program\":\"{}\",\"policy\":\"{}\",\"enforce\":\"record\",\"ram_size\":65536}}",
@@ -218,10 +218,72 @@ fn client_disconnect_mid_run_frees_the_session() {
     assert!(result.is_err(), "broken pipe surfaces to the transport loop");
     assert!(wrote >= 1, "at least one write was attempted");
 
-    // …and the running session was stopped and freed, not left wedged:
-    // the registry is empty and the next client can reuse the name.
+    // …but the session belongs to the registry, not the dead connection:
+    // it was stopped, kept, and is immediately usable by the next client.
     let out = one_shot(&mut server, r#"{"cmd":"list"}"#);
-    assert_eq!(out[0], "{\"ok\":true,\"sessions\":[]}");
+    assert_eq!(out[0], "{\"ok\":true,\"sessions\":[\"immo\"]}");
+    let info = one_shot(&mut server, r#"{"cmd":"info","session":"immo"}"#);
+    assert!(info[0].contains("\"ok\":true"), "{}", info[0]);
+    // The latched stop was cleared, so a fresh run makes real progress
+    // instead of returning `stopped` after zero steps.
+    let before: u64 = info[0]
+        .split("\"instret\":")
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .and_then(|s| s.parse().ok())
+        .expect("info carries instret");
+    let run = one_shot(&mut server, r#"{"cmd":"run","session":"immo","max_steps":200}"#);
+    let resp = run.last().expect("run responds");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    let after: u64 = resp
+        .split("\"instret\":")
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .and_then(|s| s.parse().ok())
+        .expect("run reports instret");
+    assert!(after > before, "resumed run retired instructions ({before} -> {after})");
+}
+
+#[test]
+fn hello_pins_v1_and_hides_v2_verbs() {
+    let mut server = Server::new();
+    let (out, _) = drive(
+        &mut server,
+        &[
+            r#"{"id":1,"cmd":"create","session":"s","program":"ebreak","ram_size":65536}"#.into(),
+            // Fresh connections speak v2: `stop` and `break` exist.
+            r#"{"id":2,"cmd":"stop","session":"s"}"#.into(),
+            r#"{"id":3,"cmd":"break","session":"s","pc":64}"#.into(),
+            // Pin the connection to v1: the same verbs must now be
+            // rejected exactly as a v1 server rejected them.
+            r#"{"id":4,"cmd":"hello","version":"taintvp-serve/v1"}"#.into(),
+            r#"{"id":5,"cmd":"stop","session":"s"}"#.into(),
+            r#"{"id":6,"cmd":"break","session":"s","instret":10}"#.into(),
+            r#"{"id":7,"cmd":"unbreak","session":"s","break":1}"#.into(),
+            // v1 commands keep working while pinned.
+            r#"{"id":8,"cmd":"list"}"#.into(),
+            // Re-upgrade mid-connection, and reject unknown schemas.
+            r#"{"id":9,"cmd":"hello","version":"taintvp-serve/v2"}"#.into(),
+            r#"{"id":10,"cmd":"unbreak","session":"s","break":1}"#.into(),
+            r#"{"id":11,"cmd":"hello","version":"taintvp-serve/v9"}"#.into(),
+        ],
+    );
+    let line = |id: usize| {
+        out.iter()
+            .find(|l| l.starts_with(&format!("{{\"id\":{id},")))
+            .unwrap_or_else(|| panic!("no response for id {id}: {out:?}"))
+    };
+    assert!(line(2).contains("\"ok\":true"), "{}", line(2));
+    assert!(line(3).contains("\"break\":1"), "{}", line(3));
+    assert!(line(4).contains("\"schema\":\"taintvp-serve/v1\""), "{}", line(4));
+    for id in [5, 6] {
+        assert!(line(id).contains("\"code\":\"unknown_cmd\""), "{}", line(id));
+    }
+    assert!(line(7).contains("\"code\":\"unknown_cmd\""), "{}", line(7));
+    assert!(line(8).contains("\"sessions\":[\"s\"]"), "{}", line(8));
+    assert!(line(9).contains("\"schema\":\"taintvp-serve/v2\""), "{}", line(9));
+    assert!(line(10).contains("\"ok\":true"), "v2 verbs return after re-upgrade: {}", line(10));
+    assert!(line(11).contains("\"code\":\"bad_request\""), "{}", line(11));
 }
 
 // --------------------------------------------------------- elf guests ---

@@ -21,9 +21,10 @@
 
 use vpdift_core::{EnforceMode, SecurityPolicy};
 use vpdift_kernel::SimTime;
-use vpdift_obs::{InsnCell, StopFlag};
+use vpdift_obs::{BreakSet, InsnCell, StopFlag};
 use vpdift_rv32::ExecMode;
 
+use crate::exec_config::{ExecConfig, ExecConfigError};
 use crate::soc::SocConfig;
 
 /// Fluent builder producing a [`SocConfig`]. Obtain one via
@@ -39,6 +40,15 @@ impl SocBuilder {
     /// A builder loaded with the default configuration.
     pub fn new() -> Self {
         SocBuilder { config: SocConfig::default() }
+    }
+
+    /// The single entry point from the user-facing [`ExecConfig`]: one
+    /// validate/resolve path shared by the CLI, the serve `create`
+    /// command, fleet job specs, and faultcamp. Knobs `ExecConfig` does
+    /// not carry (seed, stop flag, …) keep their defaults — chain the
+    /// usual methods after this.
+    pub fn from_exec_config(cfg: &ExecConfig) -> Result<Self, ExecConfigError> {
+        cfg.resolve().map(|(b, _)| b)
     }
 
     /// RAM size in bytes (must stay below the first MMIO region;
@@ -91,11 +101,24 @@ impl SocBuilder {
     }
 
     /// Shares `flag` with the run loop for cooperative stops: raising it
-    /// (typically from a [`vpdift_obs::StreamSink`] watchpoint) makes
+    /// (from a [`vpdift_obs::StreamSink`] watchpoint, a serve-layer
+    /// `stop`, or a fleet deadline reaper) makes
     /// [`Soc::run`](crate::Soc::run) return `SocExit::Stopped` at the
-    /// next step boundary. Ignored by `NullSink` builds.
+    /// next step boundary. Polled on every build, `NullSink` included —
+    /// that is how deadline kills reach sessions running without
+    /// observability.
     pub fn stop_flag(mut self, flag: StopFlag) -> Self {
         self.config.stop = flag;
+        self
+    }
+
+    /// Shares `breaks` with the run loop: PC / instruction-count
+    /// breakpoints added to the set (from any thread) stop the run with
+    /// `SocExit::Stopped` *before* the matching instruction executes.
+    /// Unlike the stop flag, the check is observability-gated —
+    /// `NullSink` builds compile it out entirely.
+    pub fn breakpoints(mut self, breaks: BreakSet) -> Self {
+        self.config.breaks = breaks;
         self
     }
 
@@ -136,6 +159,7 @@ mod tests {
     fn every_knob_is_reachable() {
         let stop = StopFlag::new();
         let insns = InsnCell::new();
+        let breaks = BreakSet::new();
         let cfg = SocBuilder::new()
             .ram_size(64 * 1024)
             .policy(SecurityPolicy::permissive())
@@ -147,6 +171,7 @@ mod tests {
             .engine(ExecMode::BlockCache)
             .stop_flag(stop.clone())
             .insn_cell(insns.clone())
+            .breakpoints(breaks.clone())
             .build();
         assert_eq!(cfg.ram_size, 64 * 1024);
         assert_eq!(cfg.enforce, EnforceMode::Record);
@@ -159,5 +184,7 @@ mod tests {
         assert!(cfg.stop.is_requested(), "builder shares the caller's flag");
         cfg.insns.add(5);
         assert_eq!(insns.get(), 5, "builder shares the caller's insn cell");
+        breaks.add(vpdift_obs::BreakKind::Pc(0x40));
+        assert!(cfg.breaks.armed(), "builder shares the caller's breakpoint set");
     }
 }

@@ -34,12 +34,14 @@
 
 mod builder;
 mod bus;
+mod exec_config;
 pub mod map;
 mod soc;
 pub mod trace;
 
 pub use builder::SocBuilder;
 pub use bus::SocBus;
+pub use exec_config::{ExecConfig, ExecConfigError};
 pub use soc::{ElfLoadError, Soc, SocConfig, SocExit};
 pub use trace::TraceRecord;
 pub use vpdift_rv32::ExecMode;

@@ -8,7 +8,9 @@ use vpdift_core::{
 };
 use vpdift_kernel::{Kernel, SimTime};
 use vpdift_loader::{Elf32, Segment};
-use vpdift_obs::{engine_observer, shared_obs, InsnCell, NullSink, ObsEvent, ObsSink, StopFlag};
+use vpdift_obs::{
+    engine_observer, shared_obs, BreakSet, InsnCell, NullSink, ObsEvent, ObsSink, StopFlag,
+};
 use vpdift_periph::{
     AesEngine, CanChannel, CanController, CanHostEndpoint, Clint, Dma, IrqLine, Plic, Ram, Sensor,
     TaintDebug, Terminal, Uart, Watchdog,
@@ -63,6 +65,12 @@ impl fmt::Display for ElfLoadError {
 impl std::error::Error for ElfLoadError {}
 
 /// Build-time configuration of the VP.
+///
+/// Construct through [`SocBuilder`] (or [`SocBuilder::from_exec_config`]
+/// for user-facing string knobs) — the struct is `#[non_exhaustive]`, so
+/// literal construction outside this crate no longer compiles; fields
+/// stay publicly *readable*.
+#[non_exhaustive]
 #[derive(Clone, Debug)]
 pub struct SocConfig {
     /// RAM size in bytes.
@@ -95,6 +103,13 @@ pub struct SocConfig {
     /// report progress of a session still mid-run. Share a cell via
     /// [`SocBuilder::insn_cell`]; the default cell has no other reader.
     pub insns: InsnCell,
+    /// Shared PC / instruction-count breakpoints, checked *before* each
+    /// instruction executes. Gated twice: on `S::ENABLED` (so `NullSink`
+    /// batch runs compile the check out — unlike the stop poll, nothing
+    /// external ever needs to break an unobserved session) and on the
+    /// set's one-relaxed-load [`BreakSet::armed`] fast path. Share a set
+    /// via [`SocBuilder::breakpoints`].
+    pub breaks: BreakSet,
 }
 
 impl Default for SocConfig {
@@ -110,6 +125,7 @@ impl Default for SocConfig {
             exec: ExecMode::Interp,
             stop: StopFlag::new(),
             insns: InsnCell::new(),
+            breaks: BreakSet::new(),
         }
     }
 }
@@ -121,6 +137,7 @@ impl SocConfig {
     }
 
     /// Configuration with a specific policy, defaults elsewhere.
+    #[deprecated(since = "0.1.0", note = "use `Soc::<M>::builder().policy(p).build()`")]
     pub fn with_policy(policy: SecurityPolicy) -> Self {
         SocBuilder::new().policy(policy).build()
     }
@@ -566,6 +583,19 @@ impl<M: TaintMode, S: ObsSink> Soc<M, S> {
                 // on `S::ENABLED` — so deadline kills reach `NullSink`
                 // sessions too; the unraised check is one relaxed load.
                 if self.config.stop.take() {
+                    exit = Some(SocExit::Stopped);
+                    break;
+                }
+                // Breakpoints fire *before* the matching instruction
+                // executes, so a resumed run continues from the exact
+                // stop point. Gated on `S::ENABLED` (compiled out for
+                // `NullSink` batch runs) and on one relaxed `armed` load,
+                // so sessions without breakpoints never pay for the set's
+                // mutex.
+                if S::ENABLED
+                    && self.config.breaks.armed()
+                    && self.config.breaks.check(self.cpu.pc(), self.cpu.instret())
+                {
                     exit = Some(SocExit::Stopped);
                     break;
                 }

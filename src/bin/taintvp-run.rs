@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! taintvp-run <program.s|program.elf> [options]
-//! taintvp-run serve [--tcp addr] [--metrics-addr host:port]
+//! taintvp-run serve [--tcp addr] [--metrics-addr host:port] [--idle-timeout secs]
 //! taintvp-run client [--script file] [--tcp addr]
 //! taintvp-run fleet [--jobs n] [--workers n] [--seed n] [--rate r]
 //!                   [--deadline-ms n] [--journal file] [--resume]
@@ -69,10 +69,14 @@
 //! when off.
 //!
 //! The `serve` subcommand starts the live introspection server speaking
-//! the `taintvp-serve/v1` line-JSON protocol (docs/SERVE.md) over stdio,
-//! or over TCP with `--tcp addr`; `--metrics-addr` adds a `/metrics`
-//! endpoint with request and per-session counters. The `client` subcommand drives a server:
-//! it sends the request lines from `--script file` (or interactively from
+//! the `taintvp-serve/v2` line-JSON protocol (docs/SERVE.md; v1 clients
+//! negotiate down via `hello`) over stdio, or over TCP with `--tcp addr`
+//! — one thread per client against a shared session registry, so a
+//! second client can `stop` a run the first started, or arm breakpoints
+//! on it mid-flight. `--idle-timeout secs` sweeps sessions no client has
+//! touched; `--metrics-addr` adds a `/metrics` endpoint with request and
+//! per-session counters. The `client` subcommand drives a server: it
+//! sends the request lines from `--script file` (or interactively from
 //! stdin) and prints every server line — spawning a `serve` child over
 //! stdio by default, or connecting to `--tcp addr`.
 //!
@@ -99,7 +103,7 @@ use std::process::ExitCode;
 use vpdift_sync::{shared, Shared};
 
 use taintvp::asm::{parse_asm, Program};
-use taintvp::core::{parse_policy, AtomTable, EnforceMode, SecurityPolicy, Tag};
+use taintvp::core::{AtomTable, Tag};
 use taintvp::faults::{
     classify, generate_plan, run_with_faults, Outcome, PlannedFault, ScenarioRun,
 };
@@ -107,7 +111,7 @@ use taintvp::loader::{is_elf, Elf32};
 use taintvp::obs::export::{write_chrome_trace, write_jsonl, write_metrics_json};
 use taintvp::obs::{NullSink, ObsSink, Recorder, SymbolMap};
 use taintvp::rv32::{Plain, TaintMode, Tainted};
-use taintvp::soc::{ExecMode, Soc, SocExit};
+use taintvp::soc::{ExecConfig, Soc, SocBuilder, SocExit};
 
 /// Ring capacity when observability is on but `--flight-recorder` is not.
 const DEFAULT_RING: usize = 32;
@@ -138,13 +142,15 @@ impl Guest {
     }
 }
 
+#[derive(Clone)]
 struct Options {
     program: String,
     taint_segments: Vec<(usize, u8)>,
+    /// Path of the `--policy` file; its text lands in `exec.policy`.
     policy: Option<String>,
-    plain: bool,
-    engine: ExecMode,
-    record: bool,
+    /// Mode/engine/enforce/policy in the one validated shape every
+    /// front end (CLI, serve, fleet) shares.
+    exec: ExecConfig,
     input: Vec<u8>,
     max_insns: u64,
     trace: u64,
@@ -249,9 +255,7 @@ fn parse_args() -> Result<Options, String> {
         program: String::new(),
         taint_segments: Vec::new(),
         policy: None,
-        plain: false,
-        engine: ExecMode::Interp,
-        record: false,
+        exec: ExecConfig::default(),
         input: Vec::new(),
         max_insns: 100_000_000,
         trace: 0,
@@ -273,12 +277,12 @@ fn parse_args() -> Result<Options, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--policy" => opts.policy = Some(args.next().ok_or("--policy needs a file")?),
-            "--plain" => opts.plain = true,
+            "--plain" => opts.exec.set_mode_str("plain").map_err(|e| e.to_string())?,
             "--engine" => {
                 let s = args.next().ok_or("--engine needs a name")?;
-                opts.engine = s.parse().map_err(|e: String| e)?;
+                opts.exec.set_engine_str(&s).map_err(|e| e.to_string())?;
             }
-            "--record" => opts.record = true,
+            "--record" => opts.exec.set_enforce_str("record").map_err(|e| e.to_string())?,
             "--input" => {
                 let s = args.next().ok_or("--input needs a string")?;
                 opts.input = unescape(&s)?;
@@ -409,15 +413,11 @@ type VpRun<M, S> = (SocExit, Soc<M, S>, Vec<taintvp::faults::FaultRecord>);
 
 fn run_vp<M: TaintMode, S: ObsSink>(
     opts: &Options,
-    policy: SecurityPolicy,
     guest: &Guest,
     obs: Shared<S>,
     plan: &[PlannedFault],
 ) -> Result<VpRun<M, S>, String> {
-    let mut builder = Soc::<M>::builder().policy(policy).engine(opts.engine);
-    if opts.record {
-        builder = builder.enforce(EnforceMode::Record);
-    }
+    let builder = SocBuilder::from_exec_config(&opts.exec).map_err(|e| e.to_string())?;
     let mut soc: Soc<M, S> = Soc::with_obs(builder.build(), obs);
     match guest {
         Guest::Asm(program) => soc.load_program(program),
@@ -592,14 +592,10 @@ fn snapshot<M: TaintMode, S: ObsSink>(
 /// `--campaign n`: one fault-free reference plus `n` faulted replays with
 /// derived seeds, each classified against the reference. Exits 2 when any
 /// replay ended in silent data corruption.
-fn run_cli_campaign<M: TaintMode>(
-    opts: &Options,
-    policy: SecurityPolicy,
-    guest: &Guest,
-) -> ExitCode {
+fn run_cli_campaign<M: TaintMode>(opts: &Options, guest: &Guest) -> ExitCode {
     let master = opts.fault_seed.expect("validated in parse_args");
     let obs = shared(NullSink);
-    let (exit, soc, _) = match run_vp::<M, NullSink>(opts, policy.clone(), guest, obs, &[]) {
+    let (exit, soc, _) = match run_vp::<M, NullSink>(opts, guest, obs, &[]) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -622,39 +618,19 @@ fn run_cli_campaign<M: TaintMode>(
         let seed = master.wrapping_add(u64::from(i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let plan = generate_plan(seed, count, horizon, RAM_FAULT_WINDOW);
         let obs = shared(NullSink);
-        let run_opts = Options {
-            program: opts.program.clone(),
-            taint_segments: opts.taint_segments.clone(),
-            policy: opts.policy.clone(),
-            plain: opts.plain,
-            engine: opts.engine,
-            record: opts.record,
-            input: opts.input.clone(),
-            max_insns: budget,
-            trace: 0,
-            uart_hex: opts.uart_hex,
-            metrics: false,
-            metrics_json: None,
-            flight_recorder: None,
-            events_out: None,
-            chrome_trace: None,
-            profile: false,
-            folded_out: None,
-            explain: false,
-            flow_dot: None,
-            flow_json: None,
-            fault_seed: opts.fault_seed,
-            fault_rate: opts.fault_rate,
-            campaign: 0,
+        // Same options, new budget, no recursion into `--campaign` — the
+        // observability flags are already rejected by parse_args here.
+        let mut run_opts = opts.clone();
+        run_opts.max_insns = budget;
+        run_opts.trace = 0;
+        run_opts.campaign = 0;
+        let (exit, soc, records) = match run_vp::<M, NullSink>(&run_opts, guest, obs, &plan) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(EXIT_LOADER);
+            }
         };
-        let (exit, soc, records) =
-            match run_vp::<M, NullSink>(&run_opts, policy.clone(), guest, obs, &plan) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::from(EXIT_LOADER);
-                }
-            };
         let run = snapshot(exit, &soc, records);
         let outcome = classify(&reference, &run);
         totals[outcome.index()] += 1;
@@ -676,14 +652,9 @@ fn run_cli_campaign<M: TaintMode>(
     ExitCode::SUCCESS
 }
 
-fn run<M: TaintMode>(
-    opts: &Options,
-    policy: SecurityPolicy,
-    atoms: &AtomTable,
-    guest: &Guest,
-) -> ExitCode {
+fn run<M: TaintMode>(opts: &Options, atoms: &AtomTable, guest: &Guest) -> ExitCode {
     if opts.campaign > 0 {
-        return run_cli_campaign::<M>(opts, policy, guest);
+        return run_cli_campaign::<M>(opts, guest);
     }
     let plan = fault_plan(opts);
     if !plan.is_empty() {
@@ -694,7 +665,7 @@ fn run<M: TaintMode>(
     }
     if !opts.observed() {
         let obs = shared(NullSink);
-        let (exit, soc, records) = match run_vp::<M, NullSink>(opts, policy, guest, obs, &plan) {
+        let (exit, soc, records) = match run_vp::<M, NullSink>(opts, guest, obs, &plan) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -716,8 +687,7 @@ fn run<M: TaintMode>(
         rec = rec.with_explain();
     }
     let obs = shared(rec);
-    let (exit, soc, records) = match run_vp::<M, Recorder>(opts, policy, guest, obs.clone(), &plan)
-    {
+    let (exit, soc, records) = match run_vp::<M, Recorder>(opts, guest, obs.clone(), &plan) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -904,9 +874,17 @@ fn load_guest_program(path: &str) -> Result<Program, String> {
     }
 }
 
+/// Base builder for fleet guests — the same single [`ExecConfig`] entry
+/// point the CLI and serve front ends resolve through.
+fn fleet_builder() -> SocBuilder {
+    SocBuilder::from_exec_config(&ExecConfig::default())
+        .expect("the default exec config is valid")
+        .sensor_thread(false)
+}
+
 /// Fault-free reference run of an external guest (fleet `--program`).
 fn program_reference(program: &Program) -> ScenarioRun {
-    let cfg = Soc::<Tainted>::builder().sensor_thread(false).build();
+    let cfg = fleet_builder().build();
     let mut soc = Soc::<Tainted>::new(cfg);
     soc.load_program(program);
     let exit = soc.run(100_000_000);
@@ -921,11 +899,7 @@ fn program_faulted(
     budget: u64,
     ctx: &taintvp::fleet::JobCtx,
 ) -> ScenarioRun {
-    let cfg = Soc::<Tainted>::builder()
-        .sensor_thread(false)
-        .stop_flag(ctx.stop.clone())
-        .insn_cell(ctx.insns.clone())
-        .build();
+    let cfg = fleet_builder().stop_flag(ctx.stop.clone()).insn_cell(ctx.insns.clone()).build();
     let mut soc = Soc::<Tainted>::new(cfg);
     soc.load_program(program);
     let (exit, records) = run_with_faults(&mut soc, budget, plan);
@@ -1004,8 +978,7 @@ fn fleet_main(args: &[String]) -> ExitCode {
                     // `ctx.stop` ends this attempt.
                     let program = parse_asm("loop:\n    j loop\n", 0)
                         .map_err(|e| JobError::Fatal(format!("bad hang program: {e}")))?;
-                    let cfg = Soc::<Tainted>::builder()
-                        .sensor_thread(false)
+                    let cfg = fleet_builder()
                         .stop_flag(ctx.stop.clone())
                         .insn_cell(ctx.insns.clone())
                         .build();
@@ -1291,11 +1264,13 @@ fn fleet_main(args: &[String]) -> ExitCode {
     exit
 }
 
-/// `taintvp-run serve [--tcp addr]` — the live introspection server over
-/// stdio (default) or TCP.
+/// `taintvp-run serve [--tcp addr] [--idle-timeout secs]` — the live
+/// introspection server over stdio (default) or a threaded TCP listener
+/// serving concurrent clients against one shared session registry.
 fn serve_main(args: &[String]) -> ExitCode {
     let mut tcp = None;
     let mut metrics_addr = None;
+    let mut idle_timeout = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -1315,13 +1290,25 @@ fn serve_main(args: &[String]) -> ExitCode {
                 metrics_addr = Some(addr.clone());
                 i += 2;
             }
+            "--idle-timeout" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("error: --idle-timeout needs a number of seconds");
+                    return ExitCode::from(1);
+                };
+                let Ok(secs) = v.parse::<u64>() else {
+                    eprintln!("error: bad --idle-timeout `{v}`");
+                    return ExitCode::from(1);
+                };
+                idle_timeout = Some(std::time::Duration::from_secs(secs));
+                i += 2;
+            }
             other => {
                 eprintln!("error: unknown serve option `{other}`");
                 return ExitCode::from(1);
             }
         }
     }
-    let mut server = taintvp::serve::Server::new();
+    let mut server = taintvp::serve::Server::new().with_idle_timeout(idle_timeout);
     let mut metrics_server = None;
     if let Some(addr) = metrics_addr {
         let metrics = std::sync::Arc::new(taintvp::serve::ServeMetrics::new());
@@ -1473,7 +1460,7 @@ fn main() -> ExitCode {
         Some("fleet") => return fleet_main(&argv[1..]),
         _ => {}
     }
-    let opts = match parse_args() {
+    let mut opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
@@ -1532,25 +1519,27 @@ fn main() -> ExitCode {
             }
         }
     };
-    let (policy, atoms) = match &opts.policy {
-        None => (SecurityPolicy::permissive(), AtomTable::default()),
-        Some(path) => match std::fs::read_to_string(path) {
+    if let Some(path) = &opts.policy {
+        match std::fs::read_to_string(path) {
+            Ok(text) => opts.exec.policy = Some(text),
             Err(e) => {
                 eprintln!("error: cannot read {path}: {e}");
                 return ExitCode::from(1);
             }
-            Ok(text) => match parse_policy(&text) {
-                Ok(pair) => pair,
-                Err(e) => {
-                    eprintln!("error: {path}: {e}");
-                    return ExitCode::from(1);
-                }
-            },
-        },
+        }
+    }
+    // One validation pass for the whole flag surface (policy text
+    // included); `run_vp` resolves the same config again per run.
+    let atoms = match opts.exec.resolve() {
+        Ok((_, atoms)) => atoms,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
     };
-    if opts.plain {
-        run::<Plain>(&opts, policy, &atoms, &guest)
+    if opts.exec.tainted {
+        run::<Tainted>(&opts, &atoms, &guest)
     } else {
-        run::<Tainted>(&opts, policy, &atoms, &guest)
+        run::<Plain>(&opts, &atoms, &guest)
     }
 }

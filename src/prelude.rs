@@ -18,8 +18,13 @@
 //! assert_eq!(soc.instret(), 0);
 //! ```
 
-// SoC construction and execution.
-pub use vpdift_soc::{map, ExecMode, PlainSoc, Soc, SocBuilder, SocConfig, SocExit, TaintedSoc};
+// SoC construction and execution. `ExecConfig` is the one parse/validate
+// path for mode/engine/enforce/quantum/ram_size/policy shared by the CLI,
+// the serve layer, and the fleet.
+pub use vpdift_soc::{
+    map, ExecConfig, ExecConfigError, ExecMode, PlainSoc, Soc, SocBuilder, SocConfig, SocExit,
+    TaintedSoc,
+};
 
 // Execution modes of the CPU type parameter.
 pub use vpdift_rv32::{Plain, TaintMode, Tainted};
@@ -30,14 +35,19 @@ pub use vpdift_core::{
     ViolationKind,
 };
 
-// Observability sinks and live streaming.
+// Observability sinks, live streaming, and run-control handles.
 pub use vpdift_obs::{
-    shared_obs, Metrics, NullSink, ObsEvent, ObsSink, Recorder, SharedObs, StopFlag, StreamItem,
-    StreamSink, WatchKind,
+    shared_obs, BreakKind, BreakSet, Metrics, NullSink, ObsEvent, ObsSink, Recorder, SharedObs,
+    StopFlag, StreamItem, StreamSink, WatchKind,
 };
 
-// The live introspection server.
-pub use vpdift_serve::{Server, Session};
+// The live introspection server: client-facing protocol types (error
+// codes, request/response shapes, version negotiation) plus the session
+// registry that makes concurrent connections possible.
+pub use vpdift_serve::{
+    ByteRead, Connection, Control, CreateOpts, ErrorCode, RegRead, Registry, ServeError, Server,
+    Session, Version, SCHEMA, SCHEMA_V2,
+};
 
 // Fault-injection campaigns.
 pub use vpdift_faults::{

@@ -196,8 +196,9 @@ fn serve_subcommand_speaks_the_protocol_over_stdio() {
     let (code, lines) = run_serve_script(&script);
     assert_eq!(code, 0, "clean shutdown: {lines:?}");
     assert!(
-        lines.first().is_some_and(|l| l.contains("\"schema\":\"taintvp-serve/v1\"")),
-        "greeting first: {lines:?}"
+        lines.first().is_some_and(|l| l.contains("\"schema\":\"taintvp-serve/v2\"")
+            && l.contains("\"compat\":[\"taintvp-serve/v1\"]")),
+        "v2 greeting with v1 compat first: {lines:?}"
     );
     assert!(
         lines.iter().any(|l| l.contains("\"ev\":\"watch\"") && l.contains("uart.tx")),
@@ -233,7 +234,7 @@ fn client_subcommand_drives_a_spawned_server() {
     .expect("script written");
     let (code, stdout, stderr) = run_cli(&["client", "--script", script_path.to_str().unwrap()]);
     assert_eq!(code, 0, "stderr: {stderr}");
-    assert!(stdout.contains("\"schema\":\"taintvp-serve/v1\""), "greeting echoed: {stdout}");
+    assert!(stdout.contains("\"schema\":\"taintvp-serve/v2\""), "greeting echoed: {stdout}");
     assert!(
         stdout.contains("\"id\":2") && stdout.contains("\"exit\":\"break\""),
         "run response echoed: {stdout}"
